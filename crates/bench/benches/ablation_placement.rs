@@ -1,0 +1,52 @@
+//! Ablation: GPU/HCA socket placement (§II-B). Inter-socket placement
+//! cripples P2P; the runtime works around it with the proxy.
+
+use omb::{latency, Config};
+use pcie_sim::{ClusterSpec, PlacementPolicy};
+use shmem_gdr::{Design, Domain, RuntimeConfig, ShmemMachine};
+
+fn put_lat(placement: PlacementPolicy, bytes: u64) -> f64 {
+    let spec = ClusterSpec::internode_pair().with_placement(placement);
+    let m = ShmemMachine::build(spec, RuntimeConfig::tuned(Design::EnhancedGdr));
+    let out = m.run(move |pe| {
+        let dest = pe.shmalloc(bytes + 4096, Domain::Gpu);
+        let src = pe.malloc_dev(bytes + 4096);
+        pe.barrier_all();
+        if pe.my_pe() == 0 {
+            for _ in 0..3 {
+                pe.putmem(dest, src, bytes, 1);
+                pe.quiet();
+            }
+            let t0 = pe.now();
+            for _ in 0..10 {
+                pe.putmem(dest, src, bytes, 1);
+                pe.quiet();
+            }
+            let dt = (pe.now() - t0).as_us_f64() / 10.0;
+            pe.barrier_all();
+            dt
+        } else {
+            pe.barrier_all();
+            0.0
+        }
+    });
+    out[0]
+}
+
+fn main() {
+    bench_gdr::banner(
+        "Ablation: GPU/HCA placement",
+        "inter-node D-D put latency, intra- vs inter-socket (usec)",
+    );
+    println!(
+        "{:>10} {:>16} {:>16}",
+        "bytes", "intra-socket", "inter-socket"
+    );
+    for bytes in [8u64, 2048, 64 << 10, 1 << 20, 4 << 20] {
+        let a = put_lat(PlacementPolicy::Affinity, bytes);
+        let b = put_lat(PlacementPolicy::CrossSocket, bytes);
+        println!("{bytes:>10} {a:>16.2} {b:>16.2}");
+    }
+    let _ = latency::put_latency as *const () as usize; // keep omb linked for parity
+    let _ = Config::DD;
+}

@@ -1,0 +1,58 @@
+//! Criterion micro-benchmarks of the simulator itself: event
+//! throughput, put-call overhead, machine construction.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pcie_sim::ClusterSpec;
+use shmem_gdr::{Design, Domain, RuntimeConfig, ShmemMachine};
+use sim_core::{Sim, SimDuration};
+
+fn engine_event_throughput(c: &mut Criterion) {
+    c.bench_function("engine_100k_events", |b| {
+        b.iter(|| {
+            let sim = Sim::new();
+            sim.with_sched(|s| {
+                for i in 0..100_000u64 {
+                    s.schedule_in(SimDuration::from_ns(i), Box::new(|_| {}));
+                }
+            });
+            sim.drain();
+            sim.stats().events_executed
+        })
+    });
+}
+
+fn shmem_put_roundtrips(c: &mut Criterion) {
+    c.bench_function("shmem_1k_puts_quiet", |b| {
+        b.iter(|| {
+            let m = ShmemMachine::build(
+                ClusterSpec::internode_pair(),
+                RuntimeConfig::tuned(Design::EnhancedGdr),
+            );
+            m.run(|pe| {
+                let dest = pe.shmalloc(4096, Domain::Gpu);
+                if pe.my_pe() == 0 {
+                    let src = pe.malloc_dev(4096);
+                    for _ in 0..1000 {
+                        pe.putmem(dest, src, 8, 1);
+                    }
+                    pe.quiet();
+                }
+                pe.barrier_all();
+            });
+        })
+    });
+}
+
+fn machine_construction(c: &mut Criterion) {
+    c.bench_function("build_16_node_machine", |b| {
+        b.iter(|| {
+            ShmemMachine::build(
+                ClusterSpec::wilkes(16, 2),
+                RuntimeConfig::tuned(Design::EnhancedGdr),
+            )
+        })
+    });
+}
+
+criterion_group!(benches, engine_event_throughput, shmem_put_roundtrips, machine_construction);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Extra (beyond the paper): atomic-operation latencies on host and GPU
+//! symmetric memory (§III-D machinery) and barrier scaling.
+
+use omb::{barrier_latency, cswap_latency, fetch_add_latency};
+use shmem_gdr::Design;
+
+fn main() {
+    bench_gdr::banner(
+        "Extra: atomic latency",
+        "fetch-add / compare-swap on symmetric memory (usec)",
+    );
+    println!(
+        "{:<24} {:>12} {:>12}",
+        "operation", "host-domain", "gpu-domain"
+    );
+    for (label, intra) in [("intra-node", true), ("inter-node", false)] {
+        let fh = fetch_add_latency(Design::EnhancedGdr, intra, false);
+        let fg = fetch_add_latency(Design::EnhancedGdr, intra, true);
+        println!("{:<24} {fh:>12.2} {fg:>12.2}", format!("fetch-add {label}"));
+        let ch = cswap_latency(Design::EnhancedGdr, intra, false);
+        let cg = cswap_latency(Design::EnhancedGdr, intra, true);
+        println!("{:<24} {ch:>12.2} {cg:>12.2}", format!("cswap {label}"));
+    }
+
+    bench_gdr::banner("Extra: barrier_all scaling", "dissemination barrier (usec)");
+    println!("{:>8} {:>14}", "PEs", "latency(us)");
+    for (nodes, ppn) in [(2usize, 1usize), (2, 2), (4, 2), (8, 2), (16, 2), (32, 2)] {
+        let us = barrier_latency(nodes, ppn);
+        println!("{:>8} {us:>14.2}", nodes * ppn);
+    }
+}

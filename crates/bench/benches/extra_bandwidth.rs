@@ -1,0 +1,33 @@
+//! Extra (beyond the paper): put bandwidth and small-message rate per
+//! configuration — the OMB bw/mr companions to the latency figures.
+
+use omb::{put_bandwidth, message_rate, Config};
+use shmem_gdr::{Design, RuntimeConfig};
+
+fn main() {
+    let cfg = RuntimeConfig::tuned(Design::EnhancedGdr);
+    bench_gdr::banner(
+        "Extra: inter-node put bandwidth",
+        "window of 16 nbi puts per quiet (MB/s)",
+    );
+    println!(
+        "{:>10} {:>14} {:>14} {:>14}",
+        "bytes", "D-D base", "D-D gdr", "H-D gdr"
+    );
+    for bytes in [4096u64, 64 << 10, 512 << 10, 2 << 20] {
+        let base = put_bandwidth(Design::HostPipeline, cfg, false, Config::DD, bytes, 16).mbps;
+        let dd = put_bandwidth(Design::EnhancedGdr, cfg, false, Config::DD, bytes, 16).mbps;
+        let hd = put_bandwidth(Design::EnhancedGdr, cfg, false, Config::HD, bytes, 16).mbps;
+        println!("{bytes:>10} {base:>14.0} {dd:>14.0} {hd:>14.0}");
+    }
+
+    bench_gdr::banner(
+        "Extra: 8B message rate",
+        "million one-sided puts per second, window 64",
+    );
+    for (label, intra) in [("inter-node", false), ("intra-node", true)] {
+        let gdr = message_rate(Design::EnhancedGdr, cfg, intra);
+        let base = message_rate(Design::HostPipeline, cfg, intra);
+        println!("{label:<12} Enhanced-GDR {gdr:>7.2} Mops   Host-Pipeline {base:>7.2} Mops");
+    }
+}

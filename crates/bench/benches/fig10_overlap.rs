@@ -1,0 +1,22 @@
+//! Fig. 10: one-sidedness — origin comm time vs target compute time,
+//! 8 KB (medium) and 1 MB (large) inter-node D-D puts.
+
+#![allow(clippy::needless_range_loop)] // parallel-series tables
+
+fn main() {
+    let compute: Vec<u64> = vec![0, 50, 100, 200, 400, 800];
+    for (panel, bytes) in [("(a) 8KB", 8u64 << 10), ("(b) 1MB", 1 << 20)] {
+        bench_gdr::banner(
+            &format!("Fig 10 {panel}"),
+            "origin put+quiet time vs target compute (usec)",
+        );
+        let series = bench_gdr::figures::overlap_panel(bytes, &compute);
+        println!("{:>16} {:>18} {:>18}", "target busy(us)", "Host-Pipeline", "Enhanced-GDR");
+        for i in 0..compute.len() {
+            println!(
+                "{:>16} {:>18.1} {:>18.1}",
+                compute[i], series[0].1[i].1, series[1].1[i].1
+            );
+        }
+    }
+}

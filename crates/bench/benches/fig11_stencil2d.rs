@@ -1,0 +1,44 @@
+//! Fig. 11: Stencil2D (SHOC) execution time across GPU counts, for
+//! 1K x 1K and 2K x 2K inputs, Host-Pipeline vs Enhanced-GDR.
+//!
+//! The paper reports 1000 internal iterations; set BENCH_FAST=1 for a
+//! quick pass or STENCIL_ITERS to override.
+
+#![allow(clippy::needless_range_loop)] // parallel-series tables
+
+use shmem_gdr::Design;
+
+fn main() {
+    let iters = std::env::var("STENCIL_ITERS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| bench_gdr::app_iters(100));
+    let nodes = [4usize, 8, 16, 32, 64];
+    for n in [1024usize, 2048] {
+        bench_gdr::banner(
+            &format!("Fig 11: Stencil2D {0}x{0}", n),
+            &format!("execution time for {iters} iterations (seconds)"),
+        );
+        let out = bench_gdr::figures::stencil_scaling(
+            n,
+            iters,
+            &nodes,
+            &[Design::HostPipeline, Design::EnhancedGdr],
+        );
+        println!(
+            "{:>6} {:>16} {:>16} {:>13}",
+            "GPUs", "Host-Pipeline(s)", "Enhanced-GDR(s)", "improvement"
+        );
+        for i in 0..nodes.len() {
+            let b = out[0].1[i].1;
+            let e = out[1].1[i].1;
+            println!(
+                "{:>6} {:>16.4} {:>16.4} {:>12.1}%",
+                nodes[i],
+                b,
+                e,
+                100.0 * (1.0 - e / b)
+            );
+        }
+    }
+}

@@ -1,0 +1,45 @@
+//! Fig. 12: LBM Evolution-phase time, CUDA-aware MPI (original) vs the
+//! OpenSHMEM-GDR redesign.
+//!
+//! (a) strong scaling, 128^3 global grid; (b) weak scaling, 64^3 per
+//! GPU. Paper runs many timesteps; set LBM_STEPS to override.
+
+#![allow(clippy::needless_range_loop)] // parallel-series tables
+
+fn main() {
+    let steps = std::env::var("LBM_STEPS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| bench_gdr::app_iters(50));
+    let nodes = [8usize, 16, 32, 64];
+
+    bench_gdr::banner(
+        "Fig 12(a): LBM strong scaling 128x128x128",
+        &format!("Evolution time for {steps} steps (seconds)"),
+    );
+    print_panel(&nodes, bench_gdr::figures::lbm_scaling(128, steps, &nodes, false));
+
+    bench_gdr::banner(
+        "Fig 12(b): LBM weak scaling 64x64x64 per GPU",
+        &format!("Evolution time for {steps} steps (seconds)"),
+    );
+    print_panel(&nodes, bench_gdr::figures::lbm_scaling(64, steps, &nodes, true));
+}
+
+fn print_panel(nodes: &[usize], out: Vec<(apps_sim::LbmVariant, Vec<(usize, f64)>)>) {
+    println!(
+        "{:>6} {:>18} {:>18} {:>13}",
+        "GPUs", "CUDA-aware MPI(s)", "OpenSHMEM-GDR(s)", "improvement"
+    );
+    for i in 0..nodes.len() {
+        let mpi = out[0].1[i].1;
+        let shm = out[1].1[i].1;
+        println!(
+            "{:>6} {:>18.4} {:>18.4} {:>12.1}%",
+            nodes[i],
+            mpi,
+            shm,
+            100.0 * (1.0 - shm / mpi)
+        );
+    }
+}

@@ -1,0 +1,29 @@
+//! Fig. 7: intra-node D-H put and get latency, existing host-based
+//! pipelining vs the proposed GDR-based designs.
+use bench_gdr::figures::{latency_panel, Op};
+use omb::{small_sizes, large_sizes, Config};
+use shmem_gdr::Design;
+
+fn panel(op: Op, config: Config, op_name: &str) {
+    for (span, sizes) in [("small", small_sizes()), ("large", large_sizes())] {
+        bench_gdr::banner(
+            &format!("Fig 7 {op_name} - {span} messages"),
+            "intra-node D-H latency, Host-Pipeline vs Enhanced-GDR (usec)",
+        );
+        let designs = [Design::HostPipeline, Design::EnhancedGdr];
+        let series = latency_panel(op, true, config, &designs, &sizes);
+        if series.len() == 2 {
+            let base: Vec<f64> = series[0].points.iter().map(|p| p.1).collect();
+            let new: Vec<f64> = series[1].points.iter().map(|p| p.1).collect();
+            bench_gdr::print_comparison(&sizes, "Host-Pipeline", &base, "Enhanced-GDR", &new);
+        } else {
+            let pts: Vec<(u64, f64)> = series[0].points.clone();
+            bench_gdr::print_series(series[0].design.name(), &pts);
+        }
+    }
+}
+
+fn main() {
+    panel(Op::Put, Config::DH, "Put");
+    panel(Op::Get, Config::DH, "Get");
+}

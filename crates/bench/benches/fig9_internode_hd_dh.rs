@@ -1,0 +1,31 @@
+//! Fig. 9: inter-node D-H and H-D put/get latency — the baseline does
+//! not support these configurations, so only the proposed design runs.
+use bench_gdr::figures::{latency_panel, Op};
+use omb::{small_sizes, large_sizes, Config};
+use shmem_gdr::Design;
+
+fn panel(op: Op, config: Config, op_name: &str) {
+    for (span, sizes) in [("small", small_sizes()), ("large", large_sizes())] {
+        bench_gdr::banner(
+            &format!("Fig 9 {op_name} - {span} messages"),
+            "inter-node inter-domain latency, proposed design only (usec)",
+        );
+        let designs = [Design::EnhancedGdr];
+        let series = latency_panel(op, false, config, &designs, &sizes);
+        if series.len() == 2 {
+            let base: Vec<f64> = series[0].points.iter().map(|p| p.1).collect();
+            let new: Vec<f64> = series[1].points.iter().map(|p| p.1).collect();
+            bench_gdr::print_comparison(&sizes, "Host-Pipeline", &base, "Enhanced-GDR", &new);
+        } else {
+            let pts: Vec<(u64, f64)> = series[0].points.clone();
+            bench_gdr::print_series(series[0].design.name(), &pts);
+        }
+    }
+}
+
+fn main() {
+    panel(Op::Put, Config::DH, "Put D-H");
+    panel(Op::Put, Config::HD, "Put H-D");
+    panel(Op::Get, Config::HD, "Get H-D");
+    panel(Op::Get, Config::DH, "Get D-H");
+}

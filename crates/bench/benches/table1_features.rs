@@ -1,0 +1,18 @@
+//! Table I: features, designs and configuration support of the three
+//! OpenSHMEM solutions (qualitative comparison, probed from the code).
+
+fn main() {
+    bench_gdr::banner(
+        "Table I",
+        "features / designs / configuration support per solution",
+    );
+    let rows = bench_gdr::tables::table1_rows();
+    let names = ["Naive", "Host-based Pipeline [15]", "Proposed (Enhanced-GDR)"];
+    println!(
+        "{:<26} {:<18} {:<18} {:<28} {:<26}",
+        "Design", "Intranode", "Internode", "Schemes", "True one-sided"
+    );
+    for (name, r) in names.iter().zip(rows) {
+        println!("{:<26} {:<18} {:<18} {:<28} {:<26}", name, r[0], r[1], r[2], r[3]);
+    }
+}

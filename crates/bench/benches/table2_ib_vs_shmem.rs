@@ -1,0 +1,31 @@
+//! Table II: 4-byte put latency at the IB verbs level vs the OpenSHMEM
+//! level, for inter-node Host-Host and GPU-GPU movement.
+
+fn main() {
+    bench_gdr::banner(
+        "Table II",
+        "4B latencies at IB and OpenSHMEM levels, inter-node (usec)",
+    );
+    let t = bench_gdr::tables::table2();
+    println!("{:<34} {:>12} {:>12}", "level", "Host-Host", "GPU-GPU");
+    println!(
+        "{:<34} {:>12.2} {:>12.2}",
+        "IB send/recv (verbs)", t.ib_sendrecv_hh, t.ib_sendrecv_dd
+    );
+    println!(
+        "{:<34} {:>12.2} {:>12.2}",
+        "OpenSHMEM put (host pipeline [15])", t.shmem_put_hh, t.shmem_put_dd_baseline
+    );
+    println!(
+        "{:<34} {:>12} {:>12.2}",
+        "OpenSHMEM put (Enhanced-GDR)", "-", t.shmem_put_dd_gdr
+    );
+    println!(
+        "\nGPU-GPU inefficiency of the current runtime: {:.1}x over IB level;",
+        t.shmem_put_dd_baseline / t.ib_sendrecv_dd
+    );
+    println!(
+        "GDR recovers it to {:.1}x.",
+        t.shmem_put_dd_gdr / t.ib_sendrecv_dd
+    );
+}

@@ -1,0 +1,20 @@
+//! Table III: PCIe peer-to-peer bandwidth on the IvyBridge node model
+//! and percentage of the FDR IB adapter's 6397 MB/s.
+
+use pcie_sim::profile::P2pDir;
+
+fn main() {
+    bench_gdr::banner(
+        "Table III",
+        "P2P performance (IvyBridge) and % of FDR bandwidth",
+    );
+    println!("{:<12} {:>22} {:>22}", "", "Intra-Socket", "Inter-Socket");
+    for (label, dir) in [("P2P Read", P2pDir::ReadFromGpu), ("P2P Write", P2pDir::WriteToGpu)] {
+        let a = bench_gdr::tables::p2p_bandwidth(dir, true);
+        let b = bench_gdr::tables::p2p_bandwidth(dir, false);
+        println!(
+            "{:<12} {:>12.0} MB/s ({:>3.0}%) {:>12.0} MB/s ({:>3.0}%)",
+            label, a.mbps, a.pct_of_fdr, b.mbps, b.pct_of_fdr
+        );
+    }
+}

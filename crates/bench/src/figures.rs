@@ -1,0 +1,172 @@
+//! Figure runners: each returns the series the corresponding paper
+//! figure plots, so bench targets stay thin and tests can assert shapes.
+
+use apps_sim::{lbm, stencil2d, LbmParams, LbmVariant, StencilParams};
+use omb::{latency, overlap, Config};
+use pcie_sim::ClusterSpec;
+use shmem_gdr::{Design, RuntimeConfig, ShmemMachine};
+
+/// Which operation a latency figure plots.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Op {
+    Put,
+    Get,
+}
+
+/// One design's latency series over a size sweep.
+pub struct Series {
+    pub design: Design,
+    pub points: Vec<(u64, f64)>,
+}
+
+/// Latency sweep for one (figure panel) = op × locality × config,
+/// for the given designs.
+pub fn latency_panel(
+    op: Op,
+    intra: bool,
+    config: Config,
+    designs: &[Design],
+    sizes: &[u64],
+) -> Vec<Series> {
+    designs
+        .iter()
+        .map(|&design| {
+            let rc = RuntimeConfig::tuned(design);
+            let points = sizes
+                .iter()
+                .map(|&b| {
+                    let p = match op {
+                        Op::Put => latency::put_latency(design, rc, intra, config, b),
+                        Op::Get => latency::get_latency(design, rc, intra, config, b),
+                    };
+                    (p.bytes, p.usec)
+                })
+                .collect();
+            Series { design, points }
+        })
+        .collect()
+}
+
+/// Fig. 10: origin comm time vs target compute, one message size.
+pub fn overlap_panel(bytes: u64, compute_us: &[u64]) -> Vec<(Design, Vec<(f64, f64)>)> {
+    [Design::HostPipeline, Design::EnhancedGdr]
+        .iter()
+        .map(|&design| {
+            let rc = RuntimeConfig::tuned(design);
+            let pts = compute_us
+                .iter()
+                .map(|&c| {
+                    let p = overlap::overlap_put(design, rc, bytes, c);
+                    (p.target_compute_us, p.comm_time_us)
+                })
+                .collect();
+            (design, pts)
+        })
+        .collect()
+}
+
+/// Runtime configuration used by the application figures: modest heaps
+/// so 64-node machines stay cheap to build.
+pub fn app_config(design: Design) -> RuntimeConfig {
+    let mut rc = RuntimeConfig::tuned(design);
+    rc.host_heap = 2 << 20;
+    rc.gpu_heap = 24 << 20;
+    rc.staging = 4 << 20;
+    rc.dev_mem = 32 << 20;
+    rc.private_host = 4 << 20;
+    rc
+}
+
+/// Fig. 11: Stencil2D execution time (seconds for `iters` iterations)
+/// per design, across node counts.
+pub fn stencil_scaling(
+    n: usize,
+    iters: usize,
+    nodes: &[usize],
+    designs: &[Design],
+) -> Vec<(Design, Vec<(usize, f64)>)> {
+    designs
+        .iter()
+        .map(|&design| {
+            let pts = nodes
+                .iter()
+                .map(|&nn| {
+                    let m = ShmemMachine::build(ClusterSpec::wilkes(nn, 1), app_config(design));
+                    let r = stencil2d::run(&m, StencilParams::bench(n, iters));
+                    (nn, r.elapsed.as_secs_f64())
+                })
+                .collect();
+            (design, pts)
+        })
+        .collect()
+}
+
+/// Fig. 12: LBM Evolution time (seconds for `steps` steps) per variant.
+/// `weak`: the paper's weak-scaling setup — `n`³ per GPU with a balanced
+/// 3-D process grid (e.g. "4 x 4 x 4" at 64 GPUs); strong: a fixed `n`³
+/// global grid decomposed along Z (§IV).
+pub fn lbm_scaling(
+    n: usize,
+    steps: usize,
+    nodes: &[usize],
+    weak: bool,
+) -> Vec<(LbmVariant, Vec<(usize, f64)>)> {
+    [LbmVariant::CudaAwareMpi, LbmVariant::ShmemGdr]
+        .iter()
+        .map(|&variant| {
+            let pts = nodes
+                .iter()
+                .map(|&nn| {
+                    let m = ShmemMachine::build(
+                        ClusterSpec::wilkes(nn, 1),
+                        app_config(Design::EnhancedGdr),
+                    );
+                    let params = if weak {
+                        let (ax, ay, az) = apps_sim::grid_3d(nn);
+                        LbmParams::bench(n * ax, n * ay, n * az, steps, variant).with_3d()
+                    } else {
+                        LbmParams::bench(n, n, n, steps, variant)
+                    };
+                    let r = lbm::run(&m, params);
+                    (nn, r.evolution.as_secs_f64())
+                })
+                .collect();
+            (variant, pts)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_panel_shapes() {
+        let s = latency_panel(
+            Op::Put,
+            false,
+            Config::DD,
+            &[Design::HostPipeline, Design::EnhancedGdr],
+            &[8, 2048],
+        );
+        assert_eq!(s.len(), 2);
+        // enhanced (index 1) beats baseline (index 0) at 8B by >5x
+        let r = s[0].points[0].1 / s[1].points[0].1;
+        assert!(r > 5.0, "speedup {r}");
+    }
+
+    #[test]
+    fn stencil_scaling_strong_decreases_with_nodes() {
+        let pts = stencil_scaling(512, 3, &[4, 16], &[Design::EnhancedGdr]);
+        let series = &pts[0].1;
+        assert!(series[1].1 < series[0].1, "no strong scaling: {series:?}");
+    }
+
+    #[test]
+    fn lbm_shmem_beats_mpi_at_scale() {
+        let out = lbm_scaling(32, 3, &[4], false);
+        let mpi = out[0].1[0].1;
+        let shmem = out[1].1[0].1;
+        assert!(shmem < mpi, "shmem {shmem} vs mpi {mpi}");
+    }
+}

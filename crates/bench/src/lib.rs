@@ -1,0 +1,69 @@
+//! # bench-gdr — harnesses that regenerate every table and figure
+//!
+//! One bench target per experiment in the paper's evaluation (§V), each
+//! printing the same rows/series the paper reports. Numbers are
+//! *simulated* microseconds from the calibrated Wilkes profile — the
+//! point is the **shape** (who wins, by what factor, where crossovers
+//! fall), recorded against the paper in `EXPERIMENTS.md`.
+//!
+//! Run them all with `cargo bench`, or one with
+//! `cargo bench --bench fig8_internode_dd`.
+
+pub mod figures;
+pub mod tables;
+
+/// Iteration scale: set `BENCH_FAST=1` for quick smoke runs.
+pub fn app_iters(default_iters: usize) -> usize {
+    if std::env::var("BENCH_FAST").is_ok() {
+        (default_iters / 10).max(2)
+    } else {
+        default_iters
+    }
+}
+
+/// Print a figure/table banner.
+pub fn banner(id: &str, caption: &str) {
+    println!("\n=== {id}: {caption} ===");
+}
+
+/// Print one latency series as aligned columns.
+pub fn print_series(label: &str, points: &[(u64, f64)]) {
+    println!("--- {label}");
+    println!("{:>10}  {:>12}", "bytes", "latency(us)");
+    for (b, us) in points {
+        println!("{b:>10}  {us:>12.2}");
+    }
+}
+
+/// Print a comparison of two series (baseline vs proposed).
+pub fn print_comparison(
+    sizes: &[u64],
+    base_label: &str,
+    base: &[f64],
+    new_label: &str,
+    new: &[f64],
+) {
+    println!(
+        "{:>10}  {:>14}  {:>14}  {:>9}",
+        "bytes", base_label, new_label, "speedup"
+    );
+    for (i, b) in sizes.iter().enumerate() {
+        println!(
+            "{b:>10}  {:>14.2}  {:>14.2}  {:>8.2}x",
+            base[i],
+            new[i],
+            base[i] / new[i]
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn fast_mode_shrinks_iterations() {
+        // without the env var the default passes through
+        if std::env::var("BENCH_FAST").is_err() {
+            assert_eq!(super::app_iters(100), 100);
+        }
+    }
+}

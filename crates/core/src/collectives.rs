@@ -1,0 +1,289 @@
+//! Collective operations: dissemination barrier, binomial broadcast,
+//! and small reductions — built from real flag writes and data movement
+//! so their cost scales as on a real cluster.
+
+use crate::addr::{Pod, SymAddr, SymSlice};
+use crate::pe::Pe;
+use crate::sync::cells;
+use pcie_sim::ProcId;
+
+/// Reduction operators for the typed reductions.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RedOp {
+    Sum,
+    Prod,
+    Min,
+    Max,
+}
+
+/// Element types usable in reductions.
+pub trait Reducible: Pod + PartialOrd {
+    fn combine(op: RedOp, a: Self, b: Self) -> Self;
+}
+
+macro_rules! impl_reducible {
+    ($($t:ty),*) => {$(
+        impl Reducible for $t {
+            fn combine(op: RedOp, a: Self, b: Self) -> Self {
+                match op {
+                    RedOp::Sum => a + b,
+                    RedOp::Prod => a * b,
+                    RedOp::Min => if b < a { b } else { a },
+                    RedOp::Max => if b > a { b } else { a },
+                }
+            }
+        }
+    )*};
+}
+
+impl_reducible!(f32, f64, i32, i64, u32, u64);
+
+impl Pe {
+    /// `shmem_barrier_all`: quiet + dissemination barrier.
+    pub fn barrier_all(&self) {
+        self.quiet();
+        let m = self.machine().clone();
+        let st = m.pe_state(self.proc_id());
+        st.enter_library();
+        st.stats.lock().barriers += 1;
+        let gen = {
+            let mut g = st.barrier_gen.lock();
+            *g += 1;
+            *g
+        };
+        let n = self.n_pes();
+        if n > 1 {
+            let me = self.my_pe();
+            let mut r = 0u32;
+            while (1usize << r) < n {
+                let partner = (me + (1 << r)) % n;
+                m.sync_flag_put(
+                    self.ctx(),
+                    self.proc_id(),
+                    ProcId(partner as u32),
+                    cells::BARRIER + 8 * r as u64,
+                    gen,
+                );
+                m.sync_wait(self.ctx(), self.proc_id(), cells::BARRIER + 8 * r as u64, |v| {
+                    v >= gen
+                });
+                r += 1;
+            }
+        }
+        st.leave_library();
+    }
+
+    fn next_coll_gen(&self) -> u64 {
+        let st = self.machine().pe_state(self.proc_id());
+        let mut g = st.coll_gen.lock();
+        *g += 1;
+        *g
+    }
+
+    /// Broadcast `len` bytes of the symmetric object `data` from `root`'s
+    /// copy into every PE's copy (binomial tree over puts).
+    pub fn broadcast(&self, data: SymAddr, len: u64, root: usize) {
+        let n = self.n_pes();
+        let gen = self.next_coll_gen();
+        if n == 1 {
+            return;
+        }
+        let me = self.my_pe();
+        let m = self.machine().clone();
+        let vr = (me + n - root) % n; // virtual rank: root is 0
+        let mut k = 0u32;
+        while (1usize << k) < n {
+            let span = 1usize << k;
+            if vr < span {
+                let peer_vr = vr + span;
+                if peer_vr < n {
+                    let peer = (peer_vr + root) % n;
+                    self.putmem_sym(data, data, len, peer);
+                    self.quiet();
+                    m.sync_flag_put(
+                        self.ctx(),
+                        self.proc_id(),
+                        ProcId(peer as u32),
+                        cells::BCAST + 8 * k as u64,
+                        gen,
+                    );
+                }
+            } else if vr < 2 * span {
+                m.sync_wait(self.ctx(), self.proc_id(), cells::BCAST + 8 * k as u64, |v| {
+                    v >= gen
+                });
+            }
+            k += 1;
+        }
+    }
+
+    /// Reduce a small symmetric vector to `root`'s copy of `dst` with
+    /// operator `op`, then broadcast the result to every PE's copy.
+    /// Payload per PE is limited to one reduce slot (256 bytes).
+    pub fn reduce<T: Reducible>(
+        &self,
+        src: &SymSlice<T>,
+        dst: &SymSlice<T>,
+        op: RedOp,
+        root: usize,
+    ) {
+        assert!(
+            src.byte_len() <= cells::SLOT,
+            "reduce payload exceeds slot size ({} > {})",
+            src.byte_len(),
+            cells::SLOT
+        );
+        assert_eq!(src.len(), dst.len(), "reduce src/dst length mismatch");
+        let n = self.n_pes();
+        let me = self.my_pe();
+        let m = self.machine().clone();
+        let gen = self.next_coll_gen();
+        if n == 1 {
+            let v = self.read_sym(src);
+            self.write_sym(dst, &v);
+            return;
+        }
+        if me != root {
+            // ship my contribution into root's slot for me, then flag
+            let my_copy = self.addr_of(src.addr(), me);
+            m.sync_data_put(
+                self.ctx(),
+                self.proc_id(),
+                ProcId(root as u32),
+                cells::REDUCE_DATA + cells::SLOT * me as u64,
+                my_copy,
+                src.byte_len(),
+            );
+            self.quiet();
+            m.sync_flag_put(
+                self.ctx(),
+                self.proc_id(),
+                ProcId(root as u32),
+                cells::REDUCE_FLAGS + 8 * me as u64,
+                gen,
+            );
+        } else {
+            // gather: wait for every contribution
+            let mut acc = self.read_sym(src);
+            for pe in 0..n {
+                if pe == root {
+                    continue;
+                }
+                m.sync_wait(
+                    self.ctx(),
+                    self.proc_id(),
+                    cells::REDUCE_FLAGS + 8 * pe as u64,
+                    |v| v >= gen,
+                );
+                let slot = m.sync_cell(
+                    self.proc_id(),
+                    cells::REDUCE_DATA + cells::SLOT * pe as u64,
+                );
+                let bytes = self.read_raw(slot, src.byte_len());
+                let vals = T::from_bytes(&bytes);
+                for (a, v) in acc.iter_mut().zip(vals) {
+                    *a = T::combine(op, *a, v);
+                }
+            }
+            self.write_sym(dst, &acc);
+        }
+        // result distribution
+        self.broadcast(dst.addr(), dst.byte_len(), root);
+    }
+
+    /// Sum-reduce to root (kept as the common spelling).
+    pub fn reduce_sum_f64(&self, src: &SymSlice<f64>, dst: &SymSlice<f64>, root: usize) {
+        self.reduce(src, dst, RedOp::Sum, root);
+    }
+
+    /// Convenience: allreduce of a small f64 vector.
+    pub fn allreduce_sum_f64(&self, src: &SymSlice<f64>, dst: &SymSlice<f64>) {
+        self.reduce(src, dst, RedOp::Sum, 0);
+    }
+
+    /// `shmem_fcollect`: every PE contributes its `src` block; every PE
+    /// ends with all blocks, in PE order, in its copy of `dest`
+    /// (`dest.len() == n_pes * src.len()`).
+    pub fn fcollect<T: Pod>(&self, dest: &SymSlice<T>, src: &SymSlice<T>) {
+        let n = self.n_pes();
+        let me = self.my_pe();
+        assert_eq!(dest.len(), n * src.len(), "fcollect geometry");
+        let m = self.machine().clone();
+        let gen = self.next_coll_gen();
+        // put my block into everyone's dest at block `me`, then flag
+        let my_copy = self.addr_of(src.addr(), me);
+        for t in 0..n {
+            if t == me {
+                self.write_sym(&dest.slice(me * src.len(), src.len()), &self.read_sym(src));
+            } else {
+                self.putmem(dest.at(me * src.len()), my_copy, src.byte_len(), t);
+            }
+        }
+        self.quiet();
+        for t in 0..n {
+            if t != me {
+                m.sync_flag_put(
+                    self.ctx(),
+                    self.proc_id(),
+                    ProcId(t as u32),
+                    cells::COLL_FLAGS + 8 * me as u64,
+                    gen,
+                );
+            }
+        }
+        // wait for every other PE's block
+        for s_pe in 0..n {
+            if s_pe != me {
+                m.sync_wait(
+                    self.ctx(),
+                    self.proc_id(),
+                    cells::COLL_FLAGS + 8 * s_pe as u64,
+                    |v| v >= gen,
+                );
+            }
+        }
+    }
+
+    /// `shmem_alltoall`: PE `i`'s block `j` of `src` lands in PE `j`'s
+    /// block `i` of `dest` (`src.len() == dest.len() == n_pes * per`).
+    pub fn alltoall<T: Pod>(&self, dest: &SymSlice<T>, src: &SymSlice<T>, per: usize) {
+        let n = self.n_pes();
+        let me = self.my_pe();
+        assert_eq!(src.len(), n * per, "alltoall src geometry");
+        assert_eq!(dest.len(), n * per, "alltoall dest geometry");
+        let m = self.machine().clone();
+        let gen = self.next_coll_gen();
+        let per_bytes = (per * T::SIZE) as u64;
+        for j in 0..n {
+            let block = self.addr_of(src.at(j * per), me);
+            if j == me {
+                let vals = self.read_sym(&src.slice(me * per, per));
+                self.write_sym(&dest.slice(me * per, per), &vals);
+            } else {
+                self.putmem(dest.at(me * per), block, per_bytes, j);
+            }
+        }
+        self.quiet();
+        for j in 0..n {
+            if j != me {
+                m.sync_flag_put(
+                    self.ctx(),
+                    self.proc_id(),
+                    ProcId(j as u32),
+                    cells::COLL_FLAGS + 8 * me as u64,
+                    gen,
+                );
+            }
+        }
+        for s_pe in 0..n {
+            if s_pe != me {
+                m.sync_wait(
+                    self.ctx(),
+                    self.proc_id(),
+                    cells::COLL_FLAGS + 8 * s_pe as u64,
+                    |v| v >= gen,
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,147 @@
+//! Runtime configuration: design selection and tuning thresholds.
+//!
+//! These are the moral equivalents of MVAPICH2-X environment variables
+//! (`MV2_GPUDIRECT_LIMIT` and friends): every hybrid-protocol crossover
+//! in §III of the paper is a runtime parameter here.
+
+use serde::{Deserialize, Serialize};
+
+/// Which OpenSHMEM runtime design services communication operations.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
+pub enum Design {
+    /// The basic OpenSHMEM model: host-to-host communication only; users
+    /// stage GPU data with explicit cudaMemcpy (paper Table I "Naive").
+    Naive,
+    /// The CUDA-aware host-based pipeline of Potluri et al. [15]
+    /// (IPDPS'13): IPC copies intra-node, D2H→IB→H2D pipeline inter-node,
+    /// target process involved in the last stage.
+    HostPipeline,
+    /// This paper's contribution: GDR loopback + IPC hybrid intra-node,
+    /// direct-GDR / pipeline-GDR-write / proxy inter-node — truly
+    /// one-sided in every configuration.
+    #[default]
+    EnhancedGdr,
+}
+
+impl Design {
+    pub fn name(self) -> &'static str {
+        match self {
+            Design::Naive => "Naive",
+            Design::HostPipeline => "Host-Pipeline",
+            Design::EnhancedGdr => "Enhanced-GDR",
+        }
+    }
+}
+
+/// Tunable runtime parameters.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct RuntimeConfig {
+    pub design: Design,
+    /// Symmetric host heap bytes per PE.
+    pub host_heap: u64,
+    /// Symmetric GPU heap bytes per PE.
+    pub gpu_heap: u64,
+    /// Registered host staging area per PE (pipeline protocols).
+    pub staging: u64,
+    /// Intra-node: use GDR loopback for puts up to this size (beyond it,
+    /// CUDA IPC copies win; the binding constraint is the inter-socket
+    /// P2P write cap when the peer's GPU is on the other socket).
+    pub loopback_put_limit: u64,
+    /// Intra-node: use GDR loopback for gets up to this size. Much lower
+    /// than the put limit: a loopback get is a P2P *read* from the peer
+    /// GPU, and the inter-socket read cap is catastrophic (paper: "the
+    /// only difference is the threshold as this operation involves a P2P
+    /// read from the GPU", §III-B).
+    pub loopback_get_limit: u64,
+    /// Intra-node D-D uses "the least GDR threshold" (paper §III-B):
+    /// both endpoints pay P2P caps, so loopback wins only when tiny.
+    pub loopback_dd_limit: u64,
+    /// Inter-node: direct-GDR puts up to this size when the *source* is
+    /// on the GPU (P2P read gather caps the streaming rate).
+    pub gdr_put_limit: u64,
+    /// Inter-node: direct-GDR gets up to this size when the *remote*
+    /// buffer is on the GPU.
+    pub gdr_get_limit: u64,
+    /// Chunk size of the pipelined protocols.
+    pub pipeline_chunk: u64,
+    /// Use the node-proxy for large inter-node gets from GPU memory
+    /// (falls back to chunked direct reads when disabled — an ablation).
+    pub proxy_enabled: bool,
+    /// Minimum message size that engages the proxy: below it, chunked
+    /// direct reads win (the proxy signal + staging overhead only pays
+    /// off once the P2P read cap dominates).
+    pub proxy_get_min: u64,
+    /// Polling interval of `shmem_wait_until` and of the host-pipeline
+    /// target-side progress engine.
+    pub poll_interval_ns: u64,
+    /// Enable the reference implementation's per-process service thread
+    /// (paper §III): pending target-side work executes even while the
+    /// target computes, at the cost of burning a CPU core per process
+    /// and lock contention with the main thread. The paper rejects this
+    /// in favour of the proxy; provided here for the ablation.
+    pub service_thread: bool,
+    /// Service-thread polling period and per-item lock/handoff overhead.
+    pub service_poll_ns: u64,
+    /// Total simulated device memory per GPU (must hold the GPU heaps of
+    /// every PE bound to it plus application allocations).
+    pub dev_mem: u64,
+    /// Private (non-symmetric) host memory per PE.
+    pub private_host: u64,
+}
+
+impl RuntimeConfig {
+    /// Tuned configuration for the Wilkes-like profile.
+    pub fn tuned(design: Design) -> Self {
+        RuntimeConfig {
+            design,
+            host_heap: 8 << 20,
+            gpu_heap: 8 << 20,
+            staging: 4 << 20,
+            loopback_put_limit: 4 << 10,
+            loopback_get_limit: 1 << 10,
+            loopback_dd_limit: 2 << 10,
+            gdr_put_limit: 32 << 10,
+            gdr_get_limit: 16 << 10,
+            pipeline_chunk: 512 << 10,
+            proxy_enabled: true,
+            proxy_get_min: 512 << 10,
+            poll_interval_ns: 200,
+            service_thread: false,
+            service_poll_ns: 2_000,
+            dev_mem: 64 << 20,
+            private_host: 32 << 20,
+        }
+    }
+
+    pub fn with_heaps(mut self, host: u64, gpu: u64) -> Self {
+        self.host_heap = host;
+        self.gpu_heap = gpu;
+        self
+    }
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        Self::tuned(Design::EnhancedGdr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_enhanced_gdr() {
+        let c = RuntimeConfig::default();
+        assert_eq!(c.design, Design::EnhancedGdr);
+        assert!(c.loopback_put_limit > c.loopback_get_limit);
+        assert!(c.gdr_put_limit > c.gdr_get_limit);
+    }
+
+    #[test]
+    fn design_names() {
+        assert_eq!(Design::Naive.name(), "Naive");
+        assert_eq!(Design::HostPipeline.name(), "Host-Pipeline");
+        assert_eq!(Design::EnhancedGdr.name(), "Enhanced-GDR");
+    }
+}

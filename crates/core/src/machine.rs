@@ -1,0 +1,156 @@
+//! The [`ShmemMachine`]: one fully-initialized simulated job.
+//!
+//! Construction performs everything the paper's enhanced initialization
+//! does (§III-A): create host + GPU symmetric heaps, register them with
+//! the fabric, exchange memory descriptors and IPC handles, and stand up
+//! the per-node proxy state. `run` then launches one task per PE.
+
+use crate::config::RuntimeConfig;
+use crate::layout::HeapLayout;
+use crate::pe::Pe;
+use crate::state::PeState;
+use gpu_sim::GpuRuntime;
+use ib_sim::IbVerbs;
+use pcie_sim::{Cluster, ClusterSpec, HwProfile, ProcId};
+use sim_core::{Sim, SimDuration};
+use std::sync::Arc;
+
+/// Per-node proxy counters (the proxy itself is event-driven).
+#[derive(Debug, Default)]
+pub struct ProxyStats {
+    pub gets_served: std::sync::atomic::AtomicU64,
+    pub puts_served: std::sync::atomic::AtomicU64,
+    pub bytes: std::sync::atomic::AtomicU64,
+}
+
+/// One simulated OpenSHMEM job on a simulated cluster.
+pub struct ShmemMachine {
+    sim: Sim,
+    cluster: Arc<Cluster>,
+    gpus: Arc<GpuRuntime>,
+    ib: Arc<IbVerbs>,
+    cfg: RuntimeConfig,
+    layout: HeapLayout,
+    pes: Vec<PeState>,
+    proxies: Vec<ProxyStats>,
+}
+
+impl ShmemMachine {
+    /// Build with the default (Wilkes-calibrated) hardware profile.
+    pub fn build(spec: ClusterSpec, cfg: RuntimeConfig) -> Arc<ShmemMachine> {
+        Self::build_with(spec, HwProfile::wilkes(), cfg)
+    }
+
+    /// Build with an explicit hardware profile.
+    pub fn build_with(spec: ClusterSpec, hw: HwProfile, cfg: RuntimeConfig) -> Arc<ShmemMachine> {
+        let sim = Sim::new();
+        let cluster = Cluster::new(spec, hw);
+        let topo = cluster.topo().clone();
+        for p in topo.all_procs() {
+            cluster.create_host_arena(p, cfg.private_host as usize);
+        }
+        let gpus = GpuRuntime::new(&sim, cluster.clone(), cfg.dev_mem);
+        let ib = IbVerbs::new(&sim, gpus.clone());
+        let layout = HeapLayout::build(&cluster, &gpus, &ib, &cfg);
+
+        // IPC exchange: every PE maps every node-local GPU at init.
+        for p in topo.all_procs() {
+            let node = topo.node_of(p);
+            for q in topo.procs_on(node) {
+                gpus.ipc_mark_open(p, topo.gpu_of(q));
+            }
+        }
+
+        let pes = topo
+            .all_procs()
+            .map(|p| {
+                PeState::new(
+                    p,
+                    cfg.host_heap,
+                    cfg.gpu_heap,
+                    cfg.staging,
+                    cfg.private_host,
+                    hw.host.memcpy_bw,
+                )
+            })
+            .collect();
+        let proxies = (0..topo.nnodes()).map(|_| ProxyStats::default()).collect();
+        Arc::new(ShmemMachine {
+            sim,
+            cluster,
+            gpus,
+            ib,
+            cfg,
+            layout,
+            pes,
+            proxies,
+        })
+    }
+
+    pub fn sim(&self) -> &Sim {
+        &self.sim
+    }
+
+    pub fn cluster(&self) -> &Arc<Cluster> {
+        &self.cluster
+    }
+
+    pub fn gpus(&self) -> &Arc<GpuRuntime> {
+        &self.gpus
+    }
+
+    pub fn ib(&self) -> &Arc<IbVerbs> {
+        &self.ib
+    }
+
+    pub fn cfg(&self) -> &RuntimeConfig {
+        &self.cfg
+    }
+
+    pub fn layout(&self) -> &HeapLayout {
+        &self.layout
+    }
+
+    pub fn pe_state(&self, p: ProcId) -> &PeState {
+        &self.pes[p.index()]
+    }
+
+    pub fn proxy(&self, node: pcie_sim::NodeId) -> &ProxyStats {
+        &self.proxies[node.index()]
+    }
+
+    pub fn n_pes(&self) -> usize {
+        self.cluster.topo().nprocs()
+    }
+
+    /// Polling interval as a duration.
+    pub fn poll_interval(&self) -> SimDuration {
+        SimDuration::from_ns(self.cfg.poll_interval_ns)
+    }
+
+    /// Launch one task per PE; each receives a [`Pe`] handle. Virtual
+    /// time persists across consecutive `run` calls on one machine.
+    pub fn run<T, F>(self: &Arc<Self>, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(&mut Pe) -> T + Send + Sync,
+    {
+        let me = self.clone();
+        self.sim.run(self.n_pes(), move |ctx| {
+            let id = ProcId(ctx.rank() as u32);
+            let mut pe = Pe::new(me.clone(), ctx, id);
+            f(&mut pe)
+        })
+    }
+}
+
+impl std::fmt::Debug for ShmemMachine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "ShmemMachine({} PEs, design {})",
+            self.n_pes(),
+            self.cfg.design.name()
+        )
+    }
+}

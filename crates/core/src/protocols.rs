@@ -1,0 +1,731 @@
+//! Protocol dispatch: the design tables of paper §III.
+//!
+//! `do_put` / `do_get` / `do_atomic` route every operation to a concrete
+//! protocol based on the active [`Design`](crate::config::Design), the
+//! endpoint domains (H/D), locality (intra-/inter-node), the message
+//! size thresholds, and the GPU↔HCA socket relation.
+
+use crate::addr::SymAddr;
+use crate::config::Design;
+use crate::machine::ShmemMachine;
+use crate::state::Protocol;
+use ib_sim::{AtomicOp, Rkey};
+use pcie_sim::mem::{MemRef, MemSpace};
+use pcie_sim::ProcId;
+use sim_core::{SimDuration, TaskCtx};
+use std::sync::Arc;
+
+/// Flush outstanding one-sided ops of `me` (the quiet loop, callable
+/// from machine context). Enters the library and drains pending work
+/// first — blocking here without the in-library flag would stop the
+/// target-side progress engine and deadlock symmetric exchanges.
+fn ctx_quiet(m: &Arc<ShmemMachine>, ctx: &TaskCtx, me: ProcId) {
+    let st = m.pe_state(me);
+    st.enter_library();
+    m.drain_pending(ctx, me);
+    loop {
+        let list: Vec<_> = std::mem::take(&mut *st.outstanding.lock());
+        if list.is_empty() {
+            break;
+        }
+        for c in list {
+            ctx.wait_threshold(&c, 1);
+        }
+    }
+    st.leave_library();
+}
+
+impl ShmemMachine {
+    // ---------- small shared helpers ----------
+
+    /// Make sure `mem` is usable as a local RDMA buffer for `pe`: either
+    /// it is covered by an existing MR (symmetric heaps, staging, or a
+    /// previous on-demand registration — the registration *cache* hit) or
+    /// it gets registered now, paying the cold cost.
+    pub(crate) fn ensure_registered(self: &Arc<Self>, ctx: &TaskCtx, pe: ProcId, mem: MemRef, len: u64) {
+        if self.ib().mrs().check_local(pe, mem, len).is_ok() {
+            return; // cache hit: free
+        }
+        // Register whole megabyte granules around the access so nearby
+        // buffers hit the cache (as production registration caches do —
+        // per-request registration would make every new chunk pay the
+        // ~30us cold cost).
+        const GRANULE: u64 = 1 << 20;
+        let base = mem.offset / GRANULE * GRANULE;
+        let end = (mem.offset + len).div_ceil(GRANULE) * GRANULE;
+        let arena = self
+            .cluster()
+            .mem()
+            .get(mem.space)
+            .expect("registering unmapped space");
+        let end = end.min(arena.size());
+        self.ib()
+            .reg_mr(ctx, pe, MemRef::new(mem.space, base), end - base);
+    }
+
+    /// Node-local CPU copy through the shared segment (or private host
+    /// memory): the `shmem_ptr` fast path. Synchronous.
+    pub(crate) fn shm_copy(self: &Arc<Self>, ctx: &TaskCtx, src: MemRef, dst: MemRef, len: u64) {
+        let hw = self.cluster().hw();
+        ctx.advance(hw.host.memcpy_overhead + SimDuration::for_bytes(len, hw.host.memcpy_bw));
+        self.cluster()
+            .mem()
+            .copy(src, dst, len)
+            .expect("shm copy endpoints");
+    }
+
+    /// One synchronous CUDA copy (IPC paths, any H/D combination).
+    pub(crate) fn cuda_copy(self: &Arc<Self>, ctx: &TaskCtx, src: MemRef, dst: MemRef, len: u64) {
+        self.gpus().memcpy_sync(ctx, src, dst, len);
+    }
+
+    /// RDMA put: post, wait *local* completion (source reusable), track
+    /// the remote completion for `quiet`. The truly one-sided puts.
+    pub(crate) fn rdma_put(
+        self: &Arc<Self>,
+        ctx: &TaskCtx,
+        me: ProcId,
+        src: MemRef,
+        rkey: Rkey,
+        dst: MemRef,
+        len: u64,
+    ) {
+        self.rdma_put_inner(ctx, me, src, rkey, dst, len, false)
+    }
+
+    /// As [`ShmemMachine::rdma_put`]; with `nbi` the call returns right
+    /// after posting (`shmem_putmem_nbi` semantics: the source buffer is
+    /// not reusable until `quiet`).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn rdma_put_inner(
+        self: &Arc<Self>,
+        ctx: &TaskCtx,
+        me: ProcId,
+        src: MemRef,
+        rkey: Rkey,
+        dst: MemRef,
+        len: u64,
+        nbi: bool,
+    ) {
+        self.ensure_registered(ctx, me, src, len);
+        let comp = self
+            .ib()
+            .post_rdma_write(ctx, me, src, rkey, dst, len)
+            .unwrap_or_else(|e| panic!("rdma put failed: {e}"));
+        if nbi {
+            self.pe_state(me).track(comp.local);
+        } else {
+            ctx.wait(&comp.local);
+        }
+        self.pe_state(me).track(comp.remote);
+    }
+
+    /// `shmem_putmem_nbi`: non-blocking put. RDMA-serviced paths return
+    /// right after the post; copy/pipeline paths retain their protocol's
+    /// natural local-completion point (as real implementations do).
+    /// `quiet` completes everything.
+    pub(crate) fn do_put_nbi(
+        self: &Arc<Self>,
+        ctx: &TaskCtx,
+        me: ProcId,
+        dest: crate::addr::SymAddr,
+        src: MemRef,
+        len: u64,
+        target: ProcId,
+    ) {
+        if len == 0 {
+            return;
+        }
+        let dst = self.layout().resolve(dest, target);
+        let rkey = self.layout().rkey(dest.domain, target);
+        let same_node = self.cluster().topo().same_node(me, target);
+        // the nbi fast path covers every RDMA-serviced configuration of
+        // the Enhanced-GDR design; everything else behaves like put
+        if self.put_rdma_serviced(me, target, src, dst, len) {
+            let st = self.pe_state(me);
+            st.enter_library();
+            self.drain_pending(ctx, me);
+            {
+                let mut s = st.stats.lock();
+                s.puts += 1;
+                s.bytes_put += len;
+            }
+            self.rdma_put_inner(ctx, me, src, rkey, dst, len, true);
+            self.count(
+                me,
+                if same_node {
+                    Protocol::LoopbackGdr
+                } else if src.is_device() || dst.is_device() {
+                    Protocol::DirectGdr
+                } else {
+                    Protocol::HostRdma
+                },
+            );
+            st.leave_library();
+        } else {
+            self.do_put(ctx, me, dest, src, len, target);
+        }
+    }
+
+    /// `shmem_put_signal`: fused data + signal when the path is
+    /// RDMA-serviced (Enhanced-GDR small/medium and H-H); otherwise the
+    /// safe decomposition put + fence + flag put.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn do_put_signal(
+        self: &Arc<Self>,
+        ctx: &TaskCtx,
+        me: ProcId,
+        dest: crate::addr::SymAddr,
+        src: MemRef,
+        len: u64,
+        sig: crate::addr::SymAddr,
+        sig_value: u64,
+        target: ProcId,
+    ) {
+        assert_eq!(
+            sig.domain,
+            crate::addr::Domain::Host,
+            "signals live in host symmetric memory (wait_until polls them)"
+        );
+        let dst = self.layout().resolve(dest, target);
+        if self.put_rdma_serviced(me, target, src, dst, len) {
+            let st = self.pe_state(me);
+            st.enter_library();
+            self.drain_pending(ctx, me);
+            {
+                let mut s = st.stats.lock();
+                s.puts += 1;
+                s.bytes_put += len;
+            }
+            self.ensure_registered(ctx, me, src, len);
+            let rkey = self.layout().rkey(dest.domain, target);
+            let sig_rkey = self.layout().rkey(crate::addr::Domain::Host, target);
+            let sig_dst = self.layout().resolve(sig, target);
+            ctx.advance(self.cluster().hw().ib.post_overhead);
+            let comp = ib_sim::RdmaCompletion::new();
+            ctx.with_sched(|s| {
+                self.ib()
+                    .rdma_write_signal_start(
+                        s, me, src, rkey, dst, len, sig_rkey, sig_dst, sig_value, &comp,
+                    )
+                    .unwrap_or_else(|e| panic!("put_signal failed: {e}"));
+            });
+            ctx.wait(&comp.local);
+            st.track(comp.remote);
+            self.count(me, Protocol::DirectGdr);
+            st.leave_library();
+        } else {
+            // decomposition: deliver data, order, then raise the signal
+            self.do_put(ctx, me, dest, src, len, target);
+            ctx_quiet(self, ctx, me);
+            let scratch = self.sync_scratch(me);
+            self.cluster()
+                .mem()
+                .write_bytes(scratch, &sig_value.to_le_bytes())
+                .expect("signal scratch");
+            self.do_put(ctx, me, sig, scratch, 8, target);
+        }
+    }
+
+    /// `shmem_getmem_nbi`: the RDMA read is posted and tracked; `quiet`
+    /// guarantees local delivery.
+    pub(crate) fn do_get_nbi(
+        self: &Arc<Self>,
+        ctx: &TaskCtx,
+        me: ProcId,
+        dst: MemRef,
+        source: crate::addr::SymAddr,
+        len: u64,
+        from: ProcId,
+    ) {
+        if len == 0 {
+            return;
+        }
+        let src = self.layout().resolve(source, from);
+        let rkey = self.layout().rkey(source.domain, from);
+        if self.get_rdma_serviced(me, from, src, dst, len) {
+            let st = self.pe_state(me);
+            st.enter_library();
+            self.drain_pending(ctx, me);
+            {
+                let mut s = st.stats.lock();
+                s.gets += 1;
+                s.bytes_get += len;
+            }
+            self.ensure_registered(ctx, me, dst, len);
+            let done = self
+                .ib()
+                .post_rdma_read(ctx, me, dst, rkey, src, len)
+                .unwrap_or_else(|e| panic!("rdma get failed: {e}"));
+            st.track(done);
+            self.count(me, Protocol::DirectGdr);
+            st.leave_library();
+        } else {
+            self.do_get(ctx, me, dst, source, len, from);
+        }
+    }
+
+    /// RDMA get: blocking until data is locally available.
+    pub(crate) fn rdma_get(
+        self: &Arc<Self>,
+        ctx: &TaskCtx,
+        me: ProcId,
+        dst: MemRef,
+        rkey: Rkey,
+        src: MemRef,
+        len: u64,
+    ) {
+        self.ensure_registered(ctx, me, dst, len);
+        let done = self
+            .ib()
+            .post_rdma_read(ctx, me, dst, rkey, src, len)
+            .unwrap_or_else(|e| panic!("rdma get failed: {e}"));
+        ctx.wait(&done);
+    }
+
+    fn count(&self, me: ProcId, p: Protocol) {
+        self.pe_state(me).stats.lock().count(p);
+    }
+
+    /// Is the GPU backing `mem` on the same socket as `pe`'s HCA?
+    fn mem_gpu_intra_socket(&self, mem: MemRef, hca_owner: ProcId) -> bool {
+        match mem.space {
+            MemSpace::Device(g) => {
+                let topo = self.cluster().topo();
+                topo.gpu_hca_intra_socket(g, topo.hca_of(hca_owner))
+            }
+            _ => true,
+        }
+    }
+
+    /// Bounds-check a symmetric access against its heap: protects the
+    /// staging/sync areas that sit after the host heap in the segment
+    /// (an oversized put would otherwise silently corrupt them).
+    pub(crate) fn check_sym_range(&self, sym: crate::addr::SymAddr, len: u64) {
+        let heap = match sym.domain {
+            crate::addr::Domain::Host => self.cfg().host_heap,
+            crate::addr::Domain::Gpu => self.cfg().gpu_heap,
+        };
+        assert!(
+            sym.offset.checked_add(len).is_some_and(|end| end <= heap),
+            "symmetric access {sym}+{len} overruns the {} {} -byte heap",
+            sym.domain,
+            heap
+        );
+    }
+
+    /// THE routing predicate: would `do_put` service this transfer with
+    /// a single RDMA write under Enhanced-GDR? Non-blocking and fused
+    /// (put_signal) fast paths key off this so they can never diverge
+    /// from the blocking dispatch table.
+    pub(crate) fn put_rdma_serviced(
+        &self,
+        me: ProcId,
+        target: ProcId,
+        src: MemRef,
+        dst: MemRef,
+        len: u64,
+    ) -> bool {
+        let cfg = *self.cfg();
+        if cfg.design != Design::EnhancedGdr || me == target {
+            return false;
+        }
+        let same_node = self.cluster().topo().same_node(me, target);
+        match (same_node, src.is_device(), dst.is_device()) {
+            (true, false, false) => false, // shm copy
+            (true, true, true) => len <= cfg.loopback_dd_limit.min(cfg.loopback_put_limit),
+            (true, _, _) => len <= cfg.loopback_put_limit,
+            (false, false, false) => true,
+            (false, src_dev, dst_dev) => {
+                let dst_intra = self.mem_gpu_intra_socket(dst, target);
+                len <= cfg.gdr_put_limit || (!src_dev && dst_intra && dst_dev)
+            }
+        }
+    }
+
+    /// Mirror predicate for gets: serviced by a single RDMA read?
+    pub(crate) fn get_rdma_serviced(
+        &self,
+        me: ProcId,
+        from: ProcId,
+        src: MemRef,
+        dst: MemRef,
+        len: u64,
+    ) -> bool {
+        let cfg = *self.cfg();
+        if cfg.design != Design::EnhancedGdr || me == from {
+            return false;
+        }
+        let same_node = self.cluster().topo().same_node(me, from);
+        if same_node {
+            if !src.is_device() && !dst.is_device() {
+                false // shm copy
+            } else {
+                len <= cfg.loopback_get_limit
+            }
+        } else if !src.is_device() {
+            true
+        } else {
+            len <= cfg.gdr_get_limit
+        }
+    }
+
+    // ---------- put ----------
+
+    /// `shmem_putmem(dest, source, len, pe)`.
+    pub(crate) fn do_put(
+        self: &Arc<Self>,
+        ctx: &TaskCtx,
+        me: ProcId,
+        dest: SymAddr,
+        src: MemRef,
+        len: u64,
+        target: ProcId,
+    ) {
+        if len == 0 {
+            return;
+        }
+        let st = self.pe_state(me);
+        st.enter_library();
+        self.drain_pending(ctx, me);
+        {
+            let mut s = st.stats.lock();
+            s.puts += 1;
+            s.bytes_put += len;
+        }
+        self.check_sym_range(dest, len);
+        let dst = self.layout().resolve(dest, target);
+        let rkey = self.layout().rkey(dest.domain, target);
+        let src_dev = src.is_device();
+        let dst_dev = dst.is_device();
+        let topo = self.cluster().topo();
+        let same_node = topo.same_node(me, target);
+        let cfg = *self.cfg();
+
+        if me == target {
+            // self-put: a local copy
+            if src_dev || dst_dev {
+                self.cuda_copy(ctx, src, dst, len);
+                self.count(me, Protocol::IpcCopy);
+            } else {
+                self.shm_copy(ctx, src, dst, len);
+                self.count(me, Protocol::ShmCopy);
+            }
+            st.leave_library();
+            return;
+        }
+
+        match cfg.design {
+            Design::Naive => {
+                assert!(
+                    !src_dev && !dst_dev,
+                    "Naive design: GPU buffers must be staged manually with cudaMemcpy \
+                     (put {} -> {dst})",
+                    src
+                );
+                if same_node {
+                    self.shm_copy(ctx, src, dst, len);
+                    self.count(me, Protocol::ShmCopy);
+                } else {
+                    self.rdma_put(ctx, me, src, rkey, dst, len);
+                    self.count(me, Protocol::HostRdma);
+                }
+            }
+            Design::HostPipeline => {
+                if same_node {
+                    match (src_dev, dst_dev) {
+                        (false, false) => {
+                            self.shm_copy(ctx, src, dst, len);
+                            self.count(me, Protocol::ShmCopy);
+                        }
+                        // GPU destination: single IPC copy
+                        (_, true) => {
+                            self.cuda_copy(ctx, src, dst, len);
+                            self.count(me, Protocol::IpcCopy);
+                        }
+                        // D-H: the unoptimized inter-domain path — stage
+                        // through own host memory, two copies.
+                        (true, false) => {
+                            self.two_copy_staged(ctx, me, src, dst, len);
+                            self.count(me, Protocol::TwoCopyStaged);
+                        }
+                    }
+                } else {
+                    match (src_dev, dst_dev) {
+                        (false, false) => {
+                            self.rdma_put(ctx, me, src, rkey, dst, len);
+                            self.count(me, Protocol::HostRdma);
+                        }
+                        (true, true) => {
+                            self.host_pipeline_put(ctx, me, src, dst, len, target);
+                            self.count(me, Protocol::HostPipelineStaged);
+                        }
+                        _ => panic!(
+                            "Host-Pipeline design does not support inter-node \
+                             H-D / D-H configurations (paper Table I)"
+                        ),
+                    }
+                }
+            }
+            Design::EnhancedGdr => {
+                if same_node {
+                    match (src_dev, dst_dev) {
+                        (false, false) => {
+                            self.shm_copy(ctx, src, dst, len);
+                            self.count(me, Protocol::ShmCopy);
+                        }
+                        (_, true) => {
+                            // D-D pays P2P caps on both ends of the
+                            // loopback: use the least threshold (§III-B)
+                            let limit = if src_dev {
+                                cfg.loopback_dd_limit.min(cfg.loopback_put_limit)
+                            } else {
+                                cfg.loopback_put_limit
+                            };
+                            if len <= limit {
+                                self.rdma_put(ctx, me, src, rkey, dst, len);
+                                self.count(me, Protocol::LoopbackGdr);
+                            } else {
+                                self.cuda_copy(ctx, src, dst, len);
+                                self.count(me, Protocol::IpcCopy);
+                            }
+                        }
+                        (true, false) => {
+                            if len <= cfg.loopback_put_limit {
+                                self.rdma_put(ctx, me, src, rkey, dst, len);
+                                self.count(me, Protocol::LoopbackGdr);
+                            } else {
+                                // shmem_ptr design (paper Fig. 3): one
+                                // cudaMemcpy D2H straight into the
+                                // target's host heap in the shared segment.
+                                self.cuda_copy(ctx, src, dst, len);
+                                self.count(me, Protocol::IpcCopy);
+                            }
+                        }
+                    }
+                } else {
+                    match (src_dev, dst_dev) {
+                        (false, false) => {
+                            self.rdma_put(ctx, me, src, rkey, dst, len);
+                            self.count(me, Protocol::HostRdma);
+                        }
+                        _ => {
+                            let dst_intra = self.mem_gpu_intra_socket(dst, target);
+                            if len <= cfg.gdr_put_limit || (!src_dev && dst_intra) {
+                                // Direct GDR (small/medium; host-source
+                                // with a clean write path: all sizes).
+                                self.rdma_put(ctx, me, src, rkey, dst, len);
+                                self.count(me, Protocol::DirectGdr);
+                            } else if dst_dev && !dst_intra {
+                                // P2P write bottleneck at the target:
+                                // stage into target host memory, proxy
+                                // performs the final H2D — still one-sided.
+                                self.proxy_put(ctx, me, src, dst, len, target);
+                                self.count(me, Protocol::ProxyPipeline);
+                            } else {
+                                // Pipeline GDR write: chunked D2H staging
+                                // + GDR RDMA writes, truly one-sided.
+                                self.pipeline_gdr_put(ctx, me, src, dst, dest.domain, len, target);
+                                self.count(me, Protocol::PipelineGdrWrite);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        st.leave_library();
+    }
+
+    // ---------- get ----------
+
+    /// `shmem_getmem(dest_local, source_sym, len, pe)`.
+    pub(crate) fn do_get(
+        self: &Arc<Self>,
+        ctx: &TaskCtx,
+        me: ProcId,
+        dst: MemRef,
+        source: SymAddr,
+        len: u64,
+        from: ProcId,
+    ) {
+        if len == 0 {
+            return;
+        }
+        let st = self.pe_state(me);
+        st.enter_library();
+        self.drain_pending(ctx, me);
+        {
+            let mut s = st.stats.lock();
+            s.gets += 1;
+            s.bytes_get += len;
+        }
+        self.check_sym_range(source, len);
+        let src = self.layout().resolve(source, from);
+        let rkey = self.layout().rkey(source.domain, from);
+        let src_dev = src.is_device();
+        let dst_dev = dst.is_device();
+        let topo = self.cluster().topo();
+        let same_node = topo.same_node(me, from);
+        let cfg = *self.cfg();
+
+        if me == from {
+            if src_dev || dst_dev {
+                self.cuda_copy(ctx, src, dst, len);
+                self.count(me, Protocol::IpcCopy);
+            } else {
+                self.shm_copy(ctx, src, dst, len);
+                self.count(me, Protocol::ShmCopy);
+            }
+            st.leave_library();
+            return;
+        }
+
+        match cfg.design {
+            Design::Naive => {
+                assert!(
+                    !src_dev && !dst_dev,
+                    "Naive design: GPU buffers must be staged manually with cudaMemcpy"
+                );
+                if same_node {
+                    self.shm_copy(ctx, src, dst, len);
+                    self.count(me, Protocol::ShmCopy);
+                } else {
+                    self.rdma_get(ctx, me, dst, rkey, src, len);
+                    self.count(me, Protocol::HostRdma);
+                }
+            }
+            Design::HostPipeline => {
+                if same_node {
+                    match (src_dev, dst_dev) {
+                        (false, false) => {
+                            self.shm_copy(ctx, src, dst, len);
+                            self.count(me, Protocol::ShmCopy);
+                        }
+                        // remote device -> local host: unoptimized
+                        // inter-domain path, two copies through staging.
+                        (true, false) => {
+                            self.two_copy_staged(ctx, me, src, dst, len);
+                            self.count(me, Protocol::TwoCopyStaged);
+                        }
+                        // single IPC copy covers D-D and host->device
+                        _ => {
+                            self.cuda_copy(ctx, src, dst, len);
+                            self.count(me, Protocol::IpcCopy);
+                        }
+                    }
+                } else {
+                    match (src_dev, dst_dev) {
+                        (false, false) => {
+                            self.rdma_get(ctx, me, dst, rkey, src, len);
+                            self.count(me, Protocol::HostRdma);
+                        }
+                        (true, true) => {
+                            self.host_pipeline_get(ctx, me, dst, src, len, from);
+                            self.count(me, Protocol::HostPipelineStaged);
+                        }
+                        _ => panic!(
+                            "Host-Pipeline design does not support inter-node \
+                             H-D / D-H configurations (paper Table I)"
+                        ),
+                    }
+                }
+            }
+            Design::EnhancedGdr => {
+                if same_node {
+                    if !src_dev && !dst_dev {
+                        self.shm_copy(ctx, src, dst, len);
+                        self.count(me, Protocol::ShmCopy);
+                    } else if len <= cfg.loopback_get_limit {
+                        self.rdma_get(ctx, me, dst, rkey, src, len);
+                        self.count(me, Protocol::LoopbackGdr);
+                    } else {
+                        // one direct CUDA copy (IPC-mapped peer / shared
+                        // segment visible to cudaMemcpy)
+                        self.cuda_copy(ctx, src, dst, len);
+                        self.count(me, Protocol::IpcCopy);
+                    }
+                } else if !src_dev {
+                    // remote host: direct RDMA read any size (the local
+                    // scatter path is the strong P2P write direction)
+                    self.rdma_get(ctx, me, dst, rkey, src, len);
+                    self.count(
+                        me,
+                        if dst_dev {
+                            Protocol::DirectGdr
+                        } else {
+                            Protocol::HostRdma
+                        },
+                    );
+                } else if len <= cfg.gdr_get_limit {
+                    self.rdma_get(ctx, me, dst, rkey, src, len);
+                    self.count(me, Protocol::DirectGdr);
+                } else if cfg.proxy_enabled && len >= cfg.proxy_get_min {
+                    // large get from remote GPU memory: remote proxy runs
+                    // the reverse pipeline, target PE never involved
+                    self.proxy_get(ctx, me, dst, src, len, from);
+                    self.count(me, Protocol::ProxyPipeline);
+                } else {
+                    // ablation fallback: chunked direct GDR reads, paying
+                    // the P2P read bottleneck
+                    self.chunked_direct_get(ctx, me, dst, rkey, src, len);
+                    self.count(me, Protocol::DirectGdr);
+                }
+            }
+        }
+        st.leave_library();
+    }
+
+    // ---------- atomic ----------
+
+    /// 64-bit fetching atomic on symmetric memory.
+    pub(crate) fn do_atomic(
+        self: &Arc<Self>,
+        ctx: &TaskCtx,
+        me: ProcId,
+        target_sym: SymAddr,
+        target: ProcId,
+        op: AtomicOp,
+    ) -> u64 {
+        let st = self.pe_state(me);
+        st.enter_library();
+        self.drain_pending(ctx, me);
+        st.stats.lock().atomics += 1;
+        if self.cfg().design != Design::EnhancedGdr && target_sym.is_gpu() {
+            panic!(
+                "{} design does not support atomics on GPU symmetric memory \
+                 (GDR hardware atomics are an Enhanced-GDR feature)",
+                self.cfg().design.name()
+            );
+        }
+        let dst = self.layout().resolve(target_sym, target);
+        let rkey = self.layout().rkey(target_sym.domain, target);
+        let res = self
+            .ib()
+            .post_atomic(ctx, me, rkey, dst, op)
+            .unwrap_or_else(|e| panic!("atomic failed: {e}"));
+        ctx.wait(&res.done);
+        self.count(me, Protocol::HwAtomic);
+        st.leave_library();
+        res.value()
+    }
+
+    /// The baseline's two-copy staged path (inter-domain intra-node):
+    /// CUDA copy into own staging, then a second copy to the final spot.
+    fn two_copy_staged(self: &Arc<Self>, ctx: &TaskCtx, me: ProcId, src: MemRef, dst: MemRef, len: u64) {
+        let off = self.alloc_staging_blocking(ctx, me, len);
+        let stg = self.layout().staging_base(me).add(off);
+        // copy 1: into staging (CUDA if either end is a device)
+        if src.is_device() {
+            self.cuda_copy(ctx, src, stg, len);
+        } else {
+            self.shm_copy(ctx, src, stg, len);
+        }
+        // copy 2: staging to destination
+        if dst.is_device() {
+            self.cuda_copy(ctx, stg, dst, len);
+        } else {
+            self.shm_copy(ctx, stg, dst, len);
+        }
+        self.pe_state(me).staging_alloc.lock().free(off, len);
+    }
+}

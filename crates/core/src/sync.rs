@@ -1,0 +1,137 @@
+//! Low-level synchronization plumbing over the per-PE sync area.
+//!
+//! The sync area (part of each PE's registered host span) holds the flag
+//! cells used by the dissemination barrier, broadcast/reduce, and
+//! `put_u64` scratch. Flag writes are real transfers: CPU stores through
+//! the shared segment node-locally, 8-byte RDMA writes across nodes.
+
+use crate::machine::ShmemMachine;
+use pcie_sim::mem::MemRef;
+use pcie_sim::ProcId;
+use sim_core::{SimDuration, TaskCtx};
+use std::sync::Arc;
+
+/// Sync-area layout (offsets within each PE's sync area).
+pub mod cells {
+    /// Dissemination-barrier round flags: 64 cells.
+    pub const BARRIER: u64 = 0;
+    /// Scratch cell backing `Pe::put_u64`.
+    pub const SCRATCH: u64 = 512;
+    /// Broadcast round flags: 64 cells.
+    pub const BCAST: u64 = 1024;
+    /// Per-source reduce arrival flags: `8 * npes` bytes.
+    pub const REDUCE_FLAGS: u64 = 2048;
+    /// Reduce data slots: `SLOT * npes` bytes.
+    pub const REDUCE_DATA: u64 = 4096;
+    /// Bytes per reduce data slot (max reduce payload per PE).
+    pub const SLOT: u64 = 256;
+    /// Per-source fcollect/alltoall arrival flags: `8 * npes` bytes.
+    pub const COLL_FLAGS: u64 = 24 << 10;
+    /// Mirror scratch area for flag writes (one cell per flag cell).
+    pub const FLAG_SCRATCH: u64 = 32 << 10;
+}
+
+impl ShmemMachine {
+    /// The scratch cell backing `put_u64` for `pe`.
+    pub(crate) fn sync_scratch(&self, pe: ProcId) -> MemRef {
+        self.layout().sync_base(pe).add(cells::SCRATCH)
+    }
+
+    /// Address of a sync cell on `pe`.
+    pub(crate) fn sync_cell(&self, pe: ProcId, off: u64) -> MemRef {
+        debug_assert!(off + 8 <= crate::layout::SYNC_AREA);
+        self.layout().sync_base(pe).add(off)
+    }
+
+    /// Write a u64 flag into `target`'s sync cell. A CPU store through
+    /// the shared segment node-locally; an 8-byte RDMA write otherwise.
+    /// Fire-and-forget: visibility at the modelled arrival time.
+    pub(crate) fn sync_flag_put(
+        self: &Arc<Self>,
+        ctx: &TaskCtx,
+        me: ProcId,
+        target: ProcId,
+        cell_off: u64,
+        value: u64,
+    ) {
+        let dst = self.sync_cell(target, cell_off);
+        let topo = self.cluster().topo();
+        if topo.same_node(me, target) {
+            // store forwarded through the coherence fabric
+            ctx.advance(SimDuration::from_ns(120));
+            self.cluster()
+                .mem()
+                .get(dst.space)
+                .expect("sync segment")
+                .write_u64(dst.offset, value)
+                .expect("sync flag write");
+        } else {
+            // stage the value in my mirror scratch cell, RDMA it over
+            let scratch = self.sync_cell(me, cells::FLAG_SCRATCH + cell_off);
+            self.cluster()
+                .mem()
+                .get(scratch.space)
+                .expect("sync segment")
+                .write_u64(scratch.offset, value)
+                .expect("sync scratch write");
+            let rkey = self.layout().host_rkey(target);
+            let comp = self
+                .ib()
+                .post_rdma_write(ctx, me, scratch, rkey, dst, 8)
+                .expect("sync flag rdma");
+            // local completion is cheap to wait and keeps scratch reuse safe
+            ctx.wait(&comp.local);
+        }
+    }
+
+    /// Copy `len` bytes from a registered local buffer into `target`'s
+    /// sync area (reduce data slots).
+    pub(crate) fn sync_data_put(
+        self: &Arc<Self>,
+        ctx: &TaskCtx,
+        me: ProcId,
+        target: ProcId,
+        cell_off: u64,
+        src: MemRef,
+        len: u64,
+    ) {
+        let dst = self.sync_cell(target, cell_off);
+        let topo = self.cluster().topo();
+        if topo.same_node(me, target) {
+            self.shm_copy(ctx, src, dst, len);
+        } else {
+            self.ensure_registered(ctx, me, src, len);
+            let rkey = self.layout().host_rkey(target);
+            let comp = self
+                .ib()
+                .post_rdma_write(ctx, me, src, rkey, dst, len)
+                .expect("sync data rdma");
+            ctx.wait(&comp.local);
+            self.pe_state(me).track(comp.remote);
+        }
+    }
+
+    /// Poll a local sync cell until `pred(value)` holds, with exponential
+    /// backoff (poll_interval up to 2us) so long waits stay cheap in
+    /// event count while the timing error stays bounded.
+    pub(crate) fn sync_wait(
+        self: &Arc<Self>,
+        ctx: &TaskCtx,
+        me: ProcId,
+        cell_off: u64,
+        pred: impl Fn(u64) -> bool,
+    ) {
+        let cell = self.sync_cell(me, cell_off);
+        let arena = self.cluster().mem().get(cell.space).expect("sync segment");
+        let mut interval = self.poll_interval();
+        let cap = SimDuration::from_us(2);
+        loop {
+            self.drain_pending(ctx, me);
+            if pred(arena.read_u64(cell.offset).expect("sync flag read")) {
+                return;
+            }
+            ctx.advance(interval);
+            interval = (interval * 2).min(cap);
+        }
+    }
+}

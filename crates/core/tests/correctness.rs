@@ -1,0 +1,262 @@
+//! Data-integrity matrix: every design × configuration × locality × size.
+//!
+//! Every put/get must deliver byte-exact payloads regardless of which
+//! protocol path (shm, IPC, loopback GDR, direct GDR, pipelines, proxy)
+//! services it.
+
+use pcie_sim::ClusterSpec;
+use shmem_gdr::{Design, Domain, RuntimeConfig, ShmemMachine};
+
+/// Deterministic, size- and seed-dependent payload.
+fn payload(len: usize, seed: u64) -> Vec<u8> {
+    (0..len)
+        .map(|i| (seed.wrapping_mul(31).wrapping_add(i as u64).wrapping_mul(2654435761) >> 16) as u8)
+        .collect()
+}
+
+fn spec_for(intra: bool) -> ClusterSpec {
+    if intra {
+        ClusterSpec::intranode_pair()
+    } else {
+        ClusterSpec::internode_pair()
+    }
+}
+
+/// Run one put + one get round-trip for a (design, locality, domains, size)
+/// combination and verify the bytes.
+fn check_combo(design: Design, intra: bool, src_gpu: bool, dst_gpu: bool, len: usize) {
+    let m = ShmemMachine::build(spec_for(intra), RuntimeConfig::tuned(design));
+    let src_domain = if src_gpu { Domain::Gpu } else { Domain::Host };
+    let dst_domain = if dst_gpu { Domain::Gpu } else { Domain::Host };
+    let data = payload(len, len as u64 + intra as u64);
+    let data2 = data.clone();
+    m.run(move |pe| {
+        // symmetric objects: source-side buffer and destination buffer
+        let dest = pe.shmalloc(len as u64 + 64, dst_domain);
+        let src_sym = pe.shmalloc(len as u64 + 64, src_domain);
+        if pe.my_pe() == 0 {
+            pe.write_raw(pe.addr_of(src_sym, 0), &data2);
+            // ---- put: pe0 (src domain) -> pe1 (dst domain)
+            pe.putmem_sym(dest, src_sym, len as u64, 1);
+            pe.quiet();
+        }
+        pe.barrier_all();
+        if pe.my_pe() == 1 {
+            let got = pe.read_raw(pe.addr_of(dest, 1), len as u64);
+            assert_eq!(got, data2, "put corrupted payload");
+            // scribble a derived pattern for the get check
+            let derived: Vec<u8> = data2.iter().map(|b| b.wrapping_add(13)).collect();
+            pe.write_raw(pe.addr_of(dest, 1), &derived);
+        }
+        pe.barrier_all();
+        if pe.my_pe() == 0 {
+            // ---- get: read pe1's dest (dst domain) into local src-domain memory
+            let local = pe.addr_of(src_sym, 0);
+            pe.getmem(local, dest, len as u64, 1);
+            let got = pe.read_raw(local, len as u64);
+            let expect: Vec<u8> = data2.iter().map(|b| b.wrapping_add(13)).collect();
+            assert_eq!(got, expect, "get corrupted payload");
+        }
+        pe.barrier_all();
+    });
+}
+
+const SIZES: &[usize] = &[1, 4, 8, 1000, 4096, 65536, 1 << 20, 3 << 20];
+
+#[test]
+fn enhanced_gdr_intranode_all_configs_all_sizes() {
+    for &(s, d) in &[(false, false), (false, true), (true, false), (true, true)] {
+        for &len in SIZES {
+            check_combo(Design::EnhancedGdr, true, s, d, len);
+        }
+    }
+}
+
+#[test]
+fn enhanced_gdr_internode_all_configs_all_sizes() {
+    for &(s, d) in &[(false, false), (false, true), (true, false), (true, true)] {
+        for &len in SIZES {
+            check_combo(Design::EnhancedGdr, false, s, d, len);
+        }
+    }
+}
+
+#[test]
+fn host_pipeline_intranode_all_configs_all_sizes() {
+    for &(s, d) in &[(false, false), (false, true), (true, false), (true, true)] {
+        for &len in SIZES {
+            check_combo(Design::HostPipeline, true, s, d, len);
+        }
+    }
+}
+
+#[test]
+fn host_pipeline_internode_supported_configs() {
+    // inter-node: the baseline supports H-H and D-D only (paper Table I)
+    for &(s, d) in &[(false, false), (true, true)] {
+        for &len in SIZES {
+            check_combo(Design::HostPipeline, false, s, d, len);
+        }
+    }
+}
+
+#[test]
+fn naive_host_to_host_both_localities() {
+    for intra in [true, false] {
+        for &len in SIZES {
+            check_combo(Design::Naive, intra, false, false, len);
+        }
+    }
+}
+
+#[test]
+fn naive_design_rejects_device_buffers() {
+    let m = ShmemMachine::build(
+        ClusterSpec::internode_pair(),
+        RuntimeConfig::tuned(Design::Naive),
+    );
+    let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        m.run(|pe| {
+            let dest = pe.shmalloc(256, Domain::Gpu);
+            if pe.my_pe() == 0 {
+                let src = pe.malloc_host(256);
+                pe.putmem(dest, src, 64, 1);
+            }
+        });
+    }));
+    assert!(r.is_err(), "Naive design must refuse GPU buffers");
+}
+
+#[test]
+fn host_pipeline_rejects_internode_inter_domain() {
+    let m = ShmemMachine::build(
+        ClusterSpec::internode_pair(),
+        RuntimeConfig::tuned(Design::HostPipeline),
+    );
+    let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        m.run(|pe| {
+            let dest = pe.shmalloc(256, Domain::Gpu);
+            if pe.my_pe() == 0 {
+                let src = pe.malloc_host(256);
+                pe.putmem(dest, src, 64, 1); // H-D inter-node: unsupported
+            }
+        });
+    }));
+    assert!(r.is_err());
+}
+
+#[test]
+fn naive_with_manual_staging_matches_enhanced_results() {
+    // What a Naive user must write by hand: cudaMemcpy D2H, put H-H,
+    // then the *target* cudaMemcpy H2D after synchronization.
+    let m = ShmemMachine::build(
+        ClusterSpec::internode_pair(),
+        RuntimeConfig::tuned(Design::Naive),
+    );
+    let data = payload(4096, 7);
+    let d2 = data.clone();
+    m.run(move |pe| {
+        let host_sym = pe.shmalloc(8192, Domain::Host);
+        let dev = pe.malloc_dev(8192);
+        if pe.my_pe() == 0 {
+            pe.write_raw(dev, &d2);
+            let bounce = pe.malloc_host(8192);
+            pe.cuda_memcpy(dev, bounce, 4096); // D2H
+            pe.putmem(host_sym, bounce, 4096, 1); // H-H
+            pe.quiet();
+        }
+        pe.barrier_all();
+        if pe.my_pe() == 1 {
+            pe.cuda_memcpy(pe.addr_of(host_sym, 1), dev, 4096); // H2D
+            assert_eq!(pe.read_raw(dev, 4096), d2);
+        }
+    });
+}
+
+#[test]
+fn self_put_and_get_work_in_all_domains() {
+    let m = ShmemMachine::build(
+        ClusterSpec::internode_pair(),
+        RuntimeConfig::tuned(Design::EnhancedGdr),
+    );
+    m.run(|pe| {
+        let me = pe.my_pe();
+        for domain in [Domain::Host, Domain::Gpu] {
+            let sym = pe.shmalloc(1024, domain);
+            let local = pe.malloc_host(1024);
+            pe.write_raw(local, &payload(512, me as u64));
+            pe.putmem(sym, local, 512, me);
+            pe.quiet();
+            let back = pe.malloc_host(1024);
+            pe.getmem(back, sym, 512, me);
+            assert_eq!(pe.read_raw(back, 512), payload(512, me as u64));
+        }
+    });
+}
+
+#[test]
+fn zero_length_ops_are_noops() {
+    let m = ShmemMachine::build(
+        ClusterSpec::internode_pair(),
+        RuntimeConfig::tuned(Design::EnhancedGdr),
+    );
+    m.run(|pe| {
+        let sym = pe.shmalloc(64, Domain::Gpu);
+        if pe.my_pe() == 0 {
+            let local = pe.malloc_host(64);
+            let t0 = pe.now();
+            pe.putmem(sym, local, 0, 1);
+            pe.getmem(local, sym, 0, 1);
+            assert_eq!(pe.now(), t0, "zero-length ops must cost nothing");
+        }
+        pe.barrier_all();
+    });
+}
+
+#[test]
+fn many_outstanding_puts_then_quiet() {
+    let m = ShmemMachine::build(
+        ClusterSpec::internode_pair(),
+        RuntimeConfig::tuned(Design::EnhancedGdr),
+    );
+    m.run(|pe| {
+        let sym = pe.shmalloc(64 * 512, Domain::Gpu);
+        if pe.my_pe() == 0 {
+            let local = pe.malloc_host(64 * 512);
+            for i in 0..512u64 {
+                pe.write_raw(local.add(i * 64), &payload(64, i));
+                pe.putmem(sym.add(i * 64), local.add(i * 64), 64, 1);
+            }
+            pe.quiet();
+        }
+        pe.barrier_all();
+        if pe.my_pe() == 1 {
+            for i in 0..512u64 {
+                let got = pe.read_raw(pe.addr_of(sym, 1).add(i * 64), 64);
+                assert_eq!(got, payload(64, i), "slot {i}");
+            }
+        }
+    });
+}
+
+#[test]
+fn cross_socket_placement_still_correct() {
+    use shmem_gdr::PlacementPolicy;
+    let spec = ClusterSpec::internode_pair().with_placement(PlacementPolicy::CrossSocket);
+    let m = ShmemMachine::build(spec, RuntimeConfig::tuned(Design::EnhancedGdr));
+    let data = payload(2 << 20, 99);
+    let d2 = data.clone();
+    m.run(move |pe| {
+        let dest = pe.shmalloc(2 << 20, Domain::Gpu);
+        if pe.my_pe() == 0 {
+            let src = pe.malloc_dev(2 << 20);
+            pe.write_raw(src, &d2);
+            pe.putmem(dest, src, 2 << 20, 1);
+            pe.quiet();
+        }
+        pe.barrier_all();
+        if pe.my_pe() == 1 {
+            assert_eq!(pe.read_raw(pe.addr_of(dest, 1), 2 << 20), d2);
+        }
+    });
+}

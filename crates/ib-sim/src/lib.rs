@@ -1,0 +1,447 @@
+//! # ib-sim — InfiniBand-like fabric with GPUDirect RDMA
+//!
+//! The network substrate of the reproduction: HCAs with modelled WQE and
+//! DMA timing, memory registration with lkey/rkey protection (device-mem
+//! MRs == GDR), one-sided RDMA write/read, 64-bit hardware atomics, and
+//! two-sided send/recv. Payloads really move between arenas; transfer
+//! schedules honour the PCIe P2P caps of the paper's Table III.
+
+pub mod hca;
+pub mod mr;
+pub mod sendrecv;
+pub mod verbs;
+
+pub use hca::{Hca, HcaStats};
+pub use mr::{Lkey, MemoryRegion, MrError, MrTable, Rkey};
+pub use sendrecv::{QpTable, SendRecvError};
+pub use verbs::{AtomicOp, AtomicResult, RdmaCompletion};
+
+use gpu_sim::GpuRuntime;
+use pcie_sim::mem::MemRef;
+use pcie_sim::{Cluster, HcaId, ProcId};
+use sim_core::{Sim, TaskCtx};
+use std::sync::Arc;
+
+/// The fabric: every HCA in the cluster plus the MR and QP tables.
+pub struct IbVerbs {
+    sim: Sim,
+    cluster: Arc<Cluster>,
+    gpus: Arc<GpuRuntime>,
+    hcas: Vec<Hca>,
+    mrs: MrTable,
+    qps: QpTable,
+}
+
+impl IbVerbs {
+    pub fn new(sim: &Sim, gpus: Arc<GpuRuntime>) -> Arc<IbVerbs> {
+        let cluster = gpus.cluster().clone();
+        let hcas = (0..cluster.topo().nhcas())
+            .map(|i| Hca::new(HcaId(i as u32), &cluster.hw().ib))
+            .collect();
+        Arc::new(IbVerbs {
+            sim: sim.clone(),
+            cluster,
+            gpus,
+            hcas,
+            mrs: MrTable::new(),
+            qps: QpTable::new(),
+        })
+    }
+
+    pub fn sim(&self) -> &Sim {
+        &self.sim
+    }
+
+    pub fn cluster(&self) -> &Arc<Cluster> {
+        &self.cluster
+    }
+
+    pub fn gpus(&self) -> &Arc<GpuRuntime> {
+        &self.gpus
+    }
+
+    pub fn hca(&self, id: HcaId) -> &Hca {
+        &self.hcas[id.index()]
+    }
+
+    pub fn hcas(&self) -> &[Hca] {
+        &self.hcas
+    }
+
+    pub fn mrs(&self) -> &MrTable {
+        &self.mrs
+    }
+
+    pub(crate) fn qps(&self) -> &QpTable {
+        &self.qps
+    }
+
+    /// Register memory, charging the (cold) registration cost to the
+    /// calling PE. Higher layers add a registration *cache* on top, as
+    /// MVAPICH2-X does (paper §III-A).
+    pub fn reg_mr(
+        self: &Arc<Self>,
+        ctx: &TaskCtx,
+        owner: ProcId,
+        base: MemRef,
+        len: u64,
+    ) -> MemoryRegion {
+        let ib = &self.cluster.hw().ib;
+        let pages = len.div_ceil(ib.reg_page_bytes).max(1);
+        ctx.advance(ib.reg_base_cost + ib.reg_page_cost * pages);
+        self.reg_mr_nocost(owner, base, len)
+    }
+
+    /// Register memory without charging time (initialization-time setup
+    /// whose cost is accounted by the caller, and tests).
+    pub fn reg_mr_nocost(&self, owner: ProcId, base: MemRef, len: u64) -> MemoryRegion {
+        // the arena must exist and cover the range
+        let arena = self
+            .cluster
+            .mem()
+            .get(base.space)
+            .unwrap_or_else(|e| panic!("registering unmapped memory: {e}"));
+        assert!(
+            base.offset + len <= arena.size(),
+            "MR [{}+{len}) beyond arena size {}",
+            base,
+            arena.size()
+        );
+        self.mrs.insert(owner, base, len)
+    }
+
+    pub fn dereg_mr(&self, mr: &MemoryRegion) {
+        self.mrs.dereg(mr);
+    }
+}
+
+impl std::fmt::Debug for IbVerbs {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "IbVerbs({} hcas, {} MRs)",
+            self.hcas.len(),
+            self.mrs.len()
+        )
+    }
+}
+
+/// Test helper: build a Wilkes-like fabric with host arenas mapped.
+#[doc(hidden)]
+pub mod testutil {
+    use super::*;
+    use pcie_sim::{ClusterSpec, HwProfile};
+
+    pub fn fabric(nodes: usize, ppn: usize) -> (Sim, Arc<IbVerbs>) {
+        let sim = Sim::new();
+        let cluster = Cluster::new(ClusterSpec::wilkes(nodes, ppn), HwProfile::wilkes());
+        for p in cluster.topo().all_procs() {
+            cluster.create_host_arena(p, 16 << 20);
+        }
+        let gpus = GpuRuntime::new(&sim, cluster, 16 << 20);
+        let ib = IbVerbs::new(&sim, gpus);
+        (sim, ib)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::testutil::fabric;
+    use super::*;
+    use pcie_sim::mem::{MemRef, MemSpace};
+    use pcie_sim::GpuId;
+    
+
+    #[test]
+    fn rdma_write_host_to_host_internode() {
+        let (sim, ib) = fabric(2, 1);
+        // register both sides before the run so rkeys are known
+        let src = MemRef::new(MemSpace::Host(ProcId(0)), 0);
+        let dst = MemRef::new(MemSpace::Host(ProcId(1)), 128);
+        ib.reg_mr_nocost(ProcId(0), src, 4096);
+        let mr1 = ib.reg_mr_nocost(ProcId(1), MemRef::new(MemSpace::Host(ProcId(1)), 0), 4096);
+        let ib2 = ib.clone();
+        sim.run(1, move |ctx| {
+            ib2.cluster().mem().write_bytes(src, b"rdma-bytes").unwrap();
+            let comp = ib2
+                .post_rdma_write(&ctx, ProcId(0), src, mr1.rkey, dst, 10)
+                .unwrap();
+            ctx.wait(&comp.remote);
+            assert_eq!(
+                ib2.cluster().mem().read_bytes(dst, 10).unwrap(),
+                b"rdma-bytes"
+            );
+        });
+    }
+
+    #[test]
+    fn rdma_write_rejects_bad_rkey_and_bounds() {
+        let (sim, ib) = fabric(2, 1);
+        let ib2 = ib.clone();
+        sim.run(1, move |ctx| {
+            let me = ProcId(0);
+            let mine = MemRef::new(MemSpace::Host(me), 0);
+            let mr0 = ib2.reg_mr_nocost(me, mine, 1024);
+            let peer = MemRef::new(MemSpace::Host(ProcId(1)), 0);
+            let mr1 = ib2.reg_mr_nocost(ProcId(1), peer, 1024);
+            // bad rkey
+            let e = ib2
+                .post_rdma_write(&ctx, me, mine, Rkey(9999), peer, 8)
+                .unwrap_err();
+            assert!(matches!(e, MrError::InvalidRkey(_)));
+            // out of MR bounds
+            let e = ib2
+                .post_rdma_write(&ctx, me, mine, mr1.rkey, peer.add(1020), 16)
+                .unwrap_err();
+            assert!(matches!(e, MrError::ProtectionFault { .. }));
+            // unregistered local source
+            let high = MemRef::new(MemSpace::Host(me), 900_000);
+            let e = ib2
+                .post_rdma_write(&ctx, me, high, mr1.rkey, peer, 8)
+                .unwrap_err();
+            assert!(matches!(e, MrError::NotRegistered { .. }));
+            let _ = mr0;
+        });
+    }
+
+    #[test]
+    fn gdr_write_lands_in_device_memory() {
+        let (sim, ib) = fabric(2, 1);
+        let ib2 = ib.clone();
+        sim.run(1, move |ctx| {
+            let me = ProcId(0);
+            let src = MemRef::new(MemSpace::Host(me), 0);
+            ib2.reg_mr_nocost(me, src, 4096);
+            // register pe1's GPU buffer: GDR
+            let dev = ib2.gpus().gpu(GpuId(2)).malloc(4096).unwrap(); // node1 gpu
+            let mr = ib2.reg_mr_nocost(ProcId(1), dev, 4096);
+            assert!(mr.is_gdr());
+            ib2.cluster().mem().write_bytes(src, &[0x5A; 64]).unwrap();
+            let comp = ib2
+                .post_rdma_write(&ctx, me, src, mr.rkey, dev, 64)
+                .unwrap();
+            ctx.wait(&comp.remote);
+            assert!(ib2
+                .cluster()
+                .mem()
+                .read_bytes(dev, 64)
+                .unwrap()
+                .iter()
+                .all(|&b| b == 0x5A));
+        });
+    }
+
+    #[test]
+    fn rdma_read_pulls_remote_device_data() {
+        let (sim, ib) = fabric(2, 1);
+        let ib2 = ib.clone();
+        sim.run(1, move |ctx| {
+            let me = ProcId(0);
+            let dst = MemRef::new(MemSpace::Host(me), 0);
+            ib2.reg_mr_nocost(me, dst, 4096);
+            let dev = ib2.gpus().gpu(GpuId(2)).malloc(4096).unwrap();
+            let mr = ib2.reg_mr_nocost(ProcId(1), dev, 4096);
+            ib2.cluster().mem().write_bytes(dev, &[0xC3; 128]).unwrap();
+            let done = ib2
+                .post_rdma_read(&ctx, me, dst, mr.rkey, dev, 128)
+                .unwrap();
+            ctx.wait(&done);
+            assert!(ib2
+                .cluster()
+                .mem()
+                .read_bytes(dst, 128)
+                .unwrap()
+                .iter()
+                .all(|&b| b == 0xC3));
+        });
+    }
+
+    #[test]
+    fn small_gdr_write_latency_is_near_paper_number() {
+        // Inter-node D-D 8 B put ~ 3.13us at the OpenSHMEM level; the raw
+        // verb should be slightly below that (runtime overhead comes later).
+        let (sim, ib) = fabric(2, 1);
+        let ib2 = ib.clone();
+        sim.run(1, move |ctx| {
+            let me = ProcId(0);
+            let src_dev = ib2.gpus().gpu(GpuId(0)).malloc(4096).unwrap();
+            ib2.reg_mr_nocost(me, src_dev, 4096);
+            let dst_dev = ib2.gpus().gpu(GpuId(2)).malloc(4096).unwrap();
+            let mr = ib2.reg_mr_nocost(ProcId(1), dst_dev, 4096);
+            let t0 = ctx.now();
+            let comp = ib2
+                .post_rdma_write(&ctx, me, src_dev, mr.rkey, dst_dev, 8)
+                .unwrap();
+            ctx.wait(&comp.remote);
+            let lat = (ctx.now() - t0).as_us_f64();
+            assert!((1.5..3.2).contains(&lat), "raw GDR D-D latency {lat}us");
+        });
+    }
+
+    #[test]
+    fn atomics_fetch_add_and_cswap() {
+        let (sim, ib) = fabric(2, 1);
+        let ib2 = ib.clone();
+        sim.run(1, move |ctx| {
+            let me = ProcId(0);
+            let local = MemRef::new(MemSpace::Host(me), 0);
+            ib2.reg_mr_nocost(me, local, 64);
+            let peer = MemRef::new(MemSpace::Host(ProcId(1)), 0);
+            let mr = ib2.reg_mr_nocost(ProcId(1), peer, 64);
+            ib2.cluster()
+                .mem()
+                .get(peer.space)
+                .unwrap()
+                .write_u64(0, 100)
+                .unwrap();
+
+            let r = ib2
+                .post_atomic(&ctx, me, mr.rkey, peer, AtomicOp::FetchAdd(5))
+                .unwrap();
+            ctx.wait(&r.done);
+            assert_eq!(r.value(), 100);
+            let arena = ib2.cluster().mem().get(peer.space).unwrap();
+            assert_eq!(arena.read_u64(0).unwrap(), 105);
+
+            // successful compare-and-swap
+            let r = ib2
+                .post_atomic(
+                    &ctx,
+                    me,
+                    mr.rkey,
+                    peer,
+                    AtomicOp::CompareSwap {
+                        compare: 105,
+                        swap: 7,
+                    },
+                )
+                .unwrap();
+            ctx.wait(&r.done);
+            assert_eq!(r.value(), 105);
+            assert_eq!(arena.read_u64(0).unwrap(), 7);
+
+            // failing compare-and-swap leaves memory untouched
+            let r = ib2
+                .post_atomic(
+                    &ctx,
+                    me,
+                    mr.rkey,
+                    peer,
+                    AtomicOp::CompareSwap {
+                        compare: 999,
+                        swap: 1,
+                    },
+                )
+                .unwrap();
+            ctx.wait(&r.done);
+            assert_eq!(r.value(), 7);
+            assert_eq!(arena.read_u64(0).unwrap(), 7);
+        });
+    }
+
+    #[test]
+    fn concurrent_fetch_adds_are_linearizable() {
+        let (sim, ib) = fabric(2, 2);
+        let peer = MemRef::new(MemSpace::Host(ProcId(3)), 0);
+        let mr = ib.reg_mr_nocost(ProcId(3), peer, 64);
+        let rkey = mr.rkey;
+        let ib3 = ib.clone();
+        sim.run(3, move |ctx| {
+            let me = ProcId(ctx.id().0 as u32);
+            let local = MemRef::new(MemSpace::Host(me), 0);
+            ib3.reg_mr_nocost(me, local, 64);
+            for _ in 0..10 {
+                let r = ib3
+                    .post_atomic(&ctx, me, rkey, peer, AtomicOp::FetchAdd(1))
+                    .unwrap();
+                ctx.wait(&r.done);
+            }
+        });
+        let arena = ib.cluster().mem().get(peer.space).unwrap();
+        assert_eq!(arena.read_u64(0).unwrap(), 30);
+    }
+
+    #[test]
+    fn loopback_write_is_faster_than_internode() {
+        let (sim, ib) = fabric(2, 2);
+        let ib2 = ib.clone();
+        sim.run(1, move |ctx| {
+            let me = ProcId(0);
+            let mine = MemRef::new(MemSpace::Host(me), 0);
+            ib2.reg_mr_nocost(me, mine, 4096);
+            // intra-node target: pe1; inter-node target: pe2
+            let near = MemRef::new(MemSpace::Host(ProcId(1)), 0);
+            let far = MemRef::new(MemSpace::Host(ProcId(2)), 0);
+            let mr_near = ib2.reg_mr_nocost(ProcId(1), near, 4096);
+            let mr_far = ib2.reg_mr_nocost(ProcId(2), far, 4096);
+
+            let t0 = ctx.now();
+            let c = ib2
+                .post_rdma_write(&ctx, me, mine, mr_near.rkey, near, 8)
+                .unwrap();
+            ctx.wait(&c.remote);
+            let lat_near = ctx.now() - t0;
+
+            let t1 = ctx.now();
+            let c = ib2
+                .post_rdma_write(&ctx, me, mine, mr_far.rkey, far, 8)
+                .unwrap();
+            ctx.wait(&c.remote);
+            let lat_far = ctx.now() - t1;
+            assert!(lat_near < lat_far, "near {lat_near} far {lat_far}");
+        });
+    }
+
+    #[test]
+    fn registration_cost_scales_with_pages() {
+        let (sim, ib) = fabric(1, 1);
+        let ib2 = ib.clone();
+        sim.run(1, move |ctx| {
+            let me = ProcId(0);
+            let mine = MemRef::new(MemSpace::Host(me), 0);
+            let t0 = ctx.now();
+            ib2.reg_mr(&ctx, me, mine, 4096);
+            let one_page = ctx.now() - t0;
+            let t1 = ctx.now();
+            ib2.reg_mr(&ctx, me, mine.add(4096), 64 * 4096);
+            let many = ctx.now() - t1;
+            assert!(
+                many > one_page,
+                "64-page reg not slower: {many} vs {one_page}"
+            );
+        });
+    }
+
+    #[test]
+    fn writes_on_one_path_complete_in_order() {
+        // FIFO TX serialization => remote completion order matches post
+        // order for a same-QP-path pair (needed by fence semantics).
+        let (sim, ib) = fabric(2, 1);
+        let src = MemRef::new(MemSpace::Host(ProcId(0)), 0);
+        let dst = MemRef::new(MemSpace::Host(ProcId(1)), 0);
+        ib.reg_mr_nocost(ProcId(0), src, 1 << 20);
+        let mr = ib.reg_mr_nocost(ProcId(1), dst, 1 << 20);
+        let ib2 = ib.clone();
+        sim.run(1, move |ctx| {
+            // big write then tiny write to adjacent cell
+            ib2.cluster().mem().write_bytes(src, &[1; 1 << 19]).unwrap();
+            ib2.cluster().mem().write_bytes(src.add(1 << 19), &[2; 8]).unwrap();
+            let c1 = ib2
+                .post_rdma_write(&ctx, ProcId(0), src, mr.rkey, dst, 1 << 19)
+                .unwrap();
+            let c2 = ib2
+                .post_rdma_write(
+                    &ctx,
+                    ProcId(0),
+                    src.add(1 << 19),
+                    mr.rkey,
+                    dst.add(1 << 19),
+                    8,
+                )
+                .unwrap();
+            ctx.wait(&c2.remote);
+            // If the tiny write is visible, the big one must be too.
+            assert!(c1.remote.is_done(1), "FIFO ordering violated");
+        });
+    }
+}

@@ -1,0 +1,139 @@
+//! Threshold auto-tuning: derive the hybrid-protocol switch points by
+//! probing the machine, the way MVAPICH2-X ships pre-tuned tables per
+//! platform. Sweeps each protocol pair over message sizes on a probe
+//! pair of PEs and places the threshold at the measured crossover.
+
+use crate::latency::put_latency;
+use crate::Config;
+use shmem_gdr::{Design, RuntimeConfig};
+
+/// Result of a tuning pass.
+#[derive(Clone, Copy, Debug)]
+pub struct Tuned {
+    pub loopback_put_limit: u64,
+    pub loopback_dd_limit: u64,
+    pub gdr_put_limit: u64,
+    pub config: RuntimeConfig,
+}
+
+/// Find the largest probed size where protocol A (forced by `lo_cfg`)
+/// still beats protocol B (forced by `hi_cfg`).
+fn crossover(
+    lo_cfg: RuntimeConfig,
+    hi_cfg: RuntimeConfig,
+    intra: bool,
+    config: Config,
+    probe_sizes: &[u64],
+) -> u64 {
+    let mut last_winner = 0;
+    for &b in probe_sizes {
+        let lo = put_latency(Design::EnhancedGdr, lo_cfg, intra, config, b).usec;
+        let hi = put_latency(Design::EnhancedGdr, hi_cfg, intra, config, b).usec;
+        if lo <= hi {
+            last_winner = b;
+        } else {
+            break;
+        }
+    }
+    last_winner
+}
+
+/// Probe the machine and return thresholds placed at the measured
+/// crossovers (rounded up to the next power of two).
+pub fn autotune(base: RuntimeConfig) -> Tuned {
+    let probe: Vec<u64> = (0..12).map(|i| 256u64 << i).collect(); // 256 B – 512 KiB
+    let probe_big: Vec<u64> = (0..15).map(|i| 256u64 << i).collect(); // … – 4 MiB
+
+    // loopback-vs-IPC for H-D: force loopback always vs never
+    let mut always = base;
+    always.loopback_put_limit = u64::MAX;
+    always.loopback_dd_limit = u64::MAX;
+    let mut never = base;
+    never.loopback_put_limit = 0;
+    never.loopback_dd_limit = 0;
+    let hd = crossover(always, never, true, Config::HD, &probe);
+    let dd = crossover(always, never, true, Config::DD, &probe);
+
+    // direct-GDR vs pipeline for inter-node D-D puts
+    let mut direct = base;
+    direct.gdr_put_limit = u64::MAX;
+    let mut pipe = base;
+    pipe.gdr_put_limit = 0;
+    let gdr = crossover(direct, pipe, false, Config::DD, &probe_big);
+
+    let round_pow2 = |v: u64| v.max(256).next_power_of_two();
+    let mut config = base;
+    config.loopback_put_limit = round_pow2(hd);
+    config.loopback_dd_limit = round_pow2(dd);
+    config.gdr_put_limit = round_pow2(gdr);
+    Tuned {
+        loopback_put_limit: config.loopback_put_limit,
+        loopback_dd_limit: config.loopback_dd_limit,
+        gdr_put_limit: config.gdr_put_limit,
+        config,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn autotuned_thresholds_land_near_the_shipped_defaults() {
+        let base = RuntimeConfig::tuned(Design::EnhancedGdr);
+        let t = autotune(base);
+        // within a factor of 4 of the hand-tuned values
+        let near = |got: u64, want: u64| got >= want / 4 && got <= want * 4;
+        assert!(
+            near(t.loopback_put_limit, base.loopback_put_limit),
+            "H-D loopback: tuned {} vs default {}",
+            t.loopback_put_limit,
+            base.loopback_put_limit
+        );
+        assert!(
+            near(t.loopback_dd_limit, base.loopback_dd_limit),
+            "D-D loopback: tuned {} vs default {}",
+            t.loopback_dd_limit,
+            base.loopback_dd_limit
+        );
+        // The direct/pipeline crossover in this bandwidth-only model
+        // sits higher than MVAPICH's conservative hardware default;
+        // what matters is that the tuned config is never slower than
+        // the shipped one at any probe size.
+        use crate::latency::put_latency as pl;
+        for b in [8u64 << 10, 128 << 10, 1 << 20, 4 << 20] {
+            let tuned = pl(Design::EnhancedGdr, t.config, false, Config::DD, b).usec;
+            let dflt = pl(Design::EnhancedGdr, base, false, Config::DD, b).usec;
+            assert!(
+                tuned <= dflt * 1.02,
+                "tuned config slower at {b}B: {tuned:.1} vs {dflt:.1}"
+            );
+        }
+        // D-D threshold must be the least (paper §III-B)
+        assert!(t.loopback_dd_limit <= t.loopback_put_limit);
+    }
+
+    #[test]
+    fn autotuned_config_still_passes_correctness() {
+        use pcie_sim::ClusterSpec;
+        use shmem_gdr::{Domain, ShmemMachine};
+        let t = autotune(RuntimeConfig::tuned(Design::EnhancedGdr));
+        let m = ShmemMachine::build(ClusterSpec::internode_pair(), t.config);
+        m.run(|pe| {
+            let d = pe.shmalloc(1 << 20, Domain::Gpu);
+            if pe.my_pe() == 0 {
+                let s = pe.malloc_dev(1 << 20);
+                pe.write_raw(s, &vec![0x6B; 1 << 20]);
+                pe.putmem(d, s, 1 << 20, 1);
+                pe.quiet();
+            }
+            pe.barrier_all();
+            if pe.my_pe() == 1 {
+                assert!(pe
+                    .read_raw(pe.addr_of(d, 1), 1 << 20)
+                    .iter()
+                    .all(|&b| b == 0x6B));
+            }
+        });
+    }
+}

@@ -1,0 +1,98 @@
+//! # omb — OMB-GPU-style micro-benchmarks for the OpenSHMEM runtime
+//!
+//! Reimplementation of the measurement loops of the OSU Micro-Benchmark
+//! suite with GPU support (OMB-GPU, EuroMPI'12), which the paper uses
+//! for §V-B: point-to-point put/get latency per buffer configuration,
+//! bandwidth, message rate, and the overlap/one-sidedness benchmark of
+//! Fig. 10.
+//!
+//! Every benchmark builds a fresh two-PE machine, warms the path up
+//! (registration caches, IPC mappings), then measures `iters`
+//! iterations of the operation in virtual time.
+
+pub mod atomics;
+pub mod autotune;
+pub mod bandwidth;
+pub mod latency;
+pub mod overlap;
+pub mod sweep;
+
+pub use atomics::{barrier_latency, cswap_latency, fetch_add_latency};
+pub use autotune::{autotune, Tuned};
+pub use bandwidth::{message_rate, put_bandwidth, BwPoint};
+pub use latency::{get_latency, put_latency, LatencyPoint};
+pub use overlap::{overlap_put, OverlapPoint};
+pub use sweep::{large_sizes, small_sizes, standard_sizes};
+
+use shmem_gdr::Domain;
+use std::fmt;
+
+/// Where a local (non-symmetric) buffer lives.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Loc {
+    Host,
+    Dev,
+}
+
+impl Loc {
+    pub fn letter(self) -> char {
+        match self {
+            Loc::Host => 'H',
+            Loc::Dev => 'D',
+        }
+    }
+}
+
+/// A point-to-point buffer configuration, named as in the paper:
+/// the letters are (local buffer, remote buffer) — e.g. for a put,
+/// `H-D` means host source, device destination.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Config {
+    pub local: Loc,
+    pub remote: Loc,
+}
+
+impl Config {
+    pub const HH: Config = Config {
+        local: Loc::Host,
+        remote: Loc::Host,
+    };
+    pub const HD: Config = Config {
+        local: Loc::Host,
+        remote: Loc::Dev,
+    };
+    pub const DH: Config = Config {
+        local: Loc::Dev,
+        remote: Loc::Host,
+    };
+    pub const DD: Config = Config {
+        local: Loc::Dev,
+        remote: Loc::Dev,
+    };
+
+    pub fn remote_domain(self) -> Domain {
+        match self.remote {
+            Loc::Host => Domain::Host,
+            Loc::Dev => Domain::Gpu,
+        }
+    }
+}
+
+impl fmt::Display for Config {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}-{}", self.local.letter(), self.remote.letter())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_naming() {
+        assert_eq!(Config::HD.to_string(), "H-D");
+        assert_eq!(Config::DD.to_string(), "D-D");
+        assert_eq!(Config::HD.remote_domain(), Domain::Gpu);
+        assert_eq!(Config::DH.remote_domain(), Domain::Host);
+    }
+}

@@ -1,0 +1,64 @@
+//! Message-size sweeps matching the OMB conventions and the paper's
+//! small/large figure panels.
+
+/// Powers of two from `lo` to `hi` inclusive.
+pub fn pow2_sizes(lo: u64, hi: u64) -> Vec<u64> {
+    let mut v = Vec::new();
+    let mut s = lo;
+    while s <= hi {
+        v.push(s);
+        s *= 2;
+    }
+    v
+}
+
+/// The "small messages" panel of the paper's figures: 4 B – 8 KiB.
+pub fn small_sizes() -> Vec<u64> {
+    pow2_sizes(4, 8 << 10)
+}
+
+/// The "large messages" panel: 16 KiB – 4 MiB.
+pub fn large_sizes() -> Vec<u64> {
+    pow2_sizes(16 << 10, 4 << 20)
+}
+
+/// Full OMB sweep.
+pub fn standard_sizes() -> Vec<u64> {
+    pow2_sizes(4, 4 << 20)
+}
+
+/// OMB-style iteration counts: more iterations for small messages.
+pub fn iters_for(bytes: u64) -> u64 {
+    if bytes <= 8 << 10 {
+        50
+    } else if bytes <= 512 << 10 {
+        20
+    } else {
+        10
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweeps_cover_expected_ranges() {
+        let s = small_sizes();
+        assert_eq!(*s.first().unwrap(), 4);
+        assert_eq!(*s.last().unwrap(), 8 << 10);
+        let l = large_sizes();
+        assert_eq!(*l.first().unwrap(), 16 << 10);
+        assert_eq!(*l.last().unwrap(), 4 << 20);
+        let all = standard_sizes();
+        assert_eq!(all.len(), s.len() + l.len());
+        assert!(all.windows(2).all(|w| w[1] == w[0] * 2));
+    }
+
+    #[test]
+    fn iteration_schedule() {
+        assert_eq!(iters_for(8), 50);
+        assert_eq!(iters_for(64 << 10), 20);
+        assert_eq!(iters_for(4 << 20), 10);
+    }
+}

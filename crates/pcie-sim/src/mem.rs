@@ -1,0 +1,360 @@
+//! Simulated memory: arenas, unified addresses, and the global memory map.
+//!
+//! Every byte the runtime moves is a real byte in an [`Arena`] — host
+//! process memory, a node-wide shared segment, or GPU device memory — so
+//! correctness of every protocol is testable end to end. [`MemRef`] is the
+//! moral equivalent of a CUDA UVA pointer: a single address type that can
+//! name any space, with a queryable kind.
+
+use crate::ids::{GpuId, ProcId, SegId};
+use parking_lot::RwLock;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// Which physical memory an address lives in.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub enum MemSpace {
+    /// Private host memory of one process.
+    Host(ProcId),
+    /// A node-wide shared-memory segment (POSIX shm style).
+    Shared(SegId),
+    /// GPU device memory.
+    Device(GpuId),
+}
+
+impl MemSpace {
+    /// True if the address is in GPU device memory (UVA "device pointer").
+    pub fn is_device(self) -> bool {
+        matches!(self, MemSpace::Device(_))
+    }
+}
+
+impl fmt::Display for MemSpace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemSpace::Host(p) => write!(f, "host[{p}]"),
+            MemSpace::Shared(s) => write!(f, "shm[{s}]"),
+            MemSpace::Device(g) => write!(f, "dev[{g}]"),
+        }
+    }
+}
+
+/// A unified address: space + byte offset. The simulated analogue of a
+/// UVA pointer.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub struct MemRef {
+    pub space: MemSpace,
+    pub offset: u64,
+}
+
+impl MemRef {
+    pub fn new(space: MemSpace, offset: u64) -> Self {
+        MemRef { space, offset }
+    }
+
+    /// Address `bytes` further into the same space.
+    #[allow(clippy::should_implement_trait)]
+    pub fn add(self, bytes: u64) -> Self {
+        MemRef {
+            space: self.space,
+            offset: self.offset + bytes,
+        }
+    }
+
+    pub fn is_device(self) -> bool {
+        self.space.is_device()
+    }
+}
+
+impl fmt::Display for MemRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}+{:#x}", self.space, self.offset)
+    }
+}
+
+/// Errors raised by arena accesses.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum MemError {
+    /// The space has no arena in the map.
+    UnknownSpace(MemSpace),
+    /// Access past the end of the arena.
+    OutOfBounds {
+        space: MemSpace,
+        offset: u64,
+        len: u64,
+        size: u64,
+    },
+}
+
+impl fmt::Display for MemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemError::UnknownSpace(s) => write!(f, "no arena mapped for {s}"),
+            MemError::OutOfBounds {
+                space,
+                offset,
+                len,
+                size,
+            } => write!(
+                f,
+                "access [{offset:#x}..{:#x}) out of bounds of {space} (size {size:#x})",
+                offset + len
+            ),
+        }
+    }
+}
+
+impl std::error::Error for MemError {}
+
+/// A contiguous chunk of simulated physical memory.
+pub struct Arena {
+    space: MemSpace,
+    data: RwLock<Box<[u8]>>,
+}
+
+impl Arena {
+    pub fn new(space: MemSpace, size: usize) -> Arc<Arena> {
+        Arc::new(Arena {
+            space,
+            data: RwLock::new(vec![0u8; size].into_boxed_slice()),
+        })
+    }
+
+    pub fn space(&self) -> MemSpace {
+        self.space
+    }
+
+    pub fn size(&self) -> u64 {
+        self.data.read().len() as u64
+    }
+
+    fn check(&self, offset: u64, len: u64) -> Result<(), MemError> {
+        let size = self.size();
+        if offset.checked_add(len).is_none_or(|end| end > size) {
+            return Err(MemError::OutOfBounds {
+                space: self.space,
+                offset,
+                len,
+                size,
+            });
+        }
+        Ok(())
+    }
+
+    /// Copy bytes out of the arena.
+    pub fn read(&self, offset: u64, out: &mut [u8]) -> Result<(), MemError> {
+        self.check(offset, out.len() as u64)?;
+        let d = self.data.read();
+        out.copy_from_slice(&d[offset as usize..offset as usize + out.len()]);
+        Ok(())
+    }
+
+    /// Copy bytes into the arena.
+    pub fn write(&self, offset: u64, src: &[u8]) -> Result<(), MemError> {
+        self.check(offset, src.len() as u64)?;
+        let mut d = self.data.write();
+        d[offset as usize..offset as usize + src.len()].copy_from_slice(src);
+        Ok(())
+    }
+
+    /// Read a little-endian u64 (for atomics and flags).
+    pub fn read_u64(&self, offset: u64) -> Result<u64, MemError> {
+        let mut b = [0u8; 8];
+        self.read(offset, &mut b)?;
+        Ok(u64::from_le_bytes(b))
+    }
+
+    /// Write a little-endian u64.
+    pub fn write_u64(&self, offset: u64, v: u64) -> Result<(), MemError> {
+        self.write(offset, &v.to_le_bytes())
+    }
+
+    /// Apply `f` to the u64 at `offset` atomically with respect to other
+    /// arena accesses; returns the previous value. This is the primitive
+    /// under simulated HCA atomics.
+    pub fn fetch_update_u64(
+        &self,
+        offset: u64,
+        f: impl FnOnce(u64) -> u64,
+    ) -> Result<u64, MemError> {
+        self.check(offset, 8)?;
+        let mut d = self.data.write();
+        let i = offset as usize;
+        let mut b = [0u8; 8];
+        b.copy_from_slice(&d[i..i + 8]);
+        let old = u64::from_le_bytes(b);
+        let new = f(old);
+        d[i..i + 8].copy_from_slice(&new.to_le_bytes());
+        Ok(old)
+    }
+}
+
+impl fmt::Debug for Arena {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Arena({}, {} bytes)", self.space, self.size())
+    }
+}
+
+/// Registry of every arena in the simulated cluster.
+#[derive(Default)]
+pub struct MemoryMap {
+    arenas: RwLock<HashMap<MemSpace, Arc<Arena>>>,
+}
+
+impl MemoryMap {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Create and register an arena for `space`. Panics if already mapped.
+    pub fn create(&self, space: MemSpace, size: usize) -> Arc<Arena> {
+        let arena = Arena::new(space, size);
+        let prev = self.arenas.write().insert(space, arena.clone());
+        assert!(prev.is_none(), "arena for {space} created twice");
+        arena
+    }
+
+    pub fn get(&self, space: MemSpace) -> Result<Arc<Arena>, MemError> {
+        self.arenas
+            .read()
+            .get(&space)
+            .cloned()
+            .ok_or(MemError::UnknownSpace(space))
+    }
+
+    /// Move `len` bytes from `src` to `dst`, across any pair of spaces.
+    /// Overlapping copies within the same space behave like `memmove`.
+    pub fn copy(&self, src: MemRef, dst: MemRef, len: u64) -> Result<(), MemError> {
+        if len == 0 {
+            return Ok(());
+        }
+        let sa = self.get(src.space)?;
+        let da = self.get(dst.space)?;
+        let mut buf = vec![0u8; len as usize];
+        sa.read(src.offset, &mut buf)?;
+        da.write(dst.offset, &buf)?;
+        Ok(())
+    }
+
+    /// Read a typed value (plain-old-data via byte copy).
+    pub fn read_bytes(&self, src: MemRef, len: u64) -> Result<Vec<u8>, MemError> {
+        let a = self.get(src.space)?;
+        let mut buf = vec![0u8; len as usize];
+        a.read(src.offset, &mut buf)?;
+        Ok(buf)
+    }
+
+    pub fn write_bytes(&self, dst: MemRef, data: &[u8]) -> Result<(), MemError> {
+        let a = self.get(dst.space)?;
+        a.write(dst.offset, data)
+    }
+}
+
+impl fmt::Debug for MemoryMap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "MemoryMap({} arenas)", self.arenas.read().len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn map_with(space: MemSpace, size: usize) -> MemoryMap {
+        let m = MemoryMap::new();
+        m.create(space, size);
+        m
+    }
+
+    #[test]
+    fn read_write_round_trip() {
+        let m = map_with(MemSpace::Host(ProcId(0)), 64);
+        let r = MemRef::new(MemSpace::Host(ProcId(0)), 8);
+        m.write_bytes(r, &[1, 2, 3, 4]).unwrap();
+        assert_eq!(m.read_bytes(r, 4).unwrap(), vec![1, 2, 3, 4]);
+        // untouched bytes stay zero
+        assert_eq!(m.read_bytes(r.add(4), 2).unwrap(), vec![0, 0]);
+    }
+
+    #[test]
+    fn cross_space_copy() {
+        let m = MemoryMap::new();
+        m.create(MemSpace::Host(ProcId(0)), 32);
+        m.create(MemSpace::Device(GpuId(0)), 32);
+        let h = MemRef::new(MemSpace::Host(ProcId(0)), 0);
+        let d = MemRef::new(MemSpace::Device(GpuId(0)), 16);
+        m.write_bytes(h, b"hello").unwrap();
+        m.copy(h, d, 5).unwrap();
+        assert_eq!(m.read_bytes(d, 5).unwrap(), b"hello");
+    }
+
+    #[test]
+    fn overlapping_copy_is_memmove() {
+        let m = map_with(MemSpace::Host(ProcId(1)), 16);
+        let base = MemRef::new(MemSpace::Host(ProcId(1)), 0);
+        m.write_bytes(base, &[1, 2, 3, 4, 5, 6, 7, 8]).unwrap();
+        m.copy(base, base.add(2), 6).unwrap();
+        assert_eq!(
+            m.read_bytes(base, 8).unwrap(),
+            vec![1, 2, 1, 2, 3, 4, 5, 6]
+        );
+    }
+
+    #[test]
+    fn out_of_bounds_rejected() {
+        let m = map_with(MemSpace::Host(ProcId(0)), 8);
+        let r = MemRef::new(MemSpace::Host(ProcId(0)), 6);
+        let err = m.write_bytes(r, &[0; 4]).unwrap_err();
+        assert!(matches!(err, MemError::OutOfBounds { .. }));
+        // offset overflow must not wrap
+        let r2 = MemRef::new(MemSpace::Host(ProcId(0)), u64::MAX - 1);
+        assert!(m.read_bytes(r2, 4).is_err());
+    }
+
+    #[test]
+    fn unknown_space_rejected() {
+        let m = MemoryMap::new();
+        let r = MemRef::new(MemSpace::Device(GpuId(9)), 0);
+        assert!(matches!(
+            m.read_bytes(r, 1).unwrap_err(),
+            MemError::UnknownSpace(_)
+        ));
+    }
+
+    #[test]
+    fn duplicate_create_panics() {
+        let m = MemoryMap::new();
+        m.create(MemSpace::Shared(SegId(0)), 8);
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            m.create(MemSpace::Shared(SegId(0)), 8)
+        }));
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn u64_helpers_and_fetch_update() {
+        let m = map_with(MemSpace::Shared(SegId(1)), 16);
+        let a = m.get(MemSpace::Shared(SegId(1))).unwrap();
+        a.write_u64(8, 41).unwrap();
+        let old = a.fetch_update_u64(8, |v| v + 1).unwrap();
+        assert_eq!(old, 41);
+        assert_eq!(a.read_u64(8).unwrap(), 42);
+    }
+
+    #[test]
+    fn zero_length_copy_needs_no_arena() {
+        let m = MemoryMap::new();
+        let r = MemRef::new(MemSpace::Host(ProcId(5)), 0);
+        m.copy(r, r, 0).unwrap();
+    }
+
+    #[test]
+    fn memref_display_and_add() {
+        let r = MemRef::new(MemSpace::Device(GpuId(2)), 0x10);
+        assert_eq!(r.add(0x10).offset, 0x20);
+        assert!(format!("{r}").contains("dev[gpu2]"));
+        assert!(r.is_device());
+    }
+}

@@ -1,0 +1,928 @@
+//! The discrete-event engine and its conservative thread coordination.
+//!
+//! Processing elements (PEs) run as ordinary OS threads so that benchmark
+//! and application code can be written as straight-line SHMEM programs.
+//! All *timing* however is virtual: the global clock only advances when
+//! every task is blocked (on a time advance or on a [`Completion`]), at
+//! which point whichever thread blocked last drives the event heap.
+//!
+//! Hardware models (DMA engines, HCAs, proxies) are not threads; they are
+//! chains of scheduled closures (`Action`s) that fire at virtual instants,
+//! move bytes between arenas, and signal completions.
+//!
+//! # Determinism
+//!
+//! Event execution order is fully deterministic: ties at the same instant
+//! break on a monotonically increasing sequence number. The only residual
+//! nondeterminism is the order in which *concurrently runnable* PE threads
+//! reach the engine within the same virtual instant; protocols that care
+//! (all benchmarks in this workspace) serialize through completions and
+//! barriers, so reported aggregate timings are stable run to run.
+
+use crate::time::{SimDuration, SimTime};
+use parking_lot::{Condvar, Mutex, MutexGuard};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::fmt;
+use std::sync::Arc;
+
+/// Identifier of a task (PE thread) registered with the engine.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct TaskId(pub usize);
+
+impl fmt::Display for TaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "task{}", self.0)
+    }
+}
+
+/// A deferred closure run by the engine at a virtual instant.
+pub type Action = Box<dyn FnOnce(&mut Sched<'_>) + Send>;
+
+struct EventEntry {
+    at: SimTime,
+    seq: u64,
+    action: Action,
+}
+
+impl PartialEq for EventEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for EventEntry {}
+impl PartialOrd for EventEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for EventEntry {
+    // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops first.
+    fn cmp(&self, other: &Self) -> Ordering {
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+#[derive(Default)]
+struct TaskState {
+    ready: bool,
+    wait_reason: Option<String>,
+    alive: bool,
+    /// Counted in `Core::runnable` (executing user code or woken).
+    running: bool,
+}
+
+/// Aggregate engine counters, readable after a run.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct EngineStats {
+    /// Total events executed since engine creation.
+    pub events_executed: u64,
+    /// High-water mark of the pending-event heap.
+    pub max_heap_len: usize,
+    /// Number of task wake-ups delivered.
+    pub wakeups: u64,
+}
+
+struct Core {
+    now: SimTime,
+    seq: u64,
+    events: BinaryHeap<EventEntry>,
+    /// Tasks currently executing user code (or marked ready to resume).
+    runnable: usize,
+    /// Tasks spawned and not yet exited.
+    live: usize,
+    tasks: Vec<TaskState>,
+    stats: EngineStats,
+    /// Set when a driver thread panicked (deadlock or event-action panic)
+    /// so blocked sibling threads unwind instead of hanging in `cv.wait`.
+    poisoned: bool,
+    /// Set by `wake` so drivers only broadcast the condvar when a task
+    /// actually became runnable (most events are pure hardware chains).
+    pending_wakes: bool,
+}
+
+impl Core {
+    fn pop_due(&mut self) -> Option<EventEntry> {
+        self.events.pop()
+    }
+
+    fn wake(&mut self, task: TaskId) {
+        let st = &mut self.tasks[task.0];
+        assert!(st.alive, "woke dead {task}");
+        if !st.ready {
+            st.ready = true;
+            st.running = true;
+            self.runnable += 1;
+            self.stats.wakeups += 1;
+            self.pending_wakes = true;
+        }
+    }
+
+    fn deadlock_dump(&self) -> String {
+        let mut s = String::from("virtual-time deadlock: no runnable task and no pending event\n");
+        for (i, t) in self.tasks.iter().enumerate() {
+            if t.alive && !t.ready {
+                let why = t.wait_reason.as_deref().unwrap_or("<unknown>");
+                s.push_str(&format!("  task{i}: waiting on {why}\n"));
+            }
+        }
+        s
+    }
+}
+
+struct Shared {
+    core: Mutex<Core>,
+    cv: Condvar,
+}
+
+/// Handle to a simulation. Cheap to clone; all clones share one clock.
+#[derive(Clone)]
+pub struct Sim {
+    sh: Arc<Shared>,
+}
+
+impl Default for Sim {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Scheduling context handed to event callbacks and to
+/// [`Sim::with_sched`] closures. Everything that mutates engine state or
+/// signals completions goes through this type, which guarantees the engine
+/// lock is held.
+pub struct Sched<'a> {
+    core: &'a mut Core,
+}
+
+impl<'a> Sched<'a> {
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.core.now
+    }
+
+    /// Schedule `action` to run at absolute time `at` (>= now).
+    pub fn schedule_at(&mut self, at: SimTime, action: Action) {
+        debug_assert!(at >= self.core.now, "scheduling into the past");
+        let seq = self.core.seq;
+        self.core.seq += 1;
+        self.core.events.push(EventEntry { at, seq, action });
+        let len = self.core.events.len();
+        if len > self.core.stats.max_heap_len {
+            self.core.stats.max_heap_len = len;
+        }
+    }
+
+    /// Schedule `action` to run after `delay`.
+    pub fn schedule_in(&mut self, delay: SimDuration, action: Action) {
+        let at = self.core.now + delay;
+        self.schedule_at(at, action);
+    }
+
+    /// Mark a blocked task runnable again.
+    pub fn wake(&mut self, task: TaskId) {
+        self.core.wake(task);
+    }
+
+    /// Add `n` to a completion counter, waking satisfied waiters and
+    /// scheduling any attached continuation actions (they run at the
+    /// current instant, after already-queued same-instant events).
+    pub fn signal(&mut self, c: &Completion, n: u64) {
+        let now = self.core.now;
+        let fired = {
+            let mut st = c.inner.lock();
+            st.count += n;
+            if st.first_at.is_none() {
+                st.first_at = Some(now);
+            }
+            let count = st.count;
+            let mut fired = Vec::new();
+            let mut kept = Vec::new();
+            for wt in st.waiters.drain(..) {
+                if wt.threshold <= count {
+                    fired.push(wt.kind);
+                } else {
+                    kept.push(wt);
+                }
+            }
+            st.waiters = kept;
+            fired
+        };
+        for k in fired {
+            match k {
+                WaiterKind::Task(t) => self.core.wake(t),
+                WaiterKind::Action(a) => self.schedule_in(SimDuration::ZERO, a),
+            }
+        }
+    }
+
+    /// Run `action` once `c` reaches `threshold` (immediately if already
+    /// there). The continuation fires at the instant the threshold is
+    /// crossed — the idiom for chaining pipeline stages.
+    pub fn call_on(&mut self, c: &Completion, threshold: u64, action: Action) {
+        {
+            let mut st = c.inner.lock();
+            if st.count < threshold {
+                st.waiters.push(CompWaiter {
+                    threshold,
+                    kind: WaiterKind::Action(action),
+                });
+                return;
+            }
+        }
+        self.schedule_in(SimDuration::ZERO, action);
+    }
+}
+
+/// Per-task handle passed to the task body by [`Sim::run`].
+pub struct TaskCtx {
+    sim: Sim,
+    id: TaskId,
+    rank: usize,
+}
+
+impl TaskCtx {
+    /// This task's engine-global id.
+    pub fn id(&self) -> TaskId {
+        self.id
+    }
+
+    /// This task's rank within its `Sim::run` group (0-based).
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// The owning simulation handle.
+    pub fn sim(&self) -> &Sim {
+        &self.sim
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.sim.now()
+    }
+
+    /// Spend `d` of virtual time (models computation or fixed overhead).
+    pub fn advance(&self, d: SimDuration) {
+        if d.is_zero() {
+            return;
+        }
+        let me = self.id;
+        let mut guard = self.sim.sh.core.lock();
+        let at = guard.now + d;
+        {
+            // go through the canonical scheduler so stats and the
+            // monotonicity check apply to task wake-ups too
+            let core: &mut Core = &mut guard;
+            let mut sched = Sched { core };
+            sched.schedule_at(at, Box::new(move |s| s.wake(me)));
+        }
+        self.sim
+            .block_current(&mut guard, me, format!("advance until {at}"));
+    }
+
+    /// Block until `c`'s counter reaches at least `threshold`.
+    pub fn wait_threshold(&self, c: &Completion, threshold: u64) {
+        let me = self.id;
+        let mut guard = self.sim.sh.core.lock();
+        {
+            let mut st = c.inner.lock();
+            if st.count >= threshold {
+                return;
+            }
+            st.waiters.push(CompWaiter {
+                threshold,
+                kind: WaiterKind::Task(me),
+            });
+        }
+        self.sim
+            .block_current(&mut guard, me, format!("completion>={threshold}"));
+    }
+
+    /// Block until `c` has been signalled at least once.
+    pub fn wait(&self, c: &Completion) {
+        self.wait_threshold(c, 1);
+    }
+
+    /// Run a closure with the scheduler (engine lock held): the doorway for
+    /// hardware models invoked from PE context.
+    pub fn with_sched<R>(&self, f: impl FnOnce(&mut Sched<'_>) -> R) -> R {
+        self.sim.with_sched(f)
+    }
+}
+
+impl Sim {
+    pub fn new() -> Sim {
+        Sim {
+            sh: Arc::new(Shared {
+                core: Mutex::new(Core {
+                    now: SimTime::ZERO,
+                    seq: 0,
+                    events: BinaryHeap::new(),
+                    runnable: 0,
+                    live: 0,
+                    tasks: Vec::new(),
+                    stats: EngineStats::default(),
+                    poisoned: false,
+                    pending_wakes: false,
+                }),
+                cv: Condvar::new(),
+            }),
+        }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.sh.core.lock().now
+    }
+
+    /// Engine counters so far.
+    pub fn stats(&self) -> EngineStats {
+        self.sh.core.lock().stats
+    }
+
+    /// Run a closure with the scheduler (engine lock held).
+    pub fn with_sched<R>(&self, f: impl FnOnce(&mut Sched<'_>) -> R) -> R {
+        let mut guard = self.sh.core.lock();
+        let mut sched = Sched { core: &mut guard };
+        let r = f(&mut sched);
+        // The closure may have woken tasks (e.g. by signalling a
+        // completion); threads parked in cv.wait must learn about it.
+        if guard.pending_wakes {
+            guard.pending_wakes = false;
+            self.sh.cv.notify_all();
+        }
+        r
+    }
+
+    // (helper) run one popped event with the guard held.
+    fn exec_event(sh: &Shared, guard: &mut MutexGuard<'_, Core>, ev: EventEntry) {
+        debug_assert!(ev.at >= guard.now);
+        guard.now = ev.at;
+        guard.stats.events_executed += 1;
+        let core: &mut Core = guard;
+        let mut sched = Sched { core };
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            (ev.action)(&mut sched);
+        }));
+        if let Err(payload) = r {
+            guard.poisoned = true;
+            sh.cv.notify_all();
+            std::panic::resume_unwind(payload);
+        }
+    }
+
+    /// Spawn `n` tasks running `f(ctx)` and block until all finish, then
+    /// drain any remaining events (letting in-flight hardware settle).
+    /// Returns each task's result, indexed by rank.
+    ///
+    /// Virtual time persists across consecutive `run` calls.
+    pub fn run<T, F>(&self, n: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(TaskCtx) -> T + Send + Sync,
+    {
+        assert!(n > 0, "need at least one task");
+        let base = {
+            let mut core = self.sh.core.lock();
+            assert_eq!(core.live, 0, "nested/overlapping Sim::run is not supported");
+            let base = core.tasks.len();
+            for _ in 0..n {
+                core.tasks.push(TaskState {
+                    ready: false,
+                    wait_reason: None,
+                    alive: true,
+                    running: true,
+                });
+            }
+            core.live += n;
+            core.runnable += n;
+            base
+        };
+        let mut out: Vec<Option<T>> = (0..n).map(|_| None).collect();
+        crossbeam::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(n);
+            for (rank, slot) in out.iter_mut().enumerate() {
+                let sim = self.clone();
+                let f = &f;
+                handles.push(scope.spawn(move |_| {
+                    let id = TaskId(base + rank);
+                    let ctx = TaskCtx {
+                        sim: sim.clone(),
+                        id,
+                        rank,
+                    };
+                    // A panicking task must release its accounting and
+                    // poison the engine, or sibling tasks hang forever.
+                    let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(ctx)));
+                    match r {
+                        Ok(v) => {
+                            sim.task_exit(id);
+                            *slot = Some(v);
+                        }
+                        Err(payload) => {
+                            sim.task_abort(id);
+                            std::panic::resume_unwind(payload);
+                        }
+                    }
+                }));
+            }
+            let mut panics: Vec<Box<dyn std::any::Any + Send>> = Vec::new();
+            for h in handles {
+                if let Err(payload) = h.join() {
+                    panics.push(payload);
+                }
+            }
+            if !panics.is_empty() {
+                // Prefer the root-cause panic over the secondary
+                // "simulation poisoned" panics of its siblings.
+                let is_poison = |p: &Box<dyn std::any::Any + Send>| {
+                    let msg = p
+                        .downcast_ref::<&str>()
+                        .map(|s| s.to_string())
+                        .or_else(|| p.downcast_ref::<String>().cloned())
+                        .unwrap_or_default();
+                    msg.contains("simulation poisoned")
+                };
+                let idx = panics.iter().position(|p| !is_poison(p)).unwrap_or(0);
+                std::panic::resume_unwind(panics.swap_remove(idx));
+            }
+        })
+        .unwrap_or_else(|payload| std::panic::resume_unwind(payload));
+        self.drain();
+        out.into_iter().map(|o| o.expect("task result")).collect()
+    }
+
+    /// Execute every pending event (advancing time) until the heap is empty.
+    pub fn drain(&self) {
+        let mut guard = self.sh.core.lock();
+        assert_eq!(
+            guard.live, 0,
+            "drain() while tasks are live would execute events out from under them"
+        );
+        while let Some(ev) = guard.pop_due() {
+            Self::exec_event(&self.sh, &mut guard, ev);
+        }
+    }
+
+    fn task_exit(&self, id: TaskId) {
+        let mut guard = self.sh.core.lock();
+        guard.tasks[id.0].alive = false;
+        guard.tasks[id.0].running = false;
+        guard.live -= 1;
+        guard.runnable -= 1;
+        // If everyone left is blocked, keep the world turning before we go.
+        while guard.runnable == 0 && guard.live > 0 {
+            match guard.pop_due() {
+                Some(ev) => Self::exec_event(&self.sh, &mut guard, ev),
+                None => {
+                    guard.poisoned = true;
+                    self.sh.cv.notify_all();
+                    panic!("{}", guard.deadlock_dump())
+                }
+            }
+        }
+        self.sh.cv.notify_all();
+    }
+
+    /// A task died by panic: release its accounting and poison the
+    /// engine so its siblings unwind instead of deadlocking.
+    fn task_abort(&self, id: TaskId) {
+        let mut guard = self.sh.core.lock();
+        let st = &mut guard.tasks[id.0];
+        st.alive = false;
+        if st.running {
+            st.running = false;
+            guard.runnable -= 1;
+        }
+        guard.live -= 1;
+        guard.poisoned = true;
+        self.sh.cv.notify_all();
+    }
+
+    /// Block the calling task until it is woken. Must be entered with the
+    /// engine lock held and the task registered as a waiter somewhere.
+    fn block_current(&self, guard: &mut MutexGuard<'_, Core>, me: TaskId, reason: String) {
+        guard.tasks[me.0].wait_reason = Some(reason);
+        guard.tasks[me.0].running = false;
+        guard.runnable -= 1;
+        loop {
+            if guard.poisoned {
+                panic!("simulation poisoned by an earlier panic in another task");
+            }
+            if guard.tasks[me.0].ready {
+                guard.tasks[me.0].ready = false;
+                guard.tasks[me.0].wait_reason = None;
+                // `runnable` was already incremented by the waker.
+                self.sh.cv.notify_all();
+                return;
+            }
+            if guard.runnable == 0 {
+                match guard.pop_due() {
+                    Some(ev) => {
+                        Self::exec_event(&self.sh, guard, ev);
+                        if guard.pending_wakes {
+                            guard.pending_wakes = false;
+                            self.sh.cv.notify_all();
+                        }
+                    }
+                    None => {
+                        guard.poisoned = true;
+                        self.sh.cv.notify_all();
+                        panic!("{}", guard.deadlock_dump())
+                    }
+                }
+            } else {
+                self.sh.cv.wait(guard);
+            }
+        }
+    }
+}
+
+enum WaiterKind {
+    Task(TaskId),
+    Action(Action),
+}
+
+struct CompWaiter {
+    threshold: u64,
+    kind: WaiterKind,
+}
+
+struct CompState {
+    count: u64,
+    waiters: Vec<CompWaiter>,
+    /// Instant of the first signal (event-timestamping).
+    first_at: Option<SimTime>,
+}
+
+/// A counting completion flag: hardware callbacks [`Sched::signal`] it,
+/// tasks [`TaskCtx::wait_threshold`] on it. This is the moral equivalent
+/// of a completion queue entry counter.
+///
+/// All mutation happens under the engine lock (enforced by the `Sched`
+/// API), so there are no lost wake-ups.
+#[derive(Clone)]
+pub struct Completion {
+    inner: Arc<Mutex<CompState>>,
+}
+
+impl Default for Completion {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Completion {
+    pub fn new() -> Completion {
+        Completion {
+            inner: Arc::new(Mutex::new(CompState {
+                count: 0,
+                waiters: Vec::new(),
+                first_at: None,
+            })),
+        }
+    }
+
+    /// Racy read of the counter (fine for asserts and polling).
+    pub fn peek(&self) -> u64 {
+        self.inner.lock().count
+    }
+
+    /// True once the counter reached `threshold`.
+    pub fn is_done(&self, threshold: u64) -> bool {
+        self.peek() >= threshold
+    }
+
+    /// Virtual instant of the first signal, if any (event timestamps).
+    pub fn time(&self) -> Option<SimTime> {
+        self.inner.lock().first_at
+    }
+}
+
+impl fmt::Debug for Completion {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Completion({})", self.peek())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+    use std::sync::atomic::{AtomicU64, Ordering as AO};
+
+    #[test]
+    fn advance_moves_clock() {
+        let sim = Sim::new();
+        let end = sim.run(1, |ctx| {
+            ctx.advance(SimDuration::from_us(5));
+            ctx.advance(SimDuration::from_us(7));
+            ctx.now()
+        });
+        assert_eq!(end[0].as_us_f64(), 12.0);
+    }
+
+    #[test]
+    fn two_tasks_interleave_in_time_order() {
+        let sim = Sim::new();
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let l2 = log.clone();
+        sim.run(2, move |ctx| {
+            let me = ctx.id().0;
+            // task0 steps 10us, task1 steps 4us: pure time interleaving.
+            let step = if me == 0 { 10 } else { 4 };
+            for i in 0..3 {
+                ctx.advance(SimDuration::from_us(step));
+                l2.lock().push((ctx.now().as_us_f64() as u64, me, i));
+            }
+        });
+        let mut v = log.lock().clone();
+        let sorted = {
+            let mut s = v.clone();
+            s.sort();
+            s
+        };
+        v.sort();
+        assert_eq!(v, sorted);
+        // task1 wakes at 4, 8, 12; task0 at 10, 20, 30.
+        let times: Vec<u64> = v.iter().map(|e| e.0).collect();
+        assert_eq!(times, vec![4, 8, 10, 12, 20, 30]);
+    }
+
+    #[test]
+    fn completion_wakes_waiter() {
+        let sim = Sim::new();
+        let c = Completion::new();
+        let c2 = c.clone();
+        let out = sim.run(2, move |ctx| {
+            if ctx.id().0 == 0 {
+                // waiter
+                ctx.wait(&c2);
+                ctx.now().as_us_f64() as u64
+            } else {
+                ctx.advance(SimDuration::from_us(9));
+                ctx.with_sched(|s| s.signal(&c2, 1));
+                0
+            }
+        });
+        assert_eq!(out[0], 9);
+    }
+
+    #[test]
+    fn threshold_wait_counts() {
+        let sim = Sim::new();
+        let c = Completion::new();
+        let c2 = c.clone();
+        let out = sim.run(2, move |ctx| {
+            if ctx.id().0 == 0 {
+                ctx.wait_threshold(&c2, 3);
+                ctx.now().as_us_f64() as u64
+            } else {
+                for _ in 0..3 {
+                    ctx.advance(SimDuration::from_us(2));
+                    ctx.with_sched(|s| s.signal(&c2, 1));
+                }
+                0
+            }
+        });
+        assert_eq!(out[0], 6);
+        assert!(c.is_done(3));
+    }
+
+    #[test]
+    fn wait_on_already_satisfied_completion_returns_immediately() {
+        let sim = Sim::new();
+        let c = Completion::new();
+        sim.with_sched(|s| s.signal(&c, 5));
+        let t = sim.run(1, |ctx| {
+            ctx.wait_threshold(&c, 5);
+            ctx.now()
+        });
+        assert_eq!(t[0], SimTime::ZERO);
+    }
+
+    #[test]
+    fn event_chains_execute_in_order() {
+        let sim = Sim::new();
+        let hits = Arc::new(AtomicU64::new(0));
+        let h = hits.clone();
+        let c = Completion::new();
+        let c2 = c.clone();
+        sim.run(1, move |ctx| {
+            let h = h.clone();
+            let c = c2.clone();
+            ctx.with_sched(move |s| {
+                // chain: a -> b -> signal
+                s.schedule_in(
+                    SimDuration::from_us(1),
+                    Box::new(move |s| {
+                        h.fetch_add(1, AO::SeqCst);
+                        let h2 = h.clone();
+                        let c2 = c.clone();
+                        s.schedule_in(
+                            SimDuration::from_us(1),
+                            Box::new(move |s| {
+                                h2.fetch_add(1, AO::SeqCst);
+                                s.signal(&c2, 1);
+                            }),
+                        );
+                    }),
+                );
+            });
+            ctx.wait(&c2);
+            assert_eq!(ctx.now().as_us_f64(), 2.0);
+        });
+        assert_eq!(hits.load(AO::SeqCst), 2);
+    }
+
+    #[test]
+    fn same_instant_events_fifo_by_seq() {
+        let sim = Sim::new();
+        let order = Arc::new(Mutex::new(Vec::new()));
+        for i in 0..10u32 {
+            let o = order.clone();
+            sim.with_sched(|s| {
+                s.schedule_in(
+                    SimDuration::from_us(1),
+                    Box::new(move |_| o.lock().push(i)),
+                )
+            });
+        }
+        sim.drain();
+        assert_eq!(*order.lock(), (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "virtual-time deadlock")]
+    fn deadlock_is_detected() {
+        let sim = Sim::new();
+        let c = Completion::new();
+        sim.run(1, move |ctx| {
+            ctx.wait(&c); // nobody will ever signal
+        });
+    }
+
+    #[test]
+    fn time_persists_across_runs() {
+        let sim = Sim::new();
+        sim.run(1, |ctx| ctx.advance(SimDuration::from_us(3)));
+        let t = sim.run(1, |ctx| {
+            ctx.advance(SimDuration::from_us(4));
+            ctx.now()
+        });
+        assert_eq!(t[0].as_us_f64(), 7.0);
+    }
+
+    #[test]
+    fn run_returns_results_by_rank() {
+        let sim = Sim::new();
+        let out = sim.run(8, |ctx| ctx.id().0 * 10);
+        assert_eq!(out, vec![0, 10, 20, 30, 40, 50, 60, 70]);
+    }
+
+    #[test]
+    fn stats_count_events() {
+        let sim = Sim::new();
+        sim.run(1, |ctx| {
+            ctx.advance(SimDuration::from_us(1));
+            ctx.advance(SimDuration::from_us(1));
+        });
+        assert!(sim.stats().events_executed >= 2);
+    }
+
+    #[test]
+    fn many_tasks_barrier_style_sync() {
+        // All tasks advance different amounts then signal a shared counter;
+        // one task waits for all. Stress the wake bookkeeping.
+        let sim = Sim::new();
+        let n = 16;
+        let c = Completion::new();
+        let c2 = c.clone();
+        let out = sim.run(n, move |ctx| {
+            let me = ctx.id().0 as u64;
+            ctx.advance(SimDuration::from_us(me + 1));
+            ctx.with_sched(|s| s.signal(&c2, 1));
+            ctx.wait_threshold(&c2, n as u64);
+            ctx.now().as_us_f64() as u64
+        });
+        // Everyone resumes when the slowest (16us) signals.
+        assert!(out.iter().all(|&t| t == n as u64));
+    }
+}
+
+#[cfg(test)]
+mod continuation_tests {
+    use super::*;
+    use crate::time::SimDuration;
+    use std::sync::atomic::{AtomicU64, Ordering as AO};
+    use std::sync::Arc;
+
+    #[test]
+    fn call_on_fires_when_threshold_crossed() {
+        let sim = Sim::new();
+        let c = Completion::new();
+        let hit = Arc::new(AtomicU64::new(0));
+        let h = hit.clone();
+        let c2 = c.clone();
+        sim.with_sched(move |s| {
+            let h2 = h.clone();
+            s.call_on(&c2, 3, Box::new(move |_| {
+                h2.store(1, AO::SeqCst);
+            }));
+        });
+        sim.with_sched(|s| s.signal(&c, 2));
+        sim.drain();
+        assert_eq!(hit.load(AO::SeqCst), 0, "fired below threshold");
+        sim.with_sched(|s| s.signal(&c, 1));
+        sim.drain();
+        assert_eq!(hit.load(AO::SeqCst), 1);
+    }
+
+    #[test]
+    fn call_on_already_satisfied_fires_immediately() {
+        let sim = Sim::new();
+        let c = Completion::new();
+        sim.with_sched(|s| s.signal(&c, 5));
+        let hit = Arc::new(AtomicU64::new(0));
+        let h = hit.clone();
+        sim.with_sched(move |s| {
+            s.call_on(&c, 2, Box::new(move |_| {
+                h.store(7, AO::SeqCst);
+            }));
+        });
+        sim.drain();
+        assert_eq!(hit.load(AO::SeqCst), 7);
+    }
+
+    #[test]
+    fn chained_continuations_model_a_pipeline() {
+        // c1 -> schedule work -> signal c2 -> continuation on c2
+        let sim = Sim::new();
+        let c1 = Completion::new();
+        let c2 = Completion::new();
+        let order = Arc::new(parking_lot::Mutex::new(Vec::new()));
+        let (o1, o2) = (order.clone(), order.clone());
+        let c1b = c1.clone();
+        let c2b = c2.clone();
+        let c2d = c2.clone();
+        sim.with_sched(move |s| {
+            s.call_on(&c1b, 1, Box::new(move |s| {
+                o1.lock().push("stage1");
+                let c2c = c2b.clone();
+                s.schedule_in(SimDuration::from_us(3), Box::new(move |s| s.signal(&c2c, 1)));
+            }));
+            s.call_on(&c2d, 1, Box::new(move |_| {
+                o2.lock().push("stage2");
+            }));
+        });
+        sim.with_sched(|s| s.signal(&c1, 1));
+        sim.drain();
+        assert_eq!(*order.lock(), vec!["stage1", "stage2"]);
+        assert_eq!(sim.now().as_us_f64(), 3.0);
+    }
+
+    #[test]
+    fn mixed_task_and_action_waiters_both_fire() {
+        let sim = Sim::new();
+        let c = Completion::new();
+        let act = Arc::new(AtomicU64::new(0));
+        let a2 = act.clone();
+        let c2 = c.clone();
+        let c3 = c.clone();
+        let out = sim.run(2, move |ctx| {
+            if ctx.id().0 == 0 {
+                let a3 = a2.clone();
+                ctx.with_sched(|s| {
+                    s.call_on(&c2, 1, Box::new(move |_| {
+                        a3.store(1, AO::SeqCst);
+                    }));
+                });
+                ctx.wait(&c2); // also wait as a task
+                ctx.now().as_us_f64()
+            } else {
+                ctx.advance(SimDuration::from_us(4));
+                ctx.with_sched(|s| s.signal(&c3, 1));
+                0.0
+            }
+        });
+        assert_eq!(out[0], 4.0);
+        assert_eq!(act.load(AO::SeqCst), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")] // the ROOT cause is re-raised
+    fn sibling_panic_poisons_blocked_tasks() {
+        let sim = Sim::new();
+        let c = Completion::new();
+        sim.run(2, move |ctx| {
+            if ctx.id().0 == 0 {
+                // block forever; must be unblocked by the poison
+                ctx.wait(&c);
+            } else {
+                ctx.advance(SimDuration::from_us(1));
+                panic!("boom");
+            }
+        });
+    }
+}

@@ -1,0 +1,39 @@
+//! # sim-core — deterministic virtual-time simulation engine
+//!
+//! The foundation of the GDR-aware OpenSHMEM reproduction: a conservative
+//! discrete-event engine where processing elements run as real OS threads
+//! against a shared **virtual clock**, and hardware (DMA engines, NICs,
+//! proxies) runs as chains of scheduled events.
+//!
+//! ## Quick tour
+//!
+//! ```
+//! use sim_core::{Sim, SimDuration, Completion};
+//!
+//! let sim = Sim::new();
+//! let done = Completion::new();
+//! let done2 = done.clone();
+//! let times = sim.run(2, move |ctx| {
+//!     if ctx.id().0 == 0 {
+//!         ctx.wait(&done2);           // block until signalled
+//!     } else {
+//!         ctx.advance(SimDuration::from_us(3));   // "compute" 3us
+//!         ctx.with_sched(|s| s.signal(&done2, 1));
+//!     }
+//!     ctx.now()
+//! });
+//! assert_eq!(times[0].as_us_f64(), 3.0);
+//! ```
+//!
+//! See the crate-level modules:
+//! - [`time`] — picosecond-resolution [`SimTime`]/[`SimDuration`];
+//! - [`engine`] — [`Sim`], [`TaskCtx`], [`Sched`], [`Completion`];
+//! - [`link`] — FIFO bandwidth/latency resources.
+
+pub mod engine;
+pub mod link;
+pub mod time;
+
+pub use engine::{Action, Completion, EngineStats, Sched, Sim, TaskCtx, TaskId};
+pub use link::{Link, LinkGrant, LinkSpec};
+pub use time::{SimDuration, SimTime};

@@ -1,0 +1,182 @@
+//! Bandwidth/latency resources with FIFO occupancy.
+//!
+//! A [`Link`] models one direction of a physical interconnect segment
+//! (a PCIe lane bundle, the IB wire, a QPI hop, a DMA engine). Transfers
+//! serialize on the link: a reservation occupies the link for
+//! `bytes / bandwidth`, and the payload arrives `latency` after it left.
+//! This is a cut-through model — latency does not hold the link.
+
+use crate::time::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Static description of a link (serializable as part of a hardware profile).
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct LinkSpec {
+    /// Propagation + fixed per-transfer latency.
+    pub latency: SimDuration,
+    /// Bandwidth in bytes/second.
+    pub bandwidth: f64,
+}
+
+impl LinkSpec {
+    pub fn new(latency: SimDuration, bandwidth: f64) -> Self {
+        assert!(bandwidth > 0.0, "bandwidth must be positive");
+        LinkSpec { latency, bandwidth }
+    }
+
+    /// Unloaded time for `bytes` to fully arrive.
+    pub fn unloaded(&self, bytes: u64) -> SimDuration {
+        self.latency + SimDuration::for_bytes(bytes, self.bandwidth)
+    }
+}
+
+/// The granted schedule for a reservation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LinkGrant {
+    /// When the transfer begins occupying the link.
+    pub start: SimTime,
+    /// When the link becomes free again (last byte pushed in).
+    pub depart: SimTime,
+    /// When the last byte arrives at the far end.
+    pub arrive: SimTime,
+}
+
+/// A FIFO-serialized link. Wrap in the owning structure's lock; all
+/// reservations must happen under the engine lock (via `Sched`/`with_sched`)
+/// so queueing order matches virtual-time order.
+#[derive(Debug)]
+pub struct Link {
+    spec: LinkSpec,
+    next_free: SimTime,
+    /// Total bytes ever pushed through (for utilization reporting).
+    bytes_total: u64,
+    /// Cumulative busy time.
+    busy: SimDuration,
+}
+
+impl Link {
+    pub fn new(spec: LinkSpec) -> Self {
+        Link {
+            spec,
+            next_free: SimTime::ZERO,
+            bytes_total: 0,
+            busy: SimDuration::ZERO,
+        }
+    }
+
+    pub fn spec(&self) -> LinkSpec {
+        self.spec
+    }
+
+    /// Reserve the link for `bytes` starting no earlier than `now`.
+    pub fn reserve(&mut self, now: SimTime, bytes: u64) -> LinkGrant {
+        self.reserve_with(now, bytes, self.spec.bandwidth)
+    }
+
+    /// Reserve the link with an *effective* bandwidth below the native one
+    /// (e.g. a PCIe P2P transfer capped by the chipset, paper Table III).
+    /// The link stays occupied for the slower transfer's full duration.
+    pub fn reserve_with(&mut self, now: SimTime, bytes: u64, effective_bw: f64) -> LinkGrant {
+        assert!(
+            effective_bw.is_finite() && effective_bw > 0.0,
+            "effective bandwidth must be positive and finite, got {effective_bw}"
+        );
+        let bw = effective_bw.min(self.spec.bandwidth);
+        let start = now.max(self.next_free);
+        let occupy = SimDuration::for_bytes(bytes, bw);
+        let depart = start + occupy;
+        let arrive = depart + self.spec.latency;
+        self.next_free = depart;
+        self.bytes_total += bytes;
+        self.busy += occupy;
+        LinkGrant {
+            start,
+            depart,
+            arrive,
+        }
+    }
+
+    /// Earliest instant a new reservation could start.
+    pub fn next_free(&self) -> SimTime {
+        self.next_free
+    }
+
+    pub fn bytes_total(&self) -> u64 {
+        self.bytes_total
+    }
+
+    pub fn busy_time(&self) -> SimDuration {
+        self.busy
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mk(lat_us: u64, gbps: f64) -> Link {
+        Link::new(LinkSpec::new(SimDuration::from_us(lat_us), gbps * 1e9))
+    }
+
+    #[test]
+    fn unloaded_transfer_time() {
+        let mut l = mk(1, 1.0); // 1us latency, 1 GB/s
+        let g = l.reserve(SimTime::ZERO, 1_000_000); // 1 MB -> 1 ms occupy
+        assert_eq!(g.start, SimTime::ZERO);
+        assert_eq!(g.depart.as_us_f64(), 1000.0);
+        assert_eq!(g.arrive.as_us_f64(), 1001.0);
+    }
+
+    #[test]
+    fn back_to_back_transfers_queue_fifo() {
+        let mut l = mk(1, 1.0);
+        let a = l.reserve(SimTime::ZERO, 1_000_000);
+        let b = l.reserve(SimTime::ZERO, 1_000_000);
+        assert_eq!(b.start, a.depart);
+        assert_eq!(b.depart.as_us_f64(), 2000.0);
+        // Latency is per-transfer, not occupying the link.
+        assert_eq!(b.arrive.as_us_f64(), 2001.0);
+    }
+
+    #[test]
+    fn idle_gap_resets_start() {
+        let mut l = mk(0, 1.0);
+        let a = l.reserve(SimTime::ZERO, 1000);
+        let later = a.depart + SimDuration::from_us(50);
+        let b = l.reserve(later, 1000);
+        assert_eq!(b.start, later);
+    }
+
+    #[test]
+    fn zero_byte_transfer_costs_only_latency() {
+        let mut l = mk(2, 1.0);
+        let g = l.reserve(SimTime::ZERO, 0);
+        assert_eq!(g.start, g.depart);
+        assert_eq!(g.arrive.as_us_f64(), 2.0);
+    }
+
+    #[test]
+    fn accounting_accumulates() {
+        let mut l = mk(0, 1.0);
+        l.reserve(SimTime::ZERO, 500);
+        l.reserve(SimTime::ZERO, 1500);
+        assert_eq!(l.bytes_total(), 2000);
+        assert_eq!(l.busy_time(), SimDuration::for_bytes(2000, 1e9));
+    }
+
+    #[test]
+    fn next_free_monotonic_under_random_loads() {
+        let mut l = mk(1, 6.4);
+        let mut now = SimTime::ZERO;
+        let mut prev_free = SimTime::ZERO;
+        for i in 0..100u64 {
+            now += SimDuration::from_ns(i * 37 % 900);
+            let g = l.reserve(now, (i * 7919) % 100_000);
+            assert!(g.start >= now);
+            assert!(g.depart >= g.start);
+            assert!(g.arrive >= g.depart);
+            assert!(l.next_free() >= prev_free, "next_free regressed");
+            prev_free = l.next_free();
+        }
+    }
+}

@@ -1,0 +1,41 @@
+//! The one-sidedness demonstration of paper Fig. 10, as a runnable demo:
+//! watch the baseline's communication time track the target's compute
+//! while Enhanced-GDR stays flat.
+//!
+//! ```text
+//! cargo run --release --example overlap_demo
+//! ```
+
+use gdr_shmem::omb::overlap::overlap_put;
+use gdr_shmem::shmem::{Design, RuntimeConfig};
+
+fn main() {
+    let bytes = 8 << 10;
+    println!("inter-node D-D put of 8 KiB while the target computes:\n");
+    println!(
+        "{:>18} {:>22} {:>22}",
+        "target busy (us)", "Host-Pipeline (us)", "Enhanced-GDR (us)"
+    );
+    for busy in [0u64, 25, 50, 100, 200, 400, 800] {
+        let base = overlap_put(
+            Design::HostPipeline,
+            RuntimeConfig::tuned(Design::HostPipeline),
+            bytes,
+            busy,
+        );
+        let gdr = overlap_put(
+            Design::EnhancedGdr,
+            RuntimeConfig::tuned(Design::EnhancedGdr),
+            bytes,
+            busy,
+        );
+        println!(
+            "{busy:>18} {:>22.1} {:>22.1}",
+            base.comm_time_us, gdr.comm_time_us
+        );
+    }
+    println!();
+    println!("The baseline's final H2D copy waits for the target process to");
+    println!("enter the OpenSHMEM library; the GDR design needs no help from");
+    println!("the target — truly one-sided communication (paper §III, Fig 10).");
+}

@@ -1,0 +1,8 @@
+//! Umbrella crate re-exporting the whole workspace.
+pub use apps_sim as apps;
+pub use gpu_sim as gpu;
+pub use ib_sim as ib;
+pub use omb;
+pub use pcie_sim as pcie;
+pub use shmem_gdr as shmem;
+pub use sim_core as sim;

@@ -1,0 +1,124 @@
+//! Failure injection: the stack must fail loudly and precisely, never
+//! corrupt silently.
+
+use gdr_shmem::pcie::ClusterSpec;
+use gdr_shmem::shmem::{Design, Domain, RuntimeConfig, ShmemMachine};
+
+fn catches(f: impl FnOnce() + std::panic::UnwindSafe) -> String {
+    let r = std::panic::catch_unwind(f);
+    match r {
+        Ok(()) => panic!("expected a panic"),
+        Err(p) => p
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| p.downcast_ref::<&str>().map(|s| s.to_string()))
+            .unwrap_or_default(),
+    }
+}
+
+#[test]
+fn symmetric_heap_oom_names_the_domain() {
+    let msg = catches(|| {
+        let m = ShmemMachine::build(
+            ClusterSpec::internode_pair(),
+            RuntimeConfig::tuned(Design::EnhancedGdr),
+        );
+        m.run(|pe| {
+            let _ = pe.shmalloc(1 << 40, Domain::Gpu);
+        });
+    });
+    assert!(msg.contains("gpu") && msg.contains("exhausted"), "{msg}");
+}
+
+#[test]
+fn device_memory_oom_reports_fragmentation() {
+    let msg = catches(|| {
+        let m = ShmemMachine::build(
+            ClusterSpec::internode_pair(),
+            RuntimeConfig::tuned(Design::EnhancedGdr),
+        );
+        m.run(|pe| {
+            // default dev_mem is 64 MiB per GPU; heap takes 8
+            let _a = pe.malloc_dev(40 << 20);
+            let _b = pe.malloc_dev(40 << 20);
+        });
+    });
+    assert!(msg.contains("out of memory"), "{msg}");
+}
+
+#[test]
+fn oversized_staging_request_is_rejected_with_advice() {
+    let mut cfg = RuntimeConfig::tuned(Design::EnhancedGdr);
+    cfg.staging = 256 << 10;
+    cfg.gpu_heap = 32 << 20;
+    cfg.dev_mem = 96 << 20;
+    let msg = catches(move || {
+        let m = ShmemMachine::build(ClusterSpec::internode_pair(), cfg);
+        m.run(|pe| {
+            // a single >staging-sized two-sided device message cannot be
+            // staged
+            let dev = pe.malloc_dev(1 << 20);
+            if pe.my_pe() == 0 {
+                pe.send(1, dev, 1 << 20);
+            } else {
+                pe.recv(0, dev, 1 << 20);
+            }
+        });
+    });
+    assert!(msg.contains("staging"), "{msg}");
+}
+
+#[test]
+fn naive_design_panic_explains_the_fix() {
+    let msg = catches(|| {
+        let m = ShmemMachine::build(
+            ClusterSpec::internode_pair(),
+            RuntimeConfig::tuned(Design::Naive),
+        );
+        m.run(|pe| {
+            let d = pe.shmalloc(64, Domain::Gpu);
+            if pe.my_pe() == 0 {
+                let s = pe.malloc_host(64);
+                pe.putmem(d, s, 64, 1);
+            }
+        });
+    });
+    assert!(msg.contains("cudaMemcpy"), "should point at manual staging: {msg}");
+}
+
+#[test]
+fn one_task_panic_does_not_hang_the_job() {
+    // the engine must poison siblings instead of deadlocking
+    let t0 = std::time::Instant::now();
+    let _ = std::panic::catch_unwind(|| {
+        let m = ShmemMachine::build(
+            ClusterSpec::wilkes(2, 2),
+            RuntimeConfig::tuned(Design::EnhancedGdr),
+        );
+        m.run(|pe| {
+            if pe.my_pe() == 2 {
+                panic!("injected failure");
+            }
+            pe.barrier_all(); // the others wait here forever without poison
+        });
+    });
+    assert!(
+        t0.elapsed() < std::time::Duration::from_secs(30),
+        "panic propagation took too long"
+    );
+}
+
+#[test]
+fn wait_until_on_gpu_domain_is_rejected() {
+    let msg = catches(|| {
+        let m = ShmemMachine::build(
+            ClusterSpec::internode_pair(),
+            RuntimeConfig::tuned(Design::EnhancedGdr),
+        );
+        m.run(|pe| {
+            let g = pe.shmalloc(8, Domain::Gpu);
+            pe.wait_until(g, gdr_shmem::shmem::Cmp::Ge, 1);
+        });
+    });
+    assert!(msg.contains("host"), "{msg}");
+}

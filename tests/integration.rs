@@ -1,0 +1,208 @@
+//! End-to-end integration: full stack (engine → PCIe/GPU/IB models →
+//! runtime → applications) exercised through the umbrella crate.
+
+use gdr_shmem::apps::lbm::{self, LbmParams, LbmVariant};
+use gdr_shmem::apps::stencil2d::{self, StencilParams};
+use gdr_shmem::pcie::ClusterSpec;
+use gdr_shmem::shmem::{Cmp, Design, Domain, RuntimeConfig, ShmemMachine, SimDuration};
+
+#[test]
+fn full_stack_pingpong_all_designs() {
+    for design in [Design::HostPipeline, Design::EnhancedGdr] {
+        let m = ShmemMachine::build(ClusterSpec::internode_pair(), RuntimeConfig::tuned(design));
+        m.run(|pe| {
+            let ball = pe.shmalloc(4096, Domain::Gpu);
+            let flag = pe.shmalloc(16, Domain::Host);
+            let me = pe.my_pe();
+            let other = 1 - me;
+            let local = pe.malloc_dev(4096);
+            for round in 1..=5u64 {
+                if round % 2 == (me as u64 + 1) % 2 {
+                    // my turn to send
+                    pe.putmem(ball, local, 1024, other);
+                    pe.quiet();
+                    pe.put_u64(flag, round, other);
+                    pe.quiet();
+                } else {
+                    pe.wait_until(flag, Cmp::Ge, round);
+                }
+            }
+            pe.barrier_all();
+        });
+    }
+}
+
+#[test]
+fn both_apps_agree_across_designs_and_match_references() {
+    // Stencil: checksums identical under both designs
+    let p = StencilParams::validate(32, 4);
+    let m1 = ShmemMachine::build(
+        ClusterSpec::wilkes(2, 2),
+        RuntimeConfig::tuned(Design::EnhancedGdr),
+    );
+    let c1 = stencil2d::run(&m1, p).checksum.unwrap();
+    let want: f64 = stencil2d::serial_reference(32, 4).iter().sum();
+    assert!((c1 - want).abs() < 1e-9 * want.abs());
+
+    // LBM: both variants bit-identical to the serial field
+    let serial = lbm::serial_reference(8, 8, 8, 2);
+    for v in [LbmVariant::ShmemGdr, LbmVariant::CudaAwareMpi] {
+        let m = ShmemMachine::build(
+            ClusterSpec::wilkes(2, 1),
+            RuntimeConfig::tuned(Design::EnhancedGdr),
+        );
+        let r = lbm::run(&m, LbmParams::validate(8, 2, v));
+        let serial_mass: f64 = {
+            // serial field includes halo planes; sum interior only
+            let n = 8;
+            let plane = n * n;
+            let mut s = 0.0;
+            for q in 0..lbm::Q {
+                for z in 1..=n {
+                    let o = (q * (n + 2) + z) * plane;
+                    s += serial[o..o + plane].iter().map(|&x| x as f64).sum::<f64>();
+                }
+            }
+            s
+        };
+        assert!((r.mass.unwrap() - serial_mass).abs() < 1e-3);
+    }
+}
+
+#[test]
+fn four_node_eight_pe_mixed_workload() {
+    // A busy job: atomics + collectives + puts of mixed sizes + barrier,
+    // everything interleaved across 8 PEs on 4 nodes.
+    let m = ShmemMachine::build(
+        ClusterSpec::wilkes(4, 2),
+        RuntimeConfig::tuned(Design::EnhancedGdr),
+    );
+    let sums = m.run(|pe| {
+        let n = pe.n_pes();
+        let me = pe.my_pe();
+        let data = pe.shmalloc_slice::<u64>(n * 16, Domain::Gpu);
+        let ctr = pe.shmalloc(8, Domain::Host);
+        pe.barrier_all();
+
+        // everyone writes its pattern into everyone's slot
+        let src = pe.malloc_host(128);
+        pe.write_raw(src, &gdr_shmem::shmem::Pod::to_bytes(&[me as u64 + 1; 16]));
+        for t in 0..n {
+            pe.putmem(data.at(me * 16), src, 128, t);
+        }
+        pe.quiet();
+        pe.atomic_fetch_add(ctr, 1, 0);
+        pe.barrier_all();
+
+        // check my copy has every slot filled, then reduce a checksum
+        let mine = pe.read_sym(&data);
+        let mut sum = 0u64;
+        for t in 0..n {
+            for k in 0..16 {
+                assert_eq!(mine[t * 16 + k], t as u64 + 1, "slot {t}");
+                sum += mine[t * 16 + k];
+            }
+        }
+        if me == 0 {
+            assert_eq!(pe.local_u64(ctr), n as u64);
+        }
+        sum
+    });
+    assert!(sums.windows(2).all(|w| w[0] == w[1]));
+}
+
+#[test]
+fn determinism_same_program_same_virtual_time() {
+    let run_once = || {
+        let m = ShmemMachine::build(
+            ClusterSpec::wilkes(2, 2),
+            RuntimeConfig::tuned(Design::EnhancedGdr),
+        );
+        let t = m.run(|pe| {
+            let x = pe.shmalloc(64 << 10, Domain::Gpu);
+            if pe.my_pe() == 0 {
+                let src = pe.malloc_dev(64 << 10);
+                for _ in 0..10 {
+                    pe.putmem(x, src, 64 << 10, 3);
+                    pe.quiet();
+                }
+            }
+            pe.barrier_all();
+            pe.now()
+        });
+        t[0]
+    };
+    let a = run_once();
+    let b = run_once();
+    assert_eq!(a, b, "virtual end times diverged between identical runs");
+}
+
+#[test]
+fn cross_design_timing_ordering_holds_everywhere() {
+    // For every configuration the enhanced design must be at least as
+    // fast as the baseline at small sizes (the paper's core result).
+    for (intra, src_dev, dst_gpu) in [
+        (true, false, true),
+        (true, true, true),
+        (true, true, false),
+        (false, true, true),
+    ] {
+        let lat = |design: Design| {
+            let spec = if intra {
+                ClusterSpec::intranode_pair()
+            } else {
+                ClusterSpec::internode_pair()
+            };
+            let m = ShmemMachine::build(spec, RuntimeConfig::tuned(design));
+            let out = m.run(move |pe| {
+                let d = pe.shmalloc(
+                    8192,
+                    if dst_gpu { Domain::Gpu } else { Domain::Host },
+                );
+                pe.barrier_all();
+                if pe.my_pe() == 0 {
+                    let s = if src_dev {
+                        pe.malloc_dev(8192)
+                    } else {
+                        pe.malloc_host(8192)
+                    };
+                    // warm the registration cache (one-time cost)
+                    pe.putmem(d, s, 512, 1);
+                    pe.quiet();
+                    let t0 = pe.now();
+                    for _ in 0..10 {
+                        pe.putmem(d, s, 512, 1);
+                        pe.quiet();
+                    }
+                    let dt = pe.now() - t0;
+                    pe.barrier_all();
+                    dt
+                } else {
+                    pe.barrier_all();
+                    SimDuration::ZERO
+                }
+            });
+            out[0]
+        };
+        let base = lat(Design::HostPipeline);
+        let gdr = lat(Design::EnhancedGdr);
+        assert!(
+            gdr < base,
+            "enhanced not faster: intra={intra} src_dev={src_dev} dst_gpu={dst_gpu}: {gdr} vs {base}"
+        );
+    }
+}
+
+#[test]
+fn substrate_reachable_through_umbrella() {
+    // the re-exports expose the full stack
+    let m = ShmemMachine::build(
+        ClusterSpec::internode_pair(),
+        RuntimeConfig::tuned(Design::EnhancedGdr),
+    );
+    assert_eq!(m.cluster().topo().nprocs(), 2);
+    assert_eq!(m.gpus().gpus().len(), 4);
+    assert_eq!(m.ib().hcas().len(), 4);
+    let stats = m.sim().stats();
+    let _ = stats.events_executed;
+}

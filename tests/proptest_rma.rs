@@ -1,0 +1,274 @@
+//! Property-based tests: random RMA programs against a flat reference
+//! memory model, allocator invariants, and link-schedule laws.
+
+use gdr_shmem::pcie::alloc::RangeAlloc;
+use gdr_shmem::pcie::ClusterSpec;
+use gdr_shmem::shmem::{Design, Domain, RuntimeConfig, ShmemMachine};
+use gdr_shmem::sim::{Link, LinkSpec, SimDuration, SimTime};
+use proptest::prelude::*;
+
+/// One random RMA operation in a generated program.
+#[derive(Clone, Debug)]
+enum RmaOp {
+    Put {
+        target: usize,
+        domain: bool, // true = GPU
+        off: u64,
+        len: u64,
+        seed: u8,
+    },
+    Get {
+        from: usize,
+        domain: bool,
+        off: u64,
+        len: u64,
+    },
+    FetchAdd {
+        target: usize,
+        cell: u64,
+        val: u64,
+    },
+}
+
+const REGION: u64 = 64 << 10; // per-domain symmetric test region
+const CELLS: u64 = 8;
+
+fn op_strategy(npes: usize) -> impl Strategy<Value = RmaOp> {
+    prop_oneof![
+        (
+            0..npes,
+            any::<bool>(),
+            0..(REGION - 4096),
+            1u64..4096,
+            any::<u8>()
+        )
+            .prop_map(|(target, domain, off, len, seed)| RmaOp::Put {
+                target,
+                domain,
+                off,
+                len,
+                seed,
+            }),
+        (0..npes, any::<bool>(), 0..(REGION - 4096), 1u64..4096).prop_map(
+            |(from, domain, off, len)| RmaOp::Get {
+                from,
+                domain,
+                off,
+                len,
+            }
+        ),
+        (0..npes, 0..CELLS, 1u64..100).prop_map(|(target, cell, val)| RmaOp::FetchAdd {
+            target,
+            cell,
+            val,
+        }),
+    ]
+}
+
+fn payload(len: u64, seed: u8) -> Vec<u8> {
+    (0..len).map(|i| seed.wrapping_add(i as u8)).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// A random single-writer program (PE 0 issues all ops, quiets, then
+    /// everyone compares against a flat reference model).
+    #[test]
+    fn random_program_matches_reference_model(
+        ops in proptest::collection::vec(op_strategy(4), 1..25),
+        design_pick in any::<bool>(),
+    ) {
+        let design = if design_pick { Design::EnhancedGdr } else { Design::HostPipeline };
+        // the baseline does not support inter-node H-D/D-H (paper Table
+        // I); under it, force every op onto the host domain
+        let ops: Vec<RmaOp> = ops
+            .into_iter()
+            .map(|op| match (design, op) {
+                (Design::HostPipeline, RmaOp::Put { target, off, len, seed, .. }) => RmaOp::Put {
+                    target,
+                    domain: false,
+                    off,
+                    len,
+                    seed,
+                },
+                (Design::HostPipeline, RmaOp::Get { from, off, len, .. }) => RmaOp::Get {
+                    from,
+                    domain: false,
+                    off,
+                    len,
+                },
+                (_, op) => op,
+            })
+            .collect();
+        let m = ShmemMachine::build(
+            ClusterSpec::wilkes(2, 2),
+            RuntimeConfig::tuned(design),
+        );
+        let npes = 4usize;
+        // reference model: [pe][domain] -> bytes; atomic cells separate
+        let mut ref_mem = vec![vec![vec![0u8; REGION as usize]; 2]; npes];
+        let mut ref_cells = vec![vec![0u64; CELLS as usize]; npes];
+        for op in &ops {
+            match *op {
+                RmaOp::Put { target, domain, off, len, seed } => {
+                    let d = domain as usize;
+                    ref_mem[target][d][off as usize..(off + len) as usize]
+                        .copy_from_slice(&payload(len, seed));
+                }
+                RmaOp::Get { .. } => {}
+                RmaOp::FetchAdd { target, cell, val } => {
+                    ref_cells[target][cell as usize] =
+                        ref_cells[target][cell as usize].wrapping_add(val);
+                }
+            }
+        }
+        let ops2 = ops.clone();
+        let results = m.run(move |pe| {
+            let host = pe.shmalloc(REGION, Domain::Host);
+            let gpu = pe.shmalloc(REGION, Domain::Gpu);
+            let cells = pe.shmalloc(8 * CELLS, Domain::Host);
+            pe.barrier_all();
+            if pe.my_pe() == 0 {
+                let scratch = pe.malloc_host(8192);
+                for op in &ops2 {
+                    match *op {
+                        RmaOp::Put { target, domain, off, len, seed } => {
+                            let sym = if domain { gpu } else { host };
+                            pe.write_raw(scratch, &payload(len, seed));
+                            pe.putmem(sym.add(off), scratch, len, target);
+                            // same-location overwrites must apply in
+                            // program order: fence between puts
+                            pe.fence();
+                        }
+                        RmaOp::Get { from, domain, off, len } => {
+                            let sym = if domain { gpu } else { host };
+                            pe.getmem(scratch, sym.add(off), len, from);
+                        }
+                        RmaOp::FetchAdd { target, cell, val } => {
+                            pe.atomic_fetch_add(cells.add(8 * cell), val, target);
+                        }
+                    }
+                }
+                pe.quiet();
+            }
+            pe.barrier_all();
+            // dump my state for comparison
+            let me = pe.my_pe();
+            let h = pe.read_raw(pe.addr_of(host, me), REGION);
+            let g = pe.read_raw(pe.addr_of(gpu, me), REGION);
+            let mut c = Vec::new();
+            for k in 0..CELLS {
+                c.push(pe.local_u64(cells.add(8 * k)));
+            }
+            (h, g, c)
+        });
+        for (peid, (h, g, c)) in results.iter().enumerate() {
+            prop_assert_eq!(&ref_mem[peid][0], h, "host mem of pe{}", peid);
+            prop_assert_eq!(&ref_mem[peid][1], g, "gpu mem of pe{}", peid);
+            prop_assert_eq!(&ref_cells[peid], c, "cells of pe{}", peid);
+        }
+    }
+
+    /// Allocator: arbitrary alloc/free sequences never produce
+    /// overlapping live blocks and fully coalesce at the end.
+    #[test]
+    fn allocator_never_overlaps(
+        reqs in proptest::collection::vec(1u64..5000, 1..60),
+    ) {
+        let mut a = RangeAlloc::new(1 << 20, 64);
+        let mut live: Vec<(u64, u64)> = Vec::new();
+        for (i, &r) in reqs.iter().enumerate() {
+            if i % 3 == 2 && !live.is_empty() {
+                let (off, len) = live.swap_remove(i % live.len());
+                a.free(off, len);
+            } else if let Ok(off) = a.alloc(r) {
+                // no overlap with any live block
+                let aligned = r.div_ceil(64) * 64;
+                for &(o, l) in &live {
+                    let al = l.div_ceil(64) * 64;
+                    prop_assert!(off + aligned <= o || o + al <= off,
+                        "overlap: [{off},{aligned}) vs [{o},{al})");
+                }
+                live.push((off, r));
+            }
+        }
+        for (off, len) in live.drain(..) {
+            a.free(off, len);
+        }
+        prop_assert_eq!(a.allocated(), 0);
+        prop_assert_eq!(a.total_free(), 1 << 20);
+    }
+
+    /// Link schedules: grants are FIFO, non-overlapping, and never start
+    /// before the request.
+    #[test]
+    fn link_grants_are_fifo_and_disjoint(
+        jobs in proptest::collection::vec((0u64..10_000, 1u64..1_000_000), 1..50),
+    ) {
+        let mut link = Link::new(LinkSpec::new(SimDuration::from_ns(500), 6.4e9));
+        let mut now = SimTime::ZERO;
+        let mut prev_depart = SimTime::ZERO;
+        for &(gap, bytes) in &jobs {
+            now += SimDuration::from_ns(gap);
+            let g = link.reserve(now, bytes);
+            prop_assert!(g.start >= now);
+            prop_assert!(g.start >= prev_depart, "overlapping occupancy");
+            prop_assert!(g.depart >= g.start);
+            prop_assert!(g.arrive >= g.depart);
+            prev_depart = g.depart;
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Stencil: any (grid, iteration, PE-count) combination matches the
+    /// serial reference exactly.
+    #[test]
+    fn stencil_matches_reference_for_random_shapes(
+        mult in 1usize..5,
+        iters in 1usize..5,
+        ppn in 1usize..3,
+    ) {
+        use gdr_shmem::apps::stencil2d::{self, StencilParams};
+        let nodes = 2usize;
+        let npes = nodes * ppn;
+        let (py, px) = gdr_shmem::apps::grid_2d(npes);
+        let n = (py * px).max(2) * 8 * mult; // divisible by the PE grid
+        let m = ShmemMachine::build(
+            ClusterSpec::wilkes(nodes, ppn),
+            RuntimeConfig::tuned(Design::EnhancedGdr),
+        );
+        let res = stencil2d::run(&m, StencilParams::validate(n, iters));
+        let want: f64 = stencil2d::serial_reference(n, iters).iter().sum();
+        let got = res.checksum.unwrap();
+        prop_assert!((got - want).abs() < 1e-9 * want.abs().max(1.0),
+            "n={n} iters={iters} npes={npes}: {got} vs {want}");
+    }
+
+    /// Barrier: under arbitrary compute skews nobody escapes early and
+    /// everyone leaves together.
+    #[test]
+    fn barrier_correct_under_random_skew(
+        skews in proptest::collection::vec(0u64..300, 4),
+    ) {
+        let m = ShmemMachine::build(
+            ClusterSpec::wilkes(2, 2),
+            RuntimeConfig::tuned(Design::EnhancedGdr),
+        );
+        let skews2 = skews.clone();
+        let times = m.run(move |pe| {
+            pe.compute(SimDuration::from_us(skews2[pe.my_pe()]));
+            pe.barrier_all();
+            pe.now()
+        });
+        let slowest = *skews.iter().max().unwrap() as f64;
+        let max = times.iter().max().unwrap();
+        for t in &times {
+            prop_assert!(t.as_us_f64() >= slowest, "escaped early: {t}");
+            prop_assert!((*max - *t).as_us_f64() < 10.0, "left too far apart");
+        }
+    }
+}

@@ -1,0 +1,92 @@
+//! Scale smoke tests: the full stack at the paper's largest configuration
+//! (64 nodes) stays correct and the simulator stays fast enough to run it.
+
+use gdr_shmem::apps::bfs::{self, BfsParams};
+use gdr_shmem::apps::stencil2d::{self, StencilParams};
+use gdr_shmem::pcie::ClusterSpec;
+use gdr_shmem::shmem::{Design, Domain, RuntimeConfig, ShmemMachine};
+
+fn scale_config(design: Design) -> RuntimeConfig {
+    let mut rc = RuntimeConfig::tuned(design);
+    rc.host_heap = 2 << 20;
+    rc.gpu_heap = 8 << 20;
+    rc.staging = 2 << 20;
+    rc.dev_mem = 16 << 20;
+    rc.private_host = 4 << 20;
+    rc
+}
+
+#[test]
+fn sixty_four_nodes_all_to_one_and_barrier() {
+    let m = ShmemMachine::build(ClusterSpec::wilkes(64, 1), scale_config(Design::EnhancedGdr));
+    m.run(|pe| {
+        let n = pe.n_pes();
+        let slots = pe.shmalloc_slice::<u64>(n, Domain::Gpu);
+        let ctr = pe.shmalloc(8, Domain::Host);
+        pe.barrier_all();
+        // everyone stamps its slot on PE 0 and bumps the counter
+        pe.put_one::<u64>(slots.at(pe.my_pe()), pe.my_pe() as u64 + 1, 0);
+        pe.quiet();
+        pe.atomic_fetch_add(ctr, 1, 0);
+        pe.barrier_all();
+        if pe.my_pe() == 0 {
+            assert_eq!(pe.local_u64(ctr), n as u64);
+            let v = pe.read_sym(&slots);
+            for (i, &x) in v.iter().enumerate() {
+                assert_eq!(x, i as u64 + 1, "slot {i}");
+            }
+        }
+    });
+}
+
+#[test]
+fn ring_neighbor_exchange_at_scale() {
+    let m = ShmemMachine::build(ClusterSpec::wilkes(32, 2), scale_config(Design::EnhancedGdr));
+    m.run(|pe| {
+        let n = pe.n_pes();
+        let me = pe.my_pe();
+        let inbox = pe.shmalloc(64 << 10, Domain::Gpu);
+        let src = pe.malloc_dev(64 << 10);
+        pe.write_raw(src, &vec![me as u8; 64 << 10]);
+        pe.barrier_all();
+        pe.putmem(inbox, src, 64 << 10, (me + 1) % n);
+        pe.barrier_all();
+        let got = pe.read_raw(pe.addr_of(inbox, me), 64 << 10);
+        let left = ((me + n - 1) % n) as u8;
+        assert!(got.iter().all(|&b| b == left), "pe{me} ring payload");
+    });
+}
+
+#[test]
+fn stencil_validates_on_16_pes() {
+    let m = ShmemMachine::build(ClusterSpec::wilkes(8, 2), scale_config(Design::EnhancedGdr));
+    let res = stencil2d::run(&m, StencilParams::validate(64, 3));
+    let want: f64 = stencil2d::serial_reference(64, 3).iter().sum();
+    let got = res.checksum.unwrap();
+    assert!((got - want).abs() < 1e-9 * want.abs());
+}
+
+#[test]
+fn bfs_validates_on_16_pes() {
+    let p = BfsParams::small(1024, 5);
+    let want = bfs::serial_reference(&p);
+    let m = ShmemMachine::build(ClusterSpec::wilkes(8, 2), scale_config(Design::EnhancedGdr));
+    let got = bfs::run(&m, p);
+    assert_eq!(got.dist, want);
+}
+
+#[test]
+fn collectives_at_scale() {
+    let m = ShmemMachine::build(ClusterSpec::wilkes(16, 2), scale_config(Design::EnhancedGdr));
+    m.run(|pe| {
+        let n = pe.n_pes();
+        let mine = pe.shmalloc_slice::<u64>(1, Domain::Host);
+        let all = pe.shmalloc_slice::<u64>(n, Domain::Host);
+        pe.write_sym(&mine, &[pe.my_pe() as u64 * 3]);
+        pe.barrier_all();
+        pe.fcollect(&all, &mine);
+        let got = pe.read_sym(&all);
+        assert_eq!(got, (0..n as u64).map(|i| i * 3).collect::<Vec<_>>());
+        pe.barrier_all();
+    });
+}
