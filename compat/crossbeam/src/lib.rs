@@ -1,0 +1,89 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Only the API surface this workspace uses is provided:
+//! `crossbeam::thread::scope` with spawned handles whose closures take
+//! the scope as an (ignored) argument. Backed by `std::thread::scope`.
+
+pub mod thread {
+    use std::any::Any;
+    use std::panic::AssertUnwindSafe;
+
+    /// Result of a scope or a joined scoped thread: `Err` carries the
+    /// panic payload, as in crossbeam.
+    pub type Result<T> = std::result::Result<T, Box<dyn Any + Send + 'static>>;
+
+    /// The scope handle passed to the `scope` closure.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Handle to a spawned scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Wait for the thread; `Err` is the panic payload.
+        pub fn join(self) -> Result<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a thread inside the scope. Crossbeam passes the scope
+        /// to the closure; the workspace ignores it (`|_|`), so the
+        /// stand-in passes `()` — same inference, no lifetime plumbing.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(()) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            ScopedJoinHandle {
+                inner: self.inner.spawn(move || f(())),
+            }
+        }
+    }
+
+    /// Run `f` with a thread scope; all spawned threads are joined
+    /// before this returns. `Err` carries the payload of a panicking
+    /// unjoined thread (crossbeam semantics).
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        std::panic::catch_unwind(AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(&Scope { inner: s }))
+        }))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use std::sync::atomic::{AtomicU32, Ordering};
+
+        #[test]
+        fn scope_joins_all_threads() {
+            let n = AtomicU32::new(0);
+            super::scope(|scope| {
+                let mut handles = Vec::new();
+                for _ in 0..4 {
+                    handles.push(scope.spawn(|_| n.fetch_add(1, Ordering::SeqCst)));
+                }
+                for h in handles {
+                    h.join().unwrap();
+                }
+            })
+            .unwrap();
+            assert_eq!(n.load(Ordering::SeqCst), 4);
+        }
+
+        #[test]
+        fn joined_panic_is_reported_on_the_handle() {
+            let r = super::scope(|scope| {
+                let h = scope.spawn(|_| panic!("boom"));
+                h.join()
+            })
+            .unwrap();
+            assert!(r.is_err());
+        }
+    }
+}

@@ -1,0 +1,15 @@
+//! Offline stand-in for `serde`.
+//!
+//! Provides the `Serialize` / `Deserialize` names (trait + derive-macro
+//! namespaces, like the real crate) so annotated types compile without
+//! network access. The traits are empty markers; no serialization
+//! machinery exists here. The `obs` crate hand-rolls its JSON wire
+//! format instead of going through these traits.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize<'de>`.
+pub trait Deserialize<'de> {}

@@ -1,0 +1,44 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The workspace annotates hardware-profile and config types with
+//! `#[derive(Serialize, Deserialize)]` so that the real serde can be
+//! dropped in when the build environment has network access. The
+//! stand-in traits in `compat/serde` are empty markers (wire formats
+//! are hand rolled — see `obs::json`), so the derives only need to
+//! emit empty `impl` blocks. The type name is found by scanning the
+//! token stream for the ident after `struct`/`enum`/`union`; generic
+//! types are not supported (none in this workspace derive serde).
+
+use proc_macro::{TokenStream, TokenTree};
+
+fn type_name(input: TokenStream) -> String {
+    let mut saw_kw = false;
+    for tt in input {
+        if let TokenTree::Ident(id) = tt {
+            let s = id.to_string();
+            if saw_kw {
+                return s;
+            }
+            if s == "struct" || s == "enum" || s == "union" {
+                saw_kw = true;
+            }
+        }
+    }
+    panic!("serde stand-in derive: no struct/enum name found");
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl ::serde::Serialize for {name} {{}}")
+        .parse()
+        .unwrap()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}")
+        .parse()
+        .unwrap()
+}

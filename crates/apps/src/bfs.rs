@@ -109,7 +109,7 @@ fn run_pe(pe: &Pe, p: &BfsParams) -> (Vec<u64>, usize, sim_core::SimDuration) {
     let npes = pe.n_pes();
     let me = pe.my_pe();
     assert!(
-        p.vertices % npes == 0,
+        p.vertices.is_multiple_of(npes),
         "{} vertices not divisible by {npes} PEs",
         p.vertices
     );
@@ -247,7 +247,7 @@ mod tests {
         // degree 1 on a large vertex set leaves parts unreachable
         let p = BfsParams::small(128, 1);
         let want = serial_reference(&p);
-        assert!(want.iter().any(|&d| d == UNSET), "test graph too dense");
+        assert!(want.contains(&UNSET), "test graph too dense");
         let m = machine(2, 1);
         let got = run(&m, p);
         assert_eq!(got.dist, want);

@@ -41,6 +41,7 @@ impl_reducible!(f32, f64, i32, i64, u32, u64);
 impl Pe {
     /// `shmem_barrier_all`: quiet + dissemination barrier.
     pub fn barrier_all(&self) {
+        let t0 = self.ctx().now();
         self.quiet();
         let m = self.machine().clone();
         let st = m.pe_state(self.proc_id());
@@ -69,6 +70,28 @@ impl Pe {
                 });
                 r += 1;
             }
+        }
+        let rec = m.obs();
+        if rec.counters_on() {
+            let t1 = self.ctx().now();
+            rec.latency("barrier", 0, t1.since(t0));
+            let id = self.proc_id();
+            rec.span(
+                m.pe_track(id),
+                "barrier",
+                t0,
+                t1,
+                obs::Payload::Op {
+                    op: "barrier",
+                    protocol: "barrier",
+                    size: 0,
+                    src_pe: id.0,
+                    dst_pe: id.0,
+                    src_dev: false,
+                    dst_dev: false,
+                    same_node: true,
+                },
+            );
         }
         st.leave_library();
     }

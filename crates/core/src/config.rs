@@ -87,6 +87,12 @@ pub struct RuntimeConfig {
     pub dev_mem: u64,
     /// Private (non-symmetric) host memory per PE.
     pub private_host: u64,
+    /// Observability level of the machine's [`obs::Recorder`]:
+    /// `Off` (default — allocation-free hot path), `Counters`
+    /// (latency histograms + hardware utilization), or `Spans`
+    /// (everything, exportable as a Chrome trace). [`RuntimeConfig::tuned`]
+    /// reads the `GDR_SHMEM_OBS` environment variable.
+    pub obs_level: obs::ObsLevel,
 }
 
 impl RuntimeConfig {
@@ -110,12 +116,19 @@ impl RuntimeConfig {
             service_poll_ns: 2_000,
             dev_mem: 64 << 20,
             private_host: 32 << 20,
+            obs_level: obs::ObsLevel::from_env(),
         }
     }
 
     pub fn with_heaps(mut self, host: u64, gpu: u64) -> Self {
         self.host_heap = host;
         self.gpu_heap = gpu;
+        self
+    }
+
+    /// Set the observability level (overrides `GDR_SHMEM_OBS`).
+    pub fn with_obs(mut self, level: obs::ObsLevel) -> Self {
+        self.obs_level = level;
         self
     }
 }

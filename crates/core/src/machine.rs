@@ -11,6 +11,7 @@ use crate::pe::Pe;
 use crate::state::PeState;
 use gpu_sim::GpuRuntime;
 use ib_sim::IbVerbs;
+use obs::{Recorder, TrackId, TrackKind};
 use pcie_sim::{Cluster, ClusterSpec, HwProfile, ProcId};
 use sim_core::{Sim, SimDuration};
 use std::sync::Arc;
@@ -33,6 +34,11 @@ pub struct ShmemMachine {
     layout: HeapLayout,
     pes: Vec<PeState>,
     proxies: Vec<ProxyStats>,
+    obs: Arc<Recorder>,
+    /// PE tracks, pre-registered in PE order so op recording is a
+    /// lock-free index lookup (and export order never depends on which
+    /// PE recorded first).
+    pe_tracks: Vec<TrackId>,
 }
 
 impl ShmemMachine {
@@ -75,6 +81,22 @@ impl ShmemMachine {
             })
             .collect();
         let proxies = (0..topo.nnodes()).map(|_| ProxyStats::default()).collect();
+
+        // Observability: one recorder per machine, shared with the
+        // hardware layers through their late-bound sinks. PE and proxy
+        // tracks are pre-registered in a deterministic order.
+        let obs = Recorder::new(cfg.obs_level);
+        gpus.obs().attach(obs.clone());
+        ib.obs().attach(obs.clone());
+        let pe_tracks = topo
+            .all_procs()
+            .map(|p| obs.track(TrackKind::Pe, p.0))
+            .collect();
+        for n in 0..topo.nnodes() {
+            obs.track(TrackKind::Proxy, n as u32);
+        }
+        obs.track(TrackKind::Engine, 0);
+
         Arc::new(ShmemMachine {
             sim,
             cluster,
@@ -84,6 +106,8 @@ impl ShmemMachine {
             layout,
             pes,
             proxies,
+            obs,
+            pe_tracks,
         })
     }
 
@@ -121,6 +145,115 @@ impl ShmemMachine {
 
     pub fn n_pes(&self) -> usize {
         self.cluster.topo().nprocs()
+    }
+
+    /// The machine's observability recorder (level set by
+    /// [`RuntimeConfig::obs_level`]).
+    pub fn obs(&self) -> &Arc<Recorder> {
+        &self.obs
+    }
+
+    /// The pre-registered observability track of a PE.
+    pub fn pe_track(&self, p: ProcId) -> TrackId {
+        self.pe_tracks[p.index()]
+    }
+
+    /// The pre-registered observability track of a node's proxy.
+    pub fn proxy_track(&self, node: pcie_sim::NodeId) -> TrackId {
+        self.obs.track(TrackKind::Proxy, node.0)
+    }
+
+    /// Record one finished RMA/sync op: latency histogram (Counters+),
+    /// op span and protocol-decision record (Spans). `alts` lazily fills
+    /// the candidate/threshold lists — it only runs when spans are on.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn obs_op(
+        &self,
+        op: &'static str,
+        me: ProcId,
+        peer: ProcId,
+        chosen: crate::state::Protocol,
+        len: u64,
+        src_dev: bool,
+        dst_dev: bool,
+        same_node: bool,
+        t0: sim_core::SimTime,
+        t1: sim_core::SimTime,
+        alts: impl FnOnce(&mut obs::Cands, &mut obs::Thresholds),
+    ) {
+        if !self.obs.counters_on() {
+            return;
+        }
+        self.obs.latency(chosen.name(), len, t1.since(t0));
+        if !self.obs.spans_on() {
+            return;
+        }
+        let track = self.pe_track(me);
+        let mut d = obs::Decision {
+            op,
+            size: len,
+            src_pe: me.0,
+            dst_pe: peer.0,
+            src_dev,
+            dst_dev,
+            same_node,
+            chosen: chosen.name(),
+            ..Default::default()
+        };
+        alts(&mut d.candidates, &mut d.thresholds);
+        self.obs.decision(track, t0, d);
+        self.obs.span(
+            track,
+            op,
+            t0,
+            t1,
+            obs::Payload::Op {
+                op,
+                protocol: chosen.name(),
+                size: len,
+                src_pe: me.0,
+                dst_pe: peer.0,
+                src_dev,
+                dst_dev,
+                same_node,
+            },
+        );
+    }
+
+    /// Text observability report: latency histograms, hardware
+    /// utilization, and the event-engine counters.
+    pub fn obs_report(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = self.obs.summary();
+        let es = self.sim.stats();
+        let _ = writeln!(
+            s,
+            "engine: {} events executed, heap high-water {}, \
+             {} completions signalled, {} time-advance stalls",
+            es.events_executed, es.max_heap_len, es.completions_signalled, es.time_advance_stalls
+        );
+        s
+    }
+
+    /// Write the Chrome `trace_event` JSON for this machine's recording.
+    pub fn write_chrome_trace(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        std::fs::write(path, self.obs.chrome_trace())
+    }
+
+    /// If `GDR_SHMEM_TRACE` names a file and span recording is on, write
+    /// the Chrome trace there and return the path (driver convenience).
+    pub fn write_trace_if_requested(&self) -> Option<std::path::PathBuf> {
+        if !self.obs.spans_on() {
+            return None;
+        }
+        let path = std::path::PathBuf::from(std::env::var_os("GDR_SHMEM_TRACE")?);
+        match self.write_chrome_trace(&path) {
+            Ok(()) => Some(path),
+            Err(e) => {
+                eprintln!("obs: failed to write trace to {}: {e}", path.display());
+                None
+            }
+        }
     }
 
     /// Polling interval as a duration.

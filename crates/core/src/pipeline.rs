@@ -79,25 +79,64 @@ impl ShmemMachine {
         let chunk = self.cfg().pipeline_chunk;
         let rkey = self.layout().rkey(dst_domain, target);
         let n = len.div_ceil(chunk);
+        let rec = self.obs().clone();
+        let track = self.pe_track(me);
         let mut last_d2h: Option<Completion> = None;
         for i in 0..n {
             let off = i * chunk;
             let clen = chunk.min(len - off);
             let stg_off = self.alloc_staging_blocking(ctx, me, clen);
             let stg = self.layout().staging_base(me).add(stg_off);
+            let t_stage = ctx.now();
             let d2h = self.gpus().memcpy_async(ctx, src.add(off), stg, clen);
             let comp = RdmaCompletion::new();
             let dst_c = dst.add(off);
             let mach = self.clone();
             let comp2 = comp.clone();
+            let rec2 = rec.clone();
             ctx.with_sched(|s| {
                 s.call_on(
                     &d2h,
                     1,
                     Box::new(move |s| {
+                        let t_rdma = s.now();
+                        rec2.span(
+                            track,
+                            "chunk-d2h",
+                            t_stage,
+                            t_rdma,
+                            obs::Payload::Chunk {
+                                protocol: "pipeline-gdr-write",
+                                stage: "d2h",
+                                index: i as u32,
+                                size: clen,
+                            },
+                        );
                         mach.ib()
                             .rdma_write_start(s, me, stg, rkey, dst_c, clen, &comp2)
                             .expect("pipeline chunk rdma");
+                        if rec2.spans_on() {
+                            let rec3 = rec2.clone();
+                            let remote = comp2.remote.clone();
+                            s.call_on(
+                                &remote,
+                                1,
+                                Box::new(move |s| {
+                                    rec3.span(
+                                        track,
+                                        "chunk-rdma",
+                                        t_rdma,
+                                        s.now(),
+                                        obs::Payload::Chunk {
+                                            protocol: "pipeline-gdr-write",
+                                            stage: "rdma",
+                                            index: i as u32,
+                                            size: clen,
+                                        },
+                                    );
+                                }),
+                            );
+                        }
                     }),
                 );
             });
@@ -242,6 +281,18 @@ impl ShmemMachine {
         let node = self.cluster().topo().node_of(target);
         self.proxy(node).puts_served.fetch_add(1, Ordering::Relaxed);
         self.proxy(node).bytes.fetch_add(len, Ordering::Relaxed);
+        let rec = self.obs().clone();
+        let ptrack = self.proxy_track(node);
+        rec.instant(
+            ptrack,
+            "proxy-request",
+            ctx.now(),
+            obs::Payload::Proxy {
+                kind: "put",
+                size: len,
+                origin_pe: me.0,
+            },
+        );
         let mut last_local: Option<Completion> = None;
         for i in 0..n {
             let off = i * chunk;
@@ -295,16 +346,31 @@ impl ShmemMachine {
             // wakes (signal latency) and performs the H2D
             let mach = self.clone();
             let pd = proxy_done.clone();
+            let rec2 = rec.clone();
             ctx.with_sched(|s| {
                 s.call_on(
                     &comp.remote,
                     1,
                     Box::new(move |s| {
+                        let t_arrive = s.now();
                         let mach2 = mach.clone();
                         let pd2 = pd.clone();
                         s.schedule_in(
                             signal,
                             Box::new(move |s| {
+                                let t_h2d = s.now();
+                                rec2.span(
+                                    ptrack,
+                                    "chunk-wakeup",
+                                    t_arrive,
+                                    t_h2d,
+                                    obs::Payload::Chunk {
+                                        protocol: "proxy-pipeline",
+                                        stage: "wakeup",
+                                        index: i as u32,
+                                        size: clen,
+                                    },
+                                );
                                 let h2d = Completion::new();
                                 mach2.gpus().dma_start(s, t_stg, dst_c, clen, &h2d);
                                 let mach3 = mach2.clone();
@@ -312,6 +378,18 @@ impl ShmemMachine {
                                     &h2d,
                                     1,
                                     Box::new(move |s| {
+                                        rec2.span(
+                                            ptrack,
+                                            "chunk-h2d",
+                                            t_h2d,
+                                            s.now(),
+                                            obs::Payload::Chunk {
+                                                protocol: "proxy-pipeline",
+                                                stage: "h2d",
+                                                index: i as u32,
+                                                size: clen,
+                                            },
+                                        );
                                         mach3
                                             .pe_state(target)
                                             .staging_alloc
@@ -360,6 +438,18 @@ impl ShmemMachine {
         let node = self.cluster().topo().node_of(from);
         self.proxy(node).gets_served.fetch_add(1, Ordering::Relaxed);
         self.proxy(node).bytes.fetch_add(len, Ordering::Relaxed);
+        let rec = self.obs().clone();
+        let ptrack = self.proxy_track(node);
+        rec.instant(
+            ptrack,
+            "proxy-request",
+            ctx.now(),
+            obs::Payload::Proxy {
+                kind: "get",
+                size: len,
+                origin_pe: me.0,
+            },
+        );
         let done = Completion::new();
         ctx.advance(self.cluster().hw().ib.post_overhead);
         for i in 0..n {
@@ -373,11 +463,26 @@ impl ShmemMachine {
             let mach = self.clone();
             let done2 = done.clone();
             let rkey = dst_mr.rkey;
+            let rec2 = rec.clone();
+            let t_req = ctx.now();
             ctx.with_sched(|s| {
                 s.schedule_in(
                     signal,
                     Box::new(move |s| {
                         // proxy: D2H from the target GPU into its staging
+                        let t_wake = s.now();
+                        rec2.span(
+                            ptrack,
+                            "chunk-wakeup",
+                            t_req,
+                            t_wake,
+                            obs::Payload::Chunk {
+                                protocol: "proxy-pipeline",
+                                stage: "wakeup",
+                                index: i as u32,
+                                size: clen,
+                            },
+                        );
                         let d2h = Completion::new();
                         mach.gpus().dma_start(s, src_c, t_stg, clen, &d2h);
                         let mach2 = mach.clone();
@@ -385,6 +490,19 @@ impl ShmemMachine {
                             &d2h,
                             1,
                             Box::new(move |s| {
+                                let t_rdma = s.now();
+                                rec2.span(
+                                    ptrack,
+                                    "chunk-d2h",
+                                    t_wake,
+                                    t_rdma,
+                                    obs::Payload::Chunk {
+                                        protocol: "proxy-pipeline",
+                                        stage: "d2h",
+                                        index: i as u32,
+                                        size: clen,
+                                    },
+                                );
                                 let comp = RdmaCompletion::new();
                                 mach2
                                     .ib()
@@ -403,10 +521,25 @@ impl ShmemMachine {
                                             .free(t_off, clen);
                                     }),
                                 );
+                                let remote = comp.remote.clone();
                                 s.call_on(
-                                    &comp.remote,
+                                    &remote,
                                     1,
-                                    Box::new(move |s| s.signal(&done3, 1)),
+                                    Box::new(move |s| {
+                                        rec2.span(
+                                            ptrack,
+                                            "chunk-rdma",
+                                            t_rdma,
+                                            s.now(),
+                                            obs::Payload::Chunk {
+                                                protocol: "proxy-pipeline",
+                                                stage: "rdma",
+                                                index: i as u32,
+                                                size: clen,
+                                            },
+                                        );
+                                        s.signal(&done3, 1);
+                                    }),
                                 );
                             }),
                         );

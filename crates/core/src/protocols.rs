@@ -6,14 +6,111 @@
 //! size thresholds, and the GPU↔HCA socket relation.
 
 use crate::addr::SymAddr;
-use crate::config::Design;
+use crate::config::{Design, RuntimeConfig};
 use crate::machine::ShmemMachine;
 use crate::state::Protocol;
 use ib_sim::{AtomicOp, Rkey};
+use obs::{Cands, Thresholds};
 use pcie_sim::mem::{MemRef, MemSpace};
 use pcie_sim::ProcId;
 use sim_core::{SimDuration, TaskCtx};
 use std::sync::Arc;
+
+/// The candidate protocols and threshold values the **put** dispatch
+/// consults for one (locality × domains) cell of the design table —
+/// the decision-record side of [`ShmemMachine::do_put`]. Only runs when
+/// span recording is on; must mirror the dispatch below.
+fn put_alts(
+    cfg: &RuntimeConfig,
+    self_op: bool,
+    same_node: bool,
+    src_dev: bool,
+    dst_dev: bool,
+    c: &mut Cands,
+    t: &mut Thresholds,
+) {
+    use Protocol::*;
+    if self_op {
+        c.push((if src_dev || dst_dev { IpcCopy } else { ShmCopy }).name());
+        return;
+    }
+    match cfg.design {
+        Design::Naive => c.push((if same_node { ShmCopy } else { HostRdma }).name()),
+        Design::HostPipeline => match (same_node, src_dev, dst_dev) {
+            (true, false, false) => c.push(ShmCopy.name()),
+            (true, true, false) => c.push(TwoCopyStaged.name()),
+            (true, _, true) => c.push(IpcCopy.name()),
+            (false, false, false) => c.push(HostRdma.name()),
+            (false, _, _) => c.push(HostPipelineStaged.name()),
+        },
+        Design::EnhancedGdr => {
+            if same_node {
+                if !src_dev && !dst_dev {
+                    c.push(ShmCopy.name());
+                } else {
+                    c.push(LoopbackGdr.name());
+                    c.push(IpcCopy.name());
+                    t.push("loopback_put_limit", cfg.loopback_put_limit);
+                    if src_dev && dst_dev {
+                        t.push("loopback_dd_limit", cfg.loopback_dd_limit);
+                    }
+                }
+            } else if !src_dev && !dst_dev {
+                c.push(HostRdma.name());
+            } else {
+                c.push(DirectGdr.name());
+                c.push(PipelineGdrWrite.name());
+                c.push(ProxyPipeline.name());
+                t.push("gdr_put_limit", cfg.gdr_put_limit);
+            }
+        }
+    }
+}
+
+/// As [`put_alts`], for the **get** dispatch.
+fn get_alts(
+    cfg: &RuntimeConfig,
+    self_op: bool,
+    same_node: bool,
+    src_dev: bool,
+    dst_dev: bool,
+    c: &mut Cands,
+    t: &mut Thresholds,
+) {
+    use Protocol::*;
+    if self_op {
+        c.push((if src_dev || dst_dev { IpcCopy } else { ShmCopy }).name());
+        return;
+    }
+    match cfg.design {
+        Design::Naive => c.push((if same_node { ShmCopy } else { HostRdma }).name()),
+        Design::HostPipeline => match (same_node, src_dev, dst_dev) {
+            (true, false, false) => c.push(ShmCopy.name()),
+            (true, true, false) => c.push(TwoCopyStaged.name()),
+            (true, _, _) => c.push(IpcCopy.name()),
+            (false, false, false) => c.push(HostRdma.name()),
+            (false, _, _) => c.push(HostPipelineStaged.name()),
+        },
+        Design::EnhancedGdr => {
+            if same_node {
+                if !src_dev && !dst_dev {
+                    c.push(ShmCopy.name());
+                } else {
+                    c.push(LoopbackGdr.name());
+                    c.push(IpcCopy.name());
+                    t.push("loopback_get_limit", cfg.loopback_get_limit);
+                }
+            } else if !src_dev {
+                c.push((if dst_dev { DirectGdr } else { HostRdma }).name());
+            } else {
+                c.push(DirectGdr.name());
+                c.push(ProxyPipeline.name());
+                t.push("gdr_get_limit", cfg.gdr_get_limit);
+                t.push("proxy_get_min", cfg.proxy_get_min);
+            }
+        }
+    }
+}
 
 /// Flush outstanding one-sided ops of `me` (the quiet loop, callable
 /// from machine context). Enters the library and drains pending work
@@ -142,6 +239,7 @@ impl ShmemMachine {
         // the nbi fast path covers every RDMA-serviced configuration of
         // the Enhanced-GDR design; everything else behaves like put
         if self.put_rdma_serviced(me, target, src, dst, len) {
+            let t0 = ctx.now();
             let st = self.pe_state(me);
             st.enter_library();
             self.drain_pending(ctx, me);
@@ -151,15 +249,27 @@ impl ShmemMachine {
                 s.bytes_put += len;
             }
             self.rdma_put_inner(ctx, me, src, rkey, dst, len, true);
-            self.count(
+            let chosen = if same_node {
+                Protocol::LoopbackGdr
+            } else if src.is_device() || dst.is_device() {
+                Protocol::DirectGdr
+            } else {
+                Protocol::HostRdma
+            };
+            self.count(me, chosen);
+            let cfg = *self.cfg();
+            self.obs_op(
+                "put-nbi",
                 me,
-                if same_node {
-                    Protocol::LoopbackGdr
-                } else if src.is_device() || dst.is_device() {
-                    Protocol::DirectGdr
-                } else {
-                    Protocol::HostRdma
-                },
+                target,
+                chosen,
+                len,
+                src.is_device(),
+                dst.is_device(),
+                same_node,
+                t0,
+                ctx.now(),
+                |c, t| put_alts(&cfg, false, same_node, src.is_device(), dst.is_device(), c, t),
             );
             st.leave_library();
         } else {
@@ -189,6 +299,7 @@ impl ShmemMachine {
         );
         let dst = self.layout().resolve(dest, target);
         if self.put_rdma_serviced(me, target, src, dst, len) {
+            let t0 = ctx.now();
             let st = self.pe_state(me);
             st.enter_library();
             self.drain_pending(ctx, me);
@@ -213,6 +324,21 @@ impl ShmemMachine {
             ctx.wait(&comp.local);
             st.track(comp.remote);
             self.count(me, Protocol::DirectGdr);
+            let same_node = self.cluster().topo().same_node(me, target);
+            let cfg = *self.cfg();
+            self.obs_op(
+                "put-signal",
+                me,
+                target,
+                Protocol::DirectGdr,
+                len,
+                src.is_device(),
+                dst.is_device(),
+                same_node,
+                t0,
+                ctx.now(),
+                |c, t| put_alts(&cfg, false, same_node, src.is_device(), dst.is_device(), c, t),
+            );
             st.leave_library();
         } else {
             // decomposition: deliver data, order, then raise the signal
@@ -244,6 +370,7 @@ impl ShmemMachine {
         let src = self.layout().resolve(source, from);
         let rkey = self.layout().rkey(source.domain, from);
         if self.get_rdma_serviced(me, from, src, dst, len) {
+            let t0 = ctx.now();
             let st = self.pe_state(me);
             st.enter_library();
             self.drain_pending(ctx, me);
@@ -259,6 +386,21 @@ impl ShmemMachine {
                 .unwrap_or_else(|e| panic!("rdma get failed: {e}"));
             st.track(done);
             self.count(me, Protocol::DirectGdr);
+            let same_node = self.cluster().topo().same_node(me, from);
+            let cfg = *self.cfg();
+            self.obs_op(
+                "get-nbi",
+                me,
+                from,
+                Protocol::DirectGdr,
+                len,
+                src.is_device(),
+                dst.is_device(),
+                same_node,
+                t0,
+                ctx.now(),
+                |c, t| get_alts(&cfg, false, same_node, src.is_device(), dst.is_device(), c, t),
+            );
             st.leave_library();
         } else {
             self.do_get(ctx, me, dst, source, len, from);
@@ -385,6 +527,7 @@ impl ShmemMachine {
         if len == 0 {
             return;
         }
+        let t0 = ctx.now();
         let st = self.pe_state(me);
         st.enter_library();
         self.drain_pending(ctx, me);
@@ -402,137 +545,157 @@ impl ShmemMachine {
         let same_node = topo.same_node(me, target);
         let cfg = *self.cfg();
 
-        if me == target {
+        let chosen = if me == target {
             // self-put: a local copy
             if src_dev || dst_dev {
                 self.cuda_copy(ctx, src, dst, len);
-                self.count(me, Protocol::IpcCopy);
+                Protocol::IpcCopy
             } else {
                 self.shm_copy(ctx, src, dst, len);
-                self.count(me, Protocol::ShmCopy);
+                Protocol::ShmCopy
             }
-            st.leave_library();
-            return;
-        }
-
-        match cfg.design {
-            Design::Naive => {
-                assert!(
-                    !src_dev && !dst_dev,
-                    "Naive design: GPU buffers must be staged manually with cudaMemcpy \
-                     (put {} -> {dst})",
-                    src
-                );
-                if same_node {
-                    self.shm_copy(ctx, src, dst, len);
-                    self.count(me, Protocol::ShmCopy);
-                } else {
-                    self.rdma_put(ctx, me, src, rkey, dst, len);
-                    self.count(me, Protocol::HostRdma);
-                }
-            }
-            Design::HostPipeline => {
-                if same_node {
-                    match (src_dev, dst_dev) {
-                        (false, false) => {
-                            self.shm_copy(ctx, src, dst, len);
-                            self.count(me, Protocol::ShmCopy);
-                        }
-                        // GPU destination: single IPC copy
-                        (_, true) => {
-                            self.cuda_copy(ctx, src, dst, len);
-                            self.count(me, Protocol::IpcCopy);
-                        }
-                        // D-H: the unoptimized inter-domain path — stage
-                        // through own host memory, two copies.
-                        (true, false) => {
-                            self.two_copy_staged(ctx, me, src, dst, len);
-                            self.count(me, Protocol::TwoCopyStaged);
-                        }
-                    }
-                } else {
-                    match (src_dev, dst_dev) {
-                        (false, false) => {
-                            self.rdma_put(ctx, me, src, rkey, dst, len);
-                            self.count(me, Protocol::HostRdma);
-                        }
-                        (true, true) => {
-                            self.host_pipeline_put(ctx, me, src, dst, len, target);
-                            self.count(me, Protocol::HostPipelineStaged);
-                        }
-                        _ => panic!(
-                            "Host-Pipeline design does not support inter-node \
-                             H-D / D-H configurations (paper Table I)"
-                        ),
+        } else {
+            match cfg.design {
+                Design::Naive => {
+                    assert!(
+                        !src_dev && !dst_dev,
+                        "Naive design: GPU buffers must be staged manually with cudaMemcpy \
+                         (put {} -> {dst})",
+                        src
+                    );
+                    if same_node {
+                        self.shm_copy(ctx, src, dst, len);
+                        Protocol::ShmCopy
+                    } else {
+                        self.rdma_put(ctx, me, src, rkey, dst, len);
+                        Protocol::HostRdma
                     }
                 }
-            }
-            Design::EnhancedGdr => {
-                if same_node {
-                    match (src_dev, dst_dev) {
-                        (false, false) => {
-                            self.shm_copy(ctx, src, dst, len);
-                            self.count(me, Protocol::ShmCopy);
-                        }
-                        (_, true) => {
-                            // D-D pays P2P caps on both ends of the
-                            // loopback: use the least threshold (§III-B)
-                            let limit = if src_dev {
-                                cfg.loopback_dd_limit.min(cfg.loopback_put_limit)
-                            } else {
-                                cfg.loopback_put_limit
-                            };
-                            if len <= limit {
-                                self.rdma_put(ctx, me, src, rkey, dst, len);
-                                self.count(me, Protocol::LoopbackGdr);
-                            } else {
+                Design::HostPipeline => {
+                    if same_node {
+                        match (src_dev, dst_dev) {
+                            (false, false) => {
+                                self.shm_copy(ctx, src, dst, len);
+                                Protocol::ShmCopy
+                            }
+                            // GPU destination: single IPC copy
+                            (_, true) => {
                                 self.cuda_copy(ctx, src, dst, len);
-                                self.count(me, Protocol::IpcCopy);
+                                Protocol::IpcCopy
+                            }
+                            // D-H: the unoptimized inter-domain path — stage
+                            // through own host memory, two copies.
+                            (true, false) => {
+                                self.two_copy_staged(ctx, me, src, dst, len);
+                                Protocol::TwoCopyStaged
                             }
                         }
-                        (true, false) => {
-                            if len <= cfg.loopback_put_limit {
+                    } else {
+                        match (src_dev, dst_dev) {
+                            (false, false) => {
                                 self.rdma_put(ctx, me, src, rkey, dst, len);
-                                self.count(me, Protocol::LoopbackGdr);
-                            } else {
-                                // shmem_ptr design (paper Fig. 3): one
-                                // cudaMemcpy D2H straight into the
-                                // target's host heap in the shared segment.
-                                self.cuda_copy(ctx, src, dst, len);
-                                self.count(me, Protocol::IpcCopy);
+                                Protocol::HostRdma
                             }
+                            (true, true) => {
+                                self.host_pipeline_put(ctx, me, src, dst, len, target);
+                                Protocol::HostPipelineStaged
+                            }
+                            _ => panic!(
+                                "Host-Pipeline design does not support inter-node \
+                                 H-D / D-H configurations (paper Table I)"
+                            ),
                         }
                     }
-                } else {
-                    match (src_dev, dst_dev) {
-                        (false, false) => {
-                            self.rdma_put(ctx, me, src, rkey, dst, len);
-                            self.count(me, Protocol::HostRdma);
+                }
+                Design::EnhancedGdr => {
+                    if same_node {
+                        match (src_dev, dst_dev) {
+                            (false, false) => {
+                                self.shm_copy(ctx, src, dst, len);
+                                Protocol::ShmCopy
+                            }
+                            (_, true) => {
+                                // D-D pays P2P caps on both ends of the
+                                // loopback: use the least threshold (§III-B)
+                                let limit = if src_dev {
+                                    cfg.loopback_dd_limit.min(cfg.loopback_put_limit)
+                                } else {
+                                    cfg.loopback_put_limit
+                                };
+                                if len <= limit {
+                                    self.rdma_put(ctx, me, src, rkey, dst, len);
+                                    Protocol::LoopbackGdr
+                                } else {
+                                    self.cuda_copy(ctx, src, dst, len);
+                                    Protocol::IpcCopy
+                                }
+                            }
+                            (true, false) => {
+                                if len <= cfg.loopback_put_limit {
+                                    self.rdma_put(ctx, me, src, rkey, dst, len);
+                                    Protocol::LoopbackGdr
+                                } else {
+                                    // shmem_ptr design (paper Fig. 3): one
+                                    // cudaMemcpy D2H straight into the
+                                    // target's host heap in the shared segment.
+                                    self.cuda_copy(ctx, src, dst, len);
+                                    Protocol::IpcCopy
+                                }
+                            }
                         }
-                        _ => {
-                            let dst_intra = self.mem_gpu_intra_socket(dst, target);
-                            if len <= cfg.gdr_put_limit || (!src_dev && dst_intra) {
-                                // Direct GDR (small/medium; host-source
-                                // with a clean write path: all sizes).
+                    } else {
+                        match (src_dev, dst_dev) {
+                            (false, false) => {
                                 self.rdma_put(ctx, me, src, rkey, dst, len);
-                                self.count(me, Protocol::DirectGdr);
-                            } else if dst_dev && !dst_intra {
-                                // P2P write bottleneck at the target:
-                                // stage into target host memory, proxy
-                                // performs the final H2D — still one-sided.
-                                self.proxy_put(ctx, me, src, dst, len, target);
-                                self.count(me, Protocol::ProxyPipeline);
-                            } else {
-                                // Pipeline GDR write: chunked D2H staging
-                                // + GDR RDMA writes, truly one-sided.
-                                self.pipeline_gdr_put(ctx, me, src, dst, dest.domain, len, target);
-                                self.count(me, Protocol::PipelineGdrWrite);
+                                Protocol::HostRdma
+                            }
+                            _ => {
+                                let dst_intra = self.mem_gpu_intra_socket(dst, target);
+                                if len <= cfg.gdr_put_limit || (!src_dev && dst_intra) {
+                                    // Direct GDR (small/medium; host-source
+                                    // with a clean write path: all sizes).
+                                    self.rdma_put(ctx, me, src, rkey, dst, len);
+                                    Protocol::DirectGdr
+                                } else if dst_dev && !dst_intra {
+                                    // P2P write bottleneck at the target:
+                                    // stage into target host memory, proxy
+                                    // performs the final H2D — still one-sided.
+                                    self.proxy_put(ctx, me, src, dst, len, target);
+                                    Protocol::ProxyPipeline
+                                } else {
+                                    // Pipeline GDR write: chunked D2H staging
+                                    // + GDR RDMA writes, truly one-sided.
+                                    self.pipeline_gdr_put(
+                                        ctx,
+                                        me,
+                                        src,
+                                        dst,
+                                        dest.domain,
+                                        len,
+                                        target,
+                                    );
+                                    Protocol::PipelineGdrWrite
+                                }
                             }
                         }
                     }
                 }
             }
-        }
+        };
+        self.count(me, chosen);
+        self.obs_op(
+            "put",
+            me,
+            target,
+            chosen,
+            len,
+            src_dev,
+            dst_dev,
+            same_node,
+            t0,
+            ctx.now(),
+            |c, t| put_alts(&cfg, me == target, same_node, src_dev, dst_dev, c, t),
+        );
         st.leave_library();
     }
 
@@ -551,6 +714,7 @@ impl ShmemMachine {
         if len == 0 {
             return;
         }
+        let t0 = ctx.now();
         let st = self.pe_state(me);
         st.enter_library();
         self.drain_pending(ctx, me);
@@ -568,110 +732,119 @@ impl ShmemMachine {
         let same_node = topo.same_node(me, from);
         let cfg = *self.cfg();
 
-        if me == from {
+        let chosen = if me == from {
             if src_dev || dst_dev {
                 self.cuda_copy(ctx, src, dst, len);
-                self.count(me, Protocol::IpcCopy);
+                Protocol::IpcCopy
             } else {
                 self.shm_copy(ctx, src, dst, len);
-                self.count(me, Protocol::ShmCopy);
+                Protocol::ShmCopy
             }
-            st.leave_library();
-            return;
-        }
-
-        match cfg.design {
-            Design::Naive => {
-                assert!(
-                    !src_dev && !dst_dev,
-                    "Naive design: GPU buffers must be staged manually with cudaMemcpy"
-                );
-                if same_node {
-                    self.shm_copy(ctx, src, dst, len);
-                    self.count(me, Protocol::ShmCopy);
-                } else {
-                    self.rdma_get(ctx, me, dst, rkey, src, len);
-                    self.count(me, Protocol::HostRdma);
-                }
-            }
-            Design::HostPipeline => {
-                if same_node {
-                    match (src_dev, dst_dev) {
-                        (false, false) => {
-                            self.shm_copy(ctx, src, dst, len);
-                            self.count(me, Protocol::ShmCopy);
-                        }
-                        // remote device -> local host: unoptimized
-                        // inter-domain path, two copies through staging.
-                        (true, false) => {
-                            self.two_copy_staged(ctx, me, src, dst, len);
-                            self.count(me, Protocol::TwoCopyStaged);
-                        }
-                        // single IPC copy covers D-D and host->device
-                        _ => {
-                            self.cuda_copy(ctx, src, dst, len);
-                            self.count(me, Protocol::IpcCopy);
-                        }
-                    }
-                } else {
-                    match (src_dev, dst_dev) {
-                        (false, false) => {
-                            self.rdma_get(ctx, me, dst, rkey, src, len);
-                            self.count(me, Protocol::HostRdma);
-                        }
-                        (true, true) => {
-                            self.host_pipeline_get(ctx, me, dst, src, len, from);
-                            self.count(me, Protocol::HostPipelineStaged);
-                        }
-                        _ => panic!(
-                            "Host-Pipeline design does not support inter-node \
-                             H-D / D-H configurations (paper Table I)"
-                        ),
-                    }
-                }
-            }
-            Design::EnhancedGdr => {
-                if same_node {
-                    if !src_dev && !dst_dev {
+        } else {
+            match cfg.design {
+                Design::Naive => {
+                    assert!(
+                        !src_dev && !dst_dev,
+                        "Naive design: GPU buffers must be staged manually with cudaMemcpy"
+                    );
+                    if same_node {
                         self.shm_copy(ctx, src, dst, len);
-                        self.count(me, Protocol::ShmCopy);
-                    } else if len <= cfg.loopback_get_limit {
-                        self.rdma_get(ctx, me, dst, rkey, src, len);
-                        self.count(me, Protocol::LoopbackGdr);
+                        Protocol::ShmCopy
                     } else {
-                        // one direct CUDA copy (IPC-mapped peer / shared
-                        // segment visible to cudaMemcpy)
-                        self.cuda_copy(ctx, src, dst, len);
-                        self.count(me, Protocol::IpcCopy);
+                        self.rdma_get(ctx, me, dst, rkey, src, len);
+                        Protocol::HostRdma
                     }
-                } else if !src_dev {
-                    // remote host: direct RDMA read any size (the local
-                    // scatter path is the strong P2P write direction)
-                    self.rdma_get(ctx, me, dst, rkey, src, len);
-                    self.count(
-                        me,
+                }
+                Design::HostPipeline => {
+                    if same_node {
+                        match (src_dev, dst_dev) {
+                            (false, false) => {
+                                self.shm_copy(ctx, src, dst, len);
+                                Protocol::ShmCopy
+                            }
+                            // remote device -> local host: unoptimized
+                            // inter-domain path, two copies through staging.
+                            (true, false) => {
+                                self.two_copy_staged(ctx, me, src, dst, len);
+                                Protocol::TwoCopyStaged
+                            }
+                            // single IPC copy covers D-D and host->device
+                            _ => {
+                                self.cuda_copy(ctx, src, dst, len);
+                                Protocol::IpcCopy
+                            }
+                        }
+                    } else {
+                        match (src_dev, dst_dev) {
+                            (false, false) => {
+                                self.rdma_get(ctx, me, dst, rkey, src, len);
+                                Protocol::HostRdma
+                            }
+                            (true, true) => {
+                                self.host_pipeline_get(ctx, me, dst, src, len, from);
+                                Protocol::HostPipelineStaged
+                            }
+                            _ => panic!(
+                                "Host-Pipeline design does not support inter-node \
+                                 H-D / D-H configurations (paper Table I)"
+                            ),
+                        }
+                    }
+                }
+                Design::EnhancedGdr => {
+                    if same_node {
+                        if !src_dev && !dst_dev {
+                            self.shm_copy(ctx, src, dst, len);
+                            Protocol::ShmCopy
+                        } else if len <= cfg.loopback_get_limit {
+                            self.rdma_get(ctx, me, dst, rkey, src, len);
+                            Protocol::LoopbackGdr
+                        } else {
+                            // one direct CUDA copy (IPC-mapped peer / shared
+                            // segment visible to cudaMemcpy)
+                            self.cuda_copy(ctx, src, dst, len);
+                            Protocol::IpcCopy
+                        }
+                    } else if !src_dev {
+                        // remote host: direct RDMA read any size (the local
+                        // scatter path is the strong P2P write direction)
+                        self.rdma_get(ctx, me, dst, rkey, src, len);
                         if dst_dev {
                             Protocol::DirectGdr
                         } else {
                             Protocol::HostRdma
-                        },
-                    );
-                } else if len <= cfg.gdr_get_limit {
-                    self.rdma_get(ctx, me, dst, rkey, src, len);
-                    self.count(me, Protocol::DirectGdr);
-                } else if cfg.proxy_enabled && len >= cfg.proxy_get_min {
-                    // large get from remote GPU memory: remote proxy runs
-                    // the reverse pipeline, target PE never involved
-                    self.proxy_get(ctx, me, dst, src, len, from);
-                    self.count(me, Protocol::ProxyPipeline);
-                } else {
-                    // ablation fallback: chunked direct GDR reads, paying
-                    // the P2P read bottleneck
-                    self.chunked_direct_get(ctx, me, dst, rkey, src, len);
-                    self.count(me, Protocol::DirectGdr);
+                        }
+                    } else if len <= cfg.gdr_get_limit {
+                        self.rdma_get(ctx, me, dst, rkey, src, len);
+                        Protocol::DirectGdr
+                    } else if cfg.proxy_enabled && len >= cfg.proxy_get_min {
+                        // large get from remote GPU memory: remote proxy runs
+                        // the reverse pipeline, target PE never involved
+                        self.proxy_get(ctx, me, dst, src, len, from);
+                        Protocol::ProxyPipeline
+                    } else {
+                        // ablation fallback: chunked direct GDR reads, paying
+                        // the P2P read bottleneck
+                        self.chunked_direct_get(ctx, me, dst, rkey, src, len);
+                        Protocol::DirectGdr
+                    }
                 }
             }
-        }
+        };
+        self.count(me, chosen);
+        self.obs_op(
+            "get",
+            me,
+            from,
+            chosen,
+            len,
+            src_dev,
+            dst_dev,
+            same_node,
+            t0,
+            ctx.now(),
+            |c, t| get_alts(&cfg, me == from, same_node, src_dev, dst_dev, c, t),
+        );
         st.leave_library();
     }
 
@@ -686,6 +859,7 @@ impl ShmemMachine {
         target: ProcId,
         op: AtomicOp,
     ) -> u64 {
+        let t0 = ctx.now();
         let st = self.pe_state(me);
         st.enter_library();
         self.drain_pending(ctx, me);
@@ -705,6 +879,19 @@ impl ShmemMachine {
             .unwrap_or_else(|e| panic!("atomic failed: {e}"));
         ctx.wait(&res.done);
         self.count(me, Protocol::HwAtomic);
+        self.obs_op(
+            "atomic",
+            me,
+            target,
+            Protocol::HwAtomic,
+            8,
+            false,
+            target_sym.is_gpu(),
+            self.cluster().topo().same_node(me, target),
+            t0,
+            ctx.now(),
+            |c, _| c.push(Protocol::HwAtomic.name()),
+        );
         st.leave_library();
         res.value()
     }

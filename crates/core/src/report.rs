@@ -2,7 +2,7 @@
 //! summary (protocol histogram, bytes moved, proxy activity).
 
 use crate::machine::ShmemMachine;
-use crate::state::Protocol;
+use crate::state::{PeStats, Protocol};
 use std::fmt::Write as _;
 use std::sync::atomic::Ordering;
 
@@ -20,6 +20,8 @@ pub struct JobReport {
     pub proxy_gets: u64,
     pub proxy_puts: u64,
     pub proxy_bytes: u64,
+    /// Per-PE counter snapshots, indexed by PE number.
+    pub per_pe: Vec<PeStats>,
 }
 
 impl ShmemMachine {
@@ -38,6 +40,7 @@ impl ShmemMachine {
             for (acc, v) in r.by_protocol.iter_mut().zip(st.by_protocol.iter()) {
                 *acc += v;
             }
+            r.per_pe.push(st.clone());
         }
         for n in 0..self.cluster().topo().nnodes() {
             let p = self.proxy(pcie_sim::NodeId(n as u32));
@@ -59,22 +62,30 @@ impl JobReport {
             self.puts, self.bytes_put, self.gets, self.bytes_get, self.atomics, self.barriers
         );
         let _ = writeln!(s, "protocols:");
-        let names = [
-            Protocol::ShmCopy,
-            Protocol::IpcCopy,
-            Protocol::TwoCopyStaged,
-            Protocol::LoopbackGdr,
-            Protocol::DirectGdr,
-            Protocol::PipelineGdrWrite,
-            Protocol::HostPipelineStaged,
-            Protocol::ProxyPipeline,
-            Protocol::HostRdma,
-            Protocol::HwAtomic,
-        ];
-        for p in names {
+        for p in Protocol::ALL {
             let c = self.by_protocol[p as usize];
             if c > 0 {
                 let _ = writeln!(s, "  {:<22} {c}", p.name());
+            }
+        }
+        if self.per_pe.len() > 1 {
+            let _ = writeln!(s, "per-PE:");
+            for (i, st) in self.per_pe.iter().enumerate() {
+                let mut protos = String::new();
+                for p in Protocol::ALL {
+                    let c = st.of(p);
+                    if c > 0 {
+                        if !protos.is_empty() {
+                            protos.push(' ');
+                        }
+                        let _ = write!(protos, "{}:{c}", p.name());
+                    }
+                }
+                let _ = writeln!(
+                    s,
+                    "  pe/{i}: {} puts ({} B), {} gets ({} B), {} atomics, {} barriers  [{protos}]",
+                    st.puts, st.bytes_put, st.gets, st.bytes_get, st.atomics, st.barriers
+                );
             }
         }
         if self.proxy_gets + self.proxy_puts > 0 {
@@ -131,6 +142,13 @@ mod tests {
         assert!(text.contains("direct-gdr"));
         assert!(text.contains("proxy-pipeline"));
         assert!(!text.contains("one-sidedness violations"));
+        // per-PE breakdown: all the RMA happened on PE 0
+        assert_eq!(r.per_pe.len(), 2);
+        assert_eq!(r.per_pe[0].puts, 2);
+        assert_eq!(r.per_pe[1].puts, 0);
+        assert!(text.contains("pe/0: 2 puts"));
+        assert!(text.contains("direct-gdr:1"), "{text}");
+        assert!(text.contains("pipeline-gdr-write:1"), "{text}");
     }
 
     #[test]

@@ -42,6 +42,20 @@ pub enum Protocol {
 impl Protocol {
     pub const COUNT: usize = 10;
 
+    /// Every protocol, in counter-index order (for rendering loops).
+    pub const ALL: [Protocol; Protocol::COUNT] = [
+        Protocol::ShmCopy,
+        Protocol::IpcCopy,
+        Protocol::TwoCopyStaged,
+        Protocol::LoopbackGdr,
+        Protocol::DirectGdr,
+        Protocol::PipelineGdrWrite,
+        Protocol::HostPipelineStaged,
+        Protocol::ProxyPipeline,
+        Protocol::HostRdma,
+        Protocol::HwAtomic,
+    ];
+
     pub fn name(self) -> &'static str {
         match self {
             Protocol::ShmCopy => "shm-copy",
@@ -195,7 +209,6 @@ impl PeState {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pcie_sim::mem::MemSpace;
 
     #[test]
     fn protocol_names_cover_all_variants() {

@@ -10,7 +10,7 @@ use crate::GpuRuntime;
 use pcie_sim::mem::{MemError, MemRef, MemSpace};
 use pcie_sim::profile::P2pDir;
 use pcie_sim::GpuId;
-use sim_core::{Completion, Sched, SimDuration, TaskCtx};
+use sim_core::{Completion, LinkGrant, Sched, SimDuration, SimTime, TaskCtx};
 use std::sync::Arc;
 
 /// The inferred direction of a memcpy.
@@ -59,6 +59,67 @@ impl GpuRuntime {
         check(dst)
     }
 
+    /// Record one DMA-engine occupancy with the attached recorder (if
+    /// any): utilization counters at `Counters`, plus an engine span at
+    /// `Spans`.
+    fn note_dma(&self, engine: &'static str, g: GpuId, len: u64, grant: &LinkGrant) {
+        if let Some(rec) = self.obs.counters() {
+            rec.agent_bytes(
+                obs::TrackKind::GpuDma,
+                g.0,
+                grant.start,
+                len,
+                grant.depart.since(grant.start),
+            );
+            if rec.spans_on() {
+                let track = rec.track(obs::TrackKind::GpuDma, g.0);
+                rec.span(track, engine, grant.start, grant.arrive, obs::Payload::Xfer { size: len });
+            }
+        }
+    }
+
+    /// Classify `src -> dst`, reserve the right DMA engine(s) for `len`
+    /// bytes starting `now`, and return the arrival instant of the last
+    /// byte. Shared by [`dma_start`](Self::dma_start) and
+    /// [`memcpy2d_sync`](Self::memcpy2d_sync).
+    fn reserve_transfer(&self, now: SimTime, src: MemRef, dst: MemRef, len: u64) -> SimTime {
+        let hw = *self.cluster().hw();
+        match classify(src, dst) {
+            CopyKind::HostToHost => {
+                now + hw.host.memcpy_overhead + SimDuration::for_bytes(len, hw.host.memcpy_bw)
+            }
+            CopyKind::HostToDevice(g) => {
+                let grant = self.gpu(g).h2d.lock().reserve(now, len);
+                self.note_dma("h2d", g, len, &grant);
+                grant.arrive
+            }
+            CopyKind::DeviceToHost(g) => {
+                let grant = self.gpu(g).d2h.lock().reserve(now, len);
+                self.note_dma("d2h", g, len, &grant);
+                grant.arrive
+            }
+            CopyKind::DeviceToDevice(g) => {
+                let grant = self.gpu(g).d2d.lock().reserve(now, len);
+                self.note_dma("d2d", g, len, &grant);
+                grant.arrive
+            }
+            CopyKind::PeerToPeer { src: a, dst: b } => {
+                // A peer copy reads from `a` and writes into `b`; the
+                // chipset caps it at the P2P write bandwidth for the
+                // socket relation between the two devices.
+                let topo = self.cluster().topo();
+                let intra = topo.node_of_gpu(a) == topo.node_of_gpu(b)
+                    && topo.socket_of_gpu(a) == topo.socket_of_gpu(b);
+                let eff = hw.pcie.p2p_bw(P2pDir::WriteToGpu, intra);
+                let ga = self.gpu(a).d2h.lock().reserve_with(now, len, eff);
+                let gb = self.gpu(b).h2d.lock().reserve_with(now, len, eff);
+                self.note_dma("p2p-out", a, len, &ga);
+                self.note_dma("p2p-in", b, len, &gb);
+                ga.arrive.max(gb.arrive)
+            }
+        }
+    }
+
     /// Start the DMA for a memcpy *now* (engine lock held via `Sched`);
     /// signals `done` (+1) at the modelled completion instant, after the
     /// bytes have actually been copied.
@@ -70,30 +131,7 @@ impl GpuRuntime {
         if let Err(e) = self.validate_copy(src, dst, len) {
             panic!("memcpy validation failed: {e}");
         }
-        let now = s.now();
-        let hw = *self.cluster().hw();
-        let arrive = match classify(src, dst) {
-            CopyKind::HostToHost => {
-                let d = hw.host.memcpy_overhead
-                    + SimDuration::for_bytes(len, hw.host.memcpy_bw);
-                now + d
-            }
-            CopyKind::HostToDevice(g) => self.gpu(g).h2d.lock().reserve(now, len).arrive,
-            CopyKind::DeviceToHost(g) => self.gpu(g).d2h.lock().reserve(now, len).arrive,
-            CopyKind::DeviceToDevice(g) => self.gpu(g).d2d.lock().reserve(now, len).arrive,
-            CopyKind::PeerToPeer { src: a, dst: b } => {
-                // A peer copy reads from `a` and writes into `b`; the
-                // chipset caps it at the P2P write bandwidth for the
-                // socket relation between the two devices.
-                let topo = self.cluster().topo();
-                let intra = topo.node_of_gpu(a) == topo.node_of_gpu(b)
-                    && topo.socket_of_gpu(a) == topo.socket_of_gpu(b);
-                let eff = hw.pcie.p2p_bw(P2pDir::WriteToGpu, intra);
-                let ga = self.gpu(a).d2h.lock().reserve_with(now, len, eff);
-                let gb = self.gpu(b).h2d.lock().reserve_with(now, len, eff);
-                ga.arrive.max(gb.arrive)
-            }
-        };
+        let arrive = self.reserve_transfer(s.now(), src, dst, len);
         let rt = self.clone();
         let done = done.clone();
         s.schedule_at(
@@ -187,27 +225,8 @@ impl GpuRuntime {
         let me = self.clone();
         let done2 = done.clone();
         ctx.with_sched(move |s| {
-            let now = s.now();
-            let hw = *me.cluster().hw();
-            let arrive = match classify(src, dst) {
-                CopyKind::HostToHost => {
-                    now + hw.host.memcpy_overhead
-                        + SimDuration::for_bytes(payload, hw.host.memcpy_bw)
-                }
-                CopyKind::HostToDevice(g) => me.gpu(g).h2d.lock().reserve(now, payload).arrive,
-                CopyKind::DeviceToHost(g) => me.gpu(g).d2h.lock().reserve(now, payload).arrive,
-                CopyKind::DeviceToDevice(g) => me.gpu(g).d2d.lock().reserve(now, payload).arrive,
-                CopyKind::PeerToPeer { src: a, dst: b } => {
-                    // peer 2D copies obey the same chipset caps as 1D
-                    let topo = me.cluster().topo();
-                    let intra = topo.node_of_gpu(a) == topo.node_of_gpu(b)
-                        && topo.socket_of_gpu(a) == topo.socket_of_gpu(b);
-                    let eff = hw.pcie.p2p_bw(P2pDir::WriteToGpu, intra);
-                    let ga = me.gpu(a).d2h.lock().reserve_with(now, payload, eff);
-                    let gb = me.gpu(b).h2d.lock().reserve_with(now, payload, eff);
-                    ga.arrive.max(gb.arrive)
-                }
-            };
+            // peer 2D copies obey the same chipset caps as 1D
+            let arrive = me.reserve_transfer(s.now(), src, dst, payload);
             let me2 = me.clone();
             s.schedule_at(
                 arrive,
@@ -270,10 +289,12 @@ impl GpuRuntime {
         intra_socket: bool,
     ) -> sim_core::LinkGrant {
         let eff = self.cluster().hw().pcie.p2p_bw(dir, intra_socket);
-        match dir {
-            P2pDir::ReadFromGpu => gpu.p2p_out.lock().reserve_with(now, len, eff),
-            P2pDir::WriteToGpu => gpu.p2p_in.lock().reserve_with(now, len, eff),
-        }
+        let (engine, grant) = match dir {
+            P2pDir::ReadFromGpu => ("p2p-out", gpu.p2p_out.lock().reserve_with(now, len, eff)),
+            P2pDir::WriteToGpu => ("p2p-in", gpu.p2p_in.lock().reserve_with(now, len, eff)),
+        };
+        self.note_dma(engine, gpu.id(), len, &grant);
+        grant
     }
 }
 

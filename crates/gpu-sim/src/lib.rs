@@ -45,6 +45,7 @@ pub struct GpuRuntime {
     cluster: Arc<Cluster>,
     gpus: Vec<Arc<GpuDevice>>,
     ipc: IpcRegistry,
+    obs: obs::Sink,
 }
 
 impl GpuRuntime {
@@ -65,7 +66,14 @@ impl GpuRuntime {
             cluster,
             gpus,
             ipc: IpcRegistry::new(),
+            obs: obs::Sink::new(),
         })
+    }
+
+    /// Late-bound observability sink; a machine attaches its recorder
+    /// here so DMA-engine utilization lands in the trace.
+    pub fn obs(&self) -> &obs::Sink {
+        &self.obs
     }
 
     pub fn sim(&self) -> &Sim {

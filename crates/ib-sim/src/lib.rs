@@ -30,6 +30,7 @@ pub struct IbVerbs {
     hcas: Vec<Hca>,
     mrs: MrTable,
     qps: QpTable,
+    obs: obs::Sink,
 }
 
 impl IbVerbs {
@@ -45,7 +46,14 @@ impl IbVerbs {
             hcas,
             mrs: MrTable::new(),
             qps: QpTable::new(),
+            obs: obs::Sink::new(),
         })
+    }
+
+    /// Late-bound observability sink; a machine attaches its recorder
+    /// here so HCA TX utilization lands in the trace.
+    pub fn obs(&self) -> &obs::Sink {
+        &self.obs
     }
 
     pub fn sim(&self) -> &Sim {
@@ -62,6 +70,32 @@ impl IbVerbs {
 
     pub fn hca(&self, id: HcaId) -> &Hca {
         &self.hcas[id.index()]
+    }
+
+    /// Reserve an HCA's TX engine, accounting the transfer with the
+    /// attached recorder (utilization counters; a TX span at `Spans`).
+    pub(crate) fn tx_reserve(
+        &self,
+        id: HcaId,
+        now: sim_core::SimTime,
+        len: u64,
+        eff_bw: f64,
+    ) -> sim_core::LinkGrant {
+        let grant = self.hca(id).tx_reserve(now, len, eff_bw);
+        if let Some(rec) = self.obs.counters() {
+            rec.agent_bytes(
+                obs::TrackKind::Hca,
+                id.0,
+                grant.start,
+                len,
+                grant.depart.since(grant.start),
+            );
+            if rec.spans_on() {
+                let track = rec.track(obs::TrackKind::Hca, id.0);
+                rec.span(track, "tx", grant.start, grant.depart, obs::Payload::Xfer { size: len });
+            }
+        }
+        grant
     }
 
     pub fn hcas(&self) -> &[Hca] {

@@ -227,7 +227,7 @@ impl IbVerbs {
             self.gpus()
                 .p2p_reserve(self.gpus().gpu(g), t0, len, P2pDir::ReadFromGpu, intra);
         }
-        let grant = self.hca(path.src_hca).tx_reserve(t0, len, eff);
+        let grant = self.tx_reserve(path.src_hca, t0, len, eff);
 
         // Local completion: last byte pulled from the source buffer.
         let local = local_done.clone();
@@ -320,9 +320,7 @@ impl IbVerbs {
                 intra,
             );
         }
-        let grant = self
-            .hca(path.exec_hca)
-            .tx_reserve(t_req + gather_lat, len, eff);
+        let grant = self.tx_reserve(path.exec_hca, t_req + gather_lat, len, eff);
 
         // Response crosses back and is scattered locally by the poster's HCA.
         let back_at = grant.depart + path.mid;

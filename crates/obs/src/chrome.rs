@@ -1,0 +1,256 @@
+//! Chrome `trace_event` JSON export.
+//!
+//! Output loads in `chrome://tracing` or Perfetto. Each recorder track
+//! becomes one "thread" (tid) of a single process, named via `"M"`
+//! metadata events; timestamps and durations are **virtual**
+//! microseconds (`ts`/`dur` floats, picosecond-exact since 1 ps =
+//! 1e-6 us). Spans are `"X"` complete events, decision records and
+//! other instants are `"i"` thread-scoped instant events, and
+//! hardware byte samples are `"C"` counter events.
+
+use crate::json::{write_str, ObjWriter};
+use crate::{Event, Payload};
+
+fn us(ps: u64) -> f64 {
+    ps as f64 / 1e6
+}
+
+fn write_args(out: &mut String, p: &Payload) {
+    match p {
+        Payload::None => {
+            out.push_str("{}");
+        }
+        Payload::Op {
+            op,
+            protocol,
+            size,
+            src_pe,
+            dst_pe,
+            src_dev,
+            dst_dev,
+            same_node,
+        } => {
+            let mut o = ObjWriter::new(out);
+            o.str_field("op", op)
+                .str_field("protocol", protocol)
+                .u64_field("size", *size)
+                .u64_field("src_pe", *src_pe as u64)
+                .u64_field("dst_pe", *dst_pe as u64)
+                .bool_field("src_dev", *src_dev)
+                .bool_field("dst_dev", *dst_dev)
+                .bool_field("same_node", *same_node);
+            o.finish();
+        }
+        Payload::Decision(d) => {
+            let mut o = ObjWriter::new(out);
+            o.str_field("op", d.op)
+                .u64_field("size", d.size)
+                .u64_field("src_pe", d.src_pe as u64)
+                .u64_field("dst_pe", d.dst_pe as u64)
+                .bool_field("src_dev", d.src_dev)
+                .bool_field("dst_dev", d.dst_dev)
+                .bool_field("same_node", d.same_node)
+                .str_field("chosen", d.chosen);
+            {
+                let buf = o.raw_field("candidates");
+                buf.push('[');
+                for (i, c) in d.candidates.iter().enumerate() {
+                    if i > 0 {
+                        buf.push(',');
+                    }
+                    write_str(buf, c);
+                }
+                buf.push(']');
+            }
+            {
+                let buf = o.raw_field("thresholds");
+                let mut t = ObjWriter::new(buf);
+                for (name, v) in d.thresholds.iter() {
+                    t.u64_field(name, v);
+                }
+                t.finish();
+            }
+            o.finish();
+        }
+        Payload::Chunk {
+            protocol,
+            stage,
+            index,
+            size,
+        } => {
+            let mut o = ObjWriter::new(out);
+            o.str_field("protocol", protocol)
+                .str_field("stage", stage)
+                .u64_field("chunk", *index as u64)
+                .u64_field("size", *size);
+            o.finish();
+        }
+        Payload::Proxy {
+            kind,
+            size,
+            origin_pe,
+        } => {
+            let mut o = ObjWriter::new(out);
+            o.str_field("kind", kind)
+                .u64_field("size", *size)
+                .u64_field("origin_pe", *origin_pe as u64);
+            o.finish();
+        }
+        Payload::Xfer { size } => {
+            let mut o = ObjWriter::new(out);
+            o.u64_field("size", *size);
+            o.finish();
+        }
+        Payload::Bytes { bytes, total } => {
+            let mut o = ObjWriter::new(out);
+            o.u64_field("delta", *bytes).u64_field("bytes", *total);
+            o.finish();
+        }
+    }
+}
+
+fn write_event(out: &mut String, tid: usize, ev: &Event) {
+    let mut o = ObjWriter::new(out);
+    o.num_field("pid", 1.0).num_field("tid", tid as f64);
+    match ev.payload {
+        Payload::Bytes { total, .. } => {
+            // counter sample: Chrome plots args values over time
+            o.str_field("ph", "C").str_field("name", ev.name);
+            o.num_field("ts", us(ev.ts.as_ps()));
+            let buf = o.raw_field("args");
+            let mut a = ObjWriter::new(buf);
+            a.u64_field("bytes", total);
+            a.finish();
+        }
+        _ if ev.dur.is_zero() => {
+            o.str_field("ph", "i").str_field("s", "t").str_field("name", ev.name);
+            o.num_field("ts", us(ev.ts.as_ps()));
+            let buf = o.raw_field("args");
+            write_args(buf, &ev.payload);
+        }
+        _ => {
+            o.str_field("ph", "X").str_field("name", ev.name);
+            o.num_field("ts", us(ev.ts.as_ps()));
+            o.num_field("dur", us(ev.dur.as_ps()));
+            let buf = o.raw_field("args");
+            write_args(buf, &ev.payload);
+        }
+    }
+    o.finish();
+}
+
+/// Export tracks (already sorted by the recorder) as a complete Chrome
+/// trace document: `{"displayTimeUnit":"ns","traceEvents":[...]}`.
+pub fn export(tracks: &[(&str, &[Event])]) -> String {
+    let mut out = String::with_capacity(4096);
+    out.push_str("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[");
+    let mut first = true;
+    let mut sep = |out: &mut String| {
+        if !std::mem::take(&mut first) {
+            out.push(',');
+        }
+        out.push('\n');
+    };
+    for (tid, (name, _)) in tracks.iter().enumerate() {
+        sep(&mut out);
+        let mut o = ObjWriter::new(&mut out);
+        o.str_field("ph", "M").str_field("name", "thread_name");
+        o.num_field("pid", 1.0).num_field("tid", tid as f64);
+        let buf = o.raw_field("args");
+        let mut a = ObjWriter::new(buf);
+        a.str_field("name", name);
+        a.finish();
+        o.finish();
+    }
+    for (tid, (_, events)) in tracks.iter().enumerate() {
+        // stable sort: simultaneous events keep their recorded order
+        let mut order: Vec<&Event> = events.iter().collect();
+        order.sort_by_key(|e| e.ts);
+        for ev in order {
+            sep(&mut out);
+            write_event(&mut out, tid, ev);
+        }
+    }
+    out.push_str("\n]}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+    use crate::{Decision, ObsLevel, Recorder, TrackKind};
+    use sim_core::{SimDuration, SimTime};
+
+    #[test]
+    fn trace_parses_and_has_named_threads() {
+        let r = Recorder::new(ObsLevel::Spans);
+        let pe = r.track(TrackKind::Pe, 0);
+        let t0 = SimTime::ZERO + SimDuration::from_us(2);
+        r.span(
+            pe,
+            "put",
+            t0,
+            t0 + SimDuration::from_us(5),
+            Payload::Op {
+                op: "put",
+                protocol: "direct-gdr",
+                size: 128,
+                src_pe: 0,
+                dst_pe: 1,
+                src_dev: true,
+                dst_dev: true,
+                same_node: false,
+            },
+        );
+        r.decision(
+            pe,
+            t0,
+            Decision {
+                op: "put",
+                chosen: "direct-gdr",
+                ..Default::default()
+            },
+        );
+        r.agent_bytes(TrackKind::Hca, 0, t0, 128, SimDuration::from_us(1));
+
+        let doc = json::parse(&r.chrome_trace()).expect("valid JSON");
+        let evs = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        let metas: Vec<&str> = evs
+            .iter()
+            .filter(|e| e.get("ph").unwrap().as_str() == Some("M"))
+            .map(|e| e.get("args").unwrap().get("name").unwrap().as_str().unwrap())
+            .collect();
+        assert_eq!(metas, ["pe/0", "hca/0"]);
+        let span = evs
+            .iter()
+            .find(|e| e.get("ph").unwrap().as_str() == Some("X"))
+            .expect("one span");
+        assert_eq!(span.get("ts").unwrap().as_f64(), Some(2.0));
+        assert_eq!(span.get("dur").unwrap().as_f64(), Some(5.0));
+        assert_eq!(
+            span.get("args").unwrap().get("protocol").unwrap().as_str(),
+            Some("direct-gdr")
+        );
+        assert!(evs
+            .iter()
+            .any(|e| e.get("ph").unwrap().as_str() == Some("C")));
+        assert!(evs
+            .iter()
+            .any(|e| e.get("name").unwrap().as_str() == Some("protocol-decision")));
+    }
+
+    #[test]
+    fn identical_recordings_export_identically() {
+        let make = || {
+            let r = Recorder::new(ObsLevel::Spans);
+            let pe = r.track(TrackKind::Pe, 7);
+            for i in 0..10u64 {
+                let t = SimTime::ZERO + SimDuration::from_ns(i * 100);
+                r.span(pe, "op", t, t + SimDuration::from_ns(50), Payload::None);
+            }
+            r.chrome_trace()
+        };
+        assert_eq!(make(), make());
+    }
+}

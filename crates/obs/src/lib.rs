@@ -1,0 +1,660 @@
+//! Virtual-time tracing and metrics for the simulated OpenSHMEM stack.
+//!
+//! The runtime is a discrete-event simulation: every interesting moment
+//! already has an exact virtual timestamp, so observability here is
+//! *deterministic* — two runs of the same program produce byte-identical
+//! traces. The subsystem records:
+//!
+//! * **op spans** — one per `shmem_put`/`get`/atomic/barrier, carrying
+//!   the endpoints, memory domains, size, and the protocol that served it;
+//! * **protocol-decision records** — for each RMA dispatch, which
+//!   [`Protocol`] was chosen, which candidates were considered, and the
+//!   threshold values consulted (the paper's §IV tuning knobs);
+//! * **pipeline chunk spans** — per-chunk D2H / RDMA / wakeup stages of
+//!   the pipelined GDR and proxy designs;
+//! * **histograms** — log2-bucketed op latency per (protocol ×
+//!   size-class);
+//! * **hardware utilization** — bytes and busy-time per HCA TX engine
+//!   and per GPU DMA engine, sampled at event granularity.
+//!
+//! Export formats: Chrome `trace_event` JSON ([`Recorder::chrome_trace`],
+//! load in `chrome://tracing` / Perfetto; one "thread" per PE and per
+//! hardware agent, timestamps in virtual microseconds) and a plain-text
+//! summary ([`Recorder::summary`]).
+//!
+//! The level switch is [`ObsLevel`]: `Off` (default; the hot path is a
+//! single relaxed atomic load and no allocation), `Counters` (histograms
+//! and utilization counters), `Spans` (everything).
+//!
+//! [`Protocol`]: ../shmem_gdr/state/enum.Protocol.html
+
+pub mod chrome;
+pub mod hist;
+pub mod json;
+
+pub use hist::Hist;
+
+use parking_lot::Mutex;
+use sim_core::{SimDuration, SimTime};
+use std::collections::BTreeMap;
+use std::sync::{Arc, OnceLock};
+
+/// How much the recorder captures. Order matters: each level is a
+/// superset of the previous one.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord)]
+pub enum ObsLevel {
+    /// Record nothing; hot paths stay allocation-free.
+    #[default]
+    Off,
+    /// Histograms, engine counters and hardware utilization only.
+    Counters,
+    /// Everything: counters plus per-op spans, decision records and
+    /// pipeline chunk spans.
+    Spans,
+}
+
+impl ObsLevel {
+    /// Parse `"off"` / `"counters"` / `"spans"` (case-insensitive).
+    pub fn parse(s: &str) -> Option<ObsLevel> {
+        match s.to_ascii_lowercase().as_str() {
+            "off" | "0" | "none" => Some(ObsLevel::Off),
+            "counters" | "1" => Some(ObsLevel::Counters),
+            "spans" | "2" | "full" | "trace" => Some(ObsLevel::Spans),
+            _ => None,
+        }
+    }
+
+    /// Read the `GDR_SHMEM_OBS` environment variable; unset or
+    /// unrecognized values mean [`ObsLevel::Off`].
+    pub fn from_env() -> ObsLevel {
+        std::env::var("GDR_SHMEM_OBS")
+            .ok()
+            .and_then(|v| Self::parse(&v))
+            .unwrap_or(ObsLevel::Off)
+    }
+
+    pub fn counters_on(self) -> bool {
+        self >= ObsLevel::Counters
+    }
+
+    pub fn spans_on(self) -> bool {
+        self >= ObsLevel::Spans
+    }
+}
+
+/// Which logical agent a track belongs to. Tracks are exported sorted
+/// by `(kind, index)` so registration order never shows in the output.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum TrackKind {
+    /// One per processing element (`pe/N`).
+    Pe,
+    /// One per node's proxy service thread (`proxy/N`).
+    Proxy,
+    /// One per HCA TX engine (`hca/N`).
+    Hca,
+    /// One per GPU's DMA/copy engines (`gpu-dma/N`).
+    GpuDma,
+    /// The event engine itself (`engine`).
+    Engine,
+}
+
+impl TrackKind {
+    fn prefix(self) -> &'static str {
+        match self {
+            TrackKind::Pe => "pe",
+            TrackKind::Proxy => "proxy",
+            TrackKind::Hca => "hca",
+            TrackKind::GpuDma => "gpu-dma",
+            TrackKind::Engine => "engine",
+        }
+    }
+}
+
+/// Handle to a registered track; cheap to copy, stable for the life of
+/// the recorder.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TrackId(u32);
+
+/// Fixed-capacity candidate list for a decision record (no allocation
+/// on the record path).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Cands {
+    items: [&'static str; Decision::MAX],
+    len: u8,
+}
+
+impl Cands {
+    pub fn push(&mut self, name: &'static str) {
+        if (self.len as usize) < Decision::MAX {
+            self.items[self.len as usize] = name;
+            self.len += 1;
+        }
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = &'static str> + '_ {
+        self.items[..self.len as usize].iter().copied()
+    }
+
+    pub fn contains(&self, name: &str) -> bool {
+        self.iter().any(|c| c == name)
+    }
+
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+impl FromIterator<&'static str> for Cands {
+    fn from_iter<I: IntoIterator<Item = &'static str>>(it: I) -> Cands {
+        let mut c = Cands::default();
+        for n in it {
+            c.push(n);
+        }
+        c
+    }
+}
+
+/// Fixed-capacity list of `(threshold-name, value)` pairs consulted by
+/// a protocol dispatch.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Thresholds {
+    items: [(&'static str, u64); Decision::MAX],
+    len: u8,
+}
+
+impl Thresholds {
+    pub fn push(&mut self, name: &'static str, value: u64) {
+        if (self.len as usize) < Decision::MAX {
+            self.items[self.len as usize] = (name, value);
+            self.len += 1;
+        }
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.items[..self.len as usize].iter().copied()
+    }
+
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+/// One protocol-dispatch decision: what was asked for, what was
+/// considered, what won.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Decision {
+    /// `"put"`, `"get"`, `"atomic"`, ...
+    pub op: &'static str,
+    pub size: u64,
+    pub src_pe: u32,
+    pub dst_pe: u32,
+    /// Source buffer lives in device memory.
+    pub src_dev: bool,
+    /// Destination buffer lives in device memory.
+    pub dst_dev: bool,
+    pub same_node: bool,
+    /// `Protocol::name()` of the winner.
+    pub chosen: &'static str,
+    pub candidates: Cands,
+    pub thresholds: Thresholds,
+}
+
+impl Decision {
+    /// Capacity of the candidate / threshold lists.
+    pub const MAX: usize = 4;
+}
+
+/// Structured, fixed-size payload attached to an event. `&'static str`
+/// fields keep the record path allocation-free.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Payload {
+    None,
+    /// A completed RMA/sync operation (span on a PE track).
+    Op {
+        op: &'static str,
+        protocol: &'static str,
+        size: u64,
+        src_pe: u32,
+        dst_pe: u32,
+        src_dev: bool,
+        dst_dev: bool,
+        same_node: bool,
+    },
+    /// A protocol-dispatch decision (instant on a PE track).
+    Decision(Decision),
+    /// One pipeline-chunk stage (span on a PE/proxy track).
+    Chunk {
+        protocol: &'static str,
+        stage: &'static str,
+        index: u32,
+        size: u64,
+    },
+    /// Proxy service-thread activity (span on a proxy track).
+    Proxy {
+        kind: &'static str,
+        size: u64,
+        origin_pe: u32,
+    },
+    /// A hardware transfer occupying an engine (span on a HW track).
+    Xfer { size: u64 },
+    /// Cumulative byte count on a hardware track (Chrome counter sample).
+    Bytes { bytes: u64, total: u64 },
+}
+
+/// One recorded event. `dur == 0` renders as an instant.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Event {
+    pub ts: SimTime,
+    pub dur: SimDuration,
+    pub name: &'static str,
+    pub payload: Payload,
+}
+
+struct Track {
+    kind: TrackKind,
+    index: u32,
+    name: String,
+    events: Vec<Event>,
+}
+
+/// Accumulated utilization for one hardware agent.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct AgentCounters {
+    pub ops: u64,
+    pub bytes: u64,
+    pub busy: SimDuration,
+}
+
+#[derive(Default)]
+struct Tables {
+    tracks: Vec<Track>,
+    by_key: BTreeMap<(TrackKind, u32), u32>,
+}
+
+/// The event/metric store. Created once per [`ShmemMachine`] and shared
+/// (via [`Sink`]) with the hardware layers. All methods are safe to
+/// call from PE threads and from engine callbacks.
+///
+/// [`ShmemMachine`]: ../shmem_gdr/machine/struct.ShmemMachine.html
+pub struct Recorder {
+    level: ObsLevel,
+    tables: Mutex<Tables>,
+    hists: Mutex<BTreeMap<(&'static str, u8), Hist>>,
+    agents: Mutex<BTreeMap<(TrackKind, u32), AgentCounters>>,
+}
+
+impl Recorder {
+    pub fn new(level: ObsLevel) -> Arc<Recorder> {
+        Arc::new(Recorder {
+            level,
+            tables: Mutex::new(Tables::default()),
+            hists: Mutex::new(BTreeMap::new()),
+            agents: Mutex::new(BTreeMap::new()),
+        })
+    }
+
+    pub fn level(&self) -> ObsLevel {
+        self.level
+    }
+
+    pub fn counters_on(&self) -> bool {
+        self.level.counters_on()
+    }
+
+    pub fn spans_on(&self) -> bool {
+        self.level.spans_on()
+    }
+
+    /// Register (or look up) the track for `(kind, index)`.
+    pub fn track(&self, kind: TrackKind, index: u32) -> TrackId {
+        let mut t = self.tables.lock();
+        if let Some(&id) = t.by_key.get(&(kind, index)) {
+            return TrackId(id);
+        }
+        let id = t.tracks.len() as u32;
+        let name = if kind == TrackKind::Engine {
+            "engine".to_string()
+        } else {
+            format!("{}/{}", kind.prefix(), index)
+        };
+        t.tracks.push(Track {
+            kind,
+            index,
+            name,
+            events: Vec::new(),
+        });
+        t.by_key.insert((kind, index), id);
+        TrackId(id)
+    }
+
+    /// Record a span `[start, end)`; only at [`ObsLevel::Spans`].
+    pub fn span(&self, track: TrackId, name: &'static str, start: SimTime, end: SimTime, payload: Payload) {
+        if !self.spans_on() {
+            return;
+        }
+        self.push(
+            track,
+            Event {
+                ts: start,
+                dur: end.since(start),
+                name,
+                payload,
+            },
+        );
+    }
+
+    /// Record an instant event; only at [`ObsLevel::Spans`].
+    pub fn instant(&self, track: TrackId, name: &'static str, ts: SimTime, payload: Payload) {
+        if !self.spans_on() {
+            return;
+        }
+        self.push(
+            track,
+            Event {
+                ts,
+                dur: SimDuration::ZERO,
+                name,
+                payload,
+            },
+        );
+    }
+
+    /// Record a protocol-dispatch decision on `track`.
+    pub fn decision(&self, track: TrackId, ts: SimTime, d: Decision) {
+        self.instant(track, "protocol-decision", ts, Payload::Decision(d));
+    }
+
+    fn push(&self, track: TrackId, ev: Event) {
+        let mut t = self.tables.lock();
+        t.tracks[track.0 as usize].events.push(ev);
+    }
+
+    /// Feed an op latency into the per-(protocol × size-class)
+    /// histogram; active from [`ObsLevel::Counters`] up.
+    pub fn latency(&self, protocol: &'static str, size: u64, dur: SimDuration) {
+        if !self.counters_on() {
+            return;
+        }
+        let class = hist::bucket_index(size) as u8;
+        self.hists
+            .lock()
+            .entry((protocol, class))
+            .or_default()
+            .record(dur.as_ps());
+    }
+
+    /// Account `bytes` moved (busy for `busy`) on hardware agent
+    /// `(kind, index)`; active from [`ObsLevel::Counters`] up. At
+    /// [`ObsLevel::Spans`] it also emits a cumulative-bytes counter
+    /// sample at `ts` on the agent's track.
+    pub fn agent_bytes(&self, kind: TrackKind, index: u32, ts: SimTime, bytes: u64, busy: SimDuration) {
+        if !self.counters_on() {
+            return;
+        }
+        let total = {
+            let mut a = self.agents.lock();
+            let c = a.entry((kind, index)).or_default();
+            c.ops += 1;
+            c.bytes += bytes;
+            c.busy += busy;
+            c.bytes
+        };
+        if self.spans_on() {
+            let track = self.track(kind, index);
+            self.push(
+                track,
+                Event {
+                    ts,
+                    dur: SimDuration::ZERO,
+                    name: "bytes",
+                    payload: Payload::Bytes { bytes, total },
+                },
+            );
+        }
+    }
+
+    /// Snapshot the events of one track (test/inspection helper).
+    pub fn events_of(&self, kind: TrackKind, index: u32) -> Vec<Event> {
+        let t = self.tables.lock();
+        t.by_key
+            .get(&(kind, index))
+            .map(|&id| t.tracks[id as usize].events.clone())
+            .unwrap_or_default()
+    }
+
+    /// Visit every event of every track in deterministic `(kind, index)`
+    /// order.
+    pub fn for_each_event(&self, mut f: impl FnMut(TrackKind, u32, &Event)) {
+        let t = self.tables.lock();
+        let mut order: Vec<&Track> = t.tracks.iter().collect();
+        order.sort_by_key(|tr| (tr.kind, tr.index));
+        for tr in order {
+            for ev in &tr.events {
+                f(tr.kind, tr.index, ev);
+            }
+        }
+    }
+
+    /// Total number of recorded events across all tracks.
+    pub fn event_count(&self) -> usize {
+        self.tables.lock().tracks.iter().map(|t| t.events.len()).sum()
+    }
+
+    /// Number of protocol-decision records across all tracks.
+    pub fn decision_count(&self) -> usize {
+        let t = self.tables.lock();
+        t.tracks
+            .iter()
+            .flat_map(|tr| tr.events.iter())
+            .filter(|e| matches!(e.payload, Payload::Decision(_)))
+            .count()
+    }
+
+    /// Snapshot of the latency histograms, keyed by
+    /// `(protocol, size-class)` where the class is the log2 bucket index
+    /// of the op size ([`hist::bucket_index`]).
+    pub fn histograms(&self) -> BTreeMap<(&'static str, u8), Hist> {
+        self.hists.lock().clone()
+    }
+
+    /// Snapshot of the hardware utilization counters.
+    pub fn agent_counters(&self) -> BTreeMap<(TrackKind, u32), AgentCounters> {
+        self.agents.lock().clone()
+    }
+
+    /// Export everything as Chrome `trace_event` JSON.
+    pub fn chrome_trace(&self) -> String {
+        let t = self.tables.lock();
+        let mut order: Vec<&Track> = t.tracks.iter().collect();
+        order.sort_by_key(|tr| (tr.kind, tr.index));
+        chrome::export(&order.iter().map(|tr| (tr.name.as_str(), &tr.events[..])).collect::<Vec<_>>())
+    }
+
+    /// Plain-text summary: histograms and hardware utilization.
+    pub fn summary(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "== observability summary (level {:?}) ==", self.level);
+        let hists = self.hists.lock();
+        if !hists.is_empty() {
+            let _ = writeln!(out, "-- op latency by (protocol, size-class) --");
+            for ((proto, class), h) in hists.iter() {
+                let _ = writeln!(
+                    out,
+                    "{proto:<18} {:<14} n={:<6} min={} p50~{} max={}",
+                    hist::size_class_label(*class),
+                    h.count,
+                    SimDuration::from_ps(h.min()),
+                    SimDuration::from_ps(h.approx_median()),
+                    SimDuration::from_ps(h.max()),
+                );
+            }
+        }
+        let agents = self.agents.lock();
+        if !agents.is_empty() {
+            let _ = writeln!(out, "-- hardware utilization --");
+            for ((kind, idx), c) in agents.iter() {
+                let _ = writeln!(
+                    out,
+                    "{}/{idx:<4} ops={:<7} bytes={:<12} busy={}",
+                    kind.prefix(),
+                    c.ops,
+                    c.bytes,
+                    c.busy
+                );
+            }
+        }
+        let n = self.event_count();
+        if n > 0 {
+            let _ = writeln!(out, "-- {n} events on {} tracks --", self.tables.lock().tracks.len());
+        }
+        out
+    }
+}
+
+/// A late-bound, cloneable handle hardware layers hold so a machine can
+/// attach its [`Recorder`] after construction. Unattached (or attached
+/// at [`ObsLevel::Off`]) the per-event cost is one atomic load.
+#[derive(Clone, Default)]
+pub struct Sink {
+    inner: Arc<OnceLock<Arc<Recorder>>>,
+}
+
+impl Sink {
+    pub fn new() -> Sink {
+        Sink::default()
+    }
+
+    /// Attach a recorder. The first attach wins; later calls are no-ops
+    /// (a machine attaches exactly once, at build time).
+    pub fn attach(&self, rec: Arc<Recorder>) {
+        let _ = self.inner.set(rec);
+    }
+
+    /// The recorder, if one is attached and recording at all.
+    pub fn get(&self) -> Option<&Recorder> {
+        self.inner
+            .get()
+            .map(|r| r.as_ref())
+            .filter(|r| r.level() != ObsLevel::Off)
+    }
+
+    /// The recorder, if counters (or more) are being collected.
+    pub fn counters(&self) -> Option<&Recorder> {
+        self.get().filter(|r| r.counters_on())
+    }
+
+    /// The recorder, if full span recording is on.
+    pub fn spans(&self) -> Option<&Recorder> {
+        self.get().filter(|r| r.spans_on())
+    }
+}
+
+impl std::fmt::Debug for Sink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.inner.get() {
+            Some(r) => write!(f, "Sink({:?})", r.level()),
+            None => write!(f, "Sink(unattached)"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level_order_and_parse() {
+        assert!(ObsLevel::Spans > ObsLevel::Counters);
+        assert!(ObsLevel::Counters > ObsLevel::Off);
+        assert_eq!(ObsLevel::parse("SPANS"), Some(ObsLevel::Spans));
+        assert_eq!(ObsLevel::parse("counters"), Some(ObsLevel::Counters));
+        assert_eq!(ObsLevel::parse("off"), Some(ObsLevel::Off));
+        assert_eq!(ObsLevel::parse("bogus"), None);
+    }
+
+    #[test]
+    fn off_records_nothing() {
+        let r = Recorder::new(ObsLevel::Off);
+        let t = r.track(TrackKind::Pe, 0);
+        r.span(t, "put", SimTime::ZERO, SimTime::ZERO + SimDuration::from_us(1), Payload::None);
+        r.latency("direct-gdr", 8, SimDuration::from_us(1));
+        r.agent_bytes(TrackKind::Hca, 0, SimTime::ZERO, 64, SimDuration::from_us(1));
+        assert_eq!(r.event_count(), 0);
+        assert!(r.histograms().is_empty());
+        assert!(r.agent_counters().is_empty());
+    }
+
+    #[test]
+    fn counters_level_skips_spans_but_keeps_metrics() {
+        let r = Recorder::new(ObsLevel::Counters);
+        let t = r.track(TrackKind::Pe, 0);
+        r.span(t, "put", SimTime::ZERO, SimTime::ZERO + SimDuration::from_us(1), Payload::None);
+        r.latency("direct-gdr", 8, SimDuration::from_us(1));
+        r.agent_bytes(TrackKind::Hca, 0, SimTime::ZERO, 64, SimDuration::from_us(1));
+        assert_eq!(r.event_count(), 0);
+        assert_eq!(r.histograms().len(), 1);
+        assert_eq!(r.agent_counters()[&(TrackKind::Hca, 0)].bytes, 64);
+    }
+
+    #[test]
+    fn sink_is_inert_until_attached() {
+        let s = Sink::new();
+        assert!(s.get().is_none());
+        s.attach(Recorder::new(ObsLevel::Off));
+        assert!(s.get().is_none(), "Off attach stays inert");
+        let s2 = Sink::new();
+        s2.attach(Recorder::new(ObsLevel::Spans));
+        assert!(s2.spans().is_some());
+    }
+
+    #[test]
+    fn decision_records_are_counted() {
+        let r = Recorder::new(ObsLevel::Spans);
+        let t = r.track(TrackKind::Pe, 3);
+        let mut d = Decision {
+            op: "put",
+            size: 4096,
+            src_pe: 3,
+            dst_pe: 1,
+            src_dev: true,
+            dst_dev: true,
+            same_node: false,
+            chosen: "pipeline-gdr-write",
+            ..Default::default()
+        };
+        d.candidates.push("direct-gdr");
+        d.candidates.push("pipeline-gdr-write");
+        d.thresholds.push("gdr_put_limit", 2048);
+        r.decision(t, SimTime::ZERO, d);
+        assert_eq!(r.decision_count(), 1);
+        assert!(d.candidates.contains("direct-gdr"));
+        assert_eq!(d.thresholds.iter().next(), Some(("gdr_put_limit", 2048)));
+    }
+
+    #[test]
+    fn tracks_export_sorted_by_kind_then_index() {
+        let r = Recorder::new(ObsLevel::Spans);
+        // register out of order
+        let h = r.track(TrackKind::Hca, 1);
+        let p1 = r.track(TrackKind::Pe, 1);
+        let p0 = r.track(TrackKind::Pe, 0);
+        for t in [h, p1, p0] {
+            r.instant(t, "x", SimTime::ZERO, Payload::None);
+        }
+        let mut seen = Vec::new();
+        r.for_each_event(|k, i, _| seen.push((k, i)));
+        assert_eq!(
+            seen,
+            vec![(TrackKind::Pe, 0), (TrackKind::Pe, 1), (TrackKind::Hca, 1)]
+        );
+    }
+}

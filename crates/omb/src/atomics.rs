@@ -33,6 +33,7 @@ pub fn fetch_add_latency(design: Design, intra: bool, gpu_domain: bool) -> f64 {
             0.0
         }
     });
+    crate::obs_finish(&m, &format!("fetch_add_{}", if gpu_domain { "gpu" } else { "host" }));
     out[0]
 }
 
@@ -62,6 +63,7 @@ pub fn cswap_latency(design: Design, intra: bool, gpu_domain: bool) -> f64 {
             0.0
         }
     });
+    crate::obs_finish(&m, &format!("cswap_{}", if gpu_domain { "gpu" } else { "host" }));
     out[0]
 }
 
@@ -82,6 +84,7 @@ pub fn barrier_latency(nodes: usize, ppn: usize) -> f64 {
         }
         (pe.now() - t0).as_us_f64() / iters as f64
     });
+    crate::obs_finish(&m, &format!("barrier_{nodes}x{ppn}"));
     out.iter().cloned().fold(0.0, f64::max)
 }
 

@@ -67,6 +67,7 @@ pub fn put_bandwidth(
             0.0
         }
     });
+    crate::obs_finish(&m, &format!("put_bw_{config}_{bytes}x{window}"));
     BwPoint {
         bytes,
         mbps: out[0],

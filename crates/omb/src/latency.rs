@@ -60,6 +60,7 @@ pub fn put_latency(
             0.0
         }
     });
+    crate::obs_finish(&m, &format!("put_latency_{config}_{bytes}"));
     LatencyPoint {
         bytes,
         usec: out[0],
@@ -108,6 +109,7 @@ pub fn get_latency(
             0.0
         }
     });
+    crate::obs_finish(&m, &format!("get_latency_{config}_{bytes}"));
     LatencyPoint {
         bytes,
         usec: out[0],

@@ -27,6 +27,25 @@ pub use sweep::{large_sizes, small_sizes, standard_sizes};
 use shmem_gdr::Domain;
 use std::fmt;
 
+/// Driver-side observability hook, called by every benchmark after its
+/// machine finishes. When span recording is on (`GDR_SHMEM_OBS=spans`)
+/// and `GDR_SHMEM_TRACE_DIR` names a directory, writes one Chrome trace
+/// per benchmark as `<dir>/<label>.json`; with `GDR_SHMEM_OBS_SUMMARY`
+/// also set, prints the text summary to stderr.
+pub fn obs_finish(m: &shmem_gdr::ShmemMachine, label: &str) {
+    if m.obs().spans_on() {
+        if let Some(dir) = std::env::var_os("GDR_SHMEM_TRACE_DIR") {
+            let path = std::path::Path::new(&dir).join(format!("{label}.json"));
+            if let Err(e) = m.write_chrome_trace(&path) {
+                eprintln!("obs: failed to write {}: {e}", path.display());
+            }
+        }
+    }
+    if m.obs().counters_on() && std::env::var_os("GDR_SHMEM_OBS_SUMMARY").is_some() {
+        eprintln!("== {label} ==\n{}", m.obs_report());
+    }
+}
+
 /// Where a local (non-symmetric) buffer lives.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum Loc {

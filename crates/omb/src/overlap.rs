@@ -42,6 +42,7 @@ pub fn overlap_put(design: Design, cfg: RuntimeConfig, bytes: u64, target_comput
             0.0
         }
     });
+    crate::obs_finish(&m, &format!("overlap_put_{bytes}_{target_compute_us}us"));
     OverlapPoint {
         target_compute_us: target_compute_us as f64,
         comm_time_us: out[0],

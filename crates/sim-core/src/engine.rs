@@ -81,6 +81,12 @@ pub struct EngineStats {
     pub max_heap_len: usize,
     /// Number of task wake-ups delivered.
     pub wakeups: u64,
+    /// Number of `signal` calls on completions.
+    pub completions_signalled: u64,
+    /// Events a *blocked* task had to drive itself because no task was
+    /// runnable — each one is a stall where virtual time could only
+    /// advance through the event heap.
+    pub time_advance_stalls: u64,
 }
 
 struct Core {
@@ -188,6 +194,7 @@ impl<'a> Sched<'a> {
     /// scheduling any attached continuation actions (they run at the
     /// current instant, after already-queued same-instant events).
     pub fn signal(&mut self, c: &Completion, n: u64) {
+        self.core.stats.completions_signalled += 1;
         let now = self.core.now;
         let fired = {
             let mut st = c.inner.lock();
@@ -520,6 +527,7 @@ impl Sim {
             if guard.runnable == 0 {
                 match guard.pop_due() {
                     Some(ev) => {
+                        guard.stats.time_advance_stalls += 1;
                         Self::exec_event(&self.sh, guard, ev);
                         if guard.pending_wakes {
                             guard.pending_wakes = false;

@@ -44,5 +44,13 @@ fn main() {
             r.elapsed.as_ms_f64(),
             r.per_iter_us
         );
+        // GDR_SHMEM_OBS=spans GDR_SHMEM_TRACE=stencil.json writes a
+        // Chrome trace of the last design's halo exchanges.
+        if let Some(p) = m.write_trace_if_requested() {
+            println!("    trace -> {}", p.display());
+        }
+        if m.obs().counters_on() {
+            eprintln!("{}", m.obs_report());
+        }
     }
 }

@@ -1,11 +1,43 @@
-//! Property-based tests: random RMA programs against a flat reference
-//! memory model, allocator invariants, and link-schedule laws.
+//! Randomized property tests: random RMA programs against a flat
+//! reference memory model, allocator invariants, and link-schedule laws.
+//!
+//! Generation is driven by a hand-rolled deterministic xorshift PRNG
+//! over fixed seeds (the build environment resolves crates offline, so
+//! no `proptest`). Failures name the seed, which reproduces exactly.
 
 use gdr_shmem::pcie::alloc::RangeAlloc;
 use gdr_shmem::pcie::ClusterSpec;
 use gdr_shmem::shmem::{Design, Domain, RuntimeConfig, ShmemMachine};
 use gdr_shmem::sim::{Link, LinkSpec, SimDuration, SimTime};
-use proptest::prelude::*;
+
+/// xorshift64* — deterministic, seedable, good enough to explore the
+/// op space; never use 0 as state.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Rng {
+        Rng(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1)
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform in `[lo, hi)`.
+    fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        debug_assert!(lo < hi);
+        lo + self.next() % (hi - lo)
+    }
+
+    fn flip(&mut self) -> bool {
+        self.next() & 1 == 1
+    }
+}
 
 /// One random RMA operation in a generated program.
 #[derive(Clone, Debug)]
@@ -33,59 +65,59 @@ enum RmaOp {
 const REGION: u64 = 64 << 10; // per-domain symmetric test region
 const CELLS: u64 = 8;
 
-fn op_strategy(npes: usize) -> impl Strategy<Value = RmaOp> {
-    prop_oneof![
-        (
-            0..npes,
-            any::<bool>(),
-            0..(REGION - 4096),
-            1u64..4096,
-            any::<u8>()
-        )
-            .prop_map(|(target, domain, off, len, seed)| RmaOp::Put {
-                target,
-                domain,
-                off,
-                len,
-                seed,
-            }),
-        (0..npes, any::<bool>(), 0..(REGION - 4096), 1u64..4096).prop_map(
-            |(from, domain, off, len)| RmaOp::Get {
-                from,
-                domain,
-                off,
-                len,
-            }
-        ),
-        (0..npes, 0..CELLS, 1u64..100).prop_map(|(target, cell, val)| RmaOp::FetchAdd {
-            target,
-            cell,
-            val,
-        }),
-    ]
+fn random_op(rng: &mut Rng, npes: usize) -> RmaOp {
+    match rng.range(0, 3) {
+        0 => RmaOp::Put {
+            target: rng.range(0, npes as u64) as usize,
+            domain: rng.flip(),
+            off: rng.range(0, REGION - 4096),
+            len: rng.range(1, 4096),
+            seed: rng.range(0, 256) as u8,
+        },
+        1 => RmaOp::Get {
+            from: rng.range(0, npes as u64) as usize,
+            domain: rng.flip(),
+            off: rng.range(0, REGION - 4096),
+            len: rng.range(1, 4096),
+        },
+        _ => RmaOp::FetchAdd {
+            target: rng.range(0, npes as u64) as usize,
+            cell: rng.range(0, CELLS),
+            val: rng.range(1, 100),
+        },
+    }
 }
 
 fn payload(len: u64, seed: u8) -> Vec<u8> {
     (0..len).map(|i| seed.wrapping_add(i as u8)).collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
-
-    /// A random single-writer program (PE 0 issues all ops, quiets, then
-    /// everyone compares against a flat reference model).
-    #[test]
-    fn random_program_matches_reference_model(
-        ops in proptest::collection::vec(op_strategy(4), 1..25),
-        design_pick in any::<bool>(),
-    ) {
-        let design = if design_pick { Design::EnhancedGdr } else { Design::HostPipeline };
+/// A random single-writer program (PE 0 issues all ops, quiets, then
+/// everyone compares against a flat reference model).
+#[test]
+fn random_program_matches_reference_model() {
+    for case in 0..12u64 {
+        let mut rng = Rng::new(0xA11CE + case);
+        let design = if rng.flip() {
+            Design::EnhancedGdr
+        } else {
+            Design::HostPipeline
+        };
+        let nops = rng.range(1, 25) as usize;
         // the baseline does not support inter-node H-D/D-H (paper Table
         // I); under it, force every op onto the host domain
-        let ops: Vec<RmaOp> = ops
-            .into_iter()
-            .map(|op| match (design, op) {
-                (Design::HostPipeline, RmaOp::Put { target, off, len, seed, .. }) => RmaOp::Put {
+        let ops: Vec<RmaOp> = (0..nops)
+            .map(|_| match (design, random_op(&mut rng, 4)) {
+                (
+                    Design::HostPipeline,
+                    RmaOp::Put {
+                        target,
+                        off,
+                        len,
+                        seed,
+                        ..
+                    },
+                ) => RmaOp::Put {
                     target,
                     domain: false,
                     off,
@@ -101,17 +133,20 @@ proptest! {
                 (_, op) => op,
             })
             .collect();
-        let m = ShmemMachine::build(
-            ClusterSpec::wilkes(2, 2),
-            RuntimeConfig::tuned(design),
-        );
+        let m = ShmemMachine::build(ClusterSpec::wilkes(2, 2), RuntimeConfig::tuned(design));
         let npes = 4usize;
         // reference model: [pe][domain] -> bytes; atomic cells separate
         let mut ref_mem = vec![vec![vec![0u8; REGION as usize]; 2]; npes];
         let mut ref_cells = vec![vec![0u64; CELLS as usize]; npes];
         for op in &ops {
             match *op {
-                RmaOp::Put { target, domain, off, len, seed } => {
+                RmaOp::Put {
+                    target,
+                    domain,
+                    off,
+                    len,
+                    seed,
+                } => {
                     let d = domain as usize;
                     ref_mem[target][d][off as usize..(off + len) as usize]
                         .copy_from_slice(&payload(len, seed));
@@ -133,7 +168,13 @@ proptest! {
                 let scratch = pe.malloc_host(8192);
                 for op in &ops2 {
                     match *op {
-                        RmaOp::Put { target, domain, off, len, seed } => {
+                        RmaOp::Put {
+                            target,
+                            domain,
+                            off,
+                            len,
+                            seed,
+                        } => {
                             let sym = if domain { gpu } else { host };
                             pe.write_raw(scratch, &payload(len, seed));
                             pe.putmem(sym.add(off), scratch, len, target);
@@ -141,7 +182,12 @@ proptest! {
                             // program order: fence between puts
                             pe.fence();
                         }
-                        RmaOp::Get { from, domain, off, len } => {
+                        RmaOp::Get {
+                            from,
+                            domain,
+                            off,
+                            len,
+                        } => {
                             let sym = if domain { gpu } else { host };
                             pe.getmem(scratch, sym.add(off), len, from);
                         }
@@ -164,18 +210,21 @@ proptest! {
             (h, g, c)
         });
         for (peid, (h, g, c)) in results.iter().enumerate() {
-            prop_assert_eq!(&ref_mem[peid][0], h, "host mem of pe{}", peid);
-            prop_assert_eq!(&ref_mem[peid][1], g, "gpu mem of pe{}", peid);
-            prop_assert_eq!(&ref_cells[peid], c, "cells of pe{}", peid);
+            assert_eq!(&ref_mem[peid][0], h, "case {case}: host mem of pe{peid}");
+            assert_eq!(&ref_mem[peid][1], g, "case {case}: gpu mem of pe{peid}");
+            assert_eq!(&ref_cells[peid], c, "case {case}: cells of pe{peid}");
         }
     }
+}
 
-    /// Allocator: arbitrary alloc/free sequences never produce
-    /// overlapping live blocks and fully coalesce at the end.
-    #[test]
-    fn allocator_never_overlaps(
-        reqs in proptest::collection::vec(1u64..5000, 1..60),
-    ) {
+/// Allocator: arbitrary alloc/free sequences never produce overlapping
+/// live blocks and fully coalesce at the end.
+#[test]
+fn allocator_never_overlaps() {
+    for case in 0..12u64 {
+        let mut rng = Rng::new(0xB0B + case);
+        let nreqs = rng.range(1, 60) as usize;
+        let reqs: Vec<u64> = (0..nreqs).map(|_| rng.range(1, 5000)).collect();
         let mut a = RangeAlloc::new(1 << 20, 64);
         let mut live: Vec<(u64, u64)> = Vec::new();
         for (i, &r) in reqs.iter().enumerate() {
@@ -187,8 +236,10 @@ proptest! {
                 let aligned = r.div_ceil(64) * 64;
                 for &(o, l) in &live {
                     let al = l.div_ceil(64) * 64;
-                    prop_assert!(off + aligned <= o || o + al <= off,
-                        "overlap: [{off},{aligned}) vs [{o},{al})");
+                    assert!(
+                        off + aligned <= o || o + al <= off,
+                        "case {case}: overlap [{off},{aligned}) vs [{o},{al})"
+                    );
                 }
                 live.push((off, r));
             }
@@ -196,42 +247,42 @@ proptest! {
         for (off, len) in live.drain(..) {
             a.free(off, len);
         }
-        prop_assert_eq!(a.allocated(), 0);
-        prop_assert_eq!(a.total_free(), 1 << 20);
+        assert_eq!(a.allocated(), 0, "case {case}");
+        assert_eq!(a.total_free(), 1 << 20, "case {case}");
     }
+}
 
-    /// Link schedules: grants are FIFO, non-overlapping, and never start
-    /// before the request.
-    #[test]
-    fn link_grants_are_fifo_and_disjoint(
-        jobs in proptest::collection::vec((0u64..10_000, 1u64..1_000_000), 1..50),
-    ) {
+/// Link schedules: grants are FIFO, non-overlapping, and never start
+/// before the request.
+#[test]
+fn link_grants_are_fifo_and_disjoint() {
+    for case in 0..12u64 {
+        let mut rng = Rng::new(0x11_4B + case);
+        let njobs = rng.range(1, 50) as usize;
         let mut link = Link::new(LinkSpec::new(SimDuration::from_ns(500), 6.4e9));
         let mut now = SimTime::ZERO;
         let mut prev_depart = SimTime::ZERO;
-        for &(gap, bytes) in &jobs {
-            now += SimDuration::from_ns(gap);
-            let g = link.reserve(now, bytes);
-            prop_assert!(g.start >= now);
-            prop_assert!(g.start >= prev_depart, "overlapping occupancy");
-            prop_assert!(g.depart >= g.start);
-            prop_assert!(g.arrive >= g.depart);
+        for _ in 0..njobs {
+            now += SimDuration::from_ns(rng.range(0, 10_000));
+            let g = link.reserve(now, rng.range(1, 1_000_000));
+            assert!(g.start >= now, "case {case}");
+            assert!(g.start >= prev_depart, "case {case}: overlapping occupancy");
+            assert!(g.depart >= g.start, "case {case}");
+            assert!(g.arrive >= g.depart, "case {case}");
             prev_depart = g.depart;
         }
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(6))]
-
-    /// Stencil: any (grid, iteration, PE-count) combination matches the
-    /// serial reference exactly.
-    #[test]
-    fn stencil_matches_reference_for_random_shapes(
-        mult in 1usize..5,
-        iters in 1usize..5,
-        ppn in 1usize..3,
-    ) {
+/// Stencil: random (grid, iteration, PE-count) combinations match the
+/// serial reference exactly.
+#[test]
+fn stencil_matches_reference_for_random_shapes() {
+    for case in 0..6u64 {
+        let mut rng = Rng::new(0x57E_4C11 + case);
+        let mult = rng.range(1, 5) as usize;
+        let iters = rng.range(1, 5) as usize;
+        let ppn = rng.range(1, 3) as usize;
         use gdr_shmem::apps::stencil2d::{self, StencilParams};
         let nodes = 2usize;
         let npes = nodes * ppn;
@@ -244,16 +295,20 @@ proptest! {
         let res = stencil2d::run(&m, StencilParams::validate(n, iters));
         let want: f64 = stencil2d::serial_reference(n, iters).iter().sum();
         let got = res.checksum.unwrap();
-        prop_assert!((got - want).abs() < 1e-9 * want.abs().max(1.0),
-            "n={n} iters={iters} npes={npes}: {got} vs {want}");
+        assert!(
+            (got - want).abs() < 1e-9 * want.abs().max(1.0),
+            "case {case}: n={n} iters={iters} npes={npes}: {got} vs {want}"
+        );
     }
+}
 
-    /// Barrier: under arbitrary compute skews nobody escapes early and
-    /// everyone leaves together.
-    #[test]
-    fn barrier_correct_under_random_skew(
-        skews in proptest::collection::vec(0u64..300, 4),
-    ) {
+/// Barrier: under arbitrary compute skews nobody escapes early and
+/// everyone leaves together.
+#[test]
+fn barrier_correct_under_random_skew() {
+    for case in 0..6u64 {
+        let mut rng = Rng::new(0xBA44 + case);
+        let skews: Vec<u64> = (0..4).map(|_| rng.range(0, 300)).collect();
         let m = ShmemMachine::build(
             ClusterSpec::wilkes(2, 2),
             RuntimeConfig::tuned(Design::EnhancedGdr),
@@ -267,8 +322,11 @@ proptest! {
         let slowest = *skews.iter().max().unwrap() as f64;
         let max = times.iter().max().unwrap();
         for t in &times {
-            prop_assert!(t.as_us_f64() >= slowest, "escaped early: {t}");
-            prop_assert!((*max - *t).as_us_f64() < 10.0, "left too far apart");
+            assert!(t.as_us_f64() >= slowest, "case {case}: escaped early: {t}");
+            assert!(
+                (*max - *t).as_us_f64() < 10.0,
+                "case {case}: left too far apart"
+            );
         }
     }
 }
