@@ -1,8 +1,35 @@
 #!/usr/bin/env bash
-# Repository CI: build, test, lint. Run from the repo root.
+# Repository CI: build, test, lint, bench report + trace-analysis smoke.
+# Run from the repo root.
 set -euo pipefail
 cd "$(dirname "$0")"
 
 cargo build --release --workspace
 cargo test -q --workspace
 cargo clippy --workspace --all-targets -- -D warnings
+
+# Bench report: run the OMB matrix + traced workload, write the
+# machine-readable report at the repo root, and prove determinism by
+# re-running and comparing byte-for-byte.
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+cargo run --release -q -p omb --bin bench_omb BENCH_omb.json "$tmp/trace.json"
+cargo run --release -q -p omb --bin bench_omb "$tmp/BENCH_rerun.json"
+cmp BENCH_omb.json "$tmp/BENCH_rerun.json"
+
+# gdrprof smoke: the traced workload must analyze to a nonzero critical
+# path with the expected anchor lines.
+out="$(cargo run --release -q -p obs-analyze --bin gdrprof -- analyze "$tmp/trace.json" --json "$tmp/report.json")"
+grep -Eq 'ops-analyzed: [1-9]' <<<"$out"
+grep -q 'critical path' <<<"$out"
+# a self-diff must report no regressions
+cargo run --release -q -p obs-analyze --bin gdrprof -- diff "$tmp/report.json" "$tmp/report.json" --threshold 5 >/dev/null
+
+# and a malformed trace must fail with a nonzero exit code
+printf '{"traceEvents":[' > "$tmp/bad.json"
+if cargo run --release -q -p obs-analyze --bin gdrprof -- analyze "$tmp/bad.json" 2>/dev/null; then
+    echo "gdrprof accepted a malformed trace" >&2
+    exit 1
+fi
+
+echo "ci: OK"

@@ -90,6 +90,9 @@ impl Pe {
                     src_dev: false,
                     dst_dev: false,
                     same_node: true,
+                    // collectives carry no correlation id (no single
+                    // remote completion to flow to)
+                    op_id: 0,
                 },
             );
         }

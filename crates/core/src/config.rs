@@ -93,6 +93,12 @@ pub struct RuntimeConfig {
     /// (everything, exportable as a Chrome trace). [`RuntimeConfig::tuned`]
     /// reads the `GDR_SHMEM_OBS` environment variable.
     pub obs_level: obs::ObsLevel,
+    /// Span-sampling factor: op-correlated span data (op spans, decision
+    /// records, flow events, chunk spans) is recorded for 1 in N ops per
+    /// PE, deterministically by op sequence number. Histograms and
+    /// utilization counters stay exact regardless. 1 records everything;
+    /// [`RuntimeConfig::tuned`] reads `GDR_SHMEM_OBS_SAMPLE`.
+    pub obs_sample: u64,
 }
 
 impl RuntimeConfig {
@@ -117,6 +123,7 @@ impl RuntimeConfig {
             dev_mem: 64 << 20,
             private_host: 32 << 20,
             obs_level: obs::ObsLevel::from_env(),
+            obs_sample: obs_sample_from_env(),
         }
     }
 
@@ -131,6 +138,22 @@ impl RuntimeConfig {
         self.obs_level = level;
         self
     }
+
+    /// Set the span-sampling factor (overrides `GDR_SHMEM_OBS_SAMPLE`).
+    pub fn with_obs_sample(mut self, n: u64) -> Self {
+        self.obs_sample = n.max(1);
+        self
+    }
+}
+
+/// Read `GDR_SHMEM_OBS_SAMPLE`; unset, unparsable or zero means 1
+/// (record every op).
+fn obs_sample_from_env() -> u64 {
+    std::env::var("GDR_SHMEM_OBS_SAMPLE")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(1)
 }
 
 impl Default for RuntimeConfig {

@@ -13,8 +13,22 @@ use gpu_sim::GpuRuntime;
 use ib_sim::IbVerbs;
 use obs::{Recorder, TrackId, TrackKind};
 use pcie_sim::{Cluster, ClusterSpec, HwProfile, ProcId};
-use sim_core::{Sim, SimDuration};
+use sim_core::{Completion, Sim, SimDuration, SimTime};
 use std::sync::Arc;
+
+/// Per-op correlation token, minted at the start of every RMA/sync op by
+/// [`ShmemMachine::next_op`]. The id threads through pipeline chunks and
+/// completion callbacks so Chrome flow events can stitch an op's origin
+/// span to its remote completion; `sampled` gates all op-correlated span
+/// recording under `GDR_SHMEM_OBS_SAMPLE`.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct OpToken {
+    /// Globally unique: origin PE in the high 32 bits, per-PE sequence
+    /// number in the low 32. Id 0 is reserved for uncorrelated spans.
+    pub id: u64,
+    /// Whether op-correlated spans/flows of this op are recorded.
+    pub sampled: bool,
+}
 
 /// Per-node proxy counters (the proxy itself is event-driven).
 #[derive(Debug, Default)]
@@ -85,7 +99,7 @@ impl ShmemMachine {
         // Observability: one recorder per machine, shared with the
         // hardware layers through their late-bound sinks. PE and proxy
         // tracks are pre-registered in a deterministic order.
-        let obs = Recorder::new(cfg.obs_level);
+        let obs = Recorder::with_sample(cfg.obs_level, cfg.obs_sample);
         gpus.obs().attach(obs.clone());
         ib.obs().attach(obs.clone());
         let pe_tracks = topo
@@ -163,9 +177,26 @@ impl ShmemMachine {
         self.obs.track(TrackKind::Proxy, node.0)
     }
 
+    /// Mint the correlation token for a new RMA/sync op on `me`: a
+    /// globally unique id plus the deterministic sampling verdict
+    /// (1-in-N by per-PE sequence number; see
+    /// [`crate::config::RuntimeConfig::obs_sample`]).
+    pub(crate) fn next_op(&self, me: ProcId) -> OpToken {
+        let seq = self
+            .pe_state(me)
+            .op_seq
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        OpToken {
+            // PE is offset by one so PE 0's first op is not id 0
+            id: ((me.0 as u64 + 1) << 32) | (seq & 0xffff_ffff),
+            sampled: self.obs.op_sampled(seq),
+        }
+    }
+
     /// Record one finished RMA/sync op: latency histogram (Counters+),
-    /// op span and protocol-decision record (Spans). `alts` lazily fills
-    /// the candidate/threshold lists — it only runs when spans are on.
+    /// op span, protocol-decision record and flow-start event (Spans,
+    /// when the op is sampled). `alts` lazily fills the
+    /// candidate/threshold lists — it only runs when spans are on.
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn obs_op(
         &self,
@@ -179,13 +210,14 @@ impl ShmemMachine {
         same_node: bool,
         t0: sim_core::SimTime,
         t1: sim_core::SimTime,
+        token: OpToken,
         alts: impl FnOnce(&mut obs::Cands, &mut obs::Thresholds),
     ) {
         if !self.obs.counters_on() {
             return;
         }
         self.obs.latency(chosen.name(), len, t1.since(t0));
-        if !self.obs.spans_on() {
+        if !self.obs.spans_on() || !token.sampled {
             return;
         }
         let track = self.pe_track(me);
@@ -202,6 +234,16 @@ impl ShmemMachine {
         };
         alts(&mut d.candidates, &mut d.thresholds);
         self.obs.decision(track, t0, d);
+        // Flow start at the op's origin: the matching flow-end instants
+        // (emitted by the protocol layer at local or remote completion)
+        // share the id, so Chrome draws an arrow from the op span to
+        // wherever the data actually landed.
+        self.obs.instant(
+            track,
+            "op-flow",
+            t0,
+            obs::Payload::FlowStart { id: token.id },
+        );
         self.obs.span(
             track,
             op,
@@ -216,8 +258,52 @@ impl ShmemMachine {
                 src_dev,
                 dst_dev,
                 same_node,
+                op_id: token.id,
             },
         );
+    }
+
+    /// Emit the flow-end instant for `token` at `ts` on `track` (used by
+    /// blocking protocols where the op's return *is* its completion).
+    pub(crate) fn flow_end_at(&self, track: TrackId, ts: SimTime, token: OpToken) {
+        if !token.sampled || !self.obs.spans_on() {
+            return;
+        }
+        self.obs
+            .instant(track, "op-flow", ts, obs::Payload::FlowEnd { id: token.id });
+    }
+
+    /// Arrange for the flow-end instant of `token` to fire on `track`
+    /// when `comp` reaches `threshold` — the non-blocking counterpart of
+    /// [`Self::flow_end_at`], used where delivery completes inside a
+    /// scheduler callback long after the op call returned.
+    pub(crate) fn flow_end_on(
+        self: &Arc<Self>,
+        ctx: &sim_core::TaskCtx,
+        comp: &Completion,
+        threshold: u64,
+        track: TrackId,
+        token: OpToken,
+    ) {
+        if !token.sampled || !self.obs.spans_on() {
+            return;
+        }
+        let m = self.clone();
+        let comp = comp.clone();
+        ctx.with_sched(|s| {
+            s.call_on(
+                &comp,
+                threshold,
+                Box::new(move |s| {
+                    m.obs.instant(
+                        track,
+                        "op-flow",
+                        s.now(),
+                        obs::Payload::FlowEnd { id: token.id },
+                    );
+                }),
+            );
+        });
     }
 
     /// Text observability report: latency histograms, hardware

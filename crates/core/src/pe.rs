@@ -418,6 +418,7 @@ impl Pe {
     /// `shmem_quiet`: block until every outstanding put by this PE is
     /// complete at its target.
     pub fn quiet(&self) {
+        let t0 = self.ctx.now();
         let st = self.m.pe_state(self.id);
         st.enter_library();
         self.m.drain_pending(&self.ctx, self.id);
@@ -431,6 +432,9 @@ impl Pe {
             }
         }
         st.leave_library();
+        // quiet moves no payload: it lands in the size-class-0 bucket,
+        // making flush-dominated windows visible in the histograms
+        self.m.obs().latency("quiet", 0, self.ctx.now().since(t0));
     }
 
     /// `shmem_fence`: ordering of puts to each PE. Implemented as

@@ -7,7 +7,7 @@
 //! the loop), and the baseline **host-based pipeline** [15] whose final
 //! copy needs the target process.
 
-use crate::machine::ShmemMachine;
+use crate::machine::{OpToken, ShmemMachine};
 use crate::state::{Delivery, GetRequest, PendingWork};
 use ib_sim::RdmaCompletion;
 use pcie_sim::mem::MemRef;
@@ -75,12 +75,15 @@ impl ShmemMachine {
         dst_domain: crate::addr::Domain,
         len: u64,
         target: ProcId,
+        token: OpToken,
     ) {
         let chunk = self.cfg().pipeline_chunk;
         let rkey = self.layout().rkey(dst_domain, target);
         let n = len.div_ceil(chunk);
         let rec = self.obs().clone();
         let track = self.pe_track(me);
+        // chunk spans follow the op's sampling verdict
+        let trace = rec.spans_on() && token.sampled;
         let mut last_d2h: Option<Completion> = None;
         for i in 0..n {
             let off = i * chunk;
@@ -100,22 +103,25 @@ impl ShmemMachine {
                     1,
                     Box::new(move |s| {
                         let t_rdma = s.now();
-                        rec2.span(
-                            track,
-                            "chunk-d2h",
-                            t_stage,
-                            t_rdma,
-                            obs::Payload::Chunk {
-                                protocol: "pipeline-gdr-write",
-                                stage: "d2h",
-                                index: i as u32,
-                                size: clen,
-                            },
-                        );
+                        if trace {
+                            rec2.span(
+                                track,
+                                "chunk-d2h",
+                                t_stage,
+                                t_rdma,
+                                obs::Payload::Chunk {
+                                    protocol: "pipeline-gdr-write",
+                                    stage: "d2h",
+                                    index: i as u32,
+                                    size: clen,
+                                    op_id: token.id,
+                                },
+                            );
+                        }
                         mach.ib()
                             .rdma_write_start(s, me, stg, rkey, dst_c, clen, &comp2)
                             .expect("pipeline chunk rdma");
-                        if rec2.spans_on() {
+                        if trace {
                             let rec3 = rec2.clone();
                             let remote = comp2.remote.clone();
                             s.call_on(
@@ -132,6 +138,7 @@ impl ShmemMachine {
                                             stage: "rdma",
                                             index: i as u32,
                                             size: clen,
+                                            op_id: token.id,
                                         },
                                     );
                                 }),
@@ -150,6 +157,10 @@ impl ShmemMachine {
                     }),
                 );
             });
+            if i == n - 1 {
+                // last chunk's remote completion = the whole put delivered
+                self.flow_end_on(ctx, &comp.remote, 1, self.pe_track(target), token);
+            }
             self.pe_state(me).track(comp.remote.clone());
             last_d2h = Some(d2h);
         }
@@ -164,6 +175,7 @@ impl ShmemMachine {
     /// library. The source tracks per-chunk acks; `quiet` therefore
     /// blocks until the target has progressed — the one-sidedness
     /// violation the paper measures in Fig. 10.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn host_pipeline_put(
         self: &Arc<Self>,
         ctx: &TaskCtx,
@@ -172,6 +184,7 @@ impl ShmemMachine {
         dst: MemRef,
         len: u64,
         target: ProcId,
+        token: OpToken,
     ) {
         let chunk = self.cfg().pipeline_chunk;
         let host_rkey = self.layout().host_rkey(target);
@@ -251,6 +264,11 @@ impl ShmemMachine {
                     }),
                 );
             });
+            if i == n - 1 {
+                // the op is fully delivered once the target has H2D-copied
+                // (and acked) the final chunk
+                self.flow_end_on(ctx, &ack, 1, self.pe_track(target), token);
+            }
             self.pe_state(me).track(ack);
             last_d2h = Some(d2h);
         }
@@ -264,6 +282,7 @@ impl ShmemMachine {
     /// RDMA; the remote **proxy** (not the target PE) performs the final
     /// H2D copies. One-sided: quiet waits on proxy copies, which run as
     /// hardware events regardless of what the target PE is doing.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn proxy_put(
         self: &Arc<Self>,
         ctx: &TaskCtx,
@@ -272,6 +291,7 @@ impl ShmemMachine {
         dst: MemRef,
         len: u64,
         target: ProcId,
+        token: OpToken,
     ) {
         let chunk = self.cfg().pipeline_chunk;
         let host_rkey = self.layout().host_rkey(target);
@@ -283,16 +303,19 @@ impl ShmemMachine {
         self.proxy(node).bytes.fetch_add(len, Ordering::Relaxed);
         let rec = self.obs().clone();
         let ptrack = self.proxy_track(node);
-        rec.instant(
-            ptrack,
-            "proxy-request",
-            ctx.now(),
-            obs::Payload::Proxy {
-                kind: "put",
-                size: len,
-                origin_pe: me.0,
-            },
-        );
+        let trace = rec.spans_on() && token.sampled;
+        if trace {
+            rec.instant(
+                ptrack,
+                "proxy-request",
+                ctx.now(),
+                obs::Payload::Proxy {
+                    kind: "put",
+                    size: len,
+                    origin_pe: me.0,
+                },
+            );
+        }
         let mut last_local: Option<Completion> = None;
         for i in 0..n {
             let off = i * chunk;
@@ -359,18 +382,21 @@ impl ShmemMachine {
                             signal,
                             Box::new(move |s| {
                                 let t_h2d = s.now();
-                                rec2.span(
-                                    ptrack,
-                                    "chunk-wakeup",
-                                    t_arrive,
-                                    t_h2d,
-                                    obs::Payload::Chunk {
-                                        protocol: "proxy-pipeline",
-                                        stage: "wakeup",
-                                        index: i as u32,
-                                        size: clen,
-                                    },
-                                );
+                                if trace {
+                                    rec2.span(
+                                        ptrack,
+                                        "chunk-wakeup",
+                                        t_arrive,
+                                        t_h2d,
+                                        obs::Payload::Chunk {
+                                            protocol: "proxy-pipeline",
+                                            stage: "wakeup",
+                                            index: i as u32,
+                                            size: clen,
+                                            op_id: token.id,
+                                        },
+                                    );
+                                }
                                 let h2d = Completion::new();
                                 mach2.gpus().dma_start(s, t_stg, dst_c, clen, &h2d);
                                 let mach3 = mach2.clone();
@@ -378,18 +404,21 @@ impl ShmemMachine {
                                     &h2d,
                                     1,
                                     Box::new(move |s| {
-                                        rec2.span(
-                                            ptrack,
-                                            "chunk-h2d",
-                                            t_h2d,
-                                            s.now(),
-                                            obs::Payload::Chunk {
-                                                protocol: "proxy-pipeline",
-                                                stage: "h2d",
-                                                index: i as u32,
-                                                size: clen,
-                                            },
-                                        );
+                                        if trace {
+                                            rec2.span(
+                                                ptrack,
+                                                "chunk-h2d",
+                                                t_h2d,
+                                                s.now(),
+                                                obs::Payload::Chunk {
+                                                    protocol: "proxy-pipeline",
+                                                    stage: "h2d",
+                                                    index: i as u32,
+                                                    size: clen,
+                                                    op_id: token.id,
+                                                },
+                                            );
+                                        }
                                         mach3
                                             .pe_state(target)
                                             .staging_alloc
@@ -403,6 +432,10 @@ impl ShmemMachine {
                     }),
                 );
             });
+            if i == n - 1 {
+                // delivered once the proxy finishes the final H2D copy
+                self.flow_end_on(ctx, &proxy_done, 1, self.pe_track(target), token);
+            }
             self.pe_state(me).track(proxy_done);
         }
         if let Some(c) = last_local {
@@ -415,6 +448,7 @@ impl ShmemMachine {
     /// its registered host staging and RDMA-writes them (GDR when the
     /// local destination is a GPU) straight into the requester's buffer.
     /// The target *PE* does nothing; the (blocking) requester waits.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn proxy_get(
         self: &Arc<Self>,
         ctx: &TaskCtx,
@@ -423,6 +457,7 @@ impl ShmemMachine {
         src: MemRef,
         len: u64,
         from: ProcId,
+        token: OpToken,
     ) {
         let chunk = self.cfg().pipeline_chunk;
         let n = len.div_ceil(chunk);
@@ -440,16 +475,19 @@ impl ShmemMachine {
         self.proxy(node).bytes.fetch_add(len, Ordering::Relaxed);
         let rec = self.obs().clone();
         let ptrack = self.proxy_track(node);
-        rec.instant(
-            ptrack,
-            "proxy-request",
-            ctx.now(),
-            obs::Payload::Proxy {
-                kind: "get",
-                size: len,
-                origin_pe: me.0,
-            },
-        );
+        let trace = rec.spans_on() && token.sampled;
+        if trace {
+            rec.instant(
+                ptrack,
+                "proxy-request",
+                ctx.now(),
+                obs::Payload::Proxy {
+                    kind: "get",
+                    size: len,
+                    origin_pe: me.0,
+                },
+            );
+        }
         let done = Completion::new();
         ctx.advance(self.cluster().hw().ib.post_overhead);
         for i in 0..n {
@@ -471,18 +509,21 @@ impl ShmemMachine {
                     Box::new(move |s| {
                         // proxy: D2H from the target GPU into its staging
                         let t_wake = s.now();
-                        rec2.span(
-                            ptrack,
-                            "chunk-wakeup",
-                            t_req,
-                            t_wake,
-                            obs::Payload::Chunk {
-                                protocol: "proxy-pipeline",
-                                stage: "wakeup",
-                                index: i as u32,
-                                size: clen,
-                            },
-                        );
+                        if trace {
+                            rec2.span(
+                                ptrack,
+                                "chunk-wakeup",
+                                t_req,
+                                t_wake,
+                                obs::Payload::Chunk {
+                                    protocol: "proxy-pipeline",
+                                    stage: "wakeup",
+                                    index: i as u32,
+                                    size: clen,
+                                    op_id: token.id,
+                                },
+                            );
+                        }
                         let d2h = Completion::new();
                         mach.gpus().dma_start(s, src_c, t_stg, clen, &d2h);
                         let mach2 = mach.clone();
@@ -491,18 +532,21 @@ impl ShmemMachine {
                             1,
                             Box::new(move |s| {
                                 let t_rdma = s.now();
-                                rec2.span(
-                                    ptrack,
-                                    "chunk-d2h",
-                                    t_wake,
-                                    t_rdma,
-                                    obs::Payload::Chunk {
-                                        protocol: "proxy-pipeline",
-                                        stage: "d2h",
-                                        index: i as u32,
-                                        size: clen,
-                                    },
-                                );
+                                if trace {
+                                    rec2.span(
+                                        ptrack,
+                                        "chunk-d2h",
+                                        t_wake,
+                                        t_rdma,
+                                        obs::Payload::Chunk {
+                                            protocol: "proxy-pipeline",
+                                            stage: "d2h",
+                                            index: i as u32,
+                                            size: clen,
+                                            op_id: token.id,
+                                        },
+                                    );
+                                }
                                 let comp = RdmaCompletion::new();
                                 mach2
                                     .ib()
@@ -526,18 +570,21 @@ impl ShmemMachine {
                                     &remote,
                                     1,
                                     Box::new(move |s| {
-                                        rec2.span(
-                                            ptrack,
-                                            "chunk-rdma",
-                                            t_rdma,
-                                            s.now(),
-                                            obs::Payload::Chunk {
-                                                protocol: "proxy-pipeline",
-                                                stage: "rdma",
-                                                index: i as u32,
-                                                size: clen,
-                                            },
-                                        );
+                                        if trace {
+                                            rec2.span(
+                                                ptrack,
+                                                "chunk-rdma",
+                                                t_rdma,
+                                                s.now(),
+                                                obs::Payload::Chunk {
+                                                    protocol: "proxy-pipeline",
+                                                    stage: "rdma",
+                                                    index: i as u32,
+                                                    size: clen,
+                                                    op_id: token.id,
+                                                },
+                                            );
+                                        }
                                         s.signal(&done3, 1);
                                     }),
                                 );

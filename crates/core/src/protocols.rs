@@ -7,7 +7,7 @@
 
 use crate::addr::SymAddr;
 use crate::config::{Design, RuntimeConfig};
-use crate::machine::ShmemMachine;
+use crate::machine::{OpToken, ShmemMachine};
 use crate::state::Protocol;
 use ib_sim::{AtomicOp, Rkey};
 use obs::{Cands, Thresholds};
@@ -178,6 +178,7 @@ impl ShmemMachine {
 
     /// RDMA put: post, wait *local* completion (source reusable), track
     /// the remote completion for `quiet`. The truly one-sided puts.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn rdma_put(
         self: &Arc<Self>,
         ctx: &TaskCtx,
@@ -186,13 +187,16 @@ impl ShmemMachine {
         rkey: Rkey,
         dst: MemRef,
         len: u64,
+        target: ProcId,
+        token: OpToken,
     ) {
-        self.rdma_put_inner(ctx, me, src, rkey, dst, len, false)
+        self.rdma_put_inner(ctx, me, src, rkey, dst, len, false, target, token)
     }
 
     /// As [`ShmemMachine::rdma_put`]; with `nbi` the call returns right
     /// after posting (`shmem_putmem_nbi` semantics: the source buffer is
-    /// not reusable until `quiet`).
+    /// not reusable until `quiet`). The op's flow ends on the *target's*
+    /// track at remote completion — the one-sided delivery point.
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn rdma_put_inner(
         self: &Arc<Self>,
@@ -203,6 +207,8 @@ impl ShmemMachine {
         dst: MemRef,
         len: u64,
         nbi: bool,
+        target: ProcId,
+        token: OpToken,
     ) {
         self.ensure_registered(ctx, me, src, len);
         let comp = self
@@ -214,6 +220,7 @@ impl ShmemMachine {
         } else {
             ctx.wait(&comp.local);
         }
+        self.flow_end_on(ctx, &comp.remote, 1, self.pe_track(target), token);
         self.pe_state(me).track(comp.remote);
     }
 
@@ -231,6 +238,9 @@ impl ShmemMachine {
         target: ProcId,
     ) {
         if len == 0 {
+            // zero-byte ops land in size-class 0 so quiet-only windows
+            // still show up in the histograms
+            self.obs().latency("put-nbi", 0, SimDuration::ZERO);
             return;
         }
         let dst = self.layout().resolve(dest, target);
@@ -240,6 +250,7 @@ impl ShmemMachine {
         // the Enhanced-GDR design; everything else behaves like put
         if self.put_rdma_serviced(me, target, src, dst, len) {
             let t0 = ctx.now();
+            let token = self.next_op(me);
             let st = self.pe_state(me);
             st.enter_library();
             self.drain_pending(ctx, me);
@@ -248,7 +259,7 @@ impl ShmemMachine {
                 s.puts += 1;
                 s.bytes_put += len;
             }
-            self.rdma_put_inner(ctx, me, src, rkey, dst, len, true);
+            self.rdma_put_inner(ctx, me, src, rkey, dst, len, true, target, token);
             let chosen = if same_node {
                 Protocol::LoopbackGdr
             } else if src.is_device() || dst.is_device() {
@@ -269,6 +280,7 @@ impl ShmemMachine {
                 same_node,
                 t0,
                 ctx.now(),
+                token,
                 |c, t| put_alts(&cfg, false, same_node, src.is_device(), dst.is_device(), c, t),
             );
             st.leave_library();
@@ -300,6 +312,7 @@ impl ShmemMachine {
         let dst = self.layout().resolve(dest, target);
         if self.put_rdma_serviced(me, target, src, dst, len) {
             let t0 = ctx.now();
+            let token = self.next_op(me);
             let st = self.pe_state(me);
             st.enter_library();
             self.drain_pending(ctx, me);
@@ -322,6 +335,7 @@ impl ShmemMachine {
                     .unwrap_or_else(|e| panic!("put_signal failed: {e}"));
             });
             ctx.wait(&comp.local);
+            self.flow_end_on(ctx, &comp.remote, 1, self.pe_track(target), token);
             st.track(comp.remote);
             self.count(me, Protocol::DirectGdr);
             let same_node = self.cluster().topo().same_node(me, target);
@@ -337,6 +351,7 @@ impl ShmemMachine {
                 same_node,
                 t0,
                 ctx.now(),
+                token,
                 |c, t| put_alts(&cfg, false, same_node, src.is_device(), dst.is_device(), c, t),
             );
             st.leave_library();
@@ -365,12 +380,14 @@ impl ShmemMachine {
         from: ProcId,
     ) {
         if len == 0 {
+            self.obs().latency("get-nbi", 0, SimDuration::ZERO);
             return;
         }
         let src = self.layout().resolve(source, from);
         let rkey = self.layout().rkey(source.domain, from);
         if self.get_rdma_serviced(me, from, src, dst, len) {
             let t0 = ctx.now();
+            let token = self.next_op(me);
             let st = self.pe_state(me);
             st.enter_library();
             self.drain_pending(ctx, me);
@@ -384,6 +401,9 @@ impl ShmemMachine {
                 .ib()
                 .post_rdma_read(ctx, me, dst, rkey, src, len)
                 .unwrap_or_else(|e| panic!("rdma get failed: {e}"));
+            // a get completes locally: the flow ends on the origin track
+            // when the read's data lands
+            self.flow_end_on(ctx, &done, 1, self.pe_track(me), token);
             st.track(done);
             self.count(me, Protocol::DirectGdr);
             let same_node = self.cluster().topo().same_node(me, from);
@@ -399,6 +419,7 @@ impl ShmemMachine {
                 same_node,
                 t0,
                 ctx.now(),
+                token,
                 |c, t| get_alts(&cfg, false, same_node, src.is_device(), dst.is_device(), c, t),
             );
             st.leave_library();
@@ -525,9 +546,11 @@ impl ShmemMachine {
         target: ProcId,
     ) {
         if len == 0 {
+            self.obs().latency("put", 0, SimDuration::ZERO);
             return;
         }
         let t0 = ctx.now();
+        let token = self.next_op(me);
         let st = self.pe_state(me);
         st.enter_library();
         self.drain_pending(ctx, me);
@@ -567,7 +590,7 @@ impl ShmemMachine {
                         self.shm_copy(ctx, src, dst, len);
                         Protocol::ShmCopy
                     } else {
-                        self.rdma_put(ctx, me, src, rkey, dst, len);
+                        self.rdma_put(ctx, me, src, rkey, dst, len, target, token);
                         Protocol::HostRdma
                     }
                 }
@@ -593,11 +616,11 @@ impl ShmemMachine {
                     } else {
                         match (src_dev, dst_dev) {
                             (false, false) => {
-                                self.rdma_put(ctx, me, src, rkey, dst, len);
+                                self.rdma_put(ctx, me, src, rkey, dst, len, target, token);
                                 Protocol::HostRdma
                             }
                             (true, true) => {
-                                self.host_pipeline_put(ctx, me, src, dst, len, target);
+                                self.host_pipeline_put(ctx, me, src, dst, len, target, token);
                                 Protocol::HostPipelineStaged
                             }
                             _ => panic!(
@@ -623,7 +646,7 @@ impl ShmemMachine {
                                     cfg.loopback_put_limit
                                 };
                                 if len <= limit {
-                                    self.rdma_put(ctx, me, src, rkey, dst, len);
+                                    self.rdma_put(ctx, me, src, rkey, dst, len, target, token);
                                     Protocol::LoopbackGdr
                                 } else {
                                     self.cuda_copy(ctx, src, dst, len);
@@ -632,7 +655,7 @@ impl ShmemMachine {
                             }
                             (true, false) => {
                                 if len <= cfg.loopback_put_limit {
-                                    self.rdma_put(ctx, me, src, rkey, dst, len);
+                                    self.rdma_put(ctx, me, src, rkey, dst, len, target, token);
                                     Protocol::LoopbackGdr
                                 } else {
                                     // shmem_ptr design (paper Fig. 3): one
@@ -646,7 +669,7 @@ impl ShmemMachine {
                     } else {
                         match (src_dev, dst_dev) {
                             (false, false) => {
-                                self.rdma_put(ctx, me, src, rkey, dst, len);
+                                self.rdma_put(ctx, me, src, rkey, dst, len, target, token);
                                 Protocol::HostRdma
                             }
                             _ => {
@@ -654,13 +677,13 @@ impl ShmemMachine {
                                 if len <= cfg.gdr_put_limit || (!src_dev && dst_intra) {
                                     // Direct GDR (small/medium; host-source
                                     // with a clean write path: all sizes).
-                                    self.rdma_put(ctx, me, src, rkey, dst, len);
+                                    self.rdma_put(ctx, me, src, rkey, dst, len, target, token);
                                     Protocol::DirectGdr
                                 } else if dst_dev && !dst_intra {
                                     // P2P write bottleneck at the target:
                                     // stage into target host memory, proxy
                                     // performs the final H2D — still one-sided.
-                                    self.proxy_put(ctx, me, src, dst, len, target);
+                                    self.proxy_put(ctx, me, src, dst, len, target, token);
                                     Protocol::ProxyPipeline
                                 } else {
                                     // Pipeline GDR write: chunked D2H staging
@@ -673,6 +696,7 @@ impl ShmemMachine {
                                         dest.domain,
                                         len,
                                         target,
+                                        token,
                                     );
                                     Protocol::PipelineGdrWrite
                                 }
@@ -694,8 +718,18 @@ impl ShmemMachine {
             same_node,
             t0,
             ctx.now(),
+            token,
             |c, t| put_alts(&cfg, me == target, same_node, src_dev, dst_dev, c, t),
         );
+        // Synchronous copy protocols deliver before returning, so the
+        // flow ends right here; RDMA/pipeline paths attached their ends
+        // to the remote completion inside the protocol.
+        if matches!(
+            chosen,
+            Protocol::ShmCopy | Protocol::IpcCopy | Protocol::TwoCopyStaged
+        ) {
+            self.flow_end_at(self.pe_track(me), ctx.now(), token);
+        }
         st.leave_library();
     }
 
@@ -712,9 +746,11 @@ impl ShmemMachine {
         from: ProcId,
     ) {
         if len == 0 {
+            self.obs().latency("get", 0, SimDuration::ZERO);
             return;
         }
         let t0 = ctx.now();
+        let token = self.next_op(me);
         let st = self.pe_state(me);
         st.enter_library();
         self.drain_pending(ctx, me);
@@ -820,7 +856,7 @@ impl ShmemMachine {
                     } else if cfg.proxy_enabled && len >= cfg.proxy_get_min {
                         // large get from remote GPU memory: remote proxy runs
                         // the reverse pipeline, target PE never involved
-                        self.proxy_get(ctx, me, dst, src, len, from);
+                        self.proxy_get(ctx, me, dst, src, len, from, token);
                         Protocol::ProxyPipeline
                     } else {
                         // ablation fallback: chunked direct GDR reads, paying
@@ -843,8 +879,12 @@ impl ShmemMachine {
             same_node,
             t0,
             ctx.now(),
+            token,
             |c, t| get_alts(&cfg, me == from, same_node, src_dev, dst_dev, c, t),
         );
+        // Every blocking-get protocol returns only once the data is
+        // locally delivered — that return is the op's completion.
+        self.flow_end_at(self.pe_track(me), ctx.now(), token);
         st.leave_library();
     }
 
@@ -860,6 +900,7 @@ impl ShmemMachine {
         op: AtomicOp,
     ) -> u64 {
         let t0 = ctx.now();
+        let token = self.next_op(me);
         let st = self.pe_state(me);
         st.enter_library();
         self.drain_pending(ctx, me);
@@ -890,8 +931,11 @@ impl ShmemMachine {
             self.cluster().topo().same_node(me, target),
             t0,
             ctx.now(),
+            token,
             |c, _| c.push(Protocol::HwAtomic.name()),
         );
+        // The atomic acted on the target's memory; end the flow there.
+        self.flow_end_at(self.pe_track(target), ctx.now(), token);
         st.leave_library();
         res.value()
     }

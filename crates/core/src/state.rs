@@ -7,7 +7,7 @@ use pcie_sim::mem::MemRef;
 use pcie_sim::ProcId;
 use sim_core::{Completion, Link, LinkSpec};
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 /// Which concrete protocol serviced an operation — the runtime records
 /// this so tests and the Table I harness can verify protocol selection.
@@ -157,6 +157,9 @@ pub struct PeState {
     /// The MPI library's single progress thread: pinned-pool staging
     /// copies serialize on it (used by the two-sided layer).
     pub pin_engine: Mutex<Link>,
+    /// RMA op sequence number, the basis of per-op correlation ids
+    /// (flow events) and deterministic span sampling.
+    pub op_seq: AtomicU64,
 }
 
 impl PeState {
@@ -184,6 +187,7 @@ impl PeState {
                 sim_core::SimDuration::from_ns(200),
                 memcpy_bw,
             ))),
+            op_seq: AtomicU64::new(0),
         }
     }
 

@@ -48,6 +48,10 @@ pub struct GpuRuntime {
     obs: obs::Sink,
 }
 
+/// Link-track slots per GPU in the obs index space (h2d, d2h, d2d,
+/// p2p-in, p2p-out).
+const LINKS_PER_GPU: usize = 5;
+
 impl GpuRuntime {
     /// Build every GPU in the cluster with `dev_mem_bytes` of memory each.
     pub fn new(sim: &Sim, cluster: Arc<Cluster>, dev_mem_bytes: u64) -> Arc<GpuRuntime> {
@@ -61,13 +65,36 @@ impl GpuRuntime {
                 GpuDevice::new(id, arena, &hw)
             })
             .collect();
-        Arc::new(GpuRuntime {
+        let rt = Arc::new(GpuRuntime {
             sim: sim.clone(),
             cluster,
             gpus,
             ipc: IpcRegistry::new(),
             obs: obs::Sink::new(),
-        })
+        });
+        // Per-link utilization: every PCIe/DMA link reports its
+        // reservations through the late-bound sink, so a machine that
+        // attaches a recorder gets one named utilization track per link.
+        for (i, gpu) in rt.gpus.iter().enumerate() {
+            let links = [
+                ("h2d", &gpu.h2d),
+                ("d2h", &gpu.d2h),
+                ("d2d", &gpu.d2d),
+                ("p2p-in", &gpu.p2p_in),
+                ("p2p-out", &gpu.p2p_out),
+            ];
+            for (slot, (tag, link)) in links.into_iter().enumerate() {
+                let sink = rt.obs.clone();
+                let name = format!("pcie/gpu{i}/{tag}");
+                let index = (i * LINKS_PER_GPU + slot) as u32;
+                link.lock().set_observer(Box::new(move |ev| {
+                    if let Some(rec) = sink.counters() {
+                        rec.link_sample(index, &name, ev);
+                    }
+                }));
+            }
+        }
+        rt
     }
 
     /// Late-bound observability sink; a machine attaches its recorder

@@ -52,6 +52,12 @@ impl Hca {
         *self.stats.lock()
     }
 
+    /// Install a per-reservation observer on the TX link (drives the
+    /// per-link utilization tracks of the obs layer).
+    pub fn set_tx_observer(&self, f: sim_core::LinkObserver) {
+        self.tx.lock().set_observer(f);
+    }
+
     pub fn note_write(&self) {
         self.stats.lock().writes_posted += 1;
     }

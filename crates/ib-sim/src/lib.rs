@@ -33,12 +33,29 @@ pub struct IbVerbs {
     obs: obs::Sink,
 }
 
+/// Obs link-track index base for HCA TX links (above every possible
+/// GPU link index, so the two families never collide).
+const HCA_LINK_BASE: u32 = 0x8000;
+
 impl IbVerbs {
     pub fn new(sim: &Sim, gpus: Arc<GpuRuntime>) -> Arc<IbVerbs> {
         let cluster = gpus.cluster().clone();
-        let hcas = (0..cluster.topo().nhcas())
+        let obs = obs::Sink::new();
+        let hcas: Vec<Hca> = (0..cluster.topo().nhcas())
             .map(|i| Hca::new(HcaId(i as u32), &cluster.hw().ib))
             .collect();
+        // Per-link utilization: each HCA's TX wire reports reservations
+        // through the late-bound sink (one named link track per HCA).
+        for (i, h) in hcas.iter().enumerate() {
+            let sink = obs.clone();
+            let name = format!("ib/hca{i}/tx");
+            let index = HCA_LINK_BASE + i as u32;
+            h.set_tx_observer(Box::new(move |ev| {
+                if let Some(rec) = sink.counters() {
+                    rec.link_sample(index, &name, ev);
+                }
+            }));
+        }
         Arc::new(IbVerbs {
             sim: sim.clone(),
             cluster,
@@ -46,7 +63,7 @@ impl IbVerbs {
             hcas,
             mrs: MrTable::new(),
             qps: QpTable::new(),
-            obs: obs::Sink::new(),
+            obs,
         })
     }
 

@@ -1,0 +1,142 @@
+//! `gdrprof` — critical-path profiler for recorder traces.
+//!
+//! ```text
+//! gdrprof analyze <trace.json> [--json <report.json>]
+//! gdrprof diff <baseline.json> <candidate.json> [--threshold <pct>]
+//! ```
+//!
+//! `diff` accepts either raw Chrome traces or `gdrprof-report-v1` JSON
+//! files (the former are analyzed on the fly).
+//!
+//! Exit codes (CI gates on these):
+//!   0  success
+//!   1  usage error
+//!   2  malformed trace / IO error
+//!   3  trace contained no analyzable operations
+//!   4  diff found a regression over the threshold
+
+use obs_analyze::{analyze, diff, Report, Trace};
+use std::process::ExitCode;
+
+const USAGE: &str = "usage:
+  gdrprof analyze <trace.json> [--json <report.json>]
+  gdrprof diff <baseline.json> <candidate.json> [--threshold <pct>]";
+
+fn fail(code: u8, msg: &str) -> ExitCode {
+    eprintln!("gdrprof: {msg}");
+    ExitCode::from(code)
+}
+
+fn load_report(path: &str) -> Result<Report, String> {
+    let doc =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    // a report file carries its schema marker; anything else must be a trace
+    if let Ok(v) = obs::json::parse(&doc) {
+        if v.get("schema").and_then(|s| s.as_str()) == Some("gdrprof-report-v1") {
+            return report_from_json(&v)
+                .ok_or_else(|| format!("{path}: malformed gdrprof-report-v1 document"));
+        }
+    }
+    Ok(analyze(&Trace::parse(&doc).map_err(|e| format!("{path}: {e}"))?))
+}
+
+/// Rehydrate the subset of a report that `diff` needs (per-protocol
+/// means) from its JSON form.
+fn report_from_json(v: &obs::json::Value) -> Option<Report> {
+    let mut rep = Report {
+        trace_span_us: v.get("trace_span_us")?.as_f64()?,
+        ops_analyzed: v.get("ops_analyzed")?.as_f64()? as u64,
+        ..Report::default()
+    };
+    for (k, p) in v.get("protocols")?.as_obj()? {
+        let count = p.get("count")?.as_f64()? as u64;
+        let mean = p.get("mean_us")?.as_f64()?;
+        rep.protocols.insert(
+            k.clone(),
+            obs_analyze::ProtoStat {
+                count,
+                bytes: p.get("bytes")?.as_f64()? as u64,
+                total_us: mean * count as f64,
+                min_us: p.get("min_us")?.as_f64()?,
+                max_us: p.get("max_us")?.as_f64()?,
+                stages: Default::default(),
+            },
+        );
+    }
+    Some(rep)
+}
+
+fn cmd_analyze(args: &[String]) -> ExitCode {
+    let mut trace_path = None;
+    let mut json_out = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--json" => match it.next() {
+                Some(p) => json_out = Some(p.clone()),
+                None => return fail(1, "--json needs a path"),
+            },
+            _ if trace_path.is_none() => trace_path = Some(a.clone()),
+            _ => return fail(1, USAGE),
+        }
+    }
+    let Some(trace_path) = trace_path else {
+        return fail(1, USAGE);
+    };
+    let doc = match std::fs::read_to_string(&trace_path) {
+        Ok(d) => d,
+        Err(e) => return fail(2, &format!("cannot read {trace_path}: {e}")),
+    };
+    let tr = match Trace::parse(&doc) {
+        Ok(t) => t,
+        Err(e) => return fail(2, &format!("{trace_path}: {e}")),
+    };
+    let rep = analyze(&tr);
+    print!("{}", rep.text());
+    if let Some(out) = json_out {
+        if let Err(e) = std::fs::write(&out, rep.to_json()) {
+            return fail(2, &format!("cannot write {out}: {e}"));
+        }
+    }
+    if rep.ops_analyzed == 0 {
+        return fail(3, "trace contained no analyzable operations");
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_diff(args: &[String]) -> ExitCode {
+    let mut paths = Vec::new();
+    let mut threshold = 10.0f64;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--threshold" => match it.next().and_then(|t| t.parse::<f64>().ok()) {
+                Some(t) => threshold = t,
+                None => return fail(1, "--threshold needs a percentage"),
+            },
+            _ => paths.push(a.clone()),
+        }
+    }
+    let [a, b] = paths.as_slice() else {
+        return fail(1, USAGE);
+    };
+    let (ra, rb) = match (load_report(a), load_report(b)) {
+        (Ok(ra), Ok(rb)) => (ra, rb),
+        (Err(e), _) | (_, Err(e)) => return fail(2, &e),
+    };
+    let d = diff(&ra, &rb, threshold);
+    print!("{}", d.text());
+    if d.regressions() > 0 {
+        return fail(4, "regression over threshold");
+    }
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.split_first() {
+        Some((cmd, rest)) if cmd == "analyze" => cmd_analyze(rest),
+        Some((cmd, rest)) if cmd == "diff" => cmd_diff(rest),
+        _ => fail(1, USAGE),
+    }
+}

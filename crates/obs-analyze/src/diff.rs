@@ -1,0 +1,98 @@
+//! A/B comparison of two reports with a regression threshold.
+//!
+//! `gdrprof diff baseline.json candidate.json --threshold 10` compares
+//! mean critical-path latency per `op/protocol` key and flags any key
+//! whose candidate mean exceeds the baseline by more than the threshold
+//! percentage. The process exit code gates CI on the result.
+
+use crate::report::Report;
+use std::fmt::Write as _;
+
+/// One `op/protocol` key present in either report.
+#[derive(Clone, Debug)]
+pub struct DiffRow {
+    pub key: String,
+    /// Mean critical-path us in the baseline; `None` if the key is new.
+    pub a_mean_us: Option<f64>,
+    /// Mean critical-path us in the candidate; `None` if it vanished.
+    pub b_mean_us: Option<f64>,
+    /// Percent change (positive = slower), when both sides exist.
+    pub delta_pct: Option<f64>,
+    pub regressed: bool,
+}
+
+#[derive(Clone, Debug, Default)]
+pub struct DiffReport {
+    pub threshold_pct: f64,
+    pub rows: Vec<DiffRow>,
+}
+
+impl DiffReport {
+    pub fn regressions(&self) -> usize {
+        self.rows.iter().filter(|r| r.regressed).count()
+    }
+
+    pub fn text(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "gdrprof diff (regression threshold {:.1}%)",
+            self.threshold_pct
+        );
+        for r in &self.rows {
+            let fmt_side = |m: Option<f64>| match m {
+                Some(us) => format!("{us:.3}us"),
+                None => "-".to_string(),
+            };
+            let delta = match r.delta_pct {
+                Some(d) => format!("{d:+.1}%"),
+                None => "n/a".to_string(),
+            };
+            let mark = if r.regressed { "  REGRESSED" } else { "" };
+            let _ = writeln!(
+                s,
+                "  {:<28} a {:<12} b {:<12} {delta}{mark}",
+                r.key,
+                fmt_side(r.a_mean_us),
+                fmt_side(r.b_mean_us),
+            );
+        }
+        let _ = writeln!(s, "regressions: {}", self.regressions());
+        s
+    }
+}
+
+/// Compare per-`op/protocol` mean critical-path latency of `b` (the
+/// candidate) against `a` (the baseline).
+pub fn diff(a: &Report, b: &Report, threshold_pct: f64) -> DiffReport {
+    let mut keys: Vec<&String> = a.protocols.keys().collect();
+    for k in b.protocols.keys() {
+        if !a.protocols.contains_key(k) {
+            keys.push(k);
+        }
+    }
+    keys.sort();
+    let rows = keys
+        .into_iter()
+        .map(|k| {
+            let am = a.protocols.get(k).map(|s| s.mean_us());
+            let bm = b.protocols.get(k).map(|s| s.mean_us());
+            let delta_pct = match (am, bm) {
+                (Some(am), Some(bm)) if am > 0.0 => Some((bm - am) / am * 100.0),
+                _ => None,
+            };
+            let regressed = delta_pct.is_some_and(|d| d > threshold_pct);
+            DiffRow {
+                key: k.clone(),
+                a_mean_us: am,
+                b_mean_us: bm,
+                delta_pct,
+                regressed,
+            }
+        })
+        .collect();
+    DiffReport {
+        threshold_pct,
+        rows,
+    }
+}

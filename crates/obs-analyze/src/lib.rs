@@ -1,0 +1,231 @@
+//! # obs-analyze — trace analysis for the observability layer
+//!
+//! The recorder (`crates/obs`) writes Chrome `trace_event` documents;
+//! this crate reads them back and answers the profiling questions the
+//! paper's evaluation asks: where does each put/get spend its time
+//! (critical path per op, split by pipeline stage), how busy is each
+//! PCIe/IB link (utilization + contention windows), which protocol did
+//! the runtime choose and how often, and did a change regress latency
+//! (A/B diff with a threshold). The `gdrprof` binary is the CLI over
+//! it; CI uses its machine-readable output (`BENCH_omb.json`).
+//!
+//! Everything here is deterministic: identical traces produce
+//! byte-identical text and JSON reports (BTreeMap iteration, fixed
+//! float formatting), so reports can be `cmp`'d in CI.
+
+pub mod diff;
+pub mod report;
+pub mod trace;
+
+pub use diff::{diff, DiffReport, DiffRow};
+pub use report::{analyze, LinkStat, OpPath, ProtoStat, Report, RMA_OPS};
+pub use trace::Trace;
+
+/// Parse + analyze in one step.
+pub fn analyze_str(doc: &str) -> Result<Report, String> {
+    Ok(analyze(&Trace::parse(doc)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use obs::{ObsLevel, Payload, Recorder, TrackKind};
+    use sim_core::SimTime;
+
+    fn t(us: u64) -> SimTime {
+        SimTime(us * 1_000_000)
+    }
+
+    /// A synthetic two-op trace: one small direct-GDR put (flow start +
+    /// remote flow end), one pipelined put with overlapping d2h/rdma
+    /// chunks, a decision record, and link counter samples.
+    fn synthetic_trace() -> String {
+        let r = Recorder::new(ObsLevel::Spans);
+        let pe0 = r.track(TrackKind::Pe, 0);
+        let pe1 = r.track(TrackKind::Pe, 1);
+        let lk = r.track_named(TrackKind::Link, 0, "pcie/gpu0/d2h");
+
+        // op 1: direct-gdr put, span 1..5us, remote completion at 9us
+        r.instant(pe0, "op-flow", t(1), Payload::FlowStart { id: 101 });
+        r.span(
+            pe0,
+            "put",
+            t(1),
+            t(5),
+            Payload::Op {
+                op: "put",
+                protocol: "direct-gdr",
+                size: 64,
+                src_pe: 0,
+                dst_pe: 1,
+                src_dev: true,
+                dst_dev: true,
+                same_node: false,
+                op_id: 101,
+            },
+        );
+        r.instant(pe1, "op-flow", t(9), Payload::FlowEnd { id: 101 });
+
+        // op 2: pipelined put with two d2h chunks (10..12, 11..14 —
+        // overlapping, union 4us) and one rdma chunk ending at 20us
+        r.instant(pe0, "op-flow", t(10), Payload::FlowStart { id: 102 });
+        r.span(
+            pe0,
+            "put",
+            t(10),
+            t(15),
+            Payload::Op {
+                op: "put",
+                protocol: "pipeline-gdr-write",
+                size: 1 << 20,
+                src_pe: 0,
+                dst_pe: 1,
+                src_dev: true,
+                dst_dev: true,
+                same_node: false,
+                op_id: 102,
+            },
+        );
+        for (i, (s, e)) in [(10u64, 12u64), (11, 14)].iter().enumerate() {
+            r.span(
+                pe0,
+                "chunk-d2h",
+                t(*s),
+                t(*e),
+                Payload::Chunk {
+                    protocol: "pipeline-gdr-write",
+                    stage: "d2h",
+                    index: i as u32,
+                    size: 1 << 19,
+                    op_id: 102,
+                },
+            );
+        }
+        r.span(
+            pe0,
+            "chunk-rdma",
+            t(14),
+            t(20),
+            Payload::Chunk {
+                protocol: "pipeline-gdr-write",
+                stage: "rdma",
+                index: 1,
+                size: 1 << 19,
+                op_id: 102,
+            },
+        );
+        r.instant(pe1, "op-flow", t(20), Payload::FlowEnd { id: 102 });
+
+        let mut d = obs::Decision {
+            op: "put",
+            size: 64,
+            src_pe: 0,
+            dst_pe: 1,
+            src_dev: true,
+            dst_dev: true,
+            same_node: false,
+            chosen: "direct-gdr",
+            ..Default::default()
+        };
+        d.candidates.push("direct-gdr");
+        r.decision(pe0, t(1), d);
+
+        // link samples: queue ramps to 2 (one contention window)
+        for (us, total, busy, q) in [(2u64, 4096u64, 1u64, 1u32), (3, 8192, 2, 2), (4, 12288, 3, 1)]
+        {
+            r.instant(
+                lk,
+                "link",
+                t(us),
+                Payload::LinkSample {
+                    total,
+                    busy_ps: busy * 1_000_000,
+                    queue: q,
+                },
+            );
+        }
+        r.chrome_trace()
+    }
+
+    #[test]
+    fn analyzes_critical_paths_stages_and_flows() {
+        let rep = analyze_str(&synthetic_trace()).unwrap();
+        assert_eq!(rep.ops_analyzed, 2);
+        assert_eq!(rep.flow_started, 2);
+        assert_eq!(rep.flow_matched, 2);
+        assert!((rep.flow_linkage() - 1.0).abs() < 1e-9);
+
+        // direct put: critical path extends to the remote flow end
+        let direct = &rep.protocols["put/direct-gdr"];
+        assert_eq!(direct.count, 1);
+        assert!((direct.mean_us() - 8.0).abs() < 1e-6, "{}", direct.mean_us());
+        assert!((direct.stages["direct"] - 4.0).abs() < 1e-6);
+
+        // pipelined put: end = last chunk end (20us), d2h union = 4us
+        let pipe = &rep.protocols["put/pipeline-gdr-write"];
+        assert!((pipe.mean_us() - 10.0).abs() < 1e-6, "{}", pipe.mean_us());
+        assert!((pipe.stages["d2h"] - 4.0).abs() < 1e-6, "{:?}", pipe.stages);
+        assert!((pipe.stages["rdma"] - 6.0).abs() < 1e-6);
+
+        assert_eq!(rep.decisions["put/direct-gdr"], 1);
+
+        let lk = &rep.links["pcie/gpu0/d2h"];
+        assert_eq!(lk.samples, 3);
+        assert_eq!(lk.bytes, 12288);
+        assert_eq!(lk.peak_queue, 2);
+        assert_eq!(lk.contended_windows, 1);
+    }
+
+    #[test]
+    fn text_report_has_ci_anchor_lines() {
+        let rep = analyze_str(&synthetic_trace()).unwrap();
+        let txt = rep.text();
+        assert!(txt.contains("ops-analyzed: 2"), "{txt}");
+        assert!(txt.contains("critical path"), "{txt}");
+        assert!(txt.contains("flow-linkage: 100.0%"), "{txt}");
+    }
+
+    #[test]
+    fn json_report_is_deterministic_and_parses() {
+        let rep = analyze_str(&synthetic_trace()).unwrap();
+        let j1 = rep.to_json();
+        let j2 = analyze_str(&synthetic_trace()).unwrap().to_json();
+        assert_eq!(j1, j2, "same trace must yield byte-identical JSON");
+        let v = obs::json::parse(&j1).unwrap();
+        assert_eq!(
+            v.get("schema").unwrap().as_str().unwrap(),
+            "gdrprof-report-v1"
+        );
+        assert_eq!(v.get("ops_analyzed").unwrap().as_f64().unwrap(), 2.0);
+        assert_eq!(
+            v.get("flow").unwrap().get("linkage").unwrap().as_f64(),
+            Some(1.0)
+        );
+    }
+
+    #[test]
+    fn malformed_documents_are_errors() {
+        assert!(Trace::parse("{\"traceEvents\":[").is_err());
+        assert!(Trace::parse("{}").is_err(), "missing traceEvents array");
+        assert!(Trace::parse("[]").is_err());
+        // event without mandatory fields
+        assert!(Trace::parse(r#"{"traceEvents":[{"ts":1}]}"#).is_err());
+    }
+
+    #[test]
+    fn diff_flags_regressions_over_threshold() {
+        let a = analyze_str(&synthetic_trace()).unwrap();
+        let mut b = a.clone();
+        // candidate: direct-gdr 50% slower
+        b.protocols.get_mut("put/direct-gdr").unwrap().total_us *= 1.5;
+        let d = diff(&a, &b, 10.0);
+        assert_eq!(d.regressions(), 1);
+        let row = d.rows.iter().find(|r| r.key == "put/direct-gdr").unwrap();
+        assert!(row.regressed);
+        assert!((row.delta_pct.unwrap() - 50.0).abs() < 1e-6);
+        // within threshold: no regression
+        let d2 = diff(&a, &b, 60.0);
+        assert_eq!(d2.regressions(), 0);
+        assert!(d2.text().contains("regressions: 0"));
+    }
+}

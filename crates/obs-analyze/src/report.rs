@@ -1,0 +1,382 @@
+//! Critical-path, utilization, and protocol analysis of one trace.
+
+use crate::trace::{OpSpan, Trace};
+use obs::json::ObjWriter;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt::Write as _;
+
+/// RMA/sync operations that carry a correlation id and participate in
+/// the flow-linkage metric. Collectives (barrier etc.) are excluded:
+/// they have no single remote completion to flow to.
+pub const RMA_OPS: &[&str] = &["put", "get", "put-nbi", "get-nbi", "put-signal", "atomic"];
+
+/// One operation's reconstructed critical path: from the origin call to
+/// the last correlated activity (chunk span or remote-completion flow
+/// end), with per-stage busy time (interval union, so overlapping
+/// chunks of one stage are not double-counted).
+#[derive(Clone, Debug)]
+pub struct OpPath {
+    pub op_id: u64,
+    pub op: String,
+    pub protocol: String,
+    pub size: u64,
+    pub start_us: f64,
+    pub end_us: f64,
+    /// stage name -> busy microseconds (union of that stage's chunks).
+    pub stages: BTreeMap<String, f64>,
+}
+
+impl OpPath {
+    pub fn total_us(&self) -> f64 {
+        self.end_us - self.start_us
+    }
+}
+
+/// Aggregate critical-path statistics for one `op/protocol` pair.
+#[derive(Clone, Debug, Default)]
+pub struct ProtoStat {
+    pub count: u64,
+    pub bytes: u64,
+    pub total_us: f64,
+    pub min_us: f64,
+    pub max_us: f64,
+    pub stages: BTreeMap<String, f64>,
+}
+
+impl ProtoStat {
+    pub fn mean_us(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total_us / self.count as f64
+        }
+    }
+}
+
+/// Utilization summary of one hardware link track.
+#[derive(Clone, Debug, Default)]
+pub struct LinkStat {
+    pub samples: u64,
+    /// Cumulative bytes over the whole trace (final sample's total).
+    pub bytes: u64,
+    /// Cumulative busy time (final sample's total).
+    pub busy_us: f64,
+    pub peak_queue: u32,
+    /// Contention windows: maximal runs of consecutive samples whose
+    /// queue depth is >= 2 (a reservation had to wait).
+    pub contended_windows: u64,
+    pub contended_us: f64,
+}
+
+/// Everything `gdrprof` reports about one trace.
+#[derive(Clone, Debug, Default)]
+pub struct Report {
+    pub trace_span_us: f64,
+    pub ops_analyzed: u64,
+    pub flow_started: u64,
+    pub flow_matched: u64,
+    /// `op/protocol` -> aggregate critical-path stats.
+    pub protocols: BTreeMap<String, ProtoStat>,
+    /// `op/chosen-protocol` -> decision count.
+    pub decisions: BTreeMap<String, u64>,
+    /// link track name -> utilization stats.
+    pub links: BTreeMap<String, LinkStat>,
+    /// Per-op detail, sorted by op id.
+    pub paths: Vec<OpPath>,
+}
+
+impl Report {
+    /// Fraction of analyzed op spans whose flow start has a matching
+    /// flow end (0..=1; 1.0 when there is nothing to link).
+    pub fn flow_linkage(&self) -> f64 {
+        if self.ops_analyzed == 0 {
+            1.0
+        } else {
+            self.flow_matched as f64 / self.ops_analyzed as f64
+        }
+    }
+}
+
+/// Total length of the union of `[start, end)` intervals.
+fn interval_union(mut iv: Vec<(f64, f64)>) -> f64 {
+    iv.sort_by(|a, b| a.0.total_cmp(&b.0));
+    let mut total = 0.0;
+    let mut cur: Option<(f64, f64)> = None;
+    for (s, e) in iv {
+        match cur {
+            Some((cs, ce)) if s <= ce => cur = Some((cs, ce.max(e))),
+            Some((cs, ce)) => {
+                total += ce - cs;
+                cur = Some((s, e));
+            }
+            None => cur = Some((s, e)),
+        }
+    }
+    if let Some((cs, ce)) = cur {
+        total += ce - cs;
+    }
+    total
+}
+
+fn is_rma(op: &OpSpan) -> bool {
+    RMA_OPS.contains(&op.op.as_str())
+}
+
+/// Analyze one parsed trace into a [`Report`].
+pub fn analyze(tr: &Trace) -> Report {
+    let mut rep = Report {
+        trace_span_us: tr.end_us,
+        ..Report::default()
+    };
+
+    // flow endpoints by id
+    let started: BTreeSet<u64> = tr.flow_starts.iter().map(|f| f.id).collect();
+    let mut ended: BTreeMap<u64, f64> = BTreeMap::new();
+    for f in &tr.flow_ends {
+        let e = ended.entry(f.id).or_insert(f.ts_us);
+        *e = e.max(f.ts_us);
+    }
+
+    // chunks grouped by correlation id
+    let mut chunks_by_op: BTreeMap<u64, Vec<&crate::trace::ChunkSpan>> = BTreeMap::new();
+    for c in &tr.chunks {
+        if c.op_id != 0 {
+            chunks_by_op.entry(c.op_id).or_default().push(c);
+        }
+    }
+
+    for op in tr.ops.iter().filter(|o| is_rma(o)) {
+        rep.ops_analyzed += 1;
+        let mut end = op.ts_us + op.dur_us;
+        let mut stages: BTreeMap<String, Vec<(f64, f64)>> = BTreeMap::new();
+        if op.op_id != 0 {
+            if started.contains(&op.op_id) {
+                rep.flow_started += 1;
+                if let Some(&fe) = ended.get(&op.op_id) {
+                    rep.flow_matched += 1;
+                    end = end.max(fe);
+                }
+            }
+            if let Some(cs) = chunks_by_op.get(&op.op_id) {
+                for c in cs {
+                    end = end.max(c.ts_us + c.dur_us);
+                    stages
+                        .entry(c.stage.clone())
+                        .or_default()
+                        .push((c.ts_us, c.ts_us + c.dur_us));
+                }
+            }
+        }
+        let stages: BTreeMap<String, f64> = if stages.is_empty() {
+            // chunkless protocols are a single hardware leg
+            [("direct".to_string(), op.dur_us)].into()
+        } else {
+            stages
+                .into_iter()
+                .map(|(k, iv)| (k, interval_union(iv)))
+                .collect()
+        };
+        let path = OpPath {
+            op_id: op.op_id,
+            op: op.op.clone(),
+            protocol: op.protocol.clone(),
+            size: op.size,
+            start_us: op.ts_us,
+            end_us: end,
+            stages,
+        };
+        let key = format!("{}/{}", path.op, path.protocol);
+        let st = rep.protocols.entry(key).or_default();
+        let t = path.total_us();
+        if st.count == 0 {
+            st.min_us = t;
+            st.max_us = t;
+        } else {
+            st.min_us = st.min_us.min(t);
+            st.max_us = st.max_us.max(t);
+        }
+        st.count += 1;
+        st.bytes += path.size;
+        st.total_us += t;
+        for (s, us) in &path.stages {
+            *st.stages.entry(s.clone()).or_insert(0.0) += us;
+        }
+        rep.paths.push(path);
+    }
+    rep.paths.sort_by_key(|p| p.op_id);
+
+    for d in &tr.decisions {
+        *rep.decisions
+            .entry(format!("{}/{}", d.op, d.chosen))
+            .or_insert(0) += 1;
+    }
+
+    for (name, pts) in &tr.links {
+        let mut ls = LinkStat {
+            samples: pts.len() as u64,
+            ..LinkStat::default()
+        };
+        let mut run_start: Option<f64> = None;
+        let mut last_ts = 0.0f64;
+        for p in pts {
+            ls.bytes = ls.bytes.max(p.bytes_total);
+            ls.busy_us = ls.busy_us.max(p.busy_us);
+            ls.peak_queue = ls.peak_queue.max(p.queue);
+            if p.queue >= 2 {
+                run_start.get_or_insert(p.ts_us);
+            } else if let Some(s) = run_start.take() {
+                ls.contended_windows += 1;
+                ls.contended_us += last_ts - s;
+            }
+            last_ts = p.ts_us;
+        }
+        if let Some(s) = run_start {
+            ls.contended_windows += 1;
+            ls.contended_us += last_ts - s;
+        }
+        rep.links.insert(name.clone(), ls);
+    }
+    rep
+}
+
+impl Report {
+    /// Human-readable rendering (the `gdrprof analyze` default output).
+    pub fn text(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(s, "gdrprof report");
+        let _ = writeln!(s, "trace-span-us: {:.3}", self.trace_span_us);
+        let _ = writeln!(s, "ops-analyzed: {}", self.ops_analyzed);
+        let _ = writeln!(
+            s,
+            "flow-linkage: {:.1}% ({}/{})",
+            self.flow_linkage() * 100.0,
+            self.flow_matched,
+            self.ops_analyzed
+        );
+        let _ = writeln!(s, "\ncritical path by op/protocol:");
+        for (k, st) in &self.protocols {
+            let _ = writeln!(
+                s,
+                "  {k:<28} count {:<5} bytes {:<10} mean {:.3}us  min {:.3}us  max {:.3}us",
+                st.count, st.bytes, st.mean_us(), st.min_us, st.max_us
+            );
+            for (stage, us) in &st.stages {
+                let _ = writeln!(s, "    stage {stage:<10} {us:.3}us");
+            }
+        }
+        let _ = writeln!(s, "\nprotocol decisions:");
+        for (k, n) in &self.decisions {
+            let _ = writeln!(s, "  {k:<28} {n}");
+        }
+        let _ = writeln!(s, "\nlink utilization:");
+        for (k, ls) in &self.links {
+            let pct = if self.trace_span_us > 0.0 {
+                ls.busy_us / self.trace_span_us * 100.0
+            } else {
+                0.0
+            };
+            let _ = writeln!(
+                s,
+                "  {k:<20} bytes {:<12} busy {:.3}us ({pct:.1}% of trace)  peak-queue {}  \
+                 contended {} windows / {:.3}us",
+                ls.bytes, ls.busy_us, ls.peak_queue, ls.contended_windows, ls.contended_us
+            );
+        }
+        s
+    }
+
+    /// Machine-readable rendering: the `gdrprof-report-v1` JSON object.
+    /// Field order and float formatting are deterministic, so identical
+    /// traces produce byte-identical reports.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        let mut o = ObjWriter::new(&mut out);
+        o.str_field("schema", "gdrprof-report-v1");
+        o.num_field("trace_span_us", self.trace_span_us);
+        o.u64_field("ops_analyzed", self.ops_analyzed);
+        {
+            let buf = o.raw_field("flow");
+            let mut f = ObjWriter::new(buf);
+            f.u64_field("started", self.flow_started)
+                .u64_field("matched", self.flow_matched)
+                .num_field("linkage", self.flow_linkage());
+            f.finish();
+        }
+        {
+            let buf = o.raw_field("protocols");
+            let mut p = ObjWriter::new(buf);
+            for (k, st) in &self.protocols {
+                let buf = p.raw_field(k);
+                let mut e = ObjWriter::new(buf);
+                e.u64_field("count", st.count)
+                    .u64_field("bytes", st.bytes)
+                    .num_field("mean_us", st.mean_us())
+                    .num_field("min_us", st.min_us)
+                    .num_field("max_us", st.max_us);
+                {
+                    let buf = e.raw_field("stages");
+                    let mut sj = ObjWriter::new(buf);
+                    for (stage, us) in &st.stages {
+                        sj.num_field(stage, *us);
+                    }
+                    sj.finish();
+                }
+                e.finish();
+            }
+            p.finish();
+        }
+        {
+            let buf = o.raw_field("decisions");
+            let mut d = ObjWriter::new(buf);
+            for (k, n) in &self.decisions {
+                d.u64_field(k, *n);
+            }
+            d.finish();
+        }
+        {
+            let buf = o.raw_field("links");
+            let mut l = ObjWriter::new(buf);
+            for (k, ls) in &self.links {
+                let buf = l.raw_field(k);
+                let mut e = ObjWriter::new(buf);
+                e.u64_field("samples", ls.samples)
+                    .u64_field("bytes", ls.bytes)
+                    .num_field("busy_us", ls.busy_us)
+                    .u64_field("peak_queue", ls.peak_queue as u64)
+                    .u64_field("contended_windows", ls.contended_windows)
+                    .num_field("contended_us", ls.contended_us);
+                e.finish();
+            }
+            l.finish();
+        }
+        {
+            // per-op critical paths, for downstream tooling
+            let buf = o.raw_field("ops");
+            buf.push('[');
+            for (i, p) in self.paths.iter().enumerate() {
+                if i > 0 {
+                    buf.push(',');
+                }
+                let mut e = ObjWriter::new(buf);
+                e.u64_field("op_id", p.op_id);
+                e.str_field("op", &p.op).str_field("protocol", &p.protocol);
+                e.u64_field("size", p.size);
+                e.num_field("start_us", p.start_us)
+                    .num_field("end_us", p.end_us)
+                    .num_field("total_us", p.total_us());
+                {
+                    let buf = e.raw_field("stages");
+                    let mut sj = ObjWriter::new(buf);
+                    for (stage, us) in &p.stages {
+                        sj.num_field(stage, *us);
+                    }
+                    sj.finish();
+                }
+                e.finish();
+            }
+            buf.push(']');
+        }
+        o.finish();
+        out
+    }
+}

@@ -1,0 +1,188 @@
+//! Loading a Chrome `trace_event` document back into typed records.
+//!
+//! The parser is strict about document structure (malformed JSON or a
+//! missing `traceEvents` array is an error — `gdrprof` gates its exit
+//! code on this) but lenient about event vocabulary: phases it does not
+//! analyze (generic instants, counter samples other than link samples)
+//! are skipped, so traces from newer recorders still load.
+
+use obs::json::{self, Value};
+use std::collections::BTreeMap;
+
+/// One completed-operation span (`ph:"X"` with an `op` argument).
+#[derive(Clone, Debug)]
+pub struct OpSpan {
+    /// Name of the track (thread) the span was recorded on, e.g. `pe/0`.
+    pub track: String,
+    pub op: String,
+    pub protocol: String,
+    pub size: u64,
+    /// Correlation id; 0 marks uncorrelated spans (collectives).
+    pub op_id: u64,
+    pub ts_us: f64,
+    pub dur_us: f64,
+}
+
+/// One pipeline-chunk stage span (`ph:"X"` with a `stage` argument).
+#[derive(Clone, Debug)]
+pub struct ChunkSpan {
+    pub track: String,
+    pub protocol: String,
+    pub stage: String,
+    pub index: u32,
+    pub size: u64,
+    pub op_id: u64,
+    pub ts_us: f64,
+    pub dur_us: f64,
+}
+
+/// One protocol-decision record (`ph:"i"`, name `protocol-decision`).
+#[derive(Clone, Debug)]
+pub struct DecisionRec {
+    pub op: String,
+    pub chosen: String,
+    pub size: u64,
+}
+
+/// A flow endpoint (`ph:"s"` start / `ph:"f"` end).
+#[derive(Clone, Copy, Debug)]
+pub struct FlowEvent {
+    pub id: u64,
+    pub ts_us: f64,
+}
+
+/// One per-link counter sample (`ph:"C"`, name `link`): cumulative
+/// totals as of the sampled reservation, plus the instantaneous queue.
+#[derive(Clone, Copy, Debug)]
+pub struct LinkPoint {
+    pub ts_us: f64,
+    pub bytes_total: u64,
+    pub busy_us: f64,
+    pub queue: u32,
+}
+
+/// A fully loaded trace, ready for [`crate::analyze`].
+#[derive(Debug, Default)]
+pub struct Trace {
+    /// tid -> thread name, from the `"M"` metadata events.
+    pub tracks: BTreeMap<u64, String>,
+    pub ops: Vec<OpSpan>,
+    pub chunks: Vec<ChunkSpan>,
+    pub decisions: Vec<DecisionRec>,
+    pub flow_starts: Vec<FlowEvent>,
+    pub flow_ends: Vec<FlowEvent>,
+    /// link track name -> samples in timestamp order.
+    pub links: BTreeMap<String, Vec<LinkPoint>>,
+    /// Latest event end seen (us) — the trace's time span.
+    pub end_us: f64,
+}
+
+fn num(v: &Value, key: &str) -> Option<f64> {
+    v.get(key).and_then(Value::as_f64)
+}
+
+fn text(v: &Value, key: &str) -> Option<String> {
+    v.get(key).and_then(Value::as_str).map(str::to_string)
+}
+
+impl Trace {
+    /// Parse a Chrome trace document. Malformed JSON, a missing
+    /// `traceEvents` array, or an event without the mandatory
+    /// `ph`/`tid`/`ts` fields is an error.
+    pub fn parse(doc: &str) -> Result<Trace, String> {
+        let root = json::parse(doc)?;
+        let evs = root
+            .get("traceEvents")
+            .and_then(Value::as_arr)
+            .ok_or("document has no traceEvents array")?;
+        let mut tr = Trace::default();
+
+        // pass 1: thread names, so events can resolve their track
+        for e in evs {
+            if e.get("ph").and_then(Value::as_str) == Some("M") {
+                let tid = num(e, "tid").ok_or("metadata event without tid")? as u64;
+                if let Some(name) = e.get("args").and_then(|a| text(a, "name")) {
+                    tr.tracks.insert(tid, name);
+                }
+            }
+        }
+
+        for e in evs {
+            let ph = e
+                .get("ph")
+                .and_then(Value::as_str)
+                .ok_or("event without ph")?;
+            if ph == "M" {
+                continue;
+            }
+            let tid = num(e, "tid").ok_or("event without tid")? as u64;
+            let ts = num(e, "ts").ok_or("event without ts")?;
+            let dur = num(e, "dur").unwrap_or(0.0);
+            tr.end_us = tr.end_us.max(ts + dur);
+            let track = tr
+                .tracks
+                .get(&tid)
+                .cloned()
+                .unwrap_or_else(|| format!("tid/{tid}"));
+            let args = e.get("args");
+            match ph {
+                "X" => {
+                    let Some(args) = args else { continue };
+                    if let Some(stage) = text(args, "stage") {
+                        tr.chunks.push(ChunkSpan {
+                            track,
+                            protocol: text(args, "protocol").unwrap_or_default(),
+                            stage,
+                            index: num(args, "chunk").unwrap_or(0.0) as u32,
+                            size: num(args, "size").unwrap_or(0.0) as u64,
+                            op_id: num(args, "op_id").unwrap_or(0.0) as u64,
+                            ts_us: ts,
+                            dur_us: dur,
+                        });
+                    } else if let Some(op) = text(args, "op") {
+                        tr.ops.push(OpSpan {
+                            track,
+                            op,
+                            protocol: text(args, "protocol").unwrap_or_default(),
+                            size: num(args, "size").unwrap_or(0.0) as u64,
+                            op_id: num(args, "op_id").unwrap_or(0.0) as u64,
+                            ts_us: ts,
+                            dur_us: dur,
+                        });
+                    }
+                }
+                "i" if e.get("name").and_then(Value::as_str) == Some("protocol-decision") => {
+                    let Some(args) = args else { continue };
+                    tr.decisions.push(DecisionRec {
+                        op: text(args, "op").unwrap_or_default(),
+                        chosen: text(args, "chosen").unwrap_or_default(),
+                        size: num(args, "size").unwrap_or(0.0) as u64,
+                    });
+                }
+                "s" | "f" => {
+                    let id = num(e, "id").ok_or("flow event without id")? as u64;
+                    let fe = FlowEvent { id, ts_us: ts };
+                    if ph == "s" {
+                        tr.flow_starts.push(fe);
+                    } else {
+                        tr.flow_ends.push(fe);
+                    }
+                }
+                "C" if e.get("name").and_then(Value::as_str) == Some("link") => {
+                    let Some(args) = args else { continue };
+                    tr.links.entry(track).or_default().push(LinkPoint {
+                        ts_us: ts,
+                        bytes_total: num(args, "bytes").unwrap_or(0.0) as u64,
+                        busy_us: num(args, "busy_us").unwrap_or(0.0),
+                        queue: num(args, "queue").unwrap_or(0.0) as u32,
+                    });
+                }
+                _ => {}
+            }
+        }
+        for pts in tr.links.values_mut() {
+            pts.sort_by(|a, b| a.ts_us.total_cmp(&b.ts_us));
+        }
+        Ok(tr)
+    }
+}

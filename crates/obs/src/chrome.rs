@@ -29,6 +29,7 @@ fn write_args(out: &mut String, p: &Payload) {
             src_dev,
             dst_dev,
             same_node,
+            op_id,
         } => {
             let mut o = ObjWriter::new(out);
             o.str_field("op", op)
@@ -38,7 +39,8 @@ fn write_args(out: &mut String, p: &Payload) {
                 .u64_field("dst_pe", *dst_pe as u64)
                 .bool_field("src_dev", *src_dev)
                 .bool_field("dst_dev", *dst_dev)
-                .bool_field("same_node", *same_node);
+                .bool_field("same_node", *same_node)
+                .u64_field("op_id", *op_id);
             o.finish();
         }
         Payload::Decision(d) => {
@@ -77,12 +79,14 @@ fn write_args(out: &mut String, p: &Payload) {
             stage,
             index,
             size,
+            op_id,
         } => {
             let mut o = ObjWriter::new(out);
             o.str_field("protocol", protocol)
                 .str_field("stage", stage)
                 .u64_field("chunk", *index as u64)
-                .u64_field("size", *size);
+                .u64_field("size", *size)
+                .u64_field("op_id", *op_id);
             o.finish();
         }
         Payload::Proxy {
@@ -106,6 +110,18 @@ fn write_args(out: &mut String, p: &Payload) {
             o.u64_field("delta", *bytes).u64_field("bytes", *total);
             o.finish();
         }
+        Payload::FlowStart { id } | Payload::FlowEnd { id } => {
+            let mut o = ObjWriter::new(out);
+            o.u64_field("op_id", *id);
+            o.finish();
+        }
+        Payload::LinkSample { total, busy_ps, queue } => {
+            let mut o = ObjWriter::new(out);
+            o.u64_field("bytes", *total)
+                .num_field("busy_us", us(*busy_ps))
+                .u64_field("queue", *queue as u64);
+            o.finish();
+        }
     }
 }
 
@@ -121,6 +137,32 @@ fn write_event(out: &mut String, tid: usize, ev: &Event) {
             let mut a = ObjWriter::new(buf);
             a.u64_field("bytes", total);
             a.finish();
+        }
+        Payload::LinkSample { .. } => {
+            o.str_field("ph", "C").str_field("name", ev.name);
+            o.num_field("ts", us(ev.ts.as_ps()));
+            let buf = o.raw_field("args");
+            write_args(buf, &ev.payload);
+        }
+        Payload::FlowStart { id } => {
+            o.str_field("ph", "s")
+                .str_field("cat", "flow")
+                .str_field("name", ev.name)
+                .u64_field("id", id);
+            o.num_field("ts", us(ev.ts.as_ps()));
+            let buf = o.raw_field("args");
+            write_args(buf, &ev.payload);
+        }
+        Payload::FlowEnd { id } => {
+            // bp:"e" binds the arrow to the enclosing slice's end
+            o.str_field("ph", "f")
+                .str_field("bp", "e")
+                .str_field("cat", "flow")
+                .str_field("name", ev.name)
+                .u64_field("id", id);
+            o.num_field("ts", us(ev.ts.as_ps()));
+            let buf = o.raw_field("args");
+            write_args(buf, &ev.payload);
         }
         _ if ev.dur.is_zero() => {
             o.str_field("ph", "i").str_field("s", "t").str_field("name", ev.name);
@@ -201,6 +243,7 @@ mod tests {
                 src_dev: true,
                 dst_dev: true,
                 same_node: false,
+                op_id: 7,
             },
         );
         r.decision(
@@ -238,6 +281,49 @@ mod tests {
         assert!(evs
             .iter()
             .any(|e| e.get("name").unwrap().as_str() == Some("protocol-decision")));
+    }
+
+    #[test]
+    fn flow_and_link_events_export_with_expected_phases() {
+        let r = Recorder::new(ObsLevel::Spans);
+        let pe = r.track(TrackKind::Pe, 0);
+        let t0 = SimTime::ZERO + SimDuration::from_us(1);
+        let t1 = t0 + SimDuration::from_us(4);
+        r.instant(pe, "op-flow", t0, Payload::FlowStart { id: 42 });
+        r.instant(r.track(TrackKind::Pe, 1), "op-flow", t1, Payload::FlowEnd { id: 42 });
+        let lk = r.track_named(TrackKind::Link, 3, "pcie/gpu0/d2h");
+        r.instant(
+            lk,
+            "link",
+            t0,
+            Payload::LinkSample { total: 4096, busy_ps: 2_000_000, queue: 2 },
+        );
+
+        let doc = json::parse(&r.chrome_trace()).expect("valid JSON");
+        let evs = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        let s = evs
+            .iter()
+            .find(|e| e.get("ph").unwrap().as_str() == Some("s"))
+            .expect("flow start");
+        assert_eq!(s.get("cat").unwrap().as_str(), Some("flow"));
+        assert_eq!(s.get("id").unwrap().as_f64(), Some(42.0));
+        let f = evs
+            .iter()
+            .find(|e| e.get("ph").unwrap().as_str() == Some("f"))
+            .expect("flow end");
+        assert_eq!(f.get("bp").unwrap().as_str(), Some("e"));
+        assert_eq!(f.get("id").unwrap().as_f64(), Some(42.0));
+        let c = evs
+            .iter()
+            .find(|e| e.get("ph").unwrap().as_str() == Some("C"))
+            .expect("link counter sample");
+        let args = c.get("args").unwrap();
+        assert_eq!(args.get("bytes").unwrap().as_f64(), Some(4096.0));
+        assert_eq!(args.get("busy_us").unwrap().as_f64(), Some(2.0));
+        assert_eq!(args.get("queue").unwrap().as_f64(), Some(2.0));
+        // the link track is named by its registration name
+        assert!(evs.iter().any(|e| e.get("ph").unwrap().as_str() == Some("M")
+            && e.get("args").unwrap().get("name").unwrap().as_str() == Some("pcie/gpu0/d2h")));
     }
 
     #[test]

@@ -96,6 +96,11 @@ pub enum TrackKind {
     GpuDma,
     /// The event engine itself (`engine`).
     Engine,
+    /// One per individual interconnect link (PCIe h2d/d2h/d2d/p2p
+    /// directions, IB TX wire) — named tracks carrying per-reservation
+    /// utilization samples. Declared last so link tracks sort after all
+    /// agent tracks in the export.
+    Link,
 }
 
 impl TrackKind {
@@ -106,6 +111,7 @@ impl TrackKind {
             TrackKind::Hca => "hca",
             TrackKind::GpuDma => "gpu-dma",
             TrackKind::Engine => "engine",
+            TrackKind::Link => "link",
         }
     }
 }
@@ -217,7 +223,9 @@ impl Decision {
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Payload {
     None,
-    /// A completed RMA/sync operation (span on a PE track).
+    /// A completed RMA/sync operation (span on a PE track). `op_id` is
+    /// the per-op correlation id tying the span to its chunk stages and
+    /// flow events (`0` for uncorrelated spans such as barriers).
     Op {
         op: &'static str,
         protocol: &'static str,
@@ -227,15 +235,18 @@ pub enum Payload {
         src_dev: bool,
         dst_dev: bool,
         same_node: bool,
+        op_id: u64,
     },
     /// A protocol-dispatch decision (instant on a PE track).
     Decision(Decision),
-    /// One pipeline-chunk stage (span on a PE/proxy track).
+    /// One pipeline-chunk stage (span on a PE/proxy track), correlated
+    /// to its originating op by `op_id`.
     Chunk {
         protocol: &'static str,
         stage: &'static str,
         index: u32,
         size: u64,
+        op_id: u64,
     },
     /// Proxy service-thread activity (span on a proxy track).
     Proxy {
@@ -247,6 +258,16 @@ pub enum Payload {
     Xfer { size: u64 },
     /// Cumulative byte count on a hardware track (Chrome counter sample).
     Bytes { bytes: u64, total: u64 },
+    /// Origin end of a flow arrow (Chrome `"s"` event): emitted on the
+    /// initiating PE's track when an op starts.
+    FlowStart { id: u64 },
+    /// Terminating end of a flow arrow (Chrome `"f"` event): emitted on
+    /// the track where the op's payload finally completed.
+    FlowEnd { id: u64 },
+    /// Per-link utilization sample (Chrome counter sample on a
+    /// [`TrackKind::Link`] track): cumulative bytes and busy time plus
+    /// the instantaneous queue depth at the reservation's start.
+    LinkSample { total: u64, busy_ps: u64, queue: u32 },
 }
 
 /// One recorded event. `dur == 0` renders as an instant.
@@ -286,6 +307,10 @@ struct Tables {
 /// [`ShmemMachine`]: ../shmem_gdr/machine/struct.ShmemMachine.html
 pub struct Recorder {
     level: ObsLevel,
+    /// Span-sampling factor: op-correlated span data (op spans, decision
+    /// records, flows, chunk spans) is recorded for 1 in `sample` ops
+    /// per PE. Counters and histograms stay exact regardless.
+    sample: u64,
     tables: Mutex<Tables>,
     hists: Mutex<BTreeMap<(&'static str, u8), Hist>>,
     agents: Mutex<BTreeMap<(TrackKind, u32), AgentCounters>>,
@@ -293,8 +318,16 @@ pub struct Recorder {
 
 impl Recorder {
     pub fn new(level: ObsLevel) -> Arc<Recorder> {
+        Self::with_sample(level, 1)
+    }
+
+    /// As [`Recorder::new`] with a span-sampling factor: op-correlated
+    /// spans are recorded for 1 in `sample` ops (deterministically, by
+    /// per-PE op sequence number). `sample <= 1` records everything.
+    pub fn with_sample(level: ObsLevel, sample: u64) -> Arc<Recorder> {
         Arc::new(Recorder {
             level,
+            sample: sample.max(1),
             tables: Mutex::new(Tables::default()),
             hists: Mutex::new(BTreeMap::new()),
             agents: Mutex::new(BTreeMap::new()),
@@ -303,6 +336,17 @@ impl Recorder {
 
     pub fn level(&self) -> ObsLevel {
         self.level
+    }
+
+    /// The span-sampling factor (1 = record every op).
+    pub fn sample(&self) -> u64 {
+        self.sample
+    }
+
+    /// Deterministic 1-in-N sampling predicate on a per-PE op sequence
+    /// number.
+    pub fn op_sampled(&self, seq: u64) -> bool {
+        self.sample <= 1 || seq.is_multiple_of(self.sample)
     }
 
     pub fn counters_on(&self) -> bool {
@@ -329,6 +373,26 @@ impl Recorder {
             kind,
             index,
             name,
+            events: Vec::new(),
+        });
+        t.by_key.insert((kind, index), id);
+        TrackId(id)
+    }
+
+    /// As [`Recorder::track`] with an explicit human-readable name (used
+    /// for link tracks, whose identity — `pcie/gpu0/h2d`, `ib/hca1/tx` —
+    /// is not derivable from `(kind, index)` alone). The name of the
+    /// first registration wins.
+    pub fn track_named(&self, kind: TrackKind, index: u32, name: &str) -> TrackId {
+        let mut t = self.tables.lock();
+        if let Some(&id) = t.by_key.get(&(kind, index)) {
+            return TrackId(id);
+        }
+        let id = t.tracks.len() as u32;
+        t.tracks.push(Track {
+            kind,
+            index,
+            name: name.to_string(),
             events: Vec::new(),
         });
         t.by_key.insert((kind, index), id);
@@ -416,6 +480,39 @@ impl Recorder {
                     dur: SimDuration::ZERO,
                     name: "bytes",
                     payload: Payload::Bytes { bytes, total },
+                },
+            );
+        }
+    }
+
+    /// Per-link utilization sample, fed from a [`sim_core::Link`]
+    /// observer. Exact byte/busy/reservation counters accumulate from
+    /// [`ObsLevel::Counters`] up (never sampled); at [`ObsLevel::Spans`]
+    /// it also emits a counter sample on the link's named track.
+    pub fn link_sample(&self, index: u32, name: &str, ev: &sim_core::LinkEvent) {
+        if !self.counters_on() {
+            return;
+        }
+        {
+            let mut a = self.agents.lock();
+            let c = a.entry((TrackKind::Link, index)).or_default();
+            c.ops += 1;
+            c.bytes += ev.bytes;
+            c.busy += ev.depart.since(ev.start);
+        }
+        if self.spans_on() {
+            let track = self.track_named(TrackKind::Link, index, name);
+            self.push(
+                track,
+                Event {
+                    ts: ev.start,
+                    dur: SimDuration::ZERO,
+                    name: "link",
+                    payload: Payload::LinkSample {
+                        total: ev.bytes_total,
+                        busy_ps: ev.busy_total.as_ps(),
+                        queue: ev.queue_depth,
+                    },
                 },
             );
         }
@@ -638,6 +735,44 @@ mod tests {
         assert_eq!(r.decision_count(), 1);
         assert!(d.candidates.contains("direct-gdr"));
         assert_eq!(d.thresholds.iter().next(), Some(("gdr_put_limit", 2048)));
+    }
+
+    #[test]
+    fn sampling_predicate_is_deterministic_one_in_n() {
+        let r = Recorder::with_sample(ObsLevel::Spans, 4);
+        assert_eq!(r.sample(), 4);
+        let picks: Vec<bool> = (0..8).map(|s| r.op_sampled(s)).collect();
+        assert_eq!(picks, [true, false, false, false, true, false, false, false]);
+        let r1 = Recorder::new(ObsLevel::Spans);
+        assert!((0..100).all(|s| r1.op_sampled(s)), "sample=1 records every op");
+    }
+
+    #[test]
+    fn link_samples_keep_exact_counters_and_span_gating() {
+        let ev = sim_core::LinkEvent {
+            start: SimTime::ZERO,
+            depart: SimTime::ZERO + SimDuration::from_us(3),
+            arrive: SimTime::ZERO + SimDuration::from_us(4),
+            bytes: 1000,
+            queue_depth: 2,
+            bytes_total: 5000,
+            busy_total: SimDuration::from_us(9),
+        };
+        let c = Recorder::new(ObsLevel::Counters);
+        c.link_sample(7, "pcie/gpu0/h2d", &ev);
+        let agg = c.agent_counters()[&(TrackKind::Link, 7)];
+        assert_eq!((agg.ops, agg.bytes), (1, 1000));
+        assert_eq!(agg.busy, SimDuration::from_us(3));
+        assert_eq!(c.event_count(), 0, "no events below Spans");
+
+        let s = Recorder::new(ObsLevel::Spans);
+        s.link_sample(7, "pcie/gpu0/h2d", &ev);
+        assert_eq!(s.event_count(), 1);
+        let got = s.events_of(TrackKind::Link, 7);
+        assert_eq!(
+            got[0].payload,
+            Payload::LinkSample { total: 5000, busy_ps: 9_000_000, queue: 2 }
+        );
     }
 
     #[test]

@@ -35,7 +35,13 @@ use std::fmt;
 pub fn obs_finish(m: &shmem_gdr::ShmemMachine, label: &str) {
     if m.obs().spans_on() {
         if let Some(dir) = std::env::var_os("GDR_SHMEM_TRACE_DIR") {
-            let path = std::path::Path::new(&dir).join(format!("{label}.json"));
+            let dir = std::path::Path::new(&dir);
+            // a fresh trace directory is the common case: create it
+            // rather than failing every write
+            if let Err(e) = std::fs::create_dir_all(dir) {
+                eprintln!("obs: failed to create {}: {e}", dir.display());
+            }
+            let path = dir.join(format!("{label}.json"));
             if let Err(e) = m.write_chrome_trace(&path) {
                 eprintln!("obs: failed to write {}: {e}", path.display());
             }

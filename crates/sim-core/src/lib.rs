@@ -35,5 +35,5 @@ pub mod link;
 pub mod time;
 
 pub use engine::{Action, Completion, EngineStats, Sched, Sim, TaskCtx, TaskId};
-pub use link::{Link, LinkGrant, LinkSpec};
+pub use link::{Link, LinkEvent, LinkGrant, LinkObserver, LinkSpec};
 pub use time::{SimDuration, SimTime};

@@ -8,6 +8,7 @@
 
 use crate::time::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
 
 /// Static description of a link (serializable as part of a hardware profile).
 #[derive(Clone, Copy, Debug, Serialize, Deserialize)]
@@ -41,10 +42,36 @@ pub struct LinkGrant {
     pub arrive: SimTime,
 }
 
+/// One reservation's snapshot, delivered to a link observer (see
+/// [`Link::set_observer`]). Carries both the per-transfer schedule and
+/// the link's cumulative accounting so a recorder never needs to call
+/// back into the (locked) link.
+#[derive(Clone, Copy, Debug)]
+pub struct LinkEvent {
+    /// When the transfer begins occupying the link.
+    pub start: SimTime,
+    /// When the link becomes free again.
+    pub depart: SimTime,
+    /// When the last byte arrives at the far end.
+    pub arrive: SimTime,
+    /// Payload size of this reservation.
+    pub bytes: u64,
+    /// Reservations (including this one) still occupying or queued on
+    /// the link when this one was requested — >1 means the transfer had
+    /// to wait.
+    pub queue_depth: u32,
+    /// Cumulative bytes through the link, including this reservation.
+    pub bytes_total: u64,
+    /// Cumulative busy time, including this reservation.
+    pub busy_total: SimDuration,
+}
+
+/// Callback fired on every [`Link`] reservation.
+pub type LinkObserver = Box<dyn FnMut(&LinkEvent) + Send>;
+
 /// A FIFO-serialized link. Wrap in the owning structure's lock; all
 /// reservations must happen under the engine lock (via `Sched`/`with_sched`)
 /// so queueing order matches virtual-time order.
-#[derive(Debug)]
 pub struct Link {
     spec: LinkSpec,
     next_free: SimTime,
@@ -52,6 +79,10 @@ pub struct Link {
     bytes_total: u64,
     /// Cumulative busy time.
     busy: SimDuration,
+    /// Departure times of reservations not yet drained at the most
+    /// recent reservation's request time (the instantaneous queue).
+    pending: VecDeque<SimTime>,
+    observer: Option<LinkObserver>,
 }
 
 impl Link {
@@ -61,7 +92,16 @@ impl Link {
             next_free: SimTime::ZERO,
             bytes_total: 0,
             busy: SimDuration::ZERO,
+            pending: VecDeque::new(),
+            observer: None,
         }
+    }
+
+    /// Install a per-reservation observer (at most one; the last call
+    /// wins). Fired synchronously inside `reserve_with`, under whatever
+    /// lock wraps the link — observers must not call back into it.
+    pub fn set_observer(&mut self, f: LinkObserver) {
+        self.observer = Some(f);
     }
 
     pub fn spec(&self) -> LinkSpec {
@@ -89,6 +129,21 @@ impl Link {
         self.next_free = depart;
         self.bytes_total += bytes;
         self.busy += occupy;
+        while self.pending.front().is_some_and(|&d| d <= now) {
+            self.pending.pop_front();
+        }
+        self.pending.push_back(depart);
+        if let Some(obs) = self.observer.as_mut() {
+            obs(&LinkEvent {
+                start,
+                depart,
+                arrive,
+                bytes,
+                queue_depth: self.pending.len() as u32,
+                bytes_total: self.bytes_total,
+                busy_total: self.busy,
+            });
+        }
         LinkGrant {
             start,
             depart,
@@ -107,6 +162,18 @@ impl Link {
 
     pub fn busy_time(&self) -> SimDuration {
         self.busy
+    }
+}
+
+impl std::fmt::Debug for Link {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Link")
+            .field("spec", &self.spec)
+            .field("next_free", &self.next_free)
+            .field("bytes_total", &self.bytes_total)
+            .field("busy", &self.busy)
+            .field("queued", &self.pending.len())
+            .finish()
     }
 }
 
@@ -162,6 +229,43 @@ mod tests {
         l.reserve(SimTime::ZERO, 1500);
         assert_eq!(l.bytes_total(), 2000);
         assert_eq!(l.busy_time(), SimDuration::for_bytes(2000, 1e9));
+    }
+
+    #[test]
+    fn observer_sees_every_reservation_with_totals() {
+        use std::sync::{Arc, Mutex};
+        let mut l = mk(1, 1.0);
+        let seen: Arc<Mutex<Vec<LinkEvent>>> = Arc::new(Mutex::new(Vec::new()));
+        let seen2 = seen.clone();
+        l.set_observer(Box::new(move |ev| seen2.lock().unwrap().push(*ev)));
+        let a = l.reserve(SimTime::ZERO, 1000);
+        let b = l.reserve(SimTime::ZERO, 2000);
+        let evs = seen.lock().unwrap().clone();
+        assert_eq!(evs.len(), 2);
+        assert_eq!(evs[0].start, a.start);
+        assert_eq!(evs[0].bytes, 1000);
+        assert_eq!(evs[0].bytes_total, 1000);
+        assert_eq!(evs[1].depart, b.depart);
+        assert_eq!(evs[1].bytes_total, 3000);
+        assert_eq!(evs[1].busy_total, SimDuration::for_bytes(3000, 1e9));
+    }
+
+    #[test]
+    fn queue_depth_counts_overlapping_reservations() {
+        use std::sync::{Arc, Mutex};
+        let mut l = mk(0, 1.0);
+        let depths: Arc<Mutex<Vec<u32>>> = Arc::new(Mutex::new(Vec::new()));
+        let d2 = depths.clone();
+        l.set_observer(Box::new(move |ev| d2.lock().unwrap().push(ev.queue_depth)));
+        // three back-to-back reservations at t=0: each queues behind the
+        // previous ones, so the depth climbs 1, 2, 3
+        for _ in 0..3 {
+            l.reserve(SimTime::ZERO, 1_000_000);
+        }
+        // after an idle gap the queue has drained back to just the new one
+        let later = l.next_free() + SimDuration::from_us(10);
+        l.reserve(later, 1000);
+        assert_eq!(*depths.lock().unwrap(), vec![1, 2, 3, 1]);
     }
 
     #[test]

@@ -3,6 +3,7 @@ pub use apps_sim as apps;
 pub use gpu_sim as gpu;
 pub use ib_sim as ib;
 pub use obs;
+pub use obs_analyze;
 pub use omb;
 pub use pcie_sim as pcie;
 pub use shmem_gdr as shmem;

@@ -132,6 +132,7 @@ fn chrome_trace_matches_golden_file() {
             src_dev: true,
             dst_dev: true,
             same_node: false,
+            op_id: 7,
         },
     );
     r.span(
@@ -139,7 +140,13 @@ fn chrome_trace_matches_golden_file() {
         "chunk-d2h",
         t(6),
         t(7),
-        Payload::Chunk { protocol: "pipeline-gdr-write", stage: "d2h", index: 0, size: 1024 },
+        Payload::Chunk {
+            protocol: "pipeline-gdr-write",
+            stage: "d2h",
+            index: 0,
+            size: 1024,
+            op_id: 7,
+        },
     );
     r.instant(
         r.track(TrackKind::Proxy, 0),
