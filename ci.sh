@@ -32,4 +32,36 @@ if cargo run --release -q -p obs-analyze --bin gdrprof -- analyze "$tmp/bad.json
     exit 1
 fi
 
+# Chaos gate: the seeded fault-injection suite must hold on two fixed
+# seed trajectories (each seed replays its faults deterministically).
+GDR_CHAOS_SEED=7 cargo test --release -q --test chaos
+GDR_CHAOS_SEED=11 cargo test --release -q --test chaos
+
+# gdrprof over a faulted trace: the report must surface the injected
+# faults, the retries they cost, and the capability-fault fallback.
+cargo run --release -q -p omb --bin chaos_trace "$tmp/chaos.json"
+cout="$(cargo run --release -q -p obs-analyze --bin gdrprof -- analyze "$tmp/chaos.json" --json "$tmp/chaos_rep.json")"
+grep -q 'fault injection:' <<<"$cout"
+grep -Eq 'retried [1-9]' <<<"$cout"
+grep -Eq 'fallbacks [1-9]' <<<"$cout"
+grep -q 'put/proxy-pipeline' <<<"$cout"
+# a healthy run self-diffs clean, including the recovery-rate gate
+cargo run --release -q -p obs-analyze --bin gdrprof -- diff "$tmp/chaos_rep.json" "$tmp/chaos_rep.json" --threshold 5 >/dev/null
+
+# Recovery-rate regression gate: a degraded run (retry budget starved)
+# must trip `gdrprof diff` against the healthy report ...
+cargo run --release -q -p omb --bin chaos_trace "$tmp/chaos_bad.json" --degraded
+cargo run --release -q -p obs-analyze --bin gdrprof -- analyze "$tmp/chaos_bad.json" --json "$tmp/chaos_bad_rep.json" >/dev/null
+if cargo run --release -q -p obs-analyze --bin gdrprof -- diff "$tmp/chaos_rep.json" "$tmp/chaos_bad_rep.json" --threshold 10 >/dev/null; then
+    echo "gdrprof diff missed a recovery-rate regression" >&2
+    exit 1
+fi
+# ... and the checked-in regression fixture must keep tripping it too
+if cargo run --release -q -p obs-analyze --bin gdrprof -- diff \
+    tests/golden/report_recovery_base.json tests/golden/report_recovery_regressed.json \
+    --threshold 10 >/dev/null; then
+    echo "gdrprof diff missed the fixture recovery-rate regression" >&2
+    exit 1
+fi
+
 echo "ci: OK"

@@ -99,6 +99,11 @@ pub struct RuntimeConfig {
     /// utilization counters stay exact regardless. 1 records everything;
     /// [`RuntimeConfig::tuned`] reads `GDR_SHMEM_OBS_SAMPLE`.
     pub obs_sample: u64,
+    /// Deterministic fault plan (transient CQE errors, link windows,
+    /// proxy stalls, GDR capability faults — see [`faults::FaultPlan`]).
+    /// Inactive by default; [`RuntimeConfig::tuned`] reads the
+    /// `GDR_SHMEM_FAULTS` environment variable (see `docs/FAULTS.md`).
+    pub faults: faults::FaultPlan,
 }
 
 impl RuntimeConfig {
@@ -124,6 +129,7 @@ impl RuntimeConfig {
             private_host: 32 << 20,
             obs_level: obs::ObsLevel::from_env(),
             obs_sample: obs_sample_from_env(),
+            faults: faults::FaultPlan::from_env().unwrap_or_default(),
         }
     }
 
@@ -142,6 +148,12 @@ impl RuntimeConfig {
     /// Set the span-sampling factor (overrides `GDR_SHMEM_OBS_SAMPLE`).
     pub fn with_obs_sample(mut self, n: u64) -> Self {
         self.obs_sample = n.max(1);
+        self
+    }
+
+    /// Install a fault plan (overrides `GDR_SHMEM_FAULTS`).
+    pub fn with_faults(mut self, plan: faults::FaultPlan) -> Self {
+        self.faults = plan;
         self
     }
 }

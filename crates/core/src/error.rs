@@ -1,0 +1,82 @@
+//! Typed transfer errors — the recoverable face of the fault-injection
+//! subsystem.
+//!
+//! Under a [`faults::FaultPlan`] the RDMA protocol paths stop panicking
+//! on anomalies: transient CQE errors are retried with seeded backoff,
+//! capability faults re-route to a fallback protocol, and anything that
+//! remains unrecoverable surfaces as a [`TransferError`] through the
+//! `try_*` API of [`crate::pe::Pe`]. The panicking wrappers
+//! (`putmem`/`getmem`/atomics) keep their historic fail-loud behaviour
+//! by unwrapping these.
+
+use ib_sim::MrError;
+
+/// Why an RMA/atomic operation could not be completed.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum TransferError {
+    /// Every post attempt (1 initial + `max_retries` re-posts) drew a
+    /// transient CQE error from the fault plan.
+    RetriesExhausted {
+        /// CQE status of the last failing attempt.
+        kind: &'static str,
+        /// Total attempts made.
+        attempts: u32,
+    },
+    /// The completion did not arrive within the plan's per-op timeout.
+    /// The transfer may still be in flight: destination bytes can land
+    /// after this error is returned.
+    Timeout { after_ns: u64 },
+    /// A capability fault (e.g. GDR administratively disabled on a node)
+    /// rules out every protocol that could service the operation.
+    CapabilityDisabled { what: &'static str, node: u32 },
+    /// Memory-registration / protection error from the fabric.
+    Mr(MrError),
+}
+
+impl std::fmt::Display for TransferError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TransferError::RetriesExhausted { kind, attempts } => write!(
+                f,
+                "transient fault persisted: {attempts} attempts all failed (last: {kind})"
+            ),
+            TransferError::Timeout { after_ns } => {
+                write!(f, "operation timed out after {after_ns} ns of virtual time")
+            }
+            TransferError::CapabilityDisabled { what, node } => {
+                write!(f, "{what} is disabled on node {node} and no fallback applies")
+            }
+            TransferError::Mr(e) => write!(f, "memory registration error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TransferError {}
+
+impl From<MrError> for TransferError {
+    fn from(e: MrError) -> Self {
+        TransferError::Mr(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_failure() {
+        let e = TransferError::RetriesExhausted {
+            kind: "cqe-flush-err",
+            attempts: 5,
+        };
+        assert!(e.to_string().contains("cqe-flush-err"));
+        assert!(e.to_string().contains("5 attempts"));
+        let t = TransferError::Timeout { after_ns: 1_000 };
+        assert!(t.to_string().contains("1000 ns"));
+        let c = TransferError::CapabilityDisabled {
+            what: "GDR",
+            node: 3,
+        };
+        assert!(c.to_string().contains("node 3"));
+    }
+}

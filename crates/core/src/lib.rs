@@ -40,6 +40,7 @@
 pub mod addr;
 pub mod collectives;
 pub mod config;
+pub mod error;
 pub mod layout;
 pub mod lock;
 pub mod machine;
@@ -55,6 +56,7 @@ pub mod sync;
 pub use addr::{Domain, Pod, SymAddr, SymSlice};
 pub use collectives::{RedOp, Reducible};
 pub use config::{Design, RuntimeConfig};
+pub use error::TransferError;
 pub use layout::HeapLayout;
 pub use machine::ShmemMachine;
 pub use msg::MsgHandle;
@@ -63,5 +65,6 @@ pub use report::JobReport;
 pub use state::{PeStats, Protocol};
 
 // re-export the substrate types users commonly need
+pub use faults::{FaultPlan, LinkScope, LinkWindow, ProxyStall};
 pub use pcie_sim::{ClusterSpec, HwProfile, MemRef, PlacementPolicy, ProcId};
 pub use sim_core::{SimDuration, SimTime};

@@ -71,6 +71,12 @@ impl ShmemMachine {
         }
         let gpus = GpuRuntime::new(&sim, cluster.clone(), cfg.dev_mem);
         let ib = IbVerbs::new(&sim, gpus.clone());
+        if cfg.faults.active() {
+            // arm the hardware layers: CQE/late-completion draws plus
+            // HCA-TX and GPU-PCIe degradation/blackout windows
+            ib.set_fault_plan(cfg.faults);
+            gpus.install_fault_windows(&cfg.faults);
+        }
         let layout = HeapLayout::build(&cluster, &gpus, &ib, &cfg);
 
         // IPC exchange: every PE maps every node-local GPU at init.
@@ -261,6 +267,103 @@ impl ShmemMachine {
                 op_id: token.id,
             },
         );
+    }
+
+    /// Capability fault: is GDR (HCA DMA into/out of GPU memory)
+    /// administratively disabled on the node of `p` by the fault plan?
+    pub(crate) fn gdr_disabled_at(&self, p: ProcId) -> bool {
+        self.cfg
+            .faults
+            .gdr_disabled(self.cluster.topo().node_of(p).0 as usize)
+    }
+
+    /// Extra proxy/progress-agent delay on `node` at `now` from the
+    /// fault plan's stall windows (ZERO when unfaulted).
+    pub(crate) fn proxy_stall_extra(&self, node: pcie_sim::NodeId, now: SimTime) -> SimDuration {
+        let ns = self
+            .cfg
+            .faults
+            .proxy_stall_extra_ns(node.0 as usize, now.0 / sim_core::PS_PER_NS);
+        SimDuration::from_ns(ns)
+    }
+
+    /// Record one injected transient fault: tally (Counters+) and a
+    /// `fault` instant on the PE's track (Spans, sampled ops).
+    pub(crate) fn obs_fault(
+        &self,
+        me: ProcId,
+        ts: SimTime,
+        kind: &'static str,
+        protocol: &'static str,
+        token: OpToken,
+    ) {
+        self.obs.fault_tally("injected", protocol);
+        if self.obs.spans_on() && token.sampled {
+            self.obs.instant(
+                self.pe_track(me),
+                "fault",
+                ts,
+                obs::Payload::Fault {
+                    kind,
+                    protocol,
+                    op_id: token.id,
+                },
+            );
+        }
+    }
+
+    /// Record one retry decision (attempt number + chosen backoff).
+    pub(crate) fn obs_retry(
+        &self,
+        me: ProcId,
+        ts: SimTime,
+        protocol: &'static str,
+        attempt: u32,
+        backoff_ns: u64,
+        token: OpToken,
+    ) {
+        self.obs.fault_tally("retried", protocol);
+        if self.obs.spans_on() && token.sampled {
+            self.obs.instant(
+                self.pe_track(me),
+                "retry",
+                ts,
+                obs::Payload::Retry {
+                    protocol,
+                    attempt,
+                    backoff_ns,
+                    op_id: token.id,
+                },
+            );
+        }
+    }
+
+    /// Record a protocol fallback as a first-class decision: the
+    /// dispatcher re-routed `op` from `from` to `to` because the
+    /// preferred protocol is faulted or capability-disabled.
+    pub(crate) fn obs_fallback(
+        &self,
+        me: ProcId,
+        ts: SimTime,
+        op: &'static str,
+        from: &'static str,
+        to: &'static str,
+        token: OpToken,
+    ) {
+        self.obs.fault_tally("fallback", from);
+        if self.obs.spans_on() && token.sampled {
+            self.obs.instant(
+                self.pe_track(me),
+                "fallback",
+                ts,
+                obs::Payload::Fallback {
+                    op,
+                    from,
+                    to,
+                    op_id: token.id,
+                },
+            );
+        }
     }
 
     /// Emit the flow-end instant for `token` at `ts` on `track` (used by

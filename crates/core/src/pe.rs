@@ -6,6 +6,7 @@
 //! plus local-memory helpers for writing benchmarks and applications.
 
 use crate::addr::{Domain, Pod, SymAddr, SymSlice};
+use crate::error::TransferError;
 use crate::machine::ShmemMachine;
 use crate::state::PeStats;
 use ib_sim::AtomicOp;
@@ -209,9 +210,25 @@ impl Pe {
 
     /// `shmem_putmem(dest, source, len, pe)`: `source` is any local
     /// buffer (private host/device or resolved symmetric address).
+    /// Panics if the transfer fails permanently under an active fault
+    /// plan — use [`Pe::try_putmem`] to handle typed errors instead.
     pub fn putmem(&self, dest: SymAddr, src: MemRef, len: u64, pe: usize) {
+        self.try_putmem(dest, src, len, pe)
+            .unwrap_or_else(|e| panic!("putmem failed: {e}"));
+    }
+
+    /// Fallible `shmem_putmem`: retries/fallbacks happen inside; what
+    /// remains is a typed [`TransferError`] (retry exhaustion, per-op
+    /// timeout, capability fault with no fallback).
+    pub fn try_putmem(
+        &self,
+        dest: SymAddr,
+        src: MemRef,
+        len: u64,
+        pe: usize,
+    ) -> Result<(), TransferError> {
         self.m
-            .do_put(&self.ctx, self.id, dest, src, len, ProcId(pe as u32));
+            .do_put(&self.ctx, self.id, dest, src, len, ProcId(pe as u32))
     }
 
     /// Put from one of this PE's symmetric objects.
@@ -225,10 +242,24 @@ impl Pe {
         self.putmem(dest.addr(), src, dest.byte_len(), pe);
     }
 
-    /// `shmem_getmem(dest, source, len, pe)`.
+    /// `shmem_getmem(dest, source, len, pe)`. Panics on permanent
+    /// failure; see [`Pe::try_getmem`].
     pub fn getmem(&self, dest: MemRef, source: SymAddr, len: u64, pe: usize) {
+        self.try_getmem(dest, source, len, pe)
+            .unwrap_or_else(|e| panic!("getmem failed: {e}"));
+    }
+
+    /// Fallible `shmem_getmem`: surfaces a typed [`TransferError`]
+    /// instead of panicking when the fault plan defeats every retry.
+    pub fn try_getmem(
+        &self,
+        dest: MemRef,
+        source: SymAddr,
+        len: u64,
+        pe: usize,
+    ) -> Result<(), TransferError> {
         self.m
-            .do_get(&self.ctx, self.id, dest, source, len, ProcId(pe as u32));
+            .do_get(&self.ctx, self.id, dest, source, len, ProcId(pe as u32))
     }
 
     /// Get into one of this PE's symmetric objects.
@@ -242,7 +273,8 @@ impl Pe {
     pub fn putmem_nbi(&self, dest: SymAddr, src: MemRef, len: u64, pe: usize) {
         self.machine()
             .clone()
-            .do_put_nbi(&self.ctx, self.id, dest, src, len, ProcId(pe as u32));
+            .do_put_nbi(&self.ctx, self.id, dest, src, len, ProcId(pe as u32))
+            .unwrap_or_else(|e| panic!("putmem_nbi failed: {e}"));
     }
 
     /// `shmem_getmem_nbi`: non-blocking get. The destination contents
@@ -250,7 +282,8 @@ impl Pe {
     pub fn getmem_nbi(&self, dest: MemRef, source: SymAddr, len: u64, pe: usize) {
         self.machine()
             .clone()
-            .do_get_nbi(&self.ctx, self.id, dest, source, len, ProcId(pe as u32));
+            .do_get_nbi(&self.ctx, self.id, dest, source, len, ProcId(pe as u32))
+            .unwrap_or_else(|e| panic!("getmem_nbi failed: {e}"));
     }
 
     /// `shmem_put_signal` (OpenSHMEM 1.5): one-sided put of `len` bytes
@@ -267,16 +300,19 @@ impl Pe {
         sig_value: u64,
         pe: usize,
     ) {
-        self.machine().clone().do_put_signal(
-            &self.ctx,
-            self.id,
-            dest,
-            src,
-            len,
-            sig,
-            sig_value,
-            ProcId(pe as u32),
-        );
+        self.machine()
+            .clone()
+            .do_put_signal(
+                &self.ctx,
+                self.id,
+                dest,
+                src,
+                len,
+                sig,
+                sig_value,
+                ProcId(pe as u32),
+            )
+            .unwrap_or_else(|e| panic!("put_signal failed: {e}"));
     }
 
     /// `shmem_<type>_p`: store one element into a remote symmetric object.
@@ -357,14 +393,41 @@ impl Pe {
     // ---------- atomics ----------
 
     /// `shmem_atomic_fetch_add` (64-bit, IB hardware atomic via GDR when
-    /// the object lives on a GPU).
+    /// the object lives on a GPU). Panics on permanent failure; see
+    /// [`Pe::try_atomic_fetch_add`].
     pub fn atomic_fetch_add(&self, sym: SymAddr, value: u64, pe: usize) -> u64 {
+        self.try_atomic_fetch_add(sym, value, pe)
+            .unwrap_or_else(|e| panic!("atomic_fetch_add failed: {e}"))
+    }
+
+    /// Fallible fetch-add: an atomic on GPU symmetric memory with GDR
+    /// capability-disabled at the target has no software fallback and
+    /// surfaces [`TransferError::CapabilityDisabled`].
+    pub fn try_atomic_fetch_add(
+        &self,
+        sym: SymAddr,
+        value: u64,
+        pe: usize,
+    ) -> Result<u64, TransferError> {
         self.m
             .do_atomic(&self.ctx, self.id, sym, ProcId(pe as u32), AtomicOp::FetchAdd(value))
     }
 
-    /// `shmem_atomic_compare_swap` (64-bit).
+    /// `shmem_atomic_compare_swap` (64-bit). Panics on permanent
+    /// failure; see [`Pe::try_atomic_compare_swap`].
     pub fn atomic_compare_swap(&self, sym: SymAddr, compare: u64, swap: u64, pe: usize) -> u64 {
+        self.try_atomic_compare_swap(sym, compare, swap, pe)
+            .unwrap_or_else(|e| panic!("atomic_compare_swap failed: {e}"))
+    }
+
+    /// Fallible compare-swap; see [`Pe::try_atomic_fetch_add`].
+    pub fn try_atomic_compare_swap(
+        &self,
+        sym: SymAddr,
+        compare: u64,
+        swap: u64,
+        pe: usize,
+    ) -> Result<u64, TransferError> {
         self.m.do_atomic(
             &self.ctx,
             self.id,
@@ -383,13 +446,7 @@ impl Pe {
         assert!(sym.offset.is_multiple_of(4), "unaligned 32-bit atomic");
         loop {
             // fetch the current word (fetch_add of 0)
-            let cur = self.m.do_atomic(
-                &self.ctx,
-                self.id,
-                word,
-                ProcId(pe as u32),
-                AtomicOp::FetchAdd(0),
-            );
+            let cur = self.atomic_fetch_add(word, 0, pe);
             let old32 = if lo_half { cur as u32 } else { (cur >> 32) as u32 };
             let new32 = old32.wrapping_add(value);
             let new = if lo_half {
@@ -397,16 +454,7 @@ impl Pe {
             } else {
                 (cur & 0x0000_0000_FFFF_FFFF) | ((new32 as u64) << 32)
             };
-            let prev = self.m.do_atomic(
-                &self.ctx,
-                self.id,
-                word,
-                ProcId(pe as u32),
-                AtomicOp::CompareSwap {
-                    compare: cur,
-                    swap: new,
-                },
-            );
+            let prev = self.atomic_compare_swap(word, cur, new, pe);
             if prev == cur {
                 return old32;
             }

@@ -72,8 +72,11 @@ impl ShmemMachine {
     fn exec_delivery(self: &Arc<Self>, s: &mut Sched<'_>, target: ProcId, d: Delivery, delay: SimDuration) {
         let mach = self.clone();
         let ack_lat = self.ack_latency();
-        // the target's final copy is a full cudaMemcpy call
-        let delay = delay + self.cluster().hw().gpu.memcpy_overhead;
+        // the target's final copy is a full cudaMemcpy call; a stalled
+        // progress agent (fault plan) starts it late
+        let delay = delay
+            + self.cluster().hw().gpu.memcpy_overhead
+            + self.proxy_stall_extra(self.cluster().topo().node_of(target), s.now());
         s.schedule_in(
             delay,
             Box::new(move |s| {
@@ -103,6 +106,8 @@ impl ShmemMachine {
         let chunk = self.cfg().pipeline_chunk;
         let n = g.len.div_ceil(chunk);
         let req_rkey = self.layout().host_rkey(g.requester);
+        // a stalled progress agent (fault plan) begins serving late
+        let delay = delay + self.proxy_stall_extra(self.cluster().topo().node_of(target), s.now());
         for i in 0..n {
             let off = i * chunk;
             let clen = chunk.min(g.len - off);

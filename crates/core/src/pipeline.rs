@@ -297,8 +297,9 @@ impl ShmemMachine {
         let host_rkey = self.layout().host_rkey(target);
         let n = len.div_ceil(chunk);
         let src_dev = src.is_device();
-        let signal = self.proxy_signal_latency();
         let node = self.cluster().topo().node_of(target);
+        // a stalled proxy agent (fault plan) services requests late
+        let signal = self.proxy_signal_latency() + self.proxy_stall_extra(node, ctx.now());
         self.proxy(node).puts_served.fetch_add(1, Ordering::Relaxed);
         self.proxy(node).bytes.fetch_add(len, Ordering::Relaxed);
         let rec = self.obs().clone();
@@ -469,8 +470,9 @@ impl ShmemMachine {
             .mrs()
             .check_local(me, dst, len)
             .expect("just registered");
-        let signal = self.proxy_signal_latency();
         let node = self.cluster().topo().node_of(from);
+        // a stalled proxy agent (fault plan) services requests late
+        let signal = self.proxy_signal_latency() + self.proxy_stall_extra(node, ctx.now());
         self.proxy(node).gets_served.fetch_add(1, Ordering::Relaxed);
         self.proxy(node).bytes.fetch_add(len, Ordering::Relaxed);
         let rec = self.obs().clone();
@@ -645,7 +647,8 @@ impl ShmemMachine {
         let served = Completion::new();
         let chunk = self.cfg().pipeline_chunk;
         let n = len.div_ceil(chunk);
-        let signal = self.proxy_signal_latency();
+        let signal = self.proxy_signal_latency()
+            + self.proxy_stall_extra(self.cluster().topo().node_of(from), ctx.now());
         let req = GetRequest {
             src,
             req_staging: my_stg,

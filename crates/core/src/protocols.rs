@@ -7,13 +7,14 @@
 
 use crate::addr::SymAddr;
 use crate::config::{Design, RuntimeConfig};
+use crate::error::TransferError;
 use crate::machine::{OpToken, ShmemMachine};
 use crate::state::Protocol;
 use ib_sim::{AtomicOp, Rkey};
 use obs::{Cands, Thresholds};
 use pcie_sim::mem::{MemRef, MemSpace};
 use pcie_sim::ProcId;
-use sim_core::{SimDuration, TaskCtx};
+use sim_core::{Completion, SimDuration, TaskCtx};
 use std::sync::Arc;
 
 /// The candidate protocols and threshold values the **put** dispatch
@@ -160,6 +161,84 @@ impl ShmemMachine {
             .reg_mr(ctx, pe, MemRef::new(mem.space, base), end - base);
     }
 
+    /// Post a work request with bounded retry under the fault plan.
+    /// Each injected transient CQE error costs the detection latency,
+    /// then an exponentially growing, seeded-jittered backoff before
+    /// the repost; exhausting `max_retries` surfaces a typed error.
+    /// With no active plan this is exactly one `post()` call.
+    pub(crate) fn post_with_retry<T>(
+        self: &Arc<Self>,
+        ctx: &TaskCtx,
+        me: ProcId,
+        proto: Protocol,
+        token: OpToken,
+        mut post: impl FnMut() -> Result<T, ib_sim::MrError>,
+    ) -> Result<T, TransferError> {
+        let plan = self.cfg().faults;
+        let mut attempt: u32 = 0;
+        loop {
+            if let Some(f) = self.ib().inject_transient_cqe(me) {
+                self.obs_fault(me, ctx.now(), f.kind, proto.name(), token);
+                ctx.advance(f.detect);
+                if attempt >= plan.max_retries {
+                    self.obs().fault_tally("exhausted", proto.name());
+                    return Err(TransferError::RetriesExhausted {
+                        kind: f.kind,
+                        attempts: attempt + 1,
+                    });
+                }
+                let backoff = plan.backoff_ns(token.id, attempt);
+                self.obs_retry(me, ctx.now(), proto.name(), attempt + 1, backoff, token);
+                ctx.advance(SimDuration::from_ns(backoff));
+                attempt += 1;
+                continue;
+            }
+            let out = post().map_err(TransferError::Mr)?;
+            if attempt > 0 {
+                self.obs().fault_tally("recovered", proto.name());
+            }
+            return Ok(out);
+        }
+    }
+
+    /// Wait until `comp` reaches `threshold`, bounded by the fault
+    /// plan's per-op virtual-time timeout (unbounded when the plan sets
+    /// none). On timeout the completion stays outstanding: the op is
+    /// poisoned and reported as a typed error instead of hanging the
+    /// simulation forever.
+    pub(crate) fn wait_with_timeout(
+        self: &Arc<Self>,
+        ctx: &TaskCtx,
+        comp: &Completion,
+        threshold: u64,
+    ) -> Result<(), TransferError> {
+        let timeout_ns = self.cfg().faults.op_timeout_ns;
+        if timeout_ns == 0 {
+            ctx.wait_threshold(comp, threshold);
+            return Ok(());
+        }
+        // Race the real completion against a deadline event; whichever
+        // fires first wakes the waiter exactly once per signal source.
+        let fired = Completion::new();
+        ctx.with_sched(|s| {
+            let f1 = fired.clone();
+            s.call_on(comp, threshold, Box::new(move |s| s.signal(&f1, 1)));
+            let f2 = fired.clone();
+            s.schedule_in(
+                SimDuration::from_ns(timeout_ns),
+                Box::new(move |s| s.signal(&f2, 1)),
+            );
+        });
+        ctx.wait_threshold(&fired, 1);
+        if comp.is_done(threshold) {
+            Ok(())
+        } else {
+            Err(TransferError::Timeout {
+                after_ns: timeout_ns,
+            })
+        }
+    }
+
     /// Node-local CPU copy through the shared segment (or private host
     /// memory): the `shmem_ptr` fast path. Synchronous.
     pub(crate) fn shm_copy(self: &Arc<Self>, ctx: &TaskCtx, src: MemRef, dst: MemRef, len: u64) {
@@ -178,6 +257,8 @@ impl ShmemMachine {
 
     /// RDMA put: post, wait *local* completion (source reusable), track
     /// the remote completion for `quiet`. The truly one-sided puts.
+    /// Transient CQE faults are retried; timeouts and exhausted retries
+    /// surface as typed errors.
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn rdma_put(
         self: &Arc<Self>,
@@ -189,8 +270,9 @@ impl ShmemMachine {
         len: u64,
         target: ProcId,
         token: OpToken,
-    ) {
-        self.rdma_put_inner(ctx, me, src, rkey, dst, len, false, target, token)
+        proto: Protocol,
+    ) -> Result<(), TransferError> {
+        self.rdma_put_inner(ctx, me, src, rkey, dst, len, false, target, token, proto)
     }
 
     /// As [`ShmemMachine::rdma_put`]; with `nbi` the call returns right
@@ -209,19 +291,20 @@ impl ShmemMachine {
         nbi: bool,
         target: ProcId,
         token: OpToken,
-    ) {
+        proto: Protocol,
+    ) -> Result<(), TransferError> {
         self.ensure_registered(ctx, me, src, len);
-        let comp = self
-            .ib()
-            .post_rdma_write(ctx, me, src, rkey, dst, len)
-            .unwrap_or_else(|e| panic!("rdma put failed: {e}"));
+        let comp = self.post_with_retry(ctx, me, proto, token, || {
+            self.ib().post_rdma_write(ctx, me, src, rkey, dst, len)
+        })?;
         if nbi {
             self.pe_state(me).track(comp.local);
         } else {
-            ctx.wait(&comp.local);
+            self.wait_with_timeout(ctx, &comp.local, 1)?;
         }
         self.flow_end_on(ctx, &comp.remote, 1, self.pe_track(target), token);
         self.pe_state(me).track(comp.remote);
+        Ok(())
     }
 
     /// `shmem_putmem_nbi`: non-blocking put. RDMA-serviced paths return
@@ -236,12 +319,12 @@ impl ShmemMachine {
         src: MemRef,
         len: u64,
         target: ProcId,
-    ) {
+    ) -> Result<(), TransferError> {
         if len == 0 {
             // zero-byte ops land in size-class 0 so quiet-only windows
             // still show up in the histograms
             self.obs().latency("put-nbi", 0, SimDuration::ZERO);
-            return;
+            return Ok(());
         }
         let dst = self.layout().resolve(dest, target);
         let rkey = self.layout().rkey(dest.domain, target);
@@ -259,7 +342,6 @@ impl ShmemMachine {
                 s.puts += 1;
                 s.bytes_put += len;
             }
-            self.rdma_put_inner(ctx, me, src, rkey, dst, len, true, target, token);
             let chosen = if same_node {
                 Protocol::LoopbackGdr
             } else if src.is_device() || dst.is_device() {
@@ -267,6 +349,12 @@ impl ShmemMachine {
             } else {
                 Protocol::HostRdma
             };
+            if let Err(e) =
+                self.rdma_put_inner(ctx, me, src, rkey, dst, len, true, target, token, chosen)
+            {
+                st.leave_library();
+                return Err(e);
+            }
             self.count(me, chosen);
             let cfg = *self.cfg();
             self.obs_op(
@@ -284,8 +372,9 @@ impl ShmemMachine {
                 |c, t| put_alts(&cfg, false, same_node, src.is_device(), dst.is_device(), c, t),
             );
             st.leave_library();
+            Ok(())
         } else {
-            self.do_put(ctx, me, dest, src, len, target);
+            self.do_put(ctx, me, dest, src, len, target)
         }
     }
 
@@ -303,7 +392,7 @@ impl ShmemMachine {
         sig: crate::addr::SymAddr,
         sig_value: u64,
         target: ProcId,
-    ) {
+    ) -> Result<(), TransferError> {
         assert_eq!(
             sig.domain,
             crate::addr::Domain::Host,
@@ -325,16 +414,28 @@ impl ShmemMachine {
             let rkey = self.layout().rkey(dest.domain, target);
             let sig_rkey = self.layout().rkey(crate::addr::Domain::Host, target);
             let sig_dst = self.layout().resolve(sig, target);
-            ctx.advance(self.cluster().hw().ib.post_overhead);
-            let comp = ib_sim::RdmaCompletion::new();
-            ctx.with_sched(|s| {
-                self.ib()
-                    .rdma_write_signal_start(
+            let post_overhead = self.cluster().hw().ib.post_overhead;
+            let posted = self.post_with_retry(ctx, me, Protocol::DirectGdr, token, || {
+                ctx.advance(post_overhead);
+                let comp = ib_sim::RdmaCompletion::new();
+                ctx.with_sched(|s| {
+                    self.ib().rdma_write_signal_start(
                         s, me, src, rkey, dst, len, sig_rkey, sig_dst, sig_value, &comp,
                     )
-                    .unwrap_or_else(|e| panic!("put_signal failed: {e}"));
+                })?;
+                Ok(comp)
             });
-            ctx.wait(&comp.local);
+            let comp = match posted {
+                Ok(c) => c,
+                Err(e) => {
+                    st.leave_library();
+                    return Err(e);
+                }
+            };
+            if let Err(e) = self.wait_with_timeout(ctx, &comp.local, 1) {
+                st.leave_library();
+                return Err(e);
+            }
             self.flow_end_on(ctx, &comp.remote, 1, self.pe_track(target), token);
             st.track(comp.remote);
             self.count(me, Protocol::DirectGdr);
@@ -355,16 +456,17 @@ impl ShmemMachine {
                 |c, t| put_alts(&cfg, false, same_node, src.is_device(), dst.is_device(), c, t),
             );
             st.leave_library();
+            Ok(())
         } else {
             // decomposition: deliver data, order, then raise the signal
-            self.do_put(ctx, me, dest, src, len, target);
+            self.do_put(ctx, me, dest, src, len, target)?;
             ctx_quiet(self, ctx, me);
             let scratch = self.sync_scratch(me);
             self.cluster()
                 .mem()
                 .write_bytes(scratch, &sig_value.to_le_bytes())
                 .expect("signal scratch");
-            self.do_put(ctx, me, sig, scratch, 8, target);
+            self.do_put(ctx, me, sig, scratch, 8, target)
         }
     }
 
@@ -378,10 +480,10 @@ impl ShmemMachine {
         source: crate::addr::SymAddr,
         len: u64,
         from: ProcId,
-    ) {
+    ) -> Result<(), TransferError> {
         if len == 0 {
             self.obs().latency("get-nbi", 0, SimDuration::ZERO);
-            return;
+            return Ok(());
         }
         let src = self.layout().resolve(source, from);
         let rkey = self.layout().rkey(source.domain, from);
@@ -397,10 +499,16 @@ impl ShmemMachine {
                 s.bytes_get += len;
             }
             self.ensure_registered(ctx, me, dst, len);
-            let done = self
-                .ib()
-                .post_rdma_read(ctx, me, dst, rkey, src, len)
-                .unwrap_or_else(|e| panic!("rdma get failed: {e}"));
+            let posted = self.post_with_retry(ctx, me, Protocol::DirectGdr, token, || {
+                self.ib().post_rdma_read(ctx, me, dst, rkey, src, len)
+            });
+            let done = match posted {
+                Ok(d) => d,
+                Err(e) => {
+                    st.leave_library();
+                    return Err(e);
+                }
+            };
             // a get completes locally: the flow ends on the origin track
             // when the read's data lands
             self.flow_end_on(ctx, &done, 1, self.pe_track(me), token);
@@ -423,12 +531,16 @@ impl ShmemMachine {
                 |c, t| get_alts(&cfg, false, same_node, src.is_device(), dst.is_device(), c, t),
             );
             st.leave_library();
+            Ok(())
         } else {
-            self.do_get(ctx, me, dst, source, len, from);
+            self.do_get(ctx, me, dst, source, len, from)
         }
     }
 
-    /// RDMA get: blocking until data is locally available.
+    /// RDMA get: blocking until data is locally available (or the
+    /// fault plan's per-op timeout expires). Transient CQE faults are
+    /// retried with backoff before the post goes through.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn rdma_get(
         self: &Arc<Self>,
         ctx: &TaskCtx,
@@ -437,13 +549,14 @@ impl ShmemMachine {
         rkey: Rkey,
         src: MemRef,
         len: u64,
-    ) {
+        token: OpToken,
+        proto: Protocol,
+    ) -> Result<(), TransferError> {
         self.ensure_registered(ctx, me, dst, len);
-        let done = self
-            .ib()
-            .post_rdma_read(ctx, me, dst, rkey, src, len)
-            .unwrap_or_else(|e| panic!("rdma get failed: {e}"));
-        ctx.wait(&done);
+        let done = self.post_with_retry(ctx, me, proto, token, || {
+            self.ib().post_rdma_read(ctx, me, dst, rkey, src, len)
+        })?;
+        self.wait_with_timeout(ctx, &done, 1)
     }
 
     fn count(&self, me: ProcId, p: Protocol) {
@@ -493,6 +606,13 @@ impl ShmemMachine {
         if cfg.design != Design::EnhancedGdr || me == target {
             return false;
         }
+        // GDR capability fault: device-touching transfers cannot be a
+        // single RDMA write; the blocking dispatch picks the fallback.
+        if (src.is_device() || dst.is_device())
+            && (self.gdr_disabled_at(me) || self.gdr_disabled_at(target))
+        {
+            return false;
+        }
         let same_node = self.cluster().topo().same_node(me, target);
         match (same_node, src.is_device(), dst.is_device()) {
             (true, false, false) => false, // shm copy
@@ -517,6 +637,12 @@ impl ShmemMachine {
     ) -> bool {
         let cfg = *self.cfg();
         if cfg.design != Design::EnhancedGdr || me == from {
+            return false;
+        }
+        // GDR capability fault: see put_rdma_serviced.
+        if (src.is_device() || dst.is_device())
+            && (self.gdr_disabled_at(me) || self.gdr_disabled_at(from))
+        {
             return false;
         }
         let same_node = self.cluster().topo().same_node(me, from);
@@ -544,10 +670,10 @@ impl ShmemMachine {
         src: MemRef,
         len: u64,
         target: ProcId,
-    ) {
+    ) -> Result<(), TransferError> {
         if len == 0 {
             self.obs().latency("put", 0, SimDuration::ZERO);
-            return;
+            return Ok(());
         }
         let t0 = ctx.now();
         let token = self.next_op(me);
@@ -567,143 +693,251 @@ impl ShmemMachine {
         let topo = self.cluster().topo();
         let same_node = topo.same_node(me, target);
         let cfg = *self.cfg();
+        // Capability fault: GDR administratively dead at either end of a
+        // device-touching transfer — every GDR protocol must re-route.
+        let gdr_off = (src_dev || dst_dev)
+            && (self.gdr_disabled_at(me) || self.gdr_disabled_at(target));
 
-        let chosen = if me == target {
-            // self-put: a local copy
-            if src_dev || dst_dev {
-                self.cuda_copy(ctx, src, dst, len);
-                Protocol::IpcCopy
+        let routed = (|| -> Result<Protocol, TransferError> {
+            Ok(if me == target {
+                // self-put: a local copy
+                if src_dev || dst_dev {
+                    self.cuda_copy(ctx, src, dst, len);
+                    Protocol::IpcCopy
+                } else {
+                    self.shm_copy(ctx, src, dst, len);
+                    Protocol::ShmCopy
+                }
             } else {
-                self.shm_copy(ctx, src, dst, len);
-                Protocol::ShmCopy
-            }
-        } else {
-            match cfg.design {
-                Design::Naive => {
-                    assert!(
-                        !src_dev && !dst_dev,
-                        "Naive design: GPU buffers must be staged manually with cudaMemcpy \
-                         (put {} -> {dst})",
-                        src
-                    );
-                    if same_node {
-                        self.shm_copy(ctx, src, dst, len);
-                        Protocol::ShmCopy
-                    } else {
-                        self.rdma_put(ctx, me, src, rkey, dst, len, target, token);
-                        Protocol::HostRdma
-                    }
-                }
-                Design::HostPipeline => {
-                    if same_node {
-                        match (src_dev, dst_dev) {
-                            (false, false) => {
-                                self.shm_copy(ctx, src, dst, len);
-                                Protocol::ShmCopy
-                            }
-                            // GPU destination: single IPC copy
-                            (_, true) => {
-                                self.cuda_copy(ctx, src, dst, len);
-                                Protocol::IpcCopy
-                            }
-                            // D-H: the unoptimized inter-domain path — stage
-                            // through own host memory, two copies.
-                            (true, false) => {
-                                self.two_copy_staged(ctx, me, src, dst, len);
-                                Protocol::TwoCopyStaged
-                            }
-                        }
-                    } else {
-                        match (src_dev, dst_dev) {
-                            (false, false) => {
-                                self.rdma_put(ctx, me, src, rkey, dst, len, target, token);
-                                Protocol::HostRdma
-                            }
-                            (true, true) => {
-                                self.host_pipeline_put(ctx, me, src, dst, len, target, token);
-                                Protocol::HostPipelineStaged
-                            }
-                            _ => panic!(
-                                "Host-Pipeline design does not support inter-node \
-                                 H-D / D-H configurations (paper Table I)"
-                            ),
+                match cfg.design {
+                    Design::Naive => {
+                        assert!(
+                            !src_dev && !dst_dev,
+                            "Naive design: GPU buffers must be staged manually with cudaMemcpy \
+                             (put {} -> {dst})",
+                            src
+                        );
+                        if same_node {
+                            self.shm_copy(ctx, src, dst, len);
+                            Protocol::ShmCopy
+                        } else {
+                            self.rdma_put(
+                                ctx, me, src, rkey, dst, len, target, token,
+                                Protocol::HostRdma,
+                            )?;
+                            Protocol::HostRdma
                         }
                     }
-                }
-                Design::EnhancedGdr => {
-                    if same_node {
-                        match (src_dev, dst_dev) {
-                            (false, false) => {
-                                self.shm_copy(ctx, src, dst, len);
-                                Protocol::ShmCopy
-                            }
-                            (_, true) => {
-                                // D-D pays P2P caps on both ends of the
-                                // loopback: use the least threshold (§III-B)
-                                let limit = if src_dev {
-                                    cfg.loopback_dd_limit.min(cfg.loopback_put_limit)
-                                } else {
-                                    cfg.loopback_put_limit
-                                };
-                                if len <= limit {
-                                    self.rdma_put(ctx, me, src, rkey, dst, len, target, token);
-                                    Protocol::LoopbackGdr
-                                } else {
+                    Design::HostPipeline => {
+                        if same_node {
+                            match (src_dev, dst_dev) {
+                                (false, false) => {
+                                    self.shm_copy(ctx, src, dst, len);
+                                    Protocol::ShmCopy
+                                }
+                                // GPU destination: single IPC copy
+                                (_, true) => {
                                     self.cuda_copy(ctx, src, dst, len);
                                     Protocol::IpcCopy
                                 }
-                            }
-                            (true, false) => {
-                                if len <= cfg.loopback_put_limit {
-                                    self.rdma_put(ctx, me, src, rkey, dst, len, target, token);
-                                    Protocol::LoopbackGdr
-                                } else {
-                                    // shmem_ptr design (paper Fig. 3): one
-                                    // cudaMemcpy D2H straight into the
-                                    // target's host heap in the shared segment.
-                                    self.cuda_copy(ctx, src, dst, len);
-                                    Protocol::IpcCopy
+                                // D-H: the unoptimized inter-domain path — stage
+                                // through own host memory, two copies.
+                                (true, false) => {
+                                    self.two_copy_staged(ctx, me, src, dst, len);
+                                    Protocol::TwoCopyStaged
                                 }
                             }
-                        }
-                    } else {
-                        match (src_dev, dst_dev) {
-                            (false, false) => {
-                                self.rdma_put(ctx, me, src, rkey, dst, len, target, token);
-                                Protocol::HostRdma
+                        } else {
+                            match (src_dev, dst_dev) {
+                                (false, false) => {
+                                    self.rdma_put(
+                                        ctx, me, src, rkey, dst, len, target, token,
+                                        Protocol::HostRdma,
+                                    )?;
+                                    Protocol::HostRdma
+                                }
+                                (true, true) => {
+                                    self.host_pipeline_put(ctx, me, src, dst, len, target, token);
+                                    Protocol::HostPipelineStaged
+                                }
+                                _ => panic!(
+                                    "Host-Pipeline design does not support inter-node \
+                                     H-D / D-H configurations (paper Table I)"
+                                ),
                             }
-                            _ => {
-                                let dst_intra = self.mem_gpu_intra_socket(dst, target);
-                                if len <= cfg.gdr_put_limit || (!src_dev && dst_intra) {
-                                    // Direct GDR (small/medium; host-source
-                                    // with a clean write path: all sizes).
-                                    self.rdma_put(ctx, me, src, rkey, dst, len, target, token);
-                                    Protocol::DirectGdr
-                                } else if dst_dev && !dst_intra {
-                                    // P2P write bottleneck at the target:
-                                    // stage into target host memory, proxy
-                                    // performs the final H2D — still one-sided.
-                                    self.proxy_put(ctx, me, src, dst, len, target, token);
-                                    Protocol::ProxyPipeline
-                                } else {
-                                    // Pipeline GDR write: chunked D2H staging
-                                    // + GDR RDMA writes, truly one-sided.
-                                    self.pipeline_gdr_put(
-                                        ctx,
-                                        me,
-                                        src,
-                                        dst,
-                                        dest.domain,
-                                        len,
-                                        target,
-                                        token,
-                                    );
-                                    Protocol::PipelineGdrWrite
+                        }
+                    }
+                    Design::EnhancedGdr => {
+                        if same_node {
+                            match (src_dev, dst_dev) {
+                                (false, false) => {
+                                    self.shm_copy(ctx, src, dst, len);
+                                    Protocol::ShmCopy
+                                }
+                                (_, true) => {
+                                    // D-D pays P2P caps on both ends of the
+                                    // loopback: use the least threshold (§III-B)
+                                    let limit = if src_dev {
+                                        cfg.loopback_dd_limit.min(cfg.loopback_put_limit)
+                                    } else {
+                                        cfg.loopback_put_limit
+                                    };
+                                    if len <= limit && gdr_off {
+                                        // loopback is an HCA round trip through
+                                        // GPU memory: fall back to one IPC copy
+                                        self.obs_fallback(
+                                            me,
+                                            ctx.now(),
+                                            "put",
+                                            Protocol::LoopbackGdr.name(),
+                                            Protocol::IpcCopy.name(),
+                                            token,
+                                        );
+                                        self.cuda_copy(ctx, src, dst, len);
+                                        Protocol::IpcCopy
+                                    } else if len <= limit {
+                                        self.rdma_put(
+                                            ctx, me, src, rkey, dst, len, target, token,
+                                            Protocol::LoopbackGdr,
+                                        )?;
+                                        Protocol::LoopbackGdr
+                                    } else {
+                                        self.cuda_copy(ctx, src, dst, len);
+                                        Protocol::IpcCopy
+                                    }
+                                }
+                                (true, false) => {
+                                    if len <= cfg.loopback_put_limit && gdr_off {
+                                        self.obs_fallback(
+                                            me,
+                                            ctx.now(),
+                                            "put",
+                                            Protocol::LoopbackGdr.name(),
+                                            Protocol::IpcCopy.name(),
+                                            token,
+                                        );
+                                        self.cuda_copy(ctx, src, dst, len);
+                                        Protocol::IpcCopy
+                                    } else if len <= cfg.loopback_put_limit {
+                                        self.rdma_put(
+                                            ctx, me, src, rkey, dst, len, target, token,
+                                            Protocol::LoopbackGdr,
+                                        )?;
+                                        Protocol::LoopbackGdr
+                                    } else {
+                                        // shmem_ptr design (paper Fig. 3): one
+                                        // cudaMemcpy D2H straight into the
+                                        // target's host heap in the shared segment.
+                                        self.cuda_copy(ctx, src, dst, len);
+                                        Protocol::IpcCopy
+                                    }
+                                }
+                            }
+                        } else {
+                            match (src_dev, dst_dev) {
+                                (false, false) => {
+                                    self.rdma_put(
+                                        ctx, me, src, rkey, dst, len, target, token,
+                                        Protocol::HostRdma,
+                                    )?;
+                                    Protocol::HostRdma
+                                }
+                                _ => {
+                                    let dst_intra = self.mem_gpu_intra_socket(dst, target);
+                                    let direct_ok =
+                                        len <= cfg.gdr_put_limit || (!src_dev && dst_intra);
+                                    if gdr_off {
+                                        // No HCA<->GPU DMA at either end. The
+                                        // proxy put (host RDMA + proxy-side
+                                        // cudaMemcpy H2D) and the D2H-staged
+                                        // pipeline with a host destination
+                                        // never touch GDR: re-route there.
+                                        if dst_dev {
+                                            let from = if direct_ok {
+                                                Protocol::DirectGdr
+                                            } else if !dst_intra {
+                                                Protocol::ProxyPipeline
+                                            } else {
+                                                Protocol::PipelineGdrWrite
+                                            };
+                                            if from != Protocol::ProxyPipeline {
+                                                self.obs_fallback(
+                                                    me,
+                                                    ctx.now(),
+                                                    "put",
+                                                    from.name(),
+                                                    Protocol::ProxyPipeline.name(),
+                                                    token,
+                                                );
+                                            }
+                                            self.proxy_put(ctx, me, src, dst, len, target, token);
+                                            Protocol::ProxyPipeline
+                                        } else {
+                                            // D-H: chunked D2H staging + plain
+                                            // host-to-host RDMA writes
+                                            if direct_ok {
+                                                self.obs_fallback(
+                                                    me,
+                                                    ctx.now(),
+                                                    "put",
+                                                    Protocol::DirectGdr.name(),
+                                                    Protocol::PipelineGdrWrite.name(),
+                                                    token,
+                                                );
+                                            }
+                                            self.pipeline_gdr_put(
+                                                ctx,
+                                                me,
+                                                src,
+                                                dst,
+                                                dest.domain,
+                                                len,
+                                                target,
+                                                token,
+                                            );
+                                            Protocol::PipelineGdrWrite
+                                        }
+                                    } else if direct_ok {
+                                        // Direct GDR (small/medium; host-source
+                                        // with a clean write path: all sizes).
+                                        self.rdma_put(
+                                            ctx, me, src, rkey, dst, len, target, token,
+                                            Protocol::DirectGdr,
+                                        )?;
+                                        Protocol::DirectGdr
+                                    } else if dst_dev && !dst_intra {
+                                        // P2P write bottleneck at the target:
+                                        // stage into target host memory, proxy
+                                        // performs the final H2D — still one-sided.
+                                        self.proxy_put(ctx, me, src, dst, len, target, token);
+                                        Protocol::ProxyPipeline
+                                    } else {
+                                        // Pipeline GDR write: chunked D2H staging
+                                        // + GDR RDMA writes, truly one-sided.
+                                        self.pipeline_gdr_put(
+                                            ctx,
+                                            me,
+                                            src,
+                                            dst,
+                                            dest.domain,
+                                            len,
+                                            target,
+                                            token,
+                                        );
+                                        Protocol::PipelineGdrWrite
+                                    }
                                 }
                             }
                         }
                     }
                 }
+            })
+        })();
+        let chosen = match routed {
+            Ok(p) => p,
+            Err(e) => {
+                st.leave_library();
+                return Err(e);
             }
         };
         self.count(me, chosen);
@@ -731,6 +965,7 @@ impl ShmemMachine {
             self.flow_end_at(self.pe_track(me), ctx.now(), token);
         }
         st.leave_library();
+        Ok(())
     }
 
     // ---------- get ----------
@@ -744,10 +979,10 @@ impl ShmemMachine {
         source: SymAddr,
         len: u64,
         from: ProcId,
-    ) {
+    ) -> Result<(), TransferError> {
         if len == 0 {
             self.obs().latency("get", 0, SimDuration::ZERO);
-            return;
+            return Ok(());
         }
         let t0 = ctx.now();
         let token = self.next_op(me);
@@ -767,104 +1002,189 @@ impl ShmemMachine {
         let topo = self.cluster().topo();
         let same_node = topo.same_node(me, from);
         let cfg = *self.cfg();
+        let gdr_off = (src_dev || dst_dev)
+            && (self.gdr_disabled_at(me) || self.gdr_disabled_at(from));
 
-        let chosen = if me == from {
-            if src_dev || dst_dev {
-                self.cuda_copy(ctx, src, dst, len);
-                Protocol::IpcCopy
-            } else {
-                self.shm_copy(ctx, src, dst, len);
-                Protocol::ShmCopy
-            }
-        } else {
-            match cfg.design {
-                Design::Naive => {
-                    assert!(
-                        !src_dev && !dst_dev,
-                        "Naive design: GPU buffers must be staged manually with cudaMemcpy"
-                    );
-                    if same_node {
-                        self.shm_copy(ctx, src, dst, len);
-                        Protocol::ShmCopy
-                    } else {
-                        self.rdma_get(ctx, me, dst, rkey, src, len);
-                        Protocol::HostRdma
-                    }
+        let routed = (|| -> Result<Protocol, TransferError> {
+            Ok(if me == from {
+                if src_dev || dst_dev {
+                    self.cuda_copy(ctx, src, dst, len);
+                    Protocol::IpcCopy
+                } else {
+                    self.shm_copy(ctx, src, dst, len);
+                    Protocol::ShmCopy
                 }
-                Design::HostPipeline => {
-                    if same_node {
-                        match (src_dev, dst_dev) {
-                            (false, false) => {
+            } else {
+                match cfg.design {
+                    Design::Naive => {
+                        assert!(
+                            !src_dev && !dst_dev,
+                            "Naive design: GPU buffers must be staged manually with cudaMemcpy"
+                        );
+                        if same_node {
+                            self.shm_copy(ctx, src, dst, len);
+                            Protocol::ShmCopy
+                        } else {
+                            self.rdma_get(
+                                ctx, me, dst, rkey, src, len, token,
+                                Protocol::HostRdma,
+                            )?;
+                            Protocol::HostRdma
+                        }
+                    }
+                    Design::HostPipeline => {
+                        if same_node {
+                            match (src_dev, dst_dev) {
+                                (false, false) => {
+                                    self.shm_copy(ctx, src, dst, len);
+                                    Protocol::ShmCopy
+                                }
+                                // remote device -> local host: unoptimized
+                                // inter-domain path, two copies through staging.
+                                (true, false) => {
+                                    self.two_copy_staged(ctx, me, src, dst, len);
+                                    Protocol::TwoCopyStaged
+                                }
+                                // single IPC copy covers D-D and host->device
+                                _ => {
+                                    self.cuda_copy(ctx, src, dst, len);
+                                    Protocol::IpcCopy
+                                }
+                            }
+                        } else {
+                            match (src_dev, dst_dev) {
+                                (false, false) => {
+                                    self.rdma_get(
+                                        ctx, me, dst, rkey, src, len, token,
+                                        Protocol::HostRdma,
+                                    )?;
+                                    Protocol::HostRdma
+                                }
+                                (true, true) => {
+                                    self.host_pipeline_get(ctx, me, dst, src, len, from);
+                                    Protocol::HostPipelineStaged
+                                }
+                                _ => panic!(
+                                    "Host-Pipeline design does not support inter-node \
+                                     H-D / D-H configurations (paper Table I)"
+                                ),
+                            }
+                        }
+                    }
+                    Design::EnhancedGdr => {
+                        if same_node {
+                            if !src_dev && !dst_dev {
                                 self.shm_copy(ctx, src, dst, len);
                                 Protocol::ShmCopy
-                            }
-                            // remote device -> local host: unoptimized
-                            // inter-domain path, two copies through staging.
-                            (true, false) => {
-                                self.two_copy_staged(ctx, me, src, dst, len);
-                                Protocol::TwoCopyStaged
-                            }
-                            // single IPC copy covers D-D and host->device
-                            _ => {
+                            } else if len <= cfg.loopback_get_limit && gdr_off {
+                                self.obs_fallback(
+                                    me,
+                                    ctx.now(),
+                                    "get",
+                                    Protocol::LoopbackGdr.name(),
+                                    Protocol::IpcCopy.name(),
+                                    token,
+                                );
+                                self.cuda_copy(ctx, src, dst, len);
+                                Protocol::IpcCopy
+                            } else if len <= cfg.loopback_get_limit {
+                                self.rdma_get(
+                                    ctx, me, dst, rkey, src, len, token,
+                                    Protocol::LoopbackGdr,
+                                )?;
+                                Protocol::LoopbackGdr
+                            } else {
+                                // one direct CUDA copy (IPC-mapped peer / shared
+                                // segment visible to cudaMemcpy)
                                 self.cuda_copy(ctx, src, dst, len);
                                 Protocol::IpcCopy
                             }
-                        }
-                    } else {
-                        match (src_dev, dst_dev) {
-                            (false, false) => {
-                                self.rdma_get(ctx, me, dst, rkey, src, len);
-                                Protocol::HostRdma
-                            }
-                            (true, true) => {
-                                self.host_pipeline_get(ctx, me, dst, src, len, from);
+                        } else if !src_dev {
+                            if dst_dev && gdr_off {
+                                // local GDR scatter unavailable: plain host
+                                // RDMA read into registered staging, finish
+                                // with H2D cudaMemcpy chunks
+                                self.obs_fallback(
+                                    me,
+                                    ctx.now(),
+                                    "get",
+                                    Protocol::DirectGdr.name(),
+                                    Protocol::HostPipelineStaged.name(),
+                                    token,
+                                );
+                                self.staged_gdr_off_get(
+                                    ctx, me, dst, rkey, src, len, from, token, false,
+                                )?;
                                 Protocol::HostPipelineStaged
+                            } else {
+                                // remote host: direct RDMA read any size (the
+                                // local scatter path is the strong P2P write
+                                // direction)
+                                let p = if dst_dev {
+                                    Protocol::DirectGdr
+                                } else {
+                                    Protocol::HostRdma
+                                };
+                                self.rdma_get(ctx, me, dst, rkey, src, len, token, p)?;
+                                p
                             }
-                            _ => panic!(
-                                "Host-Pipeline design does not support inter-node \
-                                 H-D / D-H configurations (paper Table I)"
-                            ),
-                        }
-                    }
-                }
-                Design::EnhancedGdr => {
-                    if same_node {
-                        if !src_dev && !dst_dev {
-                            self.shm_copy(ctx, src, dst, len);
-                            Protocol::ShmCopy
-                        } else if len <= cfg.loopback_get_limit {
-                            self.rdma_get(ctx, me, dst, rkey, src, len);
-                            Protocol::LoopbackGdr
-                        } else {
-                            // one direct CUDA copy (IPC-mapped peer / shared
-                            // segment visible to cudaMemcpy)
-                            self.cuda_copy(ctx, src, dst, len);
-                            Protocol::IpcCopy
-                        }
-                    } else if !src_dev {
-                        // remote host: direct RDMA read any size (the local
-                        // scatter path is the strong P2P write direction)
-                        self.rdma_get(ctx, me, dst, rkey, src, len);
-                        if dst_dev {
+                        } else if gdr_off {
+                            // remote GPU source with GDR dead: the remote
+                            // proxy stages D2H on its node and host-RDMA-
+                            // writes into my landing buffer; a device
+                            // destination takes one extra local H2D copy.
+                            let would = if len <= cfg.gdr_get_limit
+                                || !cfg.proxy_enabled
+                                || len < cfg.proxy_get_min
+                            {
+                                Protocol::DirectGdr
+                            } else {
+                                Protocol::ProxyPipeline
+                            };
+                            if would != Protocol::ProxyPipeline || dst_dev {
+                                self.obs_fallback(
+                                    me,
+                                    ctx.now(),
+                                    "get",
+                                    would.name(),
+                                    Protocol::ProxyPipeline.name(),
+                                    token,
+                                );
+                            }
+                            if dst_dev {
+                                self.staged_gdr_off_get(
+                                    ctx, me, dst, rkey, src, len, from, token, true,
+                                )?;
+                            } else {
+                                self.proxy_get(ctx, me, dst, src, len, from, token);
+                            }
+                            Protocol::ProxyPipeline
+                        } else if len <= cfg.gdr_get_limit {
+                            self.rdma_get(
+                                ctx, me, dst, rkey, src, len, token,
+                                Protocol::DirectGdr,
+                            )?;
                             Protocol::DirectGdr
+                        } else if cfg.proxy_enabled && len >= cfg.proxy_get_min {
+                            // large get from remote GPU memory: remote proxy runs
+                            // the reverse pipeline, target PE never involved
+                            self.proxy_get(ctx, me, dst, src, len, from, token);
+                            Protocol::ProxyPipeline
                         } else {
-                            Protocol::HostRdma
+                            // ablation fallback: chunked direct GDR reads, paying
+                            // the P2P read bottleneck
+                            self.chunked_direct_get(ctx, me, dst, rkey, src, len);
+                            Protocol::DirectGdr
                         }
-                    } else if len <= cfg.gdr_get_limit {
-                        self.rdma_get(ctx, me, dst, rkey, src, len);
-                        Protocol::DirectGdr
-                    } else if cfg.proxy_enabled && len >= cfg.proxy_get_min {
-                        // large get from remote GPU memory: remote proxy runs
-                        // the reverse pipeline, target PE never involved
-                        self.proxy_get(ctx, me, dst, src, len, from, token);
-                        Protocol::ProxyPipeline
-                    } else {
-                        // ablation fallback: chunked direct GDR reads, paying
-                        // the P2P read bottleneck
-                        self.chunked_direct_get(ctx, me, dst, rkey, src, len);
-                        Protocol::DirectGdr
                     }
                 }
+            })
+        })();
+        let chosen = match routed {
+            Ok(p) => p,
+            Err(e) => {
+                st.leave_library();
+                return Err(e);
             }
         };
         self.count(me, chosen);
@@ -886,6 +1206,7 @@ impl ShmemMachine {
         // locally delivered — that return is the op's completion.
         self.flow_end_at(self.pe_track(me), ctx.now(), token);
         st.leave_library();
+        Ok(())
     }
 
     // ---------- atomic ----------
@@ -898,7 +1219,7 @@ impl ShmemMachine {
         target_sym: SymAddr,
         target: ProcId,
         op: AtomicOp,
-    ) -> u64 {
+    ) -> Result<u64, TransferError> {
         let t0 = ctx.now();
         let token = self.next_op(me);
         let st = self.pe_state(me);
@@ -912,13 +1233,31 @@ impl ShmemMachine {
                 self.cfg().design.name()
             );
         }
+        if target_sym.is_gpu() && self.gdr_disabled_at(target) {
+            // Without GDR the HCA cannot issue atomics against GPU
+            // memory, and no software path preserves atomicity against
+            // concurrent hardware atomics: a typed error, not a fallback.
+            st.leave_library();
+            return Err(TransferError::CapabilityDisabled {
+                what: "gdr-atomic",
+                node: self.cluster().topo().node_of(target).0,
+            });
+        }
         let dst = self.layout().resolve(target_sym, target);
         let rkey = self.layout().rkey(target_sym.domain, target);
-        let res = self
-            .ib()
-            .post_atomic(ctx, me, rkey, dst, op)
-            .unwrap_or_else(|e| panic!("atomic failed: {e}"));
-        ctx.wait(&res.done);
+        let res = match self.post_with_retry(ctx, me, Protocol::HwAtomic, token, || {
+            self.ib().post_atomic(ctx, me, rkey, dst, op)
+        }) {
+            Ok(r) => r,
+            Err(e) => {
+                st.leave_library();
+                return Err(e);
+            }
+        };
+        if let Err(e) = self.wait_with_timeout(ctx, &res.done, 1) {
+            st.leave_library();
+            return Err(e);
+        }
         self.count(me, Protocol::HwAtomic);
         self.obs_op(
             "atomic",
@@ -937,7 +1276,58 @@ impl ShmemMachine {
         // The atomic acted on the target's memory; end the flow there.
         self.flow_end_at(self.pe_track(target), ctx.now(), token);
         st.leave_library();
-        res.value()
+        Ok(res
+            .value()
+            .expect("atomic completion signaled but result slot empty"))
+    }
+
+    /// Capability fallback for gets when GDR is disabled: land the data
+    /// in registered *host* staging (host-RDMA read or proxy pipeline —
+    /// neither touches GDR), then finish with plain H2D cudaMemcpy.
+    /// Loops in staging-capacity pieces so transfers larger than the
+    /// staging arena still fit.
+    #[allow(clippy::too_many_arguments)]
+    fn staged_gdr_off_get(
+        self: &Arc<Self>,
+        ctx: &TaskCtx,
+        me: ProcId,
+        dst: MemRef,
+        rkey: Rkey,
+        src: MemRef,
+        len: u64,
+        from: ProcId,
+        token: OpToken,
+        via_proxy: bool,
+    ) -> Result<(), TransferError> {
+        let cap = self.cfg().staging;
+        let mut done = 0u64;
+        while done < len {
+            let n = cap.min(len - done);
+            let off = self.alloc_staging_blocking(ctx, me, n);
+            let stg = self.layout().staging_base(me).add(off);
+            let r = if via_proxy {
+                self.proxy_get(ctx, me, stg, src.add(done), n, from, token);
+                Ok(())
+            } else {
+                self.rdma_get(
+                    ctx,
+                    me,
+                    stg,
+                    rkey,
+                    src.add(done),
+                    n,
+                    token,
+                    Protocol::HostPipelineStaged,
+                )
+            };
+            if r.is_ok() {
+                self.cuda_copy(ctx, stg, dst.add(done), n);
+            }
+            self.pe_state(me).staging_alloc.lock().free(off, n);
+            r?;
+            done += n;
+        }
+        Ok(())
     }
 
     /// The baseline's two-copy staged path (inter-domain intra-node):

@@ -1,0 +1,488 @@
+//! # faults — deterministic seeded fault plans
+//!
+//! A [`FaultPlan`] describes every anomaly the simulated stack can
+//! inject, all derived from one seed so that identical plans replay
+//! identical fault sequences in virtual time:
+//!
+//! - transient RDMA completion errors (CQE flush / retry-exceeded) at a
+//!   per-post probability, with a modeled error-detection latency;
+//! - late local completions (the CQE is delivered late by a fixed extra
+//!   delay, at a per-post probability);
+//! - per-link degradation and blackout windows (a bandwidth multiplier
+//!   or a full outage over a virtual-time interval), targeting HCA TX
+//!   links or a GPU's PCIe links;
+//! - proxy-agent stalls (wakeups scheduled inside a window are delayed
+//!   by an extra amount — a long stall models a crash + restart);
+//! - a "GDR disabled on node N" capability fault (bitmask).
+//!
+//! The plan is `Copy` (fixed-capacity window arrays, no heap) so it can
+//! live inside the runtime's `RuntimeConfig` without disturbing the
+//! `let cfg = *self.cfg()` idiom. Randomness is a pure hash of
+//! `(seed, stream, counter)` — no RNG state, so concurrent consumers
+//! stay deterministic as long as each keeps its own program-ordered
+//! counter.
+
+/// Maximum link-fault windows in one plan.
+pub const MAX_LINK_WINDOWS: usize = 4;
+/// Maximum proxy-stall windows in one plan.
+pub const MAX_PROXY_STALLS: usize = 4;
+
+/// Which family of links a [`LinkWindow`] targets.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum LinkScope {
+    /// The TX link of node `index`'s HCA (`index == ALL` for every HCA).
+    #[default]
+    HcaTx,
+    /// All five PCIe links of GPU `index` (`index == ALL` for every GPU).
+    GpuPcie,
+}
+
+/// Wildcard index: the window applies to every link in its scope.
+pub const ALL: u32 = u32::MAX;
+
+/// One degradation or blackout window on a link.
+///
+/// `bw_permille` scales the link's effective bandwidth for transfers
+/// that start inside `[start_ns, end_ns)`; `0` is a blackout — the
+/// transfer cannot start until the window ends.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LinkWindow {
+    pub scope: LinkScope,
+    /// Node index (HcaTx) or GPU index (GpuPcie); [`ALL`] for every link.
+    pub index: u32,
+    pub start_ns: u64,
+    pub end_ns: u64,
+    /// Bandwidth multiplier in permille (0 = blackout, 1000 = unchanged).
+    pub bw_permille: u16,
+}
+
+/// One proxy-agent stall window: wakeups scheduled on `node` inside
+/// `[start_ns, end_ns)` are delayed by `extra_ns` (crash + restart is
+/// a long stall).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ProxyStall {
+    pub node: u32,
+    pub start_ns: u64,
+    pub end_ns: u64,
+    pub extra_ns: u64,
+}
+
+/// A complete, seeded fault plan. `FaultPlan::default()` injects
+/// nothing; [`FaultPlan::active`] is the cheap hot-path gate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Seed for every probabilistic draw in the plan.
+    pub seed: u64,
+    /// Per-RDMA-post probability of a transient CQE error, in permille.
+    pub cqe_permille: u16,
+    /// Modeled latency between posting and detecting a failed CQE.
+    pub cqe_detect_ns: u64,
+    /// Bounded retry budget for transient errors.
+    pub max_retries: u32,
+    /// Exponential backoff base (doubled per attempt) and cap.
+    pub backoff_base_ns: u64,
+    pub backoff_cap_ns: u64,
+    /// Per-op completion timeout in virtual time; 0 disables timeouts.
+    pub op_timeout_ns: u64,
+    /// Bitmask of nodes whose GDR capability is disabled (no HCA
+    /// peer-mapping of GPU memory: direct-GDR gather/scatter unusable).
+    pub gdr_disabled_nodes: u64,
+    /// Per-post probability of a late local completion, in permille.
+    pub late_permille: u16,
+    /// Extra delivery delay of a late completion.
+    pub late_extra_ns: u64,
+    pub link_windows: [LinkWindow; MAX_LINK_WINDOWS],
+    pub n_link_windows: u8,
+    pub proxy_stalls: [ProxyStall; MAX_PROXY_STALLS],
+    pub n_proxy_stalls: u8,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan {
+            seed: 1,
+            cqe_permille: 0,
+            cqe_detect_ns: 5_000,
+            max_retries: 4,
+            backoff_base_ns: 2_000,
+            backoff_cap_ns: 64_000,
+            op_timeout_ns: 0,
+            gdr_disabled_nodes: 0,
+            late_permille: 0,
+            late_extra_ns: 20_000,
+            link_windows: [LinkWindow::default(); MAX_LINK_WINDOWS],
+            n_link_windows: 0,
+            proxy_stalls: [ProxyStall::default(); MAX_PROXY_STALLS],
+            n_proxy_stalls: 0,
+        }
+    }
+}
+
+/// splitmix64 — the finalizer used for all plan draws.
+fn splitmix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Stateless deterministic hash of `(seed, stream, counter)`.
+pub fn mix(seed: u64, stream: u64, counter: u64) -> u64 {
+    splitmix(splitmix(seed ^ stream.wrapping_mul(0xA24B_AED4_963E_E407)) ^ counter)
+}
+
+impl FaultPlan {
+    /// True when any injection is configured (hot-path gate).
+    pub fn active(&self) -> bool {
+        self.cqe_permille > 0
+            || self.late_permille > 0
+            || self.gdr_disabled_nodes != 0
+            || self.n_link_windows > 0
+            || self.n_proxy_stalls > 0
+            || self.op_timeout_ns > 0
+    }
+
+    /// Builder: seed every draw in the plan.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Builder: transient CQE error rate in permille.
+    pub fn with_cqe_errors(mut self, permille: u16) -> Self {
+        self.cqe_permille = permille.min(1000);
+        self
+    }
+
+    /// Builder: late-local-completion rate and extra delay.
+    pub fn with_late_completions(mut self, permille: u16, extra_ns: u64) -> Self {
+        self.late_permille = permille.min(1000);
+        self.late_extra_ns = extra_ns;
+        self
+    }
+
+    /// Builder: disable GDR on `node`.
+    pub fn with_gdr_disabled(mut self, node: u32) -> Self {
+        self.gdr_disabled_nodes |= 1u64 << (node % 64);
+        self
+    }
+
+    /// Builder: per-op timeout.
+    pub fn with_op_timeout_ns(mut self, ns: u64) -> Self {
+        self.op_timeout_ns = ns;
+        self
+    }
+
+    /// Builder: retry budget and backoff shape.
+    pub fn with_retry(mut self, max_retries: u32, base_ns: u64, cap_ns: u64) -> Self {
+        self.max_retries = max_retries;
+        self.backoff_base_ns = base_ns.max(1);
+        self.backoff_cap_ns = cap_ns.max(base_ns.max(1));
+        self
+    }
+
+    /// Builder: append a link window (panics past capacity — plans are
+    /// authored by hand or the env parser, both bounded).
+    pub fn with_link_window(mut self, w: LinkWindow) -> Self {
+        let n = self.n_link_windows as usize;
+        assert!(n < MAX_LINK_WINDOWS, "too many link windows (max {MAX_LINK_WINDOWS})");
+        self.link_windows[n] = w;
+        self.n_link_windows += 1;
+        self
+    }
+
+    /// Builder: append a proxy stall window.
+    pub fn with_proxy_stall(mut self, s: ProxyStall) -> Self {
+        let n = self.n_proxy_stalls as usize;
+        assert!(n < MAX_PROXY_STALLS, "too many proxy stalls (max {MAX_PROXY_STALLS})");
+        self.proxy_stalls[n] = s;
+        self.n_proxy_stalls += 1;
+        self
+    }
+
+    /// Configured link windows.
+    pub fn link_windows(&self) -> &[LinkWindow] {
+        &self.link_windows[..self.n_link_windows as usize]
+    }
+
+    /// Configured proxy stalls.
+    pub fn proxy_stalls(&self) -> &[ProxyStall] {
+        &self.proxy_stalls[..self.n_proxy_stalls as usize]
+    }
+
+    /// Is GDR capability-disabled on `node`?
+    pub fn gdr_disabled(&self, node: usize) -> bool {
+        node < 64 && self.gdr_disabled_nodes & (1u64 << node) != 0
+    }
+
+    /// Does the `counter`-th post on `stream` (a poster id — keep the
+    /// counter program-ordered per stream) fail with a transient CQE
+    /// error?
+    pub fn cqe_fails(&self, stream: u64, counter: u64) -> bool {
+        self.cqe_permille > 0
+            && mix(self.seed, stream.wrapping_add(0x0C9E), counter) % 1000
+                < self.cqe_permille as u64
+    }
+
+    /// The transient error kind reported for the `counter`-th failed
+    /// post on `stream` — alternates deterministically between the two
+    /// CQE error classes the IB spec surfaces for transient faults.
+    pub fn cqe_kind(&self, stream: u64, counter: u64) -> &'static str {
+        if mix(self.seed, stream.wrapping_add(0x1D0B), counter) & 1 == 0 {
+            "cqe-flush-err"
+        } else {
+            "cqe-retry-exceeded"
+        }
+    }
+
+    /// Is the `counter`-th local completion on `stream` delivered late?
+    pub fn completion_late(&self, stream: u64, counter: u64) -> bool {
+        self.late_permille > 0
+            && mix(self.seed, stream.wrapping_add(0x7A7E), counter) % 1000
+                < self.late_permille as u64
+    }
+
+    /// Backoff before retry `attempt` (1-based) of `op`: exponential in
+    /// the attempt, capped, plus deterministic jitter in `[0, base)`.
+    pub fn backoff_ns(&self, op: u64, attempt: u32) -> u64 {
+        let base = self.backoff_base_ns.max(1);
+        let exp = ((base as u128) << attempt.min(64)).min(self.backoff_cap_ns as u128) as u64;
+        let jitter = mix(self.seed, op.wrapping_add(0xB0FF), attempt as u64) % base;
+        exp + jitter
+    }
+
+    /// Extra wakeup delay for a proxy wakeup scheduled on `node` at
+    /// virtual time `now_ns` (0 when no stall window covers it).
+    pub fn proxy_stall_extra_ns(&self, node: usize, now_ns: u64) -> u64 {
+        let mut extra = 0u64;
+        for s in self.proxy_stalls() {
+            if s.node as usize == node && now_ns >= s.start_ns && now_ns < s.end_ns {
+                extra = extra.max(s.extra_ns);
+            }
+        }
+        extra
+    }
+
+    /// Parse the `GDR_SHMEM_FAULTS` environment variable. Unset or
+    /// empty means no plan; a malformed token panics with the offending
+    /// token named (a silent fallback would un-inject a chaos run).
+    pub fn from_env() -> Option<FaultPlan> {
+        let raw = std::env::var("GDR_SHMEM_FAULTS").ok()?;
+        if raw.trim().is_empty() {
+            return None;
+        }
+        Some(Self::parse(&raw))
+    }
+
+    /// Parse a plan from whitespace-separated `key=value` tokens:
+    ///
+    /// ```text
+    /// seed=42 cqe=100 cqe-detect=5000 retries=4 backoff=2000
+    /// backoff-cap=64000 timeout=2000000 gdr-off=2 late=50
+    /// late-extra=20000 link=hca:1:1000000:2000000:0
+    /// stall=0:0:5000000:200000
+    /// ```
+    ///
+    /// `gdr-off` is a node bitmask; `link` is
+    /// `scope:index:start_ns:end_ns:bw_permille` (scope `hca`|`pcie`,
+    /// index a number or `*`); `stall` is `node:start_ns:end_ns:extra_ns`.
+    pub fn parse(s: &str) -> FaultPlan {
+        let mut p = FaultPlan::default();
+        for tok in s.split_whitespace() {
+            let (k, v) = tok
+                .split_once('=')
+                .unwrap_or_else(|| panic!("fault plan token without '=': {tok:?}"));
+            let num = |what: &str| -> u64 {
+                v.parse::<u64>()
+                    .unwrap_or_else(|_| panic!("fault plan {what} must be a number: {tok:?}"))
+            };
+            match k {
+                "seed" => p.seed = num("seed"),
+                "cqe" => p.cqe_permille = num("cqe permille").min(1000) as u16,
+                "cqe-detect" => p.cqe_detect_ns = num("cqe-detect ns"),
+                "retries" => p.max_retries = num("retries") as u32,
+                "backoff" => p.backoff_base_ns = num("backoff ns").max(1),
+                "backoff-cap" => p.backoff_cap_ns = num("backoff-cap ns"),
+                "timeout" => p.op_timeout_ns = num("timeout ns"),
+                "gdr-off" => p.gdr_disabled_nodes = num("gdr-off bitmask"),
+                "late" => p.late_permille = num("late permille").min(1000) as u16,
+                "late-extra" => p.late_extra_ns = num("late-extra ns"),
+                "link" => p = p.with_link_window(parse_link_window(v)),
+                "stall" => p = p.with_proxy_stall(parse_proxy_stall(v)),
+                _ => panic!("unknown fault plan key {k:?} in {tok:?}"),
+            }
+        }
+        p
+    }
+}
+
+fn parse_link_window(v: &str) -> LinkWindow {
+    let parts: Vec<&str> = v.split(':').collect();
+    assert!(
+        parts.len() == 5,
+        "link window must be scope:index:start_ns:end_ns:bw_permille, got {v:?}"
+    );
+    let scope = match parts[0] {
+        "hca" => LinkScope::HcaTx,
+        "pcie" => LinkScope::GpuPcie,
+        other => panic!("link window scope must be hca|pcie, got {other:?}"),
+    };
+    let idx = |s: &str, what: &str| -> u32 {
+        if s == "*" {
+            ALL
+        } else {
+            s.parse().unwrap_or_else(|_| panic!("bad link window {what}: {s:?}"))
+        }
+    };
+    let n = |s: &str, what: &str| -> u64 {
+        s.parse().unwrap_or_else(|_| panic!("bad link window {what}: {s:?}"))
+    };
+    LinkWindow {
+        scope,
+        index: idx(parts[1], "index"),
+        start_ns: n(parts[2], "start_ns"),
+        end_ns: n(parts[3], "end_ns"),
+        bw_permille: n(parts[4], "bw_permille").min(1000) as u16,
+    }
+}
+
+fn parse_proxy_stall(v: &str) -> ProxyStall {
+    let parts: Vec<&str> = v.split(':').collect();
+    assert!(
+        parts.len() == 4,
+        "proxy stall must be node:start_ns:end_ns:extra_ns, got {v:?}"
+    );
+    let n = |s: &str, what: &str| -> u64 {
+        s.parse().unwrap_or_else(|_| panic!("bad proxy stall {what}: {s:?}"))
+    };
+    ProxyStall {
+        node: n(parts[0], "node") as u32,
+        start_ns: n(parts[1], "start_ns"),
+        end_ns: n(parts[2], "end_ns"),
+        extra_ns: n(parts[3], "extra_ns"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_plan_is_inactive() {
+        let p = FaultPlan::default();
+        assert!(!p.active());
+        assert!(!p.cqe_fails(0, 0));
+        assert!(!p.completion_late(0, 0));
+        assert!(!p.gdr_disabled(0));
+        assert_eq!(p.proxy_stall_extra_ns(0, 123), 0);
+    }
+
+    #[test]
+    fn draws_are_deterministic_and_seed_sensitive() {
+        let a = FaultPlan::default().with_seed(7).with_cqe_errors(500);
+        let b = FaultPlan::default().with_seed(7).with_cqe_errors(500);
+        let c = FaultPlan::default().with_seed(8).with_cqe_errors(500);
+        let fa: Vec<bool> = (0..64).map(|i| a.cqe_fails(3, i)).collect();
+        let fb: Vec<bool> = (0..64).map(|i| b.cqe_fails(3, i)).collect();
+        let fc: Vec<bool> = (0..64).map(|i| c.cqe_fails(3, i)).collect();
+        assert_eq!(fa, fb, "same seed must replay identically");
+        assert_ne!(fa, fc, "different seeds must diverge");
+    }
+
+    #[test]
+    fn cqe_rate_is_roughly_honored() {
+        let p = FaultPlan::default().with_seed(42).with_cqe_errors(100);
+        let n = 10_000u64;
+        let hits = (0..n).filter(|&i| p.cqe_fails(1, i)).count();
+        let rate = hits as f64 / n as f64;
+        assert!((0.07..0.13).contains(&rate), "10% permille drew {rate}");
+    }
+
+    #[test]
+    fn backoff_grows_and_caps_with_jitter_below_base() {
+        let p = FaultPlan::default().with_retry(8, 1_000, 32_000);
+        let b1 = p.backoff_ns(9, 1);
+        let b3 = p.backoff_ns(9, 3);
+        let b20 = p.backoff_ns(9, 20);
+        assert!((2_000..3_000).contains(&b1), "{b1}");
+        assert!((8_000..9_000).contains(&b3), "{b3}");
+        assert!(b20 <= 33_000, "cap + jitter bound: {b20}");
+        assert_eq!(b1, p.backoff_ns(9, 1), "backoff must be deterministic");
+        assert_ne!(
+            p.backoff_ns(9, 1) - 2_000,
+            p.backoff_ns(10, 1) - 2_000,
+            "jitter should vary by op (collision vanishingly unlikely)"
+        );
+    }
+
+    #[test]
+    fn gdr_disable_bitmask() {
+        let p = FaultPlan::default().with_gdr_disabled(1).with_gdr_disabled(3);
+        assert!(!p.gdr_disabled(0));
+        assert!(p.gdr_disabled(1));
+        assert!(!p.gdr_disabled(2));
+        assert!(p.gdr_disabled(3));
+        assert!(p.active());
+    }
+
+    #[test]
+    fn proxy_stall_windows_cover_only_their_interval() {
+        let p = FaultPlan::default().with_proxy_stall(ProxyStall {
+            node: 1,
+            start_ns: 1_000,
+            end_ns: 2_000,
+            extra_ns: 500_000,
+        });
+        assert_eq!(p.proxy_stall_extra_ns(1, 999), 0);
+        assert_eq!(p.proxy_stall_extra_ns(1, 1_000), 500_000);
+        assert_eq!(p.proxy_stall_extra_ns(1, 1_999), 500_000);
+        assert_eq!(p.proxy_stall_extra_ns(1, 2_000), 0);
+        assert_eq!(p.proxy_stall_extra_ns(0, 1_500), 0, "wrong node");
+    }
+
+    #[test]
+    fn env_grammar_round_trips() {
+        let p = FaultPlan::parse(
+            "seed=42 cqe=100 cqe-detect=7000 retries=6 backoff=1500 \
+             backoff-cap=48000 timeout=2000000 gdr-off=2 late=50 late-extra=9000 \
+             link=hca:1:1000000:2000000:0 link=pcie:*:0:500000:250 \
+             stall=0:0:5000000:200000",
+        );
+        assert_eq!(p.seed, 42);
+        assert_eq!(p.cqe_permille, 100);
+        assert_eq!(p.cqe_detect_ns, 7_000);
+        assert_eq!(p.max_retries, 6);
+        assert_eq!(p.backoff_base_ns, 1_500);
+        assert_eq!(p.backoff_cap_ns, 48_000);
+        assert_eq!(p.op_timeout_ns, 2_000_000);
+        assert!(p.gdr_disabled(1) && !p.gdr_disabled(0));
+        assert_eq!(p.late_permille, 50);
+        assert_eq!(p.late_extra_ns, 9_000);
+        assert_eq!(p.link_windows().len(), 2);
+        assert_eq!(p.link_windows()[0].scope, LinkScope::HcaTx);
+        assert_eq!(p.link_windows()[0].index, 1);
+        assert_eq!(p.link_windows()[0].bw_permille, 0);
+        assert_eq!(p.link_windows()[1].scope, LinkScope::GpuPcie);
+        assert_eq!(p.link_windows()[1].index, ALL);
+        assert_eq!(p.link_windows()[1].bw_permille, 250);
+        assert_eq!(p.proxy_stalls().len(), 1);
+        assert!(p.active());
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown fault plan key")]
+    fn unknown_keys_are_rejected_loudly() {
+        FaultPlan::parse("sede=42");
+    }
+
+    #[test]
+    fn mix_avalanche_smoke() {
+        // neighbouring counters must not correlate
+        let xs: Vec<u64> = (0..32).map(|i| mix(1, 2, i)).collect();
+        for w in xs.windows(2) {
+            assert_ne!(w[0], w[1]);
+            assert!((w[0] ^ w[1]).count_ones() > 8, "weak diffusion");
+        }
+    }
+}

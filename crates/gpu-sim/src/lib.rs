@@ -122,6 +122,30 @@ impl GpuRuntime {
     pub(crate) fn ipc(&self) -> &IpcRegistry {
         &self.ipc
     }
+
+    /// Install the plan's `GpuPcie`-scoped fault windows on the indexed
+    /// GPU's PCIe attachment: all five engine links (h2d, d2h, d2d and
+    /// both raw P2P ports) see the same degradation/blackout interval,
+    /// which also throttles GDR gather/scatter through those ports.
+    pub fn install_fault_windows(&self, plan: &faults::FaultPlan) {
+        for w in plan.link_windows() {
+            if w.scope != faults::LinkScope::GpuPcie {
+                continue;
+            }
+            let window = sim_core::LinkFaultWindow {
+                start: sim_core::SimTime(w.start_ns.saturating_mul(sim_core::PS_PER_NS)),
+                end: sim_core::SimTime(w.end_ns.saturating_mul(sim_core::PS_PER_NS)),
+                bw_multiplier: f64::from(w.bw_permille) / 1000.0,
+            };
+            for (i, gpu) in self.gpus.iter().enumerate() {
+                if w.index == faults::ALL || w.index as usize == i {
+                    for link in [&gpu.h2d, &gpu.d2h, &gpu.d2d, &gpu.p2p_in, &gpu.p2p_out] {
+                        link.lock().add_fault_window(window);
+                    }
+                }
+            }
+        }
+    }
 }
 
 impl std::fmt::Debug for GpuRuntime {
@@ -237,6 +261,40 @@ mod tests {
             // Two same-direction copies on one engine serialize.
             assert!(took >= one * 2, "took {took}, one copy {one}");
         });
+    }
+
+    #[test]
+    fn pcie_fault_window_degrades_h2d_copies() {
+        let timed = |faulted: bool| {
+            let (sim, rt) = setup(1, 1);
+            if faulted {
+                // halve GPU0's PCIe bandwidth for the first 10 ms
+                rt.install_fault_windows(&faults::FaultPlan::default().with_link_window(
+                    faults::LinkWindow {
+                        scope: faults::LinkScope::GpuPcie,
+                        index: 0,
+                        start_ns: 0,
+                        end_ns: 10_000_000,
+                        bw_permille: 500,
+                    },
+                ));
+            }
+            let rt2 = rt.clone();
+            let out = sim.run(1, move |ctx| {
+                let d = rt2.gpu(GpuId(0)).malloc(1 << 20).unwrap();
+                let h = MemRef::new(MemSpace::Host(ProcId(0)), 0);
+                let t0 = ctx.now();
+                rt2.memcpy_sync(&ctx, h, d, 1 << 20);
+                (ctx.now() - t0).as_us_f64()
+            });
+            out[0]
+        };
+        let clean = timed(false);
+        let slow = timed(true);
+        assert!(
+            slow > clean * 1.8 && slow < clean * 2.2,
+            "half-rate window not visible: clean {clean}us vs faulted {slow}us"
+        );
     }
 
     #[test]

@@ -58,6 +58,11 @@ impl Hca {
         self.tx.lock().set_observer(f);
     }
 
+    /// Add a fault window (degradation or blackout) to the TX link.
+    pub fn add_tx_fault_window(&self, w: sim_core::LinkFaultWindow) {
+        self.tx.lock().add_fault_window(w);
+    }
+
     pub fn note_write(&self) {
         self.stats.lock().writes_posted += 1;
     }

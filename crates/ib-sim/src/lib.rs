@@ -17,10 +17,45 @@ pub use sendrecv::{QpTable, SendRecvError};
 pub use verbs::{AtomicOp, AtomicResult, RdmaCompletion};
 
 use gpu_sim::GpuRuntime;
+use parking_lot::Mutex;
 use pcie_sim::mem::MemRef;
 use pcie_sim::{Cluster, HcaId, ProcId};
-use sim_core::{Sim, TaskCtx};
+use sim_core::{Sim, SimDuration, SimTime, TaskCtx};
 use std::sync::Arc;
+
+/// A transient completion-queue error drawn from the active fault plan.
+/// The HCA "detects" the failure `detect` after the post attempt; the
+/// WQE never executes, so the poster must re-post (or give up).
+#[derive(Clone, Copy, Debug)]
+pub struct CqeFault {
+    /// CQE status mnemonic (`cqe-flush-err` / `cqe-retry-exceeded`).
+    pub kind: &'static str,
+    /// Virtual time between the post and the error CQE.
+    pub detect: SimDuration,
+}
+
+/// Deterministic fault-draw state: program-ordered counters per poster
+/// so identical seeds replay identical fault sequences regardless of
+/// wall-clock scheduling.
+#[derive(Default)]
+struct FaultState {
+    plan: Option<faults::FaultPlan>,
+    /// Per-poster post-attempt counters (CQE error stream).
+    posts: Vec<u64>,
+    /// Per-poster completion counters (late-delivery stream).
+    completions: Vec<u64>,
+}
+
+impl FaultState {
+    fn bump(v: &mut Vec<u64>, idx: usize) -> u64 {
+        if v.len() <= idx {
+            v.resize(idx + 1, 0);
+        }
+        let c = v[idx];
+        v[idx] = c + 1;
+        c
+    }
+}
 
 /// The fabric: every HCA in the cluster plus the MR and QP tables.
 pub struct IbVerbs {
@@ -31,6 +66,7 @@ pub struct IbVerbs {
     mrs: MrTable,
     qps: QpTable,
     obs: obs::Sink,
+    faults: Mutex<FaultState>,
 }
 
 /// Obs link-track index base for HCA TX links (above every possible
@@ -64,7 +100,75 @@ impl IbVerbs {
             mrs: MrTable::new(),
             qps: QpTable::new(),
             obs,
+            faults: Mutex::new(FaultState::default()),
         })
+    }
+
+    /// Arm the fabric with a fault plan: transient CQE errors and late
+    /// completions are drawn deterministically per poster, and the
+    /// plan's HCA-TX link windows (degradation/blackout) are installed
+    /// on the matching TX links.
+    pub fn set_fault_plan(&self, plan: faults::FaultPlan) {
+        for w in plan.link_windows() {
+            if w.scope != faults::LinkScope::HcaTx {
+                continue;
+            }
+            let window = sim_core::LinkFaultWindow {
+                start: SimTime(w.start_ns.saturating_mul(sim_core::PS_PER_NS)),
+                end: SimTime(w.end_ns.saturating_mul(sim_core::PS_PER_NS)),
+                bw_multiplier: f64::from(w.bw_permille) / 1000.0,
+            };
+            for (i, h) in self.hcas.iter().enumerate() {
+                if w.index == faults::ALL || w.index as usize == i {
+                    h.add_tx_fault_window(window);
+                }
+            }
+        }
+        self.faults.lock().plan = Some(plan);
+    }
+
+    /// The active fault plan, if any.
+    pub fn fault_plan(&self) -> Option<faults::FaultPlan> {
+        self.faults.lock().plan
+    }
+
+    /// Draw the next post-attempt outcome for `poster`. `Some` means the
+    /// WQE failed with a transient CQE error after `detect` of virtual
+    /// time; the caller charges the detection latency and may re-post.
+    /// Every call advances the poster's deterministic draw counter.
+    pub fn inject_transient_cqe(&self, poster: ProcId) -> Option<CqeFault> {
+        let mut st = self.faults.lock();
+        let plan = st.plan?;
+        if plan.cqe_permille == 0 {
+            return None;
+        }
+        let n = FaultState::bump(&mut st.posts, poster.0 as usize);
+        if plan.cqe_fails(u64::from(poster.0), n) {
+            Some(CqeFault {
+                kind: plan.cqe_kind(u64::from(poster.0), n),
+                detect: SimDuration::from_ns(plan.cqe_detect_ns),
+            })
+        } else {
+            None
+        }
+    }
+
+    /// Extra CQ-delivery delay for `poster`'s next completion (the
+    /// "late completion" fault); `SimDuration::ZERO` when unfaulted.
+    pub(crate) fn late_extra(&self, poster: ProcId) -> SimDuration {
+        let mut st = self.faults.lock();
+        let Some(plan) = st.plan else {
+            return SimDuration::ZERO;
+        };
+        if plan.late_permille == 0 {
+            return SimDuration::ZERO;
+        }
+        let n = FaultState::bump(&mut st.completions, poster.0 as usize);
+        if plan.completion_late(u64::from(poster.0), n) {
+            SimDuration::from_ns(plan.late_extra_ns)
+        } else {
+            SimDuration::ZERO
+        }
     }
 
     /// Late-bound observability sink; a machine attaches its recorder
@@ -349,8 +453,9 @@ mod tests {
             let r = ib2
                 .post_atomic(&ctx, me, mr.rkey, peer, AtomicOp::FetchAdd(5))
                 .unwrap();
+            assert_eq!(r.value(), None, "polling before completion must not panic");
             ctx.wait(&r.done);
-            assert_eq!(r.value(), 100);
+            assert_eq!(r.value(), Some(100));
             let arena = ib2.cluster().mem().get(peer.space).unwrap();
             assert_eq!(arena.read_u64(0).unwrap(), 105);
 
@@ -368,7 +473,7 @@ mod tests {
                 )
                 .unwrap();
             ctx.wait(&r.done);
-            assert_eq!(r.value(), 105);
+            assert_eq!(r.value(), Some(105));
             assert_eq!(arena.read_u64(0).unwrap(), 7);
 
             // failing compare-and-swap leaves memory untouched
@@ -385,7 +490,7 @@ mod tests {
                 )
                 .unwrap();
             ctx.wait(&r.done);
-            assert_eq!(r.value(), 7);
+            assert_eq!(r.value(), Some(7));
             assert_eq!(arena.read_u64(0).unwrap(), 7);
         });
     }
@@ -494,5 +599,110 @@ mod tests {
             // If the tiny write is visible, the big one must be too.
             assert!(c1.remote.is_done(1), "FIFO ordering violated");
         });
+    }
+
+    #[test]
+    fn cqe_injection_draws_are_deterministic_per_poster() {
+        let plan = faults::FaultPlan::default().with_cqe_errors(250);
+        let draws = |_: ()| {
+            let (_sim, ib) = fabric(2, 1);
+            ib.set_fault_plan(plan);
+            (0..64)
+                .map(|_| ib.inject_transient_cqe(ProcId(0)).map(|f| f.kind))
+                .collect::<Vec<_>>()
+        };
+        let a = draws(());
+        let b = draws(());
+        assert_eq!(a, b, "same plan must replay the same fault sequence");
+        let hits = a.iter().flatten().count();
+        assert!(
+            (4..28).contains(&hits),
+            "25% permille rate wildly off: {hits}/64"
+        );
+        // distinct posters see independent streams
+        let (_sim, ib) = fabric(2, 1);
+        ib.set_fault_plan(plan);
+        let c = (0..64)
+            .map(|_| ib.inject_transient_cqe(ProcId(1)).map(|f| f.kind))
+            .collect::<Vec<_>>();
+        assert_ne!(a, c, "poster streams should decorrelate");
+    }
+
+    #[test]
+    fn no_plan_or_zero_rate_injects_nothing() {
+        let (_sim, ib) = fabric(2, 1);
+        assert!(ib.inject_transient_cqe(ProcId(0)).is_none());
+        ib.set_fault_plan(faults::FaultPlan::default());
+        for _ in 0..32 {
+            assert!(ib.inject_transient_cqe(ProcId(0)).is_none());
+        }
+    }
+
+    #[test]
+    fn hca_tx_blackout_window_defers_transfers() {
+        let timed = |faulted: bool| {
+            let (sim, ib) = fabric(2, 1);
+            if faulted {
+                // blackout the posting HCA's TX from 0 to 1 ms
+                ib.set_fault_plan(faults::FaultPlan::default().with_link_window(
+                    faults::LinkWindow {
+                        scope: faults::LinkScope::HcaTx,
+                        index: faults::ALL,
+                        start_ns: 0,
+                        end_ns: 1_000_000,
+                        bw_permille: 0,
+                    },
+                ));
+            }
+            let src = MemRef::new(MemSpace::Host(ProcId(0)), 0);
+            let dst = MemRef::new(MemSpace::Host(ProcId(1)), 0);
+            ib.reg_mr_nocost(ProcId(0), src, 4096);
+            let mr = ib.reg_mr_nocost(ProcId(1), dst, 4096);
+            let ib2 = ib.clone();
+            let out = sim.run(1, move |ctx| {
+                let c = ib2
+                    .post_rdma_write(&ctx, ProcId(0), src, mr.rkey, dst, 64)
+                    .unwrap();
+                ctx.wait(&c.remote);
+                ctx.now().as_us_f64()
+            });
+            out[0]
+        };
+        let clean = timed(false);
+        let dark = timed(true);
+        assert!(
+            dark >= 1000.0 && dark > clean + 900.0,
+            "blackout not visible: clean {clean}us vs faulted {dark}us"
+        );
+    }
+
+    #[test]
+    fn late_completion_fault_delays_the_cqe() {
+        let plan = faults::FaultPlan::default().with_late_completions(1000, 50_000);
+        let timed = |faulted: bool| {
+            let (sim, ib) = fabric(2, 1);
+            if faulted {
+                ib.set_fault_plan(plan);
+            }
+            let src = MemRef::new(MemSpace::Host(ProcId(0)), 0);
+            let dst = MemRef::new(MemSpace::Host(ProcId(1)), 0);
+            ib.reg_mr_nocost(ProcId(0), src, 4096);
+            let mr = ib.reg_mr_nocost(ProcId(1), dst, 4096);
+            let ib2 = ib.clone();
+            let out = sim.run(1, move |ctx| {
+                let c = ib2
+                    .post_rdma_write(&ctx, ProcId(0), src, mr.rkey, dst, 64)
+                    .unwrap();
+                ctx.wait(&c.local);
+                ctx.now().as_us_f64()
+            });
+            out[0]
+        };
+        let clean = timed(false);
+        let late = timed(true);
+        assert!(
+            (late - clean - 50.0).abs() < 1.0,
+            "late CQE delta wrong: clean {clean}us vs late {late}us"
+        );
     }
 }

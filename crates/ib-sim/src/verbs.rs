@@ -62,11 +62,11 @@ impl AtomicResult {
         }
     }
 
-    /// The old value; panics if the atomic has not completed.
-    pub fn value(&self) -> u64 {
-        self.slot
-            .lock()
-            .expect("atomic result read before completion")
+    /// The fetched old value, or `None` if the atomic has not completed
+    /// yet (poll `done`, or wait on it, before reading). Fault-delayed
+    /// atomics make early polls routine, so this must not panic.
+    pub fn value(&self) -> Option<u64> {
+        *self.slot.lock()
     }
 
     fn set(&self, v: u64) {
@@ -253,7 +253,8 @@ impl IbVerbs {
             }
             None => at_exec_hca + scatter_lat,
         } + extra_remote;
-        let cq = grant.depart + hw.ib.cq_delivery;
+        // A late-completion fault delays only the CQE, never the data.
+        let cq = grant.depart + hw.ib.cq_delivery + self.late_extra(poster);
         s.schedule_at(
             grant.depart,
             Box::new(move |s| {
@@ -340,6 +341,7 @@ impl IbVerbs {
         };
         let me = self.clone();
         let done = done.clone();
+        let late = self.late_extra(poster);
         s.schedule_at(
             grant.depart,
             Box::new(move |s| {
@@ -351,7 +353,7 @@ impl IbVerbs {
                 let me2 = me.clone();
                 let done2 = done.clone();
                 s.schedule_at(
-                    landed_at + me2.cluster().hw().ib.cq_delivery,
+                    landed_at + me2.cluster().hw().ib.cq_delivery + late,
                     Box::new(move |s| {
                         me2.cluster()
                             .mem()
@@ -394,7 +396,7 @@ impl IbVerbs {
             + if path.loopback { SimDuration::ZERO } else { hw.ib.remote_hca }
             + hw.ib.atomic_unit
             + mem_lat;
-        let t_done = t_exec + path.mid + hw.ib.cq_delivery;
+        let t_done = t_exec + path.mid + hw.ib.cq_delivery + self.late_extra(poster);
         let me = self.clone();
         let result = result.clone();
         s.schedule_at(

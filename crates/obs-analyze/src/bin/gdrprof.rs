@@ -63,6 +63,21 @@ fn report_from_json(v: &obs::json::Value) -> Option<Report> {
             },
         );
     }
+    // faults is absent from pre-fault report files; treat that as empty
+    if let Some(faults) = v.get("faults").and_then(|f| f.as_obj()) {
+        for (k, f) in faults {
+            rep.faults.insert(
+                k.clone(),
+                obs_analyze::FaultStat {
+                    injected: f.get("injected")?.as_f64()? as u64,
+                    retried: f.get("retried")?.as_f64()? as u64,
+                    faulted_ops: f.get("faulted_ops")?.as_f64()? as u64,
+                    recovered: f.get("recovered")?.as_f64()? as u64,
+                    fallbacks: f.get("fallbacks")?.as_f64()? as u64,
+                },
+            );
+        }
+    }
     Some(rep)
 }
 

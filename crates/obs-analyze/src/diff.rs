@@ -21,15 +21,31 @@ pub struct DiffRow {
     pub regressed: bool,
 }
 
+/// Recovery-rate comparison for one protocol's fault machinery.
+#[derive(Clone, Debug)]
+pub struct RecoveryRow {
+    pub protocol: String,
+    /// Baseline recovery rate (0..=1).
+    pub a_rate: f64,
+    /// Candidate recovery rate (0..=1).
+    pub b_rate: f64,
+    pub regressed: bool,
+}
+
 #[derive(Clone, Debug, Default)]
 pub struct DiffReport {
     pub threshold_pct: f64,
     pub rows: Vec<DiffRow>,
+    /// Present when either side recorded fault machinery: the candidate
+    /// must not recover a smaller fraction of faulted ops than the
+    /// baseline (beyond the threshold, in percentage points).
+    pub recovery: Vec<RecoveryRow>,
 }
 
 impl DiffReport {
     pub fn regressions(&self) -> usize {
         self.rows.iter().filter(|r| r.regressed).count()
+            + self.recovery.iter().filter(|r| r.regressed).count()
     }
 
     pub fn text(&self) -> String {
@@ -56,6 +72,19 @@ impl DiffReport {
                 fmt_side(r.a_mean_us),
                 fmt_side(r.b_mean_us),
             );
+        }
+        if !self.recovery.is_empty() {
+            let _ = writeln!(s, "recovery-rate:");
+            for r in &self.recovery {
+                let mark = if r.regressed { "  REGRESSED" } else { "" };
+                let _ = writeln!(
+                    s,
+                    "  {:<28} a {:>6.1}%      b {:>6.1}%{mark}",
+                    r.protocol,
+                    r.a_rate * 100.0,
+                    r.b_rate * 100.0,
+                );
+            }
         }
         let _ = writeln!(s, "regressions: {}", self.regressions());
         s
@@ -91,8 +120,36 @@ pub fn diff(a: &Report, b: &Report, threshold_pct: f64) -> DiffReport {
             }
         })
         .collect();
+    let mut fkeys: Vec<&String> = a.faults.keys().collect();
+    for k in b.faults.keys() {
+        if !a.faults.contains_key(k) {
+            fkeys.push(k);
+        }
+    }
+    fkeys.sort();
+    let recovery = fkeys
+        .into_iter()
+        .filter(|k| {
+            a.faults.get(*k).is_some_and(|f| f.faulted_ops > 0)
+                || b.faults.get(*k).is_some_and(|f| f.faulted_ops > 0)
+        })
+        .map(|k| {
+            let ar = a.faults.get(k).map_or(1.0, |f| f.recovery_rate());
+            let br = b.faults.get(k).map_or(1.0, |f| f.recovery_rate());
+            // regressed when the candidate recovers a smaller fraction of
+            // faulted ops, by more than the threshold in percentage points
+            let regressed = (ar - br) * 100.0 > threshold_pct;
+            RecoveryRow {
+                protocol: k.clone(),
+                a_rate: ar,
+                b_rate: br,
+                regressed,
+            }
+        })
+        .collect();
     DiffReport {
         threshold_pct,
         rows,
+        recovery,
     }
 }

@@ -17,8 +17,8 @@ pub mod diff;
 pub mod report;
 pub mod trace;
 
-pub use diff::{diff, DiffReport, DiffRow};
-pub use report::{analyze, LinkStat, OpPath, ProtoStat, Report, RMA_OPS};
+pub use diff::{diff, DiffReport, DiffRow, RecoveryRow};
+pub use report::{analyze, FaultStat, LinkStat, OpPath, ProtoStat, Report, RMA_OPS};
 pub use trace::Trace;
 
 /// Parse + analyze in one step.
@@ -210,6 +210,117 @@ mod tests {
         assert!(Trace::parse("[]").is_err());
         // event without mandatory fields
         assert!(Trace::parse(r#"{"traceEvents":[{"ts":1}]}"#).is_err());
+    }
+
+    /// The synthetic trace plus fault machinery: op 101 draws one
+    /// transient fault and one retry before completing; an op that
+    /// never completes (no span) draws a fault; one fallback re-routes
+    /// a put away from direct-gdr.
+    fn synthetic_faulted_trace() -> String {
+        let r = Recorder::new(ObsLevel::Spans);
+        let pe0 = r.track(TrackKind::Pe, 0);
+        r.instant(pe0, "op-flow", t(1), Payload::FlowStart { id: 101 });
+        r.instant(
+            pe0,
+            "fault",
+            t(1),
+            Payload::Fault {
+                kind: "cqe-flush",
+                protocol: "direct-gdr",
+                op_id: 101,
+            },
+        );
+        r.instant(
+            pe0,
+            "retry",
+            t(2),
+            Payload::Retry {
+                protocol: "direct-gdr",
+                attempt: 1,
+                backoff_ns: 2_000,
+                op_id: 101,
+            },
+        );
+        r.span(
+            pe0,
+            "put",
+            t(2),
+            t(5),
+            Payload::Op {
+                op: "put",
+                protocol: "direct-gdr",
+                size: 64,
+                src_pe: 0,
+                dst_pe: 1,
+                src_dev: true,
+                dst_dev: true,
+                same_node: false,
+                op_id: 101,
+            },
+        );
+        // op 103 faults and never completes (no op span)
+        r.instant(
+            pe0,
+            "fault",
+            t(6),
+            Payload::Fault {
+                kind: "retry-exceeded",
+                protocol: "direct-gdr",
+                op_id: 103,
+            },
+        );
+        r.instant(
+            pe0,
+            "fallback",
+            t(7),
+            Payload::Fallback {
+                op: "put",
+                from: "direct-gdr",
+                to: "proxy-pipeline",
+                op_id: 104,
+            },
+        );
+        r.chrome_trace()
+    }
+
+    #[test]
+    fn fault_events_aggregate_into_recovery_stats() {
+        let rep = analyze_str(&synthetic_faulted_trace()).unwrap();
+        let f = &rep.faults["direct-gdr"];
+        assert_eq!(f.injected, 2);
+        assert_eq!(f.retried, 1);
+        assert_eq!(f.faulted_ops, 2);
+        assert_eq!(f.recovered, 1, "only op 101 completed");
+        assert_eq!(f.fallbacks, 1);
+        assert!((f.recovery_rate() - 0.5).abs() < 1e-9);
+        let txt = rep.text();
+        assert!(txt.contains("fault injection:"), "{txt}");
+        // a clean trace keeps its text free of the fault section
+        let clean = analyze_str(&synthetic_trace()).unwrap();
+        assert!(!clean.text().contains("fault injection:"));
+    }
+
+    #[test]
+    fn diff_gates_on_recovery_rate_regressions() {
+        let mut a = analyze_str(&synthetic_faulted_trace()).unwrap();
+        let mut b = a.clone();
+        // candidate recovers none of its faulted ops
+        b.faults.get_mut("direct-gdr").unwrap().recovered = 0;
+        let d = diff(&a, &b, 10.0);
+        assert_eq!(d.regressions(), 1);
+        let row = &d.recovery[0];
+        assert!(row.regressed && row.b_rate < row.a_rate);
+        assert!(d.text().contains("recovery-rate:"), "{}", d.text());
+        // equal rates: no regression
+        let d2 = diff(&a, &a.clone(), 10.0);
+        assert_eq!(d2.regressions(), 0);
+        // a fault-free pair produces no recovery section at all
+        a.faults.clear();
+        let mut c = analyze_str(&synthetic_trace()).unwrap();
+        c.faults.clear();
+        let d3 = diff(&c, &c.clone(), 10.0);
+        assert!(d3.recovery.is_empty());
+        assert!(!d3.text().contains("recovery-rate:"));
     }
 
     #[test]

@@ -68,6 +68,34 @@ pub struct LinkStat {
     pub contended_us: f64,
 }
 
+/// Fault-injection / recovery summary for one protocol (from the
+/// `fault`/`retry`/`fallback` instants a faulted run records).
+#[derive(Clone, Debug, Default)]
+pub struct FaultStat {
+    /// Transient faults injected (events).
+    pub injected: u64,
+    /// Retry decisions taken (events).
+    pub retried: u64,
+    /// Distinct ops that saw at least one injected fault.
+    pub faulted_ops: u64,
+    /// Of those, ops that still completed (their op span exists).
+    pub recovered: u64,
+    /// Fallback re-routes away from this protocol.
+    pub fallbacks: u64,
+}
+
+impl FaultStat {
+    /// Fraction of faulted ops that still completed (1.0 when nothing
+    /// was faulted).
+    pub fn recovery_rate(&self) -> f64 {
+        if self.faulted_ops == 0 {
+            1.0
+        } else {
+            self.recovered as f64 / self.faulted_ops as f64
+        }
+    }
+}
+
 /// Everything `gdrprof` reports about one trace.
 #[derive(Clone, Debug, Default)]
 pub struct Report {
@@ -79,6 +107,8 @@ pub struct Report {
     pub protocols: BTreeMap<String, ProtoStat>,
     /// `op/chosen-protocol` -> decision count.
     pub decisions: BTreeMap<String, u64>,
+    /// protocol -> fault-injection/recovery stats (empty on clean runs).
+    pub faults: BTreeMap<String, FaultStat>,
     /// link track name -> utilization stats.
     pub links: BTreeMap<String, LinkStat>,
     /// Per-op detail, sorted by op id.
@@ -211,6 +241,33 @@ pub fn analyze(tr: &Trace) -> Report {
             .or_insert(0) += 1;
     }
 
+    // fault machinery: per-protocol injected/retried counts, plus the
+    // recovery rate — of the distinct ops that saw a fault, how many
+    // still completed (their op span made it into the trace)
+    let completed: BTreeSet<u64> = tr.ops.iter().map(|o| o.op_id).filter(|&id| id != 0).collect();
+    let mut faulted_by_proto: BTreeMap<String, BTreeSet<u64>> = BTreeMap::new();
+    for f in &tr.faults {
+        let st = rep.faults.entry(f.protocol.clone()).or_default();
+        st.injected += 1;
+        if f.op_id != 0 {
+            faulted_by_proto
+                .entry(f.protocol.clone())
+                .or_default()
+                .insert(f.op_id);
+        }
+    }
+    for r in &tr.retries {
+        rep.faults.entry(r.protocol.clone()).or_default().retried += 1;
+    }
+    for fb in &tr.fallbacks {
+        rep.faults.entry(fb.from.clone()).or_default().fallbacks += 1;
+    }
+    for (proto, ops) in faulted_by_proto {
+        let st = rep.faults.entry(proto).or_default();
+        st.faulted_ops = ops.len() as u64;
+        st.recovered = ops.iter().filter(|id| completed.contains(id)).count() as u64;
+    }
+
     for (name, pts) in &tr.links {
         let mut ls = LinkStat {
             samples: pts.len() as u64,
@@ -267,6 +324,22 @@ impl Report {
         let _ = writeln!(s, "\nprotocol decisions:");
         for (k, n) in &self.decisions {
             let _ = writeln!(s, "  {k:<28} {n}");
+        }
+        if !self.faults.is_empty() {
+            let _ = writeln!(s, "\nfault injection:");
+            for (k, f) in &self.faults {
+                let _ = writeln!(
+                    s,
+                    "  {k:<28} injected {:<5} retried {:<5} fallbacks {:<5} \
+                     recovered {}/{} ({:.1}%)",
+                    f.injected,
+                    f.retried,
+                    f.fallbacks,
+                    f.recovered,
+                    f.faulted_ops,
+                    f.recovery_rate() * 100.0
+                );
+            }
         }
         let _ = writeln!(s, "\nlink utilization:");
         for (k, ls) in &self.links {
@@ -332,6 +405,24 @@ impl Report {
                 d.u64_field(k, *n);
             }
             d.finish();
+        }
+        {
+            // always present (empty object on clean runs) so consumers
+            // can key on it without schema sniffing
+            let buf = o.raw_field("faults");
+            let mut fj = ObjWriter::new(buf);
+            for (k, f) in &self.faults {
+                let buf = fj.raw_field(k);
+                let mut e = ObjWriter::new(buf);
+                e.u64_field("injected", f.injected)
+                    .u64_field("retried", f.retried)
+                    .u64_field("faulted_ops", f.faulted_ops)
+                    .u64_field("recovered", f.recovered)
+                    .u64_field("fallbacks", f.fallbacks)
+                    .num_field("recovery_rate", f.recovery_rate());
+                e.finish();
+            }
+            fj.finish();
         }
         {
             let buf = o.raw_field("links");

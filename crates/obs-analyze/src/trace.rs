@@ -51,6 +51,36 @@ pub struct FlowEvent {
     pub ts_us: f64,
 }
 
+/// One injected transient fault (`ph:"i"`, name `fault`).
+#[derive(Clone, Debug)]
+pub struct FaultEvent {
+    pub kind: String,
+    pub protocol: String,
+    pub op_id: u64,
+    pub ts_us: f64,
+}
+
+/// One retry decision (`ph:"i"`, name `retry`).
+#[derive(Clone, Debug)]
+pub struct RetryEvent {
+    pub protocol: String,
+    pub attempt: u32,
+    pub backoff_ns: u64,
+    pub op_id: u64,
+    pub ts_us: f64,
+}
+
+/// One protocol fallback (`ph:"i"`, name `fallback`): the dispatcher
+/// re-routed `op` from its preferred protocol to a degraded one.
+#[derive(Clone, Debug)]
+pub struct FallbackEvent {
+    pub op: String,
+    pub from: String,
+    pub to: String,
+    pub op_id: u64,
+    pub ts_us: f64,
+}
+
 /// One per-link counter sample (`ph:"C"`, name `link`): cumulative
 /// totals as of the sampled reservation, plus the instantaneous queue.
 #[derive(Clone, Copy, Debug)]
@@ -71,6 +101,9 @@ pub struct Trace {
     pub decisions: Vec<DecisionRec>,
     pub flow_starts: Vec<FlowEvent>,
     pub flow_ends: Vec<FlowEvent>,
+    pub faults: Vec<FaultEvent>,
+    pub retries: Vec<RetryEvent>,
+    pub fallbacks: Vec<FallbackEvent>,
     /// link track name -> samples in timestamp order.
     pub links: BTreeMap<String, Vec<LinkPoint>>,
     /// Latest event end seen (us) — the trace's time span.
@@ -157,6 +190,35 @@ impl Trace {
                         op: text(args, "op").unwrap_or_default(),
                         chosen: text(args, "chosen").unwrap_or_default(),
                         size: num(args, "size").unwrap_or(0.0) as u64,
+                    });
+                }
+                "i" if e.get("name").and_then(Value::as_str) == Some("fault") => {
+                    let Some(args) = args else { continue };
+                    tr.faults.push(FaultEvent {
+                        kind: text(args, "kind").unwrap_or_default(),
+                        protocol: text(args, "protocol").unwrap_or_default(),
+                        op_id: num(args, "op_id").unwrap_or(0.0) as u64,
+                        ts_us: ts,
+                    });
+                }
+                "i" if e.get("name").and_then(Value::as_str) == Some("retry") => {
+                    let Some(args) = args else { continue };
+                    tr.retries.push(RetryEvent {
+                        protocol: text(args, "protocol").unwrap_or_default(),
+                        attempt: num(args, "attempt").unwrap_or(0.0) as u32,
+                        backoff_ns: num(args, "backoff_ns").unwrap_or(0.0) as u64,
+                        op_id: num(args, "op_id").unwrap_or(0.0) as u64,
+                        ts_us: ts,
+                    });
+                }
+                "i" if e.get("name").and_then(Value::as_str) == Some("fallback") => {
+                    let Some(args) = args else { continue };
+                    tr.fallbacks.push(FallbackEvent {
+                        op: text(args, "op").unwrap_or_default(),
+                        from: text(args, "from").unwrap_or_default(),
+                        to: text(args, "to").unwrap_or_default(),
+                        op_id: num(args, "op_id").unwrap_or(0.0) as u64,
+                        ts_us: ts,
                     });
                 }
                 "s" | "f" => {

@@ -122,6 +122,34 @@ fn write_args(out: &mut String, p: &Payload) {
                 .u64_field("queue", *queue as u64);
             o.finish();
         }
+        Payload::Fault { kind, protocol, op_id } => {
+            let mut o = ObjWriter::new(out);
+            o.str_field("kind", kind)
+                .str_field("protocol", protocol)
+                .u64_field("op_id", *op_id);
+            o.finish();
+        }
+        Payload::Retry {
+            protocol,
+            attempt,
+            backoff_ns,
+            op_id,
+        } => {
+            let mut o = ObjWriter::new(out);
+            o.str_field("protocol", protocol)
+                .u64_field("attempt", *attempt as u64)
+                .u64_field("backoff_ns", *backoff_ns)
+                .u64_field("op_id", *op_id);
+            o.finish();
+        }
+        Payload::Fallback { op, from, to, op_id } => {
+            let mut o = ObjWriter::new(out);
+            o.str_field("op", op)
+                .str_field("from", from)
+                .str_field("to", to)
+                .u64_field("op_id", *op_id);
+            o.finish();
+        }
     }
 }
 
@@ -324,6 +352,56 @@ mod tests {
         // the link track is named by its registration name
         assert!(evs.iter().any(|e| e.get("ph").unwrap().as_str() == Some("M")
             && e.get("args").unwrap().get("name").unwrap().as_str() == Some("pcie/gpu0/d2h")));
+    }
+
+    #[test]
+    fn fault_retry_fallback_export_as_named_instants() {
+        let r = Recorder::new(ObsLevel::Spans);
+        let pe = r.track(TrackKind::Pe, 0);
+        let t0 = SimTime::ZERO + SimDuration::from_us(1);
+        r.instant(
+            pe,
+            "fault",
+            t0,
+            Payload::Fault { kind: "cqe-flush-err", protocol: "direct-gdr", op_id: 5 },
+        );
+        r.instant(
+            pe,
+            "retry",
+            t0 + SimDuration::from_us(1),
+            Payload::Retry { protocol: "direct-gdr", attempt: 1, backoff_ns: 4000, op_id: 5 },
+        );
+        r.instant(
+            pe,
+            "fallback",
+            t0 + SimDuration::from_us(2),
+            Payload::Fallback {
+                op: "put",
+                from: "direct-gdr",
+                to: "host-pipeline-staged",
+                op_id: 5,
+            },
+        );
+
+        let doc = json::parse(&r.chrome_trace()).expect("valid JSON");
+        let evs = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        let by_name = |n: &str| {
+            evs.iter()
+                .find(|e| e.get("name").unwrap().as_str() == Some(n))
+                .unwrap_or_else(|| panic!("missing {n} instant"))
+        };
+        let f = by_name("fault");
+        assert_eq!(f.get("ph").unwrap().as_str(), Some("i"));
+        assert_eq!(f.get("args").unwrap().get("kind").unwrap().as_str(), Some("cqe-flush-err"));
+        let rt = by_name("retry");
+        assert_eq!(rt.get("args").unwrap().get("attempt").unwrap().as_f64(), Some(1.0));
+        assert_eq!(rt.get("args").unwrap().get("backoff_ns").unwrap().as_f64(), Some(4000.0));
+        let fb = by_name("fallback");
+        assert_eq!(fb.get("args").unwrap().get("from").unwrap().as_str(), Some("direct-gdr"));
+        assert_eq!(
+            fb.get("args").unwrap().get("to").unwrap().as_str(),
+            Some("host-pipeline-staged")
+        );
     }
 
     #[test]

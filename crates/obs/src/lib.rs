@@ -268,6 +268,31 @@ pub enum Payload {
     /// [`TrackKind::Link`] track): cumulative bytes and busy time plus
     /// the instantaneous queue depth at the reservation's start.
     LinkSample { total: u64, busy_ps: u64, queue: u32 },
+    /// An injected fault detected on an op's service path (instant on
+    /// the servicing track): `kind` names the anomaly
+    /// (`"cqe-flush-err"`, `"cqe-retry-exceeded"`, `"op-timeout"`, ...).
+    Fault {
+        kind: &'static str,
+        protocol: &'static str,
+        op_id: u64,
+    },
+    /// One bounded-backoff retry after a transient fault (instant):
+    /// `attempt` is 1-based, `backoff_ns` the virtual-time delay paid
+    /// before this attempt.
+    Retry {
+        protocol: &'static str,
+        attempt: u32,
+        backoff_ns: u64,
+        op_id: u64,
+    },
+    /// A fallback protocol decision (instant): the op re-routed from
+    /// `from` to `to` because of a persistent or capability fault.
+    Fallback {
+        op: &'static str,
+        from: &'static str,
+        to: &'static str,
+        op_id: u64,
+    },
 }
 
 /// One recorded event. `dur == 0` renders as an instant.
@@ -314,6 +339,11 @@ pub struct Recorder {
     tables: Mutex<Tables>,
     hists: Mutex<BTreeMap<(&'static str, u8), Hist>>,
     agents: Mutex<BTreeMap<(TrackKind, u32), AgentCounters>>,
+    /// Exact fault-machinery counters keyed `(what, protocol)` where
+    /// `what` is `"injected"`, `"retried"`, `"recovered"`,
+    /// `"exhausted"` or `"fallback"`. Active from
+    /// [`ObsLevel::Counters`] up, never sampled.
+    faults: Mutex<BTreeMap<(&'static str, &'static str), u64>>,
 }
 
 impl Recorder {
@@ -331,6 +361,7 @@ impl Recorder {
             tables: Mutex::new(Tables::default()),
             hists: Mutex::new(BTreeMap::new()),
             agents: Mutex::new(BTreeMap::new()),
+            faults: Mutex::new(BTreeMap::new()),
         })
     }
 
@@ -518,6 +549,21 @@ impl Recorder {
         }
     }
 
+    /// Bump the exact fault counter `(what, protocol)`; active from
+    /// [`ObsLevel::Counters`] up. `what` is one of `"injected"`,
+    /// `"retried"`, `"recovered"`, `"exhausted"`, `"fallback"`.
+    pub fn fault_tally(&self, what: &'static str, protocol: &'static str) {
+        if !self.counters_on() {
+            return;
+        }
+        *self.faults.lock().entry((what, protocol)).or_insert(0) += 1;
+    }
+
+    /// Snapshot of the fault counters, keyed `(what, protocol)`.
+    pub fn fault_counters(&self) -> BTreeMap<(&'static str, &'static str), u64> {
+        self.faults.lock().clone()
+    }
+
     /// Snapshot the events of one track (test/inspection helper).
     pub fn events_of(&self, kind: TrackKind, index: u32) -> Vec<Event> {
         let t = self.tables.lock();
@@ -607,6 +653,13 @@ impl Recorder {
                     c.bytes,
                     c.busy
                 );
+            }
+        }
+        let faults = self.faults.lock();
+        if !faults.is_empty() {
+            let _ = writeln!(out, "-- fault machinery --");
+            for ((what, proto), n) in faults.iter() {
+                let _ = writeln!(out, "{what:<10} {proto:<20} {n}");
             }
         }
         let n = self.event_count();
@@ -773,6 +826,24 @@ mod tests {
             got[0].payload,
             Payload::LinkSample { total: 5000, busy_ps: 9_000_000, queue: 2 }
         );
+    }
+
+    #[test]
+    fn fault_counters_are_exact_and_level_gated() {
+        let off = Recorder::new(ObsLevel::Off);
+        off.fault_tally("injected", "direct-gdr");
+        assert!(off.fault_counters().is_empty());
+
+        let c = Recorder::new(ObsLevel::Counters);
+        c.fault_tally("injected", "direct-gdr");
+        c.fault_tally("injected", "direct-gdr");
+        c.fault_tally("recovered", "direct-gdr");
+        c.fault_tally("fallback", "pipeline-gdr-write");
+        let f = c.fault_counters();
+        assert_eq!(f[&("injected", "direct-gdr")], 2);
+        assert_eq!(f[&("recovered", "direct-gdr")], 1);
+        assert_eq!(f[&("fallback", "pipeline-gdr-write")], 1);
+        assert!(c.summary().contains("fault machinery"));
     }
 
     #[test]

@@ -1,0 +1,80 @@
+//! `chaos_trace` — CI driver for the fault-injection observability path.
+//!
+//! ```text
+//! chaos_trace OUT_TRACE.json [--degraded]
+//! ```
+//!
+//! Runs one span-traced inter-node workload under a fixed seeded fault
+//! plan — transient CQE errors on the host-RDMA posts plus a "GDR
+//! disabled on node 1" capability fault — and writes the Chrome trace
+//! to `OUT_TRACE.json`. The trace deterministically contains `fault`,
+//! `retry` and `fallback` instants, so CI can assert that `gdrprof`
+//! surfaces the fault section and the fallback decision.
+//!
+//! `--degraded` raises the CQE error rate to certainty with a retry
+//! budget of one, so every faulted op exhausts its retries: the
+//! resulting report's recovery rate collapses, which CI uses as the
+//! live regression the `gdrprof diff` recovery gate must catch.
+
+use faults::FaultPlan;
+use obs::ObsLevel;
+use pcie_sim::ClusterSpec;
+use shmem_gdr::{Design, Domain, RuntimeConfig, ShmemMachine};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut out = None;
+    let mut degraded = false;
+    for a in std::env::args().skip(1) {
+        match a.as_str() {
+            "--degraded" => degraded = true,
+            _ if out.is_none() => out = Some(a),
+            _ => {
+                eprintln!("usage: chaos_trace OUT_TRACE.json [--degraded]");
+                return ExitCode::from(1);
+            }
+        }
+    }
+    let Some(out) = out else {
+        eprintln!("usage: chaos_trace OUT_TRACE.json [--degraded]");
+        return ExitCode::from(1);
+    };
+
+    let mut plan = FaultPlan::default()
+        .with_seed(42)
+        .with_cqe_errors(if degraded { 1000 } else { 150 })
+        .with_late_completions(100, 10_000)
+        .with_gdr_disabled(1);
+    if degraded {
+        plan = plan.with_retry(1, 2_000, 64_000);
+    }
+    let cfg = RuntimeConfig::tuned(Design::EnhancedGdr)
+        .with_faults(plan)
+        .with_obs(ObsLevel::Spans);
+    let m = ShmemMachine::build(ClusterSpec::internode_pair(), cfg);
+    m.run(|pe| {
+        let hdest = pe.shmalloc(64 << 10, Domain::Host);
+        let ddest = pe.shmalloc(1 << 20, Domain::Gpu);
+        pe.barrier_all();
+        if pe.my_pe() == 0 {
+            let hsrc = pe.malloc_host(64 << 10);
+            let dsrc = pe.malloc_dev(1 << 20);
+            // enough host-RDMA posts to draw several transient faults
+            for i in 0..12u64 {
+                let _ = pe.try_putmem(hdest.add(512 * i), hsrc, 512, 1);
+            }
+            pe.quiet();
+            // device-destination put: GDR is disabled on node 1, so the
+            // dispatcher must record a fallback onto a GDR-free path
+            let _ = pe.try_putmem(ddest, dsrc, 256 << 10, 1);
+            pe.quiet();
+            let _ = pe.try_getmem(hsrc, hdest, 4096, 1);
+        }
+        pe.barrier_all();
+    });
+    if let Err(e) = std::fs::write(&out, m.obs().chrome_trace()) {
+        eprintln!("chaos_trace: cannot write {out}: {e}");
+        return ExitCode::from(2);
+    }
+    ExitCode::SUCCESS
+}

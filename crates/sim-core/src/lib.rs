@@ -35,5 +35,5 @@ pub mod link;
 pub mod time;
 
 pub use engine::{Action, Completion, EngineStats, Sched, Sim, TaskCtx, TaskId};
-pub use link::{Link, LinkEvent, LinkGrant, LinkObserver, LinkSpec};
-pub use time::{SimDuration, SimTime};
+pub use link::{Link, LinkEvent, LinkFaultWindow, LinkGrant, LinkObserver, LinkSpec};
+pub use time::{SimDuration, SimTime, PS_PER_MS, PS_PER_NS, PS_PER_S, PS_PER_US};

@@ -69,6 +69,22 @@ pub struct LinkEvent {
 /// Callback fired on every [`Link`] reservation.
 pub type LinkObserver = Box<dyn FnMut(&LinkEvent) + Send>;
 
+/// A degradation or blackout window on a link, for fault injection.
+///
+/// Transfers whose (queue-adjusted) start falls inside `[start, end)`
+/// run at `bandwidth × bw_multiplier`; a multiplier of `0.0` is a
+/// blackout — the transfer cannot start until the window ends. The
+/// multiplier applies to the whole transfer (a transfer straddling the
+/// window edge is not re-rated mid-flight — a deliberate model
+/// simplification that keeps grants single-segment).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LinkFaultWindow {
+    pub start: SimTime,
+    pub end: SimTime,
+    /// Bandwidth multiplier in `[0.0, 1.0]`; `0.0` = full outage.
+    pub bw_multiplier: f64,
+}
+
 /// A FIFO-serialized link. Wrap in the owning structure's lock; all
 /// reservations must happen under the engine lock (via `Sched`/`with_sched`)
 /// so queueing order matches virtual-time order.
@@ -83,6 +99,9 @@ pub struct Link {
     /// recent reservation's request time (the instantaneous queue).
     pending: VecDeque<SimTime>,
     observer: Option<LinkObserver>,
+    /// Fault-injection windows (empty in healthy operation — the hot
+    /// path only pays an `is_empty` check).
+    fault_windows: Vec<LinkFaultWindow>,
 }
 
 impl Link {
@@ -94,7 +113,21 @@ impl Link {
             busy: SimDuration::ZERO,
             pending: VecDeque::new(),
             observer: None,
+            fault_windows: Vec::new(),
         }
+    }
+
+    /// Install a degradation/blackout window (fault injection). Windows
+    /// are consulted in insertion order; overlapping degradation windows
+    /// compound multiplicatively.
+    pub fn add_fault_window(&mut self, w: LinkFaultWindow) {
+        assert!(
+            (0.0..=1.0).contains(&w.bw_multiplier),
+            "bw_multiplier must be in [0, 1], got {}",
+            w.bw_multiplier
+        );
+        assert!(w.end > w.start, "empty fault window");
+        self.fault_windows.push(w);
     }
 
     /// Install a per-reservation observer (at most one; the last call
@@ -121,8 +154,29 @@ impl Link {
             effective_bw.is_finite() && effective_bw > 0.0,
             "effective bandwidth must be positive and finite, got {effective_bw}"
         );
-        let bw = effective_bw.min(self.spec.bandwidth);
-        let start = now.max(self.next_free);
+        let mut bw = effective_bw.min(self.spec.bandwidth);
+        let mut start = now.max(self.next_free);
+        if !self.fault_windows.is_empty() {
+            // Blackouts first: push the start past every outage covering
+            // it (repeat — the new start may land in a later window).
+            let mut moved = true;
+            while moved {
+                moved = false;
+                for w in &self.fault_windows {
+                    if w.bw_multiplier == 0.0 && start >= w.start && start < w.end {
+                        start = w.end;
+                        moved = true;
+                    }
+                }
+            }
+            // Then degrade: every non-blackout window covering the start
+            // scales the whole transfer's bandwidth.
+            for w in &self.fault_windows {
+                if w.bw_multiplier > 0.0 && start >= w.start && start < w.end {
+                    bw *= w.bw_multiplier;
+                }
+            }
+        }
         let occupy = SimDuration::for_bytes(bytes, bw);
         let depart = start + occupy;
         let arrive = depart + self.spec.latency;
@@ -266,6 +320,71 @@ mod tests {
         let later = l.next_free() + SimDuration::from_us(10);
         l.reserve(later, 1000);
         assert_eq!(*depths.lock().unwrap(), vec![1, 2, 3, 1]);
+    }
+
+    #[test]
+    fn degradation_window_scales_bandwidth_for_covered_starts() {
+        let mut l = mk(0, 1.0); // 1 GB/s
+        l.add_fault_window(LinkFaultWindow {
+            start: SimTime::ZERO,
+            end: SimTime(2_000_000_000), // 2 ms in ps
+            bw_multiplier: 0.5,
+        });
+        // starts inside the window: half bandwidth
+        let a = l.reserve(SimTime::ZERO, 1_000_000); // 1 MB -> 2 ms at 0.5 GB/s
+        assert_eq!(a.depart.as_us_f64(), 2000.0);
+        // starts after the window: full bandwidth again
+        let b = l.reserve(a.depart + SimDuration::from_us(100), 1_000_000);
+        assert_eq!((b.depart - b.start), SimDuration::for_bytes(1_000_000, 1e9));
+    }
+
+    #[test]
+    fn blackout_window_defers_the_start() {
+        let mut l = mk(1, 1.0);
+        l.add_fault_window(LinkFaultWindow {
+            start: SimTime::ZERO,
+            end: SimTime(500_000_000), // 500 us outage
+            bw_multiplier: 0.0,
+        });
+        let g = l.reserve(SimTime::ZERO, 1000);
+        assert_eq!(g.start.as_us_f64(), 500.0, "must wait out the blackout");
+        // a transfer requested after the outage is unaffected
+        let h = l.reserve(SimTime(600_000_000), 1000);
+        assert_eq!(h.start.as_us_f64(), 600.0);
+    }
+
+    #[test]
+    fn chained_blackouts_push_past_every_window() {
+        let mut l = mk(0, 1.0);
+        l.add_fault_window(LinkFaultWindow {
+            start: SimTime::ZERO,
+            end: SimTime(100_000_000),
+            bw_multiplier: 0.0,
+        });
+        l.add_fault_window(LinkFaultWindow {
+            start: SimTime(100_000_000),
+            end: SimTime(300_000_000),
+            bw_multiplier: 0.0,
+        });
+        let g = l.reserve(SimTime::ZERO, 0);
+        assert_eq!(g.start.as_us_f64(), 300.0);
+    }
+
+    #[test]
+    fn no_windows_means_identical_schedule() {
+        let mut a = mk(1, 6.4);
+        let mut b = mk(1, 6.4);
+        b.add_fault_window(LinkFaultWindow {
+            start: SimTime(1_000_000_000_000),
+            end: SimTime(2_000_000_000_000),
+            bw_multiplier: 0.25,
+        });
+        // reservations entirely before the window see the same grants
+        for i in 0..10u64 {
+            let ga = a.reserve(SimTime(i * 1000), 10_000 + i);
+            let gb = b.reserve(SimTime(i * 1000), 10_000 + i);
+            assert_eq!(ga, gb);
+        }
     }
 
     #[test]

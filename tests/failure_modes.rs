@@ -12,7 +12,15 @@ fn catches(f: impl FnOnce() + std::panic::UnwindSafe) -> String {
             .downcast_ref::<String>()
             .cloned()
             .or_else(|| p.downcast_ref::<&str>().map(|s| s.to_string()))
-            .unwrap_or_default(),
+            // a non-string payload would otherwise collapse to "" and
+            // vacuously fail the message assertions: name its type so
+            // the test failure says what was actually thrown
+            .unwrap_or_else(|| {
+                panic!(
+                    "panic payload is neither String nor &str: {:?}",
+                    (*p).type_id()
+                )
+            }),
     }
 }
 
