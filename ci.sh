@@ -64,4 +64,32 @@ if cargo run --release -q -p obs-analyze --bin gdrprof -- diff \
     exit 1
 fi
 
+# Chunk-recovery gate: the pipeline fault plan (large D-D put, chunk
+# posts drawing from the CQE stream with a retry budget of one) must
+# record chunk replays and a typed partial delivery in the trace, and
+# gdrprof must surface both.
+cargo run --release -q -p omb --bin chaos_trace "$tmp/pipe.json" --pipeline
+grep -q '"name":"chunk-retry"' "$tmp/pipe.json"
+grep -q '"name":"partial-delivery"' "$tmp/pipe.json"
+pout="$(cargo run --release -q -p obs-analyze --bin gdrprof -- analyze "$tmp/pipe.json" --json "$tmp/pipe_rep.json")"
+grep -Eq 'chunk-retries [1-9]' <<<"$pout"
+grep -Eq 'partial-deliveries [1-9]' <<<"$pout"
+# the partial-delivery diff gate: a clean report against the partial one
+# must trip, exit code 4 like every regression ...
+cargo run --release -q -p obs-analyze --bin gdrprof -- diff "$tmp/chaos_rep.json" "$tmp/pipe_rep.json" --threshold 10 >/dev/null && {
+    echo "gdrprof diff missed a partial-delivery regression" >&2
+    exit 1
+}
+# ... and the fixture pair isolates that gate: identical latency and
+# recovery rates, only the delivered-byte fraction fell
+if cargo run --release -q -p obs-analyze --bin gdrprof -- diff \
+    tests/golden/report_partial_base.json tests/golden/report_partial_regressed.json \
+    --threshold 10 >/dev/null; then
+    echo "gdrprof diff missed the fixture partial-delivery regression" >&2
+    exit 1
+fi
+# the pipeline fault trace replays byte-identically
+cargo run --release -q -p omb --bin chaos_trace "$tmp/pipe2.json" --pipeline
+cmp "$tmp/pipe.json" "$tmp/pipe2.json"
+
 echo "ci: OK"

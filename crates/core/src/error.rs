@@ -26,6 +26,12 @@ pub enum TransferError {
     /// The transfer may still be in flight: destination bytes can land
     /// after this error is returned.
     Timeout { after_ns: u64 },
+    /// A chunked transfer exhausted the per-chunk retry budget part-way
+    /// through: `delivered` of `total` bytes reached the destination.
+    /// Delivered chunks are final (chunk replay is idempotent and
+    /// whole-chunk); failed chunks left no bytes and no staging credits
+    /// behind.
+    PartialDelivery { delivered: u64, total: u64 },
     /// A capability fault (e.g. GDR administratively disabled on a node)
     /// rules out every protocol that could service the operation.
     CapabilityDisabled { what: &'static str, node: u32 },
@@ -43,6 +49,11 @@ impl std::fmt::Display for TransferError {
             TransferError::Timeout { after_ns } => {
                 write!(f, "operation timed out after {after_ns} ns of virtual time")
             }
+            TransferError::PartialDelivery { delivered, total } => write!(
+                f,
+                "partial delivery: only {delivered} of {total} bytes were delivered \
+                 (chunk retries exhausted mid-transfer)"
+            ),
             TransferError::CapabilityDisabled { what, node } => {
                 write!(f, "{what} is disabled on node {node} and no fallback applies")
             }
@@ -73,6 +84,11 @@ mod tests {
         assert!(e.to_string().contains("5 attempts"));
         let t = TransferError::Timeout { after_ns: 1_000 };
         assert!(t.to_string().contains("1000 ns"));
+        let p = TransferError::PartialDelivery {
+            delivered: 1_048_576,
+            total: 4_194_304,
+        };
+        assert!(p.to_string().contains("1048576 of 4194304 bytes"));
         let c = TransferError::CapabilityDisabled {
             what: "GDR",
             node: 3,

@@ -47,6 +47,7 @@ pub mod machine;
 pub mod msg;
 pub mod pe;
 pub mod pending;
+pub mod recovery;
 pub mod report;
 pub mod pipeline;
 pub mod protocols;

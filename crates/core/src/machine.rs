@@ -287,6 +287,62 @@ impl ShmemMachine {
         SimDuration::from_ns(ns)
     }
 
+    /// Restart-aware proxy stall: like [`Self::proxy_stall_extra`], but
+    /// the stall is capped at the fault window's end plus one signal
+    /// latency — the window closing models the proxy agent restarting
+    /// and re-driving the transfer's remaining chunks, so a chunk never
+    /// sleeps out a stall that outlives its window. The first chunk of
+    /// an op that benefits from the cap records a `proxy-restart`
+    /// instant (deduplicated through `restart_seen`). ZERO when no
+    /// window covers `now`.
+    pub(crate) fn proxy_stall_or_restart(
+        &self,
+        node: pcie_sim::NodeId,
+        now: SimTime,
+        token: OpToken,
+        restart_seen: &std::sync::atomic::AtomicBool,
+    ) -> SimDuration {
+        let now_ns = now.0 / sim_core::PS_PER_NS;
+        let Some((end_ns, extra_ns)) = self
+            .cfg
+            .faults
+            .proxy_stall_window_ns(node.0 as usize, now_ns)
+        else {
+            return SimDuration::ZERO;
+        };
+        // restarting costs one more signal latency: the recovered agent
+        // must be re-signalled before it re-drives the remaining chunks
+        let restart = SimDuration::from_ns(end_ns.saturating_sub(now_ns))
+            + self.proxy_signal_latency();
+        let extra = SimDuration::from_ns(extra_ns);
+        if restart >= extra {
+            return extra;
+        }
+        if !restart_seen.swap(true, std::sync::atomic::Ordering::Relaxed) {
+            self.obs.fault_tally("proxy-restart", "proxy-pipeline");
+            if self.obs.spans_on() && token.sampled {
+                self.obs.instant(
+                    self.proxy_track(node),
+                    "proxy-restart",
+                    now,
+                    obs::Payload::Fault {
+                        kind: "proxy-restart",
+                        protocol: "proxy-pipeline",
+                        op_id: token.id,
+                    },
+                );
+            }
+        }
+        restart
+    }
+
+    /// Bytes currently allocated in `pe`'s staging area. Returns to 0
+    /// once no transfer is in flight — the chaos suite uses this as its
+    /// credit-leak probe after partial-delivery failures.
+    pub fn staging_in_use(&self, pe: ProcId) -> u64 {
+        self.pe_state(pe).staging_alloc.lock().allocated()
+    }
+
     /// Record one injected transient fault: tally (Counters+) and a
     /// `fault` instant on the PE's track (Spans, sampled ops).
     pub(crate) fn obs_fault(
@@ -332,6 +388,62 @@ impl ShmemMachine {
                     protocol,
                     attempt,
                     backoff_ns,
+                    op_id: token.id,
+                },
+            );
+        }
+    }
+
+    /// Record one event-context chunk retry (attempt number + backoff).
+    /// Distinct from [`Self::obs_retry`] so traces and gdrprof can tell
+    /// chunk-level replays apart from whole-op post retries.
+    pub(crate) fn obs_chunk_retry(
+        &self,
+        me: ProcId,
+        ts: SimTime,
+        protocol: &'static str,
+        attempt: u32,
+        backoff_ns: u64,
+        token: OpToken,
+    ) {
+        self.obs.fault_tally("chunk-retried", protocol);
+        if self.obs.spans_on() && token.sampled {
+            self.obs.instant(
+                self.pe_track(me),
+                "chunk-retry",
+                ts,
+                obs::Payload::Retry {
+                    protocol,
+                    attempt,
+                    backoff_ns,
+                    op_id: token.id,
+                },
+            );
+        }
+    }
+
+    /// Record a partial delivery: some chunks of `token`'s transfer
+    /// exhausted their retries, so only `delivered` of `total` bytes
+    /// landed and the op is returning `TransferError::PartialDelivery`.
+    pub(crate) fn obs_partial(
+        &self,
+        me: ProcId,
+        ts: SimTime,
+        protocol: &'static str,
+        delivered: u64,
+        total: u64,
+        token: OpToken,
+    ) {
+        self.obs.fault_tally("partial", protocol);
+        if self.obs.spans_on() && token.sampled {
+            self.obs.instant(
+                self.pe_track(me),
+                "partial-delivery",
+                ts,
+                obs::Payload::PartialDelivery {
+                    protocol,
+                    delivered,
+                    total,
                     op_id: token.id,
                 },
             );

@@ -32,7 +32,9 @@ impl Pe {
             // library's registered (pinned) pool — the original
             // application's buffers are plain cudaMalloc/malloc, so the
             // CUDA-aware MPI path pays this extra copy — then send.
-            let off = m.alloc_staging_blocking(self.ctx(), me, len);
+            let off = m
+                .alloc_staging_blocking(self.ctx(), me, len)
+                .unwrap_or_else(|e| panic!("isend: {e}"));
             let stg = m.layout().staging_base(me).add(off);
             let d2h = m.gpus().memcpy_async(self.ctx(), src, stg, len);
             let local = Completion::new();
@@ -83,7 +85,9 @@ impl Pe {
         let me = self.proc_id();
         let from = ProcId(from as u32);
         if dst.is_device() {
-            let off = m.alloc_staging_blocking(self.ctx(), me, cap);
+            let off = m
+                .alloc_staging_blocking(self.ctx(), me, cap)
+                .unwrap_or_else(|e| panic!("irecv: {e}"));
             let stg = m.layout().staging_base(me).add(off);
             let landed = Completion::new();
             let done = Completion::new();

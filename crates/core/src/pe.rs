@@ -219,7 +219,10 @@ impl Pe {
 
     /// Fallible `shmem_putmem`: retries/fallbacks happen inside; what
     /// remains is a typed [`TransferError`] (retry exhaustion, per-op
-    /// timeout, capability fault with no fallback).
+    /// timeout, capability fault with no fallback). A chunked transfer
+    /// whose retries exhaust mid-flight returns
+    /// [`TransferError::PartialDelivery`]: delivered chunks are final,
+    /// failed chunks left no bytes and no staging credits behind.
     pub fn try_putmem(
         &self,
         dest: SymAddr,
@@ -251,6 +254,9 @@ impl Pe {
 
     /// Fallible `shmem_getmem`: surfaces a typed [`TransferError`]
     /// instead of panicking when the fault plan defeats every retry.
+    /// Chunked gets that fail mid-transfer return
+    /// [`TransferError::PartialDelivery`]; destination bytes of the
+    /// undelivered chunks are unspecified.
     pub fn try_getmem(
         &self,
         dest: MemRef,

@@ -102,6 +102,9 @@ impl ShmemMachine {
 
     /// Serve a host-pipeline get: chunked D2H into this PE's staging,
     /// each chunk RDMA-written into the requester's staging strip.
+    /// Each reply post draws from the *serving* side's CQE fault stream;
+    /// a chunk that exhausts its retries frees its staging credit and
+    /// poisons `served`, and the requester reports the partial delivery.
     fn exec_serve_get(self: &Arc<Self>, s: &mut Sched<'_>, target: ProcId, g: GetRequest, delay: SimDuration) {
         let chunk = self.cfg().pipeline_chunk;
         let n = g.len.div_ceil(chunk);
@@ -111,21 +114,32 @@ impl ShmemMachine {
         for i in 0..n {
             let off = i * chunk;
             let clen = chunk.min(g.len - off);
+            // the serving side's D2H is a full cudaMemcpy call per chunk
+            let delay = delay + self.cluster().hw().gpu.memcpy_overhead * (i + 1);
             // staging is allocated here, in event context: a full area is
-            // a configuration error, so fail loudly
-            let t_off = self
-                .pe_state(target)
-                .staging_alloc
-                .lock()
-                .alloc(clen)
-                .expect("target staging exhausted while serving a get; raise RuntimeConfig::staging");
+            // a configuration error, so fail loudly — unless the op runs
+            // under a fault plan, where starvation resolves the chunk as
+            // failed instead of crashing the run
+            let t_off = match self.pe_state(target).staging_alloc.lock().alloc(clen) {
+                Ok(o) => o,
+                Err(_) if g.recovery.armed() => {
+                    self.obs().fault_tally("exhausted", "host-pipeline-staged");
+                    g.recovery.chunk_failed();
+                    let served = g.served.clone();
+                    s.schedule_in(delay, Box::new(move |s| s.signal(&served, 1)));
+                    continue;
+                }
+                Err(_) => panic!(
+                    "target staging exhausted while serving a get; raise RuntimeConfig::staging"
+                ),
+            };
             let t_stg = self.layout().staging_base(target).add(t_off);
             let src_c = g.src.add(off);
             let req_c = g.req_staging.add(off);
             let mach = self.clone();
             let served = g.served.clone();
-            // the serving side's D2H is a full cudaMemcpy call per chunk
-            let delay = delay + self.cluster().hw().gpu.memcpy_overhead * (i + 1);
+            let recovery = g.recovery.clone();
+            let token = g.token;
             s.schedule_in(
                 delay,
                 Box::new(move |s| {
@@ -136,27 +150,49 @@ impl ShmemMachine {
                         &d2h,
                         1,
                         Box::new(move |s| {
-                            let comp = RdmaCompletion::new();
-                            mach2
-                                .ib()
-                                .rdma_write_start(s, target, t_stg, req_rkey, req_c, clen, &comp)
-                                .expect("serve-get chunk rdma");
-                            let mach3 = mach2.clone();
-                            s.call_on(
-                                &comp.local,
-                                1,
-                                Box::new(move |_| {
-                                    mach3
-                                        .pe_state(target)
-                                        .staging_alloc
-                                        .lock()
-                                        .free(t_off, clen);
-                                }),
-                            );
-                            s.call_on(
-                                &comp.remote,
-                                1,
-                                Box::new(move |s| s.signal(&served, 1)),
+                            let m = mach2.clone();
+                            let served_ok = served.clone();
+                            let rec_ok = recovery.clone();
+                            let post: sim_core::Action = Box::new(move |s| {
+                                let comp = RdmaCompletion::new();
+                                m.ib()
+                                    .rdma_write_start(
+                                        s, target, t_stg, req_rkey, req_c, clen, &comp,
+                                    )
+                                    .expect("serve-get chunk rdma");
+                                let m2 = m.clone();
+                                s.call_on(
+                                    &comp.local,
+                                    1,
+                                    Box::new(move |_| {
+                                        m2.pe_state(target)
+                                            .staging_alloc
+                                            .lock()
+                                            .free(t_off, clen);
+                                    }),
+                                );
+                                s.call_on(
+                                    &comp.remote,
+                                    1,
+                                    Box::new(move |s| {
+                                        rec_ok.chunk_ok(clen);
+                                        s.signal(&served_ok, 1);
+                                    }),
+                                );
+                            });
+                            let m3 = mach2.clone();
+                            let on_fail: sim_core::Action = Box::new(move |s| {
+                                m3.pe_state(target).staging_alloc.lock().free(t_off, clen);
+                                recovery.chunk_failed();
+                                s.signal(&served, 1);
+                            });
+                            mach2.chunk_post_with_retry(
+                                s,
+                                target,
+                                "host-pipeline-staged",
+                                token,
+                                post,
+                                on_fail,
                             );
                         }),
                     );

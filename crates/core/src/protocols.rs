@@ -743,7 +743,7 @@ impl ShmemMachine {
                                 // D-H: the unoptimized inter-domain path — stage
                                 // through own host memory, two copies.
                                 (true, false) => {
-                                    self.two_copy_staged(ctx, me, src, dst, len);
+                                    self.two_copy_staged(ctx, me, src, dst, len)?;
                                     Protocol::TwoCopyStaged
                                 }
                             }
@@ -757,7 +757,7 @@ impl ShmemMachine {
                                     Protocol::HostRdma
                                 }
                                 (true, true) => {
-                                    self.host_pipeline_put(ctx, me, src, dst, len, target, token);
+                                    self.host_pipeline_put(ctx, me, src, dst, len, target, token)?;
                                     Protocol::HostPipelineStaged
                                 }
                                 _ => panic!(
@@ -870,7 +870,7 @@ impl ShmemMachine {
                                                     token,
                                                 );
                                             }
-                                            self.proxy_put(ctx, me, src, dst, len, target, token);
+                                            self.proxy_put(ctx, me, src, dst, len, target, token)?;
                                             Protocol::ProxyPipeline
                                         } else {
                                             // D-H: chunked D2H staging + plain
@@ -894,7 +894,7 @@ impl ShmemMachine {
                                                 len,
                                                 target,
                                                 token,
-                                            );
+                                            )?;
                                             Protocol::PipelineGdrWrite
                                         }
                                     } else if direct_ok {
@@ -909,7 +909,7 @@ impl ShmemMachine {
                                         // P2P write bottleneck at the target:
                                         // stage into target host memory, proxy
                                         // performs the final H2D — still one-sided.
-                                        self.proxy_put(ctx, me, src, dst, len, target, token);
+                                        self.proxy_put(ctx, me, src, dst, len, target, token)?;
                                         Protocol::ProxyPipeline
                                     } else {
                                         // Pipeline GDR write: chunked D2H staging
@@ -923,7 +923,7 @@ impl ShmemMachine {
                                             len,
                                             target,
                                             token,
-                                        );
+                                        )?;
                                         Protocol::PipelineGdrWrite
                                     }
                                 }
@@ -1042,7 +1042,7 @@ impl ShmemMachine {
                                 // remote device -> local host: unoptimized
                                 // inter-domain path, two copies through staging.
                                 (true, false) => {
-                                    self.two_copy_staged(ctx, me, src, dst, len);
+                                    self.two_copy_staged(ctx, me, src, dst, len)?;
                                     Protocol::TwoCopyStaged
                                 }
                                 // single IPC copy covers D-D and host->device
@@ -1061,7 +1061,7 @@ impl ShmemMachine {
                                     Protocol::HostRdma
                                 }
                                 (true, true) => {
-                                    self.host_pipeline_get(ctx, me, dst, src, len, from);
+                                    self.host_pipeline_get(ctx, me, dst, src, len, from, token)?;
                                     Protocol::HostPipelineStaged
                                 }
                                 _ => panic!(
@@ -1156,7 +1156,7 @@ impl ShmemMachine {
                                     ctx, me, dst, rkey, src, len, from, token, true,
                                 )?;
                             } else {
-                                self.proxy_get(ctx, me, dst, src, len, from, token);
+                                self.proxy_get(ctx, me, dst, src, len, from, token)?;
                             }
                             Protocol::ProxyPipeline
                         } else if len <= cfg.gdr_get_limit {
@@ -1168,12 +1168,12 @@ impl ShmemMachine {
                         } else if cfg.proxy_enabled && len >= cfg.proxy_get_min {
                             // large get from remote GPU memory: remote proxy runs
                             // the reverse pipeline, target PE never involved
-                            self.proxy_get(ctx, me, dst, src, len, from, token);
+                            self.proxy_get(ctx, me, dst, src, len, from, token)?;
                             Protocol::ProxyPipeline
                         } else {
                             // ablation fallback: chunked direct GDR reads, paying
                             // the P2P read bottleneck
-                            self.chunked_direct_get(ctx, me, dst, rkey, src, len);
+                            self.chunked_direct_get(ctx, me, dst, rkey, src, len, token)?;
                             Protocol::DirectGdr
                         }
                     }
@@ -1303,11 +1303,10 @@ impl ShmemMachine {
         let mut done = 0u64;
         while done < len {
             let n = cap.min(len - done);
-            let off = self.alloc_staging_blocking(ctx, me, n);
+            let off = self.alloc_staging_blocking(ctx, me, n)?;
             let stg = self.layout().staging_base(me).add(off);
             let r = if via_proxy {
-                self.proxy_get(ctx, me, stg, src.add(done), n, from, token);
-                Ok(())
+                self.proxy_get(ctx, me, stg, src.add(done), n, from, token)
             } else {
                 self.rdma_get(
                     ctx,
@@ -1332,8 +1331,15 @@ impl ShmemMachine {
 
     /// The baseline's two-copy staged path (inter-domain intra-node):
     /// CUDA copy into own staging, then a second copy to the final spot.
-    fn two_copy_staged(self: &Arc<Self>, ctx: &TaskCtx, me: ProcId, src: MemRef, dst: MemRef, len: u64) {
-        let off = self.alloc_staging_blocking(ctx, me, len);
+    fn two_copy_staged(
+        self: &Arc<Self>,
+        ctx: &TaskCtx,
+        me: ProcId,
+        src: MemRef,
+        dst: MemRef,
+        len: u64,
+    ) -> Result<(), TransferError> {
+        let off = self.alloc_staging_blocking(ctx, me, len)?;
         let stg = self.layout().staging_base(me).add(off);
         // copy 1: into staging (CUDA if either end is a device)
         if src.is_device() {
@@ -1348,5 +1354,6 @@ impl ShmemMachine {
             self.shm_copy(ctx, stg, dst, len);
         }
         self.pe_state(me).staging_alloc.lock().free(off, len);
+        Ok(())
     }
 }

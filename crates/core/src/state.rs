@@ -124,6 +124,12 @@ pub struct GetRequest {
     pub requester: ProcId,
     /// Signalled when the data has been written to the requester staging.
     pub served: Completion,
+    /// The requesting op's identity, for fault draws and trace events on
+    /// the serving side.
+    pub(crate) token: crate::machine::OpToken,
+    /// Shared outcome accounting: serve-side chunk failures surface as
+    /// the requester's `TransferError::PartialDelivery`.
+    pub(crate) recovery: std::sync::Arc<crate::recovery::ChunkRecovery>,
 }
 
 /// Target-side deferred work item.

@@ -264,6 +264,25 @@ impl FaultPlan {
         extra
     }
 
+    /// End of the stall window covering `node` at `now_ns`, together
+    /// with its extra delay — the restart-aware view of a stall. `None`
+    /// when no window covers the instant. Among overlapping windows the
+    /// one with the largest extra wins (ties: the later end), matching
+    /// [`FaultPlan::proxy_stall_extra_ns`].
+    pub fn proxy_stall_window_ns(&self, node: usize, now_ns: u64) -> Option<(u64, u64)> {
+        let mut best: Option<(u64, u64)> = None;
+        for s in self.proxy_stalls() {
+            if s.node as usize == node && now_ns >= s.start_ns && now_ns < s.end_ns {
+                let cand = (s.end_ns, s.extra_ns);
+                best = Some(match best {
+                    Some((e, x)) if (x, e) >= (cand.1, cand.0) => (e, x),
+                    _ => cand,
+                });
+            }
+        }
+        best
+    }
+
     /// Parse the `GDR_SHMEM_FAULTS` environment variable. Unset or
     /// empty means no plan; a malformed token panics with the offending
     /// token named (a silent fallback would un-inject a chaos run).
@@ -439,6 +458,24 @@ mod tests {
         assert_eq!(p.proxy_stall_extra_ns(1, 1_999), 500_000);
         assert_eq!(p.proxy_stall_extra_ns(1, 2_000), 0);
         assert_eq!(p.proxy_stall_extra_ns(0, 1_500), 0, "wrong node");
+    }
+
+    #[test]
+    fn stall_window_lookup_names_the_covering_window() {
+        let p = FaultPlan::default()
+            .with_proxy_stall(ProxyStall { node: 1, start_ns: 1_000, end_ns: 2_000, extra_ns: 500_000 })
+            .with_proxy_stall(ProxyStall { node: 1, start_ns: 1_500, end_ns: 5_000, extra_ns: 900_000 });
+        assert_eq!(p.proxy_stall_window_ns(1, 999), None);
+        assert_eq!(p.proxy_stall_window_ns(1, 1_200), Some((2_000, 500_000)));
+        // overlapping windows: the larger extra wins, same as the
+        // extra_ns lookup
+        assert_eq!(p.proxy_stall_window_ns(1, 1_700), Some((5_000, 900_000)));
+        assert_eq!(
+            p.proxy_stall_extra_ns(1, 1_700),
+            p.proxy_stall_window_ns(1, 1_700).unwrap().1
+        );
+        assert_eq!(p.proxy_stall_window_ns(0, 1_200), None, "wrong node");
+        assert_eq!(p.proxy_stall_window_ns(1, 5_000), None);
     }
 
     #[test]

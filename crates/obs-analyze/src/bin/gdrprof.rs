@@ -74,6 +74,22 @@ fn report_from_json(v: &obs::json::Value) -> Option<Report> {
                     faulted_ops: f.get("faulted_ops")?.as_f64()? as u64,
                     recovered: f.get("recovered")?.as_f64()? as u64,
                     fallbacks: f.get("fallbacks")?.as_f64()? as u64,
+                    // additive fields: absent from pre-partial-delivery
+                    // report files, default to zero so old goldens load
+                    chunk_retried: f
+                        .get("chunk_retried")
+                        .and_then(|v| v.as_f64())
+                        .unwrap_or(0.0) as u64,
+                    partials: f.get("partials").and_then(|v| v.as_f64()).unwrap_or(0.0)
+                        as u64,
+                    partial_delivered: f
+                        .get("partial_delivered")
+                        .and_then(|v| v.as_f64())
+                        .unwrap_or(0.0) as u64,
+                    partial_total: f
+                        .get("partial_total")
+                        .and_then(|v| v.as_f64())
+                        .unwrap_or(0.0) as u64,
                 },
             );
         }

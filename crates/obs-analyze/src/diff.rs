@@ -32,6 +32,18 @@ pub struct RecoveryRow {
     pub regressed: bool,
 }
 
+/// Partial-delivery comparison for one protocol: the fraction of the
+/// requested bytes that actually landed across partial outcomes.
+#[derive(Clone, Debug)]
+pub struct PartialRow {
+    pub protocol: String,
+    /// Baseline delivered fraction (0..=1; 1.0 with no partials).
+    pub a_fraction: f64,
+    /// Candidate delivered fraction.
+    pub b_fraction: f64,
+    pub regressed: bool,
+}
+
 #[derive(Clone, Debug, Default)]
 pub struct DiffReport {
     pub threshold_pct: f64,
@@ -40,12 +52,18 @@ pub struct DiffReport {
     /// must not recover a smaller fraction of faulted ops than the
     /// baseline (beyond the threshold, in percentage points).
     pub recovery: Vec<RecoveryRow>,
+    /// Present when either side recorded partial deliveries: the
+    /// candidate must not deliver a smaller fraction of the requested
+    /// bytes than the baseline (beyond the threshold, in percentage
+    /// points).
+    pub partial: Vec<PartialRow>,
 }
 
 impl DiffReport {
     pub fn regressions(&self) -> usize {
         self.rows.iter().filter(|r| r.regressed).count()
             + self.recovery.iter().filter(|r| r.regressed).count()
+            + self.partial.iter().filter(|r| r.regressed).count()
     }
 
     pub fn text(&self) -> String {
@@ -83,6 +101,19 @@ impl DiffReport {
                     r.protocol,
                     r.a_rate * 100.0,
                     r.b_rate * 100.0,
+                );
+            }
+        }
+        if !self.partial.is_empty() {
+            let _ = writeln!(s, "partial-delivery (bytes landed):");
+            for r in &self.partial {
+                let mark = if r.regressed { "  REGRESSED" } else { "" };
+                let _ = writeln!(
+                    s,
+                    "  {:<28} a {:>6.1}%      b {:>6.1}%{mark}",
+                    r.protocol,
+                    r.a_fraction * 100.0,
+                    r.b_fraction * 100.0,
                 );
             }
         }
@@ -147,9 +178,46 @@ pub fn diff(a: &Report, b: &Report, threshold_pct: f64) -> DiffReport {
             }
         })
         .collect();
+    // delivered-byte fraction across partial outcomes; a protocol with
+    // no partials on either side produces no row
+    let delivered_fraction = |r: &Report, k: &String| {
+        r.faults.get(k).map_or(1.0, |f| {
+            if f.partial_total == 0 {
+                1.0
+            } else {
+                f.partial_delivered as f64 / f.partial_total as f64
+            }
+        })
+    };
+    let mut pkeys: Vec<&String> = a.faults.keys().collect();
+    for k in b.faults.keys() {
+        if !a.faults.contains_key(k) {
+            pkeys.push(k);
+        }
+    }
+    pkeys.sort();
+    let partial = pkeys
+        .into_iter()
+        .filter(|k| {
+            a.faults.get(*k).is_some_and(|f| f.partials > 0)
+                || b.faults.get(*k).is_some_and(|f| f.partials > 0)
+        })
+        .map(|k| {
+            let af = delivered_fraction(a, k);
+            let bf = delivered_fraction(b, k);
+            let regressed = (af - bf) * 100.0 > threshold_pct;
+            PartialRow {
+                protocol: k.clone(),
+                a_fraction: af,
+                b_fraction: bf,
+                regressed,
+            }
+        })
+        .collect();
     DiffReport {
         threshold_pct,
         rows,
         recovery,
+        partial,
     }
 }

@@ -17,7 +17,7 @@ pub mod diff;
 pub mod report;
 pub mod trace;
 
-pub use diff::{diff, DiffReport, DiffRow, RecoveryRow};
+pub use diff::{diff, DiffReport, DiffRow, PartialRow, RecoveryRow};
 pub use report::{analyze, FaultStat, LinkStat, OpPath, ProtoStat, Report, RMA_OPS};
 pub use trace::Trace;
 

@@ -82,6 +82,14 @@ pub struct FaultStat {
     pub recovered: u64,
     /// Fallback re-routes away from this protocol.
     pub fallbacks: u64,
+    /// Event-context chunk replays (chunk-retry instants).
+    pub chunk_retried: u64,
+    /// Partial-delivery outcomes (ops that gave up mid-transfer).
+    pub partials: u64,
+    /// Bytes delivered across those partial outcomes.
+    pub partial_delivered: u64,
+    /// Bytes requested across those partial outcomes.
+    pub partial_total: u64,
 }
 
 impl FaultStat {
@@ -259,6 +267,18 @@ pub fn analyze(tr: &Trace) -> Report {
     for r in &tr.retries {
         rep.faults.entry(r.protocol.clone()).or_default().retried += 1;
     }
+    for r in &tr.chunk_retries {
+        rep.faults
+            .entry(r.protocol.clone())
+            .or_default()
+            .chunk_retried += 1;
+    }
+    for p in &tr.partials {
+        let st = rep.faults.entry(p.protocol.clone()).or_default();
+        st.partials += 1;
+        st.partial_delivered += p.delivered;
+        st.partial_total += p.total;
+    }
     for fb in &tr.fallbacks {
         rep.faults.entry(fb.from.clone()).or_default().fallbacks += 1;
     }
@@ -339,6 +359,14 @@ impl Report {
                     f.faulted_ops,
                     f.recovery_rate() * 100.0
                 );
+                if f.chunk_retried > 0 || f.partials > 0 {
+                    let _ = writeln!(
+                        s,
+                        "  {:<28} chunk-retries {:<5} partial-deliveries {:<5} \
+                         ({}/{} bytes landed)",
+                        "", f.chunk_retried, f.partials, f.partial_delivered, f.partial_total
+                    );
+                }
             }
         }
         let _ = writeln!(s, "\nlink utilization:");
@@ -419,6 +447,10 @@ impl Report {
                     .u64_field("faulted_ops", f.faulted_ops)
                     .u64_field("recovered", f.recovered)
                     .u64_field("fallbacks", f.fallbacks)
+                    .u64_field("chunk_retried", f.chunk_retried)
+                    .u64_field("partials", f.partials)
+                    .u64_field("partial_delivered", f.partial_delivered)
+                    .u64_field("partial_total", f.partial_total)
                     .num_field("recovery_rate", f.recovery_rate());
                 e.finish();
             }

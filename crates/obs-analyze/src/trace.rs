@@ -70,6 +70,18 @@ pub struct RetryEvent {
     pub ts_us: f64,
 }
 
+/// One partial-delivery outcome (`ph:"i"`, name `partial-delivery`):
+/// a chunked transfer exhausted its retries mid-flight and resolved
+/// with only `delivered` of `total` bytes landed.
+#[derive(Clone, Debug)]
+pub struct PartialEvent {
+    pub protocol: String,
+    pub delivered: u64,
+    pub total: u64,
+    pub op_id: u64,
+    pub ts_us: f64,
+}
+
 /// One protocol fallback (`ph:"i"`, name `fallback`): the dispatcher
 /// re-routed `op` from its preferred protocol to a degraded one.
 #[derive(Clone, Debug)]
@@ -103,6 +115,10 @@ pub struct Trace {
     pub flow_ends: Vec<FlowEvent>,
     pub faults: Vec<FaultEvent>,
     pub retries: Vec<RetryEvent>,
+    /// Event-context chunk replays (`ph:"i"`, name `chunk-retry`) —
+    /// kept apart from whole-op post retries.
+    pub chunk_retries: Vec<RetryEvent>,
+    pub partials: Vec<PartialEvent>,
     pub fallbacks: Vec<FallbackEvent>,
     /// link track name -> samples in timestamp order.
     pub links: BTreeMap<String, Vec<LinkPoint>>,
@@ -207,6 +223,26 @@ impl Trace {
                         protocol: text(args, "protocol").unwrap_or_default(),
                         attempt: num(args, "attempt").unwrap_or(0.0) as u32,
                         backoff_ns: num(args, "backoff_ns").unwrap_or(0.0) as u64,
+                        op_id: num(args, "op_id").unwrap_or(0.0) as u64,
+                        ts_us: ts,
+                    });
+                }
+                "i" if e.get("name").and_then(Value::as_str) == Some("chunk-retry") => {
+                    let Some(args) = args else { continue };
+                    tr.chunk_retries.push(RetryEvent {
+                        protocol: text(args, "protocol").unwrap_or_default(),
+                        attempt: num(args, "attempt").unwrap_or(0.0) as u32,
+                        backoff_ns: num(args, "backoff_ns").unwrap_or(0.0) as u64,
+                        op_id: num(args, "op_id").unwrap_or(0.0) as u64,
+                        ts_us: ts,
+                    });
+                }
+                "i" if e.get("name").and_then(Value::as_str) == Some("partial-delivery") => {
+                    let Some(args) = args else { continue };
+                    tr.partials.push(PartialEvent {
+                        protocol: text(args, "protocol").unwrap_or_default(),
+                        delivered: num(args, "delivered").unwrap_or(0.0) as u64,
+                        total: num(args, "total").unwrap_or(0.0) as u64,
                         op_id: num(args, "op_id").unwrap_or(0.0) as u64,
                         ts_us: ts,
                     });

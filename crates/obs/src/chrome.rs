@@ -150,6 +150,19 @@ fn write_args(out: &mut String, p: &Payload) {
                 .u64_field("op_id", *op_id);
             o.finish();
         }
+        Payload::PartialDelivery {
+            protocol,
+            delivered,
+            total,
+            op_id,
+        } => {
+            let mut o = ObjWriter::new(out);
+            o.str_field("protocol", protocol)
+                .u64_field("delivered", *delivered)
+                .u64_field("total", *total)
+                .u64_field("op_id", *op_id);
+            o.finish();
+        }
     }
 }
 
@@ -382,6 +395,23 @@ mod tests {
                 op_id: 5,
             },
         );
+        r.instant(
+            pe,
+            "chunk-retry",
+            t0 + SimDuration::from_us(3),
+            Payload::Retry { protocol: "pipeline-gdr-write", attempt: 1, backoff_ns: 4000, op_id: 6 },
+        );
+        r.instant(
+            pe,
+            "partial-delivery",
+            t0 + SimDuration::from_us(4),
+            Payload::PartialDelivery {
+                protocol: "pipeline-gdr-write",
+                delivered: 1 << 20,
+                total: 4 << 20,
+                op_id: 6,
+            },
+        );
 
         let doc = json::parse(&r.chrome_trace()).expect("valid JSON");
         let evs = doc.get("traceEvents").unwrap().as_arr().unwrap();
@@ -402,6 +432,13 @@ mod tests {
             fb.get("args").unwrap().get("to").unwrap().as_str(),
             Some("host-pipeline-staged")
         );
+        let cr = by_name("chunk-retry");
+        assert_eq!(cr.get("ph").unwrap().as_str(), Some("i"));
+        assert_eq!(cr.get("args").unwrap().get("attempt").unwrap().as_f64(), Some(1.0));
+        let pd = by_name("partial-delivery");
+        assert_eq!(pd.get("ph").unwrap().as_str(), Some("i"));
+        assert_eq!(pd.get("args").unwrap().get("delivered").unwrap().as_f64(), Some(1048576.0));
+        assert_eq!(pd.get("args").unwrap().get("total").unwrap().as_f64(), Some(4194304.0));
     }
 
     #[test]

@@ -293,6 +293,16 @@ pub enum Payload {
         to: &'static str,
         op_id: u64,
     },
+    /// A chunked transfer gave up part-way (instant on the origin PE
+    /// track): `delivered` of `total` bytes landed before per-chunk
+    /// retries exhausted; the op surfaced
+    /// `TransferError::PartialDelivery`.
+    PartialDelivery {
+        protocol: &'static str,
+        delivered: u64,
+        total: u64,
+        op_id: u64,
+    },
 }
 
 /// One recorded event. `dur == 0` renders as an instant.
@@ -341,8 +351,10 @@ pub struct Recorder {
     agents: Mutex<BTreeMap<(TrackKind, u32), AgentCounters>>,
     /// Exact fault-machinery counters keyed `(what, protocol)` where
     /// `what` is `"injected"`, `"retried"`, `"recovered"`,
-    /// `"exhausted"` or `"fallback"`. Active from
-    /// [`ObsLevel::Counters`] up, never sampled.
+    /// `"exhausted"`, `"fallback"`, or — for event-context chunk posts —
+    /// `"chunk-retried"`, `"chunk-recovered"`, `"partial"` and
+    /// `"proxy-restart"`. Active from [`ObsLevel::Counters`] up, never
+    /// sampled.
     faults: Mutex<BTreeMap<(&'static str, &'static str), u64>>,
 }
 
@@ -551,7 +563,9 @@ impl Recorder {
 
     /// Bump the exact fault counter `(what, protocol)`; active from
     /// [`ObsLevel::Counters`] up. `what` is one of `"injected"`,
-    /// `"retried"`, `"recovered"`, `"exhausted"`, `"fallback"`.
+    /// `"retried"`, `"recovered"`, `"exhausted"`, `"fallback"`,
+    /// `"chunk-retried"`, `"chunk-recovered"`, `"partial"`,
+    /// `"proxy-restart"`.
     pub fn fault_tally(&self, what: &'static str, protocol: &'static str) {
         if !self.counters_on() {
             return;

@@ -1,7 +1,7 @@
 //! `chaos_trace` — CI driver for the fault-injection observability path.
 //!
 //! ```text
-//! chaos_trace OUT_TRACE.json [--degraded]
+//! chaos_trace OUT_TRACE.json [--degraded | --pipeline]
 //! ```
 //!
 //! Runs one span-traced inter-node workload under a fixed seeded fault
@@ -11,10 +11,17 @@
 //! `retry` and `fallback` instants, so CI can assert that `gdrprof`
 //! surfaces the fault section and the fallback decision.
 //!
-//! `--degraded` raises the CQE error rate to certainty with a retry
-//! budget of one, so every faulted op exhausts its retries: the
-//! resulting report's recovery rate collapses, which CI uses as the
-//! live regression the `gdrprof diff` recovery gate must catch.
+//! `--degraded` raises the CQE error rate to near-certainty with a
+//! retry budget of one, so almost every faulted op exhausts its
+//! retries (a few survive — chunk posts draw too now, and a total
+//! wipeout would leave no analyzable ops): the resulting report's
+//! recovery rate collapses, which CI uses as the live regression the
+//! `gdrprof diff` recovery gate must catch.
+//!
+//! `--pipeline` instead runs a large D-D put whose chunk posts draw
+//! from a heavy CQE stream with a retry budget of one: the trace
+//! deterministically contains `chunk-retry` and `partial-delivery`
+//! instants, which CI greps for to gate the chunk-recovery path.
 
 use faults::FaultPlan;
 use obs::ObsLevel;
@@ -25,24 +32,30 @@ use std::process::ExitCode;
 fn main() -> ExitCode {
     let mut out = None;
     let mut degraded = false;
+    let mut pipeline = false;
     for a in std::env::args().skip(1) {
         match a.as_str() {
             "--degraded" => degraded = true,
+            "--pipeline" => pipeline = true,
             _ if out.is_none() => out = Some(a),
             _ => {
-                eprintln!("usage: chaos_trace OUT_TRACE.json [--degraded]");
+                eprintln!("usage: chaos_trace OUT_TRACE.json [--degraded | --pipeline]");
                 return ExitCode::from(1);
             }
         }
     }
     let Some(out) = out else {
-        eprintln!("usage: chaos_trace OUT_TRACE.json [--degraded]");
+        eprintln!("usage: chaos_trace OUT_TRACE.json [--degraded | --pipeline]");
         return ExitCode::from(1);
     };
 
+    if pipeline {
+        return pipeline_fault_trace(&out);
+    }
+
     let mut plan = FaultPlan::default()
         .with_seed(42)
-        .with_cqe_errors(if degraded { 1000 } else { 150 })
+        .with_cqe_errors(if degraded { 850 } else { 150 })
         .with_late_completions(100, 10_000)
         .with_gdr_disabled(1);
     if degraded {
@@ -73,6 +86,60 @@ fn main() -> ExitCode {
         pe.barrier_all();
     });
     if let Err(e) = std::fs::write(&out, m.obs().chrome_trace()) {
+        eprintln!("chaos_trace: cannot write {out}: {e}");
+        return ExitCode::from(2);
+    }
+    ExitCode::SUCCESS
+}
+
+/// The `--pipeline` plan: a 4 MB D-D put (8 pipeline chunks at the
+/// tuned 512 KiB chunk size) under a heavy chunk-post CQE stream with a
+/// retry budget of one, so the run deterministically records both
+/// successful chunk replays and at least one exhausted chunk that
+/// resolves as a typed partial delivery.
+fn pipeline_fault_trace(out: &str) -> ExitCode {
+    // fixed seed; overridable for exploring other deterministic fault
+    // placements (CI uses the default)
+    let seed = std::env::var("GDR_CHAOS_PIPE_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1);
+    let plan = FaultPlan::default()
+        .with_seed(seed)
+        .with_cqe_errors(450)
+        .with_retry(1, 2_000, 64_000);
+    let cfg = RuntimeConfig::tuned(Design::EnhancedGdr)
+        .with_faults(plan)
+        .with_obs(ObsLevel::Spans);
+    let m = ShmemMachine::build(ClusterSpec::internode_pair(), cfg);
+    m.run(|pe| {
+        let len = 4u64 << 20;
+        let ddest = pe.shmalloc(len, Domain::Gpu);
+        pe.barrier_all();
+        if pe.my_pe() == 0 {
+            let dsrc = pe.malloc_dev(len);
+            // large D-D put -> pipeline-gdr-write; under this plan some
+            // chunks replay, and with a budget of one at this rate at
+            // least one chunk exhausts -> PartialDelivery
+            match pe.try_putmem(ddest, dsrc, len, 1) {
+                Ok(()) => {}
+                Err(shmem_gdr::TransferError::PartialDelivery { .. }) => {}
+                Err(e) => panic!("pipeline fault plan: unexpected error {e}"),
+            }
+            pe.quiet();
+            // a second, smaller put that (at the CI seed) recovers and
+            // completes: the trace needs at least one finished op for
+            // gdrprof to analyze alongside the partial one
+            match pe.try_putmem(ddest, dsrc, 1 << 20, 1) {
+                Ok(()) => {}
+                Err(shmem_gdr::TransferError::PartialDelivery { .. }) => {}
+                Err(e) => panic!("pipeline fault plan: unexpected error {e}"),
+            }
+            pe.quiet();
+        }
+        pe.barrier_all();
+    });
+    if let Err(e) = std::fs::write(out, m.obs().chrome_trace()) {
         eprintln!("chaos_trace: cannot write {out}: {e}");
         return ExitCode::from(2);
     }

@@ -426,6 +426,145 @@ fn proxy_stall_delays_baseline_delivery_but_stays_correct() {
     }
 }
 
+/// A large D-D put whose pipeline chunk posts draw from a seeded CQE
+/// stream: the default retry budget absorbs every chunk fault, the
+/// delivered bytes are correct, and the trace records the chunk replays
+/// as first-class `chunk-retry` events.
+#[test]
+fn pipeline_chunk_faults_recover_byte_correct() {
+    let len = 4u64 << 20; // 8 chunks at the tuned 512 KiB chunk size
+    let plan = FaultPlan::default().with_seed(4).with_cqe_errors(150);
+    let cfg = RuntimeConfig::tuned(Design::EnhancedGdr)
+        .with_faults(plan)
+        .with_obs(ObsLevel::Spans);
+    let m = ShmemMachine::build(ClusterSpec::internode_pair(), cfg);
+    let results = m.run(move |pe| {
+        let dest = pe.shmalloc(len, Domain::Gpu);
+        pe.barrier_all();
+        if pe.my_pe() == 0 {
+            let src = pe.malloc_dev(len);
+            pe.write_raw(src, &payload(len, 0xAB));
+            pe.try_putmem(dest, src, len, 1)
+                .expect("the default retry budget must absorb 15% chunk CQE errors");
+            pe.quiet();
+        }
+        pe.barrier_all();
+        pe.read_raw(pe.addr_of(dest, pe.my_pe()), len)
+    });
+    assert_eq!(results[1], payload(len, 0xAB), "replayed chunks must land correct bytes");
+    let counters = m.obs().fault_counters();
+    let chunk_retried: u64 = counters
+        .iter()
+        .filter(|((what, _), _)| *what == "chunk-retried")
+        .map(|(_, n)| n)
+        .sum();
+    assert!(chunk_retried > 0, "seed 4 must exercise chunk replays: {counters:?}");
+    let tr = obs_analyze::Trace::parse(&m.obs().chrome_trace()).unwrap();
+    assert!(!tr.chunk_retries.is_empty(), "chunk replays must be traced");
+    assert!(
+        tr.chunk_retries.iter().all(|r| r.protocol == "pipeline-gdr-write"),
+        "replays belong to the pipeline protocol: {:?}",
+        tr.chunk_retries
+    );
+}
+
+/// With the chunk retry budget capped at zero, a heavy CQE stream
+/// defeats some chunks mid-transfer: the op returns a typed
+/// `PartialDelivery` naming the delivered byte count — no panic, no
+/// hang — and every staging credit is back (no leak from the failed
+/// chunks, no credit deadlock from the replayed ones).
+#[test]
+fn partial_delivery_is_typed_and_leaks_no_staging() {
+    let len = 4u64 << 20;
+    let plan = FaultPlan::default()
+        .with_seed(4)
+        .with_cqe_errors(400)
+        .with_retry(0, 2_000, 64_000);
+    let cfg = RuntimeConfig::tuned(Design::EnhancedGdr)
+        .with_faults(plan)
+        .with_obs(ObsLevel::Spans);
+    let m = ShmemMachine::build(ClusterSpec::internode_pair(), cfg);
+    let results = m.run(move |pe| {
+        let dest = pe.shmalloc(len, Domain::Gpu);
+        pe.barrier_all();
+        let r = if pe.my_pe() == 0 {
+            let src = pe.malloc_dev(len);
+            let r = pe.try_putmem(dest, src, len, 1);
+            pe.quiet(); // poisoned completions keep quiet from hanging
+            Some(r)
+        } else {
+            None
+        };
+        pe.barrier_all();
+        r
+    });
+    match results[0] {
+        Some(Err(TransferError::PartialDelivery { delivered, total })) => {
+            assert_eq!(total, len);
+            assert!(delivered < total, "a partial delivery must miss bytes");
+            assert_eq!(delivered % (512 << 10), 0, "delivery is whole-chunk");
+        }
+        ref other => panic!("expected PartialDelivery, got {other:?}"),
+    }
+    for pe in [0u32, 1] {
+        assert_eq!(
+            m.staging_in_use(gdr_shmem::shmem::ProcId(pe)),
+            0,
+            "pe{pe} staging must be fully released after the partial failure"
+        );
+    }
+    let counters = m.obs().fault_counters();
+    assert!(
+        counters.iter().any(|((what, _), n)| *what == "partial" && *n > 0),
+        "partial delivery must be tallied: {counters:?}"
+    );
+    let tr = obs_analyze::Trace::parse(&m.obs().chrome_trace()).unwrap();
+    assert_eq!(tr.partials.len(), 1, "one op, one partial-delivery instant");
+    assert_eq!(tr.partials[0].total, len);
+}
+
+/// The serve-get reply path (baseline host-pipeline get) draws from the
+/// *serving* side's fault stream: with no retry budget the requester
+/// sees the typed partial delivery, and both PEs' staging areas drain.
+#[test]
+fn serve_get_chunk_faults_surface_partial_delivery_to_requester() {
+    let len = 2u64 << 20;
+    let plan = FaultPlan::default()
+        .with_seed(3)
+        .with_cqe_errors(350)
+        .with_retry(0, 2_000, 64_000);
+    let m = ShmemMachine::build(
+        ClusterSpec::internode_pair(),
+        RuntimeConfig::tuned(Design::HostPipeline).with_faults(plan),
+    );
+    let results = m.run(move |pe| {
+        let src_sym = pe.shmalloc(len, Domain::Gpu);
+        pe.barrier_all();
+        let r = if pe.my_pe() == 0 {
+            let dst = pe.malloc_dev(len);
+            Some(pe.try_getmem(dst, src_sym, len, 1))
+        } else {
+            None
+        };
+        pe.barrier_all();
+        r
+    });
+    match results[0] {
+        Some(Err(TransferError::PartialDelivery { delivered, total })) => {
+            assert_eq!(total, len);
+            assert!(delivered > 0 && delivered < total, "mid-transfer failure");
+        }
+        ref other => panic!("expected PartialDelivery, got {other:?}"),
+    }
+    for pe in [0u32, 1] {
+        assert_eq!(
+            m.staging_in_use(gdr_shmem::shmem::ProcId(pe)),
+            0,
+            "pe{pe} staging must drain after the partial serve-get"
+        );
+    }
+}
+
 /// One traced faulted run: mixed D/H traffic with enough RDMA posts to
 /// draw several transient faults. Returns the artifacts the determinism
 /// contract covers.
@@ -484,4 +623,54 @@ fn identical_fault_seeds_replay_identical_traces_and_retries() {
     // a different fault seed must visibly change the fault trajectory
     let (_, cnt_c, _) = traced_faulted_run(43);
     assert_ne!(cnt_a, cnt_c, "different fault seeds should diverge");
+}
+
+/// One traced chunk-faulted pipeline run (retry budget 1, heavy CQE
+/// stream): chunk replays, an exhausted chunk, and a partial delivery.
+fn traced_pipeline_run(
+    fault_seed: u64,
+) -> (
+    String,
+    std::collections::BTreeMap<(&'static str, &'static str), u64>,
+    String,
+) {
+    let plan = FaultPlan::default()
+        .with_seed(fault_seed)
+        .with_cqe_errors(450)
+        .with_retry(1, 2_000, 64_000);
+    let cfg = RuntimeConfig::tuned(Design::EnhancedGdr)
+        .with_faults(plan)
+        .with_obs(ObsLevel::Spans);
+    let m = ShmemMachine::build(ClusterSpec::internode_pair(), cfg);
+    m.run(|pe| {
+        let dest = pe.shmalloc(4 << 20, Domain::Gpu);
+        pe.barrier_all();
+        if pe.my_pe() == 0 {
+            let src = pe.malloc_dev(4 << 20);
+            let _ = pe.try_putmem(dest, src, 4 << 20, 1);
+            pe.quiet();
+        }
+        pe.barrier_all();
+    });
+    let trace = m.obs().chrome_trace();
+    let report = obs_analyze::analyze_str(&trace).unwrap().to_json();
+    (trace, m.obs().fault_counters(), report)
+}
+
+/// Chunk-level determinism: the same fault seed replays identical chunk
+/// retry counts, identical partial-delivery outcomes, byte-identical
+/// traces, and identical gdrprof reports.
+#[test]
+fn identical_seeds_replay_identical_chunk_retries_and_partials() {
+    let (tr_a, cnt_a, rep_a) = traced_pipeline_run(7);
+    let (tr_b, cnt_b, rep_b) = traced_pipeline_run(7);
+    assert_eq!(tr_a, tr_b, "same seed must replay a byte-identical chunk-fault trace");
+    assert_eq!(cnt_a, cnt_b, "same seed must replay identical chunk retry counts");
+    assert_eq!(rep_a, rep_b, "same seed must produce identical gdrprof reports");
+    let chunk_retried: u64 = cnt_a
+        .iter()
+        .filter(|((what, _), _)| *what == "chunk-retried")
+        .map(|(_, n)| n)
+        .sum();
+    assert!(chunk_retried > 0, "the heavy plan must exercise chunk replays: {cnt_a:?}");
 }
