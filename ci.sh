@@ -92,4 +92,35 @@ fi
 cargo run --release -q -p omb --bin chaos_trace "$tmp/pipe2.json" --pipeline
 cmp "$tmp/pipe.json" "$tmp/pipe2.json"
 
+# Burst-recovery gate: a correlated burst window with the health
+# breaker armed must drive the full circuit lifecycle — demote on
+# sustained failure, half-open probe after cooldown, promote on the
+# probe's success — all visible as trace instants ...
+cargo run --release -q -p omb --bin chaos_trace "$tmp/burst.json" --burst
+grep -q '"cqe-burst"' "$tmp/burst.json"
+grep -q '"name":"demote"' "$tmp/burst.json"
+grep -q '"name":"probe"' "$tmp/burst.json"
+grep -q '"name":"promote"' "$tmp/burst.json"
+# ... and in gdrprof's health section
+bout="$(cargo run --release -q -p obs-analyze --bin gdrprof -- analyze "$tmp/burst.json" --json "$tmp/burst_rep.json")"
+grep -q 'protocol health:' <<<"$bout"
+grep -Eq 'demotes [1-9]' <<<"$bout"
+grep -Eq 'promotes [1-9]' <<<"$bout"
+# a completed lifecycle self-diffs clean, including the promote-rate gate
+cargo run --release -q -p obs-analyze --bin gdrprof -- diff "$tmp/burst_rep.json" "$tmp/burst_rep.json" --threshold 5 >/dev/null
+# the fixture pair isolates the promote-rate gate (a run whose breaker
+# never re-promotes) and the stage-level attribution of a regressed
+# mean (the rdma leg grew; the diff must say so)
+dout="$(cargo run --release -q -p obs-analyze --bin gdrprof -- diff \
+    tests/golden/report_health_base.json tests/golden/report_health_regressed.json \
+    --threshold 10)" && {
+    echo "gdrprof diff missed the fixture promote-rate regression" >&2
+    exit 1
+}
+grep -q 'promote-rate' <<<"$dout"
+grep -q 'stage rdma' <<<"$dout"
+# the burst trace replays byte-identically under its seed
+cargo run --release -q -p omb --bin chaos_trace "$tmp/burst2.json" --burst
+cmp "$tmp/burst.json" "$tmp/burst2.json"
+
 echo "ci: OK"

@@ -1,11 +1,30 @@
 //! Collective operations: dissemination barrier, binomial broadcast,
 //! and small reductions — built from real flag writes and data movement
 //! so their cost scales as on a real cluster.
+//!
+//! Fault tolerance: every collective is built from idempotent pieces —
+//! monotonic generation flags (waiters use `>=` predicates), fixed-slot
+//! data puts, whole-block RMA puts — so under an armed fault plan each
+//! piece is simply *replayed* (bounded, with seeded backoff) when its
+//! typed error surfaces: a lost flag write is re-sent, a timed-out wait
+//! re-waits after re-driving the local side. Collectives therefore
+//! complete byte-correct under flag loss, and only an exhausted replay
+//! budget surfaces a [`TransferError`] through the `try_*` entry points
+//! (the panicking spellings wrap them, matching the RMA convention).
 
 use crate::addr::{Pod, SymAddr, SymSlice};
+use crate::error::TransferError;
 use crate::pe::Pe;
 use crate::sync::cells;
 use pcie_sim::ProcId;
+use sim_core::SimDuration;
+
+/// Replay budget for one collective step (flag put + wait pair, data
+/// put, or block put). Deliberately generous — several times the
+/// per-post retry budget — because a step only consumes a replay after
+/// a whole retry chain exhausted or a wait timed out; the budget exists
+/// to bound the walk, not to model a realistic failure allowance.
+const COLL_REPLAY_BUDGET: u32 = 16;
 
 /// Reduction operators for the typed reductions.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -39,8 +58,50 @@ macro_rules! impl_reducible {
 impl_reducible!(f32, f64, i32, i64, u32, u64);
 
 impl Pe {
+    /// Run one idempotent collective step, replaying it (with the fault
+    /// plan's seeded backoff, salted by `salt`) on recoverable typed
+    /// errors — exhausted retry chains, wait timeouts, partial
+    /// deliveries. Unrecoverable errors (MR violations, capability
+    /// faults) surface immediately.
+    fn with_replay<T>(
+        &self,
+        salt: u64,
+        mut step: impl FnMut() -> Result<T, TransferError>,
+    ) -> Result<T, TransferError> {
+        let plan = self.machine().cfg().faults;
+        let mut replays: u32 = 0;
+        loop {
+            match step() {
+                Ok(v) => return Ok(v),
+                Err(
+                    e @ (TransferError::RetriesExhausted { .. }
+                    | TransferError::Timeout { .. }
+                    | TransferError::PartialDelivery { .. }),
+                ) => {
+                    if replays >= COLL_REPLAY_BUDGET {
+                        return Err(e);
+                    }
+                    replays += 1;
+                    let backoff = plan.backoff_ns(salt, replays.min(8));
+                    self.ctx().advance(SimDuration::from_ns(backoff));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
     /// `shmem_barrier_all`: quiet + dissemination barrier.
     pub fn barrier_all(&self) {
+        self.try_barrier_all()
+            .unwrap_or_else(|e| panic!("barrier_all failed: {e}"));
+    }
+
+    /// Fallible `shmem_barrier_all`: under an armed fault plan each
+    /// dissemination round replays its flag put + wait pair on flag
+    /// loss or wait timeout (the pair is one idempotent step — if my
+    /// partner never saw my flag *or* I lost theirs, re-sending mine
+    /// and re-waiting converges either way).
+    pub fn try_barrier_all(&self) -> Result<(), TransferError> {
         let t0 = self.ctx().now();
         self.quiet();
         let m = self.machine().clone();
@@ -53,50 +114,57 @@ impl Pe {
             *g
         };
         let n = self.n_pes();
-        if n > 1 {
-            let me = self.my_pe();
-            let mut r = 0u32;
-            while (1usize << r) < n {
-                let partner = (me + (1 << r)) % n;
-                m.sync_flag_put(
-                    self.ctx(),
-                    self.proc_id(),
-                    ProcId(partner as u32),
-                    cells::BARRIER + 8 * r as u64,
-                    gen,
+        let result = (|| {
+            if n > 1 {
+                let me = self.my_pe();
+                let mut r = 0u32;
+                while (1usize << r) < n {
+                    let partner = (me + (1 << r)) % n;
+                    let cell = cells::BARRIER + 8 * r as u64;
+                    self.with_replay(gen ^ (cell << 8) ^ me as u64, || {
+                        m.try_sync_flag_put(
+                            self.ctx(),
+                            self.proc_id(),
+                            ProcId(partner as u32),
+                            cell,
+                            gen,
+                        )?;
+                        m.try_sync_wait(self.ctx(), self.proc_id(), cell, |v| v >= gen)
+                    })?;
+                    r += 1;
+                }
+            }
+            Ok(())
+        })();
+        if result.is_ok() {
+            let rec = m.obs();
+            if rec.counters_on() {
+                let t1 = self.ctx().now();
+                rec.latency("barrier", 0, t1.since(t0));
+                let id = self.proc_id();
+                rec.span(
+                    m.pe_track(id),
+                    "barrier",
+                    t0,
+                    t1,
+                    obs::Payload::Op {
+                        op: "barrier",
+                        protocol: "barrier",
+                        size: 0,
+                        src_pe: id.0,
+                        dst_pe: id.0,
+                        src_dev: false,
+                        dst_dev: false,
+                        same_node: true,
+                        // collectives carry no correlation id (no single
+                        // remote completion to flow to)
+                        op_id: 0,
+                    },
                 );
-                m.sync_wait(self.ctx(), self.proc_id(), cells::BARRIER + 8 * r as u64, |v| {
-                    v >= gen
-                });
-                r += 1;
             }
         }
-        let rec = m.obs();
-        if rec.counters_on() {
-            let t1 = self.ctx().now();
-            rec.latency("barrier", 0, t1.since(t0));
-            let id = self.proc_id();
-            rec.span(
-                m.pe_track(id),
-                "barrier",
-                t0,
-                t1,
-                obs::Payload::Op {
-                    op: "barrier",
-                    protocol: "barrier",
-                    size: 0,
-                    src_pe: id.0,
-                    dst_pe: id.0,
-                    src_dev: false,
-                    dst_dev: false,
-                    same_node: true,
-                    // collectives carry no correlation id (no single
-                    // remote completion to flow to)
-                    op_id: 0,
-                },
-            );
-        }
         st.leave_library();
+        result
     }
 
     fn next_coll_gen(&self) -> u64 {
@@ -109,10 +177,19 @@ impl Pe {
     /// Broadcast `len` bytes of the symmetric object `data` from `root`'s
     /// copy into every PE's copy (binomial tree over puts).
     pub fn broadcast(&self, data: SymAddr, len: u64, root: usize) {
+        self.try_broadcast(data, len, root)
+            .unwrap_or_else(|e| panic!("broadcast failed: {e}"));
+    }
+
+    /// Fallible broadcast: the data put, the flag put, and the
+    /// receiver's wait each replay independently (all idempotent — the
+    /// payload lands at a fixed destination, the flag is a generation
+    /// counter).
+    pub fn try_broadcast(&self, data: SymAddr, len: u64, root: usize) -> Result<(), TransferError> {
         let n = self.n_pes();
         let gen = self.next_coll_gen();
         if n == 1 {
-            return;
+            return Ok(());
         }
         let me = self.my_pe();
         let m = self.machine().clone();
@@ -120,27 +197,35 @@ impl Pe {
         let mut k = 0u32;
         while (1usize << k) < n {
             let span = 1usize << k;
+            let cell = cells::BCAST + 8 * k as u64;
             if vr < span {
                 let peer_vr = vr + span;
                 if peer_vr < n {
                     let peer = (peer_vr + root) % n;
-                    self.putmem_sym(data, data, len, peer);
+                    let src = self.addr_of(data, me);
+                    self.with_replay(gen ^ (cell << 8) ^ 0x01, || {
+                        self.try_putmem(data, src, len, peer)
+                    })?;
                     self.quiet();
-                    m.sync_flag_put(
-                        self.ctx(),
-                        self.proc_id(),
-                        ProcId(peer as u32),
-                        cells::BCAST + 8 * k as u64,
-                        gen,
-                    );
+                    self.with_replay(gen ^ (cell << 8) ^ 0x02, || {
+                        m.try_sync_flag_put(
+                            self.ctx(),
+                            self.proc_id(),
+                            ProcId(peer as u32),
+                            cell,
+                            gen,
+                        )
+                    })?;
                 }
             } else if vr < 2 * span {
-                m.sync_wait(self.ctx(), self.proc_id(), cells::BCAST + 8 * k as u64, |v| {
-                    v >= gen
-                });
+                // on timeout just re-wait: the sender replays its side
+                self.with_replay(gen ^ (cell << 8) ^ 0x03, || {
+                    m.try_sync_wait(self.ctx(), self.proc_id(), cell, |v| v >= gen)
+                })?;
             }
             k += 1;
         }
+        Ok(())
     }
 
     /// Reduce a small symmetric vector to `root`'s copy of `dst` with
@@ -153,6 +238,19 @@ impl Pe {
         op: RedOp,
         root: usize,
     ) {
+        self.try_reduce(src, dst, op, root)
+            .unwrap_or_else(|e| panic!("reduce failed: {e}"));
+    }
+
+    /// Fallible reduce: contributions replay their fixed-slot data put
+    /// and arrival flag; the root re-waits on timeout.
+    pub fn try_reduce<T: Reducible>(
+        &self,
+        src: &SymSlice<T>,
+        dst: &SymSlice<T>,
+        op: RedOp,
+        root: usize,
+    ) -> Result<(), TransferError> {
         assert!(
             src.byte_len() <= cells::SLOT,
             "reduce payload exceeds slot size ({} > {})",
@@ -167,27 +265,31 @@ impl Pe {
         if n == 1 {
             let v = self.read_sym(src);
             self.write_sym(dst, &v);
-            return;
+            return Ok(());
         }
         if me != root {
             // ship my contribution into root's slot for me, then flag
             let my_copy = self.addr_of(src.addr(), me);
-            m.sync_data_put(
-                self.ctx(),
-                self.proc_id(),
-                ProcId(root as u32),
-                cells::REDUCE_DATA + cells::SLOT * me as u64,
-                my_copy,
-                src.byte_len(),
-            );
+            self.with_replay(gen ^ 0x10 ^ me as u64, || {
+                m.try_sync_data_put(
+                    self.ctx(),
+                    self.proc_id(),
+                    ProcId(root as u32),
+                    cells::REDUCE_DATA + cells::SLOT * me as u64,
+                    my_copy,
+                    src.byte_len(),
+                )
+            })?;
             self.quiet();
-            m.sync_flag_put(
-                self.ctx(),
-                self.proc_id(),
-                ProcId(root as u32),
-                cells::REDUCE_FLAGS + 8 * me as u64,
-                gen,
-            );
+            self.with_replay(gen ^ 0x20 ^ me as u64, || {
+                m.try_sync_flag_put(
+                    self.ctx(),
+                    self.proc_id(),
+                    ProcId(root as u32),
+                    cells::REDUCE_FLAGS + 8 * me as u64,
+                    gen,
+                )
+            })?;
         } else {
             // gather: wait for every contribution
             let mut acc = self.read_sym(src);
@@ -195,12 +297,14 @@ impl Pe {
                 if pe == root {
                     continue;
                 }
-                m.sync_wait(
-                    self.ctx(),
-                    self.proc_id(),
-                    cells::REDUCE_FLAGS + 8 * pe as u64,
-                    |v| v >= gen,
-                );
+                self.with_replay(gen ^ 0x30 ^ pe as u64, || {
+                    m.try_sync_wait(
+                        self.ctx(),
+                        self.proc_id(),
+                        cells::REDUCE_FLAGS + 8 * pe as u64,
+                        |v| v >= gen,
+                    )
+                })?;
                 let slot = m.sync_cell(
                     self.proc_id(),
                     cells::REDUCE_DATA + cells::SLOT * pe as u64,
@@ -214,7 +318,7 @@ impl Pe {
             self.write_sym(dst, &acc);
         }
         // result distribution
-        self.broadcast(dst.addr(), dst.byte_len(), root);
+        self.try_broadcast(dst.addr(), dst.byte_len(), root)
     }
 
     /// Sum-reduce to root (kept as the common spelling).
@@ -231,6 +335,17 @@ impl Pe {
     /// ends with all blocks, in PE order, in its copy of `dest`
     /// (`dest.len() == n_pes * src.len()`).
     pub fn fcollect<T: Pod>(&self, dest: &SymSlice<T>, src: &SymSlice<T>) {
+        self.try_fcollect(dest, src)
+            .unwrap_or_else(|e| panic!("fcollect failed: {e}"));
+    }
+
+    /// Fallible fcollect: each block put, arrival flag, and wait
+    /// replays independently.
+    pub fn try_fcollect<T: Pod>(
+        &self,
+        dest: &SymSlice<T>,
+        src: &SymSlice<T>,
+    ) -> Result<(), TransferError> {
         let n = self.n_pes();
         let me = self.my_pe();
         assert_eq!(dest.len(), n * src.len(), "fcollect geometry");
@@ -242,37 +357,55 @@ impl Pe {
             if t == me {
                 self.write_sym(&dest.slice(me * src.len(), src.len()), &self.read_sym(src));
             } else {
-                self.putmem(dest.at(me * src.len()), my_copy, src.byte_len(), t);
+                self.with_replay(gen ^ 0x40 ^ ((me * n + t) as u64), || {
+                    self.try_putmem(dest.at(me * src.len()), my_copy, src.byte_len(), t)
+                })?;
             }
         }
         self.quiet();
         for t in 0..n {
             if t != me {
-                m.sync_flag_put(
-                    self.ctx(),
-                    self.proc_id(),
-                    ProcId(t as u32),
-                    cells::COLL_FLAGS + 8 * me as u64,
-                    gen,
-                );
+                self.with_replay(gen ^ 0x50 ^ ((me * n + t) as u64), || {
+                    m.try_sync_flag_put(
+                        self.ctx(),
+                        self.proc_id(),
+                        ProcId(t as u32),
+                        cells::COLL_FLAGS + 8 * me as u64,
+                        gen,
+                    )
+                })?;
             }
         }
         // wait for every other PE's block
         for s_pe in 0..n {
             if s_pe != me {
-                m.sync_wait(
-                    self.ctx(),
-                    self.proc_id(),
-                    cells::COLL_FLAGS + 8 * s_pe as u64,
-                    |v| v >= gen,
-                );
+                self.with_replay(gen ^ 0x60 ^ s_pe as u64, || {
+                    m.try_sync_wait(
+                        self.ctx(),
+                        self.proc_id(),
+                        cells::COLL_FLAGS + 8 * s_pe as u64,
+                        |v| v >= gen,
+                    )
+                })?;
             }
         }
+        Ok(())
     }
 
     /// `shmem_alltoall`: PE `i`'s block `j` of `src` lands in PE `j`'s
     /// block `i` of `dest` (`src.len() == dest.len() == n_pes * per`).
     pub fn alltoall<T: Pod>(&self, dest: &SymSlice<T>, src: &SymSlice<T>, per: usize) {
+        self.try_alltoall(dest, src, per)
+            .unwrap_or_else(|e| panic!("alltoall failed: {e}"));
+    }
+
+    /// Fallible alltoall: same replay structure as fcollect.
+    pub fn try_alltoall<T: Pod>(
+        &self,
+        dest: &SymSlice<T>,
+        src: &SymSlice<T>,
+        per: usize,
+    ) -> Result<(), TransferError> {
         let n = self.n_pes();
         let me = self.my_pe();
         assert_eq!(src.len(), n * per, "alltoall src geometry");
@@ -286,30 +419,37 @@ impl Pe {
                 let vals = self.read_sym(&src.slice(me * per, per));
                 self.write_sym(&dest.slice(me * per, per), &vals);
             } else {
-                self.putmem(dest.at(me * per), block, per_bytes, j);
+                self.with_replay(gen ^ 0x70 ^ ((me * n + j) as u64), || {
+                    self.try_putmem(dest.at(me * per), block, per_bytes, j)
+                })?;
             }
         }
         self.quiet();
         for j in 0..n {
             if j != me {
-                m.sync_flag_put(
-                    self.ctx(),
-                    self.proc_id(),
-                    ProcId(j as u32),
-                    cells::COLL_FLAGS + 8 * me as u64,
-                    gen,
-                );
+                self.with_replay(gen ^ 0x80 ^ ((me * n + j) as u64), || {
+                    m.try_sync_flag_put(
+                        self.ctx(),
+                        self.proc_id(),
+                        ProcId(j as u32),
+                        cells::COLL_FLAGS + 8 * me as u64,
+                        gen,
+                    )
+                })?;
             }
         }
         for s_pe in 0..n {
             if s_pe != me {
-                m.sync_wait(
-                    self.ctx(),
-                    self.proc_id(),
-                    cells::COLL_FLAGS + 8 * s_pe as u64,
-                    |v| v >= gen,
-                );
+                self.with_replay(gen ^ 0x90 ^ s_pe as u64, || {
+                    m.try_sync_wait(
+                        self.ctx(),
+                        self.proc_id(),
+                        cells::COLL_FLAGS + 8 * s_pe as u64,
+                        |v| v >= gen,
+                    )
+                })?;
             }
         }
+        Ok(())
     }
 }

@@ -41,6 +41,7 @@ pub mod addr;
 pub mod collectives;
 pub mod config;
 pub mod error;
+pub mod health;
 pub mod layout;
 pub mod lock;
 pub mod machine;

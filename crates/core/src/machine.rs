@@ -6,9 +6,10 @@
 //! the per-node proxy state. `run` then launches one task per PE.
 
 use crate::config::RuntimeConfig;
+use crate::health::{HealthMonitor, Route};
 use crate::layout::HeapLayout;
 use crate::pe::Pe;
-use crate::state::PeState;
+use crate::state::{PeState, Protocol};
 use gpu_sim::GpuRuntime;
 use ib_sim::IbVerbs;
 use obs::{Recorder, TrackId, TrackKind};
@@ -48,6 +49,9 @@ pub struct ShmemMachine {
     layout: HeapLayout,
     pes: Vec<PeState>,
     proxies: Vec<ProxyStats>,
+    /// Per-(node, protocol) circuit breakers feeding health-driven
+    /// demotion in protocol selection (inert on unfaulted runs).
+    health: HealthMonitor,
     obs: Arc<Recorder>,
     /// PE tracks, pre-registered in PE order so op recording is a
     /// lock-free index lookup (and export order never depends on which
@@ -101,6 +105,7 @@ impl ShmemMachine {
             })
             .collect();
         let proxies = (0..topo.nnodes()).map(|_| ProxyStats::default()).collect();
+        let health = HealthMonitor::new(&cfg.faults, topo.nnodes());
 
         // Observability: one recorder per machine, shared with the
         // hardware layers through their late-bound sinks. PE and proxy
@@ -126,6 +131,7 @@ impl ShmemMachine {
             layout,
             pes,
             proxies,
+            health,
             obs,
             pe_tracks,
         })
@@ -476,6 +482,87 @@ impl ShmemMachine {
                 },
             );
         }
+    }
+
+    fn node_idx(&self, p: ProcId) -> usize {
+        self.cluster.topo().node_of(p).index()
+    }
+
+    /// Record a health-breaker transition or probe admission
+    /// (`demote` / `probe` / `promote`) for `proto` on `me`'s node:
+    /// exact counter (Counters+) plus an instant on the PE's track
+    /// when the triggering op is sampled (Spans).
+    pub(crate) fn obs_health(
+        &self,
+        me: ProcId,
+        ts: SimTime,
+        event: &'static str,
+        proto: Protocol,
+        token: OpToken,
+    ) {
+        self.obs.fault_tally(event, proto.name());
+        if self.obs.spans_on() && token.sampled {
+            self.obs.instant(
+                self.pe_track(me),
+                event,
+                ts,
+                obs::Payload::Health {
+                    protocol: proto.name(),
+                    op_id: token.id,
+                },
+            );
+        }
+    }
+
+    /// Feed one injected fault on `proto` into the health breaker of
+    /// `me`'s node, reporting the `demote` when it opens the circuit.
+    pub(crate) fn health_on_failure(&self, me: ProcId, ts: SimTime, proto: Protocol, token: OpToken) {
+        let now_ns = ts.0 / sim_core::PS_PER_NS;
+        if self
+            .health
+            .record_failure(self.node_idx(me), proto, now_ns)
+            .is_some()
+        {
+            self.obs_health(me, ts, "demote", proto, token);
+        }
+    }
+
+    /// Feed one clean post on `proto` into the health breaker of `me`'s
+    /// node, reporting the `promote` when it closes the circuit.
+    pub(crate) fn health_on_success(&self, me: ProcId, ts: SimTime, proto: Protocol, token: OpToken) {
+        let now_ns = ts.0 / sim_core::PS_PER_NS;
+        if self
+            .health
+            .record_success(self.node_idx(me), proto, now_ns)
+            .is_some()
+        {
+            self.obs_health(me, ts, "promote", proto, token);
+        }
+    }
+
+    /// Consult the health breaker for `proto` at dispatch time: true
+    /// means the protocol is demoted and selection must fall back. A
+    /// lapsed cooldown admits the calling op as the half-open probe
+    /// (reported once per cooldown as a `probe` instant).
+    pub(crate) fn health_avoid(&self, me: ProcId, ts: SimTime, proto: Protocol, token: OpToken) -> bool {
+        let now_ns = ts.0 / sim_core::PS_PER_NS;
+        match self.health.consult(self.node_idx(me), proto, now_ns) {
+            Route::Use => false,
+            Route::Probe { first } => {
+                if first {
+                    self.obs_health(me, ts, "probe", proto, token);
+                }
+                false
+            }
+            Route::Avoid => true,
+        }
+    }
+
+    /// Non-mutating demotion check for the serviced-predicates (which
+    /// run outside dispatch and must not admit probes or emit events).
+    pub(crate) fn health_demoted_now(&self, me: ProcId, proto: Protocol) -> bool {
+        let now_ns = self.sim.now().0 / sim_core::PS_PER_NS;
+        self.health.demoted_now(self.node_idx(me), proto, now_ns)
     }
 
     /// Emit the flow-end instant for `token` at `ts` on `track` (used by

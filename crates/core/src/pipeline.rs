@@ -125,7 +125,7 @@ impl ShmemMachine {
         let track = self.pe_track(me);
         // chunk spans follow the op's sampling verdict
         let trace = rec.spans_on() && token.sampled;
-        let recovery = ChunkRecovery::new(len, self.cfg().faults.cqe_permille > 0);
+        let recovery = ChunkRecovery::new(len, self.cfg().faults.cqe_armed());
         let outcome = Completion::new();
         let mut last_d2h: Option<Completion> = None;
         for i in 0..n {
@@ -229,7 +229,7 @@ impl ShmemMachine {
             return;
         }
         let plan = self.cfg().faults;
-        match self.ib().inject_transient_cqe(c.me) {
+        match self.ib().inject_transient_cqe(c.me, s.now()) {
             None => {
                 if attempt > 0 {
                     self.obs().fault_tally("chunk-recovered", "pipeline-gdr-write");
@@ -440,7 +440,7 @@ impl ShmemMachine {
         // The baseline is rendezvous-based: an RTS/CTS handshake with the
         // target's runtime precedes the pipeline (cf. [17]).
         ctx.advance(self.ack_latency() * 2);
-        let recovery = ChunkRecovery::new(len, self.cfg().faults.cqe_permille > 0);
+        let recovery = ChunkRecovery::new(len, self.cfg().faults.cqe_armed());
         let outcome = Completion::new();
         let mut last_d2h: Option<Completion> = None;
         for i in 0..n {
@@ -625,7 +625,7 @@ impl ShmemMachine {
                 },
             );
         }
-        let recovery = ChunkRecovery::new(len, self.cfg().faults.cqe_permille > 0);
+        let recovery = ChunkRecovery::new(len, self.cfg().faults.cqe_armed());
         let outcome = Completion::new();
         let mut last_local: Option<Completion> = None;
         for i in 0..n {
@@ -890,7 +890,7 @@ impl ShmemMachine {
                 },
             );
         }
-        let recovery = ChunkRecovery::new(len, self.cfg().faults.cqe_permille > 0);
+        let recovery = ChunkRecovery::new(len, self.cfg().faults.cqe_armed());
         let done = Completion::new();
         ctx.advance(self.cluster().hw().ib.post_overhead);
         for i in 0..n {
@@ -1114,7 +1114,7 @@ impl ShmemMachine {
         let n = len.div_ceil(chunk);
         let signal = self.proxy_signal_latency()
             + self.proxy_stall_extra(self.cluster().topo().node_of(from), ctx.now());
-        let recovery = ChunkRecovery::new(len, self.cfg().faults.cqe_permille > 0);
+        let recovery = ChunkRecovery::new(len, self.cfg().faults.cqe_armed());
         let req = GetRequest {
             src,
             req_staging: my_stg,

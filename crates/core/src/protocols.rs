@@ -177,8 +177,9 @@ impl ShmemMachine {
         let plan = self.cfg().faults;
         let mut attempt: u32 = 0;
         loop {
-            if let Some(f) = self.ib().inject_transient_cqe(me) {
+            if let Some(f) = self.ib().inject_transient_cqe(me, ctx.now()) {
                 self.obs_fault(me, ctx.now(), f.kind, proto.name(), token);
+                self.health_on_failure(me, ctx.now(), proto, token);
                 ctx.advance(f.detect);
                 if attempt >= plan.max_retries {
                     self.obs().fault_tally("exhausted", proto.name());
@@ -194,6 +195,7 @@ impl ShmemMachine {
                 continue;
             }
             let out = post().map_err(TransferError::Mr)?;
+            self.health_on_success(me, ctx.now(), proto, token);
             if attempt > 0 {
                 self.obs().fault_tally("recovered", proto.name());
             }
@@ -349,6 +351,11 @@ impl ShmemMachine {
             } else {
                 Protocol::HostRdma
             };
+            // half-open probe admission: the first op re-trying a
+            // demoted direct path after cooldown is marked in the trace
+            if chosen == Protocol::DirectGdr {
+                let _ = self.health_avoid(me, t0, Protocol::DirectGdr, token);
+            }
             if let Err(e) =
                 self.rdma_put_inner(ctx, me, src, rkey, dst, len, true, target, token, chosen)
             {
@@ -409,6 +416,10 @@ impl ShmemMachine {
                 let mut s = st.stats.lock();
                 s.puts += 1;
                 s.bytes_put += len;
+            }
+            if !self.cluster().topo().same_node(me, target) && (src.is_device() || dst.is_device())
+            {
+                let _ = self.health_avoid(me, t0, Protocol::DirectGdr, token);
             }
             self.ensure_registered(ctx, me, src, len);
             let rkey = self.layout().rkey(dest.domain, target);
@@ -497,6 +508,9 @@ impl ShmemMachine {
                 let mut s = st.stats.lock();
                 s.gets += 1;
                 s.bytes_get += len;
+            }
+            if !self.cluster().topo().same_node(me, from) && (src.is_device() || dst.is_device()) {
+                let _ = self.health_avoid(me, t0, Protocol::DirectGdr, token);
             }
             self.ensure_registered(ctx, me, dst, len);
             let posted = self.post_with_retry(ctx, me, Protocol::DirectGdr, token, || {
@@ -620,6 +634,11 @@ impl ShmemMachine {
             (true, _, _) => len <= cfg.loopback_put_limit,
             (false, false, false) => true,
             (false, src_dev, dst_dev) => {
+                // Health demotion routes direct GDR through the blocking
+                // dispatch (which owns the fallback + probe admission).
+                if self.health_demoted_now(me, Protocol::DirectGdr) {
+                    return false;
+                }
                 let dst_intra = self.mem_gpu_intra_socket(dst, target);
                 len <= cfg.gdr_put_limit || (!src_dev && dst_intra && dst_dev)
             }
@@ -653,9 +672,10 @@ impl ShmemMachine {
                 len <= cfg.loopback_get_limit
             }
         } else if !src.is_device() {
-            true
+            // a device destination means direct GDR — honour demotion
+            !(dst.is_device() && self.health_demoted_now(me, Protocol::DirectGdr))
         } else {
-            len <= cfg.gdr_get_limit
+            len <= cfg.gdr_get_limit && !self.health_demoted_now(me, Protocol::DirectGdr)
         }
     }
 
@@ -846,7 +866,19 @@ impl ShmemMachine {
                                     let dst_intra = self.mem_gpu_intra_socket(dst, target);
                                     let direct_ok =
                                         len <= cfg.gdr_put_limit || (!src_dev && dst_intra);
-                                    if gdr_off {
+                                    // Health demotion: an op that would go
+                                    // direct GDR takes the capability-fault
+                                    // fallback while the breaker is open (a
+                                    // lapsed cooldown admits it as the probe).
+                                    let demoted = !gdr_off
+                                        && direct_ok
+                                        && self.health_avoid(
+                                            me,
+                                            ctx.now(),
+                                            Protocol::DirectGdr,
+                                            token,
+                                        );
+                                    if gdr_off || demoted {
                                         // No HCA<->GPU DMA at either end. The
                                         // proxy put (host RDMA + proxy-side
                                         // cudaMemcpy H2D) and the D2H-staged
@@ -1100,7 +1132,10 @@ impl ShmemMachine {
                                 Protocol::IpcCopy
                             }
                         } else if !src_dev {
-                            if dst_dev && gdr_off {
+                            let demoted = dst_dev
+                                && !gdr_off
+                                && self.health_avoid(me, ctx.now(), Protocol::DirectGdr, token);
+                            if dst_dev && (gdr_off || demoted) {
                                 // local GDR scatter unavailable: plain host
                                 // RDMA read into registered staging, finish
                                 // with H2D cudaMemcpy chunks
@@ -1128,53 +1163,60 @@ impl ShmemMachine {
                                 self.rdma_get(ctx, me, dst, rkey, src, len, token, p)?;
                                 p
                             }
-                        } else if gdr_off {
-                            // remote GPU source with GDR dead: the remote
-                            // proxy stages D2H on its node and host-RDMA-
-                            // writes into my landing buffer; a device
-                            // destination takes one extra local H2D copy.
-                            let would = if len <= cfg.gdr_get_limit
-                                || !cfg.proxy_enabled
-                                || len < cfg.proxy_get_min
-                            {
-                                Protocol::DirectGdr
-                            } else {
-                                Protocol::ProxyPipeline
-                            };
-                            if would != Protocol::ProxyPipeline || dst_dev {
-                                self.obs_fallback(
-                                    me,
-                                    ctx.now(),
-                                    "get",
-                                    would.name(),
-                                    Protocol::ProxyPipeline.name(),
-                                    token,
-                                );
-                            }
-                            if dst_dev {
-                                self.staged_gdr_off_get(
-                                    ctx, me, dst, rkey, src, len, from, token, true,
-                                )?;
-                            } else {
-                                self.proxy_get(ctx, me, dst, src, len, from, token)?;
-                            }
-                            Protocol::ProxyPipeline
-                        } else if len <= cfg.gdr_get_limit {
-                            self.rdma_get(
-                                ctx, me, dst, rkey, src, len, token,
-                                Protocol::DirectGdr,
-                            )?;
-                            Protocol::DirectGdr
-                        } else if cfg.proxy_enabled && len >= cfg.proxy_get_min {
-                            // large get from remote GPU memory: remote proxy runs
-                            // the reverse pipeline, target PE never involved
-                            self.proxy_get(ctx, me, dst, src, len, from, token)?;
-                            Protocol::ProxyPipeline
                         } else {
-                            // ablation fallback: chunked direct GDR reads, paying
-                            // the P2P read bottleneck
-                            self.chunked_direct_get(ctx, me, dst, rkey, src, len, token)?;
-                            Protocol::DirectGdr
+                            let would_direct = len <= cfg.gdr_get_limit
+                                || !cfg.proxy_enabled
+                                || len < cfg.proxy_get_min;
+                            let demoted = !gdr_off
+                                && would_direct
+                                && self.health_avoid(me, ctx.now(), Protocol::DirectGdr, token);
+                            if gdr_off || demoted {
+                                // remote GPU source with GDR dead (or direct
+                                // GDR demoted): the remote proxy stages D2H
+                                // on its node and host-RDMA-writes into my
+                                // landing buffer; a device destination takes
+                                // one extra local H2D copy.
+                                let would = if would_direct {
+                                    Protocol::DirectGdr
+                                } else {
+                                    Protocol::ProxyPipeline
+                                };
+                                if would != Protocol::ProxyPipeline || dst_dev {
+                                    self.obs_fallback(
+                                        me,
+                                        ctx.now(),
+                                        "get",
+                                        would.name(),
+                                        Protocol::ProxyPipeline.name(),
+                                        token,
+                                    );
+                                }
+                                if dst_dev {
+                                    self.staged_gdr_off_get(
+                                        ctx, me, dst, rkey, src, len, from, token, true,
+                                    )?;
+                                } else {
+                                    self.proxy_get(ctx, me, dst, src, len, from, token)?;
+                                }
+                                Protocol::ProxyPipeline
+                            } else if len <= cfg.gdr_get_limit {
+                                self.rdma_get(
+                                    ctx, me, dst, rkey, src, len, token,
+                                    Protocol::DirectGdr,
+                                )?;
+                                Protocol::DirectGdr
+                            } else if cfg.proxy_enabled && len >= cfg.proxy_get_min {
+                                // large get from remote GPU memory: remote proxy
+                                // runs the reverse pipeline, target PE never
+                                // involved
+                                self.proxy_get(ctx, me, dst, src, len, from, token)?;
+                                Protocol::ProxyPipeline
+                            } else {
+                                // ablation fallback: chunked direct GDR reads,
+                                // paying the P2P read bottleneck
+                                self.chunked_direct_get(ctx, me, dst, rkey, src, len, token)?;
+                                Protocol::DirectGdr
+                            }
                         }
                     }
                 }

@@ -30,9 +30,10 @@ use std::sync::Arc;
 /// task-side driver and the event-context chunk callbacks.
 ///
 /// `armed` is false when the fault plan cannot fault chunk posts
-/// (`cqe_permille == 0`): then every method is a no-op and the
-/// protocols take exactly their pre-fault code paths, so an unfaulted
-/// run's trace is byte-identical to one built without recovery.
+/// (`!cqe_armed()`: no per-post permille and no burst windows): then
+/// every method is a no-op and the protocols take exactly their
+/// pre-fault code paths, so an unfaulted run's trace is byte-identical
+/// to one built without recovery.
 pub(crate) struct ChunkRecovery {
     /// Total payload bytes of the transfer.
     total: u64,
@@ -95,9 +96,9 @@ impl ShmemMachine {
     /// `poster` selects the per-process fault stream — it must be the
     /// process whose HCA issues the post (the serving/proxying side for
     /// gets), matching what a task-context `post_with_retry` on that
-    /// process would draw. With no plan or `cqe_permille == 0` the
-    /// draw short-circuits and `post` runs synchronously, preserving
-    /// the exact unfaulted event order.
+    /// process would draw. With no plan or an unarmed CQE stream
+    /// (`!cqe_armed()`) the draw short-circuits and `post` runs
+    /// synchronously, preserving the exact unfaulted event order.
     pub(crate) fn chunk_post_with_retry(
         self: &Arc<Self>,
         s: &mut Sched<'_>,
@@ -122,12 +123,15 @@ impl ShmemMachine {
         on_fail: Action,
     ) {
         let plan = self.cfg().faults;
-        if plan.cqe_permille == 0 {
+        if !plan.cqe_armed() {
             post(s);
             return;
         }
-        match self.ib().inject_transient_cqe(poster) {
+        match self.ib().inject_transient_cqe(poster, s.now()) {
             None => {
+                if let Some(p) = crate::state::Protocol::from_name(protocol) {
+                    self.health_on_success(poster, s.now(), p, token);
+                }
                 if attempt > 0 {
                     self.obs().fault_tally("chunk-recovered", protocol);
                 }
@@ -135,6 +139,9 @@ impl ShmemMachine {
             }
             Some(f) => {
                 self.obs_fault(poster, s.now(), f.kind, protocol, token);
+                if let Some(p) = crate::state::Protocol::from_name(protocol) {
+                    self.health_on_failure(poster, s.now(), p, token);
+                }
                 if attempt >= plan.max_retries {
                     self.obs().fault_tally("exhausted", protocol);
                     // the failure is acted on once the CQE error is

@@ -70,6 +70,12 @@ impl Protocol {
             Protocol::HwAtomic => "hw-atomic",
         }
     }
+
+    /// Inverse of [`Protocol::name`] — event-context call sites carry
+    /// only the name and need the enum back to key health tracking.
+    pub fn from_name(name: &str) -> Option<Protocol> {
+        Protocol::ALL.into_iter().find(|p| p.name() == name)
+    }
 }
 
 /// Per-PE operation counters.

@@ -3,13 +3,27 @@
 //! The sync area (part of each PE's registered host span) holds the flag
 //! cells used by the dissemination barrier, broadcast/reduce, and
 //! `put_u64` scratch. Flag writes are real transfers: CPU stores through
-//! the shared segment node-locally, 8-byte RDMA writes across nodes.
+//! the shared segment node-locally, 8-byte RDMA writes across nodes —
+//! and under an armed fault plan they draw from a *dedicated* sync-flag
+//! CQE stream ([`faults::SYNC_STREAM`]), so a lost flag write surfaces
+//! as a typed [`TransferError`] on the `try_*` entry points instead of
+//! a panic, and a flag that never arrives trips `sync_wait`'s
+//! virtual-time timeout instead of spinning forever.
 
+use crate::error::TransferError;
 use crate::machine::ShmemMachine;
+use crate::state::Protocol;
 use pcie_sim::mem::MemRef;
 use pcie_sim::ProcId;
 use sim_core::{SimDuration, TaskCtx};
 use std::sync::Arc;
+
+/// Default `sync_wait` deadline under an active fault plan that sets no
+/// per-op timeout: generous against late partners (whole-op retry
+/// chains, proxy stalls), small against the simulation horizon. The
+/// collectives replay their flags and re-wait on timeout, so this is a
+/// detection latency, not a failure budget.
+pub(crate) const SYNC_WAIT_TIMEOUT_NS: u64 = 2_000_000;
 
 /// Sync-area layout (offsets within each PE's sync area).
 pub mod cells {
@@ -43,17 +57,68 @@ impl ShmemMachine {
         self.layout().sync_base(pe).add(off)
     }
 
+    /// Bounded-retry loop for sync-area RDMA posts, drawing from the
+    /// dedicated sync-flag CQE stream so sync traffic faults like any
+    /// other transfer without perturbing the RMA streams. Failures and
+    /// successes feed the [`Protocol::HostRdma`] health breaker (the
+    /// transport these 8-byte writes ride on). With an unarmed CQE
+    /// stream this is exactly one `post()` call and mints no op token,
+    /// so unfaulted runs keep byte-identical traces.
+    fn sync_post_with_retry<T>(
+        self: &Arc<Self>,
+        ctx: &TaskCtx,
+        me: ProcId,
+        label: &'static str,
+        mut post: impl FnMut() -> Result<T, ib_sim::MrError>,
+    ) -> Result<T, TransferError> {
+        let plan = self.cfg().faults;
+        if !plan.cqe_armed() {
+            return post().map_err(TransferError::Mr);
+        }
+        let token = self.next_op(me);
+        let mut attempt: u32 = 0;
+        loop {
+            if let Some(f) = self.ib().inject_sync_cqe(me, ctx.now()) {
+                self.obs_fault(me, ctx.now(), f.kind, label, token);
+                self.health_on_failure(me, ctx.now(), Protocol::HostRdma, token);
+                ctx.advance(f.detect);
+                if attempt >= plan.max_retries {
+                    self.obs().fault_tally("exhausted", label);
+                    return Err(TransferError::RetriesExhausted {
+                        kind: f.kind,
+                        attempts: attempt + 1,
+                    });
+                }
+                let backoff = plan.backoff_ns(token.id, attempt);
+                self.obs_retry(me, ctx.now(), label, attempt + 1, backoff, token);
+                ctx.advance(SimDuration::from_ns(backoff));
+                attempt += 1;
+                continue;
+            }
+            let out = post().map_err(TransferError::Mr)?;
+            self.health_on_success(me, ctx.now(), Protocol::HostRdma, token);
+            if attempt > 0 {
+                self.obs().fault_tally("recovered", label);
+            }
+            return Ok(out);
+        }
+    }
+
     /// Write a u64 flag into `target`'s sync cell. A CPU store through
     /// the shared segment node-locally; an 8-byte RDMA write otherwise.
     /// Fire-and-forget: visibility at the modelled arrival time.
-    pub(crate) fn sync_flag_put(
+    ///
+    /// Idempotent by design: flag cells carry monotonic generation
+    /// counters and waiters use `>=` predicates, so a replayed write is
+    /// harmless — the collectives lean on this for flag-loss recovery.
+    pub(crate) fn try_sync_flag_put(
         self: &Arc<Self>,
         ctx: &TaskCtx,
         me: ProcId,
         target: ProcId,
         cell_off: u64,
         value: u64,
-    ) {
+    ) -> Result<(), TransferError> {
         let dst = self.sync_cell(target, cell_off);
         let topo = self.cluster().topo();
         if topo.same_node(me, target) {
@@ -75,18 +140,19 @@ impl ShmemMachine {
                 .write_u64(scratch.offset, value)
                 .expect("sync scratch write");
             let rkey = self.layout().host_rkey(target);
-            let comp = self
-                .ib()
-                .post_rdma_write(ctx, me, scratch, rkey, dst, 8)
-                .expect("sync flag rdma");
+            let comp = self.sync_post_with_retry(ctx, me, "sync-flag", || {
+                self.ib().post_rdma_write(ctx, me, scratch, rkey, dst, 8)
+            })?;
             // local completion is cheap to wait and keeps scratch reuse safe
             ctx.wait(&comp.local);
         }
+        Ok(())
     }
 
     /// Copy `len` bytes from a registered local buffer into `target`'s
-    /// sync area (reduce data slots).
-    pub(crate) fn sync_data_put(
+    /// sync area (reduce data slots). Replay-safe for the same reason
+    /// as flag puts: a fixed destination slot, gated by a flag write.
+    pub(crate) fn try_sync_data_put(
         self: &Arc<Self>,
         ctx: &TaskCtx,
         me: ProcId,
@@ -94,7 +160,7 @@ impl ShmemMachine {
         cell_off: u64,
         src: MemRef,
         len: u64,
-    ) {
+    ) -> Result<(), TransferError> {
         let dst = self.sync_cell(target, cell_off);
         let topo = self.cluster().topo();
         if topo.same_node(me, target) {
@@ -102,33 +168,54 @@ impl ShmemMachine {
         } else {
             self.ensure_registered(ctx, me, src, len);
             let rkey = self.layout().host_rkey(target);
-            let comp = self
-                .ib()
-                .post_rdma_write(ctx, me, src, rkey, dst, len)
-                .expect("sync data rdma");
+            let comp = self.sync_post_with_retry(ctx, me, "sync-data", || {
+                self.ib().post_rdma_write(ctx, me, src, rkey, dst, len)
+            })?;
             ctx.wait(&comp.local);
             self.pe_state(me).track(comp.remote);
         }
+        Ok(())
     }
 
     /// Poll a local sync cell until `pred(value)` holds, with exponential
     /// backoff (poll_interval up to 2us) so long waits stay cheap in
     /// event count while the timing error stays bounded.
-    pub(crate) fn sync_wait(
+    ///
+    /// Under an active fault plan the poll is bounded by a virtual-time
+    /// deadline (the plan's `op_timeout_ns`, or [`SYNC_WAIT_TIMEOUT_NS`]
+    /// when unset) and returns [`TransferError::Timeout`] when the flag
+    /// never arrives — a lost flag write becomes a typed error the
+    /// collectives recover from by replaying, never a hang. Unfaulted
+    /// runs keep the historic unbounded loop.
+    pub(crate) fn try_sync_wait(
         self: &Arc<Self>,
         ctx: &TaskCtx,
         me: ProcId,
         cell_off: u64,
         pred: impl Fn(u64) -> bool,
-    ) {
+    ) -> Result<(), TransferError> {
         let cell = self.sync_cell(me, cell_off);
         let arena = self.cluster().mem().get(cell.space).expect("sync segment");
         let mut interval = self.poll_interval();
         let cap = SimDuration::from_us(2);
+        let timeout_ns = if self.cfg().faults.active() {
+            match self.cfg().faults.op_timeout_ns {
+                0 => SYNC_WAIT_TIMEOUT_NS,
+                t => t,
+            }
+        } else {
+            0
+        };
+        let deadline = ctx.now().0 + timeout_ns * sim_core::PS_PER_NS;
         loop {
             self.drain_pending(ctx, me);
             if pred(arena.read_u64(cell.offset).expect("sync flag read")) {
-                return;
+                return Ok(());
+            }
+            if timeout_ns > 0 && ctx.now().0 >= deadline {
+                return Err(TransferError::Timeout {
+                    after_ns: timeout_ns,
+                });
             }
             ctx.advance(interval);
             interval = (interval * 2).min(cap);

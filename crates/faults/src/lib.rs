@@ -13,7 +13,11 @@
 //!   links or a GPU's PCIe links;
 //! - proxy-agent stalls (wakeups scheduled inside a window are delayed
 //!   by an extra amount — a long stall models a crash + restart);
-//! - a "GDR disabled on node N" capability fault (bitmask).
+//! - a "GDR disabled on node N" capability fault (bitmask);
+//! - correlated burst windows: a virtual-time interval during which
+//!   *every* post drawn — pipeline chunks, proxy relays, serve-get
+//!   replies, sync-area flag writes — fails at once, exercising
+//!   recovery under simultaneous exhaustion.
 //!
 //! The plan is `Copy` (fixed-capacity window arrays, no heap) so it can
 //! live inside the runtime's `RuntimeConfig` without disturbing the
@@ -26,6 +30,15 @@
 pub const MAX_LINK_WINDOWS: usize = 4;
 /// Maximum proxy-stall windows in one plan.
 pub const MAX_PROXY_STALLS: usize = 4;
+/// Maximum correlated burst windows in one plan.
+pub const MAX_BURST_WINDOWS: usize = 4;
+
+/// Stream salt for the dedicated sync-area flag-write CQE stream:
+/// `sync_flag_put` / `sync_data_put` posts draw from
+/// `stream = poster | SYNC_STREAM` with their own program-ordered
+/// counter, so arming sync faults never perturbs the RMA post streams
+/// (existing seed trajectories stay byte-identical).
+pub const SYNC_STREAM: u64 = 0x5359_4E43_0000_0000;
 
 /// Which family of links a [`LinkWindow`] targets.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
@@ -67,6 +80,15 @@ pub struct ProxyStall {
     pub extra_ns: u64,
 }
 
+/// One correlated failure burst: every CQE draw inside
+/// `[start_ns, end_ns)` fails, regardless of `cqe_permille` — modeling
+/// a fabric hiccup that defeats every in-flight post at once.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BurstWindow {
+    pub start_ns: u64,
+    pub end_ns: u64,
+}
+
 /// A complete, seeded fault plan. `FaultPlan::default()` injects
 /// nothing; [`FaultPlan::active`] is the cheap hot-path gate.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -95,6 +117,15 @@ pub struct FaultPlan {
     pub n_link_windows: u8,
     pub proxy_stalls: [ProxyStall; MAX_PROXY_STALLS],
     pub n_proxy_stalls: u8,
+    pub burst_windows: [BurstWindow; MAX_BURST_WINDOWS],
+    pub n_burst_windows: u8,
+    /// Sliding virtual-time window over which the health tracker counts
+    /// failures per protocol (see `crates/core/src/health.rs`).
+    pub health_window_ns: u64,
+    /// Failures inside the window that trip the circuit breaker.
+    pub health_threshold: u32,
+    /// Cooldown before a demoted protocol is probed half-open.
+    pub health_cooldown_ns: u64,
 }
 
 impl Default for FaultPlan {
@@ -114,6 +145,11 @@ impl Default for FaultPlan {
             n_link_windows: 0,
             proxy_stalls: [ProxyStall::default(); MAX_PROXY_STALLS],
             n_proxy_stalls: 0,
+            burst_windows: [BurstWindow::default(); MAX_BURST_WINDOWS],
+            n_burst_windows: 0,
+            health_window_ns: 200_000,
+            health_threshold: 3,
+            health_cooldown_ns: 500_000,
         }
     }
 }
@@ -141,6 +177,15 @@ impl FaultPlan {
             || self.n_link_windows > 0
             || self.n_proxy_stalls > 0
             || self.op_timeout_ns > 0
+            || self.n_burst_windows > 0
+    }
+
+    /// True when CQE draws can ever fail (per-post permille or a burst
+    /// window): the arming gate for every post/chunk/sync retry engine.
+    /// When false, every draw short-circuits and unfaulted runs keep
+    /// their exact pre-fault event order.
+    pub fn cqe_armed(&self) -> bool {
+        self.cqe_permille > 0 || self.n_burst_windows > 0
     }
 
     /// Builder: seed every draw in the plan.
@@ -201,6 +246,25 @@ impl FaultPlan {
         self
     }
 
+    /// Builder: append a correlated burst window.
+    pub fn with_burst_window(mut self, start_ns: u64, end_ns: u64) -> Self {
+        assert!(start_ns < end_ns, "burst window must be a non-empty interval");
+        let n = self.n_burst_windows as usize;
+        assert!(n < MAX_BURST_WINDOWS, "too many burst windows (max {MAX_BURST_WINDOWS})");
+        self.burst_windows[n] = BurstWindow { start_ns, end_ns };
+        self.n_burst_windows += 1;
+        self
+    }
+
+    /// Builder: health-tracker shape (sliding window, failure
+    /// threshold, half-open cooldown).
+    pub fn with_health(mut self, window_ns: u64, threshold: u32, cooldown_ns: u64) -> Self {
+        self.health_window_ns = window_ns.max(1);
+        self.health_threshold = threshold.max(1);
+        self.health_cooldown_ns = cooldown_ns.max(1);
+        self
+    }
+
     /// Configured link windows.
     pub fn link_windows(&self) -> &[LinkWindow] {
         &self.link_windows[..self.n_link_windows as usize]
@@ -209,6 +273,18 @@ impl FaultPlan {
     /// Configured proxy stalls.
     pub fn proxy_stalls(&self) -> &[ProxyStall] {
         &self.proxy_stalls[..self.n_proxy_stalls as usize]
+    }
+
+    /// Configured correlated burst windows.
+    pub fn burst_windows(&self) -> &[BurstWindow] {
+        &self.burst_windows[..self.n_burst_windows as usize]
+    }
+
+    /// Is virtual time `now_ns` inside a correlated burst window?
+    pub fn in_burst(&self, now_ns: u64) -> bool {
+        self.burst_windows()
+            .iter()
+            .any(|w| now_ns >= w.start_ns && now_ns < w.end_ns)
     }
 
     /// Is GDR capability-disabled on `node`?
@@ -305,7 +381,10 @@ impl FaultPlan {
     ///
     /// `gdr-off` is a node bitmask; `link` is
     /// `scope:index:start_ns:end_ns:bw_permille` (scope `hca`|`pcie`,
-    /// index a number or `*`); `stall` is `node:start_ns:end_ns:extra_ns`.
+    /// index a number or `*`); `stall` is `node:start_ns:end_ns:extra_ns`;
+    /// `burst` is `start_ns:end_ns` (a correlated failure burst);
+    /// `health` is `window_ns:threshold:cooldown_ns` (circuit-breaker
+    /// shape for health-driven protocol demotion).
     pub fn parse(s: &str) -> FaultPlan {
         let mut p = FaultPlan::default();
         for tok in s.split_whitespace() {
@@ -329,6 +408,14 @@ impl FaultPlan {
                 "late-extra" => p.late_extra_ns = num("late-extra ns"),
                 "link" => p = p.with_link_window(parse_link_window(v)),
                 "stall" => p = p.with_proxy_stall(parse_proxy_stall(v)),
+                "burst" => {
+                    let (s, e) = parse_burst_window(v);
+                    p = p.with_burst_window(s, e);
+                }
+                "health" => {
+                    let (w, t, c) = parse_health(v);
+                    p = p.with_health(w, t, c);
+                }
                 _ => panic!("unknown fault plan key {k:?} in {tok:?}"),
             }
         }
@@ -364,6 +451,31 @@ fn parse_link_window(v: &str) -> LinkWindow {
         end_ns: n(parts[3], "end_ns"),
         bw_permille: n(parts[4], "bw_permille").min(1000) as u16,
     }
+}
+
+fn parse_burst_window(v: &str) -> (u64, u64) {
+    let parts: Vec<&str> = v.split(':').collect();
+    assert!(parts.len() == 2, "burst window must be start_ns:end_ns, got {v:?}");
+    let n = |s: &str, what: &str| -> u64 {
+        s.parse().unwrap_or_else(|_| panic!("bad burst window {what}: {s:?}"))
+    };
+    (n(parts[0], "start_ns"), n(parts[1], "end_ns"))
+}
+
+fn parse_health(v: &str) -> (u64, u32, u64) {
+    let parts: Vec<&str> = v.split(':').collect();
+    assert!(
+        parts.len() == 3,
+        "health shape must be window_ns:threshold:cooldown_ns, got {v:?}"
+    );
+    let n = |s: &str, what: &str| -> u64 {
+        s.parse().unwrap_or_else(|_| panic!("bad health shape {what}: {s:?}"))
+    };
+    (
+        n(parts[0], "window_ns"),
+        n(parts[1], "threshold") as u32,
+        n(parts[2], "cooldown_ns"),
+    )
 }
 
 fn parse_proxy_stall(v: &str) -> ProxyStall {
@@ -511,6 +623,53 @@ mod tests {
     #[should_panic(expected = "unknown fault plan key")]
     fn unknown_keys_are_rejected_loudly() {
         FaultPlan::parse("sede=42");
+    }
+
+    #[test]
+    fn burst_windows_cover_only_their_interval_and_arm_draws() {
+        let p = FaultPlan::default().with_burst_window(1_000, 2_000);
+        assert!(p.active(), "a burst window alone makes the plan active");
+        assert!(p.cqe_armed(), "a burst window alone arms CQE draws");
+        assert!(!p.in_burst(999));
+        assert!(p.in_burst(1_000));
+        assert!(p.in_burst(1_999));
+        assert!(!p.in_burst(2_000));
+        // permille draws stay independent of the window predicate
+        assert!(!p.cqe_fails(0, 0), "cqe_permille is still 0");
+        let clean = FaultPlan::default();
+        assert!(!clean.cqe_armed() && !clean.in_burst(1_500));
+    }
+
+    #[test]
+    fn burst_grammar_and_health_grammar_round_trip() {
+        let p = FaultPlan::parse("burst=50000:90000 burst=200000:210000 health=100000:2:300000");
+        assert_eq!(p.burst_windows().len(), 2);
+        assert_eq!(p.burst_windows()[0], BurstWindow { start_ns: 50_000, end_ns: 90_000 });
+        assert_eq!(p.burst_windows()[1], BurstWindow { start_ns: 200_000, end_ns: 210_000 });
+        assert!(p.in_burst(60_000) && !p.in_burst(100_000) && p.in_burst(205_000));
+        assert_eq!(p.health_window_ns, 100_000);
+        assert_eq!(p.health_threshold, 2);
+        assert_eq!(p.health_cooldown_ns, 300_000);
+        assert!(p.active());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty interval")]
+    fn empty_burst_windows_are_rejected() {
+        let _ = FaultPlan::default().with_burst_window(5, 5);
+    }
+
+    #[test]
+    fn sync_stream_is_disjoint_from_poster_streams() {
+        // the sync salt lives above any 32-bit poster id, so a sync
+        // draw can never collide with (and perturb) an RMA post stream
+        for poster in [0u64, 1, u32::MAX as u64] {
+            assert_ne!(poster | SYNC_STREAM, poster);
+        }
+        let p = FaultPlan::default().with_seed(9).with_cqe_errors(500);
+        let rma: Vec<bool> = (0..64).map(|i| p.cqe_fails(3, i)).collect();
+        let sync: Vec<bool> = (0..64).map(|i| p.cqe_fails(3 | SYNC_STREAM, i)).collect();
+        assert_ne!(rma, sync, "sync draws ride their own stream");
     }
 
     #[test]

@@ -44,6 +44,10 @@ struct FaultState {
     posts: Vec<u64>,
     /// Per-poster completion counters (late-delivery stream).
     completions: Vec<u64>,
+    /// Per-poster sync-area flag/data write counters: a dedicated CQE
+    /// stream (`faults::SYNC_STREAM`) so arming sync faults never
+    /// shifts the RMA post streams above.
+    sync_posts: Vec<u64>,
 }
 
 impl FaultState {
@@ -136,16 +140,57 @@ impl IbVerbs {
     /// WQE failed with a transient CQE error after `detect` of virtual
     /// time; the caller charges the detection latency and may re-post.
     /// Every call advances the poster's deterministic draw counter.
-    pub fn inject_transient_cqe(&self, poster: ProcId) -> Option<CqeFault> {
+    /// Inside a correlated burst window every draw fails (`cqe-burst`),
+    /// regardless of the per-post permille.
+    ///
+    /// `now` is passed in (rather than read from the engine) because
+    /// draws happen both from task contexts and from inside scheduler
+    /// callbacks — where the engine lock is already held and
+    /// `Sim::now()` would self-deadlock.
+    pub fn inject_transient_cqe(&self, poster: ProcId, now: SimTime) -> Option<CqeFault> {
         let mut st = self.faults.lock();
         let plan = st.plan?;
-        if plan.cqe_permille == 0 {
+        if !plan.cqe_armed() {
             return None;
         }
         let n = FaultState::bump(&mut st.posts, poster.0 as usize);
-        if plan.cqe_fails(u64::from(poster.0), n) {
+        self.draw_cqe(&plan, u64::from(poster.0), n, now)
+    }
+
+    /// Sync-area counterpart of [`IbVerbs::inject_transient_cqe`]:
+    /// `sync_flag_put` / `sync_data_put` posts draw from a dedicated
+    /// per-poster stream (`faults::SYNC_STREAM` salt, own counters), so
+    /// the RMA post streams replay identically whether or not a
+    /// workload issues sync traffic between their posts.
+    pub fn inject_sync_cqe(&self, poster: ProcId, now: SimTime) -> Option<CqeFault> {
+        let mut st = self.faults.lock();
+        let plan = st.plan?;
+        if !plan.cqe_armed() {
+            return None;
+        }
+        let n = FaultState::bump(&mut st.sync_posts, poster.0 as usize);
+        self.draw_cqe(&plan, u64::from(poster.0) | faults::SYNC_STREAM, n, now)
+    }
+
+    /// Shared draw: burst windows defeat every post at once; otherwise
+    /// the seeded per-post permille decides.
+    fn draw_cqe(
+        &self,
+        plan: &faults::FaultPlan,
+        stream: u64,
+        counter: u64,
+        now: SimTime,
+    ) -> Option<CqeFault> {
+        let now_ns = now.0 / sim_core::PS_PER_NS;
+        if plan.in_burst(now_ns) {
+            return Some(CqeFault {
+                kind: "cqe-burst",
+                detect: SimDuration::from_ns(plan.cqe_detect_ns),
+            });
+        }
+        if plan.cqe_fails(stream, counter) {
             Some(CqeFault {
-                kind: plan.cqe_kind(u64::from(poster.0), n),
+                kind: plan.cqe_kind(stream, counter),
                 detect: SimDuration::from_ns(plan.cqe_detect_ns),
             })
         } else {
@@ -608,7 +653,7 @@ mod tests {
             let (_sim, ib) = fabric(2, 1);
             ib.set_fault_plan(plan);
             (0..64)
-                .map(|_| ib.inject_transient_cqe(ProcId(0)).map(|f| f.kind))
+                .map(|_| ib.inject_transient_cqe(ProcId(0), _sim.now()).map(|f| f.kind))
                 .collect::<Vec<_>>()
         };
         let a = draws(());
@@ -623,7 +668,7 @@ mod tests {
         let (_sim, ib) = fabric(2, 1);
         ib.set_fault_plan(plan);
         let c = (0..64)
-            .map(|_| ib.inject_transient_cqe(ProcId(1)).map(|f| f.kind))
+            .map(|_| ib.inject_transient_cqe(ProcId(1), _sim.now()).map(|f| f.kind))
             .collect::<Vec<_>>();
         assert_ne!(a, c, "poster streams should decorrelate");
     }
@@ -631,11 +676,63 @@ mod tests {
     #[test]
     fn no_plan_or_zero_rate_injects_nothing() {
         let (_sim, ib) = fabric(2, 1);
-        assert!(ib.inject_transient_cqe(ProcId(0)).is_none());
+        assert!(ib.inject_transient_cqe(ProcId(0), _sim.now()).is_none());
+        assert!(ib.inject_sync_cqe(ProcId(0), _sim.now()).is_none());
         ib.set_fault_plan(faults::FaultPlan::default());
         for _ in 0..32 {
-            assert!(ib.inject_transient_cqe(ProcId(0)).is_none());
+            assert!(ib.inject_transient_cqe(ProcId(0), _sim.now()).is_none());
+            assert!(ib.inject_sync_cqe(ProcId(0), _sim.now()).is_none());
         }
+    }
+
+    #[test]
+    fn burst_window_fails_every_draw_at_time_zero() {
+        // the fabric sits at t=0, inside the window: every draw on
+        // every stream fails with the burst kind, even with cqe=0
+        let (_sim, ib) = fabric(2, 1);
+        ib.set_fault_plan(faults::FaultPlan::default().with_burst_window(0, 1_000_000));
+        for _ in 0..16 {
+            let f = ib
+                .inject_transient_cqe(ProcId(0), _sim.now())
+                .expect("in burst: must fail");
+            assert_eq!(f.kind, "cqe-burst");
+            let f = ib
+                .inject_sync_cqe(ProcId(1), _sim.now())
+                .expect("in burst: sync draws fail too");
+            assert_eq!(f.kind, "cqe-burst");
+        }
+        // a window elsewhere leaves t=0 draws clean (cqe=0 ⇒ permille
+        // path never fires)
+        let (_sim, ib) = fabric(2, 1);
+        ib.set_fault_plan(faults::FaultPlan::default().with_burst_window(5_000_000, 6_000_000));
+        for _ in 0..16 {
+            assert!(ib.inject_transient_cqe(ProcId(0), _sim.now()).is_none());
+        }
+    }
+
+    #[test]
+    fn sync_draws_ride_their_own_stream_and_counters() {
+        let plan = faults::FaultPlan::default().with_seed(5).with_cqe_errors(400);
+        // baseline: RMA post draws alone
+        let (_sim, ib) = fabric(2, 1);
+        ib.set_fault_plan(plan);
+        let rma_alone: Vec<_> = (0..32)
+            .map(|_| ib.inject_transient_cqe(ProcId(0), _sim.now()).map(|f| f.kind))
+            .collect();
+        // interleaving sync draws must not shift the RMA stream
+        let (_sim, ib) = fabric(2, 1);
+        ib.set_fault_plan(plan);
+        let mut rma_mixed = Vec::new();
+        let mut sync_mixed = Vec::new();
+        for _ in 0..32 {
+            sync_mixed.push(ib.inject_sync_cqe(ProcId(0), _sim.now()).map(|f| f.kind));
+            rma_mixed.push(ib.inject_transient_cqe(ProcId(0), _sim.now()).map(|f| f.kind));
+        }
+        assert_eq!(
+            rma_alone, rma_mixed,
+            "sync draws must not perturb the RMA post stream"
+        );
+        assert_ne!(rma_mixed, sync_mixed, "the two streams must decorrelate");
     }
 
     #[test]

@@ -51,6 +51,14 @@ fn report_from_json(v: &obs::json::Value) -> Option<Report> {
     for (k, p) in v.get("protocols")?.as_obj()? {
         let count = p.get("count")?.as_f64()? as u64;
         let mean = p.get("mean_us")?.as_f64()?;
+        // stage busy totals ride along so `diff` can attribute a
+        // regressed mean to the stage that grew (fixture-based gates)
+        let mut stages = std::collections::BTreeMap::new();
+        if let Some(sj) = p.get("stages").and_then(|s| s.as_obj()) {
+            for (stage, us) in sj {
+                stages.insert(stage.clone(), us.as_f64()?);
+            }
+        }
         rep.protocols.insert(
             k.clone(),
             obs_analyze::ProtoStat {
@@ -59,7 +67,7 @@ fn report_from_json(v: &obs::json::Value) -> Option<Report> {
                 total_us: mean * count as f64,
                 min_us: p.get("min_us")?.as_f64()?,
                 max_us: p.get("max_us")?.as_f64()?,
-                stages: Default::default(),
+                stages,
             },
         );
     }
@@ -90,6 +98,19 @@ fn report_from_json(v: &obs::json::Value) -> Option<Report> {
                         .get("partial_total")
                         .and_then(|v| v.as_f64())
                         .unwrap_or(0.0) as u64,
+                },
+            );
+        }
+    }
+    // health is absent from pre-breaker report files; treat as empty
+    if let Some(health) = v.get("health").and_then(|h| h.as_obj()) {
+        for (k, h) in health {
+            rep.health.insert(
+                k.clone(),
+                obs_analyze::HealthStat {
+                    demotes: h.get("demotes")?.as_f64()? as u64,
+                    probes: h.get("probes")?.as_f64()? as u64,
+                    promotes: h.get("promotes")?.as_f64()? as u64,
                 },
             );
         }

@@ -5,7 +5,7 @@
 //! whose candidate mean exceeds the baseline by more than the threshold
 //! percentage. The process exit code gates CI on the result.
 
-use crate::report::Report;
+use crate::report::{ProtoStat, Report};
 use std::fmt::Write as _;
 
 /// One `op/protocol` key present in either report.
@@ -19,6 +19,20 @@ pub struct DiffRow {
     /// Percent change (positive = slower), when both sides exist.
     pub delta_pct: Option<f64>,
     pub regressed: bool,
+    /// When the row regressed and both sides carry per-stage busy time:
+    /// the pipeline stage whose per-op mean grew the most — where the
+    /// regression actually lives (d2h staging? rdma leg? wakeup?).
+    pub stage: Option<StageDelta>,
+}
+
+/// Stage-level attribution of a regressed row.
+#[derive(Clone, Debug)]
+pub struct StageDelta {
+    pub stage: String,
+    /// Baseline per-op mean busy us for this stage.
+    pub a_us: f64,
+    /// Candidate per-op mean busy us.
+    pub b_us: f64,
 }
 
 /// Recovery-rate comparison for one protocol's fault machinery.
@@ -44,6 +58,19 @@ pub struct PartialRow {
     pub regressed: bool,
 }
 
+/// Promote-rate comparison for one protocol's circuit breaker: of the
+/// demotions each run saw, what fraction were recovered (promoted)
+/// before the trace ended.
+#[derive(Clone, Debug)]
+pub struct HealthRow {
+    pub protocol: String,
+    /// Baseline promote rate (0..=1; 1.0 with no demotions).
+    pub a_rate: f64,
+    /// Candidate promote rate.
+    pub b_rate: f64,
+    pub regressed: bool,
+}
+
 #[derive(Clone, Debug, Default)]
 pub struct DiffReport {
     pub threshold_pct: f64,
@@ -57,6 +84,10 @@ pub struct DiffReport {
     /// bytes than the baseline (beyond the threshold, in percentage
     /// points).
     pub partial: Vec<PartialRow>,
+    /// Present when either side demoted a protocol: the candidate must
+    /// not promote back a smaller fraction of its demotions than the
+    /// baseline (beyond the threshold, in percentage points).
+    pub health: Vec<HealthRow>,
 }
 
 impl DiffReport {
@@ -64,6 +95,7 @@ impl DiffReport {
         self.rows.iter().filter(|r| r.regressed).count()
             + self.recovery.iter().filter(|r| r.regressed).count()
             + self.partial.iter().filter(|r| r.regressed).count()
+            + self.health.iter().filter(|r| r.regressed).count()
     }
 
     pub fn text(&self) -> String {
@@ -90,6 +122,13 @@ impl DiffReport {
                 fmt_side(r.a_mean_us),
                 fmt_side(r.b_mean_us),
             );
+            if let Some(sd) = &r.stage {
+                let _ = writeln!(
+                    s,
+                    "  {:<28} stage {:<10} a {:.3}us  b {:.3}us per op",
+                    "", sd.stage, sd.a_us, sd.b_us,
+                );
+            }
         }
         if !self.recovery.is_empty() {
             let _ = writeln!(s, "recovery-rate:");
@@ -117,9 +156,64 @@ impl DiffReport {
                 );
             }
         }
+        if !self.health.is_empty() {
+            let _ = writeln!(s, "promote-rate (demotions recovered):");
+            for r in &self.health {
+                let mark = if r.regressed { "  REGRESSED" } else { "" };
+                let _ = writeln!(
+                    s,
+                    "  {:<28} a {:>6.1}%      b {:>6.1}%{mark}",
+                    r.protocol,
+                    r.a_rate * 100.0,
+                    r.b_rate * 100.0,
+                );
+            }
+        }
         let _ = writeln!(s, "regressions: {}", self.regressions());
         s
     }
+}
+
+/// Per-op mean busy time of each stage for one `op/protocol` aggregate.
+fn stage_means(st: &ProtoStat) -> Vec<(String, f64)> {
+    if st.count == 0 {
+        return Vec::new();
+    }
+    st.stages
+        .iter()
+        .map(|(k, us)| (k.clone(), us / st.count as f64))
+        .collect()
+}
+
+/// Attribute a regressed row to the pipeline stage whose per-op mean
+/// grew the most between baseline and candidate. `None` when neither
+/// side recorded stage detail or no stage actually grew.
+fn attribute_stage(a: Option<&ProtoStat>, b: Option<&ProtoStat>) -> Option<StageDelta> {
+    let (a, b) = match (a, b) {
+        (Some(a), Some(b)) => (a, b),
+        _ => return None,
+    };
+    let am: std::collections::BTreeMap<String, f64> = stage_means(a).into_iter().collect();
+    let mut best: Option<StageDelta> = None;
+    for (stage, b_us) in stage_means(b) {
+        let a_us = am.get(&stage).copied().unwrap_or(0.0);
+        let grew = b_us - a_us;
+        if grew <= 0.0 {
+            continue;
+        }
+        let better = match &best {
+            Some(cur) => grew > cur.b_us - cur.a_us,
+            None => true,
+        };
+        if better {
+            best = Some(StageDelta {
+                stage,
+                a_us,
+                b_us,
+            });
+        }
+    }
+    best
 }
 
 /// Compare per-`op/protocol` mean critical-path latency of `b` (the
@@ -142,12 +236,18 @@ pub fn diff(a: &Report, b: &Report, threshold_pct: f64) -> DiffReport {
                 _ => None,
             };
             let regressed = delta_pct.is_some_and(|d| d > threshold_pct);
+            let stage = if regressed {
+                attribute_stage(a.protocols.get(k), b.protocols.get(k))
+            } else {
+                None
+            };
             DiffRow {
                 key: k.clone(),
                 a_mean_us: am,
                 b_mean_us: bm,
                 delta_pct,
                 regressed,
+                stage,
             }
         })
         .collect();
@@ -214,10 +314,38 @@ pub fn diff(a: &Report, b: &Report, threshold_pct: f64) -> DiffReport {
             }
         })
         .collect();
+    // promote-rate across the breaker lifecycle; a protocol with no
+    // demotions on either side produces no row
+    let mut hkeys: Vec<&String> = a.health.keys().collect();
+    for k in b.health.keys() {
+        if !a.health.contains_key(k) {
+            hkeys.push(k);
+        }
+    }
+    hkeys.sort();
+    let health = hkeys
+        .into_iter()
+        .filter(|k| {
+            a.health.get(*k).is_some_and(|h| h.demotes > 0)
+                || b.health.get(*k).is_some_and(|h| h.demotes > 0)
+        })
+        .map(|k| {
+            let ar = a.health.get(k).map_or(1.0, |h| h.promote_rate());
+            let br = b.health.get(k).map_or(1.0, |h| h.promote_rate());
+            let regressed = (ar - br) * 100.0 > threshold_pct;
+            HealthRow {
+                protocol: k.clone(),
+                a_rate: ar,
+                b_rate: br,
+                regressed,
+            }
+        })
+        .collect();
     DiffReport {
         threshold_pct,
         rows,
         recovery,
         partial,
+        health,
     }
 }

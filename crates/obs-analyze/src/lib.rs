@@ -17,8 +17,8 @@ pub mod diff;
 pub mod report;
 pub mod trace;
 
-pub use diff::{diff, DiffReport, DiffRow, PartialRow, RecoveryRow};
-pub use report::{analyze, FaultStat, LinkStat, OpPath, ProtoStat, Report, RMA_OPS};
+pub use diff::{diff, DiffReport, DiffRow, HealthRow, PartialRow, RecoveryRow, StageDelta};
+pub use report::{analyze, FaultStat, HealthStat, LinkStat, OpPath, ProtoStat, Report, RMA_OPS};
 pub use trace::Trace;
 
 /// Parse + analyze in one step.
@@ -321,6 +321,110 @@ mod tests {
         let d3 = diff(&c, &c.clone(), 10.0);
         assert!(d3.recovery.is_empty());
         assert!(!d3.text().contains("recovery-rate:"));
+    }
+
+    /// The faulted trace plus a full circuit-breaker lifecycle on
+    /// direct-gdr (demote -> probe -> promote) and a second protocol
+    /// that stays demoted (demote only).
+    fn synthetic_health_trace() -> String {
+        let r = Recorder::new(ObsLevel::Spans);
+        let pe0 = r.track(TrackKind::Pe, 0);
+        for (name, proto, us) in [
+            ("demote", "direct-gdr", 3u64),
+            ("probe", "direct-gdr", 8),
+            ("promote", "direct-gdr", 9),
+            ("demote", "host-rdma", 5),
+        ] {
+            r.instant(
+                pe0,
+                name,
+                t(us),
+                Payload::Health {
+                    protocol: proto,
+                    op_id: 100 + us,
+                },
+            );
+        }
+        r.chrome_trace()
+    }
+
+    #[test]
+    fn health_events_aggregate_into_lifecycle_stats() {
+        let rep = analyze_str(&synthetic_health_trace()).unwrap();
+        let dg = &rep.health["direct-gdr"];
+        assert_eq!((dg.demotes, dg.probes, dg.promotes), (1, 1, 1));
+        assert!((dg.promote_rate() - 1.0).abs() < 1e-9);
+        let hr = &rep.health["host-rdma"];
+        assert_eq!((hr.demotes, hr.probes, hr.promotes), (1, 0, 0));
+        assert!(hr.promote_rate().abs() < 1e-9, "never promoted back");
+        let txt = rep.text();
+        assert!(txt.contains("protocol health:"), "{txt}");
+        assert!(txt.contains("promote-rate 100.0%"), "{txt}");
+        // a trace without breaker activity keeps its text clean
+        let clean = analyze_str(&synthetic_trace()).unwrap();
+        assert!(clean.health.is_empty());
+        assert!(!clean.text().contains("protocol health:"));
+        // and the JSON always carries the (possibly empty) health object
+        let v = obs::json::parse(&clean.to_json()).unwrap();
+        assert!(v.get("health").is_some());
+        let v = obs::json::parse(&rep.to_json()).unwrap();
+        let dg = v.get("health").unwrap().get("direct-gdr").unwrap();
+        assert_eq!(dg.get("promote_rate").unwrap().as_f64(), Some(1.0));
+    }
+
+    #[test]
+    fn diff_gates_on_promote_rate_regressions() {
+        let a = analyze_str(&synthetic_health_trace()).unwrap();
+        let mut b = a.clone();
+        // candidate never promotes direct-gdr back
+        b.health.get_mut("direct-gdr").unwrap().promotes = 0;
+        let d = diff(&a, &b, 10.0);
+        let row = d
+            .health
+            .iter()
+            .find(|r| r.protocol == "direct-gdr")
+            .unwrap();
+        assert!(row.regressed && row.b_rate < row.a_rate);
+        assert!(d.regressions() >= 1);
+        assert!(d.text().contains("promote-rate"), "{}", d.text());
+        // identical lifecycles: no regression from health rows
+        let d2 = diff(&a, &a.clone(), 10.0);
+        assert!(d2.health.iter().all(|r| !r.regressed));
+        // breaker-free pair produces no health section at all
+        let c = analyze_str(&synthetic_trace()).unwrap();
+        let d3 = diff(&c, &c.clone(), 10.0);
+        assert!(d3.health.is_empty());
+        assert!(!d3.text().contains("promote-rate"));
+    }
+
+    #[test]
+    fn regressed_rows_attribute_the_slowest_growing_stage() {
+        let a = analyze_str(&synthetic_trace()).unwrap();
+        let mut b = a.clone();
+        // candidate: the pipeline's rdma stage doubles, dragging the
+        // op mean over the threshold; d2h stays flat
+        {
+            let st = b.protocols.get_mut("put/pipeline-gdr-write").unwrap();
+            st.total_us += 6.0;
+            *st.stages.get_mut("rdma").unwrap() += 6.0;
+        }
+        let d = diff(&a, &b, 10.0);
+        let row = d
+            .rows
+            .iter()
+            .find(|r| r.key == "put/pipeline-gdr-write")
+            .unwrap();
+        assert!(row.regressed);
+        let sd = row.stage.as_ref().expect("stage attribution");
+        assert_eq!(sd.stage, "rdma");
+        assert!((sd.b_us - sd.a_us - 6.0).abs() < 1e-6, "{sd:?}");
+        assert!(d.text().contains("stage rdma"), "{}", d.text());
+        // non-regressed rows carry no attribution
+        assert!(d
+            .rows
+            .iter()
+            .filter(|r| !r.regressed)
+            .all(|r| r.stage.is_none()));
     }
 
     #[test]

@@ -104,6 +104,31 @@ impl FaultStat {
     }
 }
 
+/// Circuit-breaker lifecycle summary for one protocol (from the
+/// `demote`/`probe`/`promote` instants the health monitor records).
+#[derive(Clone, Debug, Default)]
+pub struct HealthStat {
+    /// Breaker openings: the protocol was routed away from.
+    pub demotes: u64,
+    /// Half-open trial admissions after cooldown.
+    pub probes: u64,
+    /// Breaker closings: the protocol was re-admitted for good.
+    pub promotes: u64,
+}
+
+impl HealthStat {
+    /// Fraction of demotions the run recovered from (1.0 when the
+    /// breaker never opened). A rate below 1.0 means at least one
+    /// protocol was still demoted when the trace ended.
+    pub fn promote_rate(&self) -> f64 {
+        if self.demotes == 0 {
+            1.0
+        } else {
+            (self.promotes.min(self.demotes)) as f64 / self.demotes as f64
+        }
+    }
+}
+
 /// Everything `gdrprof` reports about one trace.
 #[derive(Clone, Debug, Default)]
 pub struct Report {
@@ -117,6 +142,9 @@ pub struct Report {
     pub decisions: BTreeMap<String, u64>,
     /// protocol -> fault-injection/recovery stats (empty on clean runs).
     pub faults: BTreeMap<String, FaultStat>,
+    /// protocol -> circuit-breaker lifecycle stats (empty when the
+    /// health monitor never transitioned).
+    pub health: BTreeMap<String, HealthStat>,
     /// link track name -> utilization stats.
     pub links: BTreeMap<String, LinkStat>,
     /// Per-op detail, sorted by op id.
@@ -288,6 +316,16 @@ pub fn analyze(tr: &Trace) -> Report {
         st.recovered = ops.iter().filter(|id| completed.contains(id)).count() as u64;
     }
 
+    for h in &tr.health {
+        let st = rep.health.entry(h.protocol.clone()).or_default();
+        match h.event.as_str() {
+            "demote" => st.demotes += 1,
+            "probe" => st.probes += 1,
+            "promote" => st.promotes += 1,
+            _ => {}
+        }
+    }
+
     for (name, pts) in &tr.links {
         let mut ls = LinkStat {
             samples: pts.len() as u64,
@@ -367,6 +405,20 @@ impl Report {
                         "", f.chunk_retried, f.partials, f.partial_delivered, f.partial_total
                     );
                 }
+            }
+        }
+        if !self.health.is_empty() {
+            let _ = writeln!(s, "\nprotocol health:");
+            for (k, h) in &self.health {
+                let _ = writeln!(
+                    s,
+                    "  {k:<28} demotes {:<5} probes {:<5} promotes {:<5} \
+                     promote-rate {:.1}%",
+                    h.demotes,
+                    h.probes,
+                    h.promotes,
+                    h.promote_rate() * 100.0
+                );
             }
         }
         let _ = writeln!(s, "\nlink utilization:");
@@ -455,6 +507,22 @@ impl Report {
                 e.finish();
             }
             fj.finish();
+        }
+        {
+            // like "faults": always present, empty object when the
+            // breaker never moved
+            let buf = o.raw_field("health");
+            let mut hj = ObjWriter::new(buf);
+            for (k, h) in &self.health {
+                let buf = hj.raw_field(k);
+                let mut e = ObjWriter::new(buf);
+                e.u64_field("demotes", h.demotes)
+                    .u64_field("probes", h.probes)
+                    .u64_field("promotes", h.promotes)
+                    .num_field("promote_rate", h.promote_rate());
+                e.finish();
+            }
+            hj.finish();
         }
         {
             let buf = o.raw_field("links");

@@ -93,6 +93,18 @@ pub struct FallbackEvent {
     pub ts_us: f64,
 }
 
+/// One circuit-breaker transition (`ph:"i"`, names `demote`, `probe`,
+/// `promote`): the health monitor changed how `protocol` is routed. The
+/// instant's *name* carries the transition; `op_id` is the op whose
+/// failure/success/admission drove it.
+#[derive(Clone, Debug)]
+pub struct HealthEvent {
+    pub event: String,
+    pub protocol: String,
+    pub op_id: u64,
+    pub ts_us: f64,
+}
+
 /// One per-link counter sample (`ph:"C"`, name `link`): cumulative
 /// totals as of the sampled reservation, plus the instantaneous queue.
 #[derive(Clone, Copy, Debug)]
@@ -120,6 +132,8 @@ pub struct Trace {
     pub chunk_retries: Vec<RetryEvent>,
     pub partials: Vec<PartialEvent>,
     pub fallbacks: Vec<FallbackEvent>,
+    /// Circuit-breaker transitions in timestamp order.
+    pub health: Vec<HealthEvent>,
     /// link track name -> samples in timestamp order.
     pub links: BTreeMap<String, Vec<LinkPoint>>,
     /// Latest event end seen (us) — the trace's time span.
@@ -253,6 +267,24 @@ impl Trace {
                         op: text(args, "op").unwrap_or_default(),
                         from: text(args, "from").unwrap_or_default(),
                         to: text(args, "to").unwrap_or_default(),
+                        op_id: num(args, "op_id").unwrap_or(0.0) as u64,
+                        ts_us: ts,
+                    });
+                }
+                "i" if matches!(
+                    e.get("name").and_then(Value::as_str),
+                    Some("demote" | "probe" | "promote")
+                ) =>
+                {
+                    let Some(args) = args else { continue };
+                    let event = e
+                        .get("name")
+                        .and_then(Value::as_str)
+                        .unwrap_or_default()
+                        .to_string();
+                    tr.health.push(HealthEvent {
+                        event,
+                        protocol: text(args, "protocol").unwrap_or_default(),
                         op_id: num(args, "op_id").unwrap_or(0.0) as u64,
                         ts_us: ts,
                     });

@@ -163,6 +163,11 @@ fn write_args(out: &mut String, p: &Payload) {
                 .u64_field("op_id", *op_id);
             o.finish();
         }
+        Payload::Health { protocol, op_id } => {
+            let mut o = ObjWriter::new(out);
+            o.str_field("protocol", protocol).u64_field("op_id", *op_id);
+            o.finish();
+        }
     }
 }
 

@@ -303,6 +303,15 @@ pub enum Payload {
         total: u64,
         op_id: u64,
     },
+    /// A health-breaker event (instant on the acting PE's track): the
+    /// instant's *name* is the transition — `"demote"` (circuit opened,
+    /// protocol routed around), `"probe"` (half-open trial admitted
+    /// after cooldown) or `"promote"` (circuit closed again). `op_id`
+    /// correlates to the op whose draw triggered the transition.
+    Health {
+        protocol: &'static str,
+        op_id: u64,
+    },
 }
 
 /// One recorded event. `dur == 0` renders as an instant.
@@ -351,10 +360,11 @@ pub struct Recorder {
     agents: Mutex<BTreeMap<(TrackKind, u32), AgentCounters>>,
     /// Exact fault-machinery counters keyed `(what, protocol)` where
     /// `what` is `"injected"`, `"retried"`, `"recovered"`,
-    /// `"exhausted"`, `"fallback"`, or — for event-context chunk posts —
-    /// `"chunk-retried"`, `"chunk-recovered"`, `"partial"` and
-    /// `"proxy-restart"`. Active from [`ObsLevel::Counters`] up, never
-    /// sampled.
+    /// `"exhausted"`, `"fallback"`, — for event-context chunk posts —
+    /// `"chunk-retried"`, `"chunk-recovered"`, `"partial"`,
+    /// `"proxy-restart"`, or — for the health breaker — `"demote"`,
+    /// `"probe"` and `"promote"`. Active from [`ObsLevel::Counters`]
+    /// up, never sampled.
     faults: Mutex<BTreeMap<(&'static str, &'static str), u64>>,
 }
 
@@ -565,7 +575,7 @@ impl Recorder {
     /// [`ObsLevel::Counters`] up. `what` is one of `"injected"`,
     /// `"retried"`, `"recovered"`, `"exhausted"`, `"fallback"`,
     /// `"chunk-retried"`, `"chunk-recovered"`, `"partial"`,
-    /// `"proxy-restart"`.
+    /// `"proxy-restart"`, `"demote"`, `"probe"`, `"promote"`.
     pub fn fault_tally(&self, what: &'static str, protocol: &'static str) {
         if !self.counters_on() {
             return;

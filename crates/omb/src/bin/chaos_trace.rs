@@ -22,35 +22,48 @@
 //! from a heavy CQE stream with a retry budget of one: the trace
 //! deterministically contains `chunk-retry` and `partial-delivery`
 //! instants, which CI greps for to gate the chunk-recovery path.
+//!
+//! `--burst` runs a steady put cadence across a correlated burst
+//! window with the health breaker armed: every post inside the window
+//! fails, the breaker demotes `direct-gdr`, traffic rides the fallback
+//! path, and after cooldown a half-open probe re-promotes it. The
+//! trace deterministically contains `demote`, `probe` and `promote`
+//! instants, which CI greps for and which `gdrprof` folds into the
+//! health report section.
 
 use faults::FaultPlan;
 use obs::ObsLevel;
 use pcie_sim::ClusterSpec;
-use shmem_gdr::{Design, Domain, RuntimeConfig, ShmemMachine};
+use shmem_gdr::{Design, Domain, RuntimeConfig, ShmemMachine, SimDuration};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let mut out = None;
     let mut degraded = false;
     let mut pipeline = false;
+    let mut burst = false;
     for a in std::env::args().skip(1) {
         match a.as_str() {
             "--degraded" => degraded = true,
             "--pipeline" => pipeline = true,
+            "--burst" => burst = true,
             _ if out.is_none() => out = Some(a),
             _ => {
-                eprintln!("usage: chaos_trace OUT_TRACE.json [--degraded | --pipeline]");
+                eprintln!("usage: chaos_trace OUT_TRACE.json [--degraded | --pipeline | --burst]");
                 return ExitCode::from(1);
             }
         }
     }
     let Some(out) = out else {
-        eprintln!("usage: chaos_trace OUT_TRACE.json [--degraded | --pipeline]");
+        eprintln!("usage: chaos_trace OUT_TRACE.json [--degraded | --pipeline | --burst]");
         return ExitCode::from(1);
     };
 
     if pipeline {
         return pipeline_fault_trace(&out);
+    }
+    if burst {
+        return burst_fault_trace(&out);
     }
 
     let mut plan = FaultPlan::default()
@@ -136,6 +149,51 @@ fn pipeline_fault_trace(out: &str) -> ExitCode {
                 Err(e) => panic!("pipeline fault plan: unexpected error {e}"),
             }
             pe.quiet();
+        }
+        pe.barrier_all();
+    });
+    if let Err(e) = std::fs::write(out, m.obs().chrome_trace()) {
+        eprintln!("chaos_trace: cannot write {out}: {e}");
+        return ExitCode::from(2);
+    }
+    ExitCode::SUCCESS
+}
+
+/// The `--burst` plan: 8 KiB D-D puts on a ~10 us cadence with a
+/// correlated burst window at 150..200 us (after the first put's cold
+/// registration cost, inside the steady cadence) and the health breaker
+/// armed. Puts inside the window exhaust their retries, the breaker
+/// demotes `direct-gdr` (clean ops then ride the fallback matrix), and
+/// once the cooldown lapses a half-open probe re-promotes it — the full
+/// demote -> probe -> promote lifecycle in one deterministic trace.
+fn burst_fault_trace(out: &str) -> ExitCode {
+    let seed = std::env::var("GDR_CHAOS_BURST_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(5);
+    let plan = FaultPlan::default()
+        .with_seed(seed)
+        .with_burst_window(150_000, 200_000)
+        .with_retry(2, 2_000, 16_000)
+        .with_health(50_000, 3, 150_000);
+    let cfg = RuntimeConfig::tuned(Design::EnhancedGdr)
+        .with_faults(plan)
+        .with_obs(ObsLevel::Spans);
+    let m = ShmemMachine::build(ClusterSpec::internode_pair(), cfg);
+    m.run(|pe| {
+        let len = 8u64 << 10;
+        let iters = 48u64;
+        let ddest = pe.shmalloc(len * iters, Domain::Gpu);
+        pe.barrier_all();
+        if pe.my_pe() == 0 {
+            let dsrc = pe.malloc_dev(len);
+            for i in 0..iters {
+                // typed errors are expected while the burst is active;
+                // the cadence itself must never panic or hang
+                let _ = pe.try_putmem(ddest.add(len * i), dsrc, len, 1);
+                pe.quiet();
+                pe.compute(SimDuration::from_us(5));
+            }
         }
         pe.barrier_all();
     });

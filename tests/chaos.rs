@@ -14,7 +14,8 @@ use gdr_shmem::faults::{FaultPlan, LinkScope, LinkWindow, ProxyStall, ALL};
 use gdr_shmem::obs::ObsLevel;
 use gdr_shmem::obs_analyze;
 use gdr_shmem::pcie::ClusterSpec;
-use gdr_shmem::shmem::{Design, Domain, RuntimeConfig, ShmemMachine, TransferError};
+use gdr_shmem::shmem::{Design, Domain, RedOp, RuntimeConfig, ShmemMachine, TransferError};
+use gdr_shmem::sim::SimDuration;
 
 /// xorshift64* — same generator as the randomized-RMA suite.
 struct Rng(u64);
@@ -217,24 +218,26 @@ fn transient_cqe_errors_recover_byte_correct() {
 
 /// A CQE stream that fails every post defeats the bounded retry budget:
 /// the op surfaces `RetriesExhausted` as a value — no panic, no hang —
-/// and the counters record the exhaustion.
+/// and the counters record the exhaustion. Single node so the barrier
+/// flags ride same-node CPU stores (never faulted) while the loopback
+/// D-D put still posts RDMA and draws every fault.
 #[test]
 fn exhausted_retries_surface_typed_error() {
     let plan = FaultPlan::default()
         .with_cqe_errors(1000)
         .with_retry(2, 2_000, 64_000);
     let m = ShmemMachine::build(
-        ClusterSpec::internode_pair(),
+        ClusterSpec::wilkes(1, 2),
         RuntimeConfig::tuned(Design::EnhancedGdr)
             .with_faults(plan)
             .with_obs(ObsLevel::Counters),
     );
     let errs = m.run(|pe| {
-        let dest = pe.shmalloc(4096, Domain::Host);
+        let dest = pe.shmalloc(2048, Domain::Gpu);
         pe.barrier_all();
         if pe.my_pe() == 0 {
-            let src = pe.malloc_host(4096);
-            Some(pe.try_putmem(dest, src, 4096, 1))
+            let src = pe.malloc_dev(2048);
+            Some(pe.try_putmem(dest, src, 2048, 1))
         } else {
             None
         }
@@ -673,4 +676,184 @@ fn identical_seeds_replay_identical_chunk_retries_and_partials() {
         .map(|(_, n)| n)
         .sum();
     assert!(chunk_retried > 0, "the heavy plan must exercise chunk replays: {cnt_a:?}");
+}
+
+/// Collectives under a lossy cross-node sync-flag stream: barrier,
+/// reduce, and fcollect replay their lost flag/data writes (idempotent
+/// generation flags) and complete byte-correct — typed errors never
+/// escape while the replay budget holds, and no staging leaks.
+#[test]
+fn collectives_recover_from_sync_flag_faults_byte_correct() {
+    let plan = FaultPlan::default()
+        .with_seed(9)
+        .with_cqe_errors(200)
+        .with_retry(2, 2_000, 16_000);
+    let m = ShmemMachine::build(
+        ClusterSpec::internode_pair(),
+        RuntimeConfig::tuned(Design::EnhancedGdr)
+            .with_faults(plan)
+            .with_obs(ObsLevel::Counters),
+    );
+    let results = m.run(|pe| {
+        let n = pe.n_pes();
+        let me = pe.my_pe() as u64;
+        let red_src = pe.shmalloc_slice::<u64>(4, Domain::Host);
+        let red_dst = pe.shmalloc_slice::<u64>(4, Domain::Host);
+        let fc_src = pe.shmalloc_slice::<u64>(2, Domain::Host);
+        let fc_dst = pe.shmalloc_slice::<u64>(2 * n, Domain::Host);
+        pe.try_barrier_all()?;
+        for round in 0..8u64 {
+            pe.write_sym(&red_src, &[me + 1, round, me * 10, 7]);
+            pe.try_reduce(&red_src, &red_dst, RedOp::Sum, 0)?;
+            pe.write_sym(&fc_src, &[me * 100 + round, me]);
+            pe.try_fcollect(&fc_dst, &fc_src)?;
+            pe.try_barrier_all()?;
+        }
+        Ok::<_, TransferError>((pe.read_sym(&red_dst), pe.read_sym(&fc_dst)))
+    });
+    for (peid, r) in results.iter().enumerate() {
+        let (red, fc) = r.as_ref().unwrap_or_else(|e| {
+            panic!("pe{peid}: collective surfaced an error under flag faults: {e}")
+        });
+        // sum over me in {0,1} of [me+1, 7, me*10, 7] at the last round
+        assert_eq!(red, &[3, 14, 10, 14], "pe{peid}: reduce result");
+        assert_eq!(fc, &[7, 0, 107, 1], "pe{peid}: fcollect result");
+    }
+    let counters = m.obs().fault_counters();
+    assert!(
+        counters
+            .iter()
+            .any(|((_, label), n)| *label == "sync-flag" && *n > 0),
+        "the sync-flag stream must draw faults: {counters:?}"
+    );
+    assert!(
+        counters
+            .iter()
+            .any(|((what, label), n)| *what == "recovered" && *label == "sync-flag" && *n > 0),
+        "lost flag writes must be retried to success: {counters:?}"
+    );
+    for pe in [0u32, 1] {
+        assert_eq!(
+            m.staging_in_use(gdr_shmem::shmem::ProcId(pe)),
+            0,
+            "pe{pe}: collectives must not leak staging"
+        );
+    }
+}
+
+/// A correlated burst window knocks out every in-flight post: the
+/// health monitor demotes the direct-GDR path (`demote`), routes
+/// traffic through the host-staged fallback during the cooldown,
+/// re-admits a trial op after it (`probe`), and re-promotes on its
+/// success (`promote`). Ops the burst defeated outright are re-issued
+/// after it and the full region ends byte-correct.
+#[test]
+fn burst_window_drives_demote_probe_promote_lifecycle() {
+    let plan = FaultPlan::default()
+        .with_seed(5)
+        .with_burst_window(150_000, 200_000)
+        .with_retry(2, 2_000, 16_000)
+        .with_health(50_000, 3, 150_000);
+    let cfg = RuntimeConfig::tuned(Design::EnhancedGdr)
+        .with_faults(plan)
+        .with_obs(ObsLevel::Spans);
+    let m = ShmemMachine::build(ClusterSpec::internode_pair(), cfg);
+    let len = 8u64 << 10;
+    let iters = 48u64;
+    let results = m.run(move |pe| {
+        let dest = pe.shmalloc(len * iters, Domain::Gpu);
+        pe.barrier_all();
+        let mut failed = Vec::new();
+        if pe.my_pe() == 0 {
+            let src = pe.malloc_dev(len);
+            pe.write_raw(src, &payload(len, 0x3C));
+            for i in 0..iters {
+                if pe.try_putmem(dest.add(len * i), src, len, 1).is_err() {
+                    failed.push(i);
+                }
+                pe.quiet();
+                pe.compute(SimDuration::from_us(5));
+            }
+            // burst-defeated ops re-issue clean once the window is over
+            for &i in &failed {
+                pe.try_putmem(dest.add(len * i), src, len, 1)
+                    .expect("post-burst re-issue must succeed");
+            }
+            pe.quiet();
+        }
+        pe.barrier_all();
+        (failed, pe.read_raw(pe.addr_of(dest, pe.my_pe()), len * iters))
+    });
+    let want: Vec<u8> = (0..iters).flat_map(|_| payload(len, 0x3C)).collect();
+    assert_eq!(results[1].1, want, "every region must end byte-correct");
+    assert!(
+        !results[0].0.is_empty(),
+        "the burst must defeat at least one op outright"
+    );
+    let counters = m.obs().fault_counters();
+    for event in ["demote", "probe", "promote"] {
+        assert!(
+            counters
+                .iter()
+                .any(|((what, proto), n)| *what == event && *proto == "direct-gdr" && *n > 0),
+            "breaker lifecycle must tally a direct-gdr {event}: {counters:?}"
+        );
+    }
+    let tr = obs_analyze::Trace::parse(&m.obs().chrome_trace()).unwrap();
+    assert!(
+        tr.faults.iter().any(|f| f.kind == "cqe-burst"),
+        "burst faults must carry their own kind in the trace"
+    );
+    for pe in [0u32, 1] {
+        assert_eq!(m.staging_in_use(gdr_shmem::shmem::ProcId(pe)), 0);
+    }
+}
+
+/// One traced burst run for the replay contract below.
+fn traced_burst_run(
+    fault_seed: u64,
+) -> (
+    String,
+    std::collections::BTreeMap<(&'static str, &'static str), u64>,
+) {
+    let plan = FaultPlan::default()
+        .with_seed(fault_seed)
+        .with_burst_window(150_000, 200_000)
+        .with_retry(2, 2_000, 16_000)
+        .with_health(50_000, 3, 150_000);
+    let cfg = RuntimeConfig::tuned(Design::EnhancedGdr)
+        .with_faults(plan)
+        .with_obs(ObsLevel::Spans);
+    let m = ShmemMachine::build(ClusterSpec::internode_pair(), cfg);
+    let len = 8u64 << 10;
+    m.run(move |pe| {
+        let dest = pe.shmalloc(len * 32, Domain::Gpu);
+        pe.barrier_all();
+        if pe.my_pe() == 0 {
+            let src = pe.malloc_dev(len);
+            for i in 0..32u64 {
+                let _ = pe.try_putmem(dest.add(len * i), src, len, 1);
+                pe.quiet();
+                pe.compute(SimDuration::from_us(5));
+            }
+        }
+        pe.barrier_all();
+    });
+    (m.obs().chrome_trace(), m.obs().fault_counters())
+}
+
+/// Burst determinism: the same fault seed replays identical retry and
+/// demotion/promotion counters and a byte-identical trace.
+#[test]
+fn identical_burst_seeds_replay_identical_health_transitions() {
+    let (tr_a, cnt_a) = traced_burst_run(5);
+    let (tr_b, cnt_b) = traced_burst_run(5);
+    assert_eq!(tr_a, tr_b, "same seed must replay a byte-identical burst trace");
+    assert_eq!(cnt_a, cnt_b, "same seed must replay identical health counters");
+    let demotes: u64 = cnt_a
+        .iter()
+        .filter(|((what, _), _)| *what == "demote")
+        .map(|(_, n)| n)
+        .sum();
+    assert!(demotes > 0, "the burst must trip the breaker: {cnt_a:?}");
 }
