@@ -13,7 +13,7 @@ cargo clippy --workspace --all-targets -- -D warnings
 # re-running and comparing byte-for-byte.
 tmp="$(mktemp -d)"
 trap 'rm -rf "$tmp"' EXIT
-cargo run --release -q -p omb --bin bench_omb BENCH_omb.json "$tmp/trace.json"
+cargo run --release -q -p omb --bin bench_omb BENCH_omb.json "$tmp/trace.json" "$tmp/sweep.json"
 cargo run --release -q -p omb --bin bench_omb "$tmp/BENCH_rerun.json"
 cmp BENCH_omb.json "$tmp/BENCH_rerun.json"
 
@@ -22,8 +22,62 @@ cmp BENCH_omb.json "$tmp/BENCH_rerun.json"
 out="$(cargo run --release -q -p obs-analyze --bin gdrprof -- analyze "$tmp/trace.json" --json "$tmp/report.json")"
 grep -Eq 'ops-analyzed: [1-9]' <<<"$out"
 grep -q 'critical path' <<<"$out"
+# the v2 report carries latency quantile sketches
+grep -q 'latency quantiles' <<<"$out"
+grep -q '"quantiles"' "$tmp/report.json"
+grep -q '"p999_us"' "$tmp/report.json"
 # a self-diff must report no regressions
 cargo run --release -q -p obs-analyze --bin gdrprof -- diff "$tmp/report.json" "$tmp/report.json" --threshold 5 >/dev/null
+# ... and --json writes the machine-readable diff document
+cargo run --release -q -p obs-analyze --bin gdrprof -- diff "$tmp/report.json" "$tmp/report.json" --json "$tmp/diff.json" >/dev/null
+grep -q '"schema":"gdrprof-diff-v1"' "$tmp/diff.json"
+
+# Crossover profiler: the sweep trace must yield latency curves and at
+# least one observed protocol switch per socket relation, each tagged
+# with the governing threshold's provenance; the profile is
+# deterministic (byte-identical across re-runs) and --suggest emits a
+# loadable thresholds-v1 artifact.
+cargo run --release -q -p obs-analyze --bin gdrprof -- crossover "$tmp/sweep.json" \
+    --json "$tmp/x1.json" --suggest "$tmp/suggest.json" > "$tmp/x1.txt"
+grep -q 'crossover .*/intra-socket:' "$tmp/x1.txt"
+grep -q 'crossover .*/inter-socket:' "$tmp/x1.txt"
+grep -q 'threshold gdr_put_limit=32768, builtin' "$tmp/x1.txt"
+grep -q 'threshold proxy_get_min=524288, builtin' "$tmp/x1.txt"
+grep -q '"schema":"thresholds-v1"' "$tmp/suggest.json"
+cargo run --release -q -p obs-analyze --bin gdrprof -- crossover "$tmp/sweep.json" \
+    --json "$tmp/x2.json" > "$tmp/x2.txt"
+cmp "$tmp/x1.json" "$tmp/x2.json"
+cmp "$tmp/x1.txt" "$tmp/x2.txt"
+
+# What-if replay: re-deciding every recorded protocol choice under the
+# currently-tuned table must be a no-op (delta exactly zero), and the
+# degraded fixture table (GDR get disabled, proxy floor collapsed)
+# must predict a strictly positive latency delta.
+wout="$(cargo run --release -q -p obs-analyze --bin gdrprof -- whatif "$tmp/sweep.json" \
+    --thresholds tests/golden/thresholds_current.json)"
+grep -q 'decisions-changed: 0' <<<"$wout"
+grep -q 'predicted-delta-us: +0.000' <<<"$wout"
+dgout="$(cargo run --release -q -p obs-analyze --bin gdrprof -- whatif "$tmp/sweep.json" \
+    --thresholds tests/golden/thresholds_degraded.json)"
+grep -Eq 'decisions-changed: [1-9]' <<<"$dgout"
+grep -Eq 'predicted-delta-us: \+[0-9]' <<<"$dgout"
+awk '/predicted-delta-us:/ { sub(/\+/, "", $2); exit !($2 > 0) }' <<<"$dgout"
+
+# Link-contention gate: the fixture pair holds latencies flat while one
+# link's contended fraction grows past the threshold — diff must trip
+# with the contention-specific exit code 5, not the latency code 4.
+set +e
+cargo run --release -q -p obs-analyze --bin gdrprof -- diff \
+    tests/golden/report_contention_base.json tests/golden/report_contention_regressed.json \
+    --threshold 10 > "$tmp/cont.txt"
+rc=$?
+set -e
+if [ "$rc" -ne 5 ]; then
+    echo "gdrprof diff contention gate: expected exit 5, got $rc" >&2
+    exit 1
+fi
+grep -q 'link-contention' "$tmp/cont.txt"
+grep -q 'REGRESSED' "$tmp/cont.txt"
 
 # and a malformed trace must fail with a nonzero exit code
 printf '{"traceEvents":[' > "$tmp/bad.json"

@@ -104,12 +104,18 @@ pub struct RuntimeConfig {
     /// Inactive by default; [`RuntimeConfig::tuned`] reads the
     /// `GDR_SHMEM_FAULTS` environment variable (see `docs/FAULTS.md`).
     pub faults: faults::FaultPlan,
+    /// True when the threshold values came from a `thresholds-v1`
+    /// artifact ([`RuntimeConfig::with_threshold_table`] or the
+    /// `GDR_SHMEM_THRESHOLDS` environment variable) rather than the
+    /// compiled-in tuned table. Surfaced in decision records as the
+    /// threshold provenance (`tsource`).
+    pub thresholds_loaded: bool,
 }
 
 impl RuntimeConfig {
     /// Tuned configuration for the Wilkes-like profile.
     pub fn tuned(design: Design) -> Self {
-        RuntimeConfig {
+        let cfg = RuntimeConfig {
             design,
             host_heap: 8 << 20,
             gpu_heap: 8 << 20,
@@ -130,7 +136,37 @@ impl RuntimeConfig {
             obs_level: obs::ObsLevel::from_env(),
             obs_sample: obs_sample_from_env(),
             faults: faults::FaultPlan::from_env().unwrap_or_default(),
+            thresholds_loaded: false,
+        };
+        match thresholds_from_env() {
+            Ok(Some(table)) => cfg
+                .with_threshold_table(&table)
+                .expect("GDR_SHMEM_THRESHOLDS: table validated on parse"),
+            Ok(None) => cfg,
+            // fail loud: a mistyped threshold file silently ignored would
+            // invalidate every measurement taken under it
+            Err(e) => panic!("GDR_SHMEM_THRESHOLDS: {e}"),
         }
+    }
+
+    /// Overlay a validated [`obs::ThresholdTable`] onto this config:
+    /// named entries replace the corresponding tuned constants, absent
+    /// names keep their defaults. Marks the config as externally tuned
+    /// (decision records report `tsource: "thresholds-v1"`).
+    pub fn with_threshold_table(mut self, t: &obs::ThresholdTable) -> Result<Self, String> {
+        for (name, value) in t.iter() {
+            match name {
+                "loopback_put_limit" => self.loopback_put_limit = value,
+                "loopback_get_limit" => self.loopback_get_limit = value,
+                "loopback_dd_limit" => self.loopback_dd_limit = value,
+                "gdr_put_limit" => self.gdr_put_limit = value,
+                "gdr_get_limit" => self.gdr_get_limit = value,
+                "proxy_get_min" => self.proxy_get_min = value,
+                other => return Err(format!("unknown threshold {other:?}")),
+            }
+        }
+        self.thresholds_loaded = true;
+        Ok(self)
     }
 
     pub fn with_heaps(mut self, host: u64, gpu: u64) -> Self {
@@ -156,6 +192,21 @@ impl RuntimeConfig {
         self.faults = plan;
         self
     }
+}
+
+/// Read a `thresholds-v1` artifact from the path in
+/// `GDR_SHMEM_THRESHOLDS`, if set. Unreadable files and invalid tables
+/// are hard errors — see the fail-loud note at the call site.
+fn thresholds_from_env() -> Result<Option<obs::ThresholdTable>, String> {
+    let Some(path) = std::env::var_os("GDR_SHMEM_THRESHOLDS") else {
+        return Ok(None);
+    };
+    let path = std::path::PathBuf::from(path);
+    let doc = std::fs::read_to_string(&path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    obs::ThresholdTable::from_json_str(&doc)
+        .map(Some)
+        .map_err(|e| format!("{}: {e}", path.display()))
 }
 
 /// Read `GDR_SHMEM_OBS_SAMPLE`; unset, unparsable or zero means 1
@@ -184,6 +235,23 @@ mod tests {
         assert_eq!(c.design, Design::EnhancedGdr);
         assert!(c.loopback_put_limit > c.loopback_get_limit);
         assert!(c.gdr_put_limit > c.gdr_get_limit);
+    }
+
+    #[test]
+    fn threshold_table_overlays_named_entries_only() {
+        let base = RuntimeConfig::tuned(Design::EnhancedGdr);
+        assert!(!base.thresholds_loaded);
+        let t = obs::ThresholdTable::from_json_str(
+            r#"{"schema":"thresholds-v1","entries":{"gdr_put_limit":65536,"proxy_get_min":262144}}"#,
+        )
+        .unwrap();
+        let c = base.with_threshold_table(&t).unwrap();
+        assert!(c.thresholds_loaded);
+        assert_eq!(c.gdr_put_limit, 65536);
+        assert_eq!(c.proxy_get_min, 262144);
+        // untouched entries keep the tuned defaults
+        assert_eq!(c.gdr_get_limit, base.gdr_get_limit);
+        assert_eq!(c.loopback_put_limit, base.loopback_put_limit);
     }
 
     #[test]

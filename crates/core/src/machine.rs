@@ -220,6 +220,7 @@ impl ShmemMachine {
         src_dev: bool,
         dst_dev: bool,
         same_node: bool,
+        socket_rel: &'static str,
         t0: sim_core::SimTime,
         t1: sim_core::SimTime,
         token: OpToken,
@@ -228,7 +229,7 @@ impl ShmemMachine {
         if !self.obs.counters_on() {
             return;
         }
-        self.obs.latency(chosen.name(), len, t1.since(t0));
+        self.obs.op_latency(op, chosen.name(), len, t1.since(t0));
         if !self.obs.spans_on() || !token.sampled {
             return;
         }
@@ -242,6 +243,14 @@ impl ShmemMachine {
             dst_dev,
             same_node,
             chosen: chosen.name(),
+            op_id: token.id,
+            size_class: obs::hist::bucket_index(len) as u8,
+            socket_rel,
+            tsource: if self.cfg.thresholds_loaded {
+                "thresholds-v1"
+            } else {
+                "builtin"
+            },
             ..Default::default()
         };
         alts(&mut d.candidates, &mut d.thresholds);

@@ -373,6 +373,7 @@ impl ShmemMachine {
                 src.is_device(),
                 dst.is_device(),
                 same_node,
+                self.put_socket_rel(src, dst, me, target),
                 t0,
                 ctx.now(),
                 token,
@@ -461,6 +462,7 @@ impl ShmemMachine {
                 src.is_device(),
                 dst.is_device(),
                 same_node,
+                self.put_socket_rel(src, dst, me, target),
                 t0,
                 ctx.now(),
                 token,
@@ -539,6 +541,7 @@ impl ShmemMachine {
                 src.is_device(),
                 dst.is_device(),
                 same_node,
+                self.get_socket_rel(src, dst, me, from),
                 t0,
                 ctx.now(),
                 token,
@@ -585,6 +588,54 @@ impl ShmemMachine {
                 topo.gpu_hca_intra_socket(g, topo.hca_of(hca_owner))
             }
             _ => true,
+        }
+    }
+
+    /// Human label of [`Self::mem_gpu_intra_socket`] for decision
+    /// records: `"host"` when `mem` is not device memory.
+    fn socket_rel_of(&self, mem: MemRef, hca_owner: ProcId) -> &'static str {
+        match mem.space {
+            MemSpace::Device(_) => {
+                if self.mem_gpu_intra_socket(mem, hca_owner) {
+                    "intra-socket"
+                } else {
+                    "inter-socket"
+                }
+            }
+            _ => "host",
+        }
+    }
+
+    /// Socket relation of a put-shaped transfer for decision records:
+    /// the device end (destination first — the HCA DMA-writes into the
+    /// target GPU) drives the P2P path of paper Table III.
+    pub(crate) fn put_socket_rel(
+        &self,
+        src: MemRef,
+        dst: MemRef,
+        me: ProcId,
+        target: ProcId,
+    ) -> &'static str {
+        if dst.is_device() {
+            self.socket_rel_of(dst, target)
+        } else {
+            self.socket_rel_of(src, me)
+        }
+    }
+
+    /// As [`Self::put_socket_rel`] for gets: the remote source GPU is
+    /// the P2P *read* end, the local destination the write end.
+    pub(crate) fn get_socket_rel(
+        &self,
+        src: MemRef,
+        dst: MemRef,
+        me: ProcId,
+        from: ProcId,
+    ) -> &'static str {
+        if src.is_device() {
+            self.socket_rel_of(src, from)
+        } else {
+            self.socket_rel_of(dst, me)
         }
     }
 
@@ -982,6 +1033,7 @@ impl ShmemMachine {
             src_dev,
             dst_dev,
             same_node,
+            self.put_socket_rel(src, dst, me, target),
             t0,
             ctx.now(),
             token,
@@ -1239,6 +1291,7 @@ impl ShmemMachine {
             src_dev,
             dst_dev,
             same_node,
+            self.get_socket_rel(src, dst, me, from),
             t0,
             ctx.now(),
             token,
@@ -1310,6 +1363,7 @@ impl ShmemMachine {
             false,
             target_sym.is_gpu(),
             self.cluster().topo().same_node(me, target),
+            self.socket_rel_of(dst, target),
             t0,
             ctx.now(),
             token,

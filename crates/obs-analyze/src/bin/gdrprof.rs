@@ -2,120 +2,62 @@
 //!
 //! ```text
 //! gdrprof analyze <trace.json> [--json <report.json>]
-//! gdrprof diff <baseline.json> <candidate.json> [--threshold <pct>]
+//! gdrprof diff <baseline.json> <candidate.json> [--threshold <pct>] [--json <diff.json>]
+//! gdrprof crossover <trace.json> [--suggest <thresholds.json>] [--json <out.json>]
+//! gdrprof whatif <trace.json> --thresholds <thresholds.json> [--json <out.json>]
 //! ```
 //!
-//! `diff` accepts either raw Chrome traces or `gdrprof-report-v1` JSON
-//! files (the former are analyzed on the fly).
+//! `diff` accepts either raw Chrome traces or `gdrprof-report-v2`
+//! (and legacy v1) JSON files; traces are analyzed on the fly.
+//! `crossover` reconstructs per-configuration latency curves and the
+//! observed protocol-switch points; `--suggest` writes the estimated
+//! true crossovers as a `thresholds-v1` artifact. `whatif` replays the
+//! recorded protocol decisions under an alternate `thresholds-v1`
+//! table and prints the predicted aggregate latency delta.
 //!
 //! Exit codes (CI gates on these):
 //!   0  success
 //!   1  usage error
 //!   2  malformed trace / IO error
 //!   3  trace contained no analyzable operations
-//!   4  diff found a regression over the threshold
+//!   4  diff found a latency/recovery regression over the threshold
+//!   5  diff found a contention-only regression (link contention grew,
+//!      latencies held — the throughput early-warning gate)
 
-use obs_analyze::{analyze, diff, Report, Trace};
+use obs_analyze::{analyze, crossover, diff, whatif, Report, Trace};
 use std::process::ExitCode;
 
 const USAGE: &str = "usage:
   gdrprof analyze <trace.json> [--json <report.json>]
-  gdrprof diff <baseline.json> <candidate.json> [--threshold <pct>]";
+  gdrprof diff <baseline.json> <candidate.json> [--threshold <pct>] [--json <diff.json>]
+  gdrprof crossover <trace.json> [--suggest <thresholds.json>] [--json <out.json>]
+  gdrprof whatif <trace.json> --thresholds <thresholds.json> [--json <out.json>]";
 
 fn fail(code: u8, msg: &str) -> ExitCode {
     eprintln!("gdrprof: {msg}");
     ExitCode::from(code)
 }
 
+/// Load a report file (v2 or legacy v1) or analyze a raw trace.
 fn load_report(path: &str) -> Result<Report, String> {
     let doc =
         std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     // a report file carries its schema marker; anything else must be a trace
     if let Ok(v) = obs::json::parse(&doc) {
-        if v.get("schema").and_then(|s| s.as_str()) == Some("gdrprof-report-v1") {
-            return report_from_json(&v)
-                .ok_or_else(|| format!("{path}: malformed gdrprof-report-v1 document"));
+        if v.get("schema")
+            .and_then(|s| s.as_str())
+            .is_some_and(|s| s.starts_with("gdrprof-report-"))
+        {
+            return Report::from_json(&v).map_err(|e| format!("{path}: {e}"));
         }
     }
     Ok(analyze(&Trace::parse(&doc).map_err(|e| format!("{path}: {e}"))?))
 }
 
-/// Rehydrate the subset of a report that `diff` needs (per-protocol
-/// means) from its JSON form.
-fn report_from_json(v: &obs::json::Value) -> Option<Report> {
-    let mut rep = Report {
-        trace_span_us: v.get("trace_span_us")?.as_f64()?,
-        ops_analyzed: v.get("ops_analyzed")?.as_f64()? as u64,
-        ..Report::default()
-    };
-    for (k, p) in v.get("protocols")?.as_obj()? {
-        let count = p.get("count")?.as_f64()? as u64;
-        let mean = p.get("mean_us")?.as_f64()?;
-        // stage busy totals ride along so `diff` can attribute a
-        // regressed mean to the stage that grew (fixture-based gates)
-        let mut stages = std::collections::BTreeMap::new();
-        if let Some(sj) = p.get("stages").and_then(|s| s.as_obj()) {
-            for (stage, us) in sj {
-                stages.insert(stage.clone(), us.as_f64()?);
-            }
-        }
-        rep.protocols.insert(
-            k.clone(),
-            obs_analyze::ProtoStat {
-                count,
-                bytes: p.get("bytes")?.as_f64()? as u64,
-                total_us: mean * count as f64,
-                min_us: p.get("min_us")?.as_f64()?,
-                max_us: p.get("max_us")?.as_f64()?,
-                stages,
-            },
-        );
-    }
-    // faults is absent from pre-fault report files; treat that as empty
-    if let Some(faults) = v.get("faults").and_then(|f| f.as_obj()) {
-        for (k, f) in faults {
-            rep.faults.insert(
-                k.clone(),
-                obs_analyze::FaultStat {
-                    injected: f.get("injected")?.as_f64()? as u64,
-                    retried: f.get("retried")?.as_f64()? as u64,
-                    faulted_ops: f.get("faulted_ops")?.as_f64()? as u64,
-                    recovered: f.get("recovered")?.as_f64()? as u64,
-                    fallbacks: f.get("fallbacks")?.as_f64()? as u64,
-                    // additive fields: absent from pre-partial-delivery
-                    // report files, default to zero so old goldens load
-                    chunk_retried: f
-                        .get("chunk_retried")
-                        .and_then(|v| v.as_f64())
-                        .unwrap_or(0.0) as u64,
-                    partials: f.get("partials").and_then(|v| v.as_f64()).unwrap_or(0.0)
-                        as u64,
-                    partial_delivered: f
-                        .get("partial_delivered")
-                        .and_then(|v| v.as_f64())
-                        .unwrap_or(0.0) as u64,
-                    partial_total: f
-                        .get("partial_total")
-                        .and_then(|v| v.as_f64())
-                        .unwrap_or(0.0) as u64,
-                },
-            );
-        }
-    }
-    // health is absent from pre-breaker report files; treat as empty
-    if let Some(health) = v.get("health").and_then(|h| h.as_obj()) {
-        for (k, h) in health {
-            rep.health.insert(
-                k.clone(),
-                obs_analyze::HealthStat {
-                    demotes: h.get("demotes")?.as_f64()? as u64,
-                    probes: h.get("probes")?.as_f64()? as u64,
-                    promotes: h.get("promotes")?.as_f64()? as u64,
-                },
-            );
-        }
-    }
-    Some(rep)
+fn load_trace(path: &str) -> Result<Trace, String> {
+    let doc =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    Trace::parse(&doc).map_err(|e| format!("{path}: {e}"))
 }
 
 fn cmd_analyze(args: &[String]) -> ExitCode {
@@ -135,13 +77,9 @@ fn cmd_analyze(args: &[String]) -> ExitCode {
     let Some(trace_path) = trace_path else {
         return fail(1, USAGE);
     };
-    let doc = match std::fs::read_to_string(&trace_path) {
-        Ok(d) => d,
-        Err(e) => return fail(2, &format!("cannot read {trace_path}: {e}")),
-    };
-    let tr = match Trace::parse(&doc) {
+    let tr = match load_trace(&trace_path) {
         Ok(t) => t,
-        Err(e) => return fail(2, &format!("{trace_path}: {e}")),
+        Err(e) => return fail(2, &e),
     };
     let rep = analyze(&tr);
     print!("{}", rep.text());
@@ -159,12 +97,17 @@ fn cmd_analyze(args: &[String]) -> ExitCode {
 fn cmd_diff(args: &[String]) -> ExitCode {
     let mut paths = Vec::new();
     let mut threshold = 10.0f64;
+    let mut json_out = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--threshold" => match it.next().and_then(|t| t.parse::<f64>().ok()) {
                 Some(t) => threshold = t,
                 None => return fail(1, "--threshold needs a percentage"),
+            },
+            "--json" => match it.next() {
+                Some(p) => json_out = Some(p.clone()),
+                None => return fail(1, "--json needs a path"),
             },
             _ => paths.push(a.clone()),
         }
@@ -178,8 +121,106 @@ fn cmd_diff(args: &[String]) -> ExitCode {
     };
     let d = diff(&ra, &rb, threshold);
     print!("{}", d.text());
-    if d.regressions() > 0 {
+    if let Some(out) = json_out {
+        if let Err(e) = std::fs::write(&out, d.to_json()) {
+            return fail(2, &format!("cannot write {out}: {e}"));
+        }
+    }
+    if d.latency_regressions() > 0 {
         return fail(4, "regression over threshold");
+    }
+    if d.contention_regressions() > 0 {
+        return fail(5, "link-contention regression over threshold");
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_crossover(args: &[String]) -> ExitCode {
+    let mut trace_path = None;
+    let mut suggest_out = None;
+    let mut json_out = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--suggest" => match it.next() {
+                Some(p) => suggest_out = Some(p.clone()),
+                None => return fail(1, "--suggest needs a path"),
+            },
+            "--json" => match it.next() {
+                Some(p) => json_out = Some(p.clone()),
+                None => return fail(1, "--json needs a path"),
+            },
+            _ if trace_path.is_none() => trace_path = Some(a.clone()),
+            _ => return fail(1, USAGE),
+        }
+    }
+    let Some(trace_path) = trace_path else {
+        return fail(1, USAGE);
+    };
+    let tr = match load_trace(&trace_path) {
+        Ok(t) => t,
+        Err(e) => return fail(2, &e),
+    };
+    let x = crossover(&tr);
+    print!("{}", x.text());
+    if let Some(out) = json_out {
+        if let Err(e) = std::fs::write(&out, x.to_json()) {
+            return fail(2, &format!("cannot write {out}: {e}"));
+        }
+    }
+    if let Some(out) = suggest_out {
+        if let Err(e) = std::fs::write(&out, x.suggestions().to_json()) {
+            return fail(2, &format!("cannot write {out}: {e}"));
+        }
+    }
+    if x.curves.is_empty() {
+        return fail(3, "trace contained no enriched decision records");
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_whatif(args: &[String]) -> ExitCode {
+    let mut trace_path = None;
+    let mut table_path = None;
+    let mut json_out = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--thresholds" => match it.next() {
+                Some(p) => table_path = Some(p.clone()),
+                None => return fail(1, "--thresholds needs a path"),
+            },
+            "--json" => match it.next() {
+                Some(p) => json_out = Some(p.clone()),
+                None => return fail(1, "--json needs a path"),
+            },
+            _ if trace_path.is_none() => trace_path = Some(a.clone()),
+            _ => return fail(1, USAGE),
+        }
+    }
+    let (Some(trace_path), Some(table_path)) = (trace_path, table_path) else {
+        return fail(1, USAGE);
+    };
+    let table = match std::fs::read_to_string(&table_path) {
+        Ok(doc) => match obs::ThresholdTable::from_json_str(&doc) {
+            Ok(t) => t,
+            Err(e) => return fail(2, &format!("{table_path}: {e}")),
+        },
+        Err(e) => return fail(2, &format!("cannot read {table_path}: {e}")),
+    };
+    let tr = match load_trace(&trace_path) {
+        Ok(t) => t,
+        Err(e) => return fail(2, &e),
+    };
+    let w = whatif(&tr, &table);
+    print!("{}", w.text());
+    if let Some(out) = json_out {
+        if let Err(e) = std::fs::write(&out, w.to_json()) {
+            return fail(2, &format!("cannot write {out}: {e}"));
+        }
+    }
+    if w.replayed == 0 {
+        return fail(3, "trace contained no replayable decision records");
     }
     ExitCode::SUCCESS
 }
@@ -189,6 +230,8 @@ fn main() -> ExitCode {
     match args.split_first() {
         Some((cmd, rest)) if cmd == "analyze" => cmd_analyze(rest),
         Some((cmd, rest)) if cmd == "diff" => cmd_diff(rest),
+        Some((cmd, rest)) if cmd == "crossover" => cmd_crossover(rest),
+        Some((cmd, rest)) if cmd == "whatif" => cmd_whatif(rest),
         _ => fail(1, USAGE),
     }
 }

@@ -6,6 +6,7 @@
 //! percentage. The process exit code gates CI on the result.
 
 use crate::report::{ProtoStat, Report};
+use obs::json::ObjWriter;
 use std::fmt::Write as _;
 
 /// One `op/protocol` key present in either report.
@@ -71,6 +72,18 @@ pub struct HealthRow {
     pub regressed: bool,
 }
 
+/// Link-contention comparison for one hardware link track: the fraction
+/// of the trace each run spent with the link's queue depth >= 2.
+#[derive(Clone, Debug)]
+pub struct ContentionRow {
+    pub link: String,
+    /// Baseline contended fraction (0..=1).
+    pub a_frac: f64,
+    /// Candidate contended fraction.
+    pub b_frac: f64,
+    pub regressed: bool,
+}
+
 #[derive(Clone, Debug, Default)]
 pub struct DiffReport {
     pub threshold_pct: f64,
@@ -88,14 +101,32 @@ pub struct DiffReport {
     /// not promote back a smaller fraction of its demotions than the
     /// baseline (beyond the threshold, in percentage points).
     pub health: Vec<HealthRow>,
+    /// Present when either side sampled link utilization: the candidate
+    /// must not spend a larger fraction of its trace contended (queue
+    /// depth >= 2) than the baseline, beyond the threshold in
+    /// percentage points. Contention-only regressions exit with code 5
+    /// rather than 4 — a throughput early-warning, distinct from a
+    /// latency regression.
+    pub contention: Vec<ContentionRow>,
 }
 
 impl DiffReport {
     pub fn regressions(&self) -> usize {
+        self.latency_regressions() + self.contention_regressions()
+    }
+
+    /// Regressed rows in the latency/recovery/partial/health sections —
+    /// everything except link contention.
+    pub fn latency_regressions(&self) -> usize {
         self.rows.iter().filter(|r| r.regressed).count()
             + self.recovery.iter().filter(|r| r.regressed).count()
             + self.partial.iter().filter(|r| r.regressed).count()
             + self.health.iter().filter(|r| r.regressed).count()
+    }
+
+    /// Regressed link-contention rows (the exit-code-5 gate).
+    pub fn contention_regressions(&self) -> usize {
+        self.contention.iter().filter(|r| r.regressed).count()
     }
 
     pub fn text(&self) -> String {
@@ -169,8 +200,128 @@ impl DiffReport {
                 );
             }
         }
+        if !self.contention.is_empty() {
+            let _ = writeln!(s, "link-contention (fraction of trace contended):");
+            for r in &self.contention {
+                let mark = if r.regressed { "  REGRESSED" } else { "" };
+                let _ = writeln!(
+                    s,
+                    "  {:<28} a {:>6.1}%      b {:>6.1}%{mark}",
+                    r.link,
+                    r.a_frac * 100.0,
+                    r.b_frac * 100.0,
+                );
+            }
+        }
         let _ = writeln!(s, "regressions: {}", self.regressions());
         s
+    }
+
+    /// Machine-readable rendering of the diff (`gdrprof diff --json`).
+    /// Deterministic field order and float formatting, like
+    /// [`Report::to_json`].
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(512);
+        let mut o = ObjWriter::new(&mut out);
+        o.str_field("schema", "gdrprof-diff-v1");
+        o.num_field("threshold_pct", self.threshold_pct);
+        {
+            let buf = o.raw_field("rows");
+            buf.push('[');
+            for (i, r) in self.rows.iter().enumerate() {
+                if i > 0 {
+                    buf.push(',');
+                }
+                let mut e = ObjWriter::new(buf);
+                e.str_field("key", &r.key);
+                match r.a_mean_us {
+                    Some(v) => {
+                        e.num_field("a_mean_us", v);
+                    }
+                    None => e.raw_field("a_mean_us").push_str("null"),
+                }
+                match r.b_mean_us {
+                    Some(v) => {
+                        e.num_field("b_mean_us", v);
+                    }
+                    None => e.raw_field("b_mean_us").push_str("null"),
+                }
+                match r.delta_pct {
+                    Some(v) => {
+                        e.num_field("delta_pct", v);
+                    }
+                    None => e.raw_field("delta_pct").push_str("null"),
+                }
+                e.bool_field("regressed", r.regressed);
+                if let Some(sd) = &r.stage {
+                    let buf = e.raw_field("stage");
+                    let mut sj = ObjWriter::new(buf);
+                    sj.str_field("stage", &sd.stage)
+                        .num_field("a_us", sd.a_us)
+                        .num_field("b_us", sd.b_us);
+                    sj.finish();
+                }
+                e.finish();
+            }
+            buf.push(']');
+        }
+        {
+            let buf = o.raw_field("recovery");
+            let mut rj = ObjWriter::new(buf);
+            for r in &self.recovery {
+                let buf = rj.raw_field(&r.protocol);
+                let mut e = ObjWriter::new(buf);
+                e.num_field("a_rate", r.a_rate)
+                    .num_field("b_rate", r.b_rate)
+                    .bool_field("regressed", r.regressed);
+                e.finish();
+            }
+            rj.finish();
+        }
+        {
+            let buf = o.raw_field("partial");
+            let mut pj = ObjWriter::new(buf);
+            for r in &self.partial {
+                let buf = pj.raw_field(&r.protocol);
+                let mut e = ObjWriter::new(buf);
+                e.num_field("a_fraction", r.a_fraction)
+                    .num_field("b_fraction", r.b_fraction)
+                    .bool_field("regressed", r.regressed);
+                e.finish();
+            }
+            pj.finish();
+        }
+        {
+            let buf = o.raw_field("health");
+            let mut hj = ObjWriter::new(buf);
+            for r in &self.health {
+                let buf = hj.raw_field(&r.protocol);
+                let mut e = ObjWriter::new(buf);
+                e.num_field("a_rate", r.a_rate)
+                    .num_field("b_rate", r.b_rate)
+                    .bool_field("regressed", r.regressed);
+                e.finish();
+            }
+            hj.finish();
+        }
+        {
+            let buf = o.raw_field("contention");
+            let mut cj = ObjWriter::new(buf);
+            for r in &self.contention {
+                let buf = cj.raw_field(&r.link);
+                let mut e = ObjWriter::new(buf);
+                e.num_field("a_frac", r.a_frac)
+                    .num_field("b_frac", r.b_frac)
+                    .bool_field("regressed", r.regressed);
+                e.finish();
+            }
+            cj.finish();
+        }
+        o.u64_field("latency_regressions", self.latency_regressions() as u64);
+        o.u64_field("contention_regressions", self.contention_regressions() as u64);
+        o.u64_field("regressions", self.regressions() as u64);
+        o.finish();
+        out
     }
 }
 
@@ -341,11 +492,51 @@ pub fn diff(a: &Report, b: &Report, threshold_pct: f64) -> DiffReport {
             }
         })
         .collect();
+    // contended fraction of the trace per link track; a link with no
+    // contention on either side produces no row
+    let contended_frac = |r: &Report, k: &String| {
+        r.links.get(k).map_or(0.0, |l| {
+            if r.trace_span_us > 0.0 {
+                l.contended_us / r.trace_span_us
+            } else {
+                0.0
+            }
+        })
+    };
+    let mut lkeys: Vec<&String> = a.links.keys().collect();
+    for k in b.links.keys() {
+        if !a.links.contains_key(k) {
+            lkeys.push(k);
+        }
+    }
+    lkeys.sort();
+    let contention = lkeys
+        .into_iter()
+        .filter(|k| {
+            a.links.get(*k).is_some_and(|l| l.contended_windows > 0)
+                || b.links.get(*k).is_some_and(|l| l.contended_windows > 0)
+        })
+        .map(|k| {
+            let af = contended_frac(a, k);
+            let bf = contended_frac(b, k);
+            // regressed when the candidate spends a larger fraction of
+            // its trace contended, beyond the threshold in percentage
+            // points
+            let regressed = (bf - af) * 100.0 > threshold_pct;
+            ContentionRow {
+                link: k.clone(),
+                a_frac: af,
+                b_frac: bf,
+                regressed,
+            }
+        })
+        .collect();
     DiffReport {
         threshold_pct,
         rows,
         recovery,
         partial,
         health,
+        contention,
     }
 }

@@ -6,20 +6,33 @@
 //! (critical path per op, split by pipeline stage), how busy is each
 //! PCIe/IB link (utilization + contention windows), which protocol did
 //! the runtime choose and how often, and did a change regress latency
-//! (A/B diff with a threshold). The `gdrprof` binary is the CLI over
-//! it; CI uses its machine-readable output (`BENCH_omb.json`).
+//! (A/B diff with a threshold). On top of the per-op reconstruction sit
+//! the autotuning substrate tools: the crossover profiler (observed
+//! protocol-switch points vs the static threshold table, `crossover`)
+//! and the what-if replayer (re-route recorded decisions under an
+//! alternate `thresholds-v1` table and predict the latency delta,
+//! `whatif`). The `gdrprof` binary is the CLI over it; CI uses its
+//! machine-readable output (`BENCH_omb.json`).
 //!
 //! Everything here is deterministic: identical traces produce
 //! byte-identical text and JSON reports (BTreeMap iteration, fixed
 //! float formatting), so reports can be `cmp`'d in CI.
 
+pub mod crossover;
 pub mod diff;
 pub mod report;
 pub mod trace;
+pub mod whatif;
 
-pub use diff::{diff, DiffReport, DiffRow, HealthRow, PartialRow, RecoveryRow, StageDelta};
-pub use report::{analyze, FaultStat, HealthStat, LinkStat, OpPath, ProtoStat, Report, RMA_OPS};
+pub use crossover::{crossover, CrossoverPoint, CrossoverReport, CurvePoint};
+pub use diff::{
+    diff, ContentionRow, DiffReport, DiffRow, HealthRow, PartialRow, RecoveryRow, StageDelta,
+};
+pub use report::{
+    analyze, FaultStat, HealthStat, LinkStat, OpPath, ProtoStat, QuantileStat, Report, RMA_OPS,
+};
 pub use trace::Trace;
+pub use whatif::{whatif, WhatifReport, WhatifRow};
 
 /// Parse + analyze in one step.
 pub fn analyze_str(doc: &str) -> Result<Report, String> {
@@ -187,20 +200,296 @@ mod tests {
 
     #[test]
     fn json_report_is_deterministic_and_parses() {
-        let rep = analyze_str(&synthetic_trace()).unwrap();
+        let rep = analyze_str(&synthetic_trace()).expect("synthetic trace must analyze");
         let j1 = rep.to_json();
-        let j2 = analyze_str(&synthetic_trace()).unwrap().to_json();
+        let j2 = analyze_str(&synthetic_trace()).expect("second analyze").to_json();
         assert_eq!(j1, j2, "same trace must yield byte-identical JSON");
-        let v = obs::json::parse(&j1).unwrap();
+        let v = obs::json::parse(&j1).expect("report JSON must reparse");
         assert_eq!(
-            v.get("schema").unwrap().as_str().unwrap(),
-            "gdrprof-report-v1"
+            v.get("schema").and_then(|s| s.as_str()),
+            Some("gdrprof-report-v2"),
+            "missing or wrong \"schema\" field"
         );
-        assert_eq!(v.get("ops_analyzed").unwrap().as_f64().unwrap(), 2.0);
         assert_eq!(
-            v.get("flow").unwrap().get("linkage").unwrap().as_f64(),
+            v.get("ops_analyzed").and_then(|n| n.as_f64()),
+            Some(2.0),
+            "missing \"ops_analyzed\" field"
+        );
+        assert_eq!(
+            v.get("flow")
+                .and_then(|f| f.get("linkage"))
+                .and_then(|n| n.as_f64()),
+            Some(1.0),
+            "missing \"flow.linkage\" field"
+        );
+        // v2: the quantiles section keys op/protocol/size-class cells
+        let q = v
+            .get("quantiles")
+            .expect("missing \"quantiles\" object")
+            .as_obj()
+            .expect("\"quantiles\" is not an object");
+        assert!(
+            q.contains_key("put/direct-gdr/c07"),
+            "expected put/direct-gdr/c07 in {:?}",
+            q.keys().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn v2_report_round_trips_through_from_json() {
+        let rep = analyze_str(&synthetic_trace()).expect("synthetic trace must analyze");
+        let back =
+            Report::from_json_str(&rep.to_json()).expect("v2 report must rehydrate");
+        assert_eq!(back.ops_analyzed, rep.ops_analyzed);
+        assert_eq!(back.flow_matched, rep.flow_matched);
+        assert!((back.trace_span_us - rep.trace_span_us).abs() < 1e-9);
+        assert_eq!(back.protocols.len(), rep.protocols.len());
+        for (k, st) in &rep.protocols {
+            let b = &back.protocols[k];
+            assert_eq!(b.count, st.count, "{k}: count");
+            assert!((b.mean_us() - st.mean_us()).abs() < 1e-9, "{k}: mean");
+            assert_eq!(b.stages.len(), st.stages.len(), "{k}: stages");
+        }
+        assert_eq!(back.quantiles.len(), rep.quantiles.len());
+        for (k, q) in &rep.quantiles {
+            let b = &back.quantiles[k];
+            assert_eq!((b.class, b.count), (q.class, q.count), "{k}");
+            assert!((b.p99_us - q.p99_us).abs() < 1e-9, "{k}: p99");
+        }
+        assert_eq!(back.decisions, rep.decisions);
+        assert_eq!(back.links.len(), rep.links.len());
+    }
+
+    #[test]
+    fn v1_golden_reports_rehydrate_compatibly() {
+        // the committed fixtures predate the v2 schema: they must keep
+        // loading, with the v2-only sections empty
+        for name in [
+            "report_recovery_base",
+            "report_recovery_regressed",
+            "report_partial_base",
+            "report_partial_regressed",
+            "report_health_base",
+            "report_health_regressed",
+        ] {
+            let path = format!(
+                "{}/../../tests/golden/{name}.json",
+                env!("CARGO_MANIFEST_DIR")
+            );
+            let doc = std::fs::read_to_string(&path)
+                .unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+            let rep = Report::from_json_str(&doc)
+                .unwrap_or_else(|e| panic!("{name} must rehydrate: {e}"));
+            assert!(rep.ops_analyzed > 0, "{name}: ops_analyzed");
+            assert!(!rep.protocols.is_empty(), "{name}: protocols");
+            assert!(rep.quantiles.is_empty(), "{name}: v1 has no quantiles");
+        }
+        let base = Report::from_json_str(
+            &std::fs::read_to_string(format!(
+                "{}/../../tests/golden/report_recovery_base.json",
+                env!("CARGO_MANIFEST_DIR")
+            ))
+            .expect("fixture must be readable"),
+        )
+        .expect("recovery_base must rehydrate");
+        assert_eq!(base.ops_analyzed, 10);
+        assert!((base.trace_span_us - 100.0).abs() < 1e-9);
+        assert_eq!(base.faults["host-rdma"].faulted_ops, 4);
+    }
+
+    #[test]
+    fn from_json_errors_name_the_missing_field() {
+        let err = Report::from_json_str(r#"{"schema":"gdrprof-report-v2"}"#)
+            .expect_err("missing trace_span_us must fail");
+        assert!(err.contains("trace_span_us"), "{err}");
+        let err = Report::from_json_str(r#"{"trace_span_us":1}"#)
+            .expect_err("missing schema must fail");
+        assert!(err.contains("schema"), "{err}");
+        let err = Report::from_json_str(r#"{"schema":"gdrprof-report-v9","trace_span_us":1}"#)
+            .expect_err("unknown schema must fail");
+        assert!(err.contains("gdrprof-report-v9"), "{err}");
+        let err = Report::from_json_str(
+            r#"{"schema":"gdrprof-report-v2","trace_span_us":1,"ops_analyzed":1,
+               "protocols":{"put/x":{"count":"many"}}}"#,
+        )
+        .expect_err("mistyped count must fail");
+        assert!(err.contains("count"), "{err}");
+    }
+
+    /// An inter-node D-D get sweep with enriched decision records: two
+    /// sizes served by direct-gdr, one by the proxy — a single
+    /// crossover governed by `proxy_get_min`.
+    fn synthetic_sweep_trace() -> String {
+        let r = Recorder::new(ObsLevel::Spans);
+        let pe0 = r.track(TrackKind::Pe, 0);
+        for (i, (size, proto, dur)) in [
+            (4096u64, "direct-gdr", 5u64),
+            (65536, "direct-gdr", 20),
+            (1 << 20, "proxy-pipeline", 100),
+        ]
+        .iter()
+        .enumerate()
+        {
+            let op_id = 201 + i as u64;
+            let start = 1 + 200 * i as u64;
+            r.span(
+                pe0,
+                "get",
+                t(start),
+                t(start + dur),
+                Payload::Op {
+                    op: "get",
+                    protocol: proto,
+                    size: *size,
+                    src_pe: 0,
+                    dst_pe: 1,
+                    src_dev: true,
+                    dst_dev: true,
+                    same_node: false,
+                    op_id,
+                },
+            );
+            let mut d = obs::Decision {
+                op: "get",
+                size: *size,
+                src_pe: 0,
+                dst_pe: 1,
+                src_dev: true,
+                dst_dev: true,
+                same_node: false,
+                chosen: proto,
+                op_id,
+                size_class: obs::hist::bucket_index(*size) as u8,
+                socket_rel: "intra-socket",
+                tsource: "builtin",
+                ..Default::default()
+            };
+            d.candidates.push("direct-gdr");
+            d.candidates.push("proxy-pipeline");
+            d.thresholds.push("gdr_get_limit", 16384);
+            d.thresholds.push("proxy_get_min", 524288);
+            r.decision(pe0, t(start), d);
+        }
+        r.chrome_trace()
+    }
+
+    #[test]
+    fn crossover_finds_the_governed_switch_point() {
+        let tr = Trace::parse(&synthetic_sweep_trace()).expect("sweep trace must parse");
+        let x = crossover(&tr);
+        let curve = &x.curves["get/inter-node/D-D/intra-socket"];
+        assert_eq!(curve.len(), 3);
+        assert_eq!(curve[0].protocol, "direct-gdr");
+        assert_eq!(curve[2].protocol, "proxy-pipeline");
+        assert_eq!(x.crossovers.len(), 1);
+        let c = &x.crossovers[0];
+        assert_eq!((c.below_size, c.above_size), (65536, 1 << 20));
+        assert_eq!(
+            c.threshold.as_ref().map(|(n, v)| (n.as_str(), *v)),
+            Some(("proxy_get_min", 524288)),
+            "the entry inside the window governs the switch"
+        );
+        assert_eq!(c.tsource, "builtin");
+        // proxy has one observed point: geometric-mean fallback lands
+        // on sqrt(2^16 * 2^20) = 2^18
+        assert_eq!(c.suggested, 262144);
+        assert!(!c.misconfigured, "262144 vs 524288 is within 2x");
+        let txt = x.text();
+        assert!(txt.contains("crossover get/inter-node/D-D/intra-socket"), "{txt}");
+        assert!(txt.contains("proxy_get_min=524288, builtin"), "{txt}");
+        // byte-identical across two parses of the same document
+        let again = crossover(&Trace::parse(&synthetic_sweep_trace()).expect("reparse"));
+        assert_eq!(x.to_json(), again.to_json());
+        assert_eq!(x.text(), again.text());
+        // --suggest exports the estimate as a loadable thresholds-v1 table
+        let sug = x.suggestions();
+        assert_eq!(sug.get("proxy_get_min"), Some(262144));
+        assert!(obs::ThresholdTable::from_json_str(&sug.to_json()).is_ok());
+    }
+
+    #[test]
+    fn whatif_identity_table_predicts_zero_delta() {
+        let tr = Trace::parse(&synthetic_sweep_trace()).expect("sweep trace must parse");
+        // same values the decisions recorded -> nothing re-routes
+        let same = obs::ThresholdTable::from_json_str(
+            r#"{"schema":"thresholds-v1","entries":{"gdr_get_limit":16384,"proxy_get_min":524288}}"#,
+        )
+        .expect("identity table must parse");
+        let w = whatif(&tr, &same);
+        assert_eq!(w.replayed, 3);
+        assert_eq!(w.changed, 0);
+        assert_eq!(w.model_mismatch, 0, "replay must mirror the dispatch");
+        assert_eq!(w.predicted_delta_us, 0.0);
+        assert!(w.text().contains("predicted-delta-us: +0.000"), "{}", w.text());
+        // an empty overlay is the same identity
+        let w2 = whatif(&tr, &obs::ThresholdTable::new());
+        assert_eq!(w2.changed, 0);
+        assert_eq!(w2.predicted_delta_us, 0.0);
+    }
+
+    #[test]
+    fn whatif_degraded_table_predicts_positive_delta() {
+        let tr = Trace::parse(&synthetic_sweep_trace()).expect("sweep trace must parse");
+        // kill direct gets entirely: everything >= 64B goes to the proxy
+        let bad = obs::ThresholdTable::from_json_str(
+            r#"{"schema":"thresholds-v1","entries":{"gdr_get_limit":0,"proxy_get_min":64}}"#,
+        )
+        .expect("degraded table must parse");
+        let w = whatif(&tr, &bad);
+        assert_eq!(w.changed, 2, "the two direct gets re-route");
+        assert_eq!(w.unpriced, 0);
+        // proxy observed only at 1MiB (100us, flat below): the small
+        // gets pay (100-5) + (100-20)
+        assert!(
+            (w.predicted_delta_us - 175.0).abs() < 1e-6,
+            "{}",
+            w.predicted_delta_us
+        );
+        assert!(w.text().contains("predicted-delta-us: +175.000"), "{}", w.text());
+        let v = obs::json::parse(&w.to_json()).expect("whatif JSON must reparse");
+        assert_eq!(
+            v.get("schema").and_then(|s| s.as_str()),
+            Some("gdrprof-whatif-v1")
+        );
+        assert_eq!(v.get("changed").and_then(|n| n.as_f64()), Some(2.0));
+    }
+
+    #[test]
+    fn diff_gates_on_contention_fraction_regressions() {
+        let a = analyze_str(&synthetic_trace()).expect("trace must analyze");
+        let mut b = a.clone();
+        // candidate: same latencies, but the d2h link spends 35% more
+        // of the trace contended
+        b.links
+            .get_mut("pcie/gpu0/d2h")
+            .expect("link stat")
+            .contended_us = a.trace_span_us * 0.40;
+        let d = diff(&a, &b, 10.0);
+        assert_eq!(d.contention_regressions(), 1);
+        assert_eq!(d.latency_regressions(), 0, "contention-only regression");
+        assert_eq!(d.regressions(), 1);
+        let row = &d.contention[0];
+        assert!(row.regressed && row.b_frac > row.a_frac);
+        assert!(d.text().contains("link-contention"), "{}", d.text());
+        // machine-readable: --json output splits the two gate counters
+        let v = obs::json::parse(&d.to_json()).expect("diff JSON must reparse");
+        assert_eq!(
+            v.get("schema").and_then(|s| s.as_str()),
+            Some("gdrprof-diff-v1")
+        );
+        assert_eq!(
+            v.get("contention_regressions").and_then(|n| n.as_f64()),
             Some(1.0)
         );
+        assert_eq!(
+            v.get("latency_regressions").and_then(|n| n.as_f64()),
+            Some(0.0)
+        );
+        // identity diff: the contended window exists on both sides but
+        // nothing regresses
+        let d2 = diff(&a, &a.clone(), 10.0);
+        assert_eq!(d2.regressions(), 0);
+        assert!(d2.contention.iter().all(|r| !r.regressed));
     }
 
     #[test]

@@ -1,9 +1,15 @@
 //! Critical-path, utilization, and protocol analysis of one trace.
 
 use crate::trace::{OpSpan, Trace};
-use obs::json::ObjWriter;
+use obs::json::{ObjWriter, Value};
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt::Write as _;
+
+/// Schema marker written by [`Report::to_json`].
+pub const REPORT_SCHEMA: &str = "gdrprof-report-v2";
+/// Previous schema, still accepted by [`Report::from_json`] (missing
+/// quantile sections rehydrate empty).
+pub const REPORT_SCHEMA_V1: &str = "gdrprof-report-v1";
 
 /// RMA/sync operations that carry a correlation id and participate in
 /// the flow-linkage metric. Collectives (barrier etc.) are excluded:
@@ -51,6 +57,19 @@ impl ProtoStat {
             self.total_us / self.count as f64
         }
     }
+}
+
+/// Tail-latency quantiles for one `op × protocol × size-class` cell,
+/// from a deterministic log-linear sketch over the ops' critical-path
+/// times ([`obs::hist::Sketch`], ≤ 6.25 % relative error).
+#[derive(Clone, Debug, Default)]
+pub struct QuantileStat {
+    /// Log2 size class of the cell ([`obs::hist::bucket_index`]).
+    pub class: u8,
+    pub count: u64,
+    pub p50_us: f64,
+    pub p99_us: f64,
+    pub p999_us: f64,
 }
 
 /// Utilization summary of one hardware link track.
@@ -138,6 +157,8 @@ pub struct Report {
     pub flow_matched: u64,
     /// `op/protocol` -> aggregate critical-path stats.
     pub protocols: BTreeMap<String, ProtoStat>,
+    /// `op/protocol/cNN` (zero-padded size class) -> p50/p99/p999.
+    pub quantiles: BTreeMap<String, QuantileStat>,
     /// `op/chosen-protocol` -> decision count.
     pub decisions: BTreeMap<String, u64>,
     /// protocol -> fault-injection/recovery stats (empty on clean runs).
@@ -271,6 +292,30 @@ pub fn analyze(tr: &Trace) -> Report {
     }
     rep.paths.sort_by_key(|p| p.op_id);
 
+    // tail-latency quantiles: sketch critical-path times (in ns, so the
+    // log-linear buckets resolve sub-microsecond ops) per op × protocol
+    // × size-class
+    let mut sketches: BTreeMap<(String, String, u8), obs::hist::Sketch> = BTreeMap::new();
+    for p in &rep.paths {
+        let class = obs::hist::bucket_index(p.size) as u8;
+        sketches
+            .entry((p.op.clone(), p.protocol.clone(), class))
+            .or_default()
+            .record((p.total_us() * 1000.0).round() as u64);
+    }
+    for ((op, proto, class), s) in sketches {
+        rep.quantiles.insert(
+            format!("{op}/{proto}/c{class:02}"),
+            QuantileStat {
+                class,
+                count: s.count,
+                p50_us: s.p50() as f64 / 1000.0,
+                p99_us: s.p99() as f64 / 1000.0,
+                p999_us: s.p999() as f64 / 1000.0,
+            },
+        );
+    }
+
     for d in &tr.decisions {
         *rep.decisions
             .entry(format!("{}/{}", d.op, d.chosen))
@@ -379,6 +424,16 @@ impl Report {
                 let _ = writeln!(s, "    stage {stage:<10} {us:.3}us");
             }
         }
+        if !self.quantiles.is_empty() {
+            let _ = writeln!(s, "\nlatency quantiles by op/protocol/size-class:");
+            for (k, q) in &self.quantiles {
+                let _ = writeln!(
+                    s,
+                    "  {k:<34} n {:<5} p50 {:.3}us  p99 {:.3}us  p999 {:.3}us",
+                    q.count, q.p50_us, q.p99_us, q.p999_us
+                );
+            }
+        }
         let _ = writeln!(s, "\nprotocol decisions:");
         for (k, n) in &self.decisions {
             let _ = writeln!(s, "  {k:<28} {n}");
@@ -438,13 +493,13 @@ impl Report {
         s
     }
 
-    /// Machine-readable rendering: the `gdrprof-report-v1` JSON object.
+    /// Machine-readable rendering: the `gdrprof-report-v2` JSON object.
     /// Field order and float formatting are deterministic, so identical
     /// traces produce byte-identical reports.
     pub fn to_json(&self) -> String {
         let mut out = String::with_capacity(1024);
         let mut o = ObjWriter::new(&mut out);
-        o.str_field("schema", "gdrprof-report-v1");
+        o.str_field("schema", REPORT_SCHEMA);
         o.num_field("trace_span_us", self.trace_span_us);
         o.u64_field("ops_analyzed", self.ops_analyzed);
         {
@@ -477,6 +532,23 @@ impl Report {
                 e.finish();
             }
             p.finish();
+        }
+        {
+            // v2: per-op×protocol×size-class tail latencies (empty
+            // object when the trace had no analyzable ops)
+            let buf = o.raw_field("quantiles");
+            let mut qj = ObjWriter::new(buf);
+            for (k, q) in &self.quantiles {
+                let buf = qj.raw_field(k);
+                let mut e = ObjWriter::new(buf);
+                e.u64_field("class", q.class as u64)
+                    .u64_field("count", q.count)
+                    .num_field("p50_us", q.p50_us)
+                    .num_field("p99_us", q.p99_us)
+                    .num_field("p999_us", q.p999_us);
+                e.finish();
+            }
+            qj.finish();
         }
         {
             let buf = o.raw_field("decisions");
@@ -569,5 +641,157 @@ impl Report {
         }
         o.finish();
         out
+    }
+
+    /// Rehydrate a report from its JSON form. Accepts both
+    /// `gdrprof-report-v2` and legacy `gdrprof-report-v1` documents —
+    /// sections v1 lacks (quantiles) come back empty. Per-op paths are
+    /// not rehydrated (they are an export-only detail). Every failure
+    /// names the field that was missing or mistyped.
+    pub fn from_json(v: &Value) -> Result<Report, String> {
+        fn f64_of(v: &Value, key: &str, ctx: &str) -> Result<f64, String> {
+            v.get(key)
+                .ok_or_else(|| format!("{ctx}: missing field {key:?}"))?
+                .as_f64()
+                .ok_or_else(|| format!("{ctx}: field {key:?} is not a number"))
+        }
+        fn u64_of(v: &Value, key: &str, ctx: &str) -> Result<u64, String> {
+            f64_of(v, key, ctx).map(|n| n as u64)
+        }
+        match v.get("schema").and_then(Value::as_str) {
+            Some(REPORT_SCHEMA) | Some(REPORT_SCHEMA_V1) => {}
+            Some(other) => {
+                return Err(format!(
+                    "report: schema {other:?}, expected {REPORT_SCHEMA:?} or {REPORT_SCHEMA_V1:?}"
+                ))
+            }
+            None => return Err("report: missing \"schema\" field".to_string()),
+        }
+        let mut rep = Report {
+            trace_span_us: f64_of(v, "trace_span_us", "report")?,
+            ops_analyzed: u64_of(v, "ops_analyzed", "report")?,
+            ..Report::default()
+        };
+        if let Some(flow) = v.get("flow") {
+            rep.flow_started = u64_of(flow, "started", "report.flow")?;
+            rep.flow_matched = u64_of(flow, "matched", "report.flow")?;
+        }
+        let protocols = v
+            .get("protocols")
+            .ok_or("report: missing \"protocols\" object")?
+            .as_obj()
+            .ok_or("report: \"protocols\" is not an object")?;
+        for (k, p) in protocols {
+            let ctx = format!("report.protocols.{k}");
+            let count = u64_of(p, "count", &ctx)?;
+            let mut stages = BTreeMap::new();
+            if let Some(sj) = p.get("stages").and_then(Value::as_obj) {
+                for (stage, us) in sj {
+                    stages.insert(
+                        stage.clone(),
+                        us.as_f64()
+                            .ok_or_else(|| format!("{ctx}.stages.{stage}: not a number"))?,
+                    );
+                }
+            }
+            rep.protocols.insert(
+                k.clone(),
+                ProtoStat {
+                    count,
+                    bytes: u64_of(p, "bytes", &ctx)?,
+                    total_us: f64_of(p, "mean_us", &ctx)? * count as f64,
+                    min_us: f64_of(p, "min_us", &ctx)?,
+                    max_us: f64_of(p, "max_us", &ctx)?,
+                    stages,
+                },
+            );
+        }
+        // v2-only section: absent on v1 documents, rehydrates empty
+        if let Some(quants) = v.get("quantiles").and_then(Value::as_obj) {
+            for (k, q) in quants {
+                let ctx = format!("report.quantiles.{k}");
+                rep.quantiles.insert(
+                    k.clone(),
+                    QuantileStat {
+                        class: u64_of(q, "class", &ctx)? as u8,
+                        count: u64_of(q, "count", &ctx)?,
+                        p50_us: f64_of(q, "p50_us", &ctx)?,
+                        p99_us: f64_of(q, "p99_us", &ctx)?,
+                        p999_us: f64_of(q, "p999_us", &ctx)?,
+                    },
+                );
+            }
+        }
+        if let Some(decisions) = v.get("decisions").and_then(Value::as_obj) {
+            for (k, n) in decisions {
+                rep.decisions.insert(
+                    k.clone(),
+                    n.as_f64()
+                        .ok_or_else(|| format!("report.decisions.{k}: not a number"))?
+                        as u64,
+                );
+            }
+        }
+        // absent from pre-fault report files; treat that as empty
+        if let Some(faults) = v.get("faults").and_then(Value::as_obj) {
+            for (k, f) in faults {
+                let ctx = format!("report.faults.{k}");
+                rep.faults.insert(
+                    k.clone(),
+                    FaultStat {
+                        injected: u64_of(f, "injected", &ctx)?,
+                        retried: u64_of(f, "retried", &ctx)?,
+                        faulted_ops: u64_of(f, "faulted_ops", &ctx)?,
+                        recovered: u64_of(f, "recovered", &ctx)?,
+                        fallbacks: u64_of(f, "fallbacks", &ctx)?,
+                        // additive fields: absent from pre-partial-delivery
+                        // report files, default to zero so old goldens load
+                        chunk_retried: u64_of(f, "chunk_retried", &ctx).unwrap_or(0),
+                        partials: u64_of(f, "partials", &ctx).unwrap_or(0),
+                        partial_delivered: u64_of(f, "partial_delivered", &ctx).unwrap_or(0),
+                        partial_total: u64_of(f, "partial_total", &ctx).unwrap_or(0),
+                    },
+                );
+            }
+        }
+        // absent from pre-breaker report files; treat as empty
+        if let Some(health) = v.get("health").and_then(Value::as_obj) {
+            for (k, h) in health {
+                let ctx = format!("report.health.{k}");
+                rep.health.insert(
+                    k.clone(),
+                    HealthStat {
+                        demotes: u64_of(h, "demotes", &ctx)?,
+                        probes: u64_of(h, "probes", &ctx)?,
+                        promotes: u64_of(h, "promotes", &ctx)?,
+                    },
+                );
+            }
+        }
+        // links ride along so the contention delta gate can compare
+        // report files, not just raw traces
+        if let Some(links) = v.get("links").and_then(Value::as_obj) {
+            for (k, l) in links {
+                let ctx = format!("report.links.{k}");
+                rep.links.insert(
+                    k.clone(),
+                    LinkStat {
+                        samples: u64_of(l, "samples", &ctx)?,
+                        bytes: u64_of(l, "bytes", &ctx)?,
+                        busy_us: f64_of(l, "busy_us", &ctx)?,
+                        peak_queue: u64_of(l, "peak_queue", &ctx)? as u32,
+                        contended_windows: u64_of(l, "contended_windows", &ctx)?,
+                        contended_us: f64_of(l, "contended_us", &ctx)?,
+                    },
+                );
+            }
+        }
+        Ok(rep)
+    }
+
+    /// As [`Report::from_json`] on an unparsed document.
+    pub fn from_json_str(doc: &str) -> Result<Report, String> {
+        let v = obs::json::parse(doc).map_err(|e| format!("report: not JSON: {e}"))?;
+        Report::from_json(&v)
     }
 }

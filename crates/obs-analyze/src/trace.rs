@@ -37,11 +37,29 @@ pub struct ChunkSpan {
 }
 
 /// One protocol-decision record (`ph:"i"`, name `protocol-decision`).
-#[derive(Clone, Debug)]
+/// Enriched records carry the full candidate set with threshold
+/// provenance; the extra fields default empty/zero on old traces.
+#[derive(Clone, Debug, Default)]
 pub struct DecisionRec {
     pub op: String,
     pub chosen: String,
     pub size: u64,
+    /// Log2 size class of `size` (0 on pre-enrichment traces).
+    pub size_class: u8,
+    /// Correlation id of the op this decision routed (0 = unknown).
+    pub op_id: u64,
+    pub src_dev: bool,
+    pub dst_dev: bool,
+    pub same_node: bool,
+    /// `"intra-socket"` / `"inter-socket"` / `"host"`; empty on old
+    /// traces.
+    pub socket_rel: String,
+    /// Threshold provenance: `"builtin"` or `"thresholds-v1"`.
+    pub tsource: String,
+    /// Every protocol the dispatch considered for this cell.
+    pub candidates: Vec<String>,
+    /// The `(name, value)` threshold entries consulted.
+    pub thresholds: Vec<(String, u64)>,
 }
 
 /// A flow endpoint (`ph:"s"` start / `ph:"f"` end).
@@ -216,10 +234,43 @@ impl Trace {
                 }
                 "i" if e.get("name").and_then(Value::as_str) == Some("protocol-decision") => {
                     let Some(args) = args else { continue };
+                    let candidates = args
+                        .get("candidates")
+                        .and_then(Value::as_arr)
+                        .map(|a| {
+                            a.iter()
+                                .filter_map(Value::as_str)
+                                .map(str::to_string)
+                                .collect()
+                        })
+                        .unwrap_or_default();
+                    let thresholds = args
+                        .get("thresholds")
+                        .and_then(Value::as_obj)
+                        .map(|o| {
+                            o.iter()
+                                .filter_map(|(k, v)| {
+                                    v.as_f64().map(|n| (k.clone(), n as u64))
+                                })
+                                .collect()
+                        })
+                        .unwrap_or_default();
                     tr.decisions.push(DecisionRec {
                         op: text(args, "op").unwrap_or_default(),
                         chosen: text(args, "chosen").unwrap_or_default(),
                         size: num(args, "size").unwrap_or(0.0) as u64,
+                        size_class: num(args, "size_class").unwrap_or(0.0) as u8,
+                        op_id: num(args, "op_id").unwrap_or(0.0) as u64,
+                        src_dev: args.get("src_dev").and_then(Value::as_bool).unwrap_or(false),
+                        dst_dev: args.get("dst_dev").and_then(Value::as_bool).unwrap_or(false),
+                        same_node: args
+                            .get("same_node")
+                            .and_then(Value::as_bool)
+                            .unwrap_or(false),
+                        socket_rel: text(args, "socket_rel").unwrap_or_default(),
+                        tsource: text(args, "tsource").unwrap_or_default(),
+                        candidates,
+                        thresholds,
                     });
                 }
                 "i" if e.get("name").and_then(Value::as_str) == Some("fault") => {

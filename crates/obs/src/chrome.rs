@@ -47,12 +47,16 @@ fn write_args(out: &mut String, p: &Payload) {
             let mut o = ObjWriter::new(out);
             o.str_field("op", d.op)
                 .u64_field("size", d.size)
+                .u64_field("size_class", d.size_class as u64)
                 .u64_field("src_pe", d.src_pe as u64)
                 .u64_field("dst_pe", d.dst_pe as u64)
                 .bool_field("src_dev", d.src_dev)
                 .bool_field("dst_dev", d.dst_dev)
                 .bool_field("same_node", d.same_node)
-                .str_field("chosen", d.chosen);
+                .str_field("socket_rel", d.socket_rel)
+                .str_field("chosen", d.chosen)
+                .u64_field("op_id", d.op_id)
+                .str_field("tsource", d.tsource);
             {
                 let buf = o.raw_field("candidates");
                 buf.push('[');

@@ -50,6 +50,13 @@ impl Value {
         }
     }
 
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
     /// Object field lookup; `None` on non-objects or missing keys.
     pub fn get(&self, key: &str) -> Option<&Value> {
         self.as_obj().and_then(|o| o.get(key))

@@ -31,8 +31,10 @@
 pub mod chrome;
 pub mod hist;
 pub mod json;
+pub mod thresholds;
 
-pub use hist::Hist;
+pub use hist::{Hist, Sketch};
+pub use thresholds::ThresholdTable;
 
 use parking_lot::Mutex;
 use sim_core::{SimDuration, SimTime};
@@ -211,6 +213,20 @@ pub struct Decision {
     pub chosen: &'static str,
     pub candidates: Cands,
     pub thresholds: Thresholds,
+    /// Per-op correlation id ([`Payload::Op`]'s `op_id`; `0` when the
+    /// decision is uncorrelated).
+    pub op_id: u64,
+    /// Log2 size class of `size` ([`hist::bucket_index`]); the key the
+    /// quantile sketches and crossover profiler bin by.
+    pub size_class: u8,
+    /// Socket relation of the device end of the transfer relative to the
+    /// HCA that would service it: `"intra-socket"`, `"inter-socket"`, or
+    /// `"host"` when no device memory is involved (paper Table III).
+    pub socket_rel: &'static str,
+    /// Where the consulted threshold values came from: `"builtin"` for
+    /// the compiled-in tuned table, `"thresholds-v1"` when a
+    /// [`ThresholdTable`] artifact was loaded into the config.
+    pub tsource: &'static str,
 }
 
 impl Decision {
@@ -220,6 +236,10 @@ impl Decision {
 
 /// Structured, fixed-size payload attached to an event. `&'static str`
 /// fields keep the record path allocation-free.
+// `Decision` carries fixed-capacity candidate/threshold arrays inline
+// for the same reason — boxing it would put an allocation on the
+// dispatch hot path, which costs more than the per-event bytes here.
+#[allow(clippy::large_enum_variant)]
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Payload {
     None,
@@ -357,6 +377,11 @@ pub struct Recorder {
     sample: u64,
     tables: Mutex<Tables>,
     hists: Mutex<BTreeMap<(&'static str, u8), Hist>>,
+    /// Quantile sketches keyed `(op, protocol, size-class)` — the
+    /// tail-latency (p50/p99/p999) substrate. Exact like the
+    /// histograms: active from [`ObsLevel::Counters`] up, never
+    /// sampled.
+    sketches: Mutex<BTreeMap<(&'static str, &'static str, u8), hist::Sketch>>,
     agents: Mutex<BTreeMap<(TrackKind, u32), AgentCounters>>,
     /// Exact fault-machinery counters keyed `(what, protocol)` where
     /// `what` is `"injected"`, `"retried"`, `"recovered"`,
@@ -382,6 +407,7 @@ impl Recorder {
             sample: sample.max(1),
             tables: Mutex::new(Tables::default()),
             hists: Mutex::new(BTreeMap::new()),
+            sketches: Mutex::new(BTreeMap::new()),
             agents: Mutex::new(BTreeMap::new()),
             faults: Mutex::new(BTreeMap::new()),
         })
@@ -508,6 +534,23 @@ impl Recorder {
             .record(dur.as_ps());
     }
 
+    /// As [`Recorder::latency`], additionally feeding the
+    /// per-(op × protocol × size-class) quantile sketch; active from
+    /// [`ObsLevel::Counters`] up.
+    pub fn op_latency(&self, op: &'static str, protocol: &'static str, size: u64, dur: SimDuration) {
+        if !self.counters_on() {
+            return;
+        }
+        let class = hist::bucket_index(size) as u8;
+        let ps = dur.as_ps();
+        self.hists.lock().entry((protocol, class)).or_default().record(ps);
+        self.sketches
+            .lock()
+            .entry((op, protocol, class))
+            .or_default()
+            .record(ps);
+    }
+
     /// Account `bytes` moved (busy for `busy`) on hardware agent
     /// `(kind, index)`; active from [`ObsLevel::Counters`] up. At
     /// [`ObsLevel::Spans`] it also emits a cumulative-bytes counter
@@ -632,6 +675,12 @@ impl Recorder {
         self.hists.lock().clone()
     }
 
+    /// Snapshot of the quantile sketches, keyed by
+    /// `(op, protocol, size-class)`.
+    pub fn quantile_sketches(&self) -> BTreeMap<(&'static str, &'static str, u8), hist::Sketch> {
+        self.sketches.lock().clone()
+    }
+
     /// Snapshot of the hardware utilization counters.
     pub fn agent_counters(&self) -> BTreeMap<(TrackKind, u32), AgentCounters> {
         self.agents.lock().clone()
@@ -662,6 +711,21 @@ impl Recorder {
                     SimDuration::from_ps(h.min()),
                     SimDuration::from_ps(h.approx_median()),
                     SimDuration::from_ps(h.max()),
+                );
+            }
+        }
+        let sketches = self.sketches.lock();
+        if !sketches.is_empty() {
+            let _ = writeln!(out, "-- op latency quantiles (op, protocol, size-class) --");
+            for ((op, proto, class), s) in sketches.iter() {
+                let _ = writeln!(
+                    out,
+                    "{op:<10} {proto:<18} {:<14} n={:<6} p50={} p99={} p999={}",
+                    hist::size_class_label(*class),
+                    s.count,
+                    SimDuration::from_ps(s.p50()),
+                    SimDuration::from_ps(s.p99()),
+                    SimDuration::from_ps(s.p999()),
                 );
             }
         }
@@ -777,6 +841,25 @@ mod tests {
         assert_eq!(r.event_count(), 0);
         assert_eq!(r.histograms().len(), 1);
         assert_eq!(r.agent_counters()[&(TrackKind::Hca, 0)].bytes, 64);
+    }
+
+    #[test]
+    fn op_latency_fills_hists_and_sketches() {
+        let off = Recorder::new(ObsLevel::Off);
+        off.op_latency("put", "direct-gdr", 64, SimDuration::from_us(1));
+        assert!(off.quantile_sketches().is_empty());
+
+        let c = Recorder::new(ObsLevel::Counters);
+        c.op_latency("put", "direct-gdr", 64, SimDuration::from_us(1));
+        c.op_latency("put", "direct-gdr", 64, SimDuration::from_us(3));
+        c.op_latency("get", "direct-gdr", 64, SimDuration::from_us(2));
+        assert_eq!(c.histograms().len(), 1, "hists key on (protocol, class)");
+        let sk = c.quantile_sketches();
+        assert_eq!(sk.len(), 2, "sketches key on (op, protocol, class)");
+        let put = &sk[&("put", "direct-gdr", hist::bucket_index(64) as u8)];
+        assert_eq!(put.count, 2);
+        assert!(put.p99() >= put.p50());
+        assert!(c.summary().contains("p999="));
     }
 
     #[test]

@@ -4,19 +4,23 @@
 //! one machine-readable `BENCH_omb.json` document.
 //!
 //! ```text
-//! bench_omb [OUT_JSON] [TRACE_OUT]
+//! bench_omb [OUT_JSON] [TRACE_OUT] [SWEEP_TRACE]
 //! ```
 //!
 //! `OUT_JSON` defaults to `BENCH_omb.json`; when `TRACE_OUT` is given,
 //! the traced workload's Chrome trace is also written there (CI feeds
-//! it to `gdrprof analyze`). The simulation runs in virtual time and
-//! every serializer iterates sorted maps, so two runs of this binary
-//! produce byte-identical output — CI `cmp`s them.
+//! it to `gdrprof analyze`). When `SWEEP_TRACE` is given, a second
+//! traced workload runs: a message-size sweep against one intra-socket
+//! and one inter-socket peer GPU, crossing every protocol threshold —
+//! the input `gdrprof crossover` and `gdrprof whatif` profile. The
+//! simulation runs in virtual time and every serializer iterates
+//! sorted maps, so two runs of this binary produce byte-identical
+//! output — CI `cmp`s them.
 
 use obs::json::ObjWriter;
 use obs::ObsLevel;
 use omb::{get_latency, put_latency, Config, LatencyPoint};
-use pcie_sim::ClusterSpec;
+use pcie_sim::{ClusterSpec, PlacementPolicy};
 use shmem_gdr::{Design, Domain, RuntimeConfig, ShmemMachine};
 use std::process::ExitCode;
 
@@ -47,10 +51,49 @@ fn traced_workload() -> std::sync::Arc<ShmemMachine> {
     m
 }
 
+/// The crossover-sweep workload: two nodes, two PEs and two GPUs per
+/// node, one HCA on socket 0 — so PE 2's GPU is intra-socket to its
+/// HCA and PE 3's is inter-socket (paper Table III's two relations).
+/// PE 0 sweeps D-D puts and gets against both peers across every
+/// protocol tier: direct GDR, pipelined GDR write, proxy pipeline.
+/// Three repetitions per size give the crossover profiler stable
+/// means.
+fn sweep_workload() -> std::sync::Arc<ShmemMachine> {
+    let spec = ClusterSpec {
+        nodes: 2,
+        procs_per_node: 2,
+        gpus_per_node: 2,
+        hcas_per_node: 1,
+        sockets_per_node: 2,
+        placement: PlacementPolicy::Affinity,
+    };
+    let cfg = rc().with_obs(ObsLevel::Spans);
+    let m = ShmemMachine::build(spec, cfg);
+    m.run(|pe| {
+        let dest = pe.shmalloc(2 << 20, Domain::Gpu);
+        let src = pe.malloc_dev(2 << 20);
+        pe.barrier_all();
+        if pe.my_pe() == 0 {
+            for target in [2usize, 3] {
+                for b in [4096u64, 16384, 32768, 65536, 262144, 1 << 20] {
+                    for _ in 0..3 {
+                        pe.putmem(dest, src, b, target);
+                        pe.quiet();
+                        pe.getmem(src, dest, b, target);
+                    }
+                }
+            }
+        }
+        pe.barrier_all();
+    });
+    m
+}
+
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
     let out_json = args.next().unwrap_or_else(|| "BENCH_omb.json".into());
     let trace_out = args.next();
+    let sweep_out = args.next();
 
     // OMB latency matrix: inter-node D-D put/get across the size range
     // that exercises every protocol tier (direct GDR, pipelined write,
@@ -83,6 +126,16 @@ fn main() -> ExitCode {
         }
     };
     eprintln!("{}", report.text());
+
+    // optional crossover sweep (CI feeds it to `gdrprof crossover` /
+    // `gdrprof whatif`)
+    if let Some(path) = &sweep_out {
+        let sm = sweep_workload();
+        if let Err(e) = std::fs::write(path, sm.obs().chrome_trace()) {
+            eprintln!("bench_omb: cannot write {path}: {e}");
+            return ExitCode::from(2);
+        }
+    }
 
     let mut doc = String::with_capacity(4096);
     {
