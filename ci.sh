@@ -177,4 +177,44 @@ grep -q 'stage rdma' <<<"$dout"
 cargo run --release -q -p omb --bin chaos_trace "$tmp/burst2.json" --burst
 cmp "$tmp/burst.json" "$tmp/burst2.json"
 
+# Timeline gate: the burst trace carries the windowed metrics plane —
+# gdrprof timeline must align the fault burst with a change-point, fold
+# in the demote -> probe -> promote lifecycle, and place the single SLO
+# violation (the burst window's collapsed recovery rate) inside the
+# burst and nowhere else.
+cargo run --release -q -p obs-analyze --bin gdrprof -- timeline "$tmp/burst.json" \
+    --json "$tmp/tl1.json" > "$tmp/tl1.txt"
+grep -q '"schema":"gdrprof-timeline-v1"' "$tmp/tl1.json"
+grep -q 'CHANGE-POINT' "$tmp/tl1.txt"
+grep -q 'fault burst: windows 3..3, aligned with a p99/contention change-point' "$tmp/tl1.txt"
+grep -q 'lifecycle direct-gdr: demote @w3' "$tmp/tl1.txt"
+grep -q 'slo-violations: 1 in 1 windows (first w3, last w3)' "$tmp/tl1.txt"
+grep -q '"name":"window-snapshot"' "$tmp/burst.json"
+grep -q '"name":"slo-violation"' "$tmp/burst.json"
+# the timeline itself is deterministic: byte-identical against the
+# replayed burst trace
+cargo run --release -q -p obs-analyze --bin gdrprof -- timeline "$tmp/burst2.json" \
+    --json "$tmp/tl2.json" > "$tmp/tl2.txt"
+cmp "$tmp/tl1.json" "$tmp/tl2.json"
+cmp "$tmp/tl1.txt" "$tmp/tl2.txt"
+
+# SLO-violation-count gate: the fixture pair holds every latency and
+# fault metric flat while the candidate's windowed plane breaches more
+# budgets — diff must trip with the SLO-specific exit code 6.
+set +e
+cargo run --release -q -p obs-analyze --bin gdrprof -- diff \
+    tests/golden/report_slo_base.json tests/golden/report_slo_regressed.json \
+    --threshold 10 > "$tmp/slo.txt"
+rc=$?
+set -e
+if [ "$rc" -ne 6 ]; then
+    echo "gdrprof diff slo gate: expected exit 6, got $rc" >&2
+    exit 1
+fi
+grep -q 'slo-violations' "$tmp/slo.txt"
+grep -q 'REGRESSED' "$tmp/slo.txt"
+
+# the bench report's analysis carries the timeline rollup
+grep -q '"timeline":{"windows":' BENCH_omb.json
+
 echo "ci: OK"

@@ -99,6 +99,19 @@ pub struct RuntimeConfig {
     /// utilization counters stay exact regardless. 1 records everything;
     /// [`RuntimeConfig::tuned`] reads `GDR_SHMEM_OBS_SAMPLE`.
     pub obs_sample: u64,
+    /// Width of the windowed metrics plane's virtual-time windows, in
+    /// microseconds; `0` (the default) leaves the plane off. At
+    /// `Counters`+ the recorder rolls latency sketches, link
+    /// utilization and fault/health tallies per window and exports a
+    /// `window-snapshot` record at each window close.
+    /// [`RuntimeConfig::tuned`] reads `GDR_SHMEM_OBS_WINDOW_US`.
+    pub obs_window_us: u32,
+    /// Feed SLO watchdog violations into the health breaker: every
+    /// violation with a resolvable protocol counts as a failure draw on
+    /// that protocol's breaker on every node (the first step toward
+    /// online policy). [`RuntimeConfig::tuned`] reads
+    /// `GDR_SHMEM_OBS_SLO_DEMOTE`.
+    pub slo_demote: bool,
     /// Deterministic fault plan (transient CQE errors, link windows,
     /// proxy stalls, GDR capability faults — see [`faults::FaultPlan`]).
     /// Inactive by default; [`RuntimeConfig::tuned`] reads the
@@ -135,6 +148,8 @@ impl RuntimeConfig {
             private_host: 32 << 20,
             obs_level: obs::ObsLevel::from_env(),
             obs_sample: obs_sample_from_env(),
+            obs_window_us: obs_window_from_env(),
+            slo_demote: env_flag("GDR_SHMEM_OBS_SLO_DEMOTE"),
             faults: faults::FaultPlan::from_env().unwrap_or_default(),
             thresholds_loaded: false,
         };
@@ -187,6 +202,20 @@ impl RuntimeConfig {
         self
     }
 
+    /// Set the metrics window width in virtual microseconds (overrides
+    /// `GDR_SHMEM_OBS_WINDOW_US`); `0` turns the windowed plane off.
+    pub fn with_obs_window(mut self, us: u32) -> Self {
+        self.obs_window_us = us;
+        self
+    }
+
+    /// Feed SLO violations into the health breaker (overrides
+    /// `GDR_SHMEM_OBS_SLO_DEMOTE`).
+    pub fn with_slo_demote(mut self, on: bool) -> Self {
+        self.slo_demote = on;
+        self
+    }
+
     /// Install a fault plan (overrides `GDR_SHMEM_FAULTS`).
     pub fn with_faults(mut self, plan: faults::FaultPlan) -> Self {
         self.faults = plan;
@@ -217,6 +246,22 @@ fn obs_sample_from_env() -> u64 {
         .and_then(|v| v.parse::<u64>().ok())
         .filter(|&n| n >= 1)
         .unwrap_or(1)
+}
+
+/// Read `GDR_SHMEM_OBS_WINDOW_US`; unset, unparsable or zero means 0
+/// (windowed plane off).
+fn obs_window_from_env() -> u32 {
+    std::env::var("GDR_SHMEM_OBS_WINDOW_US")
+        .ok()
+        .and_then(|v| v.parse::<u32>().ok())
+        .unwrap_or(0)
+}
+
+/// Boolean env switch: `1` / `true` / `yes` / `on` (case-insensitive).
+fn env_flag(name: &str) -> bool {
+    std::env::var(name)
+        .map(|v| matches!(v.to_ascii_lowercase().as_str(), "1" | "true" | "yes" | "on"))
+        .unwrap_or(false)
 }
 
 impl Default for RuntimeConfig {

@@ -51,7 +51,10 @@ pub struct ShmemMachine {
     proxies: Vec<ProxyStats>,
     /// Per-(node, protocol) circuit breakers feeding health-driven
     /// demotion in protocol selection (inert on unfaulted runs).
-    health: HealthMonitor,
+    /// Shared with the recorder's SLO violation hook when
+    /// [`RuntimeConfig::slo_demote`] bridges watchdog breaches into
+    /// breaker failure draws.
+    health: Arc<HealthMonitor>,
     obs: Arc<Recorder>,
     /// PE tracks, pre-registered in PE order so op recording is a
     /// lock-free index lookup (and export order never depends on which
@@ -105,14 +108,55 @@ impl ShmemMachine {
             })
             .collect();
         let proxies = (0..topo.nnodes()).map(|_| ProxyStats::default()).collect();
-        let health = HealthMonitor::new(&cfg.faults, topo.nnodes());
+        let health = Arc::new(HealthMonitor::new(&cfg.faults, topo.nnodes()));
 
         // Observability: one recorder per machine, shared with the
         // hardware layers through their late-bound sinks. PE and proxy
         // tracks are pre-registered in a deterministic order.
-        let obs = Recorder::with_sample(cfg.obs_level, cfg.obs_sample);
+        let obs = Recorder::with_windows(cfg.obs_level, cfg.obs_sample, cfg.obs_window_us);
         gpus.obs().attach(obs.clone());
         ib.obs().attach(obs.clone());
+        if let Ok(spec) = std::env::var("GDR_SHMEM_OBS_SLO") {
+            // fail loud: a mistyped budget silently ignored would mute
+            // the watchdog for the whole run
+            let policy = obs::SloPolicy::parse(&spec)
+                .unwrap_or_else(|e| panic!("GDR_SHMEM_OBS_SLO: {e}"));
+            if !policy.is_empty() && !obs.windowing_on() {
+                panic!(
+                    "GDR_SHMEM_OBS_SLO needs the windowed metrics plane: set \
+                     GDR_SHMEM_OBS_WINDOW_US (or RuntimeConfig::with_obs_window) \
+                     and GDR_SHMEM_OBS=counters or higher"
+                );
+            }
+            obs.set_slo(policy);
+        }
+        if cfg.slo_demote {
+            // Bridge SLO violations into the health breaker: each
+            // violation with a resolvable protocol is a failure draw on
+            // that protocol's breaker on every node (the watchdog has no
+            // node attribution). The recorder is held weakly — it owns
+            // the hook, so a strong capture would leak the cycle.
+            let hm = Arc::clone(&health);
+            let rec = Arc::downgrade(&obs);
+            let nnodes = topo.nnodes();
+            obs.set_violation_hook(Box::new(move |v| {
+                let Some(proto) = Protocol::from_name(&v.protocol) else {
+                    return;
+                };
+                let now_ns = v.ts_ps / sim_core::PS_PER_NS;
+                let mut demoted = false;
+                for node in 0..nnodes {
+                    if hm.record_failure(node, proto, now_ns).is_some() {
+                        demoted = true;
+                    }
+                }
+                if demoted {
+                    if let Some(r) = rec.upgrade() {
+                        r.fault_tally("slo-demote", proto.name());
+                    }
+                }
+            }));
+        }
         let pe_tracks = topo
             .all_procs()
             .map(|p| obs.track(TrackKind::Pe, p.0))
@@ -229,7 +273,7 @@ impl ShmemMachine {
         if !self.obs.counters_on() {
             return;
         }
-        self.obs.op_latency(op, chosen.name(), len, t1.since(t0));
+        self.obs.op_latency_at(op, chosen.name(), len, t1.since(t0), t1);
         if !self.obs.spans_on() || !token.sampled {
             return;
         }
@@ -334,7 +378,7 @@ impl ShmemMachine {
             return extra;
         }
         if !restart_seen.swap(true, std::sync::atomic::Ordering::Relaxed) {
-            self.obs.fault_tally("proxy-restart", "proxy-pipeline");
+            self.obs.fault_tally_at("proxy-restart", "proxy-pipeline", now);
             if self.obs.spans_on() && token.sampled {
                 self.obs.instant(
                     self.proxy_track(node),
@@ -368,7 +412,7 @@ impl ShmemMachine {
         protocol: &'static str,
         token: OpToken,
     ) {
-        self.obs.fault_tally("injected", protocol);
+        self.obs.fault_tally_at("injected", protocol, ts);
         if self.obs.spans_on() && token.sampled {
             self.obs.instant(
                 self.pe_track(me),
@@ -393,7 +437,7 @@ impl ShmemMachine {
         backoff_ns: u64,
         token: OpToken,
     ) {
-        self.obs.fault_tally("retried", protocol);
+        self.obs.fault_tally_at("retried", protocol, ts);
         if self.obs.spans_on() && token.sampled {
             self.obs.instant(
                 self.pe_track(me),
@@ -421,7 +465,7 @@ impl ShmemMachine {
         backoff_ns: u64,
         token: OpToken,
     ) {
-        self.obs.fault_tally("chunk-retried", protocol);
+        self.obs.fault_tally_at("chunk-retried", protocol, ts);
         if self.obs.spans_on() && token.sampled {
             self.obs.instant(
                 self.pe_track(me),
@@ -449,7 +493,7 @@ impl ShmemMachine {
         total: u64,
         token: OpToken,
     ) {
-        self.obs.fault_tally("partial", protocol);
+        self.obs.fault_tally_at("partial", protocol, ts);
         if self.obs.spans_on() && token.sampled {
             self.obs.instant(
                 self.pe_track(me),
@@ -477,7 +521,7 @@ impl ShmemMachine {
         to: &'static str,
         token: OpToken,
     ) {
-        self.obs.fault_tally("fallback", from);
+        self.obs.fault_tally_at("fallback", from, ts);
         if self.obs.spans_on() && token.sampled {
             self.obs.instant(
                 self.pe_track(me),
@@ -509,7 +553,7 @@ impl ShmemMachine {
         proto: Protocol,
         token: OpToken,
     ) {
-        self.obs.fault_tally(event, proto.name());
+        self.obs.fault_tally_at(event, proto.name(), ts);
         if self.obs.spans_on() && token.sampled {
             self.obs.instant(
                 self.pe_track(me),

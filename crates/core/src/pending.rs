@@ -123,7 +123,7 @@ impl ShmemMachine {
             let t_off = match self.pe_state(target).staging_alloc.lock().alloc(clen) {
                 Ok(o) => o,
                 Err(_) if g.recovery.armed() => {
-                    self.obs().fault_tally("exhausted", "host-pipeline-staged");
+                    self.obs().fault_tally_at("exhausted", "host-pipeline-staged", s.now());
                     g.recovery.chunk_failed();
                     let served = g.served.clone();
                     s.schedule_in(delay, Box::new(move |s| s.signal(&served, 1)));

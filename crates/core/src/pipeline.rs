@@ -232,7 +232,7 @@ impl ShmemMachine {
         match self.ib().inject_transient_cqe(c.me, s.now()) {
             None => {
                 if attempt > 0 {
-                    self.obs().fault_tally("chunk-recovered", "pipeline-gdr-write");
+                    self.obs().fault_tally_at("chunk-recovered", "pipeline-gdr-write", s.now());
                 }
                 self.pipe_chunk_fire(s, c, stg_off, &comp);
                 recovery.chunk_ok(c.clen);
@@ -242,7 +242,7 @@ impl ShmemMachine {
                 self.obs_fault(c.me, s.now(), f.kind, "pipeline-gdr-write", c.token);
                 self.pe_state(c.me).staging_alloc.lock().free(stg_off, c.clen);
                 if attempt >= plan.max_retries {
-                    self.obs().fault_tally("exhausted", "pipeline-gdr-write");
+                    self.obs().fault_tally_at("exhausted", "pipeline-gdr-write", s.now());
                     let remote = comp.remote.clone();
                     s.schedule_in(
                         f.detect,
@@ -381,7 +381,7 @@ impl ShmemMachine {
             Err(_) => {
                 // credit starvation during replay: resolve the chunk as
                 // failed rather than probing forever
-                self.obs().fault_tally("exhausted", "pipeline-gdr-write");
+                self.obs().fault_tally_at("exhausted", "pipeline-gdr-write", s.now());
                 recovery.chunk_failed();
                 s.signal(&comp.remote, 1);
                 s.signal(&outcome, 1);

@@ -182,7 +182,7 @@ impl ShmemMachine {
                 self.health_on_failure(me, ctx.now(), proto, token);
                 ctx.advance(f.detect);
                 if attempt >= plan.max_retries {
-                    self.obs().fault_tally("exhausted", proto.name());
+                    self.obs().fault_tally_at("exhausted", proto.name(), ctx.now());
                     return Err(TransferError::RetriesExhausted {
                         kind: f.kind,
                         attempts: attempt + 1,
@@ -197,7 +197,7 @@ impl ShmemMachine {
             let out = post().map_err(TransferError::Mr)?;
             self.health_on_success(me, ctx.now(), proto, token);
             if attempt > 0 {
-                self.obs().fault_tally("recovered", proto.name());
+                self.obs().fault_tally_at("recovered", proto.name(), ctx.now());
             }
             return Ok(out);
         }

@@ -133,7 +133,7 @@ impl ShmemMachine {
                     self.health_on_success(poster, s.now(), p, token);
                 }
                 if attempt > 0 {
-                    self.obs().fault_tally("chunk-recovered", protocol);
+                    self.obs().fault_tally_at("chunk-recovered", protocol, s.now());
                 }
                 post(s);
             }
@@ -143,7 +143,7 @@ impl ShmemMachine {
                     self.health_on_failure(poster, s.now(), p, token);
                 }
                 if attempt >= plan.max_retries {
-                    self.obs().fault_tally("exhausted", protocol);
+                    self.obs().fault_tally_at("exhausted", protocol, s.now());
                     // the failure is acted on once the CQE error is
                     // detected, like the blocking loop's final advance
                     s.schedule_in(f.detect, on_fail);

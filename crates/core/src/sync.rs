@@ -83,7 +83,7 @@ impl ShmemMachine {
                 self.health_on_failure(me, ctx.now(), Protocol::HostRdma, token);
                 ctx.advance(f.detect);
                 if attempt >= plan.max_retries {
-                    self.obs().fault_tally("exhausted", label);
+                    self.obs().fault_tally_at("exhausted", label, ctx.now());
                     return Err(TransferError::RetriesExhausted {
                         kind: f.kind,
                         attempts: attempt + 1,
@@ -98,7 +98,7 @@ impl ShmemMachine {
             let out = post().map_err(TransferError::Mr)?;
             self.health_on_success(me, ctx.now(), Protocol::HostRdma, token);
             if attempt > 0 {
-                self.obs().fault_tally("recovered", label);
+                self.obs().fault_tally_at("recovered", label, ctx.now());
             }
             return Ok(out);
         }

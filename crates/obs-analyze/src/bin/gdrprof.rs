@@ -1,10 +1,11 @@
 //! `gdrprof` — critical-path profiler for recorder traces.
 //!
 //! ```text
-//! gdrprof analyze <trace.json> [--json <report.json>]
+//! gdrprof report <trace.json> [--json <report.json>]        (alias: analyze)
 //! gdrprof diff <baseline.json> <candidate.json> [--threshold <pct>] [--json <diff.json>]
 //! gdrprof crossover <trace.json> [--suggest <thresholds.json>] [--json <out.json>]
 //! gdrprof whatif <trace.json> --thresholds <thresholds.json> [--json <out.json>]
+//! gdrprof timeline <trace.json> [--window <us>] [--json <out.json>]
 //! ```
 //!
 //! `diff` accepts either raw Chrome traces or `gdrprof-report-v2`
@@ -13,7 +14,10 @@
 //! observed protocol-switch points; `--suggest` writes the estimated
 //! true crossovers as a `thresholds-v1` artifact. `whatif` replays the
 //! recorded protocol decisions under an alternate `thresholds-v1`
-//! table and prints the predicted aggregate latency delta.
+//! table and prints the predicted aggregate latency delta. `timeline`
+//! turns a windowed trace (`GDR_SHMEM_OBS_WINDOW_US`) into a
+//! per-window latency/contention/fault series with change-point flags;
+//! `--window <us>` derives the windows from raw spans instead.
 //!
 //! Exit codes (CI gates on these):
 //!   0  success
@@ -23,15 +27,27 @@
 //!   4  diff found a latency/recovery regression over the threshold
 //!   5  diff found a contention-only regression (link contention grew,
 //!      latencies held — the throughput early-warning gate)
+//!   6  diff found an SLO-violation-count regression (the candidate's
+//!      windowed metrics plane breached more budgets than the baseline)
 
-use obs_analyze::{analyze, crossover, diff, whatif, Report, Trace};
+use obs_analyze::{analyze, crossover, diff, timeline, whatif, Report, Trace};
 use std::process::ExitCode;
 
 const USAGE: &str = "usage:
-  gdrprof analyze <trace.json> [--json <report.json>]
+  gdrprof report <trace.json> [--json <report.json>]        (alias: analyze)
   gdrprof diff <baseline.json> <candidate.json> [--threshold <pct>] [--json <diff.json>]
   gdrprof crossover <trace.json> [--suggest <thresholds.json>] [--json <out.json>]
-  gdrprof whatif <trace.json> --thresholds <thresholds.json> [--json <out.json>]";
+  gdrprof whatif <trace.json> --thresholds <thresholds.json> [--json <out.json>]
+  gdrprof timeline <trace.json> [--window <us>] [--json <out.json>]
+
+exit codes:
+  0  success
+  1  usage error
+  2  malformed trace / IO error
+  3  trace contained no analyzable operations
+  4  diff found a latency/recovery regression over the threshold
+  5  diff found a contention-only regression
+  6  diff found an SLO-violation-count regression";
 
 fn fail(code: u8, msg: &str) -> ExitCode {
     eprintln!("gdrprof: {msg}");
@@ -132,6 +148,51 @@ fn cmd_diff(args: &[String]) -> ExitCode {
     if d.contention_regressions() > 0 {
         return fail(5, "link-contention regression over threshold");
     }
+    if d.slo_regressions() > 0 {
+        return fail(6, "slo-violation-count regression");
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_timeline(args: &[String]) -> ExitCode {
+    let mut trace_path = None;
+    let mut window = None;
+    let mut json_out = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--window" => match it.next().and_then(|w| w.parse::<u32>().ok()) {
+                Some(w) => window = Some(w),
+                None => return fail(1, "--window needs a microsecond count"),
+            },
+            "--json" => match it.next() {
+                Some(p) => json_out = Some(p.clone()),
+                None => return fail(1, "--json needs a path"),
+            },
+            _ if trace_path.is_none() => trace_path = Some(a.clone()),
+            _ => return fail(1, USAGE),
+        }
+    }
+    let Some(trace_path) = trace_path else {
+        return fail(1, USAGE);
+    };
+    let tr = match load_trace(&trace_path) {
+        Ok(t) => t,
+        Err(e) => return fail(2, &e),
+    };
+    let tl = match timeline(&tr, window) {
+        Ok(t) => t,
+        Err(e) => return fail(3, &e),
+    };
+    print!("{}", tl.text());
+    if let Some(out) = json_out {
+        if let Err(e) = std::fs::write(&out, tl.to_json()) {
+            return fail(2, &format!("cannot write {out}: {e}"));
+        }
+    }
+    if tl.rows.is_empty() {
+        return fail(3, "trace contained no windowed activity");
+    }
     ExitCode::SUCCESS
 }
 
@@ -228,10 +289,15 @@ fn cmd_whatif(args: &[String]) -> ExitCode {
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.split_first() {
-        Some((cmd, rest)) if cmd == "analyze" => cmd_analyze(rest),
+        Some((cmd, _)) if cmd == "--help" || cmd == "-h" || cmd == "help" => {
+            println!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        Some((cmd, rest)) if cmd == "analyze" || cmd == "report" => cmd_analyze(rest),
         Some((cmd, rest)) if cmd == "diff" => cmd_diff(rest),
         Some((cmd, rest)) if cmd == "crossover" => cmd_crossover(rest),
         Some((cmd, rest)) if cmd == "whatif" => cmd_whatif(rest),
+        Some((cmd, rest)) if cmd == "timeline" => cmd_timeline(rest),
         _ => fail(1, USAGE),
     }
 }

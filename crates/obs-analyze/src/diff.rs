@@ -72,6 +72,19 @@ pub struct HealthRow {
     pub regressed: bool,
 }
 
+/// SLO watchdog comparison: total `slo-violation` instants each run's
+/// windowed metrics plane recorded. The candidate must not violate
+/// more budgets than the baseline — this is a count gate, not a
+/// threshold gate, and trips exit code 6.
+#[derive(Clone, Debug)]
+pub struct SloRow {
+    pub a_windows: u64,
+    pub b_windows: u64,
+    pub a_violations: u64,
+    pub b_violations: u64,
+    pub regressed: bool,
+}
+
 /// Link-contention comparison for one hardware link track: the fraction
 /// of the trace each run spent with the link's queue depth >= 2.
 #[derive(Clone, Debug)]
@@ -108,11 +121,15 @@ pub struct DiffReport {
     /// rather than 4 — a throughput early-warning, distinct from a
     /// latency regression.
     pub contention: Vec<ContentionRow>,
+    /// Present when either side recorded windowed metrics: the
+    /// candidate must not record more SLO violations than the
+    /// baseline. A violation-count regression exits with code 6.
+    pub slo: Option<SloRow>,
 }
 
 impl DiffReport {
     pub fn regressions(&self) -> usize {
-        self.latency_regressions() + self.contention_regressions()
+        self.latency_regressions() + self.contention_regressions() + self.slo_regressions()
     }
 
     /// Regressed rows in the latency/recovery/partial/health sections —
@@ -127,6 +144,12 @@ impl DiffReport {
     /// Regressed link-contention rows (the exit-code-5 gate).
     pub fn contention_regressions(&self) -> usize {
         self.contention.iter().filter(|r| r.regressed).count()
+    }
+
+    /// SLO violation-count regressions (the exit-code-6 gate): 1 when
+    /// the candidate violated more budgets than the baseline.
+    pub fn slo_regressions(&self) -> usize {
+        usize::from(self.slo.as_ref().is_some_and(|s| s.regressed))
     }
 
     pub fn text(&self) -> String {
@@ -212,6 +235,15 @@ impl DiffReport {
                     r.b_frac * 100.0,
                 );
             }
+        }
+        if let Some(slo) = &self.slo {
+            let mark = if slo.regressed { "  REGRESSED" } else { "" };
+            let _ = writeln!(s, "slo-violations (windowed metrics):");
+            let _ = writeln!(
+                s,
+                "  {:<28} a {:<5} in {:<4} windows  b {:<5} in {:<4} windows{mark}",
+                "violations", slo.a_violations, slo.a_windows, slo.b_violations, slo.b_windows,
+            );
         }
         let _ = writeln!(s, "regressions: {}", self.regressions());
         s
@@ -317,8 +349,19 @@ impl DiffReport {
             }
             cj.finish();
         }
+        if let Some(slo) = &self.slo {
+            let buf = o.raw_field("slo");
+            let mut sj = ObjWriter::new(buf);
+            sj.u64_field("a_windows", slo.a_windows)
+                .u64_field("b_windows", slo.b_windows)
+                .u64_field("a_violations", slo.a_violations)
+                .u64_field("b_violations", slo.b_violations)
+                .bool_field("regressed", slo.regressed);
+            sj.finish();
+        }
         o.u64_field("latency_regressions", self.latency_regressions() as u64);
         o.u64_field("contention_regressions", self.contention_regressions() as u64);
+        o.u64_field("slo_regressions", self.slo_regressions() as u64);
         o.u64_field("regressions", self.regressions() as u64);
         o.finish();
         out
@@ -531,6 +574,19 @@ pub fn diff(a: &Report, b: &Report, threshold_pct: f64) -> DiffReport {
             }
         })
         .collect();
+    // SLO violation counts from the windowed metrics plane; a pair
+    // with no windows on either side produces no section
+    let slo = if a.windows > 0 || b.windows > 0 {
+        Some(SloRow {
+            a_windows: a.windows,
+            b_windows: b.windows,
+            a_violations: a.slo_violations,
+            b_violations: b.slo_violations,
+            regressed: b.slo_violations > a.slo_violations,
+        })
+    } else {
+        None
+    };
     DiffReport {
         threshold_pct,
         rows,
@@ -538,5 +594,6 @@ pub fn diff(a: &Report, b: &Report, threshold_pct: f64) -> DiffReport {
         partial,
         health,
         contention,
+        slo,
     }
 }

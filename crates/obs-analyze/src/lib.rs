@@ -21,16 +21,19 @@
 pub mod crossover;
 pub mod diff;
 pub mod report;
+pub mod timeline;
 pub mod trace;
 pub mod whatif;
 
 pub use crossover::{crossover, CrossoverPoint, CrossoverReport, CurvePoint};
 pub use diff::{
-    diff, ContentionRow, DiffReport, DiffRow, HealthRow, PartialRow, RecoveryRow, StageDelta,
+    diff, ContentionRow, DiffReport, DiffRow, HealthRow, PartialRow, RecoveryRow, SloRow,
+    StageDelta,
 };
 pub use report::{
     analyze, FaultStat, HealthStat, LinkStat, OpPath, ProtoStat, QuantileStat, Report, RMA_OPS,
 };
+pub use timeline::{timeline, FaultBurst, Lifecycle, Timeline, TimelineRow, TIMELINE_SCHEMA};
 pub use trace::Trace;
 pub use whatif::{whatif, WhatifReport, WhatifRow};
 
@@ -714,6 +717,158 @@ mod tests {
             .iter()
             .filter(|r| !r.regressed)
             .all(|r| r.stage.is_none()));
+    }
+
+    /// A windowed-metrics trace (50us windows): three quiet baseline
+    /// windows of 3us puts, a burst window (w3) where latencies jump
+    /// 10x and faults inject, and a recovered window (w4). An SLO
+    /// budget of p99 <= 20us is breached only in the burst window, and
+    /// the breaker demotes in w3 and promotes back in w4.
+    fn synthetic_windowed_trace() -> String {
+        let r = Recorder::with_windows(ObsLevel::Spans, 1, 50);
+        r.set_slo(obs::SloPolicy::parse("p99:put/*/*=20").expect("policy must parse"));
+        let pe0 = r.track(TrackKind::Pe, 0);
+        for w in 0..3u64 {
+            for i in 0..3u64 {
+                r.op_latency_at(
+                    "put",
+                    "direct-gdr",
+                    8192,
+                    sim_core::SimDuration::from_us(3),
+                    t(w * 50 + 10 + i * 10),
+                );
+            }
+        }
+        for i in 0..3u64 {
+            r.op_latency_at(
+                "put",
+                "direct-gdr",
+                8192,
+                sim_core::SimDuration::from_us(30),
+                t(160 + i * 10),
+            );
+            r.fault_tally_at("injected", "direct-gdr", t(160 + i * 10));
+            r.fault_tally_at("retried", "direct-gdr", t(161 + i * 10));
+        }
+        for (name, us) in [("demote", 165u64), ("probe", 210), ("promote", 215)] {
+            r.instant(
+                pe0,
+                name,
+                t(us),
+                Payload::Health {
+                    protocol: "direct-gdr",
+                    op_id: 7,
+                },
+            );
+        }
+        for i in 0..3u64 {
+            r.op_latency_at(
+                "put",
+                "direct-gdr",
+                8192,
+                sim_core::SimDuration::from_us(3),
+                t(210 + i * 10),
+            );
+        }
+        r.chrome_trace()
+    }
+
+    #[test]
+    fn timeline_flags_burst_change_points_and_lifecycles() {
+        let tr = Trace::parse(&synthetic_windowed_trace()).expect("windowed trace must parse");
+        assert_eq!(tr.windows.len(), 5, "five touched windows");
+        assert!(!tr.slo_violations.is_empty());
+        let tl = timeline(&tr, None).expect("snapshots present");
+        assert!(!tl.derived);
+        assert_eq!(tl.rows.len(), 5);
+        let w3 = &tl.rows[3];
+        assert_eq!(w3.window, 3);
+        assert!(w3.change_point, "10x p99 jump must flag the burst window");
+        assert_eq!(w3.faults, 3);
+        assert_eq!(w3.retries, 3);
+        assert!(w3.violations >= 1, "budget breached in the burst window");
+        assert!(tl.rows[4].change_point, "recovery back down also flags");
+        assert!(
+            tl.rows.iter().all(|r| r.violations == 0 || r.window == 3),
+            "violations must stay inside the burst window"
+        );
+        assert_eq!(tl.bursts.len(), 1);
+        assert_eq!((tl.bursts[0].first, tl.bursts[0].last), (3, 3));
+        assert!(tl.bursts[0].aligned, "burst aligns with the change-point");
+        assert_eq!(tl.lifecycles.len(), 1);
+        let lc = &tl.lifecycles[0];
+        assert_eq!(lc.protocol, "direct-gdr");
+        assert_eq!((lc.demote, lc.probe, lc.promote), (3, Some(4), Some(4)));
+        // byte-identical across two same-input assemblies
+        let tl2 = timeline(
+            &Trace::parse(&synthetic_windowed_trace()).expect("reparse"),
+            None,
+        )
+        .expect("reassemble");
+        assert_eq!(tl.to_json(), tl2.to_json());
+        assert_eq!(tl.text(), tl2.text());
+        let txt = tl.text();
+        assert!(txt.contains("CHANGE-POINT"), "{txt}");
+        assert!(
+            txt.contains("fault burst: windows 3..3, aligned"),
+            "{txt}"
+        );
+        assert!(
+            txt.contains("lifecycle direct-gdr: demote @w3 probe @w4 promote @w4"),
+            "{txt}"
+        );
+        let v = obs::json::parse(&tl.to_json()).expect("timeline JSON must reparse");
+        assert_eq!(
+            v.get("schema").and_then(|s| s.as_str()),
+            Some("gdrprof-timeline-v1")
+        );
+        assert_eq!(v.get("windows").and_then(|n| n.as_f64()), Some(5.0));
+    }
+
+    #[test]
+    fn timeline_derives_windows_from_raw_spans() {
+        let tr = Trace::parse(&synthetic_trace()).expect("trace must parse");
+        assert!(
+            timeline(&tr, None).is_err(),
+            "no snapshots without the metrics plane"
+        );
+        let tl = timeline(&tr, Some(10)).expect("explicit width derives");
+        assert!(tl.derived);
+        assert!(!tl.rows.is_empty());
+        assert_eq!(tl.violations(), 0);
+        let txt = tl.text();
+        assert!(txt.contains("derived"), "{txt}");
+        assert!(txt.contains("slo-violations: 0"), "{txt}");
+    }
+
+    #[test]
+    fn diff_gates_on_slo_violation_counts() {
+        let a = analyze_str(&synthetic_windowed_trace()).expect("windowed trace must analyze");
+        assert_eq!(a.windows, 5);
+        assert!(a.slo_violations >= 1);
+        // the windowed counters round-trip through the report JSON
+        let back = Report::from_json_str(&a.to_json()).expect("report must rehydrate");
+        assert_eq!(back.windows, a.windows);
+        assert_eq!(back.slo_violations, a.slo_violations);
+        let mut b = a.clone();
+        b.slo_violations += 3;
+        let d = diff(&a, &b, 10.0);
+        assert_eq!(d.slo_regressions(), 1);
+        assert_eq!(d.latency_regressions(), 0);
+        assert_eq!(d.contention_regressions(), 0);
+        let row = d.slo.as_ref().expect("slo section present");
+        assert!(row.regressed && row.b_violations > row.a_violations);
+        assert!(d.text().contains("slo-violations"), "{}", d.text());
+        let v = obs::json::parse(&d.to_json()).expect("diff JSON must reparse");
+        assert_eq!(v.get("slo_regressions").and_then(|n| n.as_f64()), Some(1.0));
+        // fewer violations than baseline is not a regression
+        let d2 = diff(&b, &a, 10.0);
+        assert_eq!(d2.slo_regressions(), 0);
+        // a windowless pair carries no slo section at all
+        let c = analyze_str(&synthetic_trace()).expect("clean trace");
+        let d3 = diff(&c, &c.clone(), 10.0);
+        assert!(d3.slo.is_none());
+        assert!(!d3.text().contains("slo-violations"));
     }
 
     #[test]

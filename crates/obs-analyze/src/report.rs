@@ -168,6 +168,11 @@ pub struct Report {
     pub health: BTreeMap<String, HealthStat>,
     /// link track name -> utilization stats.
     pub links: BTreeMap<String, LinkStat>,
+    /// Windowed-metrics snapshots present in the trace (0 when the
+    /// plane was off).
+    pub windows: u64,
+    /// SLO watchdog violations recorded across those windows.
+    pub slo_violations: u64,
     /// Per-op detail, sorted by op id.
     pub paths: Vec<OpPath>,
 }
@@ -213,6 +218,8 @@ fn is_rma(op: &OpSpan) -> bool {
 pub fn analyze(tr: &Trace) -> Report {
     let mut rep = Report {
         trace_span_us: tr.end_us,
+        windows: tr.windows.len() as u64,
+        slo_violations: tr.slo_violations.len() as u64,
         ..Report::default()
     };
 
@@ -476,6 +483,13 @@ impl Report {
                 );
             }
         }
+        if self.windows > 0 {
+            let _ = writeln!(
+                s,
+                "\nwindowed metrics: {} windows, {} slo-violations",
+                self.windows, self.slo_violations
+            );
+        }
         let _ = writeln!(s, "\nlink utilization:");
         for (k, ls) in &self.links {
             let pct = if self.trace_span_us > 0.0 {
@@ -611,6 +625,15 @@ impl Report {
                 e.finish();
             }
             l.finish();
+        }
+        {
+            // additive: windowed-metrics summary (zeros when the
+            // metrics plane was off), for the SLO diff gate
+            let buf = o.raw_field("timeline");
+            let mut tj = ObjWriter::new(buf);
+            tj.u64_field("windows", self.windows)
+                .u64_field("violations", self.slo_violations);
+            tj.finish();
         }
         {
             // per-op critical paths, for downstream tooling
@@ -767,6 +790,11 @@ impl Report {
                     },
                 );
             }
+        }
+        // additive: absent from pre-windowing report files, defaults 0
+        if let Some(tl) = v.get("timeline") {
+            rep.windows = u64_of(tl, "windows", "report.timeline").unwrap_or(0);
+            rep.slo_violations = u64_of(tl, "violations", "report.timeline").unwrap_or(0);
         }
         // links ride along so the contention delta gate can compare
         // report files, not just raw traces

@@ -133,6 +133,70 @@ pub struct LinkPoint {
     pub queue: u32,
 }
 
+/// One per-(op × protocol × size-class) latency cell inside a window
+/// snapshot: the window-local sketch delta.
+#[derive(Clone, Debug)]
+pub struct WindowCell {
+    pub op: String,
+    pub protocol: String,
+    pub class: u8,
+    pub count: u64,
+    pub p50_us: f64,
+    pub p99_us: f64,
+}
+
+/// One per-link rollup inside a window snapshot.
+#[derive(Clone, Debug)]
+pub struct WindowLink {
+    pub link: String,
+    pub bytes: u64,
+    pub busy_us: f64,
+    pub samples: u64,
+    /// Samples observed with queue depth >= 2 (contended).
+    pub queued: u64,
+}
+
+/// One fault-machinery counter delta inside a window snapshot.
+#[derive(Clone, Debug)]
+pub struct WindowFault {
+    pub what: String,
+    pub protocol: String,
+    pub n: u64,
+}
+
+/// One windowed-metrics snapshot (`ph:"i"`, name `window-snapshot`):
+/// the metrics plane's rollup for one virtual-time window, emitted on
+/// the synthetic `metrics` track at the window's closing edge.
+#[derive(Clone, Debug)]
+pub struct WindowSnapRec {
+    /// Window index (window N covers `[N*width, (N+1)*width)`).
+    pub window: u64,
+    pub start_us: f64,
+    pub end_us: f64,
+    pub ts_us: f64,
+    pub cells: Vec<WindowCell>,
+    pub links: Vec<WindowLink>,
+    pub faults: Vec<WindowFault>,
+}
+
+/// One SLO watchdog violation (`ph:"i"`, name `slo-violation`): a
+/// declarative budget breached in the window it indexes.
+#[derive(Clone, Debug)]
+pub struct SloViolationRec {
+    pub window: u64,
+    /// `p99` / `contended` / `recovery` / `promote`.
+    pub kind: String,
+    pub op: String,
+    pub protocol: String,
+    /// Size-class label (`c13`) for p99 clauses; empty otherwise.
+    pub class: String,
+    /// Link-name pattern for contended clauses; empty otherwise.
+    pub link: String,
+    pub actual: f64,
+    pub budget: f64,
+    pub ts_us: f64,
+}
+
 /// A fully loaded trace, ready for [`crate::analyze`].
 #[derive(Debug, Default)]
 pub struct Trace {
@@ -154,6 +218,11 @@ pub struct Trace {
     pub health: Vec<HealthEvent>,
     /// link track name -> samples in timestamp order.
     pub links: BTreeMap<String, Vec<LinkPoint>>,
+    /// Windowed-metrics snapshots in window order (absent on traces
+    /// recorded without `GDR_SHMEM_OBS_WINDOW_US`).
+    pub windows: Vec<WindowSnapRec>,
+    /// SLO watchdog violations in emission order.
+    pub slo_violations: Vec<SloViolationRec>,
     /// Latest event end seen (us) — the trace's time span.
     pub end_us: f64,
 }
@@ -340,6 +409,76 @@ impl Trace {
                         ts_us: ts,
                     });
                 }
+                "i" if e.get("name").and_then(Value::as_str) == Some("window-snapshot") => {
+                    let Some(args) = args else { continue };
+                    let cells = args
+                        .get("cells")
+                        .and_then(Value::as_arr)
+                        .map(|a| {
+                            a.iter()
+                                .map(|c| WindowCell {
+                                    op: text(c, "op").unwrap_or_default(),
+                                    protocol: text(c, "protocol").unwrap_or_default(),
+                                    class: num(c, "class").unwrap_or(0.0) as u8,
+                                    count: num(c, "count").unwrap_or(0.0) as u64,
+                                    p50_us: num(c, "p50_us").unwrap_or(0.0),
+                                    p99_us: num(c, "p99_us").unwrap_or(0.0),
+                                })
+                                .collect()
+                        })
+                        .unwrap_or_default();
+                    let links = args
+                        .get("links")
+                        .and_then(Value::as_arr)
+                        .map(|a| {
+                            a.iter()
+                                .map(|l| WindowLink {
+                                    link: text(l, "link").unwrap_or_default(),
+                                    bytes: num(l, "bytes").unwrap_or(0.0) as u64,
+                                    busy_us: num(l, "busy_us").unwrap_or(0.0),
+                                    samples: num(l, "samples").unwrap_or(0.0) as u64,
+                                    queued: num(l, "queued").unwrap_or(0.0) as u64,
+                                })
+                                .collect()
+                        })
+                        .unwrap_or_default();
+                    let faults = args
+                        .get("faults")
+                        .and_then(Value::as_arr)
+                        .map(|a| {
+                            a.iter()
+                                .map(|f| WindowFault {
+                                    what: text(f, "what").unwrap_or_default(),
+                                    protocol: text(f, "protocol").unwrap_or_default(),
+                                    n: num(f, "n").unwrap_or(0.0) as u64,
+                                })
+                                .collect()
+                        })
+                        .unwrap_or_default();
+                    tr.windows.push(WindowSnapRec {
+                        window: num(args, "window").unwrap_or(0.0) as u64,
+                        start_us: num(args, "start_us").unwrap_or(0.0),
+                        end_us: num(args, "end_us").unwrap_or(0.0),
+                        ts_us: ts,
+                        cells,
+                        links,
+                        faults,
+                    });
+                }
+                "i" if e.get("name").and_then(Value::as_str) == Some("slo-violation") => {
+                    let Some(args) = args else { continue };
+                    tr.slo_violations.push(SloViolationRec {
+                        window: num(args, "window").unwrap_or(0.0) as u64,
+                        kind: text(args, "kind").unwrap_or_default(),
+                        op: text(args, "op").unwrap_or_default(),
+                        protocol: text(args, "protocol").unwrap_or_default(),
+                        class: text(args, "class").unwrap_or_default(),
+                        link: text(args, "link").unwrap_or_default(),
+                        actual: num(args, "actual").unwrap_or(0.0),
+                        budget: num(args, "budget").unwrap_or(0.0),
+                        ts_us: ts,
+                    });
+                }
                 "s" | "f" => {
                     let id = num(e, "id").ok_or("flow event without id")? as u64;
                     let fe = FlowEvent { id, ts_us: ts };
@@ -364,6 +503,8 @@ impl Trace {
         for pts in tr.links.values_mut() {
             pts.sort_by(|a, b| a.ts_us.total_cmp(&b.ts_us));
         }
+        tr.windows.sort_by_key(|w| w.window);
+        tr.slo_violations.sort_by_key(|v| v.window);
         Ok(tr)
     }
 }

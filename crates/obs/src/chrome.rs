@@ -231,9 +231,26 @@ fn write_event(out: &mut String, tid: usize, ev: &Event) {
     o.finish();
 }
 
+/// A synthesized event on the `metrics` track (window snapshots and
+/// SLO violations): the recorder renders the `args` object up front,
+/// the exporter only places it at its virtual timestamp.
+pub struct MetricEvent {
+    pub ts_ps: u64,
+    pub name: &'static str,
+    pub args: String,
+}
+
 /// Export tracks (already sorted by the recorder) as a complete Chrome
 /// trace document: `{"displayTimeUnit":"ns","traceEvents":[...]}`.
 pub fn export(tracks: &[(&str, &[Event])]) -> String {
+    export_with_metrics(tracks, &[])
+}
+
+/// As [`export`], appending a synthetic `metrics` track (tid =
+/// `tracks.len()`) of thread-scoped instants for `metrics`, which must
+/// already be in emission order. With `metrics` empty the output is
+/// byte-identical to [`export`] — no empty track is created.
+pub fn export_with_metrics(tracks: &[(&str, &[Event])], metrics: &[MetricEvent]) -> String {
     let mut out = String::with_capacity(4096);
     out.push_str("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[");
     let mut first = true;
@@ -243,7 +260,11 @@ pub fn export(tracks: &[(&str, &[Event])]) -> String {
         }
         out.push('\n');
     };
-    for (tid, (name, _)) in tracks.iter().enumerate() {
+    let mut names: Vec<&str> = tracks.iter().map(|(name, _)| *name).collect();
+    if !metrics.is_empty() {
+        names.push("metrics");
+    }
+    for (tid, name) in names.iter().enumerate() {
         sep(&mut out);
         let mut o = ObjWriter::new(&mut out);
         o.str_field("ph", "M").str_field("name", "thread_name");
@@ -263,6 +284,15 @@ pub fn export(tracks: &[(&str, &[Event])]) -> String {
             write_event(&mut out, tid, ev);
         }
     }
+    for m in metrics {
+        sep(&mut out);
+        let mut o = ObjWriter::new(&mut out);
+        o.num_field("pid", 1.0).num_field("tid", tracks.len() as f64);
+        o.str_field("ph", "i").str_field("s", "t").str_field("name", m.name);
+        o.num_field("ts", us(m.ts_ps));
+        o.raw_field("args").push_str(&m.args);
+        o.finish();
+    }
     out.push_str("\n]}");
     out
 }
@@ -273,6 +303,30 @@ mod tests {
     use crate::json;
     use crate::{Decision, ObsLevel, Recorder, TrackKind};
     use sim_core::{SimDuration, SimTime};
+
+    /// Fetch a field, panicking with the field's name — not a bare
+    /// `unwrap()` — when the exported document drops or retypes it.
+    fn field<'a>(v: &'a json::Value, key: &str) -> &'a json::Value {
+        v.get(key).unwrap_or_else(|| panic!("event missing field {key:?}"))
+    }
+
+    fn str_of<'a>(v: &'a json::Value, key: &str) -> &'a str {
+        field(v, key)
+            .as_str()
+            .unwrap_or_else(|| panic!("field {key:?} is not a string"))
+    }
+
+    fn num_of(v: &json::Value, key: &str) -> f64 {
+        field(v, key)
+            .as_f64()
+            .unwrap_or_else(|| panic!("field {key:?} is not a number"))
+    }
+
+    fn events(doc: &json::Value) -> &[json::Value] {
+        field(doc, "traceEvents")
+            .as_arr()
+            .expect("traceEvents is not an array")
+    }
 
     #[test]
     fn trace_parses_and_has_named_threads() {
@@ -308,29 +362,19 @@ mod tests {
         r.agent_bytes(TrackKind::Hca, 0, t0, 128, SimDuration::from_us(1));
 
         let doc = json::parse(&r.chrome_trace()).expect("valid JSON");
-        let evs = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        let evs = events(&doc);
         let metas: Vec<&str> = evs
             .iter()
-            .filter(|e| e.get("ph").unwrap().as_str() == Some("M"))
-            .map(|e| e.get("args").unwrap().get("name").unwrap().as_str().unwrap())
+            .filter(|e| str_of(e, "ph") == "M")
+            .map(|e| str_of(field(e, "args"), "name"))
             .collect();
         assert_eq!(metas, ["pe/0", "hca/0"]);
-        let span = evs
-            .iter()
-            .find(|e| e.get("ph").unwrap().as_str() == Some("X"))
-            .expect("one span");
-        assert_eq!(span.get("ts").unwrap().as_f64(), Some(2.0));
-        assert_eq!(span.get("dur").unwrap().as_f64(), Some(5.0));
-        assert_eq!(
-            span.get("args").unwrap().get("protocol").unwrap().as_str(),
-            Some("direct-gdr")
-        );
-        assert!(evs
-            .iter()
-            .any(|e| e.get("ph").unwrap().as_str() == Some("C")));
-        assert!(evs
-            .iter()
-            .any(|e| e.get("name").unwrap().as_str() == Some("protocol-decision")));
+        let span = evs.iter().find(|e| str_of(e, "ph") == "X").expect("one span");
+        assert_eq!(num_of(span, "ts"), 2.0);
+        assert_eq!(num_of(span, "dur"), 5.0);
+        assert_eq!(str_of(field(span, "args"), "protocol"), "direct-gdr");
+        assert!(evs.iter().any(|e| str_of(e, "ph") == "C"));
+        assert!(evs.iter().any(|e| str_of(e, "name") == "protocol-decision"));
     }
 
     #[test]
@@ -350,30 +394,25 @@ mod tests {
         );
 
         let doc = json::parse(&r.chrome_trace()).expect("valid JSON");
-        let evs = doc.get("traceEvents").unwrap().as_arr().unwrap();
-        let s = evs
-            .iter()
-            .find(|e| e.get("ph").unwrap().as_str() == Some("s"))
-            .expect("flow start");
-        assert_eq!(s.get("cat").unwrap().as_str(), Some("flow"));
-        assert_eq!(s.get("id").unwrap().as_f64(), Some(42.0));
-        let f = evs
-            .iter()
-            .find(|e| e.get("ph").unwrap().as_str() == Some("f"))
-            .expect("flow end");
-        assert_eq!(f.get("bp").unwrap().as_str(), Some("e"));
-        assert_eq!(f.get("id").unwrap().as_f64(), Some(42.0));
+        let evs = events(&doc);
+        let s = evs.iter().find(|e| str_of(e, "ph") == "s").expect("flow start");
+        assert_eq!(str_of(s, "cat"), "flow");
+        assert_eq!(num_of(s, "id"), 42.0);
+        let f = evs.iter().find(|e| str_of(e, "ph") == "f").expect("flow end");
+        assert_eq!(str_of(f, "bp"), "e");
+        assert_eq!(num_of(f, "id"), 42.0);
         let c = evs
             .iter()
-            .find(|e| e.get("ph").unwrap().as_str() == Some("C"))
+            .find(|e| str_of(e, "ph") == "C")
             .expect("link counter sample");
-        let args = c.get("args").unwrap();
-        assert_eq!(args.get("bytes").unwrap().as_f64(), Some(4096.0));
-        assert_eq!(args.get("busy_us").unwrap().as_f64(), Some(2.0));
-        assert_eq!(args.get("queue").unwrap().as_f64(), Some(2.0));
+        let args = field(c, "args");
+        assert_eq!(num_of(args, "bytes"), 4096.0);
+        assert_eq!(num_of(args, "busy_us"), 2.0);
+        assert_eq!(num_of(args, "queue"), 2.0);
         // the link track is named by its registration name
-        assert!(evs.iter().any(|e| e.get("ph").unwrap().as_str() == Some("M")
-            && e.get("args").unwrap().get("name").unwrap().as_str() == Some("pcie/gpu0/d2h")));
+        assert!(evs
+            .iter()
+            .any(|e| str_of(e, "ph") == "M" && str_of(field(e, "args"), "name") == "pcie/gpu0/d2h"));
     }
 
     #[test]
@@ -423,31 +462,62 @@ mod tests {
         );
 
         let doc = json::parse(&r.chrome_trace()).expect("valid JSON");
-        let evs = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        let evs = events(&doc);
         let by_name = |n: &str| {
             evs.iter()
-                .find(|e| e.get("name").unwrap().as_str() == Some(n))
+                .find(|e| str_of(e, "name") == n)
                 .unwrap_or_else(|| panic!("missing {n} instant"))
         };
         let f = by_name("fault");
-        assert_eq!(f.get("ph").unwrap().as_str(), Some("i"));
-        assert_eq!(f.get("args").unwrap().get("kind").unwrap().as_str(), Some("cqe-flush-err"));
+        assert_eq!(str_of(f, "ph"), "i");
+        assert_eq!(str_of(field(f, "args"), "kind"), "cqe-flush-err");
         let rt = by_name("retry");
-        assert_eq!(rt.get("args").unwrap().get("attempt").unwrap().as_f64(), Some(1.0));
-        assert_eq!(rt.get("args").unwrap().get("backoff_ns").unwrap().as_f64(), Some(4000.0));
+        assert_eq!(num_of(field(rt, "args"), "attempt"), 1.0);
+        assert_eq!(num_of(field(rt, "args"), "backoff_ns"), 4000.0);
         let fb = by_name("fallback");
-        assert_eq!(fb.get("args").unwrap().get("from").unwrap().as_str(), Some("direct-gdr"));
-        assert_eq!(
-            fb.get("args").unwrap().get("to").unwrap().as_str(),
-            Some("host-pipeline-staged")
-        );
+        assert_eq!(str_of(field(fb, "args"), "from"), "direct-gdr");
+        assert_eq!(str_of(field(fb, "args"), "to"), "host-pipeline-staged");
         let cr = by_name("chunk-retry");
-        assert_eq!(cr.get("ph").unwrap().as_str(), Some("i"));
-        assert_eq!(cr.get("args").unwrap().get("attempt").unwrap().as_f64(), Some(1.0));
+        assert_eq!(str_of(cr, "ph"), "i");
+        assert_eq!(num_of(field(cr, "args"), "attempt"), 1.0);
         let pd = by_name("partial-delivery");
-        assert_eq!(pd.get("ph").unwrap().as_str(), Some("i"));
-        assert_eq!(pd.get("args").unwrap().get("delivered").unwrap().as_f64(), Some(1048576.0));
-        assert_eq!(pd.get("args").unwrap().get("total").unwrap().as_f64(), Some(4194304.0));
+        assert_eq!(str_of(pd, "ph"), "i");
+        assert_eq!(num_of(field(pd, "args"), "delivered"), 1048576.0);
+        assert_eq!(num_of(field(pd, "args"), "total"), 4194304.0);
+    }
+
+    #[test]
+    fn metrics_track_appends_after_all_tracks() {
+        let r = Recorder::with_windows(ObsLevel::Spans, 1, 50);
+        let pe = r.track(TrackKind::Pe, 0);
+        let t0 = SimTime::ZERO + SimDuration::from_us(10);
+        r.span(pe, "put", t0, t0 + SimDuration::from_us(3), Payload::None);
+        r.op_latency_at("put", "direct-gdr", 8192, SimDuration::from_us(3), t0 + SimDuration::from_us(3));
+        r.set_slo(crate::SloPolicy::parse("p99:put/*/*=1").expect("valid policy"));
+
+        let doc = json::parse(&r.chrome_trace()).expect("valid JSON");
+        let evs = events(&doc);
+        // the synthetic track is named and carries the snapshot + violation
+        assert!(evs
+            .iter()
+            .any(|e| str_of(e, "ph") == "M" && str_of(field(e, "args"), "name") == "metrics"));
+        let snap = evs
+            .iter()
+            .find(|e| str_of(e, "name") == "window-snapshot")
+            .expect("window snapshot instant");
+        assert_eq!(str_of(snap, "ph"), "i");
+        assert_eq!(num_of(snap, "ts"), 50.0, "snapshot sits at the window close");
+        assert_eq!(num_of(field(snap, "args"), "window"), 0.0);
+        let viol = evs
+            .iter()
+            .find(|e| str_of(e, "name") == "slo-violation")
+            .expect("slo violation instant");
+        assert_eq!(str_of(field(viol, "args"), "kind"), "p99");
+        // without windowing the export has no metrics track at all
+        let plain = Recorder::new(ObsLevel::Spans);
+        let p0 = plain.track(TrackKind::Pe, 0);
+        plain.span(p0, "put", t0, t0 + SimDuration::from_us(3), Payload::None);
+        assert!(!plain.chrome_trace().contains("metrics"));
     }
 
     #[test]

@@ -32,14 +32,21 @@ pub mod chrome;
 pub mod hist;
 pub mod json;
 pub mod thresholds;
+pub mod window;
 
 pub use hist::{Hist, Sketch};
 pub use thresholds::ThresholdTable;
+pub use window::{SloParseError, SloPolicy, SloViolation, WindowSnap};
 
 use parking_lot::Mutex;
 use sim_core::{SimDuration, SimTime};
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, OnceLock};
+
+/// Callback invoked on every provisional SLO violation as the run's
+/// feed watermark closes windows (see [`Recorder::set_violation_hook`]).
+pub type SloHook = Box<dyn Fn(&SloViolation) + Send + Sync>;
 
 /// How much the recorder captures. Order matters: each level is a
 /// superset of the previous one.
@@ -391,6 +398,19 @@ pub struct Recorder {
     /// `"probe"` and `"promote"`. Active from [`ObsLevel::Counters`]
     /// up, never sampled.
     faults: Mutex<BTreeMap<(&'static str, &'static str), u64>>,
+    /// The windowed metrics plane (`None` unless constructed with
+    /// [`Recorder::with_windows`]): per-window latency/link/fault
+    /// rollups and the SLO watchdog state. Feeds go through the
+    /// `*_at` method variants, which carry the virtual timestamp the
+    /// whole-run aggregates don't need.
+    windows: Mutex<Option<window::WindowPlane>>,
+    /// In-run SLO violation hook (the health-breaker bridge). Fired
+    /// *after* the windows lock is released, so the hook may call any
+    /// recorder method except the `*_at` feeders.
+    slo_hook: Mutex<Option<SloHook>>,
+    /// Cheap predicate mirroring `slo_hook.is_some()` so the feed path
+    /// skips provisional window evaluation when nobody listens.
+    has_hook: AtomicBool,
 }
 
 impl Recorder {
@@ -410,7 +430,25 @@ impl Recorder {
             sketches: Mutex::new(BTreeMap::new()),
             agents: Mutex::new(BTreeMap::new()),
             faults: Mutex::new(BTreeMap::new()),
+            windows: Mutex::new(None),
+            slo_hook: Mutex::new(None),
+            has_hook: AtomicBool::new(false),
         })
+    }
+
+    /// As [`Recorder::with_sample`] with the windowed metrics plane
+    /// armed: `window_us > 0` (at [`ObsLevel::Counters`] up) rolls
+    /// latency sketches, link utilization and fault/health tallies per
+    /// `window_us`-wide virtual-time window, and the Chrome export
+    /// gains a `metrics` track of `window-snapshot` (and, with an
+    /// [`SloPolicy`] set, `slo-violation`) instants. `window_us == 0`
+    /// behaves exactly like [`Recorder::with_sample`].
+    pub fn with_windows(level: ObsLevel, sample: u64, window_us: u32) -> Arc<Recorder> {
+        let r = Self::with_sample(level, sample);
+        if window_us > 0 && level.counters_on() {
+            *r.windows.lock() = Some(window::WindowPlane::new(window_us));
+        }
+        r
     }
 
     pub fn level(&self) -> ObsLevel {
@@ -434,6 +472,59 @@ impl Recorder {
 
     pub fn spans_on(&self) -> bool {
         self.level.spans_on()
+    }
+
+    /// Whether the windowed metrics plane is armed.
+    pub fn windowing_on(&self) -> bool {
+        self.windows.lock().is_some()
+    }
+
+    /// Install (replace) the SLO policy evaluated at each window close.
+    /// A no-op unless the plane is armed ([`Recorder::with_windows`]).
+    pub fn set_slo(&self, policy: SloPolicy) {
+        if let Some(p) = self.windows.lock().as_mut() {
+            p.set_policy(policy);
+        }
+    }
+
+    /// Register the in-run SLO violation hook. It fires once per
+    /// violation when the feed watermark crosses a window boundary —
+    /// a *provisional* evaluation; the exported snapshot is the exact
+    /// final rollup and may differ for windows that received late
+    /// samples. The hook must not call the recorder's `*_at` feeders
+    /// (anything else is fine).
+    pub fn set_violation_hook(&self, hook: SloHook) {
+        *self.slo_hook.lock() = Some(hook);
+        self.has_hook.store(true, Ordering::Relaxed);
+    }
+
+    /// The exact per-window rollup (empty when the plane is off).
+    pub fn window_report(&self) -> Vec<WindowSnap> {
+        self.windows.lock().as_ref().map(|p| p.report()).unwrap_or_default()
+    }
+
+    /// Run `f` against the window plane (if armed), then fire the
+    /// violation hook for whatever provisional closures `f` returned —
+    /// with the windows lock already released, so the hook can safely
+    /// re-enter the recorder's counter paths.
+    fn feed_window(&self, f: impl FnOnce(&mut window::WindowPlane, bool) -> Vec<SloViolation>) {
+        let eval = self.has_hook.load(Ordering::Relaxed);
+        let provisional = {
+            let mut g = self.windows.lock();
+            match g.as_mut() {
+                Some(p) => f(p, eval),
+                None => return,
+            }
+        };
+        if provisional.is_empty() {
+            return;
+        }
+        let hook = self.slo_hook.lock();
+        if let Some(h) = hook.as_ref() {
+            for v in &provisional {
+                h(v);
+            }
+        }
     }
 
     /// Register (or look up) the track for `(kind, index)`.
@@ -551,6 +642,25 @@ impl Recorder {
             .record(ps);
     }
 
+    /// As [`Recorder::op_latency`], additionally feeding the windowed
+    /// metrics plane with the op's completion instant `end` (the
+    /// window an op belongs to is the one it *finished* in).
+    pub fn op_latency_at(
+        &self,
+        op: &'static str,
+        protocol: &'static str,
+        size: u64,
+        dur: SimDuration,
+        end: SimTime,
+    ) {
+        if !self.counters_on() {
+            return;
+        }
+        self.op_latency(op, protocol, size, dur);
+        let class = hist::bucket_index(size) as u8;
+        self.feed_window(|p, eval| p.feed_latency(op, protocol, class, dur.as_ps(), end.as_ps(), eval));
+    }
+
     /// Account `bytes` moved (busy for `busy`) on hardware agent
     /// `(kind, index)`; active from [`ObsLevel::Counters`] up. At
     /// [`ObsLevel::Spans`] it also emits a cumulative-bytes counter
@@ -596,6 +706,17 @@ impl Recorder {
             c.bytes += ev.bytes;
             c.busy += ev.depart.since(ev.start);
         }
+        self.feed_window(|p, eval| {
+            p.feed_link(
+                index,
+                name,
+                ev.start.as_ps(),
+                ev.bytes,
+                ev.depart.since(ev.start).as_ps(),
+                ev.queue_depth,
+                eval,
+            )
+        });
         if self.spans_on() {
             let track = self.track_named(TrackKind::Link, index, name);
             self.push(
@@ -624,6 +745,16 @@ impl Recorder {
             return;
         }
         *self.faults.lock().entry((what, protocol)).or_insert(0) += 1;
+    }
+
+    /// As [`Recorder::fault_tally`], additionally feeding the windowed
+    /// metrics plane with the tally's virtual instant `ts`.
+    pub fn fault_tally_at(&self, what: &'static str, protocol: &'static str, ts: SimTime) {
+        if !self.counters_on() {
+            return;
+        }
+        self.fault_tally(what, protocol);
+        self.feed_window(|p, eval| p.feed_fault(what, protocol, ts.as_ps(), eval));
     }
 
     /// Snapshot of the fault counters, keyed `(what, protocol)`.
@@ -686,12 +817,33 @@ impl Recorder {
         self.agents.lock().clone()
     }
 
-    /// Export everything as Chrome `trace_event` JSON.
+    /// Export everything as Chrome `trace_event` JSON. With the
+    /// windowed plane armed, a synthetic `metrics` track carries one
+    /// `window-snapshot` instant per non-empty window (at the window's
+    /// closing edge) followed by its `slo-violation` instants.
     pub fn chrome_trace(&self) -> String {
+        let mut metrics = Vec::new();
+        for snap in self.window_report() {
+            metrics.push(chrome::MetricEvent {
+                ts_ps: snap.end_ps,
+                name: "window-snapshot",
+                args: snap.args_json(),
+            });
+            for v in &snap.violations {
+                metrics.push(chrome::MetricEvent {
+                    ts_ps: v.ts_ps,
+                    name: "slo-violation",
+                    args: v.args_json(),
+                });
+            }
+        }
         let t = self.tables.lock();
         let mut order: Vec<&Track> = t.tracks.iter().collect();
         order.sort_by_key(|tr| (tr.kind, tr.index));
-        chrome::export(&order.iter().map(|tr| (tr.name.as_str(), &tr.events[..])).collect::<Vec<_>>())
+        chrome::export_with_metrics(
+            &order.iter().map(|tr| (tr.name.as_str(), &tr.events[..])).collect::<Vec<_>>(),
+            &metrics,
+        )
     }
 
     /// Plain-text summary: histograms and hardware utilization.

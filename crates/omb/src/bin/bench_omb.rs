@@ -34,7 +34,9 @@ fn rc() -> RuntimeConfig {
 /// the same shape the paper's Fig. 7/8 latency discussion walks
 /// through.
 fn traced_workload() -> std::sync::Arc<ShmemMachine> {
-    let cfg = rc().with_obs(ObsLevel::Spans);
+    // 50us windows arm the metrics plane: the trace (and the report's
+    // timeline section) carries deterministic window snapshots
+    let cfg = rc().with_obs(ObsLevel::Spans).with_obs_window(50);
     let m = ShmemMachine::build(ClusterSpec::internode_pair(), cfg);
     m.run(|pe| {
         let dest = pe.shmalloc(4 << 20, Domain::Gpu);

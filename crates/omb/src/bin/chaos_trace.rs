@@ -166,6 +166,15 @@ fn pipeline_fault_trace(out: &str) -> ExitCode {
 /// demotes `direct-gdr` (clean ops then ride the fallback matrix), and
 /// once the cooldown lapses a half-open probe re-promotes it — the full
 /// demote -> probe -> promote lifecycle in one deterministic trace.
+///
+/// The run also arms the windowed metrics plane (50 us windows) with
+/// two SLO budgets: a per-window recovery-rate floor that only the
+/// burst window can breach (its puts exhaust every retry, so the
+/// window recovers 0 of its injected faults) and a p99 ceiling sized
+/// above the cold-start window (so it never trips). The trace thus
+/// deterministically carries `window-snapshot` records and
+/// `slo-violation` instants only inside the burst window — the input
+/// for the `gdrprof timeline` CI gates.
 fn burst_fault_trace(out: &str) -> ExitCode {
     let seed = std::env::var("GDR_CHAOS_BURST_SEED")
         .ok()
@@ -178,8 +187,13 @@ fn burst_fault_trace(out: &str) -> ExitCode {
         .with_health(50_000, 3, 150_000);
     let cfg = RuntimeConfig::tuned(Design::EnhancedGdr)
         .with_faults(plan)
-        .with_obs(ObsLevel::Spans);
+        .with_obs(ObsLevel::Spans)
+        .with_obs_window(50);
     let m = ShmemMachine::build(ClusterSpec::internode_pair(), cfg);
+    m.obs().set_slo(
+        obs::SloPolicy::parse("recovery:direct-gdr=0.9; p99:put/*/*=150")
+            .expect("burst SLO policy must parse"),
+    );
     m.run(|pe| {
         let len = 8u64 << 10;
         let iters = 48u64;

@@ -29,6 +29,68 @@ fn run_workload(sample: u64) -> std::sync::Arc<ShmemMachine> {
     m
 }
 
+/// The same workload with the windowed metrics plane armed (50us
+/// windows) on top of span sampling.
+fn run_windowed(sample: u64) -> std::sync::Arc<ShmemMachine> {
+    let cfg = RuntimeConfig::tuned(Design::EnhancedGdr)
+        .with_obs(ObsLevel::Spans)
+        .with_obs_sample(sample)
+        .with_obs_window(50);
+    let m = ShmemMachine::build(ClusterSpec::internode_pair(), cfg);
+    m.run(|pe| {
+        let dest = pe.shmalloc(4 << 20, Domain::Gpu);
+        let src = pe.malloc_dev(4 << 20);
+        pe.barrier_all();
+        if pe.my_pe() == 0 {
+            for i in 0..4u64 {
+                pe.putmem(dest, src, 64 << i, 1);
+                pe.putmem(dest, src, 1 << 20, 1);
+            }
+            pe.quiet();
+            pe.getmem(src, dest, 1 << 20, 1);
+        }
+        pe.barrier_all();
+    });
+    m
+}
+
+#[test]
+fn window_snapshots_are_counter_exact_under_sampling() {
+    // the plane is fed from the exact counter path, not the sampled
+    // span path: a 1-in-4 run must roll up the same windows as a full
+    // run, byte for byte
+    let full = run_windowed(1);
+    let sampled = run_windowed(4);
+    let fs: Vec<String> = full.obs().window_report().iter().map(|w| w.args_json()).collect();
+    let ss: Vec<String> = sampled
+        .obs()
+        .window_report()
+        .iter()
+        .map(|w| w.args_json())
+        .collect();
+    assert!(!fs.is_empty(), "windowed run must emit snapshots");
+    assert_eq!(fs, ss, "window snapshots must be exact under span sampling");
+}
+
+#[test]
+fn window_boundaries_identical_across_replays() {
+    let a = run_windowed(4);
+    let b = run_windowed(4);
+    let ta = a.obs().chrome_trace();
+    assert_eq!(
+        ta,
+        b.obs().chrome_trace(),
+        "windowed replays of the same seed must serialize identical traces"
+    );
+    assert!(
+        ta.contains("window-snapshot"),
+        "armed plane must emit snapshot instants"
+    );
+    // the metrics track only exists when the plane is armed
+    let plain = run_workload(4);
+    assert!(!plain.obs().chrome_trace().contains("window-snapshot"));
+}
+
 #[test]
 fn sampled_trace_is_deterministic_across_runs() {
     let a = run_workload(4);

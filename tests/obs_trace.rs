@@ -50,6 +50,62 @@ fn span_trace_is_deterministic_across_runs() {
 }
 
 #[test]
+fn windowed_trace_is_deterministic_and_gated() {
+    // the same workload with the 50us metrics plane armed: replays must
+    // stay byte-identical, and the metrics track must carry snapshots
+    let windowed = || {
+        let cfg = RuntimeConfig::tuned(Design::EnhancedGdr)
+            .with_obs(ObsLevel::Spans)
+            .with_obs_window(50);
+        let m = ShmemMachine::build(ClusterSpec::internode_pair(), cfg);
+        m.run(|pe| {
+            let dest = pe.shmalloc(4 << 20, Domain::Gpu);
+            let src = pe.malloc_dev(4 << 20);
+            pe.barrier_all();
+            if pe.my_pe() == 0 {
+                pe.putmem(dest, src, 64, 1);
+                pe.putmem(dest, src, 2 << 20, 1);
+                pe.quiet();
+                pe.getmem(src, dest, 2 << 20, 1);
+            }
+            pe.barrier_all();
+        });
+        m
+    };
+    let a = windowed();
+    let b = windowed();
+    let ta = a.obs().chrome_trace();
+    assert_eq!(
+        ta,
+        b.obs().chrome_trace(),
+        "windowed replays must serialize identical traces"
+    );
+    assert!(ta.contains("\"window-snapshot\""), "missing snapshot instants");
+    assert!(ta.contains("\"metrics\""), "missing metrics track metadata");
+    // windowless runs must not grow a metrics track: the golden wire
+    // format stays untouched by the plane
+    let plain = traced_machine(ObsLevel::Spans).obs().chrome_trace();
+    assert!(!plain.contains("\"window-snapshot\""));
+    assert!(!plain.contains("\"metrics\""));
+    // window boundaries land on exact multiples of the width: every
+    // snapshot's end_us - start_us equals the configured 50us
+    let doc = obs::json::parse(&ta).expect("windowed trace must be valid JSON");
+    let evs = doc.get("traceEvents").unwrap().as_arr().unwrap();
+    let mut snaps = 0;
+    for e in evs {
+        if e.get("name").and_then(|n| n.as_str()) == Some("window-snapshot") {
+            snaps += 1;
+            let args = e.get("args").unwrap();
+            let s = args.get("start_us").unwrap().as_f64().unwrap();
+            let en = args.get("end_us").unwrap().as_f64().unwrap();
+            assert_eq!(en - s, 50.0, "window width drifted");
+            assert_eq!(s % 50.0, 0.0, "window start not aligned to the width");
+        }
+    }
+    assert!(snaps >= 1, "expected at least one window snapshot");
+}
+
+#[test]
 fn pipeline_chunk_spans_are_monotone() {
     let m = traced_machine(ObsLevel::Spans);
     // (stage -> [(chunk index, start ps)]) for the pipelined-write path
