@@ -217,4 +217,38 @@ grep -q 'REGRESSED' "$tmp/slo.txt"
 # the bench report's analysis carries the timeline rollup
 grep -q '"timeline":{"windows":' BENCH_omb.json
 
+# Campaign gate: a seeded fuzzing campaign over generated fault plans
+# must complete with zero invariant violations, and two runs of the
+# same seed must render byte-identical summaries. A second seed guards
+# against a trajectory that happens to dodge the fault space.
+cargo run --release -q -p chaos --bin gdrchaos -- run --seed 7 --trials 200 > "$tmp/camp7a.txt"
+cargo run --release -q -p chaos --bin gdrchaos -- run --seed 7 --trials 200 > "$tmp/camp7b.txt"
+cmp "$tmp/camp7a.txt" "$tmp/camp7b.txt"
+grep -q '^violations: 0$' "$tmp/camp7a.txt"
+cargo run --release -q -p chaos --bin gdrchaos -- run --seed 11 --trials 200 > "$tmp/camp11.txt"
+grep -q '^violations: 0$' "$tmp/camp11.txt"
+
+# Shrinker gate: the committed known-bad fixture plan must still
+# violate (exit 3), and must shrink to exactly the committed minimal
+# repro — the shrinker and the golden file move together.
+set +e
+cargo run --release -q -p chaos --bin gdrchaos -- fixture --repro-out "$tmp/repro.txt" > "$tmp/fixture.txt"
+rc=$?
+set -e
+if [ "$rc" -ne 3 ]; then
+    echo "gdrchaos fixture: expected exit 3 (violation found), got $rc" >&2
+    exit 1
+fi
+cmp "$tmp/repro.txt" tests/golden/chaos_minimal_repro.txt
+grep -q 'shrunk to' "$tmp/fixture.txt"
+
+# ... and the minimal repro grammar replays byte-identically through
+# chaos_trace --plan (the plan it ran under is echoed on stderr)
+repro_grammar="$(grep -v '^#' "$tmp/repro.txt")"
+cargo run --release -q -p omb --bin chaos_trace "$tmp/replan1.json" --plan "$repro_grammar" 2> "$tmp/replan.err"
+grep -q 'chaos_trace: plan: seed=1 cqe=450 retries=1' "$tmp/replan.err"
+cargo run --release -q -p omb --bin chaos_trace "$tmp/replan2.json" --plan "$repro_grammar" 2>/dev/null
+cmp "$tmp/replan1.json" "$tmp/replan2.json"
+grep -q '"name":"partial-delivery"' "$tmp/replan1.json"
+
 echo "ci: OK"

@@ -1,0 +1,1108 @@
+//! # chaos — deterministic chaos-campaign engine
+//!
+//! PRs 3–5 hand-wrote one fault scenario at a time; this crate
+//! *searches* the fault space. A campaign is a pure function of a
+//! `(campaign_seed, trial)` pair: [`faults::FaultPlan::generate`]
+//! enumerates a randomized plan per trial, [`run_trial`] executes one
+//! workload from a fixed menu under that plan in virtual time, and a
+//! registry of invariant oracles checks the result:
+//!
+//! - **byte-correctness** — destination memory matches a
+//!   success-masked reference: bytes a successful op wrote must be
+//!   there, bytes no op could have written must still be zero, bytes
+//!   behind an uncertain outcome (`Timeout`, `PartialDelivery`) are
+//!   don't-care.
+//! - **no-hang** — the trial must terminate; a virtual-time deadlock
+//!   or poisoned engine (caught panic) is a violation. The
+//!   `RuntimeConfig::quiesce_ns` watchdog converts stuck waits into
+//!   typed timeouts so this oracle sees an error value, not a panic.
+//! - **staging-leak** — every PE's staging allocator drains back to
+//!   zero once the trial quiesces.
+//! - **breaker-recovery** — no health breaker is still demoted one
+//!   cooldown past the end of the run: faults end, protocols come back.
+//! - **counter-consistency** — the obs fault/retry tallies satisfy
+//!   their internal arithmetic (recoveries never exceed retries,
+//!   promotes never exceed demotes, recoveries imply injections).
+//! - **replay-determinism** — re-running a trial reproduces a
+//!   byte-identical trial report (the campaign spot-checks every 16th
+//!   trial).
+//!
+//! Any failing plan is handed to [`shrink`]: greedy delta-debugging
+//! over a fixed candidate order (drop windows, halve/zero permilles,
+//! clear capability-mask bits, reset scalars toward defaults) until no
+//! candidate still reproduces the same oracle violation. The fixed
+//! point is emitted as a `GDR_SHMEM_FAULTS` grammar line — the minimal
+//! repro that `chaos_trace --plan` and `gdrchaos replay` re-execute
+//! deterministically.
+
+use faults::{mix, FaultPlan, LinkScope, LinkWindow, ProxyStall, GEN_HORIZON_NS};
+use obs_analyze::{CampaignSummary, CampaignViolation};
+use pcie_sim::{ClusterSpec, ProcId};
+use shmem_gdr::{Design, Domain, Pe, RuntimeConfig, ShmemMachine, TransferError};
+use std::collections::BTreeMap;
+
+/// Cell granularity of the randomized-RMA workload.
+const CELL: u64 = 32 << 10;
+/// Cells per put/get region (each PE owns one region per domain).
+const CELLS: u64 = 8;
+/// Randomized ops per PE per trial.
+const OPS: u64 = 8;
+/// Pipelined-put transfer length (4 chunks at the tuned 512 KiB).
+const PIPE_LEN: u64 = 2 << 20;
+/// Tuned pipeline chunk size (mirrors `RuntimeConfig::tuned`).
+const PIPE_CHUNK: u64 = 512 << 10;
+/// Broadcast payload of the collectives workload.
+const BCAST_LEN: u64 = 32 << 10;
+/// Engine-level quiesce watchdog armed for every campaign trial: far
+/// above any legitimate virtual-time wait of these workloads, so it
+/// only fires on a genuinely stuck completion.
+const QUIESCE_NS: u64 = 200_000_000;
+
+/// Every oracle the campaign checks, for the summary header.
+pub const ORACLES: [&str; 6] = [
+    "breaker-recovery",
+    "byte-correctness",
+    "counter-consistency",
+    "no-hang",
+    "replay-determinism",
+    "staging-leak",
+];
+
+/// The workload menu. One entry runs per trial, picked by seed.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Workload {
+    /// Randomized put/get/atomic mix between two PEs over disjoint
+    /// 32 KiB cells, host and GPU domains.
+    RmaRandom,
+    /// One large D-D put through the pipelined-GDR-write path (chunk
+    /// retries, partial delivery).
+    PipelineDd,
+    /// Barrier / broadcast / barrier (sync-flag loss, collective
+    /// replay).
+    Collectives,
+    /// Large gets served by the target side (proxy + host-staged
+    /// paths; staging credits).
+    ServeGet,
+}
+
+impl Workload {
+    pub const ALL: [Workload; 4] = [
+        Workload::RmaRandom,
+        Workload::PipelineDd,
+        Workload::Collectives,
+        Workload::ServeGet,
+    ];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            Workload::RmaRandom => "rma-random",
+            Workload::PipelineDd => "pipeline-dd",
+            Workload::Collectives => "collectives",
+            Workload::ServeGet => "serve-get",
+        }
+    }
+
+    pub fn from_name(s: &str) -> Option<Workload> {
+        Workload::ALL.into_iter().find(|w| w.name() == s)
+    }
+
+    /// The trial's workload — pure in `(campaign_seed, trial)`.
+    pub fn pick(campaign_seed: u64, trial: u64) -> Workload {
+        Workload::ALL[(mix(campaign_seed, 0x574B_4C44, trial) % 4) as usize]
+    }
+}
+
+/// What one operation did to destination memory.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Outcome {
+    /// Completed; its bytes must be present.
+    Ok,
+    /// Completed but the data read back was wrong — a direct
+    /// byte-correctness violation (unless the trial is relaxed by a
+    /// broken barrier).
+    Mismatch,
+    /// Typed failure that left no bytes behind (retries exhausted,
+    /// capability fault, registration error).
+    Failed(&'static str),
+    /// Timed out — bytes may still land later in virtual time.
+    Timeout,
+    /// Chunked transfer died mid-flight; delivered chunks are final.
+    Partial { delivered: u64, total: u64 },
+}
+
+impl Outcome {
+    fn uncertain(&self) -> bool {
+        matches!(self, Outcome::Timeout | Outcome::Partial { .. })
+    }
+
+    fn label(&self) -> String {
+        match self {
+            Outcome::Ok => "ok".into(),
+            Outcome::Mismatch => "MISMATCH".into(),
+            Outcome::Failed(k) => (*k).into(),
+            Outcome::Timeout => "timeout".into(),
+            Outcome::Partial { delivered, total } => format!("partial({delivered}/{total})"),
+        }
+    }
+}
+
+fn classify(r: &Result<(), TransferError>) -> Outcome {
+    match r {
+        Ok(()) => Outcome::Ok,
+        Err(TransferError::Timeout { .. }) => Outcome::Timeout,
+        Err(TransferError::PartialDelivery { delivered, total }) => Outcome::Partial {
+            delivered: *delivered,
+            total: *total,
+        },
+        Err(TransferError::RetriesExhausted { .. }) => Outcome::Failed("retries-exhausted"),
+        Err(TransferError::CapabilityDisabled { .. }) => Outcome::Failed("capability-disabled"),
+        Err(TransferError::Mr(_)) => Outcome::Failed("mr-error"),
+    }
+}
+
+/// A put's destination cell, for the success-masked reference.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+struct CellRef {
+    /// 0 = host region, 1 = GPU region.
+    dom: u8,
+    cell: u64,
+    len: u64,
+}
+
+/// One recorded operation of a trial.
+#[derive(Clone, PartialEq, Debug)]
+struct OpRec {
+    pe: usize,
+    desc: String,
+    cell: Option<CellRef>,
+    /// Value of an atomic fetch-add, for the counter reference.
+    add: Option<u64>,
+    /// True for barrier/broadcast sync ops: a failure here relaxes the
+    /// byte oracle (cross-PE ordering is gone).
+    sync: bool,
+    outcome: Outcome,
+}
+
+/// Everything one PE hands back from a trial.
+struct PeOut {
+    ops: Vec<OpRec>,
+    put_h: Vec<u8>,
+    put_g: Vec<u8>,
+    /// Workload-specific region (pipeline destination, broadcast data).
+    extra: Vec<u8>,
+    ctr: u64,
+}
+
+/// Payload byte a writer puts into `(dom, cell)` of its peer — a pure
+/// function of the trial so replays and late deliveries are idempotent.
+fn pat_put(trial: u64, writer: usize, dom: u8, cell: u64) -> u8 {
+    (mix(trial ^ 0x5055_5400, ((writer as u64) << 8) | dom as u64, cell) & 0xff) as u8
+}
+
+/// Pattern byte the owner pre-fills `(dom, cell)` of its get region
+/// with.
+fn pat_get(trial: u64, owner: usize, dom: u8, cell: u64) -> u8 {
+    (mix(trial ^ 0x4745_5400, ((owner as u64) << 8) | dom as u64, cell) & 0xff) as u8
+}
+
+/// Per-chunk payload byte of the pipelined put.
+fn pat_chunk(trial: u64, chunk: u64) -> u8 {
+    // 0 is the "never delivered" sentinel; keep payloads distinct from it
+    ((mix(trial ^ 0x5049_5045, 0, chunk) & 0xff) as u8) | 1
+}
+
+/// Broadcast payload byte.
+fn pat_bcast(trial: u64) -> u8 {
+    ((mix(trial ^ 0x4243_5354, 0, 0) & 0xff) as u8) | 1
+}
+
+fn fnv(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn rec(
+    pe: usize,
+    desc: String,
+    cell: Option<CellRef>,
+    add: Option<u64>,
+    sync: bool,
+    outcome: Outcome,
+) -> OpRec {
+    OpRec { pe, desc, cell, add, sync, outcome }
+}
+
+fn bar(pe: &Pe, which: &str, ops: &mut Vec<OpRec>) {
+    let out = classify(&pe.try_barrier_all());
+    ops.push(rec(pe.my_pe(), format!("barrier-{which}"), None, None, true, out));
+}
+
+// ---------- workload bodies (run inside PE tasks) ----------
+
+fn wl_rma_random(pe: &mut Pe, seed: u64, trial: u64) -> PeOut {
+    let me = pe.my_pe();
+    let peer = 1 - me;
+    let put_h = pe.shmalloc(CELL * CELLS, Domain::Host);
+    let put_g = pe.shmalloc(CELL * CELLS, Domain::Gpu);
+    let get_h = pe.shmalloc(CELL * CELLS, Domain::Host);
+    let get_g = pe.shmalloc(CELL * CELLS, Domain::Gpu);
+    let ctr = pe.shmalloc(8, Domain::Host);
+    // pre-fill my get regions with the owner pattern (local writes,
+    // infallible, before any synchronization)
+    for c in 0..CELLS {
+        let h = vec![pat_get(trial, me, 0, c); CELL as usize];
+        pe.write_raw(pe.addr_of(get_h, me).add(c * CELL), &h);
+        let g = vec![pat_get(trial, me, 1, c); CELL as usize];
+        pe.write_raw(pe.addr_of(get_g, me).add(c * CELL), &g);
+    }
+    let mut ops = Vec::new();
+    bar(pe, "init", &mut ops);
+    let src_h = pe.malloc_host(CELL);
+    let src_g = pe.malloc_dev(CELL);
+    let dst_h = pe.malloc_host(CELL);
+    for i in 0..OPS {
+        let r = mix(seed ^ 0x524D_4131, ((me as u64) << 32) | i, trial);
+        let kind = r % 5;
+        let cell = (r >> 8) % CELLS;
+        let len = [512u64, 4096, CELL][((r >> 16) % 3) as usize];
+        match kind {
+            0 | 1 => {
+                let dom = kind as u8;
+                let payload = vec![pat_put(trial, me, dom, cell); len as usize];
+                let (src, dest, name) = if dom == 0 {
+                    (src_h, put_h, "put-h")
+                } else {
+                    (src_g, put_g, "put-g")
+                };
+                pe.write_raw(src, &payload);
+                let res = pe.try_putmem(dest.add(cell * CELL), src, len, peer);
+                ops.push(rec(
+                    me,
+                    format!("{name} cell{cell} len{len}"),
+                    Some(CellRef { dom, cell, len }),
+                    None,
+                    false,
+                    classify(&res),
+                ));
+            }
+            2 | 3 => {
+                let dom = (kind - 2) as u8;
+                let (srcsym, name) = if dom == 0 { (get_h, "get-h") } else { (get_g, "get-g") };
+                let res = pe.try_getmem(dst_h, srcsym.add(cell * CELL), len, peer);
+                let mut out = classify(&res);
+                if out == Outcome::Ok {
+                    let want = pat_get(trial, peer, dom, cell);
+                    let got = pe.read_raw(dst_h, len);
+                    if !got.iter().all(|&b| b == want) {
+                        out = Outcome::Mismatch;
+                    }
+                }
+                ops.push(rec(me, format!("{name} cell{cell} len{len}"), None, None, false, out));
+            }
+            _ => {
+                let v = (r >> 24) % 100 + 1;
+                let res = pe.try_atomic_fetch_add(ctr, v, 1).map(|_| ());
+                ops.push(rec(me, format!("add v{v}"), None, Some(v), false, classify(&res)));
+            }
+        }
+    }
+    pe.quiet();
+    bar(pe, "fini", &mut ops);
+    PeOut {
+        ops,
+        put_h: pe.read_raw(pe.addr_of(put_h, me), CELL * CELLS),
+        put_g: pe.read_raw(pe.addr_of(put_g, me), CELL * CELLS),
+        extra: Vec::new(),
+        ctr: if me == 1 { pe.local_u64(ctr) } else { 0 },
+    }
+}
+
+fn wl_pipeline_dd(pe: &mut Pe, _seed: u64, trial: u64) -> PeOut {
+    let me = pe.my_pe();
+    let ddest = pe.shmalloc(PIPE_LEN, Domain::Gpu);
+    let mut ops = Vec::new();
+    bar(pe, "init", &mut ops);
+    if me == 0 {
+        let dsrc = pe.malloc_dev(PIPE_LEN);
+        let mut payload = vec![0u8; PIPE_LEN as usize];
+        for (i, chunk) in payload.chunks_mut(PIPE_CHUNK as usize).enumerate() {
+            chunk.fill(pat_chunk(trial, i as u64));
+        }
+        pe.write_raw(dsrc, &payload);
+        let res = pe.try_putmem(ddest, dsrc, PIPE_LEN, 1);
+        ops.push(rec(me, format!("pipe-put len{PIPE_LEN}"), None, None, false, classify(&res)));
+        pe.quiet();
+    }
+    bar(pe, "fini", &mut ops);
+    PeOut {
+        ops,
+        put_h: Vec::new(),
+        put_g: Vec::new(),
+        extra: if me == 1 {
+            pe.read_raw(pe.addr_of(ddest, me), PIPE_LEN)
+        } else {
+            Vec::new()
+        },
+        ctr: 0,
+    }
+}
+
+fn wl_collectives(pe: &mut Pe, _seed: u64, trial: u64) -> PeOut {
+    let me = pe.my_pe();
+    let data = pe.shmalloc(BCAST_LEN, Domain::Host);
+    if me == 0 {
+        pe.write_raw(pe.addr_of(data, me), &vec![pat_bcast(trial); BCAST_LEN as usize]);
+    }
+    let mut ops = Vec::new();
+    bar(pe, "init", &mut ops);
+    let out = classify(&pe.try_broadcast(data, BCAST_LEN, 0));
+    ops.push(rec(me, format!("bcast len{BCAST_LEN}"), None, None, true, out));
+    bar(pe, "fini", &mut ops);
+    PeOut {
+        ops,
+        put_h: Vec::new(),
+        put_g: Vec::new(),
+        extra: pe.read_raw(pe.addr_of(data, me), BCAST_LEN),
+        ctr: 0,
+    }
+}
+
+fn wl_serve_get(pe: &mut Pe, _seed: u64, trial: u64) -> PeOut {
+    let me = pe.my_pe();
+    let gsrc = pe.shmalloc(1 << 20, Domain::Gpu);
+    let hsrc = pe.shmalloc(256 << 10, Domain::Host);
+    if me == 1 {
+        pe.write_raw(pe.addr_of(gsrc, me), &vec![pat_get(trial, 1, 1, 0); 1 << 20]);
+        pe.write_raw(pe.addr_of(hsrc, me), &vec![pat_get(trial, 1, 0, 0); 256 << 10]);
+    }
+    let mut ops = Vec::new();
+    bar(pe, "init", &mut ops);
+    if me == 0 {
+        let dst = pe.malloc_host(1 << 20);
+        // proxy-serviced (>= proxy_get_min), host-staged, and small-GDR
+        // gets in one trial
+        for (name, sym, dom, len) in [
+            ("get-proxy", gsrc, 1u8, 768u64 << 10),
+            ("get-host", hsrc, 0, 128 << 10),
+            ("get-gdr", gsrc, 1, 64 << 10),
+        ] {
+            let res = pe.try_getmem(dst, sym, len, 1);
+            let mut out = classify(&res);
+            if out == Outcome::Ok {
+                let want = pat_get(trial, 1, dom, 0);
+                let got = pe.read_raw(dst, len);
+                if !got.iter().all(|&b| b == want) {
+                    out = Outcome::Mismatch;
+                }
+            }
+            ops.push(rec(me, format!("{name} len{len}"), None, None, false, out));
+        }
+    }
+    bar(pe, "fini", &mut ops);
+    PeOut { ops, put_h: Vec::new(), put_g: Vec::new(), extra: Vec::new(), ctr: 0 }
+}
+
+// ---------- trial runner + oracles ----------
+
+/// Fully specifies one trial; two runs of the same spec must produce
+/// byte-identical [`TrialResult::report`]s.
+#[derive(Clone, Copy, Debug)]
+pub struct TrialSpec {
+    pub campaign_seed: u64,
+    pub trial: u64,
+    pub workload: Workload,
+    pub plan: FaultPlan,
+    /// The fixture's deliberately re-introduced bug: treat any partial
+    /// delivery as an invariant violation (`no-partial-delivery`).
+    pub strict_no_partial: bool,
+}
+
+/// One trial's outcome: the deterministic report (replay identity) and
+/// any oracle violations.
+pub struct TrialResult {
+    pub report: String,
+    /// (oracle, detail) pairs, in oracle-registry order.
+    pub violations: Vec<(String, String)>,
+    pub fault_counters: BTreeMap<(String, String), u64>,
+}
+
+/// Run one workload under one plan in virtual time and evaluate every
+/// oracle. Pure in `spec`: no wall-clock, no global state.
+pub fn run_trial(spec: &TrialSpec) -> TrialResult {
+    let TrialSpec { campaign_seed, trial, workload, plan, strict_no_partial } = *spec;
+    let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let cfg = RuntimeConfig::tuned(Design::EnhancedGdr)
+            .with_faults(plan)
+            .with_quiesce_ns(QUIESCE_NS)
+            // counters feed the counter-consistency oracle and the
+            // campaign summary; keep spans off (trials are many)
+            .with_obs(obs::ObsLevel::Counters);
+        let m = ShmemMachine::build(ClusterSpec::internode_pair(), cfg);
+        let outs = m.run(|pe| match workload {
+            Workload::RmaRandom => wl_rma_random(pe, campaign_seed, trial),
+            Workload::PipelineDd => wl_pipeline_dd(pe, campaign_seed, trial),
+            Workload::Collectives => wl_collectives(pe, campaign_seed, trial),
+            Workload::ServeGet => wl_serve_get(pe, campaign_seed, trial),
+        });
+        (m, outs)
+    }));
+
+    let mut violations: Vec<(String, String)> = Vec::new();
+    let mut report = format!("trial {trial} workload={} plan=\"{plan}\"\n", workload.name());
+    let mut fault_counters = BTreeMap::new();
+
+    let (m, outs) = match run {
+        Ok(v) => v,
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<String>()
+                .cloned()
+                .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+                .unwrap_or_else(|| "<non-string panic>".into());
+            // keep only the first line: engine dumps embed task lists
+            let msg = msg.lines().next().unwrap_or("").to_string();
+            violations.push(("no-hang".into(), format!("trial panicked: {msg}")));
+            report.push_str(&format!("  PANIC: {msg}\n"));
+            return TrialResult { report, violations, fault_counters };
+        }
+    };
+
+    // ---- deterministic trial report ----
+    for out in &outs {
+        for op in &out.ops {
+            report.push_str(&format!("  pe{} {}: {}\n", op.pe, op.desc, op.outcome.label()));
+        }
+    }
+    let now_ns = m.sim().now().0 / sim_core::PS_PER_NS;
+    report.push_str(&format!("  final-now-ns={now_ns}\n"));
+    for out in &outs {
+        let mut all = Vec::new();
+        all.extend_from_slice(&out.put_h);
+        all.extend_from_slice(&out.put_g);
+        all.extend_from_slice(&out.extra);
+        report.push_str(&format!("  mem-hash={:#018x} ctr={}\n", fnv(&all), out.ctr));
+    }
+    for ((what, proto), n) in m.obs().fault_counters() {
+        report.push_str(&format!("  counter {what}/{proto}={n}\n"));
+        *fault_counters.entry((what.to_string(), proto.to_string())).or_insert(0) += n;
+    }
+
+    // ---- oracles ----
+    let relaxed = outs
+        .iter()
+        .flat_map(|o| &o.ops)
+        .any(|op| op.sync && op.outcome != Outcome::Ok);
+
+    // breaker-recovery: one cooldown past the end of the run, nothing
+    // may still be demoted
+    let probe_ns = now_ns.max(GEN_HORIZON_NS) + plan.health_cooldown_ns + 1;
+    let demoted = m.demoted_protocols_at(probe_ns);
+    if !demoted.is_empty() {
+        let list: Vec<String> = demoted
+            .iter()
+            .map(|(n, p)| format!("node{n}/{}", p.name()))
+            .collect();
+        violations.push((
+            "breaker-recovery".into(),
+            format!(
+                "still demoted at t={probe_ns}: {} ({})",
+                list.join(", "),
+                m.breaker_states().join("; ")
+            ),
+        ));
+    }
+
+    // staging-leak: every credit returned after quiesce
+    for pe in 0..2u32 {
+        let in_use = m.staging_in_use(ProcId(pe));
+        if in_use != 0 {
+            violations.push((
+                "staging-leak".into(),
+                format!("pe{pe} still holds {in_use} staging bytes after quiesce"),
+            ));
+        }
+    }
+
+    // counter-consistency
+    let c = |what: &str, proto: &str| *fault_counters.get(&(what.into(), proto.into())).unwrap_or(&0);
+    let protos: std::collections::BTreeSet<String> =
+        fault_counters.keys().map(|(_, p)| p.clone()).collect();
+    for p in &protos {
+        let retried = c("retried", p) + c("chunk-retried", p);
+        if c("recovered", p) > retried {
+            violations.push((
+                "counter-consistency".into(),
+                format!("{p}: recovered {} > retried {retried}", c("recovered", p)),
+            ));
+        }
+        if c("recovered", p) > 0 && c("injected", p) == 0 {
+            violations.push((
+                "counter-consistency".into(),
+                format!("{p}: recoveries without injected faults"),
+            ));
+        }
+        if c("promote", p) > c("demote", p) {
+            violations.push((
+                "counter-consistency".into(),
+                format!("{p}: promote {} > demote {}", c("promote", p), c("demote", p)),
+            ));
+        }
+    }
+
+    // byte-correctness (success-masked reference)
+    if !relaxed {
+        byte_oracle(&outs, workload, trial, &mut violations);
+    } else {
+        report.push_str("  byte-oracle: relaxed (sync op failed)\n");
+    }
+
+    if strict_no_partial {
+        for out in &outs {
+            for op in &out.ops {
+                if let Outcome::Partial { delivered, total } = op.outcome {
+                    violations.push((
+                        "no-partial-delivery".into(),
+                        format!("pe{} {} delivered only {delivered} of {total}", op.pe, op.desc),
+                    ));
+                }
+            }
+        }
+    }
+
+    TrialResult { report, violations, fault_counters }
+}
+
+/// The success-masked byte reference for each workload.
+fn byte_oracle(
+    outs: &[PeOut],
+    workload: Workload,
+    trial: u64,
+    violations: &mut Vec<(String, String)>,
+) {
+    let mut fail = |detail: String| violations.push(("byte-correctness".into(), detail));
+    // inline get mismatches are violations for every workload
+    for out in outs {
+        for op in &out.ops {
+            if op.outcome == Outcome::Mismatch {
+                fail(format!("pe{} {}: readback mismatch", op.pe, op.desc));
+            }
+        }
+    }
+    match workload {
+        Workload::RmaRandom => {
+            for target in 0..2usize {
+                let writer = 1 - target;
+                for dom in 0..2u8 {
+                    let bytes = if dom == 0 { &outs[target].put_h } else { &outs[target].put_g };
+                    for cell in 0..CELLS {
+                        let mut ok_len = 0u64;
+                        let mut unc_len = 0u64;
+                        for op in &outs[writer].ops {
+                            let Some(cr) = op.cell else { continue };
+                            if cr.dom != dom || cr.cell != cell {
+                                continue;
+                            }
+                            match op.outcome {
+                                Outcome::Ok => ok_len = ok_len.max(cr.len),
+                                ref o if o.uncertain() => unc_len = unc_len.max(cr.len),
+                                _ => {}
+                            }
+                        }
+                        let pat = pat_put(trial, writer, dom, cell);
+                        let base = (cell * CELL) as usize;
+                        let slice = &bytes[base..base + CELL as usize];
+                        if slice[..ok_len as usize].iter().any(|&b| b != pat) {
+                            fail(format!(
+                                "pe{target} dom{dom} cell{cell}: delivered prefix ({ok_len}B) \
+                                 corrupted (want {pat:#04x})"
+                            ));
+                        }
+                        let zero_from = ok_len.max(unc_len) as usize;
+                        if slice[zero_from..].iter().any(|&b| b != 0) {
+                            fail(format!(
+                                "pe{target} dom{dom} cell{cell}: bytes past {zero_from} written \
+                                 by no successful op"
+                            ));
+                        }
+                    }
+                }
+            }
+            // atomic counter: sum of successful adds, unless any add is
+            // uncertain (a timed-out add may still land)
+            let mut sum = 0u64;
+            let mut uncertain = false;
+            for out in outs {
+                for op in &out.ops {
+                    let Some(v) = op.add else { continue };
+                    match op.outcome {
+                        Outcome::Ok => sum += v,
+                        ref o if o.uncertain() => uncertain = true,
+                        _ => {}
+                    }
+                }
+            }
+            if !uncertain && outs[1].ctr != sum {
+                fail(format!("atomic counter: have {} want {sum}", outs[1].ctr));
+            }
+        }
+        Workload::PipelineDd => {
+            let bytes = &outs[1].extra;
+            let op = outs[0].ops.iter().find(|o| o.cell.is_none() && !o.sync);
+            let Some(op) = op else { return };
+            let mut delivered_bytes = 0u64;
+            for (i, chunk) in bytes.chunks(PIPE_CHUNK as usize).enumerate() {
+                let pat = pat_chunk(trial, i as u64);
+                let full = chunk.iter().all(|&b| b == pat);
+                let empty = chunk.iter().all(|&b| b == 0);
+                if full {
+                    delivered_bytes += chunk.len() as u64;
+                }
+                if !full && !empty {
+                    fail(format!("chunk {i}: torn (neither all-{pat:#04x} nor all-zero)"));
+                }
+                if op.outcome == Outcome::Ok && !full {
+                    fail(format!("chunk {i}: op reported ok but chunk not delivered"));
+                }
+            }
+            if let Outcome::Partial { delivered, total } = op.outcome {
+                if delivered != delivered_bytes || total != PIPE_LEN {
+                    fail(format!(
+                        "partial accounting: typed {delivered}/{total}, \
+                         memory shows {delivered_bytes}/{PIPE_LEN}"
+                    ));
+                }
+            }
+        }
+        Workload::Collectives => {
+            // relaxed path already filtered: all sync ops succeeded here,
+            // so every PE must hold the root's payload
+            let pat = pat_bcast(trial);
+            for (pe, out) in outs.iter().enumerate() {
+                if out.extra.iter().any(|&b| b != pat) {
+                    fail(format!("pe{pe}: broadcast payload wrong (want {pat:#04x})"));
+                }
+            }
+        }
+        Workload::ServeGet => {} // inline mismatch checks only
+    }
+}
+
+// ---------- campaign ----------
+
+/// A violation plus the context needed to shrink it.
+pub struct CampaignFailure {
+    /// The campaign seed is part of the failure's identity — it feeds
+    /// the workload's op mix.
+    pub campaign_seed: u64,
+    pub trial: u64,
+    pub workload: Workload,
+    pub plan: FaultPlan,
+    pub oracle: String,
+    pub detail: String,
+}
+
+/// Run `trials` trials under `campaign_seed`. Byte-identical summaries
+/// across runs of the same seed; `violations: 0` is the CI gate.
+pub fn run_campaign(campaign_seed: u64, trials: u64) -> (CampaignSummary, Vec<CampaignFailure>) {
+    let _quiet = QuietPanics::arm();
+    let mut summary = CampaignSummary {
+        campaign_seed,
+        trials,
+        oracles: ORACLES.iter().map(|s| s.to_string()).collect(),
+        ..Default::default()
+    };
+    let mut failures = Vec::new();
+    for trial in 0..trials {
+        let plan = FaultPlan::generate(campaign_seed, trial);
+        let workload = Workload::pick(campaign_seed, trial);
+        let spec = TrialSpec { campaign_seed, trial, workload, plan, strict_no_partial: false };
+        let res = run_trial(&spec);
+        *summary.workloads.entry(workload.name().to_string()).or_insert(0) += 1;
+        for (k, n) in &res.fault_counters {
+            *summary.fault_counters.entry(k.clone()).or_insert(0) += n;
+        }
+        let mut violations = res.violations;
+        // replay-determinism spot check: every 16th trial runs twice
+        if trial % 16 == 0 {
+            let again = run_trial(&spec);
+            if again.report != res.report {
+                violations.push((
+                    "replay-determinism".into(),
+                    "re-running the trial produced a different report".into(),
+                ));
+            }
+        }
+        for (oracle, detail) in violations {
+            summary.violations.push(CampaignViolation {
+                trial,
+                oracle: oracle.clone(),
+                plan: plan.to_string(),
+                detail: detail.clone(),
+            });
+            failures.push(CampaignFailure { campaign_seed, trial, workload, plan, oracle, detail });
+        }
+    }
+    (summary, failures)
+}
+
+/// Suppress panic backtraces while trials intentionally catch engine
+/// panics; restores the previous hook on drop.
+type PanicHook = Box<dyn Fn(&std::panic::PanicHookInfo<'_>) + Sync + Send>;
+
+struct QuietPanics {
+    prev: Option<PanicHook>,
+}
+
+impl QuietPanics {
+    fn arm() -> QuietPanics {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        QuietPanics { prev: Some(prev) }
+    }
+}
+
+impl Drop for QuietPanics {
+    fn drop(&mut self) {
+        if let Some(prev) = self.prev.take() {
+            std::panic::set_hook(prev);
+        }
+    }
+}
+
+// ---------- shrinking ----------
+
+fn drop_link(p: &FaultPlan, i: usize) -> FaultPlan {
+    let mut q = *p;
+    let n = q.n_link_windows as usize;
+    for j in i..n - 1 {
+        q.link_windows[j] = q.link_windows[j + 1];
+    }
+    q.n_link_windows -= 1;
+    q.link_windows[q.n_link_windows as usize] = Default::default();
+    q
+}
+
+fn drop_stall(p: &FaultPlan, i: usize) -> FaultPlan {
+    let mut q = *p;
+    let n = q.n_proxy_stalls as usize;
+    for j in i..n - 1 {
+        q.proxy_stalls[j] = q.proxy_stalls[j + 1];
+    }
+    q.n_proxy_stalls -= 1;
+    q.proxy_stalls[q.n_proxy_stalls as usize] = Default::default();
+    q
+}
+
+fn drop_burst(p: &FaultPlan, i: usize) -> FaultPlan {
+    let mut q = *p;
+    let n = q.n_burst_windows as usize;
+    for j in i..n - 1 {
+        q.burst_windows[j] = q.burst_windows[j + 1];
+    }
+    q.n_burst_windows -= 1;
+    q.burst_windows[q.n_burst_windows as usize] = Default::default();
+    q
+}
+
+/// Simplification candidates of `p`, most aggressive first, in a fixed
+/// deterministic order.
+fn candidates(p: &FaultPlan) -> Vec<FaultPlan> {
+    let d = FaultPlan::default();
+    let mut out = Vec::new();
+    for i in 0..p.n_link_windows as usize {
+        out.push(drop_link(p, i));
+    }
+    for i in 0..p.n_proxy_stalls as usize {
+        out.push(drop_stall(p, i));
+    }
+    for i in 0..p.n_burst_windows as usize {
+        out.push(drop_burst(p, i));
+    }
+    if p.cqe_permille > 0 {
+        let mut q = *p;
+        q.cqe_permille = 0;
+        out.push(q);
+        if p.cqe_permille >= 2 {
+            let mut q = *p;
+            q.cqe_permille = p.cqe_permille / 2;
+            out.push(q);
+        }
+    }
+    if p.late_permille > 0 {
+        let mut q = *p;
+        q.late_permille = 0;
+        q.late_extra_ns = d.late_extra_ns;
+        out.push(q);
+        if p.late_permille >= 2 {
+            let mut q = *p;
+            q.late_permille = p.late_permille / 2;
+            out.push(q);
+        }
+    }
+    for bit in 0..64 {
+        if p.gdr_disabled_nodes & (1 << bit) != 0 {
+            let mut q = *p;
+            q.gdr_disabled_nodes &= !(1 << bit);
+            out.push(q);
+        }
+    }
+    if p.op_timeout_ns != 0 {
+        let mut q = *p;
+        q.op_timeout_ns = 0;
+        out.push(q);
+    }
+    if (p.max_retries, p.backoff_base_ns, p.backoff_cap_ns)
+        != (d.max_retries, d.backoff_base_ns, d.backoff_cap_ns)
+    {
+        let mut q = *p;
+        q.max_retries = d.max_retries;
+        q.backoff_base_ns = d.backoff_base_ns;
+        q.backoff_cap_ns = d.backoff_cap_ns;
+        out.push(q);
+    }
+    if p.cqe_detect_ns != d.cqe_detect_ns {
+        let mut q = *p;
+        q.cqe_detect_ns = d.cqe_detect_ns;
+        out.push(q);
+    }
+    if (p.health_window_ns, p.health_threshold, p.health_cooldown_ns)
+        != (d.health_window_ns, d.health_threshold, d.health_cooldown_ns)
+    {
+        let mut q = *p;
+        q.health_window_ns = d.health_window_ns;
+        q.health_threshold = d.health_threshold;
+        q.health_cooldown_ns = d.health_cooldown_ns;
+        out.push(q);
+    }
+    out
+}
+
+/// Greedy delta-debugging: repeatedly adopt the first candidate
+/// simplification that still reproduces `oracle` on the same
+/// `(workload, trial)`, until none does. Deterministic: candidate order
+/// is fixed and every probe run is a pure virtual-time replay. Returns
+/// the minimal plan (every remaining element is load-bearing).
+pub fn shrink(failure: &CampaignFailure, strict_no_partial: bool) -> (FaultPlan, u64) {
+    let _quiet = QuietPanics::arm();
+    let reproduces = |plan: FaultPlan| {
+        let spec = TrialSpec {
+            campaign_seed: failure.campaign_seed,
+            trial: failure.trial,
+            workload: failure.workload,
+            plan,
+            strict_no_partial,
+        };
+        run_trial(&spec).violations.iter().any(|(o, _)| *o == failure.oracle)
+    };
+    let mut plan = failure.plan;
+    let mut probes = 0u64;
+    'outer: loop {
+        for cand in candidates(&plan) {
+            probes += 1;
+            if reproduces(cand) {
+                plan = cand;
+                continue 'outer;
+            }
+        }
+        return (plan, probes);
+    }
+}
+
+// ---------- fixture (the deliberately re-introduced bug) ----------
+
+/// Campaign seed of the fixture run (feeds the workload op mix).
+pub const FIXTURE_SEED: u64 = 99;
+
+/// The known-bad plan: heavy chunk-post CQE stream with a retry budget
+/// of one — deterministically produces a partial delivery on the
+/// pipelined D-D put, which the fixture's strict `no-partial-delivery`
+/// oracle (the modeled re-introduced bug) reports as a violation.
+pub fn fixture_plan() -> FaultPlan {
+    // the violation needs only cqe=450 + retries=1; everything else is
+    // deliberate noise the shrinker must strip to reach the minimal repro
+    FaultPlan::default()
+        .with_seed(1)
+        .with_cqe_errors(450)
+        .with_retry(1, 2_000, 64_000)
+        .with_late_completions(80, 15_000)
+        .with_link_window(LinkWindow {
+            scope: LinkScope::HcaTx,
+            index: 0,
+            start_ns: 400_000,
+            end_ns: 900_000,
+            bw_permille: 500,
+        })
+        .with_proxy_stall(ProxyStall {
+            node: 1,
+            start_ns: 1_000_000,
+            end_ns: 1_200_000,
+            extra_ns: 30_000,
+        })
+        .with_burst_window(600_000, 700_000)
+        .with_health(120_000, 3, 250_000)
+}
+
+/// Run the fixture: report the violation and shrink it to the minimal
+/// repro. Returns `None` if the fixture plan no longer violates (the
+/// "bug" is gone — CI fails loudly on that, the fixture must stay bad).
+pub fn run_fixture() -> Option<(CampaignFailure, FaultPlan, u64)> {
+    let spec = TrialSpec {
+        campaign_seed: FIXTURE_SEED,
+        trial: 0,
+        workload: Workload::PipelineDd,
+        plan: fixture_plan(),
+        strict_no_partial: true,
+    };
+    let res = {
+        let _quiet = QuietPanics::arm();
+        run_trial(&spec)
+    };
+    let (oracle, detail) =
+        res.violations.iter().find(|(o, _)| o == "no-partial-delivery")?.clone();
+    let failure = CampaignFailure {
+        campaign_seed: FIXTURE_SEED,
+        trial: 0,
+        workload: Workload::PipelineDd,
+        plan: fixture_plan(),
+        oracle,
+        detail,
+    };
+    let (minimal, probes) = shrink(&failure, true);
+    Some((failure, minimal, probes))
+}
+
+/// Render a committed repro file: comment header + the minimal
+/// `GDR_SHMEM_FAULTS` grammar as the final line (extract it with
+/// `grep -v '^#'`).
+pub fn render_repro(f: &CampaignFailure, minimal: &FaultPlan, probes: u64) -> String {
+    format!(
+        "# gdrchaos minimal repro (gdrchaos-repro-v1)\n\
+         # oracle: {}\n\
+         # workload: {}\n\
+         # campaign-seed: {}\n\
+         # trial: {}\n\
+         # original: {}\n\
+         # shrink-probes: {}\n\
+         {}\n",
+        f.oracle,
+        f.workload.name(),
+        f.campaign_seed,
+        f.trial,
+        f.plan,
+        probes,
+        minimal
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_pick_is_pure_and_names_round_trip() {
+        for w in Workload::ALL {
+            assert_eq!(Workload::from_name(w.name()), Some(w));
+        }
+        assert_eq!(Workload::from_name("bogus"), None);
+        for trial in 0..32 {
+            assert_eq!(Workload::pick(7, trial), Workload::pick(7, trial));
+        }
+        // a short campaign must exercise every workload
+        let picked: std::collections::BTreeSet<&str> =
+            (0..16).map(|t| Workload::pick(7, t).name()).collect();
+        assert_eq!(picked.len(), Workload::ALL.len());
+    }
+
+    #[test]
+    fn run_trial_is_deterministic() {
+        let spec = TrialSpec {
+            campaign_seed: 5,
+            trial: 3,
+            workload: Workload::RmaRandom,
+            plan: FaultPlan::generate(5, 3),
+            strict_no_partial: false,
+        };
+        let _quiet = QuietPanics::arm();
+        let a = run_trial(&spec);
+        let b = run_trial(&spec);
+        assert_eq!(a.report, b.report);
+        assert_eq!(a.violations, b.violations);
+        assert_eq!(a.fault_counters, b.fault_counters);
+    }
+
+    #[test]
+    fn short_campaign_is_clean_and_byte_identical() {
+        let (s1, f1) = run_campaign(7, 24);
+        let (s2, f2) = run_campaign(7, 24);
+        assert_eq!(s1.render(), s2.render());
+        assert!(f1.is_empty(), "violations: {:?}", s1.violations);
+        assert!(f2.is_empty());
+        assert_eq!(s1.trials, 24);
+        // each trial ran some workload
+        assert_eq!(s1.workloads.values().sum::<u64>(), 24);
+    }
+
+    #[test]
+    fn fixture_violates_and_shrinks_to_core_plan() {
+        let (failure, minimal, probes) = run_fixture().expect("fixture must violate");
+        assert_eq!(failure.oracle, "no-partial-delivery");
+        // every noise dimension stripped; the failure-carrying core remains
+        assert_eq!(minimal.to_string(), "seed=1 cqe=450 retries=1");
+        assert!(probes > 0);
+        // the minimal plan round-trips through the grammar and still
+        // reproduces the identical violation
+        let replay = FaultPlan::parse(&minimal.to_string());
+        assert_eq!(replay, minimal);
+        let spec = TrialSpec {
+            campaign_seed: failure.campaign_seed,
+            trial: failure.trial,
+            workload: failure.workload,
+            plan: replay,
+            strict_no_partial: true,
+        };
+        let _quiet = QuietPanics::arm();
+        let res = run_trial(&spec);
+        assert!(res
+            .violations
+            .iter()
+            .any(|(o, d)| o == "no-partial-delivery" && *d == failure.detail));
+    }
+
+    #[test]
+    fn classify_maps_errors_to_outcomes() {
+        assert_eq!(classify(&Ok(())), Outcome::Ok);
+        assert_eq!(
+            classify(&Err(TransferError::Timeout { after_ns: 5, diag: String::new() })),
+            Outcome::Timeout
+        );
+        assert!(matches!(
+            classify(&Err(TransferError::PartialDelivery { delivered: 3, total: 9 })),
+            Outcome::Partial { delivered: 3, total: 9 }
+        ));
+        assert!(classify(&Err(TransferError::Timeout { after_ns: 1, diag: String::new() }))
+            .uncertain());
+        assert!(!Outcome::Ok.uncertain());
+    }
+
+    #[test]
+    fn render_repro_ends_with_bare_grammar_line() {
+        let f = CampaignFailure {
+            campaign_seed: 99,
+            trial: 0,
+            workload: Workload::PipelineDd,
+            plan: fixture_plan(),
+            oracle: "no-partial-delivery".into(),
+            detail: "x".into(),
+        };
+        let minimal = FaultPlan::default().with_seed(1).with_cqe_errors(450);
+        let doc = render_repro(&f, &minimal, 13);
+        let bare: Vec<&str> =
+            doc.lines().filter(|l| !l.starts_with('#')).collect();
+        assert_eq!(bare, vec![minimal.to_string().as_str()]);
+        assert!(doc.starts_with("# gdrchaos minimal repro (gdrchaos-repro-v1)\n"));
+    }
+}

@@ -117,6 +117,15 @@ pub struct RuntimeConfig {
     /// Inactive by default; [`RuntimeConfig::tuned`] reads the
     /// `GDR_SHMEM_FAULTS` environment variable (see `docs/FAULTS.md`).
     pub faults: faults::FaultPlan,
+    /// Quiesce watchdog deadline in virtual nanoseconds: the engine-level
+    /// bound on any single completion wait. `0` (the default) leaves the
+    /// watchdog off and keeps the unfaulted event order byte-identical;
+    /// when set, a wait that outlives the deadline resolves as a typed
+    /// [`crate::TransferError::Timeout`] carrying a blocked-task dump
+    /// instead of wedging virtual time. The per-op `faults` timeout
+    /// (`op_timeout_ns`), when non-zero, takes precedence.
+    /// [`RuntimeConfig::tuned`] reads `GDR_SHMEM_QUIESCE_NS`.
+    pub quiesce_ns: u64,
     /// True when the threshold values came from a `thresholds-v1`
     /// artifact ([`RuntimeConfig::with_threshold_table`] or the
     /// `GDR_SHMEM_THRESHOLDS` environment variable) rather than the
@@ -151,6 +160,7 @@ impl RuntimeConfig {
             obs_window_us: obs_window_from_env(),
             slo_demote: env_flag("GDR_SHMEM_OBS_SLO_DEMOTE"),
             faults: faults::FaultPlan::from_env().unwrap_or_default(),
+            quiesce_ns: quiesce_from_env(),
             thresholds_loaded: false,
         };
         match thresholds_from_env() {
@@ -221,6 +231,13 @@ impl RuntimeConfig {
         self.faults = plan;
         self
     }
+
+    /// Arm the quiesce watchdog (overrides `GDR_SHMEM_QUIESCE_NS`);
+    /// `0` turns it off.
+    pub fn with_quiesce_ns(mut self, ns: u64) -> Self {
+        self.quiesce_ns = ns;
+        self
+    }
 }
 
 /// Read a `thresholds-v1` artifact from the path in
@@ -254,6 +271,15 @@ fn obs_window_from_env() -> u32 {
     std::env::var("GDR_SHMEM_OBS_WINDOW_US")
         .ok()
         .and_then(|v| v.parse::<u32>().ok())
+        .unwrap_or(0)
+}
+
+/// Read `GDR_SHMEM_QUIESCE_NS`; unset, unparsable or zero means 0
+/// (quiesce watchdog off).
+fn quiesce_from_env() -> u64 {
+    std::env::var("GDR_SHMEM_QUIESCE_NS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
         .unwrap_or(0)
 }
 

@@ -22,10 +22,14 @@ pub enum TransferError {
         /// Total attempts made.
         attempts: u32,
     },
-    /// The completion did not arrive within the plan's per-op timeout.
+    /// The completion did not arrive within the plan's per-op timeout
+    /// (or the [`crate::RuntimeConfig::quiesce_ns`] watchdog deadline).
     /// The transfer may still be in flight: destination bytes can land
-    /// after this error is returned.
-    Timeout { after_ns: u64 },
+    /// after this error is returned. `diag` carries the watchdog's
+    /// diagnostic dump — the stuck op's token and protocol plus the
+    /// engine's blocked-task snapshot — and is empty when no dump was
+    /// taken.
+    Timeout { after_ns: u64, diag: String },
     /// A chunked transfer exhausted the per-chunk retry budget part-way
     /// through: `delivered` of `total` bytes reached the destination.
     /// Delivered chunks are final (chunk replay is idempotent and
@@ -46,8 +50,12 @@ impl std::fmt::Display for TransferError {
                 f,
                 "transient fault persisted: {attempts} attempts all failed (last: {kind})"
             ),
-            TransferError::Timeout { after_ns } => {
-                write!(f, "operation timed out after {after_ns} ns of virtual time")
+            TransferError::Timeout { after_ns, diag } => {
+                write!(f, "operation timed out after {after_ns} ns of virtual time")?;
+                if !diag.is_empty() {
+                    write!(f, "\n{diag}")?;
+                }
+                Ok(())
             }
             TransferError::PartialDelivery { delivered, total } => write!(
                 f,
@@ -82,8 +90,16 @@ mod tests {
         };
         assert!(e.to_string().contains("cqe-flush-err"));
         assert!(e.to_string().contains("5 attempts"));
-        let t = TransferError::Timeout { after_ns: 1_000 };
+        let t = TransferError::Timeout {
+            after_ns: 1_000,
+            diag: String::new(),
+        };
         assert!(t.to_string().contains("1000 ns"));
+        let t = TransferError::Timeout {
+            after_ns: 1_000,
+            diag: "op 0x1 (direct-gdr) stuck".into(),
+        };
+        assert!(t.to_string().contains("op 0x1 (direct-gdr)"));
         let p = TransferError::PartialDelivery {
             delivered: 1_048_576,
             total: 4_194_304,

@@ -192,6 +192,46 @@ impl HealthMonitor {
             BreakerState::Open { until_ns } if now_ns < until_ns
         )
     }
+
+    /// Non-mutating sweep of every breaker still demoted at `now_ns` —
+    /// the chaos campaign's breaker-recovery oracle. Empty for an inert
+    /// monitor and for any instant past the last cooldown.
+    pub fn demoted(&self, now_ns: u64) -> Vec<(usize, Protocol)> {
+        if !self.enabled {
+            return Vec::new();
+        }
+        let g = self.breakers.lock();
+        let mut out = Vec::new();
+        for (node, per_node) in g.iter().enumerate() {
+            for (pi, b) in per_node.iter().enumerate() {
+                if matches!(b.state, BreakerState::Open { until_ns } if now_ns < until_ns) {
+                    out.push((node, Protocol::ALL[pi]));
+                }
+            }
+        }
+        out
+    }
+
+    /// Human-readable snapshot of every non-closed breaker, in
+    /// (node, protocol) order — diagnostic payload for oracle failures.
+    pub fn breaker_states(&self) -> Vec<String> {
+        if !self.enabled {
+            return Vec::new();
+        }
+        let g = self.breakers.lock();
+        let mut out = Vec::new();
+        for (node, per_node) in g.iter().enumerate() {
+            for (pi, b) in per_node.iter().enumerate() {
+                let st = match b.state {
+                    BreakerState::Closed => continue,
+                    BreakerState::Open { until_ns } => format!("open until {until_ns}"),
+                    BreakerState::HalfOpen => "half-open".to_string(),
+                };
+                out.push(format!("node{node}/{}: {st}", Protocol::ALL[pi].name()));
+            }
+        }
+        out
+    }
 }
 
 #[cfg(test)]

@@ -402,6 +402,20 @@ impl ShmemMachine {
         self.pe_state(pe).staging_alloc.lock().allocated()
     }
 
+    /// Every (node, protocol) pair whose health breaker is still demoted
+    /// at virtual time `now_ns` — the campaign's breaker-recovery oracle
+    /// probes this at a quiesce point past the last fault window plus
+    /// cooldown, where it must be empty.
+    pub fn demoted_protocols_at(&self, now_ns: u64) -> Vec<(usize, Protocol)> {
+        self.health.demoted(now_ns)
+    }
+
+    /// Human-readable snapshot of every non-closed health breaker,
+    /// for oracle-violation diagnostics.
+    pub fn breaker_states(&self) -> Vec<String> {
+        self.health.breaker_states()
+    }
+
     /// Record one injected transient fault: tally (Counters+) and a
     /// `fault` instant on the PE's track (Spans, sampled ops).
     pub(crate) fn obs_fault(

@@ -75,7 +75,10 @@ impl ShmemMachine {
             ctx.advance(step);
             waited += step;
             if waited >= SimDuration::from_ns(STALL_NS) {
-                return Err(TransferError::Timeout { after_ns: STALL_NS });
+                return Err(TransferError::Timeout {
+                    after_ns: STALL_NS,
+                    diag: String::new(),
+                });
             }
         }
     }

@@ -204,40 +204,37 @@ impl ShmemMachine {
     }
 
     /// Wait until `comp` reaches `threshold`, bounded by the fault
-    /// plan's per-op virtual-time timeout (unbounded when the plan sets
-    /// none). On timeout the completion stays outstanding: the op is
-    /// poisoned and reported as a typed error instead of hanging the
-    /// simulation forever.
+    /// plan's per-op virtual-time timeout or — when the plan sets none —
+    /// the config's quiesce-watchdog deadline (unbounded when both are
+    /// zero). On timeout the completion stays outstanding: the op is
+    /// poisoned and reported as a typed error carrying the stuck op's
+    /// token, protocol and the engine's blocked-task dump, instead of
+    /// hanging the simulation forever.
     pub(crate) fn wait_with_timeout(
         self: &Arc<Self>,
         ctx: &TaskCtx,
         comp: &Completion,
         threshold: u64,
+        token: OpToken,
+        proto: Protocol,
     ) -> Result<(), TransferError> {
-        let timeout_ns = self.cfg().faults.op_timeout_ns;
-        if timeout_ns == 0 {
-            ctx.wait_threshold(comp, threshold);
-            return Ok(());
-        }
-        // Race the real completion against a deadline event; whichever
-        // fires first wakes the waiter exactly once per signal source.
-        let fired = Completion::new();
-        ctx.with_sched(|s| {
-            let f1 = fired.clone();
-            s.call_on(comp, threshold, Box::new(move |s| s.signal(&f1, 1)));
-            let f2 = fired.clone();
-            s.schedule_in(
-                SimDuration::from_ns(timeout_ns),
-                Box::new(move |s| s.signal(&f2, 1)),
-            );
-        });
-        ctx.wait_threshold(&fired, 1);
-        if comp.is_done(threshold) {
-            Ok(())
-        } else {
-            Err(TransferError::Timeout {
-                after_ns: timeout_ns,
-            })
+        let plan_ns = self.cfg().faults.op_timeout_ns;
+        let timeout_ns = if plan_ns > 0 { plan_ns } else { self.cfg().quiesce_ns };
+        match ctx.wait_threshold_deadline(comp, threshold, SimDuration::from_ns(timeout_ns)) {
+            Ok(()) => Ok(()),
+            Err(dump) => {
+                self.obs().fault_tally_at("timeout", proto.name(), ctx.now());
+                Err(TransferError::Timeout {
+                    after_ns: timeout_ns,
+                    diag: format!(
+                        "op {:#x} ({}) stuck at completion>={threshold} \
+                         (have {} of {threshold})\n{dump}",
+                        token.id,
+                        proto.name(),
+                        comp.peek(),
+                    ),
+                })
+            }
         }
     }
 
@@ -302,7 +299,7 @@ impl ShmemMachine {
         if nbi {
             self.pe_state(me).track(comp.local);
         } else {
-            self.wait_with_timeout(ctx, &comp.local, 1)?;
+            self.wait_with_timeout(ctx, &comp.local, 1, token, proto)?;
         }
         self.flow_end_on(ctx, &comp.remote, 1, self.pe_track(target), token);
         self.pe_state(me).track(comp.remote);
@@ -444,7 +441,7 @@ impl ShmemMachine {
                     return Err(e);
                 }
             };
-            if let Err(e) = self.wait_with_timeout(ctx, &comp.local, 1) {
+            if let Err(e) = self.wait_with_timeout(ctx, &comp.local, 1, token, Protocol::DirectGdr) {
                 st.leave_library();
                 return Err(e);
             }
@@ -573,7 +570,7 @@ impl ShmemMachine {
         let done = self.post_with_retry(ctx, me, proto, token, || {
             self.ib().post_rdma_read(ctx, me, dst, rkey, src, len)
         })?;
-        self.wait_with_timeout(ctx, &done, 1)
+        self.wait_with_timeout(ctx, &done, 1, token, proto)
     }
 
     fn count(&self, me: ProcId, p: Protocol) {
@@ -1349,7 +1346,7 @@ impl ShmemMachine {
                 return Err(e);
             }
         };
-        if let Err(e) = self.wait_with_timeout(ctx, &res.done, 1) {
+        if let Err(e) = self.wait_with_timeout(ctx, &res.done, 1, token, Protocol::HwAtomic) {
             st.leave_library();
             return Err(e);
         }

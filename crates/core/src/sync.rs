@@ -215,6 +215,7 @@ impl ShmemMachine {
             if timeout_ns > 0 && ctx.now().0 >= deadline {
                 return Err(TransferError::Timeout {
                     after_ns: timeout_ns,
+                    diag: String::new(),
                 });
             }
             ctx.advance(interval);

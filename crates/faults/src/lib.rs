@@ -423,6 +423,158 @@ impl FaultPlan {
     }
 }
 
+/// Emit the plan in the exact `GDR_SHMEM_FAULTS` grammar that
+/// [`FaultPlan::parse`] reads: `seed=` always (replay identity), every
+/// other scalar only when it differs from [`FaultPlan::default`], then
+/// the window lists in declaration order. Because `parse` starts from
+/// the default plan, `parse(&plan.to_string()) == plan` holds for any
+/// plan built through the builders — the round trip the shrinker and
+/// the committed repro files depend on.
+impl std::fmt::Display for FaultPlan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let d = FaultPlan::default();
+        write!(f, "seed={}", self.seed)?;
+        if self.cqe_permille != d.cqe_permille {
+            write!(f, " cqe={}", self.cqe_permille)?;
+        }
+        if self.cqe_detect_ns != d.cqe_detect_ns {
+            write!(f, " cqe-detect={}", self.cqe_detect_ns)?;
+        }
+        if self.max_retries != d.max_retries {
+            write!(f, " retries={}", self.max_retries)?;
+        }
+        if self.backoff_base_ns != d.backoff_base_ns {
+            write!(f, " backoff={}", self.backoff_base_ns)?;
+        }
+        if self.backoff_cap_ns != d.backoff_cap_ns {
+            write!(f, " backoff-cap={}", self.backoff_cap_ns)?;
+        }
+        if self.op_timeout_ns != d.op_timeout_ns {
+            write!(f, " timeout={}", self.op_timeout_ns)?;
+        }
+        if self.gdr_disabled_nodes != d.gdr_disabled_nodes {
+            write!(f, " gdr-off={}", self.gdr_disabled_nodes)?;
+        }
+        if self.late_permille != d.late_permille {
+            write!(f, " late={}", self.late_permille)?;
+        }
+        if self.late_extra_ns != d.late_extra_ns {
+            write!(f, " late-extra={}", self.late_extra_ns)?;
+        }
+        for w in self.link_windows() {
+            let scope = match w.scope {
+                LinkScope::HcaTx => "hca",
+                LinkScope::GpuPcie => "pcie",
+            };
+            write!(f, " link={scope}:")?;
+            if w.index == ALL {
+                write!(f, "*")?;
+            } else {
+                write!(f, "{}", w.index)?;
+            }
+            write!(f, ":{}:{}:{}", w.start_ns, w.end_ns, w.bw_permille)?;
+        }
+        for s in self.proxy_stalls() {
+            write!(f, " stall={}:{}:{}:{}", s.node, s.start_ns, s.end_ns, s.extra_ns)?;
+        }
+        for b in self.burst_windows() {
+            write!(f, " burst={}:{}", b.start_ns, b.end_ns)?;
+        }
+        if (self.health_window_ns, self.health_threshold, self.health_cooldown_ns)
+            != (d.health_window_ns, d.health_threshold, d.health_cooldown_ns)
+        {
+            write!(
+                f,
+                " health={}:{}:{}",
+                self.health_window_ns, self.health_threshold, self.health_cooldown_ns
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Virtual-time horizon of generated plans: every window a generated
+/// plan contains ends before this instant, so campaign workloads that
+/// idle past it observe a fault-free fabric (the breaker-recovery
+/// oracle depends on faults actually ending).
+pub const GEN_HORIZON_NS: u64 = 2_000_000;
+
+impl FaultPlan {
+    /// Enumerate the `trial`-th randomized plan of a chaos campaign: a
+    /// pure function of `(campaign_seed, trial)` (stateless [`mix`]
+    /// draws, no RNG object), covering every fault dimension the plan
+    /// grammar can express — CQE error rates, detection latency, retry
+    /// and backoff budgets, per-op timeouts, GDR capability masks, late
+    /// completions, link degradation/blackout windows, proxy stalls,
+    /// correlated bursts, and the health-breaker shape. All windows end
+    /// inside [`GEN_HORIZON_NS`] and every magnitude is bounded so a
+    /// generated plan can delay and fail traffic but never wedge a
+    /// workload past its quiesce deadline.
+    pub fn generate(campaign_seed: u64, trial: u64) -> FaultPlan {
+        // dimension draws live on their own salted streams so adding a
+        // dimension never reshuffles the existing ones
+        let d = |salt: u64| mix(campaign_seed, 0x4745_4E00 + salt, trial);
+        let mut p = FaultPlan::default().with_seed(d(1));
+        // transient CQE errors: off in ~2/7 of plans, else up to 400‰
+        let cqe = [0u16, 0, 25, 60, 120, 250, 400][(d(2) % 7) as usize];
+        if cqe > 0 {
+            p = p.with_cqe_errors(cqe);
+        }
+        p.cqe_detect_ns = 1_000 + d(3) % 7_000;
+        let retries = (d(4) % 6) as u32; // 0..=5
+        let base = 500 + d(5) % 3_500;
+        p = p.with_retry(retries, base, base * (4 + d(6) % 28));
+        if d(7) % 10 < 3 {
+            p.op_timeout_ns = 100_000 + d(8) % 1_900_000;
+        }
+        if d(9) % 4 == 0 {
+            // capability fault on node 0, node 1, or both
+            p.gdr_disabled_nodes = 1 + d(10) % 3;
+        }
+        if d(11) % 3 == 0 {
+            p = p.with_late_completions((10 + d(12) % 190) as u16, 5_000 + d(13) % 45_000);
+        }
+        for i in 0..d(14) % 3 {
+            let start = d(20 + i * 4) % (GEN_HORIZON_NS * 3 / 4);
+            let scope = if d(21 + i * 4) & 1 == 0 {
+                LinkScope::HcaTx
+            } else {
+                LinkScope::GpuPcie
+            };
+            let index = match d(22 + i * 4) % 3 {
+                0 => 0,
+                1 => 1,
+                _ => ALL,
+            };
+            p = p.with_link_window(LinkWindow {
+                scope,
+                index,
+                start_ns: start,
+                end_ns: start + 50_000 + d(23 + i * 4) % 450_000,
+                bw_permille: [0u16, 250, 500][(d(24 + i * 4) % 3) as usize],
+            });
+        }
+        if d(40) % 3 == 0 {
+            let start = d(41) % 1_000_000;
+            p = p.with_proxy_stall(ProxyStall {
+                node: (d(42) % 2) as u32,
+                start_ns: start,
+                end_ns: start + 100_000 + d(43) % 300_000,
+                extra_ns: 50_000 + d(44) % 250_000,
+            });
+        }
+        for i in 0..d(50) % 3 {
+            let start = d(60 + i * 2) % (GEN_HORIZON_NS * 3 / 4);
+            p = p.with_burst_window(start, start + 20_000 + d(61 + i * 2) % 130_000);
+        }
+        p.with_health(
+            50_000 + d(70) % 250_000,
+            2 + (d(71) % 4) as u32,
+            100_000 + d(72) % 500_000,
+        )
+    }
+}
+
 fn parse_link_window(v: &str) -> LinkWindow {
     let parts: Vec<&str> = v.split(':').collect();
     assert!(
@@ -680,5 +832,107 @@ mod tests {
             assert_ne!(w[0], w[1]);
             assert!((w[0] ^ w[1]).count_ones() > 8, "weak diffusion");
         }
+    }
+
+    #[test]
+    fn display_round_trips_through_parse() {
+        // property over the campaign generator's whole plan space: the
+        // shrinker serializes candidates through this round trip, so a
+        // single lossy field would silently change what gets replayed
+        for trial in 0..512 {
+            let p = FaultPlan::generate(0xC0FFEE, trial);
+            let s = p.to_string();
+            assert_eq!(FaultPlan::parse(&s), p, "lossy grammar for {s:?}");
+        }
+        // defaults collapse to the bare seed token
+        assert_eq!(FaultPlan::default().to_string(), "seed=1");
+        assert_eq!(FaultPlan::parse("seed=1"), FaultPlan::default());
+        // hand-built corners: wildcard link index, every window kind
+        let p = FaultPlan::default()
+            .with_seed(99)
+            .with_cqe_errors(333)
+            .with_late_completions(50, 7_000)
+            .with_gdr_disabled(0)
+            .with_gdr_disabled(2)
+            .with_op_timeout_ns(1_500_000)
+            .with_retry(0, 900, 900)
+            .with_link_window(LinkWindow {
+                scope: LinkScope::GpuPcie,
+                index: ALL,
+                start_ns: 10,
+                end_ns: 20,
+                bw_permille: 0,
+            })
+            .with_proxy_stall(ProxyStall { node: 1, start_ns: 5, end_ns: 9, extra_ns: 4 })
+            .with_burst_window(100, 200)
+            .with_health(1, 1, 1);
+        assert_eq!(FaultPlan::parse(&p.to_string()), p);
+    }
+
+    #[test]
+    fn generate_is_pure_and_trial_sensitive() {
+        for trial in [0u64, 1, 17, 4096] {
+            assert_eq!(
+                FaultPlan::generate(7, trial),
+                FaultPlan::generate(7, trial),
+                "generate must be a pure function of (seed, trial)"
+            );
+        }
+        let distinct: std::collections::HashSet<String> =
+            (0..64).map(|t| FaultPlan::generate(7, t).to_string()).collect();
+        assert!(distinct.len() > 48, "trials barely vary: {}", distinct.len());
+        assert_ne!(FaultPlan::generate(7, 0), FaultPlan::generate(8, 0));
+        // every generated window must close before the campaign horizon
+        for trial in 0..256 {
+            let p = FaultPlan::generate(3, trial);
+            for w in p.link_windows() {
+                assert!(w.end_ns <= GEN_HORIZON_NS);
+            }
+            for s in p.proxy_stalls() {
+                assert!(s.end_ns <= GEN_HORIZON_NS);
+            }
+            for b in p.burst_windows() {
+                assert!(b.end_ns <= GEN_HORIZON_NS);
+            }
+        }
+    }
+
+    #[test]
+    fn draws_are_pure_under_any_call_order() {
+        // satellite: identical (seed, stream, counter) triples must
+        // yield identical draws regardless of evaluation order or
+        // interleaving across posters — the plan holds no hidden state
+        let p = FaultPlan::default()
+            .with_seed(1234)
+            .with_cqe_errors(400)
+            .with_late_completions(300, 10_000)
+            .with_retry(6, 1_000, 32_000);
+        let streams = [0u64, 1, 7, 3 | SYNC_STREAM];
+        let mut forward = Vec::new();
+        for &s in &streams {
+            for c in 0..32u64 {
+                forward.push((
+                    p.cqe_fails(s, c),
+                    p.completion_late(s, c),
+                    p.backoff_ns(c, (c % 6) as u32),
+                ));
+            }
+        }
+        // reversed order, interleaved across streams, with unrelated
+        // draws injected between every probe
+        let mut backward = vec![None; forward.len()];
+        for c in (0..32u64).rev() {
+            for (si, &s) in streams.iter().enumerate().rev() {
+                let _ = p.cqe_fails(s ^ 0xDEAD, c + 1000); // noise draw
+                backward[si * 32 + c as usize] = Some((
+                    p.cqe_fails(s, c),
+                    p.completion_late(s, c),
+                    p.backoff_ns(c, (c % 6) as u32),
+                ));
+                let _ = p.completion_late(s.wrapping_add(9), c); // noise
+            }
+        }
+        let backward: Vec<_> = backward.into_iter().map(|x| x.unwrap()).collect();
+        assert_eq!(forward, backward, "draws must be order-independent");
     }
 }

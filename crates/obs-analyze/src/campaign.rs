@@ -1,0 +1,120 @@
+//! Chaos-campaign summary rendering (`gdrchaos-campaign-v1`).
+//!
+//! The campaign engine (`crates/chaos`) accumulates per-trial results
+//! into a [`CampaignSummary`]; this module owns the deterministic text
+//! rendering so the summary sits next to the other CI-diffable report
+//! formats (same rules: BTreeMap iteration order, no wall-clock, no
+//! floats). Two runs of the same campaign seed must render
+//! byte-identical summaries — CI `cmp`s them.
+
+use std::collections::BTreeMap;
+
+/// Schema tag of the rendered summary (first line).
+pub const CAMPAIGN_SCHEMA: &str = "gdrchaos-campaign-v1";
+
+/// One invariant-oracle violation, as the campaign recorder saw it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CampaignViolation {
+    /// Trial index inside the campaign.
+    pub trial: u64,
+    /// Oracle that fired (e.g. `byte-correctness`, `staging-leak`).
+    pub oracle: String,
+    /// `GDR_SHMEM_FAULTS` grammar of the plan that produced it.
+    pub plan: String,
+    /// One-line diagnostic.
+    pub detail: String,
+}
+
+/// Aggregated result of a whole campaign.
+#[derive(Clone, Debug, Default)]
+pub struct CampaignSummary {
+    pub campaign_seed: u64,
+    pub trials: u64,
+    /// Trials run per workload name.
+    pub workloads: BTreeMap<String, u64>,
+    /// Every oracle the campaign checked (sorted on render).
+    pub oracles: Vec<String>,
+    pub violations: Vec<CampaignViolation>,
+    /// Fault/retry counter totals summed across all trials,
+    /// keyed by (what, protocol).
+    pub fault_counters: BTreeMap<(String, String), u64>,
+}
+
+impl CampaignSummary {
+    /// Deterministic text rendering; the `violations:` count line is
+    /// what CI greps, the whole document is what CI `cmp`s across two
+    /// runs of the same seed.
+    pub fn render(&self) -> String {
+        let mut s = format!("== gdrchaos campaign summary ({CAMPAIGN_SCHEMA}) ==\n");
+        s.push_str(&format!("campaign-seed: {}\n", self.campaign_seed));
+        s.push_str(&format!("trials: {}\n", self.trials));
+        s.push_str("workloads:");
+        for (w, n) in &self.workloads {
+            s.push_str(&format!(" {w}={n}"));
+        }
+        s.push('\n');
+        let mut oracles = self.oracles.clone();
+        oracles.sort();
+        s.push_str(&format!("oracles: {}\n", oracles.join(", ")));
+        s.push_str(&format!("violations: {}\n", self.violations.len()));
+        for v in &self.violations {
+            s.push_str(&format!(
+                "  trial {} [{}] plan \"{}\": {}\n",
+                v.trial, v.oracle, v.plan, v.detail
+            ));
+        }
+        s.push_str("fault-counters:\n");
+        for ((what, proto), n) in &self.fault_counters {
+            s.push_str(&format!("  {what}/{proto}: {n}\n"));
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_is_deterministic_and_ordered() {
+        let mut c = CampaignSummary {
+            campaign_seed: 7,
+            trials: 3,
+            ..Default::default()
+        };
+        c.workloads.insert("rma-random".into(), 2);
+        c.workloads.insert("collectives".into(), 1);
+        c.oracles = vec!["staging-leak".into(), "byte-correctness".into()];
+        c.fault_counters.insert(("injected".into(), "direct-gdr".into()), 5);
+        c.fault_counters.insert(("demote".into(), "direct-gdr".into()), 1);
+        let a = c.render();
+        let b = c.render();
+        assert_eq!(a, b);
+        assert!(a.starts_with("== gdrchaos campaign summary (gdrchaos-campaign-v1) ==\n"));
+        assert!(a.contains("violations: 0\n"));
+        // BTreeMap ordering: demote before injected, collectives before rma
+        let demote = a.find("demote/direct-gdr").unwrap();
+        let injected = a.find("injected/direct-gdr").unwrap();
+        assert!(demote < injected);
+        // oracle list is sorted regardless of insertion order
+        assert!(a.contains("oracles: byte-correctness, staging-leak\n"));
+    }
+
+    #[test]
+    fn violations_render_with_plan_and_detail() {
+        let c = CampaignSummary {
+            campaign_seed: 1,
+            trials: 1,
+            violations: vec![CampaignViolation {
+                trial: 0,
+                oracle: "byte-correctness".into(),
+                plan: "seed=1 cqe=450".into(),
+                detail: "cell 3 mismatch".into(),
+            }],
+            ..Default::default()
+        };
+        let r = c.render();
+        assert!(r.contains("violations: 1\n"));
+        assert!(r.contains("trial 0 [byte-correctness] plan \"seed=1 cqe=450\": cell 3 mismatch"));
+    }
+}

@@ -18,6 +18,7 @@
 //! byte-identical text and JSON reports (BTreeMap iteration, fixed
 //! float formatting), so reports can be `cmp`'d in CI.
 
+pub mod campaign;
 pub mod crossover;
 pub mod diff;
 pub mod report;
@@ -25,6 +26,7 @@ pub mod timeline;
 pub mod trace;
 pub mod whatif;
 
+pub use campaign::{CampaignSummary, CampaignViolation, CAMPAIGN_SCHEMA};
 pub use crossover::{crossover, CrossoverPoint, CrossoverReport, CurvePoint};
 pub use diff::{
     diff, ContentionRow, DiffReport, DiffRow, HealthRow, PartialRow, RecoveryRow, SloRow,

@@ -30,6 +30,12 @@
 //! trace deterministically contains `demote`, `probe` and `promote`
 //! instants, which CI greps for and which `gdrprof` folds into the
 //! health report section.
+//!
+//! `--plan "<grammar>"` replays an **arbitrary** `GDR_SHMEM_FAULTS`
+//! plan — typically a minimal repro shrunk by `gdrchaos` — under a
+//! fixed mixed workload (pipelined D-D put plus a host-put/get tail).
+//! The plan it ran under is echoed on stderr; the trace on stdout-path
+//! is byte-identical across runs of the same grammar, which CI `cmp`s.
 
 use faults::FaultPlan;
 use obs::ObsLevel;
@@ -37,28 +43,48 @@ use pcie_sim::ClusterSpec;
 use shmem_gdr::{Design, Domain, RuntimeConfig, ShmemMachine, SimDuration};
 use std::process::ExitCode;
 
+const USAGE: &str =
+    "usage: chaos_trace OUT_TRACE.json [--degraded | --pipeline | --burst | --plan \"<grammar>\"]";
+
 fn main() -> ExitCode {
     let mut out = None;
     let mut degraded = false;
     let mut pipeline = false;
     let mut burst = false;
-    for a in std::env::args().skip(1) {
-        match a.as_str() {
+    let mut grammar: Option<String> = None;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
             "--degraded" => degraded = true,
             "--pipeline" => pipeline = true,
             "--burst" => burst = true,
-            _ if out.is_none() => out = Some(a),
+            "--plan" => {
+                i += 1;
+                match args.get(i) {
+                    Some(g) => grammar = Some(g.clone()),
+                    None => {
+                        eprintln!("{USAGE}");
+                        return ExitCode::from(1);
+                    }
+                }
+            }
+            a if out.is_none() => out = Some(a.to_string()),
             _ => {
-                eprintln!("usage: chaos_trace OUT_TRACE.json [--degraded | --pipeline | --burst]");
+                eprintln!("{USAGE}");
                 return ExitCode::from(1);
             }
         }
+        i += 1;
     }
     let Some(out) = out else {
-        eprintln!("usage: chaos_trace OUT_TRACE.json [--degraded | --pipeline | --burst]");
+        eprintln!("{USAGE}");
         return ExitCode::from(1);
     };
 
+    if let Some(grammar) = grammar {
+        return plan_replay_trace(&out, &grammar);
+    }
     if pipeline {
         return pipeline_fault_trace(&out);
     }
@@ -175,6 +201,50 @@ fn pipeline_fault_trace(out: &str) -> ExitCode {
 /// deterministically carries `window-snapshot` records and
 /// `slo-violation` instants only inside the burst window — the input
 /// for the `gdrprof timeline` CI gates.
+/// The `--plan` mode: replay an arbitrary `GDR_SHMEM_FAULTS` grammar
+/// string (typically a `gdrchaos` minimal repro) under a fixed mixed
+/// workload. The workload covers the fault surfaces every plan
+/// dimension can reach — a pipelined D-D put (chunk retries, partial
+/// delivery, proxy stalls), a run of host-RDMA puts (CQE retry path,
+/// link windows, bursts) and a get tail — while tolerating every typed
+/// error, so any plan replays to a deterministic trace rather than an
+/// abort. The effective plan (post-clamping) is printed on stderr.
+fn plan_replay_trace(out: &str, grammar: &str) -> ExitCode {
+    let plan = FaultPlan::parse(grammar);
+    eprintln!("chaos_trace: plan: {plan}");
+    let cfg = RuntimeConfig::tuned(Design::EnhancedGdr)
+        .with_faults(plan)
+        .with_quiesce_ns(200_000_000)
+        .with_obs(ObsLevel::Spans);
+    let m = ShmemMachine::build(ClusterSpec::internode_pair(), cfg);
+    m.run(|pe| {
+        let pipe_len = 2u64 << 20;
+        let ddest = pe.shmalloc(pipe_len, Domain::Gpu);
+        let hdest = pe.shmalloc(64 << 10, Domain::Host);
+        pe.barrier_all();
+        if pe.my_pe() == 0 {
+            let dsrc = pe.malloc_dev(pipe_len);
+            let hsrc = pe.malloc_host(64 << 10);
+            // pipelined D-D put: chunk-level retry/partial surface
+            let _ = pe.try_putmem(ddest, dsrc, pipe_len, 1);
+            pe.quiet();
+            // host-RDMA cadence: per-op CQE retry surface
+            for i in 0..12u64 {
+                let _ = pe.try_putmem(hdest.add(4096 * i), hsrc, 4096, 1);
+            }
+            pe.quiet();
+            let _ = pe.try_getmem(hsrc, hdest, 8192, 1);
+            pe.quiet();
+        }
+        pe.barrier_all();
+    });
+    if let Err(e) = std::fs::write(out, m.obs().chrome_trace()) {
+        eprintln!("chaos_trace: cannot write {out}: {e}");
+        return ExitCode::from(2);
+    }
+    ExitCode::SUCCESS
+}
+
 fn burst_fault_trace(out: &str) -> ExitCode {
     let seed = std::env::var("GDR_CHAOS_BURST_SEED")
         .ok()

@@ -311,6 +311,45 @@ impl TaskCtx {
         self.wait_threshold(c, 1);
     }
 
+    /// Block until `c` reaches `threshold` or virtual time advances by
+    /// `timeout`, whichever comes first — the engine-level quiesce
+    /// watchdog. Returns `Ok(())` if the threshold was reached and
+    /// `Err(dump)` with a [`Sim::blocked_dump`] diagnostic if the
+    /// deadline fired first. A zero `timeout` degrades to a plain
+    /// [`TaskCtx::wait_threshold`], keeping unwatched runs' event order
+    /// byte-identical.
+    ///
+    /// The deadline is a real scheduled event, so a completion that
+    /// never arrives (a lost CQE with retries disabled) keeps the event
+    /// heap non-empty: the engine reaches the deadline and hands back a
+    /// typed failure instead of tripping the virtual-time deadlock
+    /// panic. On timeout the threshold waiter attached to `c` stays
+    /// registered and fires harmlessly if the completion lands later.
+    pub fn wait_threshold_deadline(
+        &self,
+        c: &Completion,
+        threshold: u64,
+        timeout: SimDuration,
+    ) -> Result<(), String> {
+        if timeout.is_zero() {
+            self.wait_threshold(c, threshold);
+            return Ok(());
+        }
+        let fired = Completion::new();
+        self.with_sched(|s| {
+            let f1 = fired.clone();
+            s.call_on(c, threshold, Box::new(move |s| s.signal(&f1, 1)));
+            let f2 = fired.clone();
+            s.schedule_in(timeout, Box::new(move |s| s.signal(&f2, 1)));
+        });
+        self.wait_threshold(&fired, 1);
+        if c.is_done(threshold) {
+            Ok(())
+        } else {
+            Err(self.sim.blocked_dump())
+        }
+    }
+
     /// Run a closure with the scheduler (engine lock held): the doorway for
     /// hardware models invoked from PE context.
     pub fn with_sched<R>(&self, f: impl FnOnce(&mut Sched<'_>) -> R) -> R {
@@ -346,6 +385,25 @@ impl Sim {
     /// Engine counters so far.
     pub fn stats(&self) -> EngineStats {
         self.sh.core.lock().stats
+    }
+
+    /// Diagnostic snapshot of every blocked task's wait reason plus the
+    /// pending-event count — what a quiesce-watchdog timeout reports so
+    /// a stuck wait names its suspects instead of just timing out.
+    pub fn blocked_dump(&self) -> String {
+        let guard = self.sh.core.lock();
+        let mut s = format!(
+            "blocked tasks at t={} ({} events pending):\n",
+            guard.now,
+            guard.events.len()
+        );
+        for (i, t) in guard.tasks.iter().enumerate() {
+            if t.alive && !t.ready && !t.running {
+                let why = t.wait_reason.as_deref().unwrap_or("<unknown>");
+                s.push_str(&format!("  task{i}: waiting on {why}\n"));
+            }
+        }
+        s
     }
 
     /// Run a closure with the scheduler (engine lock held).
@@ -675,6 +733,62 @@ mod tests {
             }
         });
         assert_eq!(out[0], 9);
+    }
+
+    #[test]
+    fn deadline_wait_times_out_on_lost_completion() {
+        // a completion that is never signalled: without the deadline
+        // this would be the virtual-time deadlock panic; with it the
+        // task gets a typed Err carrying the blocked-task dump
+        let sim = Sim::new();
+        let c = Completion::new();
+        let out = sim.run(1, move |ctx| {
+            let r = ctx.wait_threshold_deadline(&c, 1, SimDuration::from_us(50));
+            (r, ctx.now().as_us_f64() as u64)
+        });
+        let (r, t) = out[0].clone();
+        assert_eq!(t, 50, "deadline must advance the clock to exactly timeout");
+        let dump = r.expect_err("lost completion must time out");
+        assert!(dump.contains("events pending"), "dump was {dump:?}");
+    }
+
+    #[test]
+    fn deadline_wait_succeeds_before_timeout() {
+        let sim = Sim::new();
+        let c = Completion::new();
+        let c2 = c.clone();
+        let out = sim.run(2, move |ctx| {
+            if ctx.id().0 == 0 {
+                let r = ctx.wait_threshold_deadline(&c2, 2, SimDuration::from_us(100));
+                assert!(r.is_ok());
+                ctx.now().as_us_f64() as u64
+            } else {
+                for _ in 0..2 {
+                    ctx.advance(SimDuration::from_us(3));
+                    ctx.with_sched(|s| s.signal(&c2, 1));
+                }
+                0
+            }
+        });
+        assert_eq!(out[0], 6, "waiter must resume at signal time, not deadline");
+    }
+
+    #[test]
+    fn deadline_wait_zero_timeout_is_plain_wait() {
+        let sim = Sim::new();
+        let c = Completion::new();
+        let c2 = c.clone();
+        let out = sim.run(2, move |ctx| {
+            if ctx.id().0 == 0 {
+                ctx.wait_threshold_deadline(&c2, 1, SimDuration::ZERO).unwrap();
+                ctx.now().as_us_f64() as u64
+            } else {
+                ctx.advance(SimDuration::from_us(4));
+                ctx.with_sched(|s| s.signal(&c2, 1));
+                0
+            }
+        });
+        assert_eq!(out[0], 4);
     }
 
     #[test]

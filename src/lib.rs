@@ -1,5 +1,6 @@
 //! Umbrella crate re-exporting the whole workspace.
 pub use apps_sim as apps;
+pub use chaos;
 pub use faults;
 pub use gpu_sim as gpu;
 pub use ib_sim as ib;

@@ -385,8 +385,49 @@ fn late_completion_past_timeout_is_typed_error() {
         }
     });
     match errs[0] {
-        Some(Err(TransferError::Timeout { after_ns })) => assert_eq!(after_ns, 100_000),
+        Some(Err(TransferError::Timeout { after_ns, .. })) => assert_eq!(after_ns, 100_000),
         ref other => panic!("expected Timeout, got {other:?}"),
+    }
+}
+
+/// The quiesce watchdog: a deliberately-lost completion (every local
+/// completion delayed far past the deadline, retries disabled so
+/// nothing re-posts) must surface as a typed `Timeout` whose diagnostic
+/// names the stuck op's token — never a hang or a deadlock panic. The
+/// plan sets no per-op timeout; the config-level watchdog is the only
+/// bound.
+#[test]
+fn quiesce_watchdog_converts_lost_completion_into_typed_timeout() {
+    let plan = FaultPlan::default()
+        .with_late_completions(1000, 50_000_000)
+        .with_retry(0, 2_000, 64_000);
+    assert_eq!(plan.op_timeout_ns, 0, "watchdog test must rely on quiesce_ns alone");
+    let m = ShmemMachine::build(
+        ClusterSpec::internode_pair(),
+        RuntimeConfig::tuned(Design::EnhancedGdr)
+            .with_faults(plan)
+            .with_quiesce_ns(100_000),
+    );
+    let errs = m.run(|pe| {
+        let dest = pe.shmalloc(64 << 10, Domain::Host);
+        pe.barrier_all();
+        if pe.my_pe() == 0 {
+            let src = pe.malloc_host(64 << 10);
+            Some(pe.try_putmem(dest, src, 64 << 10, 1))
+        } else {
+            None
+        }
+    });
+    match errs[0] {
+        Some(Err(TransferError::Timeout { after_ns, ref diag })) => {
+            assert_eq!(after_ns, 100_000);
+            // PE0's tokens are ((0+1)<<32)|seq: the diagnostic must name
+            // the stuck op and carry the engine's blocked-task dump
+            assert!(diag.contains("op 0x1"), "diag must name the token: {diag}");
+            assert!(diag.contains("stuck at completion>=1"), "diag: {diag}");
+            assert!(diag.contains("events pending"), "diag must embed the dump: {diag}");
+        }
+        ref other => panic!("expected Timeout with diagnostic, got {other:?}"),
     }
 }
 

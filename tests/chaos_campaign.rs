@@ -1,0 +1,122 @@
+//! Campaign-engine suite: the `gdrchaos` chaos campaign end to end.
+//!
+//! The chaos suite (`tests/chaos.rs`) hand-writes fault scenarios; this
+//! suite exercises the *generator* on top: seeded fault-plan fuzzing
+//! across the workload menu, the invariant-oracle registry, and the
+//! delta-debugging shrinker. Everything runs in virtual time, so a
+//! short campaign is both fast and bit-reproducible — the properties
+//! asserted here are the same ones the CI gates `cmp`/grep for.
+
+use gdr_shmem::chaos::{
+    self, fixture_plan, render_repro, run_campaign, run_fixture, run_trial, TrialSpec, Workload,
+};
+use gdr_shmem::faults::{FaultPlan, GEN_HORIZON_NS};
+
+/// A short campaign over generated plans is violation-free and renders
+/// a byte-identical summary on every run of the same seed — the in-repo
+/// version of the two-run CI gate.
+#[test]
+fn short_campaign_two_runs_render_byte_identical_summaries() {
+    let (s1, f1) = run_campaign(7, 48);
+    let (s2, _) = run_campaign(7, 48);
+    assert_eq!(s1.render(), s2.render());
+    assert!(
+        f1.is_empty(),
+        "campaign seed 7 found violations:\n{}",
+        s1.render()
+    );
+    // the menu rotates: every workload appears in 48 trials
+    assert_eq!(s1.workloads.len(), Workload::ALL.len());
+    // generated plans actually inject: the summed counters are nonzero
+    let injected: u64 = s1
+        .fault_counters
+        .iter()
+        .filter(|((what, _), _)| what == "injected")
+        .map(|(_, n)| n)
+        .sum();
+    assert!(injected > 0, "48 generated plans never injected a fault");
+}
+
+/// Different campaign seeds take different trajectories (the fuzzer is
+/// seeded, not fixed).
+#[test]
+fn campaign_seeds_diverge() {
+    let (s1, _) = run_campaign(7, 16);
+    let (s2, _) = run_campaign(8, 16);
+    assert_ne!(s1.render(), s2.render());
+}
+
+/// Generated plans respect the generator horizon: every window the
+/// plan schedules ends by `GEN_HORIZON_NS`, so the breaker-recovery
+/// oracle's "faults are over" probe time is sound.
+#[test]
+fn generated_plans_fit_the_horizon() {
+    for trial in 0..64 {
+        let p = FaultPlan::generate(7, trial);
+        for w in p.link_windows() {
+            assert!(w.end_ns <= GEN_HORIZON_NS);
+        }
+        for s in p.proxy_stalls() {
+            assert!(s.end_ns <= GEN_HORIZON_NS);
+        }
+        for b in p.burst_windows() {
+            assert!(b.end_ns <= GEN_HORIZON_NS);
+        }
+    }
+}
+
+/// The committed known-bad fixture: the plan violates the strict
+/// `no-partial-delivery` oracle, the shrinker strips every noise
+/// dimension, and the rendered repro document matches the committed
+/// golden file byte for byte.
+#[test]
+fn fixture_shrinks_to_committed_golden_repro() {
+    let (failure, minimal, probes) = run_fixture().expect("fixture plan must violate");
+    assert_eq!(failure.oracle, "no-partial-delivery");
+    // the original plan carries five noise dimensions...
+    let original = fixture_plan().to_string();
+    assert!(original.contains("link=") && original.contains("burst="));
+    // ...and none survive shrinking
+    let grammar = minimal.to_string();
+    assert_eq!(grammar, "seed=1 cqe=450 retries=1");
+    assert!(probes > 0);
+
+    let doc = render_repro(&failure, &minimal, probes);
+    let golden = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/golden/chaos_minimal_repro.txt"
+    ))
+    .expect("committed golden repro");
+    assert_eq!(doc, golden, "shrunk repro drifted from the committed golden");
+}
+
+/// The minimal grammar replays byte-identically: parsing the committed
+/// repro line and re-running the trial reproduces the exact violation,
+/// twice.
+#[test]
+fn committed_repro_grammar_replays_byte_identically() {
+    let golden = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/golden/chaos_minimal_repro.txt"
+    ))
+    .expect("committed golden repro");
+    let grammar = golden
+        .lines()
+        .find(|l| !l.starts_with('#'))
+        .expect("repro file carries a bare grammar line");
+    let spec = TrialSpec {
+        campaign_seed: chaos::FIXTURE_SEED,
+        trial: 0,
+        workload: Workload::PipelineDd,
+        plan: FaultPlan::parse(grammar),
+        strict_no_partial: true,
+    };
+    let a = run_trial(&spec);
+    let b = run_trial(&spec);
+    assert_eq!(a.report, b.report);
+    assert!(a
+        .violations
+        .iter()
+        .any(|(oracle, _)| oracle == "no-partial-delivery"));
+    assert_eq!(a.violations, b.violations);
+}
