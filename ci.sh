@@ -251,4 +251,79 @@ cargo run --release -q -p omb --bin chaos_trace "$tmp/replan2.json" --plan "$rep
 cmp "$tmp/replan1.json" "$tmp/replan2.json"
 grep -q '"name":"partial-delivery"' "$tmp/replan1.json"
 
+# Crash-campaign gate: with the crash dimension armed the fuzzing
+# campaign must stay violation-free (the survivor-bytes and
+# view-convergence oracles hold), exercise the full fail-stop
+# lifecycle (pe-dead -> evict -> view-change -> rejoin, plus the
+# rejoin path's half-open probe and promote), and replay
+# byte-identically under its seed.
+cargo run --release -q -p chaos --bin gdrchaos -- run --seed 11 --trials 200 --crash > "$tmp/crash_a.txt"
+cargo run --release -q -p chaos --bin gdrchaos -- run --seed 11 --trials 200 --crash > "$tmp/crash_b.txt"
+cmp "$tmp/crash_a.txt" "$tmp/crash_b.txt"
+grep -q '^violations: 0$' "$tmp/crash_a.txt"
+grep -q 'survivor-bytes' "$tmp/crash_a.txt"
+grep -q 'view-convergence' "$tmp/crash_a.txt"
+for what in pe-dead evict view-change rejoin; do
+    grep -Eq "  $what/membership: [1-9]" "$tmp/crash_a.txt"
+done
+grep -Eq '  probe/host-rdma: [1-9]' "$tmp/crash_a.txt"
+grep -Eq '  promote/host-rdma: [1-9]' "$tmp/crash_a.txt"
+
+# Crash-shrinker gate: the crash fixture plan must violate (a survivor
+# that never checks membership trips the no-peer-dead oracle) and
+# shrink to exactly the committed minimal `crash=` repro.
+set +e
+cargo run --release -q -p chaos --bin gdrchaos -- fixture --crash --repro-out "$tmp/crash_repro.txt" > "$tmp/crash_fixture.txt"
+rc=$?
+set -e
+if [ "$rc" -ne 3 ]; then
+    echo "gdrchaos fixture --crash: expected exit 3 (violation found), got $rc" >&2
+    exit 1
+fi
+cmp "$tmp/crash_repro.txt" tests/golden/chaos_crash_minimal_repro.txt
+grep -q 'shrunk to "seed=1 crash=1:20000:1200000"' "$tmp/crash_fixture.txt"
+# ... and the minimal crash repro replays byte-identically through
+# chaos_trace --plan, landing the fail-stop instant on the trace
+crash_grammar="$(grep -v '^#' "$tmp/crash_repro.txt")"
+cargo run --release -q -p omb --bin chaos_trace "$tmp/crashplan1.json" --plan "$crash_grammar" 2>/dev/null
+cargo run --release -q -p omb --bin chaos_trace "$tmp/crashplan2.json" --plan "$crash_grammar" 2>/dev/null
+cmp "$tmp/crashplan1.json" "$tmp/crashplan2.json"
+grep -q '"name":"pe-dead"' "$tmp/crashplan1.json"
+
+# Membership gate: the crash trace carries the full lifecycle as
+# instants, gdrprof folds them into the membership section with the
+# view-convergence-time metric at exactly the detection bound, and the
+# trace replays byte-identically.
+cargo run --release -q -p omb --bin chaos_trace "$tmp/crash.json" --crash
+for name in pe-dead evict view-change rejoin probe promote; do
+    grep -q "\"name\":\"$name\"" "$tmp/crash.json"
+done
+mout="$(cargo run --release -q -p obs-analyze --bin gdrprof -- analyze "$tmp/crash.json" --json "$tmp/crash_rep.json")"
+grep -q 'membership:' <<<"$mout"
+grep -Eq 'pe-dead 1 +evicts 1 +view-changes 1 +rejoins 1' <<<"$mout"
+grep -q 'view-convergence 150.000us' <<<"$mout"
+grep -q '"membership":{"pe_dead":1' "$tmp/crash_rep.json"
+# a completed crash/rejoin lifecycle self-diffs clean
+cargo run --release -q -p obs-analyze --bin gdrprof -- diff "$tmp/crash_rep.json" "$tmp/crash_rep.json" --threshold 5 >/dev/null
+cargo run --release -q -p omb --bin chaos_trace "$tmp/crash_replay.json" --crash
+cmp "$tmp/crash.json" "$tmp/crash_replay.json"
+
+# Membership-regression gate: the fixture pair holds every latency and
+# fault metric flat while the candidate converges its view slower and
+# leaves an eviction without a rejoin — diff must trip with the
+# membership-specific exit code 7.
+set +e
+cargo run --release -q -p obs-analyze --bin gdrprof -- diff \
+    tests/golden/report_membership_base.json tests/golden/report_membership_regressed.json \
+    --threshold 10 > "$tmp/member.txt"
+rc=$?
+set -e
+if [ "$rc" -ne 7 ]; then
+    echo "gdrprof diff membership gate: expected exit 7, got $rc" >&2
+    exit 1
+fi
+grep -q 'membership (fail-stop view):' "$tmp/member.txt"
+grep -q 'unrecovered' "$tmp/member.txt"
+grep -q 'REGRESSED' "$tmp/member.txt"
+
 echo "ci: OK"

@@ -1,9 +1,9 @@
 //! `gdrchaos` — CLI over the deterministic chaos-campaign engine.
 //!
 //! ```text
-//! gdrchaos run --seed S --trials N [--out FILE] [--shrink]
+//! gdrchaos run --seed S --trials N [--out FILE] [--shrink] [--crash]
 //! gdrchaos replay --plan "<grammar>" --workload W --trial N [--seed S]
-//! gdrchaos fixture [--repro-out FILE]
+//! gdrchaos fixture [--repro-out FILE] [--crash]
 //! ```
 //!
 //! Exit codes:
@@ -16,22 +16,26 @@
 //! |      | expected outcome: the known-bad plan must violate) |
 //!
 //! `run` prints the `gdrchaos-campaign-v1` summary on stdout — two runs
-//! of the same seed are byte-identical, which CI `cmp`s. `replay`
-//! re-executes a single (possibly shrunk) plan and prints the trial
-//! report; the plan it ran under goes to stderr. `fixture` runs the
-//! committed known-bad plan under the strict `no-partial-delivery`
-//! oracle, shrinks the violation, and writes the minimal-repro file.
+//! of the same seed are byte-identical, which CI `cmp`s; `--crash` adds
+//! the fail-stop crash dimension to the generated plans (salted draws,
+//! so crash-free trials stay byte-identical to the base campaign).
+//! `replay` re-executes a single (possibly shrunk) plan and prints the
+//! trial report; the plan it ran under goes to stderr. `fixture` runs
+//! the committed known-bad plan under the strict `no-partial-delivery`
+//! oracle (with `--crash`: the crashed-PE plan under the strict
+//! `no-peer-dead` oracle), shrinks the violation, and writes the
+//! minimal-repro file.
 
-use chaos::{run_campaign, run_fixture, run_trial, shrink, render_repro};
+use chaos::{run_campaign_with, run_crash_fixture, run_fixture, run_trial, shrink, render_repro};
 use chaos::{CampaignFailure, TrialSpec, Workload};
 use faults::FaultPlan;
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: gdrchaos run --seed S --trials N [--out FILE] [--shrink]\n\
+        "usage: gdrchaos run --seed S --trials N [--out FILE] [--shrink] [--crash]\n\
          \x20      gdrchaos replay --plan \"<grammar>\" --workload W --trial N [--seed S]\n\
-         \x20      gdrchaos fixture [--repro-out FILE]"
+         \x20      gdrchaos fixture [--repro-out FILE] [--crash]"
     );
     ExitCode::from(2)
 }
@@ -59,7 +63,8 @@ fn cmd_run(args: &[String]) -> ExitCode {
         return usage();
     };
     let do_shrink = args.iter().any(|a| a == "--shrink");
-    let (summary, failures) = run_campaign(seed, trials);
+    let crash = args.iter().any(|a| a == "--crash");
+    let (summary, failures) = run_campaign_with(seed, trials, crash);
     let mut out = summary.render();
     if do_shrink && !failures.is_empty() {
         // shrink the first few distinct failures to minimal repros
@@ -105,6 +110,7 @@ fn cmd_replay(args: &[String]) -> ExitCode {
         workload,
         plan,
         strict_no_partial: false,
+        strict_no_peer_dead: false,
     };
     let res = run_trial(&spec);
     print!("{}", res.report);
@@ -119,7 +125,12 @@ fn cmd_replay(args: &[String]) -> ExitCode {
 }
 
 fn cmd_fixture(args: &[String]) -> ExitCode {
-    match run_fixture() {
+    let fixture = if args.iter().any(|a| a == "--crash") {
+        run_crash_fixture()
+    } else {
+        run_fixture()
+    };
+    match fixture {
         Some((failure, minimal, probes)) => {
             let CampaignFailure { oracle, detail, plan, .. } = &failure;
             println!("fixture: violation [{oracle}] under plan \"{plan}\": {detail}");

@@ -26,6 +26,17 @@
 //! - **replay-determinism** — re-running a trial reproduces a
 //!   byte-identical trial report (the campaign spot-checks every 16th
 //!   trial).
+//! - **survivor-bytes** — the byte-correctness oracle of a crash trial:
+//!   under a scheduled fail-stop (`crash=` dimension), *survivor*
+//!   memory must still match the success-masked reference — a dead
+//!   peer's typed `PeerDead` failures leave no bytes, in-flight ops at
+//!   the crash instant complete, and sync failures caused purely by the
+//!   crash do not relax the oracle (the membership layer keeps
+//!   survivors deterministic).
+//! - **view-convergence** — every survivor that observed a given PE's
+//!   death reports the *same* eviction epoch, and that epoch matches
+//!   the membership schedule; an undetectable crash (transparent blip)
+//!   must never surface a `PeerDead` at a survivor.
 //!
 //! Any failing plan is handed to [`shrink`]: greedy delta-debugging
 //! over a fixed candidate order (drop windows, halve/zero permilles,
@@ -59,13 +70,15 @@ const BCAST_LEN: u64 = 32 << 10;
 const QUIESCE_NS: u64 = 200_000_000;
 
 /// Every oracle the campaign checks, for the summary header.
-pub const ORACLES: [&str; 6] = [
+pub const ORACLES: [&str; 8] = [
     "breaker-recovery",
     "byte-correctness",
     "counter-consistency",
     "no-hang",
     "replay-determinism",
     "staging-leak",
+    "survivor-bytes",
+    "view-convergence",
 ];
 
 /// The workload menu. One entry runs per trial, picked by seed.
@@ -128,6 +141,12 @@ pub enum Outcome {
     Timeout,
     /// Chunked transfer died mid-flight; delivered chunks are final.
     Partial { delivered: u64, total: u64 },
+    /// The target (or the issuing PE itself) is fail-stopped: the
+    /// membership layer evicted it at `epoch`. Certain — no bytes were
+    /// delivered and none can land later. The carried epoch feeds the
+    /// view-convergence oracle: every survivor must observe the same
+    /// eviction epoch for the same dead PE.
+    PeerDead { pe: u32, epoch: u64 },
 }
 
 impl Outcome {
@@ -142,6 +161,7 @@ impl Outcome {
             Outcome::Failed(k) => (*k).into(),
             Outcome::Timeout => "timeout".into(),
             Outcome::Partial { delivered, total } => format!("partial({delivered}/{total})"),
+            Outcome::PeerDead { pe, epoch } => format!("peer-dead(pe{pe}@e{epoch})"),
         }
     }
 }
@@ -157,6 +177,7 @@ fn classify(r: &Result<(), TransferError>) -> Outcome {
         Err(TransferError::RetriesExhausted { .. }) => Outcome::Failed("retries-exhausted"),
         Err(TransferError::CapabilityDisabled { .. }) => Outcome::Failed("capability-disabled"),
         Err(TransferError::Mr(_)) => Outcome::Failed("mr-error"),
+        Err(TransferError::PeerDead { pe, epoch }) => Outcome::PeerDead { pe: *pe, epoch: *epoch },
     }
 }
 
@@ -419,6 +440,9 @@ pub struct TrialSpec {
     /// The fixture's deliberately re-introduced bug: treat any partial
     /// delivery as an invariant violation (`no-partial-delivery`).
     pub strict_no_partial: bool,
+    /// The crash fixture's deliberately re-introduced bug: an app tier
+    /// that treats any typed `PeerDead` as fatal (`no-peer-dead`).
+    pub strict_no_peer_dead: bool,
 }
 
 /// One trial's outcome: the deterministic report (replay identity) and
@@ -433,7 +457,8 @@ pub struct TrialResult {
 /// Run one workload under one plan in virtual time and evaluate every
 /// oracle. Pure in `spec`: no wall-clock, no global state.
 pub fn run_trial(spec: &TrialSpec) -> TrialResult {
-    let TrialSpec { campaign_seed, trial, workload, plan, strict_no_partial } = *spec;
+    let TrialSpec { campaign_seed, trial, workload, plan, strict_no_partial, strict_no_peer_dead } =
+        *spec;
     let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
         let cfg = RuntimeConfig::tuned(Design::EnhancedGdr)
             .with_faults(plan)
@@ -442,11 +467,37 @@ pub fn run_trial(spec: &TrialSpec) -> TrialResult {
             // campaign summary; keep spans off (trials are many)
             .with_obs(obs::ObsLevel::Counters);
         let m = ShmemMachine::build(ClusterSpec::internode_pair(), cfg);
-        let outs = m.run(|pe| match workload {
-            Workload::RmaRandom => wl_rma_random(pe, campaign_seed, trial),
-            Workload::PipelineDd => wl_pipeline_dd(pe, campaign_seed, trial),
-            Workload::Collectives => wl_collectives(pe, campaign_seed, trial),
-            Workload::ServeGet => wl_serve_get(pe, campaign_seed, trial),
+        // a crash with a detectable rejoin (outage longer than the
+        // detection bound) gets a lifecycle epilogue: the survivor waits
+        // out the outage and probes the rejoined peer, driving the full
+        // evict → rejoin → HalfOpen-probe → promote path inside campaign
+        // trials (crash-free plans take the historic trajectory exactly)
+        let rejoin_crash = plan
+            .crashes()
+            .iter()
+            .copied()
+            .find(|c| c.rejoin_ns != 0 && c.rejoin_ns > c.at_ns + shmem_gdr::DETECT_BOUND_NS);
+        let outs = m.run(move |pe| {
+            let probe_sym = rejoin_crash.map(|_| pe.shmalloc(64, Domain::Host));
+            let mut out = match workload {
+                Workload::RmaRandom => wl_rma_random(pe, campaign_seed, trial),
+                Workload::PipelineDd => wl_pipeline_dd(pe, campaign_seed, trial),
+                Workload::Collectives => wl_collectives(pe, campaign_seed, trial),
+                Workload::ServeGet => wl_serve_get(pe, campaign_seed, trial),
+            };
+            if let (Some(c), Some(sym)) = (rejoin_crash, probe_sym) {
+                let me = pe.my_pe();
+                if me != c.pe as usize {
+                    let now_ns = pe.now().0 / sim_core::PS_PER_NS;
+                    if now_ns <= c.rejoin_ns {
+                        pe.compute(shmem_gdr::SimDuration::from_ns(c.rejoin_ns - now_ns + 1));
+                    }
+                    let src = pe.malloc_host(64);
+                    let res = pe.try_putmem(sym, src, 64, c.pe as usize);
+                    out.ops.push(rec(me, "rejoin-probe len64".into(), None, None, false, classify(&res)));
+                }
+            }
+            out
         });
         (m, outs)
     }));
@@ -492,10 +543,15 @@ pub fn run_trial(spec: &TrialSpec) -> TrialResult {
     }
 
     // ---- oracles ----
-    let relaxed = outs
-        .iter()
-        .flat_map(|o| &o.ops)
-        .any(|op| op.sync && op.outcome != Outcome::Ok);
+    // Sync failures relax the byte oracle (cross-PE ordering is gone) —
+    // except typed PeerDead, whose membership semantics keep survivors
+    // deterministic (the crash trials lean on this: survivor memory
+    // stays checkable even though the dead PE's sync ops failed).
+    let relaxed = outs.iter().flat_map(|o| &o.ops).any(|op| {
+        op.sync
+            && op.outcome != Outcome::Ok
+            && !matches!(op.outcome, Outcome::PeerDead { .. })
+    });
 
     // breaker-recovery: one cooldown past the end of the run, nothing
     // may still be demoted
@@ -553,11 +609,57 @@ pub fn run_trial(spec: &TrialSpec) -> TrialResult {
         }
     }
 
-    // byte-correctness (success-masked reference)
+    // byte-correctness (success-masked reference); on crash trials the
+    // same checks run under the survivor-bytes oracle name against the
+    // survivors' memory only — a detectably-crashed PE's own snapshot
+    // is don't-care (it may have died mid-receive, and fail-stop makes
+    // no promises about a dead process's address space)
+    let byte_oracle_name = if plan.n_crashes > 0 { "survivor-bytes" } else { "byte-correctness" };
+    let dead_pes: u64 = if plan.n_crashes > 0 {
+        let ms = shmem_gdr::Membership::new(&plan, 2);
+        (0..2u32).filter(|&pe| ms.detect_ns(pe).is_some()).map(|pe| 1u64 << pe).sum()
+    } else {
+        0
+    };
     if !relaxed {
-        byte_oracle(&outs, workload, trial, &mut violations);
+        byte_oracle(&outs, workload, trial, byte_oracle_name, dead_pes, &mut violations);
     } else {
         report.push_str("  byte-oracle: relaxed (sync op failed)\n");
+    }
+
+    // view-convergence: all survivor-side PeerDead observations of one
+    // PE must carry the same eviction epoch, and it must match the
+    // membership schedule; a transparent blip must surface nothing.
+    // (Self-reports are skipped: a dead PE's own failures legitimately
+    // carry the epoch at issue time, not its eviction epoch.)
+    if plan.n_crashes > 0 {
+        let ms = shmem_gdr::Membership::new(&plan, 2);
+        let mut observed: BTreeMap<u32, std::collections::BTreeSet<u64>> = BTreeMap::new();
+        for out in &outs {
+            for op in &out.ops {
+                if let Outcome::PeerDead { pe, epoch } = op.outcome {
+                    if op.pe as u32 != pe {
+                        observed.entry(pe).or_default().insert(epoch);
+                    }
+                }
+            }
+        }
+        for (pe, epochs) in &observed {
+            match ms.eviction_epoch(*pe) {
+                None => violations.push((
+                    "view-convergence".into(),
+                    format!("pe{pe}: PeerDead observed for an undetectable crash (blip)"),
+                )),
+                Some(expect) => {
+                    if epochs.len() > 1 || !epochs.contains(&expect) {
+                        violations.push((
+                            "view-convergence".into(),
+                            format!("pe{pe}: observed epochs {epochs:?}, schedule says {expect}"),
+                        ));
+                    }
+                }
+            }
+        }
     }
 
     if strict_no_partial {
@@ -573,17 +675,36 @@ pub fn run_trial(spec: &TrialSpec) -> TrialResult {
         }
     }
 
+    if strict_no_peer_dead {
+        for out in &outs {
+            for op in &out.ops {
+                if let Outcome::PeerDead { pe, epoch } = op.outcome {
+                    violations.push((
+                        "no-peer-dead".into(),
+                        format!("pe{} {}: peer-dead(pe{pe}@e{epoch})", op.pe, op.desc),
+                    ));
+                }
+            }
+        }
+    }
+
     TrialResult { report, violations, fault_counters }
 }
 
-/// The success-masked byte reference for each workload.
+/// The success-masked byte reference for each workload. Reported under
+/// `oracle` — `byte-correctness` normally, `survivor-bytes` on crash
+/// trials (same checks, restricted to survivor-visible memory:
+/// `dead_pes` is the bitmask of detectably-crashed PEs, whose own
+/// memory snapshots are excluded from every check).
 fn byte_oracle(
     outs: &[PeOut],
     workload: Workload,
     trial: u64,
+    oracle: &str,
+    dead_pes: u64,
     violations: &mut Vec<(String, String)>,
 ) {
-    let mut fail = |detail: String| violations.push(("byte-correctness".into(), detail));
+    let mut fail = |detail: String| violations.push((oracle.to_string(), detail));
     // inline get mismatches are violations for every workload
     for out in outs {
         for op in &out.ops {
@@ -595,7 +716,15 @@ fn byte_oracle(
     match workload {
         Workload::RmaRandom => {
             for target in 0..2usize {
+                if dead_pes & (1 << target) != 0 {
+                    continue;
+                }
                 let writer = 1 - target;
+                // a dead writer's completion claims lost their
+                // synchronization point (the survivor snapshots without
+                // barriering with it), so only the zero-fill bound
+                // below stays checkable against this target
+                let writer_dead = dead_pes & (1 << writer) != 0;
                 for dom in 0..2u8 {
                     let bytes = if dom == 0 { &outs[target].put_h } else { &outs[target].put_g };
                     for cell in 0..CELLS {
@@ -615,7 +744,7 @@ fn byte_oracle(
                         let pat = pat_put(trial, writer, dom, cell);
                         let base = (cell * CELL) as usize;
                         let slice = &bytes[base..base + CELL as usize];
-                        if slice[..ok_len as usize].iter().any(|&b| b != pat) {
+                        if !writer_dead && slice[..ok_len as usize].iter().any(|&b| b != pat) {
                             fail(format!(
                                 "pe{target} dom{dom} cell{cell}: delivered prefix ({ok_len}B) \
                                  corrupted (want {pat:#04x})"
@@ -645,11 +774,19 @@ fn byte_oracle(
                     }
                 }
             }
-            if !uncertain && outs[1].ctr != sum {
+            if !uncertain && dead_pes == 0 && outs[1].ctr != sum {
                 fail(format!("atomic counter: have {} want {sum}", outs[1].ctr));
             }
         }
         Workload::PipelineDd => {
+            if dead_pes & 0b10 != 0 {
+                // the receiver fail-stopped: its snapshot is don't-care
+                return;
+            }
+            // a dead sender's Ok/Partial claims lost their sync point
+            // (the survivor snapshots before the in-flight tail lands);
+            // chunk atomicity stays checkable either way
+            let sender_dead = dead_pes & 0b01 != 0;
             let bytes = &outs[1].extra;
             let op = outs[0].ops.iter().find(|o| o.cell.is_none() && !o.sync);
             let Some(op) = op else { return };
@@ -664,12 +801,12 @@ fn byte_oracle(
                 if !full && !empty {
                     fail(format!("chunk {i}: torn (neither all-{pat:#04x} nor all-zero)"));
                 }
-                if op.outcome == Outcome::Ok && !full {
+                if !sender_dead && op.outcome == Outcome::Ok && !full {
                     fail(format!("chunk {i}: op reported ok but chunk not delivered"));
                 }
             }
             if let Outcome::Partial { delivered, total } = op.outcome {
-                if delivered != delivered_bytes || total != PIPE_LEN {
+                if !sender_dead && (delivered != delivered_bytes || total != PIPE_LEN) {
                     fail(format!(
                         "partial accounting: typed {delivered}/{total}, \
                          memory shows {delivered_bytes}/{PIPE_LEN}"
@@ -678,11 +815,19 @@ fn byte_oracle(
             }
         }
         Workload::Collectives => {
-            // relaxed path already filtered: all sync ops succeeded here,
-            // so every PE must hold the root's payload
+            // every PE whose broadcast reported Ok must hold the root's
+            // payload (on crash trials a PE with a typed PeerDead
+            // broadcast is don't-care: it was dead or evicted)
             let pat = pat_bcast(trial);
             for (pe, out) in outs.iter().enumerate() {
-                if out.extra.iter().any(|&b| b != pat) {
+                if dead_pes & (1 << pe) != 0 {
+                    continue;
+                }
+                let bcast_ok = out
+                    .ops
+                    .iter()
+                    .any(|o| o.desc.starts_with("bcast") && o.outcome == Outcome::Ok);
+                if bcast_ok && out.extra.iter().any(|&b| b != pat) {
                     fail(format!("pe{pe}: broadcast payload wrong (want {pat:#04x})"));
                 }
             }
@@ -708,6 +853,21 @@ pub struct CampaignFailure {
 /// Run `trials` trials under `campaign_seed`. Byte-identical summaries
 /// across runs of the same seed; `violations: 0` is the CI gate.
 pub fn run_campaign(campaign_seed: u64, trials: u64) -> (CampaignSummary, Vec<CampaignFailure>) {
+    run_campaign_with(campaign_seed, trials, false)
+}
+
+/// [`run_campaign`] with the crash dimension switchable: `crash = true`
+/// draws each trial's plan from [`FaultPlan::generate_with_crashes`]
+/// (roughly every third trial fail-stops a PE mid-run and rejoins it
+/// before the generation horizon), exercising the survivor-bytes and
+/// view-convergence oracles. The crash draws ride on fresh generator
+/// streams, so `crash = false` campaigns keep their historic
+/// byte-identical trajectories.
+pub fn run_campaign_with(
+    campaign_seed: u64,
+    trials: u64,
+    crash: bool,
+) -> (CampaignSummary, Vec<CampaignFailure>) {
     let _quiet = QuietPanics::arm();
     let mut summary = CampaignSummary {
         campaign_seed,
@@ -717,9 +877,20 @@ pub fn run_campaign(campaign_seed: u64, trials: u64) -> (CampaignSummary, Vec<Ca
     };
     let mut failures = Vec::new();
     for trial in 0..trials {
-        let plan = FaultPlan::generate(campaign_seed, trial);
+        let plan = if crash {
+            FaultPlan::generate_with_crashes(campaign_seed, trial)
+        } else {
+            FaultPlan::generate(campaign_seed, trial)
+        };
         let workload = Workload::pick(campaign_seed, trial);
-        let spec = TrialSpec { campaign_seed, trial, workload, plan, strict_no_partial: false };
+        let spec = TrialSpec {
+            campaign_seed,
+            trial,
+            workload,
+            plan,
+            strict_no_partial: false,
+            strict_no_peer_dead: false,
+        };
         let res = run_trial(&spec);
         *summary.workloads.entry(workload.name().to_string()).or_insert(0) += 1;
         for (k, n) in &res.fault_counters {
@@ -808,6 +979,17 @@ fn drop_burst(p: &FaultPlan, i: usize) -> FaultPlan {
     q
 }
 
+fn drop_crash(p: &FaultPlan, i: usize) -> FaultPlan {
+    let mut q = *p;
+    let n = q.n_crashes as usize;
+    for j in i..n - 1 {
+        q.crashes[j] = q.crashes[j + 1];
+    }
+    q.n_crashes -= 1;
+    q.crashes[q.n_crashes as usize] = Default::default();
+    q
+}
+
 /// Simplification candidates of `p`, most aggressive first, in a fixed
 /// deterministic order.
 fn candidates(p: &FaultPlan) -> Vec<FaultPlan> {
@@ -821,6 +1003,9 @@ fn candidates(p: &FaultPlan) -> Vec<FaultPlan> {
     }
     for i in 0..p.n_burst_windows as usize {
         out.push(drop_burst(p, i));
+    }
+    for i in 0..p.n_crashes as usize {
+        out.push(drop_crash(p, i));
     }
     if p.cqe_permille > 0 {
         let mut q = *p;
@@ -888,6 +1073,9 @@ fn candidates(p: &FaultPlan) -> Vec<FaultPlan> {
 /// the minimal plan (every remaining element is load-bearing).
 pub fn shrink(failure: &CampaignFailure, strict_no_partial: bool) -> (FaultPlan, u64) {
     let _quiet = QuietPanics::arm();
+    // re-arm the app-tier strictness that surfaced the target oracle so
+    // every probe replay can reproduce it
+    let strict_no_peer_dead = failure.oracle == "no-peer-dead";
     let reproduces = |plan: FaultPlan| {
         let spec = TrialSpec {
             campaign_seed: failure.campaign_seed,
@@ -895,6 +1083,7 @@ pub fn shrink(failure: &CampaignFailure, strict_no_partial: bool) -> (FaultPlan,
             workload: failure.workload,
             plan,
             strict_no_partial,
+            strict_no_peer_dead,
         };
         run_trial(&spec).violations.iter().any(|(o, _)| *o == failure.oracle)
     };
@@ -956,6 +1145,7 @@ pub fn run_fixture() -> Option<(CampaignFailure, FaultPlan, u64)> {
         workload: Workload::PipelineDd,
         plan: fixture_plan(),
         strict_no_partial: true,
+        strict_no_peer_dead: false,
     };
     let res = {
         let _quiet = QuietPanics::arm();
@@ -972,6 +1162,62 @@ pub fn run_fixture() -> Option<(CampaignFailure, FaultPlan, u64)> {
         detail,
     };
     let (minimal, probes) = shrink(&failure, true);
+    Some((failure, minimal, probes))
+}
+
+/// The known-bad crash plan: PE 1 dies at 20 µs and rejoins at 1.2 ms,
+/// buried under deliberate noise dimensions. Paired with an app tier
+/// that treats any typed [`TransferError::PeerDead`] as fatal (the
+/// modeled re-introduced bug, oracle `no-peer-dead`), the crash is the
+/// only load-bearing dimension and the shrinker must strip the rest.
+pub fn crash_fixture_plan() -> FaultPlan {
+    FaultPlan::default()
+        .with_seed(1)
+        .with_crash(1, 20_000, 1_200_000)
+        .with_late_completions(80, 15_000)
+        .with_link_window(LinkWindow {
+            scope: LinkScope::HcaTx,
+            index: 0,
+            start_ns: 400_000,
+            end_ns: 900_000,
+            bw_permille: 500,
+        })
+        .with_proxy_stall(ProxyStall {
+            node: 1,
+            start_ns: 1_000_000,
+            end_ns: 1_200_000,
+            extra_ns: 30_000,
+        })
+        .with_burst_window(600_000, 700_000)
+        .with_health(120_000, 3, 250_000)
+}
+
+/// Run the crash fixture: surface the `no-peer-dead` violation (an app
+/// tier with no fail-stop handling) and shrink it to the minimal
+/// `crash=` repro. Returns `None` if the fixture no longer violates.
+pub fn run_crash_fixture() -> Option<(CampaignFailure, FaultPlan, u64)> {
+    let spec = TrialSpec {
+        campaign_seed: FIXTURE_SEED,
+        trial: 0,
+        workload: Workload::RmaRandom,
+        plan: crash_fixture_plan(),
+        strict_no_partial: false,
+        strict_no_peer_dead: true,
+    };
+    let res = {
+        let _quiet = QuietPanics::arm();
+        run_trial(&spec)
+    };
+    let (oracle, detail) = res.violations.iter().find(|(o, _)| o == "no-peer-dead")?.clone();
+    let failure = CampaignFailure {
+        campaign_seed: FIXTURE_SEED,
+        trial: 0,
+        workload: Workload::RmaRandom,
+        plan: crash_fixture_plan(),
+        oracle,
+        detail,
+    };
+    let (minimal, probes) = shrink(&failure, false);
     Some((failure, minimal, probes))
 }
 
@@ -1025,6 +1271,7 @@ mod tests {
             workload: Workload::RmaRandom,
             plan: FaultPlan::generate(5, 3),
             strict_no_partial: false,
+            strict_no_peer_dead: false,
         };
         let _quiet = QuietPanics::arm();
         let a = run_trial(&spec);
@@ -1063,6 +1310,7 @@ mod tests {
             workload: failure.workload,
             plan: replay,
             strict_no_partial: true,
+            strict_no_peer_dead: false,
         };
         let _quiet = QuietPanics::arm();
         let res = run_trial(&spec);

@@ -11,6 +11,21 @@
 //! complete byte-correct under flag loss, and only an exhausted replay
 //! budget surfaces a [`TransferError`] through the `try_*` entry points
 //! (the panicking spellings wrap them, matching the RMA convention).
+//!
+//! Fail-stop tolerance: every collective runs over the *surviving
+//! member list* of the epoch-numbered membership view. When a
+//! participant fail-stops mid-operation, the survivors' steps against
+//! it surface [`TransferError::PeerDead`] (or time out waiting on its
+//! flags), the view shrinks at the deterministic detection instant, and
+//! [`Pe::with_reform`] re-runs the collective body over the shrunken
+//! list — safe because every step is idempotent, and flags are keyed by
+//! absolute contributor PE so nothing a dead PE delivered is ever
+//! reinterpreted. Survivors' results stay byte-correct; a dead *root*
+//! fails its rooted collective (broadcast/reduce) with `PeerDead`, as
+//! no survivor can source the payload. Rejoined PEs are alive for
+//! point-to-point traffic but are never re-admitted to collectives
+//! within a run (their generation counters are behind; see
+//! [`crate::membership`]).
 
 use crate::addr::{Pod, SymAddr, SymSlice};
 use crate::error::TransferError;
@@ -90,10 +105,89 @@ impl Pe {
         }
     }
 
+    /// Current collective member list. Cheap when no crash is armed:
+    /// the full PE list, with zero membership queries.
+    fn coll_members(&self) -> Vec<usize> {
+        let ms = *self.machine().membership();
+        if !ms.armed() {
+            return (0..self.n_pes()).collect();
+        }
+        let now_ns = self.ctx().now().0 / sim_core::PS_PER_NS;
+        ms.view_at(now_ns).member_list(self.n_pes())
+    }
+
+    /// Run a collective body over the surviving member list, re-forming
+    /// it when the membership view shrinks mid-operation.
+    ///
+    /// A `PeerDead` or timeout from the body triggers a view
+    /// recomputation: if the member list shrank, newly-evicted PEs get
+    /// their lifecycle emitted and the body re-runs over the survivors
+    /// — idempotent steps make the completed parts replay harmlessly,
+    /// and `>=` flag predicates make stale pre-reform flags inert. An
+    /// unchanged list propagates the error (it was not a fail-stop).
+    /// The loop terminates because the list strictly shrinks, at most
+    /// once per scheduled crash. A caller that is itself dead — or was
+    /// evicted and rejoined — fails fast with its own eviction epoch.
+    fn with_reform(
+        &self,
+        mut body: impl FnMut(&[usize]) -> Result<(), TransferError>,
+    ) -> Result<(), TransferError> {
+        let m = self.machine().clone();
+        let ms = *m.membership();
+        let me = self.my_pe();
+        let mut members = self.coll_members();
+        loop {
+            if ms.armed() {
+                let now_ns = self.ctx().now().0 / sim_core::PS_PER_NS;
+                if ms.crashed(me as u32, now_ns) || !members.contains(&me) {
+                    return Err(TransferError::PeerDead {
+                        pe: me as u32,
+                        epoch: ms
+                            .eviction_epoch(me as u32)
+                            .unwrap_or_else(|| ms.epoch_at(now_ns)),
+                    });
+                }
+            }
+            match body(&members) {
+                Ok(()) => return Ok(()),
+                Err(e @ (TransferError::PeerDead { .. } | TransferError::Timeout { .. })) => {
+                    if !ms.armed() {
+                        return Err(e);
+                    }
+                    let now_ns = self.ctx().now().0 / sim_core::PS_PER_NS;
+                    let next = ms.view_at(now_ns).member_list(self.n_pes());
+                    if next == members {
+                        return Err(e);
+                    }
+                    for &gone in members.iter().filter(|p| !next.contains(p)) {
+                        m.note_eviction(ProcId(gone as u32));
+                    }
+                    members = next;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Fail-stop degradation rule for the infallible collective
+    /// wrappers: a PE whose own crash (or eviction) surfaced as
+    /// `PeerDead{pe: me}` has no activity left to fail — the collective
+    /// completed for the survivors, and the dead caller's side
+    /// degenerates to a local no-op instead of tearing the whole
+    /// simulation down. Every other error still panics (the wrappers
+    /// are the strict legacy API).
+    fn fail_stop_ok(&self, what: &str, res: Result<(), TransferError>) {
+        match res {
+            Ok(()) => {}
+            Err(TransferError::PeerDead { pe, .. }) if pe as usize == self.my_pe() => {}
+            Err(e) => panic!("{what} failed: {e}"),
+        }
+    }
+
     /// `shmem_barrier_all`: quiet + dissemination barrier.
     pub fn barrier_all(&self) {
-        self.try_barrier_all()
-            .unwrap_or_else(|e| panic!("barrier_all failed: {e}"));
+        let r = self.try_barrier_all();
+        self.fail_stop_ok("barrier_all", r);
     }
 
     /// Fallible `shmem_barrier_all`: under an armed fault plan each
@@ -113,13 +207,17 @@ impl Pe {
             *g += 1;
             *g
         };
-        let n = self.n_pes();
-        let result = (|| {
-            if n > 1 {
-                let me = self.my_pe();
+        let me = self.my_pe();
+        let result = self.with_reform(|members| {
+            let k = members.len();
+            if k > 1 {
+                let vi = members
+                    .iter()
+                    .position(|&p| p == me)
+                    .expect("with_reform guarantees membership");
                 let mut r = 0u32;
-                while (1usize << r) < n {
-                    let partner = (me + (1 << r)) % n;
+                while (1usize << r) < k {
+                    let partner = members[(vi + (1 << r)) % k];
                     let cell = cells::BARRIER + 8 * r as u64;
                     self.with_replay(gen ^ (cell << 8) ^ me as u64, || {
                         m.try_sync_flag_put(
@@ -129,13 +227,19 @@ impl Pe {
                             cell,
                             gen,
                         )?;
-                        m.try_sync_wait(self.ctx(), self.proc_id(), cell, |v| v >= gen)
+                        m.try_sync_wait(
+                            self.ctx(),
+                            self.proc_id(),
+                            ProcId(partner as u32),
+                            cell,
+                            |v| v >= gen,
+                        )
                     })?;
                     r += 1;
                 }
             }
             Ok(())
-        })();
+        });
         if result.is_ok() {
             let rec = m.obs();
             if rec.counters_on() {
@@ -177,8 +281,8 @@ impl Pe {
     /// Broadcast `len` bytes of the symmetric object `data` from `root`'s
     /// copy into every PE's copy (binomial tree over puts).
     pub fn broadcast(&self, data: SymAddr, len: u64, root: usize) {
-        self.try_broadcast(data, len, root)
-            .unwrap_or_else(|e| panic!("broadcast failed: {e}"));
+        let r = self.try_broadcast(data, len, root);
+        self.fail_stop_ok("broadcast", r);
     }
 
     /// Fallible broadcast: the data put, the flag put, and the
@@ -193,39 +297,64 @@ impl Pe {
         }
         let me = self.my_pe();
         let m = self.machine().clone();
-        let vr = (me + n - root) % n; // virtual rank: root is 0
-        let mut k = 0u32;
-        while (1usize << k) < n {
-            let span = 1usize << k;
-            let cell = cells::BCAST + 8 * k as u64;
-            if vr < span {
-                let peer_vr = vr + span;
-                if peer_vr < n {
-                    let peer = (peer_vr + root) % n;
-                    let src = self.addr_of(data, me);
-                    self.with_replay(gen ^ (cell << 8) ^ 0x01, || {
-                        self.try_putmem(data, src, len, peer)
-                    })?;
-                    self.quiet();
-                    self.with_replay(gen ^ (cell << 8) ^ 0x02, || {
-                        m.try_sync_flag_put(
+        self.with_reform(|members| {
+            let k = members.len();
+            if k == 1 {
+                return Ok(());
+            }
+            let Some(vroot) = members.iter().position(|&p| p == root) else {
+                // the root fail-stopped: no survivor can source the
+                // payload, so the broadcast fails for everyone
+                return Err(TransferError::PeerDead {
+                    pe: root as u32,
+                    epoch: m.membership().eviction_epoch(root as u32).unwrap_or(0),
+                });
+            };
+            let vi = members
+                .iter()
+                .position(|&p| p == me)
+                .expect("with_reform guarantees membership");
+            let vr = (vi + k - vroot) % k; // virtual rank: root is 0
+            let mut rnd = 0u32;
+            while (1usize << rnd) < k {
+                let span = 1usize << rnd;
+                let cell = cells::BCAST + 8 * rnd as u64;
+                if vr < span {
+                    let peer_vr = vr + span;
+                    if peer_vr < k {
+                        let peer = members[(peer_vr + vroot) % k];
+                        let src = self.addr_of(data, me);
+                        self.with_replay(gen ^ (cell << 8) ^ 0x01, || {
+                            self.try_putmem(data, src, len, peer)
+                        })?;
+                        self.quiet();
+                        self.with_replay(gen ^ (cell << 8) ^ 0x02, || {
+                            m.try_sync_flag_put(
+                                self.ctx(),
+                                self.proc_id(),
+                                ProcId(peer as u32),
+                                cell,
+                                gen,
+                            )
+                        })?;
+                    }
+                } else if vr < 2 * span {
+                    // on timeout just re-wait: the sender replays its side
+                    let parent = members[(vr - span + vroot) % k];
+                    self.with_replay(gen ^ (cell << 8) ^ 0x03, || {
+                        m.try_sync_wait(
                             self.ctx(),
                             self.proc_id(),
-                            ProcId(peer as u32),
+                            ProcId(parent as u32),
                             cell,
-                            gen,
+                            |v| v >= gen,
                         )
                     })?;
                 }
-            } else if vr < 2 * span {
-                // on timeout just re-wait: the sender replays its side
-                self.with_replay(gen ^ (cell << 8) ^ 0x03, || {
-                    m.try_sync_wait(self.ctx(), self.proc_id(), cell, |v| v >= gen)
-                })?;
+                rnd += 1;
             }
-            k += 1;
-        }
-        Ok(())
+            Ok(())
+        })
     }
 
     /// Reduce a small symmetric vector to `root`'s copy of `dst` with
@@ -238,8 +367,8 @@ impl Pe {
         op: RedOp,
         root: usize,
     ) {
-        self.try_reduce(src, dst, op, root)
-            .unwrap_or_else(|e| panic!("reduce failed: {e}"));
+        let r = self.try_reduce(src, dst, op, root);
+        self.fail_stop_ok("reduce", r);
     }
 
     /// Fallible reduce: contributions replay their fixed-slot data put
@@ -267,56 +396,69 @@ impl Pe {
             self.write_sym(dst, &v);
             return Ok(());
         }
-        if me != root {
-            // ship my contribution into root's slot for me, then flag
-            let my_copy = self.addr_of(src.addr(), me);
-            self.with_replay(gen ^ 0x10 ^ me as u64, || {
-                m.try_sync_data_put(
-                    self.ctx(),
-                    self.proc_id(),
-                    ProcId(root as u32),
-                    cells::REDUCE_DATA + cells::SLOT * me as u64,
-                    my_copy,
-                    src.byte_len(),
-                )
-            })?;
-            self.quiet();
-            self.with_replay(gen ^ 0x20 ^ me as u64, || {
-                m.try_sync_flag_put(
-                    self.ctx(),
-                    self.proc_id(),
-                    ProcId(root as u32),
-                    cells::REDUCE_FLAGS + 8 * me as u64,
-                    gen,
-                )
-            })?;
-        } else {
-            // gather: wait for every contribution
-            let mut acc = self.read_sym(src);
-            for pe in 0..n {
-                if pe == root {
-                    continue;
+        self.with_reform(|members| {
+            if me != root {
+                if !members.contains(&root) {
+                    // the root fail-stopped: nobody can combine
+                    return Err(TransferError::PeerDead {
+                        pe: root as u32,
+                        epoch: m.membership().eviction_epoch(root as u32).unwrap_or(0),
+                    });
                 }
-                self.with_replay(gen ^ 0x30 ^ pe as u64, || {
-                    m.try_sync_wait(
+                // ship my contribution into root's slot for me, then flag
+                let my_copy = self.addr_of(src.addr(), me);
+                self.with_replay(gen ^ 0x10 ^ me as u64, || {
+                    m.try_sync_data_put(
                         self.ctx(),
                         self.proc_id(),
-                        cells::REDUCE_FLAGS + 8 * pe as u64,
-                        |v| v >= gen,
+                        ProcId(root as u32),
+                        cells::REDUCE_DATA + cells::SLOT * me as u64,
+                        my_copy,
+                        src.byte_len(),
                     )
                 })?;
-                let slot = m.sync_cell(
-                    self.proc_id(),
-                    cells::REDUCE_DATA + cells::SLOT * pe as u64,
-                );
-                let bytes = self.read_raw(slot, src.byte_len());
-                let vals = T::from_bytes(&bytes);
-                for (a, v) in acc.iter_mut().zip(vals) {
-                    *a = T::combine(op, *a, v);
+                self.quiet();
+                self.with_replay(gen ^ 0x20 ^ me as u64, || {
+                    m.try_sync_flag_put(
+                        self.ctx(),
+                        self.proc_id(),
+                        ProcId(root as u32),
+                        cells::REDUCE_FLAGS + 8 * me as u64,
+                        gen,
+                    )
+                })?;
+            } else {
+                // gather: wait for every surviving contribution (slots
+                // and flags are keyed by absolute contributor PE, so a
+                // re-formed gather never reinterprets a dead PE's slot)
+                let mut acc = self.read_sym(src);
+                for &pe in members {
+                    if pe == root {
+                        continue;
+                    }
+                    self.with_replay(gen ^ 0x30 ^ pe as u64, || {
+                        m.try_sync_wait(
+                            self.ctx(),
+                            self.proc_id(),
+                            ProcId(pe as u32),
+                            cells::REDUCE_FLAGS + 8 * pe as u64,
+                            |v| v >= gen,
+                        )
+                    })?;
+                    let slot = m.sync_cell(
+                        self.proc_id(),
+                        cells::REDUCE_DATA + cells::SLOT * pe as u64,
+                    );
+                    let bytes = self.read_raw(slot, src.byte_len());
+                    let vals = T::from_bytes(&bytes);
+                    for (a, v) in acc.iter_mut().zip(vals) {
+                        *a = T::combine(op, *a, v);
+                    }
                 }
+                self.write_sym(dst, &acc);
             }
-            self.write_sym(dst, &acc);
-        }
+            Ok(())
+        })?;
         // result distribution
         self.try_broadcast(dst.addr(), dst.byte_len(), root)
     }
@@ -335,8 +477,8 @@ impl Pe {
     /// ends with all blocks, in PE order, in its copy of `dest`
     /// (`dest.len() == n_pes * src.len()`).
     pub fn fcollect<T: Pod>(&self, dest: &SymSlice<T>, src: &SymSlice<T>) {
-        self.try_fcollect(dest, src)
-            .unwrap_or_else(|e| panic!("fcollect failed: {e}"));
+        let r = self.try_fcollect(dest, src);
+        self.fail_stop_ok("fcollect", r);
     }
 
     /// Fallible fcollect: each block put, arrival flag, and wait
@@ -351,52 +493,56 @@ impl Pe {
         assert_eq!(dest.len(), n * src.len(), "fcollect geometry");
         let m = self.machine().clone();
         let gen = self.next_coll_gen();
-        // put my block into everyone's dest at block `me`, then flag
-        let my_copy = self.addr_of(src.addr(), me);
-        for t in 0..n {
-            if t == me {
-                self.write_sym(&dest.slice(me * src.len(), src.len()), &self.read_sym(src));
-            } else {
-                self.with_replay(gen ^ 0x40 ^ ((me * n + t) as u64), || {
-                    self.try_putmem(dest.at(me * src.len()), my_copy, src.byte_len(), t)
-                })?;
+        self.with_reform(|members| {
+            // put my block into every survivor's dest at block `me`,
+            // then flag (block offsets stay keyed by absolute PE)
+            let my_copy = self.addr_of(src.addr(), me);
+            for &t in members {
+                if t == me {
+                    self.write_sym(&dest.slice(me * src.len(), src.len()), &self.read_sym(src));
+                } else {
+                    self.with_replay(gen ^ 0x40 ^ ((me * n + t) as u64), || {
+                        self.try_putmem(dest.at(me * src.len()), my_copy, src.byte_len(), t)
+                    })?;
+                }
             }
-        }
-        self.quiet();
-        for t in 0..n {
-            if t != me {
-                self.with_replay(gen ^ 0x50 ^ ((me * n + t) as u64), || {
-                    m.try_sync_flag_put(
-                        self.ctx(),
-                        self.proc_id(),
-                        ProcId(t as u32),
-                        cells::COLL_FLAGS + 8 * me as u64,
-                        gen,
-                    )
-                })?;
+            self.quiet();
+            for &t in members {
+                if t != me {
+                    self.with_replay(gen ^ 0x50 ^ ((me * n + t) as u64), || {
+                        m.try_sync_flag_put(
+                            self.ctx(),
+                            self.proc_id(),
+                            ProcId(t as u32),
+                            cells::COLL_FLAGS + 8 * me as u64,
+                            gen,
+                        )
+                    })?;
+                }
             }
-        }
-        // wait for every other PE's block
-        for s_pe in 0..n {
-            if s_pe != me {
-                self.with_replay(gen ^ 0x60 ^ s_pe as u64, || {
-                    m.try_sync_wait(
-                        self.ctx(),
-                        self.proc_id(),
-                        cells::COLL_FLAGS + 8 * s_pe as u64,
-                        |v| v >= gen,
-                    )
-                })?;
+            // wait for every other survivor's block
+            for &s_pe in members {
+                if s_pe != me {
+                    self.with_replay(gen ^ 0x60 ^ s_pe as u64, || {
+                        m.try_sync_wait(
+                            self.ctx(),
+                            self.proc_id(),
+                            ProcId(s_pe as u32),
+                            cells::COLL_FLAGS + 8 * s_pe as u64,
+                            |v| v >= gen,
+                        )
+                    })?;
+                }
             }
-        }
-        Ok(())
+            Ok(())
+        })
     }
 
     /// `shmem_alltoall`: PE `i`'s block `j` of `src` lands in PE `j`'s
     /// block `i` of `dest` (`src.len() == dest.len() == n_pes * per`).
     pub fn alltoall<T: Pod>(&self, dest: &SymSlice<T>, src: &SymSlice<T>, per: usize) {
-        self.try_alltoall(dest, src, per)
-            .unwrap_or_else(|e| panic!("alltoall failed: {e}"));
+        let r = self.try_alltoall(dest, src, per);
+        self.fail_stop_ok("alltoall", r);
     }
 
     /// Fallible alltoall: same replay structure as fcollect.
@@ -413,43 +559,46 @@ impl Pe {
         let m = self.machine().clone();
         let gen = self.next_coll_gen();
         let per_bytes = (per * T::SIZE) as u64;
-        for j in 0..n {
-            let block = self.addr_of(src.at(j * per), me);
-            if j == me {
-                let vals = self.read_sym(&src.slice(me * per, per));
-                self.write_sym(&dest.slice(me * per, per), &vals);
-            } else {
-                self.with_replay(gen ^ 0x70 ^ ((me * n + j) as u64), || {
-                    self.try_putmem(dest.at(me * per), block, per_bytes, j)
-                })?;
+        self.with_reform(|members| {
+            for &j in members {
+                let block = self.addr_of(src.at(j * per), me);
+                if j == me {
+                    let vals = self.read_sym(&src.slice(me * per, per));
+                    self.write_sym(&dest.slice(me * per, per), &vals);
+                } else {
+                    self.with_replay(gen ^ 0x70 ^ ((me * n + j) as u64), || {
+                        self.try_putmem(dest.at(me * per), block, per_bytes, j)
+                    })?;
+                }
             }
-        }
-        self.quiet();
-        for j in 0..n {
-            if j != me {
-                self.with_replay(gen ^ 0x80 ^ ((me * n + j) as u64), || {
-                    m.try_sync_flag_put(
-                        self.ctx(),
-                        self.proc_id(),
-                        ProcId(j as u32),
-                        cells::COLL_FLAGS + 8 * me as u64,
-                        gen,
-                    )
-                })?;
+            self.quiet();
+            for &j in members {
+                if j != me {
+                    self.with_replay(gen ^ 0x80 ^ ((me * n + j) as u64), || {
+                        m.try_sync_flag_put(
+                            self.ctx(),
+                            self.proc_id(),
+                            ProcId(j as u32),
+                            cells::COLL_FLAGS + 8 * me as u64,
+                            gen,
+                        )
+                    })?;
+                }
             }
-        }
-        for s_pe in 0..n {
-            if s_pe != me {
-                self.with_replay(gen ^ 0x90 ^ s_pe as u64, || {
-                    m.try_sync_wait(
-                        self.ctx(),
-                        self.proc_id(),
-                        cells::COLL_FLAGS + 8 * s_pe as u64,
-                        |v| v >= gen,
-                    )
-                })?;
+            for &s_pe in members {
+                if s_pe != me {
+                    self.with_replay(gen ^ 0x90 ^ s_pe as u64, || {
+                        m.try_sync_wait(
+                            self.ctx(),
+                            self.proc_id(),
+                            ProcId(s_pe as u32),
+                            cells::COLL_FLAGS + 8 * s_pe as u64,
+                            |v| v >= gen,
+                        )
+                    })?;
+                }
             }
-        }
-        Ok(())
+            Ok(())
+        })
     }
 }

@@ -39,6 +39,12 @@ pub enum TransferError {
     /// A capability fault (e.g. GDR administratively disabled on a node)
     /// rules out every protocol that could service the operation.
     CapabilityDisabled { what: &'static str, node: u32 },
+    /// The target PE is fail-stopped: the membership layer evicted it
+    /// from the view (`epoch` is the view epoch that recorded the
+    /// eviction). The op blocked until the lease-expiry detection
+    /// instant before failing, so no bytes were delivered and none can
+    /// land later — unlike `Timeout`, this outcome is certain.
+    PeerDead { pe: u32, epoch: u64 },
     /// Memory-registration / protection error from the fabric.
     Mr(MrError),
 }
@@ -64,6 +70,9 @@ impl std::fmt::Display for TransferError {
             ),
             TransferError::CapabilityDisabled { what, node } => {
                 write!(f, "{what} is disabled on node {node} and no fallback applies")
+            }
+            TransferError::PeerDead { pe, epoch } => {
+                write!(f, "peer pe{pe} is dead (evicted from membership view at epoch {epoch})")
             }
             TransferError::Mr(e) => write!(f, "memory registration error: {e}"),
         }
@@ -110,5 +119,45 @@ mod tests {
             node: 3,
         };
         assert!(c.to_string().contains("node 3"));
+    }
+
+    /// Every variant must render its token/diagnostic fields — chaos
+    /// repro logs are grepped by these strings, so a silent field would
+    /// make a failure class unsearchable. Exhaustive: the match below
+    /// stops compiling when a variant is added without a case here.
+    #[test]
+    fn display_renders_every_variant_field() {
+        let variants = vec![
+            TransferError::RetriesExhausted { kind: "cqe-retry-exceeded", attempts: 3 },
+            TransferError::Timeout { after_ns: 2_000_000, diag: "engine blocked-task dump".into() },
+            TransferError::PartialDelivery { delivered: 7, total: 9 },
+            TransferError::CapabilityDisabled { what: "GDR", node: 1 },
+            TransferError::PeerDead { pe: 5, epoch: 2 },
+            TransferError::Mr(MrError::InvalidRkey(ib_sim::Rkey(42))),
+        ];
+        for e in &variants {
+            let s = e.to_string();
+            let expected: Vec<String> = match e {
+                TransferError::RetriesExhausted { kind, attempts } => {
+                    vec![kind.to_string(), format!("{attempts} attempts")]
+                }
+                TransferError::Timeout { after_ns, diag } => {
+                    vec![format!("{after_ns} ns"), diag.clone()]
+                }
+                TransferError::PartialDelivery { delivered, total } => {
+                    vec![format!("{delivered} of {total} bytes")]
+                }
+                TransferError::CapabilityDisabled { what, node } => {
+                    vec![what.to_string(), format!("node {node}")]
+                }
+                TransferError::PeerDead { pe, epoch } => {
+                    vec![format!("pe{pe}"), format!("epoch {epoch}")]
+                }
+                TransferError::Mr(m) => vec![m.to_string()],
+            };
+            for frag in expected {
+                assert!(s.contains(&frag), "{e:?} display {s:?} lacks {frag:?}");
+            }
+        }
     }
 }

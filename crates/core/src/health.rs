@@ -160,6 +160,43 @@ impl HealthMonitor {
         }
     }
 
+    /// Fail-stop eviction: force every breaker of `node` open until
+    /// `until_ns` — the dead peer's rejoin instant, or `u64::MAX` when
+    /// it never rejoins. A dead node must not be probed during the
+    /// outage; at `until_ns` the breakers lapse and the next consult
+    /// admits the half-open warm-up probe of the rejoin path.
+    pub fn mark_dead(&self, node: usize, until_ns: u64) {
+        if !self.enabled {
+            return;
+        }
+        let mut g = self.breakers.lock();
+        for b in g[node].iter_mut() {
+            b.state = BreakerState::Open { until_ns };
+            b.fails.clear();
+        }
+    }
+
+    /// Rejoin counterpart of [`Self::mark_dead`]: close every breaker
+    /// of `node` except `probe`, which is left open-until-`rejoin_ns`
+    /// (already lapsed by the time this runs) so the next consult
+    /// admits exactly one half-open warm-up probe. Closing the rest
+    /// keeps later successes from minting unpaired promotes out of
+    /// lapsed-open breakers.
+    pub fn mark_rejoined(&self, node: usize, probe: Protocol, rejoin_ns: u64) {
+        if !self.enabled {
+            return;
+        }
+        let mut g = self.breakers.lock();
+        for (i, b) in g[node].iter_mut().enumerate() {
+            b.state = if i == probe as usize {
+                BreakerState::Open { until_ns: rejoin_ns }
+            } else {
+                BreakerState::Closed
+            };
+            b.fails.clear();
+        }
+    }
+
     /// Ask whether protocol selection may use `proto` right now. Moves
     /// an open breaker whose cooldown has lapsed to half-open (the
     /// caller's op becomes the probe).
@@ -326,5 +363,48 @@ mod tests {
             h.record_success(0, Protocol::DirectGdr, 11_000),
             Some(Transition::Promote)
         );
+    }
+
+    #[test]
+    fn mark_dead_opens_every_protocol_until_rejoin() {
+        let h = armed();
+        h.mark_dead(1, 500_000);
+        for p in Protocol::ALL {
+            assert_eq!(h.consult(1, p, 499_999), Route::Avoid, "{}", p.name());
+            assert!(h.demoted_now(1, p, 499_999), "{}", p.name());
+        }
+        // the outage is per-node: the survivor's breakers stay closed
+        assert_eq!(h.consult(0, Protocol::DirectGdr, 499_999), Route::Use);
+        // a never-rejoining peer (until = MAX) never lapses to a probe
+        h.mark_dead(1, u64::MAX);
+        assert_eq!(h.consult(1, Protocol::HostRdma, u64::MAX - 1), Route::Avoid);
+    }
+
+    #[test]
+    fn mark_rejoined_leaves_one_halfopen_probe_then_promotes() {
+        let h = armed();
+        h.mark_dead(1, 500_000);
+        h.mark_rejoined(1, Protocol::HostRdma, 500_000);
+        // every non-probe protocol closed outright: no unpaired promotes
+        for p in Protocol::ALL {
+            if p != Protocol::HostRdma {
+                assert_eq!(h.consult(1, p, 500_001), Route::Use, "{}", p.name());
+            }
+        }
+        // the probe protocol admits exactly one first-probe consult,
+        // and its warm-up success mints the promote
+        assert_eq!(
+            h.consult(1, Protocol::HostRdma, 500_001),
+            Route::Probe { first: true }
+        );
+        assert_eq!(
+            h.consult(1, Protocol::HostRdma, 500_002),
+            Route::Probe { first: false }
+        );
+        assert_eq!(
+            h.record_success(1, Protocol::HostRdma, 500_003),
+            Some(Transition::Promote)
+        );
+        assert_eq!(h.consult(1, Protocol::HostRdma, 500_004), Route::Use);
     }
 }

@@ -45,6 +45,7 @@ pub mod health;
 pub mod layout;
 pub mod lock;
 pub mod machine;
+pub mod membership;
 pub mod msg;
 pub mod pe;
 pub mod pending;
@@ -61,6 +62,7 @@ pub use config::{Design, RuntimeConfig};
 pub use error::TransferError;
 pub use layout::HeapLayout;
 pub use machine::ShmemMachine;
+pub use membership::{Membership, View, DETECT_BOUND_NS, HEARTBEAT_PERIOD_NS, MISSED_BEATS};
 pub use msg::MsgHandle;
 pub use pe::{Cmp, Pe};
 pub use report::JobReport;

@@ -6,15 +6,18 @@
 //! the per-node proxy state. `run` then launches one task per PE.
 
 use crate::config::RuntimeConfig;
+use crate::error::TransferError;
 use crate::health::{HealthMonitor, Route};
 use crate::layout::HeapLayout;
+use crate::membership::{Membership, REJOIN_PROBE_NS, REJOIN_REREG_NS};
 use crate::pe::Pe;
 use crate::state::{PeState, Protocol};
 use gpu_sim::GpuRuntime;
 use ib_sim::IbVerbs;
 use obs::{Recorder, TrackId, TrackKind};
+use parking_lot::Mutex;
 use pcie_sim::{Cluster, ClusterSpec, HwProfile, ProcId};
-use sim_core::{Completion, Sim, SimDuration, SimTime};
+use sim_core::{Completion, Sim, SimDuration, SimTime, TaskCtx};
 use std::sync::Arc;
 
 /// Per-op correlation token, minted at the start of every RMA/sync op by
@@ -29,6 +32,16 @@ pub(crate) struct OpToken {
     pub id: u64,
     /// Whether op-correlated spans/flows of this op are recorded.
     pub sampled: bool,
+}
+
+/// Which membership transitions have already been observed (and thus
+/// emitted to obs / applied to the breakers) — bitmasks by PE. The
+/// schedule itself is pure; this only dedups the side effects so
+/// exactly one observer emits each lifecycle event.
+#[derive(Default)]
+struct MemberSeen {
+    dead: u64,
+    rejoined: u64,
 }
 
 /// Per-node proxy counters (the proxy itself is event-driven).
@@ -55,6 +68,11 @@ pub struct ShmemMachine {
     /// [`RuntimeConfig::slo_demote`] bridges watchdog breaches into
     /// breaker failure draws.
     health: Arc<HealthMonitor>,
+    /// Fail-stop membership schedule compiled from the fault plan's
+    /// crash dimension (inert when no crash is scheduled).
+    membership: Membership,
+    /// Emission dedup for membership lifecycle events.
+    member_seen: Mutex<MemberSeen>,
     obs: Arc<Recorder>,
     /// PE tracks, pre-registered in PE order so op recording is a
     /// lock-free index lookup (and export order never depends on which
@@ -109,6 +127,7 @@ impl ShmemMachine {
             .collect();
         let proxies = (0..topo.nnodes()).map(|_| ProxyStats::default()).collect();
         let health = Arc::new(HealthMonitor::new(&cfg.faults, topo.nnodes()));
+        let membership = Membership::new(&cfg.faults, topo.nprocs());
 
         // Observability: one recorder per machine, shared with the
         // hardware layers through their late-bound sinks. PE and proxy
@@ -176,6 +195,8 @@ impl ShmemMachine {
             pes,
             proxies,
             health,
+            membership,
+            member_seen: Mutex::new(MemberSeen::default()),
             obs,
             pe_tracks,
         })
@@ -414,6 +435,202 @@ impl ShmemMachine {
     /// for oracle-violation diagnostics.
     pub fn breaker_states(&self) -> Vec<String> {
         self.health.breaker_states()
+    }
+
+    /// The compiled fail-stop membership schedule of this job (inert
+    /// when the fault plan schedules no crash).
+    pub fn membership(&self) -> &Membership {
+        &self.membership
+    }
+
+    /// Gate one point-to-point op from `me` against `peer`'s liveness.
+    ///
+    /// Unarmed plans short-circuit before any membership query, so
+    /// unfaulted runs pay a single branch and stay byte-identical. A
+    /// fail-stopped *issuer* fails immediately (its own hardware is
+    /// gone). Against a fail-stopped peer the op blocks until the
+    /// lease-expiry detection instant — nobody can know the peer is
+    /// dead before its lease expires — then fails as
+    /// [`TransferError::PeerDead`] carrying the eviction epoch; the
+    /// first observer also emits the eviction lifecycle and opens the
+    /// dead node's breakers until its rejoin instant. A crash whose
+    /// rejoin beats the lease is a transparent blip: the op just blocks
+    /// until the peer is back. Finally, the first op touching (or
+    /// issued by) a *rejoined* peer drives the rejoin path: heap
+    /// re-registration plus the breaker warm-up probe.
+    pub(crate) fn peer_gate(
+        self: &Arc<Self>,
+        ctx: &TaskCtx,
+        me: ProcId,
+        peer: ProcId,
+    ) -> Result<(), TransferError> {
+        let ms = &self.membership;
+        if !ms.armed() {
+            return Ok(());
+        }
+        let now_ns = ctx.now().0 / sim_core::PS_PER_NS;
+        if ms.crashed(me.0, now_ns) {
+            if ms.detect_ns(me.0).is_none() {
+                // my own transparent blip: activity freezes until the
+                // rejoin instant, then resumes as if nothing happened
+                let c = self
+                    .cfg
+                    .faults
+                    .crash_of(me.0)
+                    .expect("crashed issuer has a crash schedule");
+                ctx.advance(SimDuration::from_ns(c.rejoin_ns - now_ns));
+            } else {
+                return Err(TransferError::PeerDead {
+                    pe: me.0,
+                    epoch: ms.epoch_at(now_ns),
+                });
+            }
+        }
+        // a rejoined issuer re-admits itself before its first post
+        if let Some(rejoin) = ms.rejoin_ns(me.0) {
+            if now_ns >= rejoin {
+                self.note_rejoin(ctx, me);
+            }
+        }
+        if ms.crashed(peer.0, now_ns) {
+            return match ms.detect_ns(peer.0) {
+                Some(detect) => {
+                    if now_ns < detect {
+                        ctx.advance(SimDuration::from_ns(detect - now_ns));
+                    }
+                    self.note_eviction(peer);
+                    Err(TransferError::PeerDead {
+                        pe: peer.0,
+                        epoch: ms
+                            .eviction_epoch(peer.0)
+                            .expect("detectable crash has an eviction epoch"),
+                    })
+                }
+                None => {
+                    let c = self
+                        .cfg
+                        .faults
+                        .crash_of(peer.0)
+                        .expect("crashed peer has a crash schedule");
+                    if now_ns < c.rejoin_ns {
+                        ctx.advance(SimDuration::from_ns(c.rejoin_ns - now_ns));
+                    }
+                    Ok(())
+                }
+            };
+        }
+        if let Some(rejoin) = ms.rejoin_ns(peer.0) {
+            if now_ns >= rejoin {
+                self.note_rejoin(ctx, peer);
+            }
+        }
+        Ok(())
+    }
+
+    /// First-observer bookkeeping for `peer`'s eviction: emit the
+    /// `pe-dead` / `evict` / `view-change` lifecycle at its canonical
+    /// plan-derived instants and open every breaker of the dead node
+    /// until the peer's rejoin instant (`u64::MAX` when it never
+    /// rejoins). Idempotent — exactly one observer emits.
+    pub(crate) fn note_eviction(&self, peer: ProcId) {
+        {
+            let mut seen = self.member_seen.lock();
+            if seen.dead & (1 << peer.0) != 0 {
+                return;
+            }
+            seen.dead |= 1 << peer.0;
+        }
+        let ms = &self.membership;
+        let at_ns = self
+            .cfg
+            .faults
+            .crash_of(peer.0)
+            .expect("evicted peer has a crash schedule")
+            .at_ns;
+        let detect_ns = ms.detect_ns(peer.0).expect("evicted peer has a detect instant");
+        let epoch = ms.eviction_epoch(peer.0).expect("evicted peer has an epoch");
+        let t_at = SimTime(at_ns * sim_core::PS_PER_NS);
+        let t_detect = SimTime(detect_ns * sim_core::PS_PER_NS);
+        for (name, ts, ep) in [
+            ("pe-dead", t_at, epoch - 1),
+            ("evict", t_detect, epoch),
+            ("view-change", t_detect, epoch),
+        ] {
+            self.obs.fault_tally_at(name, "membership", ts);
+            if self.obs.spans_on() {
+                self.obs.instant(
+                    self.pe_track(peer),
+                    name,
+                    ts,
+                    obs::Payload::Member { pe: peer.0, epoch: ep },
+                );
+            }
+        }
+        // The dead node really is demoted on every protocol, so tally
+        // the demotes — this also keeps the promote<=demote counter
+        // invariant when post-rejoin successes close lapsed breakers.
+        let token = OpToken { id: 0, sampled: true };
+        for p in Protocol::ALL {
+            self.obs_health(peer, t_detect, "demote", p, token);
+        }
+        let until = ms.rejoin_ns(peer.0).unwrap_or(u64::MAX);
+        self.health.mark_dead(self.node_idx(peer), until);
+    }
+
+    /// First-observer bookkeeping for `subject`'s rejoin: emit the
+    /// `rejoin` instant, charge the symmetric-heap re-registration
+    /// cost to the observing op, and drive the warm-up probe through
+    /// the breaker's half-open state so the `probe`/`promote` pair
+    /// lands in the trace. A rejoin whose death was never observed is
+    /// equally invisible (nothing was demoted or emitted).
+    fn note_rejoin(self: &Arc<Self>, ctx: &TaskCtx, subject: ProcId) {
+        let ms = &self.membership;
+        let Some(rejoin_ns) = ms.rejoin_ns(subject.0) else {
+            return;
+        };
+        {
+            let mut seen = self.member_seen.lock();
+            if seen.dead & (1 << subject.0) == 0 || seen.rejoined & (1 << subject.0) != 0 {
+                return;
+            }
+            seen.rejoined |= 1 << subject.0;
+        }
+        let t_rejoin = SimTime(rejoin_ns * sim_core::PS_PER_NS);
+        self.obs.fault_tally_at("rejoin", "membership", t_rejoin);
+        if self.obs.spans_on() {
+            self.obs.instant(
+                self.pe_track(subject),
+                "rejoin",
+                t_rejoin,
+                obs::Payload::Member {
+                    pe: subject.0,
+                    epoch: ms.epoch_at(rejoin_ns),
+                },
+            );
+        }
+        // symmetric-heap re-registration: descriptor re-exchange + MR
+        // re-registration, charged to the op that re-admits the peer
+        ctx.advance(SimDuration::from_ns(REJOIN_REREG_NS));
+        // Warm-up probe through the real breaker: mark_dead left the
+        // node's breakers Open{until: rejoin}, which has now lapsed, so
+        // consulting the probe protocol admits the half-open trial.
+        let node = self.node_idx(subject);
+        let token = OpToken { id: 0, sampled: true };
+        let now_ns = ctx.now().0 / sim_core::PS_PER_NS;
+        self.health.mark_rejoined(node, Protocol::HostRdma, rejoin_ns);
+        if let Route::Probe { first: true } =
+            self.health.consult(node, Protocol::HostRdma, now_ns)
+        {
+            self.obs_health(subject, ctx.now(), "probe", Protocol::HostRdma, token);
+            ctx.advance(SimDuration::from_ns(REJOIN_PROBE_NS));
+            if self
+                .health
+                .record_success(node, Protocol::HostRdma, ctx.now().0 / sim_core::PS_PER_NS)
+                .is_some()
+            {
+                self.obs_health(subject, ctx.now(), "promote", Protocol::HostRdma, token);
+            }
+        }
     }
 
     /// Record one injected transient fault: tally (Counters+) and a

@@ -1,0 +1,260 @@
+//! Virtual-time membership: fail-stop detection, epoch-numbered views,
+//! and PE rejoin — derived entirely from the fault plan's crash
+//! schedule.
+//!
+//! The detection protocol piggybacks heartbeats on the sync-flag
+//! traffic every PE already produces: each flag write refreshes the
+//! writer's lease, and a crashed PE stops writing at its `at_ns`, so
+//! survivors observe the lease expire after [`MISSED_BEATS`] heartbeat
+//! periods — the detection bound is
+//!
+//! ```text
+//! DETECT_BOUND_NS = HEARTBEAT_PERIOD_NS × MISSED_BEATS
+//! ```
+//!
+//! Because lease expiry is a deterministic virtual-time instant, the
+//! membership view is a *pure function* of `(fault plan, now)`: every
+//! survivor computes the same epoch-numbered view with no extra
+//! messages, which is exactly what the chaos suite's view-convergence
+//! oracle checks end to end. An op against a dead peer blocks until the
+//! detection instant (the caller cannot know the peer is dead before
+//! its lease expires) and then fails as
+//! [`crate::TransferError::PeerDead`] carrying the eviction epoch.
+//!
+//! Two liveness notions are deliberately distinct:
+//!
+//! - **alive** — point-to-point reachability. A rejoined PE becomes
+//!   alive again at its rejoin instant (after symmetric-heap
+//!   re-registration and a breaker warm-up probe).
+//! - **collective member** — participation in barrier/bcast/reduce/
+//!   fcollect/alltoall. The member set only shrinks within a run: a
+//!   rejoined PE is *not* re-admitted to collectives, because its
+//!   generation counters are behind the survivors' and re-admitting it
+//!   mid-generation would deadlock the `>=`-predicate flag waits.
+//!
+//! A crash whose rejoin lands before the lease would have expired is a
+//! transparent blip: no survivor ever detects it, so no eviction or
+//! epoch bump occurs (ops issued against the peer inside the blip
+//! simply block until the rejoin instant).
+
+use faults::{FaultPlan, MAX_CRASHES};
+
+/// Virtual-time heartbeat period of the piggybacked lease protocol.
+pub const HEARTBEAT_PERIOD_NS: u64 = 50_000;
+/// Consecutive missed heartbeats that expire a lease.
+pub const MISSED_BEATS: u64 = 3;
+/// Bounded detection latency: a crash at `t` is detected by every
+/// survivor at exactly `t + DETECT_BOUND_NS`.
+pub const DETECT_BOUND_NS: u64 = HEARTBEAT_PERIOD_NS * MISSED_BEATS;
+
+/// Virtual-time cost of re-registering a rejoining PE's symmetric heaps
+/// with the fabric (descriptor re-exchange + MR re-registration),
+/// charged to the first op that touches the rejoined peer.
+pub const REJOIN_REREG_NS: u64 = 25_000;
+
+/// Duration of the warm-up probe a rejoined peer's breaker demands
+/// before regular traffic resumes (one modeled probe round-trip).
+pub const REJOIN_PROBE_NS: u64 = 5_000;
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum EventKind {
+    Evict,
+    Rejoin,
+}
+
+/// One membership transition, at a deterministic virtual instant.
+#[derive(Clone, Copy, Debug)]
+struct Event {
+    ts_ns: u64,
+    pe: u32,
+    kind: EventKind,
+}
+
+/// The epoch-numbered membership view at one virtual instant.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct View {
+    /// Number of membership transitions applied so far. Starts at 0;
+    /// every eviction and every rejoin bumps it.
+    pub epoch: u64,
+    /// Bitmask of PEs reachable for point-to-point ops.
+    pub alive: u64,
+    /// Bitmask of collective members (monotonically shrinking).
+    pub members: u64,
+}
+
+impl View {
+    pub fn is_alive(&self, pe: u32) -> bool {
+        self.alive & (1u64 << pe) != 0
+    }
+
+    pub fn is_member(&self, pe: u32) -> bool {
+        self.members & (1u64 << pe) != 0
+    }
+
+    /// Collective member list, ascending PE order.
+    pub fn member_list(&self, n_pes: usize) -> Vec<usize> {
+        (0..n_pes).filter(|&p| self.is_member(p as u32)).collect()
+    }
+}
+
+/// The membership schedule of one job: the crash plan compiled into a
+/// sorted list of evict/rejoin events. `Copy`, no heap — it lives
+/// inside [`crate::ShmemMachine`] for the whole run.
+#[derive(Clone, Copy, Debug)]
+pub struct Membership {
+    n_pes: u32,
+    plan: FaultPlan,
+    events: [Event; 2 * MAX_CRASHES],
+    n_events: usize,
+}
+
+impl Membership {
+    pub fn new(plan: &FaultPlan, n_pes: usize) -> Membership {
+        let mut ev = [Event { ts_ns: 0, pe: 0, kind: EventKind::Evict }; 2 * MAX_CRASHES];
+        let mut n = 0;
+        if plan.n_crashes > 0 {
+            assert!(n_pes <= 64, "membership views are 64-bit PE masks");
+        }
+        for c in plan.crashes() {
+            let detect = c.at_ns + DETECT_BOUND_NS;
+            if c.rejoin_ns != 0 && c.rejoin_ns <= detect {
+                // transparent blip: back before any lease expired
+                continue;
+            }
+            ev[n] = Event { ts_ns: detect, pe: c.pe, kind: EventKind::Evict };
+            n += 1;
+            if c.rejoin_ns != 0 {
+                ev[n] = Event { ts_ns: c.rejoin_ns, pe: c.pe, kind: EventKind::Rejoin };
+                n += 1;
+            }
+        }
+        ev[..n].sort_by_key(|e| (e.ts_ns, e.pe));
+        Membership { n_pes: n_pes as u32, plan: *plan, events: ev, n_events: n }
+    }
+
+    /// Cheap hot-path gate: false means no crash is scheduled and every
+    /// membership query short-circuits (unfaulted runs must not draw).
+    pub fn armed(&self) -> bool {
+        self.plan.n_crashes > 0
+    }
+
+    /// Is `pe` physically fail-stopped at `now_ns` (its hardware is
+    /// dead, whether or not survivors have detected it yet)?
+    pub fn crashed(&self, pe: u32, now_ns: u64) -> bool {
+        self.plan.crashed(pe, now_ns)
+    }
+
+    /// The deterministic instant every survivor detects `pe`'s death
+    /// (lease expiry), if `pe` has a detectable crash scheduled.
+    pub fn detect_ns(&self, pe: u32) -> Option<u64> {
+        self.events()
+            .iter()
+            .find(|e| e.pe == pe && e.kind == EventKind::Evict)
+            .map(|e| e.ts_ns)
+    }
+
+    /// The rejoin instant of `pe`'s detectable crash, if it rejoins.
+    pub fn rejoin_ns(&self, pe: u32) -> Option<u64> {
+        self.events()
+            .iter()
+            .find(|e| e.pe == pe && e.kind == EventKind::Rejoin)
+            .map(|e| e.ts_ns)
+    }
+
+    /// The view epoch in force right after `pe`'s eviction was applied
+    /// — the epoch a [`crate::TransferError::PeerDead`] carries.
+    pub fn eviction_epoch(&self, pe: u32) -> Option<u64> {
+        self.events()
+            .iter()
+            .position(|e| e.pe == pe && e.kind == EventKind::Evict)
+            .map(|i| i as u64 + 1)
+    }
+
+    /// The epoch at `now_ns`: the number of transitions applied.
+    pub fn epoch_at(&self, now_ns: u64) -> u64 {
+        self.events().iter().take_while(|e| e.ts_ns <= now_ns).count() as u64
+    }
+
+    /// The full view at `now_ns`.
+    pub fn view_at(&self, now_ns: u64) -> View {
+        let full = if self.n_pes == 64 { u64::MAX } else { (1u64 << self.n_pes) - 1 };
+        let mut v = View { epoch: 0, alive: full, members: full };
+        for e in self.events().iter().take_while(|e| e.ts_ns <= now_ns) {
+            match e.kind {
+                EventKind::Evict => {
+                    v.alive &= !(1u64 << e.pe);
+                    v.members &= !(1u64 << e.pe);
+                }
+                EventKind::Rejoin => v.alive |= 1u64 << e.pe,
+            }
+            v.epoch += 1;
+        }
+        v
+    }
+
+    fn events(&self) -> &[Event] {
+        &self.events[..self.n_events]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plan() -> FaultPlan {
+        FaultPlan::default()
+            .with_crash(1, 100_000, 800_000)
+            .with_crash(3, 200_000, 0)
+    }
+
+    #[test]
+    fn views_are_pure_and_epoch_numbered() {
+        let ms = Membership::new(&plan(), 8);
+        assert!(ms.armed());
+        // before anything: full view, epoch 0
+        let v0 = ms.view_at(0);
+        assert_eq!(v0, View { epoch: 0, alive: 0xff, members: 0xff });
+        // pe1 crashed but undetected: still in the view
+        let v1 = ms.view_at(100_000 + DETECT_BOUND_NS - 1);
+        assert_eq!(v1.epoch, 0);
+        assert!(v1.is_alive(1));
+        assert!(ms.crashed(1, 100_000), "physically dead before detection");
+        // detection evicts pe1 at exactly crash + bound
+        assert_eq!(ms.detect_ns(1), Some(100_000 + DETECT_BOUND_NS));
+        let v2 = ms.view_at(100_000 + DETECT_BOUND_NS);
+        assert_eq!(v2.epoch, 1);
+        assert!(!v2.is_alive(1) && !v2.is_member(1));
+        assert_eq!(ms.eviction_epoch(1), Some(1));
+        // pe3 evicted next, never rejoins
+        let v3 = ms.view_at(200_000 + DETECT_BOUND_NS);
+        assert_eq!(v3.epoch, 2);
+        assert_eq!(v3.member_list(8), vec![0, 2, 4, 5, 6, 7]);
+        assert_eq!(ms.rejoin_ns(3), None);
+        // pe1 rejoins: alive again, but never re-admitted to collectives
+        let v4 = ms.view_at(800_000);
+        assert_eq!(v4.epoch, 3);
+        assert!(v4.is_alive(1));
+        assert!(!v4.is_member(1), "rejoined PEs stay out of collectives");
+        assert!(!ms.crashed(1, 800_000));
+        assert_eq!(ms.epoch_at(u64::MAX), 3);
+    }
+
+    #[test]
+    fn transparent_blip_never_reaches_the_view() {
+        // rejoin lands before the lease expires: no eviction, no epoch
+        let p = FaultPlan::default().with_crash(0, 50_000, 50_000 + DETECT_BOUND_NS);
+        let ms = Membership::new(&p, 4);
+        assert_eq!(ms.epoch_at(u64::MAX), 0);
+        assert_eq!(ms.detect_ns(0), None);
+        assert!(ms.crashed(0, 60_000), "still physically dead inside the blip");
+        assert_eq!(ms.view_at(u64::MAX), View { epoch: 0, alive: 0xf, members: 0xf });
+    }
+
+    #[test]
+    fn unfaulted_membership_is_inert() {
+        let ms = Membership::new(&FaultPlan::default(), 16);
+        assert!(!ms.armed());
+        assert_eq!(ms.epoch_at(u64::MAX), 0);
+        assert_eq!(ms.view_at(12345).member_list(16).len(), 16);
+    }
+}

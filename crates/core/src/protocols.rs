@@ -325,6 +325,7 @@ impl ShmemMachine {
             self.obs().latency("put-nbi", 0, SimDuration::ZERO);
             return Ok(());
         }
+        self.peer_gate(ctx, me, target)?;
         let dst = self.layout().resolve(dest, target);
         let rkey = self.layout().rkey(dest.domain, target);
         let same_node = self.cluster().topo().same_node(me, target);
@@ -403,6 +404,7 @@ impl ShmemMachine {
             crate::addr::Domain::Host,
             "signals live in host symmetric memory (wait_until polls them)"
         );
+        self.peer_gate(ctx, me, target)?;
         let dst = self.layout().resolve(dest, target);
         if self.put_rdma_serviced(me, target, src, dst, len) {
             let t0 = ctx.now();
@@ -495,6 +497,7 @@ impl ShmemMachine {
             self.obs().latency("get-nbi", 0, SimDuration::ZERO);
             return Ok(());
         }
+        self.peer_gate(ctx, me, from)?;
         let src = self.layout().resolve(source, from);
         let rkey = self.layout().rkey(source.domain, from);
         if self.get_rdma_serviced(me, from, src, dst, len) {
@@ -743,6 +746,7 @@ impl ShmemMachine {
             self.obs().latency("put", 0, SimDuration::ZERO);
             return Ok(());
         }
+        self.peer_gate(ctx, me, target)?;
         let t0 = ctx.now();
         let token = self.next_op(me);
         let st = self.pe_state(me);
@@ -1065,6 +1069,7 @@ impl ShmemMachine {
             self.obs().latency("get", 0, SimDuration::ZERO);
             return Ok(());
         }
+        self.peer_gate(ctx, me, from)?;
         let t0 = ctx.now();
         let token = self.next_op(me);
         let st = self.pe_state(me);
@@ -1312,6 +1317,7 @@ impl ShmemMachine {
         target: ProcId,
         op: AtomicOp,
     ) -> Result<u64, TransferError> {
+        self.peer_gate(ctx, me, target)?;
         let t0 = ctx.now();
         let token = self.next_op(me);
         let st = self.pe_state(me);

@@ -119,6 +119,7 @@ impl ShmemMachine {
         cell_off: u64,
         value: u64,
     ) -> Result<(), TransferError> {
+        self.peer_gate(ctx, me, target)?;
         let dst = self.sync_cell(target, cell_off);
         let topo = self.cluster().topo();
         if topo.same_node(me, target) {
@@ -161,6 +162,7 @@ impl ShmemMachine {
         src: MemRef,
         len: u64,
     ) -> Result<(), TransferError> {
+        self.peer_gate(ctx, me, target)?;
         let dst = self.sync_cell(target, cell_off);
         let topo = self.cluster().topo();
         if topo.same_node(me, target) {
@@ -187,10 +189,21 @@ impl ShmemMachine {
     /// never arrives — a lost flag write becomes a typed error the
     /// collectives recover from by replaying, never a hang. Unfaulted
     /// runs keep the historic unbounded loop.
+    ///
+    /// `from` names the expected writer, making the wait fail-stop
+    /// aware: when the writer's crash becomes detectable (lease expiry)
+    /// and the flag still has not arrived, the wait fails over with
+    /// [`TransferError::PeerDead`] at the eviction instant instead of
+    /// burning the full sync timeout — this bounds collective
+    /// view convergence by `DETECT_BOUND_NS`, not by the replay
+    /// budget. A waiter whose own detectable crash arrives mid-wait
+    /// fail-stops the same way; a transparent blip of either side just
+    /// keeps polling (the flag can still arrive after the rejoin).
     pub(crate) fn try_sync_wait(
         self: &Arc<Self>,
         ctx: &TaskCtx,
         me: ProcId,
+        from: ProcId,
         cell_off: u64,
         pred: impl Fn(u64) -> bool,
     ) -> Result<(), TransferError> {
@@ -207,10 +220,30 @@ impl ShmemMachine {
             0
         };
         let deadline = ctx.now().0 + timeout_ns * sim_core::PS_PER_NS;
+        let ms = *self.membership();
+        let writer_evicts = if ms.armed() { ms.detect_ns(from.0) } else { None };
+        let me_evicts = if ms.armed() { ms.detect_ns(me.0) } else { None };
         loop {
             self.drain_pending(ctx, me);
             if pred(arena.read_u64(cell.offset).expect("sync flag read")) {
                 return Ok(());
+            }
+            let now_ns = ctx.now().0 / sim_core::PS_PER_NS;
+            if me_evicts.is_some() && ms.crashed(me.0, now_ns) {
+                return Err(TransferError::PeerDead {
+                    pe: me.0,
+                    epoch: ms.epoch_at(now_ns),
+                });
+            }
+            if let Some(detect) = writer_evicts {
+                if now_ns >= detect && ms.crashed(from.0, now_ns) {
+                    return Err(TransferError::PeerDead {
+                        pe: from.0,
+                        epoch: ms
+                            .eviction_epoch(from.0)
+                            .expect("detectable crash has an eviction epoch"),
+                    });
+                }
             }
             if timeout_ns > 0 && ctx.now().0 >= deadline {
                 return Err(TransferError::Timeout {

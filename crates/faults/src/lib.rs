@@ -17,7 +17,11 @@
 //! - correlated burst windows: a virtual-time interval during which
 //!   *every* post drawn — pipeline chunks, proxy relays, serve-get
 //!   replies, sync-area flag writes — fails at once, exercising
-//!   recovery under simultaneous exhaustion.
+//!   recovery under simultaneous exhaustion;
+//! - fail-stop crash faults (`crash=pe:at_ns[:rejoin_ns]`): a PE's
+//!   HCA/proxy/GPU activity dies at a virtual instant and optionally
+//!   rejoins later — detection, eviction, and rejoin semantics live in
+//!   the core membership layer.
 //!
 //! The plan is `Copy` (fixed-capacity window arrays, no heap) so it can
 //! live inside the runtime's `RuntimeConfig` without disturbing the
@@ -32,6 +36,8 @@ pub const MAX_LINK_WINDOWS: usize = 4;
 pub const MAX_PROXY_STALLS: usize = 4;
 /// Maximum correlated burst windows in one plan.
 pub const MAX_BURST_WINDOWS: usize = 4;
+/// Maximum fail-stop crash faults in one plan.
+pub const MAX_CRASHES: usize = 2;
 
 /// Stream salt for the dedicated sync-area flag-write CQE stream:
 /// `sync_flag_put` / `sync_data_put` posts draw from
@@ -89,6 +95,20 @@ pub struct BurstWindow {
     pub end_ns: u64,
 }
 
+/// One fail-stop crash fault: PE `pe`'s HCA/proxy/GPU activity dies at
+/// virtual instant `at_ns`. `rejoin_ns == 0` means the PE never comes
+/// back; otherwise it rejoins (with symmetric-heap re-registration and
+/// a breaker warm-up probe) at `rejoin_ns`. Detection, eviction, and
+/// the epoch-numbered membership view derived from these faults live in
+/// `crates/core/src/membership.rs` — the plan only carries the schedule.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CrashFault {
+    pub pe: u32,
+    pub at_ns: u64,
+    /// Rejoin instant; 0 = fail-stop forever.
+    pub rejoin_ns: u64,
+}
+
 /// A complete, seeded fault plan. `FaultPlan::default()` injects
 /// nothing; [`FaultPlan::active`] is the cheap hot-path gate.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -119,6 +139,9 @@ pub struct FaultPlan {
     pub n_proxy_stalls: u8,
     pub burst_windows: [BurstWindow; MAX_BURST_WINDOWS],
     pub n_burst_windows: u8,
+    /// Fail-stop crash schedule (see [`CrashFault`]).
+    pub crashes: [CrashFault; MAX_CRASHES],
+    pub n_crashes: u8,
     /// Sliding virtual-time window over which the health tracker counts
     /// failures per protocol (see `crates/core/src/health.rs`).
     pub health_window_ns: u64,
@@ -147,6 +170,8 @@ impl Default for FaultPlan {
             n_proxy_stalls: 0,
             burst_windows: [BurstWindow::default(); MAX_BURST_WINDOWS],
             n_burst_windows: 0,
+            crashes: [CrashFault::default(); MAX_CRASHES],
+            n_crashes: 0,
             health_window_ns: 200_000,
             health_threshold: 3,
             health_cooldown_ns: 500_000,
@@ -178,6 +203,7 @@ impl FaultPlan {
             || self.n_proxy_stalls > 0
             || self.op_timeout_ns > 0
             || self.n_burst_windows > 0
+            || self.n_crashes > 0
     }
 
     /// True when CQE draws can ever fail (per-post permille or a burst
@@ -254,6 +280,39 @@ impl FaultPlan {
         self.burst_windows[n] = BurstWindow { start_ns, end_ns };
         self.n_burst_windows += 1;
         self
+    }
+
+    /// Builder: append a fail-stop crash fault (`rejoin_ns == 0` means
+    /// the PE never rejoins).
+    pub fn with_crash(mut self, pe: u32, at_ns: u64, rejoin_ns: u64) -> Self {
+        assert!(
+            rejoin_ns == 0 || rejoin_ns > at_ns,
+            "crash rejoin_ns must be 0 (never) or after at_ns"
+        );
+        let n = self.n_crashes as usize;
+        assert!(n < MAX_CRASHES, "too many crash faults (max {MAX_CRASHES})");
+        self.crashes[n] = CrashFault { pe, at_ns, rejoin_ns };
+        self.n_crashes += 1;
+        self
+    }
+
+    /// Configured fail-stop crash faults.
+    pub fn crashes(&self) -> &[CrashFault] {
+        &self.crashes[..self.n_crashes as usize]
+    }
+
+    /// The crash fault scheduled for `pe`, if any (at most one per PE
+    /// is meaningful; the first wins).
+    pub fn crash_of(&self, pe: u32) -> Option<CrashFault> {
+        self.crashes().iter().copied().find(|c| c.pe == pe)
+    }
+
+    /// Is `pe` fail-stopped at virtual time `now_ns` (crashed, and not
+    /// yet rejoined)?
+    pub fn crashed(&self, pe: u32, now_ns: u64) -> bool {
+        self.crash_of(pe).is_some_and(|c| {
+            now_ns >= c.at_ns && (c.rejoin_ns == 0 || now_ns < c.rejoin_ns)
+        })
     }
 
     /// Builder: health-tracker shape (sliding window, failure
@@ -384,28 +443,33 @@ impl FaultPlan {
     /// index a number or `*`); `stall` is `node:start_ns:end_ns:extra_ns`;
     /// `burst` is `start_ns:end_ns` (a correlated failure burst);
     /// `health` is `window_ns:threshold:cooldown_ns` (circuit-breaker
-    /// shape for health-driven protocol demotion).
+    /// shape for health-driven protocol demotion); `crash` is
+    /// `pe:at_ns[:rejoin_ns]` (fail-stop crash of a PE, optionally
+    /// rejoining later; omitted or 0 rejoin = dead forever).
     pub fn parse(s: &str) -> FaultPlan {
         let mut p = FaultPlan::default();
         for tok in s.split_whitespace() {
             let (k, v) = tok
                 .split_once('=')
                 .unwrap_or_else(|| panic!("fault plan token without '=': {tok:?}"));
-            let num = |what: &str| -> u64 {
-                v.parse::<u64>()
-                    .unwrap_or_else(|_| panic!("fault plan {what} must be a number: {tok:?}"))
+            // every malformed value names its key and the expected form
+            // — a chaos repro with a typo must fail loudly and legibly
+            let num = |what: &str, form: &str| -> u64 {
+                v.parse::<u64>().unwrap_or_else(|_| {
+                    panic!("fault plan key {k:?}: {what} must be a number (expected {form}), got {tok:?}")
+                })
             };
             match k {
-                "seed" => p.seed = num("seed"),
-                "cqe" => p.cqe_permille = num("cqe permille").min(1000) as u16,
-                "cqe-detect" => p.cqe_detect_ns = num("cqe-detect ns"),
-                "retries" => p.max_retries = num("retries") as u32,
-                "backoff" => p.backoff_base_ns = num("backoff ns").max(1),
-                "backoff-cap" => p.backoff_cap_ns = num("backoff-cap ns"),
-                "timeout" => p.op_timeout_ns = num("timeout ns"),
-                "gdr-off" => p.gdr_disabled_nodes = num("gdr-off bitmask"),
-                "late" => p.late_permille = num("late permille").min(1000) as u16,
-                "late-extra" => p.late_extra_ns = num("late-extra ns"),
+                "seed" => p.seed = num("seed", "seed=<u64>"),
+                "cqe" => p.cqe_permille = num("cqe permille", "cqe=<0..=1000>").min(1000) as u16,
+                "cqe-detect" => p.cqe_detect_ns = num("cqe-detect ns", "cqe-detect=<ns>"),
+                "retries" => p.max_retries = num("retries", "retries=<count>") as u32,
+                "backoff" => p.backoff_base_ns = num("backoff ns", "backoff=<ns>").max(1),
+                "backoff-cap" => p.backoff_cap_ns = num("backoff-cap ns", "backoff-cap=<ns>"),
+                "timeout" => p.op_timeout_ns = num("timeout ns", "timeout=<ns>"),
+                "gdr-off" => p.gdr_disabled_nodes = num("gdr-off bitmask", "gdr-off=<node bitmask>"),
+                "late" => p.late_permille = num("late permille", "late=<0..=1000>").min(1000) as u16,
+                "late-extra" => p.late_extra_ns = num("late-extra ns", "late-extra=<ns>"),
                 "link" => p = p.with_link_window(parse_link_window(v)),
                 "stall" => p = p.with_proxy_stall(parse_proxy_stall(v)),
                 "burst" => {
@@ -416,7 +480,15 @@ impl FaultPlan {
                     let (w, t, c) = parse_health(v);
                     p = p.with_health(w, t, c);
                 }
-                _ => panic!("unknown fault plan key {k:?} in {tok:?}"),
+                "crash" => {
+                    let (pe, at, rejoin) = parse_crash(v);
+                    p = p.with_crash(pe, at, rejoin);
+                }
+                _ => panic!(
+                    "unknown fault plan key {k:?} in {tok:?} (known keys: seed cqe \
+                     cqe-detect retries backoff backoff-cap timeout gdr-off late \
+                     late-extra link stall burst health crash)"
+                ),
             }
         }
         p
@@ -479,6 +551,12 @@ impl std::fmt::Display for FaultPlan {
         }
         for b in self.burst_windows() {
             write!(f, " burst={}:{}", b.start_ns, b.end_ns)?;
+        }
+        for c in self.crashes() {
+            write!(f, " crash={}:{}", c.pe, c.at_ns)?;
+            if c.rejoin_ns != 0 {
+                write!(f, ":{}", c.rejoin_ns)?;
+            }
         }
         if (self.health_window_ns, self.health_threshold, self.health_cooldown_ns)
             != (d.health_window_ns, d.health_threshold, d.health_cooldown_ns)
@@ -573,6 +651,27 @@ impl FaultPlan {
             100_000 + d(72) % 500_000,
         )
     }
+
+    /// [`FaultPlan::generate`] plus the fail-stop crash dimension, for
+    /// campaigns that opt into membership churn (`gdrchaos run
+    /// --crash`). Kept out of the base generator so pre-crash campaign
+    /// seeds keep their byte-identical trajectories; the crash draws
+    /// ride fresh salts (80+) so every other dimension of the plan is
+    /// exactly what `generate` would have produced. Roughly one trial
+    /// in three crashes a PE, and a generated crash always rejoins
+    /// before [`GEN_HORIZON_NS`] so the breaker-recovery oracle still
+    /// observes a fully healed fabric at quiesce.
+    pub fn generate_with_crashes(campaign_seed: u64, trial: u64) -> FaultPlan {
+        let d = |salt: u64| mix(campaign_seed, 0x4745_4E00 + salt, trial);
+        let mut p = Self::generate(campaign_seed, trial);
+        if d(80) % 3 == 0 {
+            let pe = (d(81) % 2) as u32;
+            let at = 50_000 + d(82) % 1_000_000;
+            let rejoin = at + 300_000 + d(83) % (GEN_HORIZON_NS - at - 300_000);
+            p = p.with_crash(pe, at, rejoin);
+        }
+        p
+    }
 }
 
 fn parse_link_window(v: &str) -> LinkWindow {
@@ -627,6 +726,24 @@ fn parse_health(v: &str) -> (u64, u32, u64) {
         n(parts[0], "window_ns"),
         n(parts[1], "threshold") as u32,
         n(parts[2], "cooldown_ns"),
+    )
+}
+
+fn parse_crash(v: &str) -> (u32, u64, u64) {
+    let parts: Vec<&str> = v.split(':').collect();
+    assert!(
+        parts.len() == 2 || parts.len() == 3,
+        "fault plan key \"crash\": expected crash=pe:at_ns[:rejoin_ns], got {v:?}"
+    );
+    let n = |s: &str, what: &str| -> u64 {
+        s.parse().unwrap_or_else(|_| {
+            panic!("fault plan key \"crash\": {what} must be a number (expected crash=pe:at_ns[:rejoin_ns]), got {v:?}")
+        })
+    };
+    (
+        n(parts[0], "pe") as u32,
+        n(parts[1], "at_ns"),
+        if parts.len() == 3 { n(parts[2], "rejoin_ns") } else { 0 },
     )
 }
 
@@ -895,6 +1012,65 @@ mod tests {
                 assert!(b.end_ns <= GEN_HORIZON_NS);
             }
         }
+    }
+
+    #[test]
+    fn crash_grammar_round_trips_and_predicates_cover_lifetime() {
+        let p = FaultPlan::parse("crash=1:100000:600000 crash=0:50000");
+        assert_eq!(p.crashes().len(), 2);
+        assert_eq!(
+            p.crash_of(1),
+            Some(CrashFault { pe: 1, at_ns: 100_000, rejoin_ns: 600_000 })
+        );
+        assert!(p.active(), "a crash alone makes the plan active");
+        // pe 1 is dead exactly in [at, rejoin)
+        assert!(!p.crashed(1, 99_999));
+        assert!(p.crashed(1, 100_000));
+        assert!(p.crashed(1, 599_999));
+        assert!(!p.crashed(1, 600_000));
+        // pe 0 never rejoins
+        assert!(p.crashed(0, u64::MAX - 1));
+        assert!(!p.crashed(2, 1_000_000), "unscheduled PE never crashes");
+        assert_eq!(FaultPlan::parse(&p.to_string()), p);
+        // rejoin-less display omits the third field
+        assert_eq!(
+            FaultPlan::default().with_crash(0, 5, 0).to_string(),
+            "seed=1 crash=0:5"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "rejoin_ns must be 0 (never) or after at_ns")]
+    fn crash_rejoin_before_death_is_rejected() {
+        let _ = FaultPlan::default().with_crash(0, 100, 50);
+    }
+
+    #[test]
+    fn generate_with_crashes_is_pure_and_leaves_base_dimensions_alone() {
+        let mut saw_crash = false;
+        for trial in 0..128 {
+            let base = FaultPlan::generate(7, trial);
+            let c = FaultPlan::generate_with_crashes(7, trial);
+            assert_eq!(c, FaultPlan::generate_with_crashes(7, trial), "pure");
+            // stripping the crash dimension recovers the base plan exactly
+            let mut stripped = c;
+            stripped.crashes = [CrashFault::default(); MAX_CRASHES];
+            stripped.n_crashes = 0;
+            assert_eq!(stripped, base, "crash draws must not reshuffle other dimensions");
+            for cr in c.crashes() {
+                saw_crash = true;
+                assert!(cr.pe < 2);
+                assert!(cr.rejoin_ns > cr.at_ns, "generated crashes always rejoin");
+                assert!(cr.rejoin_ns <= GEN_HORIZON_NS);
+            }
+        }
+        assert!(saw_crash, "128 trials must draw at least one crash");
+    }
+
+    #[test]
+    #[should_panic(expected = "expected crash=pe:at_ns[:rejoin_ns]")]
+    fn malformed_crash_names_key_and_form() {
+        FaultPlan::parse("crash=1:oops");
     }
 
     #[test]

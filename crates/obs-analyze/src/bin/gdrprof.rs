@@ -29,6 +29,9 @@
 //!      latencies held — the throughput early-warning gate)
 //!   6  diff found an SLO-violation-count regression (the candidate's
 //!      windowed metrics plane breached more budgets than the baseline)
+//!   7  diff found a membership regression (the candidate converged its
+//!      fail-stop view slower than the baseline or left more evictions
+//!      without a rejoin)
 
 use obs_analyze::{analyze, crossover, diff, timeline, whatif, Report, Trace};
 use std::process::ExitCode;
@@ -47,7 +50,8 @@ exit codes:
   3  trace contained no analyzable operations
   4  diff found a latency/recovery regression over the threshold
   5  diff found a contention-only regression
-  6  diff found an SLO-violation-count regression";
+  6  diff found an SLO-violation-count regression
+  7  diff found a membership (fail-stop view) regression";
 
 fn fail(code: u8, msg: &str) -> ExitCode {
     eprintln!("gdrprof: {msg}");
@@ -150,6 +154,9 @@ fn cmd_diff(args: &[String]) -> ExitCode {
     }
     if d.slo_regressions() > 0 {
         return fail(6, "slo-violation-count regression");
+    }
+    if d.membership_regressions() > 0 {
+        return fail(7, "membership (fail-stop view) regression");
     }
     ExitCode::SUCCESS
 }

@@ -85,6 +85,24 @@ pub struct SloRow {
     pub regressed: bool,
 }
 
+/// Fail-stop membership comparison: view-convergence time and
+/// unrecovered evictions. The candidate must not converge slower than
+/// the baseline (beyond the threshold, relative) and must not leave
+/// more evictions without a matching rejoin. A membership regression
+/// trips exit code 7.
+#[derive(Clone, Debug)]
+pub struct MembershipRow {
+    /// Baseline worst view-convergence time, microseconds.
+    pub a_convergence_us: f64,
+    /// Candidate worst view-convergence time.
+    pub b_convergence_us: f64,
+    /// Baseline evictions never followed by a rejoin.
+    pub a_unrecovered: u64,
+    /// Candidate evictions never followed by a rejoin.
+    pub b_unrecovered: u64,
+    pub regressed: bool,
+}
+
 /// Link-contention comparison for one hardware link track: the fraction
 /// of the trace each run spent with the link's queue depth >= 2.
 #[derive(Clone, Debug)]
@@ -125,11 +143,19 @@ pub struct DiffReport {
     /// candidate must not record more SLO violations than the
     /// baseline. A violation-count regression exits with code 6.
     pub slo: Option<SloRow>,
+    /// Present when either side observed a fail-stop eviction: the
+    /// candidate must not converge its membership view slower than the
+    /// baseline nor leave more evictions unrecovered. A membership
+    /// regression exits with code 7.
+    pub membership: Option<MembershipRow>,
 }
 
 impl DiffReport {
     pub fn regressions(&self) -> usize {
-        self.latency_regressions() + self.contention_regressions() + self.slo_regressions()
+        self.latency_regressions()
+            + self.contention_regressions()
+            + self.slo_regressions()
+            + self.membership_regressions()
     }
 
     /// Regressed rows in the latency/recovery/partial/health sections —
@@ -150,6 +176,13 @@ impl DiffReport {
     /// the candidate violated more budgets than the baseline.
     pub fn slo_regressions(&self) -> usize {
         usize::from(self.slo.as_ref().is_some_and(|s| s.regressed))
+    }
+
+    /// Membership regressions (the exit-code-7 gate): 1 when the
+    /// candidate converged its view slower than the baseline or left
+    /// more evictions unrecovered.
+    pub fn membership_regressions(&self) -> usize {
+        usize::from(self.membership.as_ref().is_some_and(|m| m.regressed))
     }
 
     pub fn text(&self) -> String {
@@ -243,6 +276,19 @@ impl DiffReport {
                 s,
                 "  {:<28} a {:<5} in {:<4} windows  b {:<5} in {:<4} windows{mark}",
                 "violations", slo.a_violations, slo.a_windows, slo.b_violations, slo.b_windows,
+            );
+        }
+        if let Some(m) = &self.membership {
+            let mark = if m.regressed { "  REGRESSED" } else { "" };
+            let _ = writeln!(s, "membership (fail-stop view):");
+            let _ = writeln!(
+                s,
+                "  {:<28} a {:.3}us / {} unrecovered  b {:.3}us / {} unrecovered{mark}",
+                "view-convergence",
+                m.a_convergence_us,
+                m.a_unrecovered,
+                m.b_convergence_us,
+                m.b_unrecovered,
             );
         }
         let _ = writeln!(s, "regressions: {}", self.regressions());
@@ -359,9 +405,20 @@ impl DiffReport {
                 .bool_field("regressed", slo.regressed);
             sj.finish();
         }
+        if let Some(m) = &self.membership {
+            let buf = o.raw_field("membership");
+            let mut mj = ObjWriter::new(buf);
+            mj.num_field("a_convergence_us", m.a_convergence_us)
+                .num_field("b_convergence_us", m.b_convergence_us)
+                .u64_field("a_unrecovered", m.a_unrecovered)
+                .u64_field("b_unrecovered", m.b_unrecovered)
+                .bool_field("regressed", m.regressed);
+            mj.finish();
+        }
         o.u64_field("latency_regressions", self.latency_regressions() as u64);
         o.u64_field("contention_regressions", self.contention_regressions() as u64);
         o.u64_field("slo_regressions", self.slo_regressions() as u64);
+        o.u64_field("membership_regressions", self.membership_regressions() as u64);
         o.u64_field("regressions", self.regressions() as u64);
         o.finish();
         out
@@ -587,6 +644,29 @@ pub fn diff(a: &Report, b: &Report, threshold_pct: f64) -> DiffReport {
     } else {
         None
     };
+    // fail-stop membership: view-convergence time and unrecovered
+    // evictions; a pair with no evictions on either side produces no
+    // section
+    let membership = if a.membership.pe_dead > 0 || b.membership.pe_dead > 0 {
+        let am = &a.membership;
+        let bm = &b.membership;
+        let a_unrec = am.evicts.saturating_sub(am.rejoins);
+        let b_unrec = bm.evicts.saturating_sub(bm.rejoins);
+        // convergence regresses relative to the baseline (like the
+        // latency rows); unrecovered evictions regress on count
+        let conv_regressed = am.convergence_us > 0.0
+            && (bm.convergence_us - am.convergence_us) / am.convergence_us * 100.0
+                > threshold_pct;
+        Some(MembershipRow {
+            a_convergence_us: am.convergence_us,
+            b_convergence_us: bm.convergence_us,
+            a_unrecovered: a_unrec,
+            b_unrecovered: b_unrec,
+            regressed: conv_regressed || b_unrec > a_unrec,
+        })
+    } else {
+        None
+    };
     DiffReport {
         threshold_pct,
         rows,
@@ -595,5 +675,6 @@ pub fn diff(a: &Report, b: &Report, threshold_pct: f64) -> DiffReport {
         health,
         contention,
         slo,
+        membership,
     }
 }

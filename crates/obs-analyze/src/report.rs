@@ -148,6 +148,28 @@ impl HealthStat {
     }
 }
 
+/// Fail-stop membership summary (from the `pe-dead`/`evict`/
+/// `view-change`/`rejoin` instants the membership layer records under
+/// a `crash=` fault plan). All-zero on crash-free traces.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct MemberStat {
+    /// Crash detections (`pe-dead` instants).
+    pub pe_dead: u64,
+    /// Evictions applied to the view.
+    pub evicts: u64,
+    /// View-epoch bumps observed.
+    pub view_changes: u64,
+    /// Rejoin re-admissions (symmetric-heap re-registration done).
+    pub rejoins: u64,
+    /// Highest view epoch seen on any membership instant.
+    pub last_epoch: u64,
+    /// Worst observed view-convergence time: max over crashed PEs of
+    /// (eviction instant − `pe-dead` instant), microseconds. The
+    /// membership layer bounds this by `DETECT_BOUND_NS`; a growth here
+    /// between runs means detection latency regressed.
+    pub convergence_us: f64,
+}
+
 /// Everything `gdrprof` reports about one trace.
 #[derive(Clone, Debug, Default)]
 pub struct Report {
@@ -166,6 +188,9 @@ pub struct Report {
     /// protocol -> circuit-breaker lifecycle stats (empty when the
     /// health monitor never transitioned).
     pub health: BTreeMap<String, HealthStat>,
+    /// Fail-stop membership lifecycle summary (all-zero on crash-free
+    /// traces).
+    pub membership: MemberStat,
     /// link track name -> utilization stats.
     pub links: BTreeMap<String, LinkStat>,
     /// Windowed-metrics snapshots present in the trace (0 when the
@@ -378,6 +403,30 @@ pub fn analyze(tr: &Trace) -> Report {
         }
     }
 
+    // membership lifecycle: event counts plus the observed
+    // view-convergence time — per crashed PE, eviction instant minus
+    // the pe-dead instant; report the worst
+    let mut dead_ts: BTreeMap<u32, f64> = BTreeMap::new();
+    for m in &tr.membership {
+        let st = &mut rep.membership;
+        match m.event.as_str() {
+            "pe-dead" => {
+                st.pe_dead += 1;
+                dead_ts.entry(m.pe).or_insert(m.ts_us);
+            }
+            "evict" => {
+                st.evicts += 1;
+                if let Some(&t0) = dead_ts.get(&m.pe) {
+                    st.convergence_us = st.convergence_us.max(m.ts_us - t0);
+                }
+            }
+            "view-change" => st.view_changes += 1,
+            "rejoin" => st.rejoins += 1,
+            _ => {}
+        }
+        st.last_epoch = st.last_epoch.max(m.epoch);
+    }
+
     for (name, pts) in &tr.links {
         let mut ls = LinkStat {
             samples: pts.len() as u64,
@@ -482,6 +531,16 @@ impl Report {
                     h.promote_rate() * 100.0
                 );
             }
+        }
+        if self.membership.pe_dead > 0 || self.membership.rejoins > 0 {
+            let m = &self.membership;
+            let _ = writeln!(s, "\nmembership:");
+            let _ = writeln!(
+                s,
+                "  pe-dead {:<5} evicts {:<5} view-changes {:<5} rejoins {:<5} last-epoch {}",
+                m.pe_dead, m.evicts, m.view_changes, m.rejoins, m.last_epoch
+            );
+            let _ = writeln!(s, "  view-convergence {:.3}us (worst observed)", m.convergence_us);
         }
         if self.windows > 0 {
             let _ = writeln!(
@@ -609,6 +668,19 @@ impl Report {
                 e.finish();
             }
             hj.finish();
+        }
+        {
+            // additive: fail-stop membership lifecycle (all zeros on
+            // crash-free traces), for the membership diff gate
+            let buf = o.raw_field("membership");
+            let mut mj = ObjWriter::new(buf);
+            mj.u64_field("pe_dead", self.membership.pe_dead)
+                .u64_field("evicts", self.membership.evicts)
+                .u64_field("view_changes", self.membership.view_changes)
+                .u64_field("rejoins", self.membership.rejoins)
+                .u64_field("last_epoch", self.membership.last_epoch)
+                .num_field("convergence_us", self.membership.convergence_us);
+            mj.finish();
         }
         {
             let buf = o.raw_field("links");
@@ -790,6 +862,18 @@ impl Report {
                     },
                 );
             }
+        }
+        // additive: absent from pre-fail-stop report files, all-zero
+        if let Some(m) = v.get("membership") {
+            let ctx = "report.membership";
+            rep.membership = MemberStat {
+                pe_dead: u64_of(m, "pe_dead", ctx).unwrap_or(0),
+                evicts: u64_of(m, "evicts", ctx).unwrap_or(0),
+                view_changes: u64_of(m, "view_changes", ctx).unwrap_or(0),
+                rejoins: u64_of(m, "rejoins", ctx).unwrap_or(0),
+                last_epoch: u64_of(m, "last_epoch", ctx).unwrap_or(0),
+                convergence_us: f64_of(m, "convergence_us", ctx).unwrap_or(0.0),
+            };
         }
         // additive: absent from pre-windowing report files, defaults 0
         if let Some(tl) = v.get("timeline") {

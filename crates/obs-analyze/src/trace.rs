@@ -123,6 +123,18 @@ pub struct HealthEvent {
     pub ts_us: f64,
 }
 
+/// One membership transition (`ph:"i"`, names `pe-dead`, `evict`,
+/// `view-change`, `rejoin`): the fail-stop layer changed the view. The
+/// instant's *name* carries the transition; `epoch` is the view epoch
+/// in force right after it.
+#[derive(Clone, Debug)]
+pub struct MemberEvent {
+    pub event: String,
+    pub pe: u32,
+    pub epoch: u64,
+    pub ts_us: f64,
+}
+
 /// One per-link counter sample (`ph:"C"`, name `link`): cumulative
 /// totals as of the sampled reservation, plus the instantaneous queue.
 #[derive(Clone, Copy, Debug)]
@@ -216,6 +228,8 @@ pub struct Trace {
     pub fallbacks: Vec<FallbackEvent>,
     /// Circuit-breaker transitions in timestamp order.
     pub health: Vec<HealthEvent>,
+    /// Membership transitions (fail-stop layer) in timestamp order.
+    pub membership: Vec<MemberEvent>,
     /// link track name -> samples in timestamp order.
     pub links: BTreeMap<String, Vec<LinkPoint>>,
     /// Windowed-metrics snapshots in window order (absent on traces
@@ -406,6 +420,24 @@ impl Trace {
                         event,
                         protocol: text(args, "protocol").unwrap_or_default(),
                         op_id: num(args, "op_id").unwrap_or(0.0) as u64,
+                        ts_us: ts,
+                    });
+                }
+                "i" if matches!(
+                    e.get("name").and_then(Value::as_str),
+                    Some("pe-dead" | "evict" | "view-change" | "rejoin")
+                ) =>
+                {
+                    let Some(args) = args else { continue };
+                    let event = e
+                        .get("name")
+                        .and_then(Value::as_str)
+                        .unwrap_or_default()
+                        .to_string();
+                    tr.membership.push(MemberEvent {
+                        event,
+                        pe: num(args, "pe").unwrap_or(0.0) as u32,
+                        epoch: num(args, "epoch").unwrap_or(0.0) as u64,
                         ts_us: ts,
                     });
                 }

@@ -172,6 +172,11 @@ fn write_args(out: &mut String, p: &Payload) {
             o.str_field("protocol", protocol).u64_field("op_id", *op_id);
             o.finish();
         }
+        Payload::Member { pe, epoch } => {
+            let mut o = ObjWriter::new(out);
+            o.u64_field("pe", *pe as u64).u64_field("epoch", *epoch);
+            o.finish();
+        }
     }
 }
 

@@ -339,6 +339,13 @@ pub enum Payload {
         protocol: &'static str,
         op_id: u64,
     },
+    /// A membership lifecycle event (instant on the affected PE's
+    /// track): the instant's *name* is the transition — `"pe-dead"`
+    /// (crash instant), `"evict"` / `"view-change"` (lease-expiry
+    /// detection applies the epoch bump) or `"rejoin"` (the PE is
+    /// re-admitted for point-to-point traffic). `epoch` is the view
+    /// epoch in force right after the transition.
+    Member { pe: u32, epoch: u64 },
 }
 
 /// One recorded event. `dur == 0` renders as an instant.

@@ -31,6 +31,13 @@
 //! instants, which CI greps for and which `gdrprof` folds into the
 //! health report section.
 //!
+//! `--crash` runs a steady put cadence across a scheduled fail-stop
+//! of the peer PE with a rejoin after the detection bound: the trace
+//! deterministically contains the full `pe-dead` / `evict` /
+//! `view-change` / `rejoin` membership lifecycle plus the rejoined
+//! node's breaker `probe`/`promote` pair, which CI greps for and which
+//! `gdrprof` folds into the membership report section.
+//!
 //! `--plan "<grammar>"` replays an **arbitrary** `GDR_SHMEM_FAULTS`
 //! plan — typically a minimal repro shrunk by `gdrchaos` — under a
 //! fixed mixed workload (pipelined D-D put plus a host-put/get tail).
@@ -43,22 +50,50 @@ use pcie_sim::ClusterSpec;
 use shmem_gdr::{Design, Domain, RuntimeConfig, ShmemMachine, SimDuration};
 use std::process::ExitCode;
 
-const USAGE: &str =
-    "usage: chaos_trace OUT_TRACE.json [--degraded | --pipeline | --burst | --plan \"<grammar>\"]";
+const USAGE: &str = "usage:
+  chaos_trace OUT_TRACE.json              transient CQE faults + GDR-off fallback
+  chaos_trace OUT_TRACE.json --degraded   near-certain CQE faults, retry budget 1
+  chaos_trace OUT_TRACE.json --pipeline   chunk-retry + partial-delivery trace
+  chaos_trace OUT_TRACE.json --burst      breaker demote/probe/promote lifecycle
+  chaos_trace OUT_TRACE.json --crash      fail-stop membership lifecycle + rejoin
+  chaos_trace OUT_TRACE.json --plan \"<grammar>\"   replay a GDR_SHMEM_FAULTS plan
+
+environment:
+  GDR_CHAOS_PIPE_SEED    fault seed of the --pipeline plan (default 1)
+  GDR_CHAOS_BURST_SEED   fault seed of the --burst plan (default 5)
+  GDR_CHAOS_CRASH_SEED   fault seed of the --crash plan (default 5)
+
+Traces are byte-identical across runs of the same mode and seed, so CI
+can cmp two runs and grep the instants each mode guarantees.
+
+exit codes:
+  0  success
+  1  usage error
+  2  cannot write the output trace";
 
 fn main() -> ExitCode {
     let mut out = None;
     let mut degraded = false;
     let mut pipeline = false;
     let mut burst = false;
+    let mut crash = false;
     let mut grammar: Option<String> = None;
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        eprintln!("{USAGE}");
+        return ExitCode::from(1);
+    }
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--degraded" => degraded = true,
             "--pipeline" => pipeline = true,
             "--burst" => burst = true,
+            "--crash" => crash = true,
             "--plan" => {
                 i += 1;
                 match args.get(i) {
@@ -90,6 +125,9 @@ fn main() -> ExitCode {
     }
     if burst {
         return burst_fault_trace(&out);
+    }
+    if crash {
+        return crash_fault_trace(&out);
     }
 
     let mut plan = FaultPlan::default()
@@ -125,6 +163,44 @@ fn main() -> ExitCode {
         pe.barrier_all();
     });
     if let Err(e) = std::fs::write(&out, m.obs().chrome_trace()) {
+        eprintln!("chaos_trace: cannot write {out}: {e}");
+        return ExitCode::from(2);
+    }
+    ExitCode::SUCCESS
+}
+
+/// The `--crash` plan: PE 1 fail-stops at 120 us and rejoins at 500 us
+/// while PE 0 keeps a steady 4 KiB put cadence at it. The puts land
+/// until the crash, fail typed `PeerDead` from the detection instant
+/// (crash + the 150 us detection bound), and land again once the rejoin
+/// has re-registered the heap and walked the breaker's half-open probe
+/// — so the trace deterministically carries the full `pe-dead` /
+/// `evict` / `view-change` / `rejoin` lifecycle with the breaker's
+/// `probe`/`promote` pair.
+fn crash_fault_trace(out: &str) -> ExitCode {
+    let seed = std::env::var("GDR_CHAOS_CRASH_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(5);
+    let plan = FaultPlan::default().with_seed(seed).with_crash(1, 120_000, 500_000);
+    let cfg = RuntimeConfig::tuned(Design::EnhancedGdr)
+        .with_faults(plan)
+        .with_obs(ObsLevel::Spans);
+    let m = ShmemMachine::build(ClusterSpec::internode_pair(), cfg);
+    m.run(|pe| {
+        let dst = pe.shmalloc(4096, Domain::Host);
+        pe.barrier_all();
+        if pe.my_pe() == 0 {
+            let src = pe.malloc_host(4096);
+            for _ in 0..40 {
+                // typed PeerDead is expected across the dead window; the
+                // cadence itself must never panic or hang
+                let _ = pe.try_putmem(dst, src, 4096, 1);
+                pe.compute(SimDuration::from_us(20));
+            }
+        }
+    });
+    if let Err(e) = std::fs::write(out, m.obs().chrome_trace()) {
         eprintln!("chaos_trace: cannot write {out}: {e}");
         return ExitCode::from(2);
     }

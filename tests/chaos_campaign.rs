@@ -8,7 +8,8 @@
 //! asserted here are the same ones the CI gates `cmp`/grep for.
 
 use gdr_shmem::chaos::{
-    self, fixture_plan, render_repro, run_campaign, run_fixture, run_trial, TrialSpec, Workload,
+    self, crash_fixture_plan, fixture_plan, render_repro, run_campaign, run_campaign_with,
+    run_crash_fixture, run_fixture, run_trial, TrialSpec, Workload,
 };
 use gdr_shmem::faults::{FaultPlan, GEN_HORIZON_NS};
 
@@ -110,6 +111,7 @@ fn committed_repro_grammar_replays_byte_identically() {
         workload: Workload::PipelineDd,
         plan: FaultPlan::parse(grammar),
         strict_no_partial: true,
+        strict_no_peer_dead: false,
     };
     let a = run_trial(&spec);
     let b = run_trial(&spec);
@@ -118,5 +120,77 @@ fn committed_repro_grammar_replays_byte_identically() {
         .violations
         .iter()
         .any(|(oracle, _)| oracle == "no-partial-delivery"));
+    assert_eq!(a.violations, b.violations);
+}
+
+/// A crash-dimension campaign is violation-free (the survivor-bytes and
+/// view-convergence oracles hold on every trial), byte-identical across
+/// reruns, and actually exercises the fail-stop machinery: the summed
+/// lifecycle counters show evictions and at least one full rejoin.
+#[test]
+fn crash_campaign_is_clean_and_exercises_the_lifecycle() {
+    let (s1, f1) = run_campaign_with(11, 200, true);
+    let (s2, _) = run_campaign_with(11, 200, true);
+    assert_eq!(s1.render(), s2.render());
+    assert!(
+        f1.is_empty(),
+        "crash campaign seed 11 found violations:\n{}",
+        s1.render()
+    );
+    let c = |what: &str| -> u64 {
+        s1.fault_counters
+            .iter()
+            .filter(|((w, _), _)| w == what)
+            .map(|(_, n)| n)
+            .sum()
+    };
+    assert!(c("pe-dead") > 0, "no crash was ever detected");
+    assert_eq!(c("pe-dead"), c("evict"));
+    assert_eq!(c("evict"), c("view-change"));
+    assert!(c("rejoin") > 0, "no rejoin lifecycle ran");
+    assert!(c("probe") >= c("rejoin"), "rejoin without a HalfOpen probe");
+}
+
+/// Disabling the crash dimension reproduces the base campaign byte for
+/// byte: the crash draws ride on fresh generator salts, so crash-free
+/// trajectories are unperturbed.
+#[test]
+fn crash_flag_off_matches_base_campaign() {
+    let (base, _) = run_campaign(7, 24);
+    let (off, _) = run_campaign_with(7, 24, false);
+    assert_eq!(base.render(), off.render());
+}
+
+/// The crashed-PE fixture: an app tier that treats any typed `PeerDead`
+/// as fatal violates `no-peer-dead`, and the shrinker strips every
+/// noise dimension down to the minimal `crash=` repro, which replays
+/// byte-identically through the grammar.
+#[test]
+fn crash_fixture_shrinks_to_minimal_crash_repro() {
+    let (failure, minimal, probes) = run_crash_fixture().expect("crash fixture must violate");
+    assert_eq!(failure.oracle, "no-peer-dead");
+    let original = crash_fixture_plan().to_string();
+    assert!(original.contains("link=") && original.contains("stall="));
+    assert_eq!(minimal.to_string(), "seed=1 crash=1:20000:1200000");
+    assert!(probes > 0);
+
+    // grammar round-trip + byte-identical violation replay
+    let replay = FaultPlan::parse(&minimal.to_string());
+    assert_eq!(replay, minimal);
+    let spec = TrialSpec {
+        campaign_seed: chaos::FIXTURE_SEED,
+        trial: 0,
+        workload: Workload::RmaRandom,
+        plan: replay,
+        strict_no_partial: false,
+        strict_no_peer_dead: true,
+    };
+    let a = run_trial(&spec);
+    let b = run_trial(&spec);
+    assert_eq!(a.report, b.report);
+    // the shrunk plan's timing differs from the noisy original, so the
+    // first PeerDead op may differ — the oracle must reproduce, the
+    // specific op detail need not
+    assert!(a.violations.iter().any(|(o, _)| o == "no-peer-dead"));
     assert_eq!(a.violations, b.violations);
 }
