@@ -8,14 +8,34 @@ cargo build --release --workspace
 cargo test -q --workspace
 cargo clippy --workspace --all-targets -- -D warnings
 
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+# run_twice_cmp NAME CMD [ARGS...] — the determinism gate shared by
+# every byte-identical-replay check below. Runs CMD twice, substituting
+# the literal argv token OUT with "$tmp/NAME" on the first run and
+# "$tmp/NAME.rerun" on the second, and requires both the artifact pair
+# and the captured stdout pair to match byte-for-byte (a tool that
+# echoes its output path gets it normalized back to OUT first). Stderr
+# lands in "$tmp/NAME.stderr" for later greps (not compared — cargo may
+# chat there). Commands without an OUT token compare stdout only.
+run_twice_cmp() {
+    local name="$1"; shift
+    local a="$tmp/$name" b="$tmp/$name.rerun"
+    "${@/OUT/$a}" > "$a.stdout.raw" 2> "$a.stderr"
+    "${@/OUT/$b}" > "$b.stdout.raw" 2> "$b.stderr"
+    [ ! -e "$a" ] || cmp "$a" "$b"
+    sed "s|$b|OUT|g; s|$a|OUT|g" "$a.stdout.raw" > "$a.stdout"
+    sed "s|$b|OUT|g; s|$a|OUT|g" "$b.stdout.raw" > "$b.stdout"
+    cmp "$a.stdout" "$b.stdout"
+}
+
 # Bench report: run the OMB matrix + traced workload, write the
 # machine-readable report at the repo root, and prove determinism by
 # re-running and comparing byte-for-byte.
-tmp="$(mktemp -d)"
-trap 'rm -rf "$tmp"' EXIT
 cargo run --release -q -p omb --bin bench_omb BENCH_omb.json "$tmp/trace.json" "$tmp/sweep.json"
-cargo run --release -q -p omb --bin bench_omb "$tmp/BENCH_rerun.json"
-cmp BENCH_omb.json "$tmp/BENCH_rerun.json"
+run_twice_cmp BENCH.json cargo run --release -q -p omb --bin bench_omb OUT
+cmp BENCH_omb.json "$tmp/BENCH.json"
 
 # gdrprof smoke: the traced workload must analyze to a nonzero critical
 # path with the expected anchor lines.
@@ -37,17 +57,13 @@ grep -q '"schema":"gdrprof-diff-v1"' "$tmp/diff.json"
 # with the governing threshold's provenance; the profile is
 # deterministic (byte-identical across re-runs) and --suggest emits a
 # loadable thresholds-v1 artifact.
-cargo run --release -q -p obs-analyze --bin gdrprof -- crossover "$tmp/sweep.json" \
-    --json "$tmp/x1.json" --suggest "$tmp/suggest.json" > "$tmp/x1.txt"
-grep -q 'crossover .*/intra-socket:' "$tmp/x1.txt"
-grep -q 'crossover .*/inter-socket:' "$tmp/x1.txt"
-grep -q 'threshold gdr_put_limit=32768, builtin' "$tmp/x1.txt"
-grep -q 'threshold proxy_get_min=524288, builtin' "$tmp/x1.txt"
+run_twice_cmp x.json cargo run --release -q -p obs-analyze --bin gdrprof -- \
+    crossover "$tmp/sweep.json" --json OUT --suggest "$tmp/suggest.json"
+grep -q 'crossover .*/intra-socket:' "$tmp/x.json.stdout"
+grep -q 'crossover .*/inter-socket:' "$tmp/x.json.stdout"
+grep -q 'threshold gdr_put_limit=32768, builtin' "$tmp/x.json.stdout"
+grep -q 'threshold proxy_get_min=524288, builtin' "$tmp/x.json.stdout"
 grep -q '"schema":"thresholds-v1"' "$tmp/suggest.json"
-cargo run --release -q -p obs-analyze --bin gdrprof -- crossover "$tmp/sweep.json" \
-    --json "$tmp/x2.json" > "$tmp/x2.txt"
-cmp "$tmp/x1.json" "$tmp/x2.json"
-cmp "$tmp/x1.txt" "$tmp/x2.txt"
 
 # What-if replay: re-deciding every recorded protocol choice under the
 # currently-tuned table must be a no-op (delta exactly zero), and the
@@ -120,9 +136,9 @@ fi
 
 # Chunk-recovery gate: the pipeline fault plan (large D-D put, chunk
 # posts drawing from the CQE stream with a retry budget of one) must
-# record chunk replays and a typed partial delivery in the trace, and
-# gdrprof must surface both.
-cargo run --release -q -p omb --bin chaos_trace "$tmp/pipe.json" --pipeline
+# record chunk replays and a typed partial delivery in the trace, must
+# replay byte-identically, and gdrprof must surface both.
+run_twice_cmp pipe.json cargo run --release -q -p omb --bin chaos_trace OUT --pipeline
 grep -q '"name":"chunk-retry"' "$tmp/pipe.json"
 grep -q '"name":"partial-delivery"' "$tmp/pipe.json"
 pout="$(cargo run --release -q -p obs-analyze --bin gdrprof -- analyze "$tmp/pipe.json" --json "$tmp/pipe_rep.json")"
@@ -142,15 +158,13 @@ if cargo run --release -q -p obs-analyze --bin gdrprof -- diff \
     echo "gdrprof diff missed the fixture partial-delivery regression" >&2
     exit 1
 fi
-# the pipeline fault trace replays byte-identically
-cargo run --release -q -p omb --bin chaos_trace "$tmp/pipe2.json" --pipeline
-cmp "$tmp/pipe.json" "$tmp/pipe2.json"
 
 # Burst-recovery gate: a correlated burst window with the health
 # breaker armed must drive the full circuit lifecycle — demote on
 # sustained failure, half-open probe after cooldown, promote on the
-# probe's success — all visible as trace instants ...
-cargo run --release -q -p omb --bin chaos_trace "$tmp/burst.json" --burst
+# probe's success — all visible as trace instants, with the trace
+# replaying byte-identically under its seed ...
+run_twice_cmp burst.json cargo run --release -q -p omb --bin chaos_trace OUT --burst
 grep -q '"cqe-burst"' "$tmp/burst.json"
 grep -q '"name":"demote"' "$tmp/burst.json"
 grep -q '"name":"probe"' "$tmp/burst.json"
@@ -173,30 +187,21 @@ dout="$(cargo run --release -q -p obs-analyze --bin gdrprof -- diff \
 }
 grep -q 'promote-rate' <<<"$dout"
 grep -q 'stage rdma' <<<"$dout"
-# the burst trace replays byte-identically under its seed
-cargo run --release -q -p omb --bin chaos_trace "$tmp/burst2.json" --burst
-cmp "$tmp/burst.json" "$tmp/burst2.json"
 
 # Timeline gate: the burst trace carries the windowed metrics plane —
 # gdrprof timeline must align the fault burst with a change-point, fold
 # in the demote -> probe -> promote lifecycle, and place the single SLO
 # violation (the burst window's collapsed recovery rate) inside the
-# burst and nowhere else.
-cargo run --release -q -p obs-analyze --bin gdrprof -- timeline "$tmp/burst.json" \
-    --json "$tmp/tl1.json" > "$tmp/tl1.txt"
-grep -q '"schema":"gdrprof-timeline-v1"' "$tmp/tl1.json"
-grep -q 'CHANGE-POINT' "$tmp/tl1.txt"
-grep -q 'fault burst: windows 3..3, aligned with a p99/contention change-point' "$tmp/tl1.txt"
-grep -q 'lifecycle direct-gdr: demote @w3' "$tmp/tl1.txt"
-grep -q 'slo-violations: 1 in 1 windows (first w3, last w3)' "$tmp/tl1.txt"
+# burst and nowhere else. The timeline itself is deterministic.
+run_twice_cmp tl.json cargo run --release -q -p obs-analyze --bin gdrprof -- \
+    timeline "$tmp/burst.json" --json OUT
+grep -q '"schema":"gdrprof-timeline-v1"' "$tmp/tl.json"
+grep -q 'CHANGE-POINT' "$tmp/tl.json.stdout"
+grep -q 'fault burst: windows 3..3, aligned with a p99/contention change-point' "$tmp/tl.json.stdout"
+grep -q 'lifecycle direct-gdr: demote @w3' "$tmp/tl.json.stdout"
+grep -q 'slo-violations: 1 in 1 windows (first w3, last w3)' "$tmp/tl.json.stdout"
 grep -q '"name":"window-snapshot"' "$tmp/burst.json"
 grep -q '"name":"slo-violation"' "$tmp/burst.json"
-# the timeline itself is deterministic: byte-identical against the
-# replayed burst trace
-cargo run --release -q -p obs-analyze --bin gdrprof -- timeline "$tmp/burst2.json" \
-    --json "$tmp/tl2.json" > "$tmp/tl2.txt"
-cmp "$tmp/tl1.json" "$tmp/tl2.json"
-cmp "$tmp/tl1.txt" "$tmp/tl2.txt"
 
 # SLO-violation-count gate: the fixture pair holds every latency and
 # fault metric flat while the candidate's windowed plane breaches more
@@ -214,17 +219,17 @@ fi
 grep -q 'slo-violations' "$tmp/slo.txt"
 grep -q 'REGRESSED' "$tmp/slo.txt"
 
-# the bench report's analysis carries the timeline rollup
+# the bench report's analysis carries the timeline rollup, and the
+# additive partitions rollup stays all-zero on an unfaulted run
 grep -q '"timeline":{"windows":' BENCH_omb.json
+grep -q '"partitions":{"partitions":0,"fences":0,"heals":0' BENCH_omb.json
 
 # Campaign gate: a seeded fuzzing campaign over generated fault plans
 # must complete with zero invariant violations, and two runs of the
 # same seed must render byte-identical summaries. A second seed guards
 # against a trajectory that happens to dodge the fault space.
-cargo run --release -q -p chaos --bin gdrchaos -- run --seed 7 --trials 200 > "$tmp/camp7a.txt"
-cargo run --release -q -p chaos --bin gdrchaos -- run --seed 7 --trials 200 > "$tmp/camp7b.txt"
-cmp "$tmp/camp7a.txt" "$tmp/camp7b.txt"
-grep -q '^violations: 0$' "$tmp/camp7a.txt"
+run_twice_cmp camp7 cargo run --release -q -p chaos --bin gdrchaos -- run --seed 7 --trials 200
+grep -q '^violations: 0$' "$tmp/camp7.stdout"
 cargo run --release -q -p chaos --bin gdrchaos -- run --seed 11 --trials 200 > "$tmp/camp11.txt"
 grep -q '^violations: 0$' "$tmp/camp11.txt"
 
@@ -245,11 +250,9 @@ grep -q 'shrunk to' "$tmp/fixture.txt"
 # ... and the minimal repro grammar replays byte-identically through
 # chaos_trace --plan (the plan it ran under is echoed on stderr)
 repro_grammar="$(grep -v '^#' "$tmp/repro.txt")"
-cargo run --release -q -p omb --bin chaos_trace "$tmp/replan1.json" --plan "$repro_grammar" 2> "$tmp/replan.err"
-grep -q 'chaos_trace: plan: seed=1 cqe=450 retries=1' "$tmp/replan.err"
-cargo run --release -q -p omb --bin chaos_trace "$tmp/replan2.json" --plan "$repro_grammar" 2>/dev/null
-cmp "$tmp/replan1.json" "$tmp/replan2.json"
-grep -q '"name":"partial-delivery"' "$tmp/replan1.json"
+run_twice_cmp replan.json cargo run --release -q -p omb --bin chaos_trace OUT --plan "$repro_grammar"
+grep -q 'chaos_trace: plan: seed=1 cqe=450 retries=1' "$tmp/replan.json.stderr"
+grep -q '"name":"partial-delivery"' "$tmp/replan.json"
 
 # Crash-campaign gate: with the crash dimension armed the fuzzing
 # campaign must stay violation-free (the survivor-bytes and
@@ -257,17 +260,15 @@ grep -q '"name":"partial-delivery"' "$tmp/replan1.json"
 # lifecycle (pe-dead -> evict -> view-change -> rejoin, plus the
 # rejoin path's half-open probe and promote), and replay
 # byte-identically under its seed.
-cargo run --release -q -p chaos --bin gdrchaos -- run --seed 11 --trials 200 --crash > "$tmp/crash_a.txt"
-cargo run --release -q -p chaos --bin gdrchaos -- run --seed 11 --trials 200 --crash > "$tmp/crash_b.txt"
-cmp "$tmp/crash_a.txt" "$tmp/crash_b.txt"
-grep -q '^violations: 0$' "$tmp/crash_a.txt"
-grep -q 'survivor-bytes' "$tmp/crash_a.txt"
-grep -q 'view-convergence' "$tmp/crash_a.txt"
+run_twice_cmp crash_camp cargo run --release -q -p chaos --bin gdrchaos -- run --seed 11 --trials 200 --crash
+grep -q '^violations: 0$' "$tmp/crash_camp.stdout"
+grep -q 'survivor-bytes' "$tmp/crash_camp.stdout"
+grep -q 'view-convergence' "$tmp/crash_camp.stdout"
 for what in pe-dead evict view-change rejoin; do
-    grep -Eq "  $what/membership: [1-9]" "$tmp/crash_a.txt"
+    grep -Eq "  $what/membership: [1-9]" "$tmp/crash_camp.stdout"
 done
-grep -Eq '  probe/host-rdma: [1-9]' "$tmp/crash_a.txt"
-grep -Eq '  promote/host-rdma: [1-9]' "$tmp/crash_a.txt"
+grep -Eq '  probe/host-rdma: [1-9]' "$tmp/crash_camp.stdout"
+grep -Eq '  promote/host-rdma: [1-9]' "$tmp/crash_camp.stdout"
 
 # Crash-shrinker gate: the crash fixture plan must violate (a survivor
 # that never checks membership trips the no-peer-dead oracle) and
@@ -285,16 +286,14 @@ grep -q 'shrunk to "seed=1 crash=1:20000:1200000"' "$tmp/crash_fixture.txt"
 # ... and the minimal crash repro replays byte-identically through
 # chaos_trace --plan, landing the fail-stop instant on the trace
 crash_grammar="$(grep -v '^#' "$tmp/crash_repro.txt")"
-cargo run --release -q -p omb --bin chaos_trace "$tmp/crashplan1.json" --plan "$crash_grammar" 2>/dev/null
-cargo run --release -q -p omb --bin chaos_trace "$tmp/crashplan2.json" --plan "$crash_grammar" 2>/dev/null
-cmp "$tmp/crashplan1.json" "$tmp/crashplan2.json"
-grep -q '"name":"pe-dead"' "$tmp/crashplan1.json"
+run_twice_cmp crashplan.json cargo run --release -q -p omb --bin chaos_trace OUT --plan "$crash_grammar"
+grep -q '"name":"pe-dead"' "$tmp/crashplan.json"
 
 # Membership gate: the crash trace carries the full lifecycle as
 # instants, gdrprof folds them into the membership section with the
 # view-convergence-time metric at exactly the detection bound, and the
 # trace replays byte-identically.
-cargo run --release -q -p omb --bin chaos_trace "$tmp/crash.json" --crash
+run_twice_cmp crash.json cargo run --release -q -p omb --bin chaos_trace OUT --crash
 for name in pe-dead evict view-change rejoin probe promote; do
     grep -q "\"name\":\"$name\"" "$tmp/crash.json"
 done
@@ -305,8 +304,6 @@ grep -q 'view-convergence 150.000us' <<<"$mout"
 grep -q '"membership":{"pe_dead":1' "$tmp/crash_rep.json"
 # a completed crash/rejoin lifecycle self-diffs clean
 cargo run --release -q -p obs-analyze --bin gdrprof -- diff "$tmp/crash_rep.json" "$tmp/crash_rep.json" --threshold 5 >/dev/null
-cargo run --release -q -p omb --bin chaos_trace "$tmp/crash_replay.json" --crash
-cmp "$tmp/crash.json" "$tmp/crash_replay.json"
 
 # Membership-regression gate: the fixture pair holds every latency and
 # fault metric flat while the candidate converges its view slower and
@@ -325,5 +322,87 @@ fi
 grep -q 'membership (fail-stop view):' "$tmp/member.txt"
 grep -q 'unrecovered' "$tmp/member.txt"
 grep -q 'REGRESSED' "$tmp/member.txt"
+
+# Partition-campaign gate: with the reachability dimension armed the
+# campaign must stay violation-free (the split-brain, quorum-progress
+# and heal-convergence oracles hold), exercise the quorum-fence
+# lifecycle (partition -> fence -> heal), and replay byte-identically
+# under its seed. A second seed guards against a dodging trajectory.
+run_twice_cmp part7 cargo run --release -q -p chaos --bin gdrchaos -- run --seed 7 --trials 200 --partition
+grep -q '^violations: 0$' "$tmp/part7.stdout"
+run_twice_cmp part11 cargo run --release -q -p chaos --bin gdrchaos -- run --seed 11 --trials 200 --partition
+grep -q '^violations: 0$' "$tmp/part11.stdout"
+grep -q 'split-brain' "$tmp/part11.stdout"
+grep -q 'quorum-progress' "$tmp/part11.stdout"
+grep -q 'heal-convergence' "$tmp/part11.stdout"
+for what in partition fence heal; do
+    grep -Eq "  $what/membership: [1-9]" "$tmp/part11.stdout"
+done
+
+# Partition-shrinker gate: the partition fixture plan must violate (a
+# strict trial that forbids typed Partitioned errors trips the
+# no-partitioned oracle) and shrink to exactly the committed minimal
+# `partition=` repro.
+set +e
+cargo run --release -q -p chaos --bin gdrchaos -- fixture --partition --repro-out "$tmp/part_repro.txt" > "$tmp/part_fixture.txt"
+rc=$?
+set -e
+if [ "$rc" -ne 3 ]; then
+    echo "gdrchaos fixture --partition: expected exit 3 (violation found), got $rc" >&2
+    exit 1
+fi
+cmp "$tmp/part_repro.txt" tests/golden/chaos_partition_minimal_repro.txt
+grep -q 'shrunk to "seed=1 partition=split:2:20000:1200000"' "$tmp/part_fixture.txt"
+# ... and the minimal partition repro replays byte-identically through
+# chaos_trace --plan, landing the partition + fence instants (the
+# replay harness's ops end before the heal instant would land)
+part_grammar="$(grep -v '^#' "$tmp/part_repro.txt")"
+run_twice_cmp partplan.json cargo run --release -q -p omb --bin chaos_trace OUT --plan "$part_grammar"
+grep -q '"name":"partition"' "$tmp/partplan.json"
+grep -q '"name":"fence"' "$tmp/partplan.json"
+
+# Partition gate: the --partition trace carries the quorum-fence
+# lifecycle (partition -> fence -> heal) as instants plus the cut's
+# reroute onto the proxy path, gdrprof folds them into the partitions
+# section with the heal-convergence metric, and the trace replays
+# byte-identically under its seed.
+run_twice_cmp part.json cargo run --release -q -p omb --bin chaos_trace OUT --partition
+for name in partition fence heal fallback proxy-request; do
+    grep -q "\"name\":\"$name\"" "$tmp/part.json"
+done
+ptout="$(cargo run --release -q -p obs-analyze --bin gdrprof -- analyze "$tmp/part.json" --json "$tmp/part_rep.json")"
+grep -q 'partitions:' <<<"$ptout"
+grep -Eq 'partitions 2 +fences 1 +heals 1 +last-epoch 2' <<<"$ptout"
+grep -q 'heal-convergence 280.000us' <<<"$ptout"
+grep -q '"partitions":{"partitions":2,"fences":1,"heals":1,"last_epoch":2' "$tmp/part_rep.json"
+# a healed split self-diffs clean
+cargo run --release -q -p obs-analyze --bin gdrprof -- diff "$tmp/part_rep.json" "$tmp/part_rep.json" --threshold 5 >/dev/null
+
+# Partition-regression gate: the fixture pair holds every other metric
+# flat while the candidate heals its quorum-fenced view slower — diff
+# must trip with the partition-specific exit code 8.
+set +e
+cargo run --release -q -p obs-analyze --bin gdrprof -- diff \
+    tests/golden/report_partition_base.json tests/golden/report_partition_regressed.json \
+    --threshold 10 > "$tmp/part_diff.txt"
+rc=$?
+set -e
+if [ "$rc" -ne 8 ]; then
+    echo "gdrprof diff partition gate: expected exit 8, got $rc" >&2
+    exit 1
+fi
+grep -q 'partitions (quorum-fenced view):' "$tmp/part_diff.txt"
+grep -q 'heal-convergence' "$tmp/part_diff.txt"
+grep -q 'REGRESSED' "$tmp/part_diff.txt"
+
+# Usage honesty: the CLIs advertise exactly the modes and exit codes
+# the gates above rely on.
+cargo run --release -q -p obs-analyze --bin gdrprof -- --help \
+    | grep -q '8  diff found a partition (quorum-fenced view) regression'
+cargo run --release -q -p omb --bin chaos_trace -- --help > "$tmp/ct_usage.txt"
+grep -q -- '--partition  quorum fence/heal lifecycle + cut reroute' "$tmp/ct_usage.txt"
+grep -q 'GDR_CHAOS_PART_SEED' "$tmp/ct_usage.txt"
+gcu="$(cargo run --release -q -p chaos --bin gdrchaos -- --help 2>&1 || true)"
+grep -q -- '\[--crash | --partition\]' <<<"$gcu"
 
 echo "ci: OK"

@@ -1,9 +1,9 @@
 //! `gdrchaos` — CLI over the deterministic chaos-campaign engine.
 //!
 //! ```text
-//! gdrchaos run --seed S --trials N [--out FILE] [--shrink] [--crash]
+//! gdrchaos run --seed S --trials N [--out FILE] [--shrink] [--crash | --partition]
 //! gdrchaos replay --plan "<grammar>" --workload W --trial N [--seed S]
-//! gdrchaos fixture [--repro-out FILE] [--crash]
+//! gdrchaos fixture [--repro-out FILE] [--crash | --partition]
 //! ```
 //!
 //! Exit codes:
@@ -17,25 +17,30 @@
 //!
 //! `run` prints the `gdrchaos-campaign-v1` summary on stdout — two runs
 //! of the same seed are byte-identical, which CI `cmp`s; `--crash` adds
-//! the fail-stop crash dimension to the generated plans (salted draws,
-//! so crash-free trials stay byte-identical to the base campaign).
-//! `replay` re-executes a single (possibly shrunk) plan and prints the
-//! trial report; the plan it ran under goes to stderr. `fixture` runs
-//! the committed known-bad plan under the strict `no-partial-delivery`
-//! oracle (with `--crash`: the crashed-PE plan under the strict
-//! `no-peer-dead` oracle), shrinks the violation, and writes the
-//! minimal-repro file.
+//! the fail-stop crash dimension to the generated plans and
+//! `--partition` the network-partition dimension (both ride salted
+//! draws, so fault-free trials stay byte-identical to the base
+//! campaign). `replay` re-executes a single (possibly shrunk) plan and
+//! prints the trial report; the plan it ran under goes to stderr.
+//! `fixture` runs the committed known-bad plan under the strict
+//! `no-partial-delivery` oracle (with `--crash`: the crashed-PE plan
+//! under the strict `no-peer-dead` oracle; with `--partition`: the
+//! split-PE plan under the strict `no-partitioned` oracle), shrinks the
+//! violation, and writes the minimal-repro file.
 
-use chaos::{run_campaign_with, run_crash_fixture, run_fixture, run_trial, shrink, render_repro};
-use chaos::{CampaignFailure, TrialSpec, Workload};
+use chaos::{
+    run_campaign_mode, run_crash_fixture, run_fixture, run_partition_fixture, run_trial, shrink,
+    render_repro,
+};
+use chaos::{CampaignFailure, CampaignMode, TrialSpec, Workload};
 use faults::FaultPlan;
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: gdrchaos run --seed S --trials N [--out FILE] [--shrink] [--crash]\n\
+        "usage: gdrchaos run --seed S --trials N [--out FILE] [--shrink] [--crash | --partition]\n\
          \x20      gdrchaos replay --plan \"<grammar>\" --workload W --trial N [--seed S]\n\
-         \x20      gdrchaos fixture [--repro-out FILE] [--crash]"
+         \x20      gdrchaos fixture [--repro-out FILE] [--crash | --partition]"
     );
     ExitCode::from(2)
 }
@@ -64,7 +69,18 @@ fn cmd_run(args: &[String]) -> ExitCode {
     };
     let do_shrink = args.iter().any(|a| a == "--shrink");
     let crash = args.iter().any(|a| a == "--crash");
-    let (summary, failures) = run_campaign_with(seed, trials, crash);
+    let partition = args.iter().any(|a| a == "--partition");
+    if crash && partition {
+        return usage();
+    }
+    let mode = if crash {
+        CampaignMode::Crash
+    } else if partition {
+        CampaignMode::Partition
+    } else {
+        CampaignMode::Base
+    };
+    let (summary, failures) = run_campaign_mode(seed, trials, mode);
     let mut out = summary.render();
     if do_shrink && !failures.is_empty() {
         // shrink the first few distinct failures to minimal repros
@@ -111,6 +127,7 @@ fn cmd_replay(args: &[String]) -> ExitCode {
         plan,
         strict_no_partial: false,
         strict_no_peer_dead: false,
+        strict_no_partitioned: false,
     };
     let res = run_trial(&spec);
     print!("{}", res.report);
@@ -125,8 +142,15 @@ fn cmd_replay(args: &[String]) -> ExitCode {
 }
 
 fn cmd_fixture(args: &[String]) -> ExitCode {
-    let fixture = if args.iter().any(|a| a == "--crash") {
+    let crash = args.iter().any(|a| a == "--crash");
+    let partition = args.iter().any(|a| a == "--partition");
+    if crash && partition {
+        return usage();
+    }
+    let fixture = if crash {
         run_crash_fixture()
+    } else if partition {
+        run_partition_fixture()
     } else {
         run_fixture()
     };

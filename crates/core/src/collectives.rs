@@ -26,6 +26,20 @@
 //! point-to-point traffic but are never re-admitted to collectives
 //! within a run (their generation counters are behind; see
 //! [`crate::membership`]).
+//!
+//! Partition tolerance: a quorum-fenced network split behaves like a
+//! temporary fail-stop of the minority side. Majority members see
+//! [`TransferError::Partitioned`] on steps against fenced peers, the
+//! view drops the minority at the fence epoch, and [`Pe::with_reform`]
+//! re-runs the body over the majority — byte-correct for the quorum
+//! side. A fenced-minority caller fails fast with `Partitioned{pe: me}`
+//! (degrading to a no-op in the infallible wrappers), so the minority
+//! never contributes mid-fence writes: that is the no-split-brain
+//! guarantee. At the heal the view *grows* back at a higher epoch;
+//! `with_reform` re-forms on any list change, and because flag cells
+//! carry monotonic generations with `>=` predicates, a healed PE's
+//! stale pre-fence flags are inert — post-heal collectives start from a
+//! fresh generation and stay byte-correct across the merge.
 
 use crate::addr::{Pod, SymAddr, SymSlice};
 use crate::error::TransferError;
@@ -125,9 +139,16 @@ impl Pe {
     /// — idempotent steps make the completed parts replay harmlessly,
     /// and `>=` flag predicates make stale pre-reform flags inert. An
     /// unchanged list propagates the error (it was not a fail-stop).
-    /// The loop terminates because the list strictly shrinks, at most
-    /// once per scheduled crash. A caller that is itself dead — or was
-    /// evicted and rejoined — fails fast with its own eviction epoch.
+    /// The loop terminates because every list change consumes one of
+    /// the finitely many scheduled membership events (crash evictions,
+    /// partition fences, heals). The list is not monotonic: a heal
+    /// grows it back, and the re-formed body simply runs over the
+    /// merged view at the higher epoch. A caller that is itself dead —
+    /// or was evicted and rejoined — fails fast with its own eviction
+    /// epoch, and a caller on the fenced minority side of a split fails
+    /// fast with [`TransferError::Partitioned`] naming itself: fenced
+    /// PEs run no collective steps, which keeps the minority free of
+    /// split-brain writes.
     fn with_reform(
         &self,
         mut body: impl FnMut(&[usize]) -> Result<(), TransferError>,
@@ -139,6 +160,9 @@ impl Pe {
         loop {
             if ms.armed() {
                 let now_ns = self.ctx().now().0 / sim_core::PS_PER_NS;
+                if let Some(epoch) = ms.fenced_minority_epoch(me as u32, now_ns) {
+                    return Err(TransferError::Partitioned { pe: me as u32, epoch });
+                }
                 if ms.crashed(me as u32, now_ns) || !members.contains(&me) {
                     return Err(TransferError::PeerDead {
                         pe: me as u32,
@@ -150,7 +174,11 @@ impl Pe {
             }
             match body(&members) {
                 Ok(()) => return Ok(()),
-                Err(e @ (TransferError::PeerDead { .. } | TransferError::Timeout { .. })) => {
+                Err(
+                    e @ (TransferError::PeerDead { .. }
+                    | TransferError::Timeout { .. }
+                    | TransferError::Partitioned { .. }),
+                ) => {
                     if !ms.armed() {
                         return Err(e);
                     }
@@ -160,7 +188,14 @@ impl Pe {
                         return Err(e);
                     }
                     for &gone in members.iter().filter(|p| !next.contains(p)) {
-                        m.note_eviction(ProcId(gone as u32));
+                        // a fence-driven departure has no crash schedule
+                        // — its lifecycle is emitted by note_partitions
+                        if ms.crashed(gone as u32, now_ns) {
+                            m.note_eviction(ProcId(gone as u32));
+                        }
+                    }
+                    if m.cfg().faults.n_partitions > 0 {
+                        m.note_partitions(self.ctx().now());
                     }
                     members = next;
                 }
@@ -174,12 +209,15 @@ impl Pe {
     /// `PeerDead{pe: me}` has no activity left to fail — the collective
     /// completed for the survivors, and the dead caller's side
     /// degenerates to a local no-op instead of tearing the whole
-    /// simulation down. Every other error still panics (the wrappers
-    /// are the strict legacy API).
+    /// simulation down. A fenced-minority caller's `Partitioned{pe: me}`
+    /// degrades the same way: the quorum side completed without it.
+    /// Every other error still panics (the wrappers are the strict
+    /// legacy API).
     fn fail_stop_ok(&self, what: &str, res: Result<(), TransferError>) {
         match res {
             Ok(()) => {}
             Err(TransferError::PeerDead { pe, .. }) if pe as usize == self.my_pe() => {}
+            Err(TransferError::Partitioned { pe, .. }) if pe as usize == self.my_pe() => {}
             Err(e) => panic!("{what} failed: {e}"),
         }
     }
@@ -303,8 +341,13 @@ impl Pe {
                 return Ok(());
             }
             let Some(vroot) = members.iter().position(|&p| p == root) else {
-                // the root fail-stopped: no survivor can source the
-                // payload, so the broadcast fails for everyone
+                // the root is gone: no survivor can source the payload,
+                // so the broadcast fails for everyone — as Partitioned
+                // when it sits behind a quorum fence, PeerDead otherwise
+                let now_ns = self.ctx().now().0 / sim_core::PS_PER_NS;
+                if let Some(epoch) = m.membership().fenced_minority_epoch(root as u32, now_ns) {
+                    return Err(TransferError::Partitioned { pe: root as u32, epoch });
+                }
                 return Err(TransferError::PeerDead {
                     pe: root as u32,
                     epoch: m.membership().eviction_epoch(root as u32).unwrap_or(0),
@@ -396,10 +439,16 @@ impl Pe {
             self.write_sym(dst, &v);
             return Ok(());
         }
-        self.with_reform(|members| {
+        let gathered = self.with_reform(|members| {
             if me != root {
                 if !members.contains(&root) {
-                    // the root fail-stopped: nobody can combine
+                    // the root is gone: nobody can combine
+                    let now_ns = self.ctx().now().0 / sim_core::PS_PER_NS;
+                    if let Some(epoch) =
+                        m.membership().fenced_minority_epoch(root as u32, now_ns)
+                    {
+                        return Err(TransferError::Partitioned { pe: root as u32, epoch });
+                    }
                     return Err(TransferError::PeerDead {
                         pe: root as u32,
                         epoch: m.membership().eviction_epoch(root as u32).unwrap_or(0),
@@ -458,7 +507,15 @@ impl Pe {
                 self.write_sym(dst, &acc);
             }
             Ok(())
-        })?;
+        });
+        if let Err(e) = gathered {
+            // peers that completed the gather run a result broadcast
+            // next, which consumes one generation on every member —
+            // consume it here too, so a fenced caller that merges back
+            // at the heal stays generation-aligned with the quorum side
+            let _ = self.next_coll_gen();
+            return Err(e);
+        }
         // result distribution
         self.try_broadcast(dst.addr(), dst.byte_len(), root)
     }

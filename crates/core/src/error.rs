@@ -45,6 +45,13 @@ pub enum TransferError {
     /// instant before failing, so no bytes were delivered and none can
     /// land later — unlike `Timeout`, this outcome is certain.
     PeerDead { pe: u32, epoch: u64 },
+    /// The target PE is on the other side of a quorum-fenced network
+    /// partition (or the caller itself is on the fenced minority side —
+    /// then `pe` names the caller). `epoch` is the view epoch stamped
+    /// when the fence landed. No bytes were delivered and none can land
+    /// later: fenced ops fail before posting, which is what keeps the
+    /// minority side free of split-brain writes.
+    Partitioned { pe: u32, epoch: u64 },
     /// Memory-registration / protection error from the fabric.
     Mr(MrError),
 }
@@ -73,6 +80,9 @@ impl std::fmt::Display for TransferError {
             }
             TransferError::PeerDead { pe, epoch } => {
                 write!(f, "peer pe{pe} is dead (evicted from membership view at epoch {epoch})")
+            }
+            TransferError::Partitioned { pe, epoch } => {
+                write!(f, "peer pe{pe} is unreachable (network partition fenced at epoch {epoch})")
             }
             TransferError::Mr(e) => write!(f, "memory registration error: {e}"),
         }
@@ -133,6 +143,7 @@ mod tests {
             TransferError::PartialDelivery { delivered: 7, total: 9 },
             TransferError::CapabilityDisabled { what: "GDR", node: 1 },
             TransferError::PeerDead { pe: 5, epoch: 2 },
+            TransferError::Partitioned { pe: 3, epoch: 4 },
             TransferError::Mr(MrError::InvalidRkey(ib_sim::Rkey(42))),
         ];
         for e in &variants {
@@ -152,6 +163,9 @@ mod tests {
                 }
                 TransferError::PeerDead { pe, epoch } => {
                     vec![format!("pe{pe}"), format!("epoch {epoch}")]
+                }
+                TransferError::Partitioned { pe, epoch } => {
+                    vec![format!("pe{pe}"), format!("epoch {epoch}"), "partition".to_string()]
                 }
                 TransferError::Mr(m) => vec![m.to_string()],
             };

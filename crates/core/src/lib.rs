@@ -62,7 +62,10 @@ pub use config::{Design, RuntimeConfig};
 pub use error::TransferError;
 pub use layout::HeapLayout;
 pub use machine::ShmemMachine;
-pub use membership::{Membership, View, DETECT_BOUND_NS, HEARTBEAT_PERIOD_NS, MISSED_BEATS};
+pub use membership::{
+    Membership, PartitionOutcome, SplitSchedule, View, DETECT_BOUND_NS, HEAL_BOUND_NS,
+    HEARTBEAT_PERIOD_NS, MISSED_BEATS,
+};
 pub use msg::MsgHandle;
 pub use pe::{Cmp, Pe};
 pub use report::JobReport;

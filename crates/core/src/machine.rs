@@ -9,7 +9,7 @@ use crate::config::RuntimeConfig;
 use crate::error::TransferError;
 use crate::health::{HealthMonitor, Route};
 use crate::layout::HeapLayout;
-use crate::membership::{Membership, REJOIN_PROBE_NS, REJOIN_REREG_NS};
+use crate::membership::{Membership, PartitionOutcome, DETECT_BOUND_NS, REJOIN_PROBE_NS, REJOIN_REREG_NS};
 use crate::pe::Pe;
 use crate::state::{PeState, Protocol};
 use gpu_sim::GpuRuntime;
@@ -42,6 +42,14 @@ pub(crate) struct OpToken {
 struct MemberSeen {
     dead: u64,
     rejoined: u64,
+    /// Splits whose `partition`+`fence` instants were emitted (bit =
+    /// index into [`Membership::split_schedules`]).
+    fenced: u64,
+    /// Splits whose `heal` instant was emitted.
+    healed: u64,
+    /// Cut partitions whose `partition` instant was emitted (bit =
+    /// index into the plan's partition list).
+    cut: u64,
 }
 
 /// Per-node proxy counters (the proxy itself is event-driven).
@@ -357,6 +365,18 @@ impl ShmemMachine {
             .gdr_disabled(self.cluster.topo().node_of(p).0 as usize)
     }
 
+    /// Reachability fault: is the direct/GDR fabric from `me` toward
+    /// `peer` severed by an asymmetric cut right now? Proxy and
+    /// host-staged paths stay reachable, so dispatch reroutes onto them
+    /// instead of erroring (ZERO-cost single branch when unfaulted).
+    pub(crate) fn cut_now(&self, me: ProcId, peer: ProcId) -> bool {
+        self.cfg.faults.n_partitions > 0
+            && self
+                .cfg
+                .faults
+                .cut_active(me.0, peer.0, self.sim.now().0 / sim_core::PS_PER_NS)
+    }
+
     /// Extra proxy/progress-agent delay on `node` at `now` from the
     /// fault plan's stall windows (ZERO when unfaulted).
     pub(crate) fn proxy_stall_extra(&self, node: pcie_sim::NodeId, now: SimTime) -> SimDuration {
@@ -524,7 +544,126 @@ impl ShmemMachine {
                 self.note_rejoin(ctx, peer);
             }
         }
+        // network partitions: a severed pair blocks until the fence
+        // lands (nobody can know a link is cut before leases expire),
+        // then fails typed; while a fence is up, minority-issued and
+        // at-minority ops fail immediately. Blip splits just block.
+        let now_ns = ctx.now().0 / sim_core::PS_PER_NS;
+        match ms.partition_outcome(me.0, peer.0, now_ns) {
+            None => {}
+            Some(PartitionOutcome::BlockUntil(end_ns)) => {
+                ctx.advance(SimDuration::from_ns(end_ns - now_ns));
+            }
+            Some(PartitionOutcome::FailAt { at_ns, pe, epoch }) => {
+                if now_ns < at_ns {
+                    ctx.advance(SimDuration::from_ns(at_ns - now_ns));
+                }
+                self.note_partitions(ctx.now());
+                return Err(TransferError::Partitioned { pe, epoch });
+            }
+        }
+        if ms.split_schedules().iter().any(|s| s.heal_ns <= now_ns) {
+            // emit any heal whose instant has passed, even though this
+            // op itself is unaffected — the merge is a view event
+            self.note_partitions(ctx.now());
+        }
         Ok(())
+    }
+
+    /// First-observer bookkeeping for split-partition lifecycle events:
+    /// emit `partition` (window start, pre-fence epoch), `fence`
+    /// (detection instant, fence epoch) and `heal` (merge instant, heal
+    /// epoch) for every schedule whose instant is at or before `now`.
+    /// Idempotent per schedule — exactly one observer emits each.
+    pub(crate) fn note_partitions(&self, now: SimTime) {
+        let now_ns = now.0 / sim_core::PS_PER_NS;
+        for (i, s) in self.membership.split_schedules().iter().enumerate() {
+            let rep = ProcId(s.minority.trailing_zeros());
+            if s.fence_ns <= now_ns {
+                let emit = {
+                    let mut seen = self.member_seen.lock();
+                    let fresh = seen.fenced & (1 << i) == 0;
+                    seen.fenced |= 1 << i;
+                    fresh
+                };
+                if emit {
+                    let t_start = SimTime((s.fence_ns - DETECT_BOUND_NS) * sim_core::PS_PER_NS);
+                    let t_fence = SimTime(s.fence_ns * sim_core::PS_PER_NS);
+                    for (name, ts, ep) in [
+                        ("partition", t_start, s.fence_epoch - 1),
+                        ("fence", t_fence, s.fence_epoch),
+                    ] {
+                        self.obs.fault_tally_at(name, "membership", ts);
+                        if self.obs.spans_on() {
+                            self.obs.instant(
+                                self.pe_track(rep),
+                                name,
+                                ts,
+                                obs::Payload::Member { pe: rep.0, epoch: ep },
+                            );
+                        }
+                    }
+                }
+            }
+            if s.heal_ns <= now_ns {
+                let emit = {
+                    let mut seen = self.member_seen.lock();
+                    let fresh = seen.healed & (1 << i) == 0;
+                    seen.healed |= 1 << i;
+                    fresh
+                };
+                if emit {
+                    let t_heal = SimTime(s.heal_ns * sim_core::PS_PER_NS);
+                    self.obs.fault_tally_at("heal", "membership", t_heal);
+                    if self.obs.spans_on() {
+                        self.obs.instant(
+                            self.pe_track(rep),
+                            "heal",
+                            t_heal,
+                            obs::Payload::Member { pe: rep.0, epoch: s.heal_epoch },
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// First-observer bookkeeping for an asymmetric cut becoming
+    /// visible: the dispatcher noticed the direct fabric from `me`
+    /// toward `peer` is severed and rerouted. Emits one `partition`
+    /// instant per cut fault (dedup by plan index).
+    pub(crate) fn note_cut(&self, me: ProcId, peer: ProcId, ts: SimTime) {
+        let now_ns = ts.0 / sim_core::PS_PER_NS;
+        for (i, p) in self.cfg.faults.partitions().iter().enumerate() {
+            if p.kind != faults::PartitionKind::Cut
+                || p.a != me.0
+                || p.b != peer.0
+                || now_ns < p.start_ns
+                || now_ns >= p.end_ns
+            {
+                continue;
+            }
+            let emit = {
+                let mut seen = self.member_seen.lock();
+                let fresh = seen.cut & (1 << i) == 0;
+                seen.cut |= 1 << i;
+                fresh
+            };
+            if emit {
+                self.obs.fault_tally_at("partition", "membership", ts);
+                if self.obs.spans_on() {
+                    self.obs.instant(
+                        self.pe_track(me),
+                        "partition",
+                        ts,
+                        obs::Payload::Member {
+                            pe: peer.0,
+                            epoch: self.membership.epoch_at(now_ns),
+                        },
+                    );
+                }
+            }
+        }
     }
 
     /// First-observer bookkeeping for `peer`'s eviction: emit the

@@ -36,8 +36,36 @@
 //! transparent blip: no survivor ever detects it, so no eviction or
 //! epoch bump occurs (ops issued against the peer inside the blip
 //! simply block until the rejoin instant).
+//!
+//! ## Network partitions and quorum fencing
+//!
+//! A `partition=split:...` fault severs every link between the masked
+//! PEs and the rest for its window. Lease expiry detects the split
+//! exactly [`DETECT_BOUND_NS`] after it starts (splits shorter than the
+//! bound are transparent blips, like short crashes), at which point the
+//! view **fences**: the side holding quorum — strictly more than half
+//! the PEs, ties broken toward the side containing PE 0 — keeps
+//! operating at a bumped epoch with the minority PEs removed from
+//! `alive`/`members`, while every op issued *by* a minority PE (or by a
+//! majority PE *at* a minority PE) fails as
+//! [`crate::TransferError::Partitioned`] carrying the fence epoch. The
+//! minority side performs no writes while fenced, so there is no
+//! split-brain state to reconcile. [`HEAL_BOUND_NS`] (one heartbeat)
+//! after the window ends, the views **heal**: the minority PEs rejoin
+//! `alive` *and* `members` at a higher epoch — unlike crash rejoin,
+//! which never re-admits a PE to collectives, a healed minority PE
+//! wrote nothing while fenced, so its sync-flag generation counters are
+//! simply behind and the monotonic `>=` wait predicates reconcile them
+//! on the next collective round. Quorum is computed over the static PE
+//! set; combining a split and a crash of the same PE in one plan is
+//! resolved by never re-admitting an evicted PE at heal.
+//!
+//! A `partition=cut:...` fault never reaches this layer's views: only
+//! the direct/GDR fabric of one ordered pair is severed, the proxy and
+//! host-staged paths stay reachable, and protocol selection reroutes
+//! (see `crates/core/src/protocols.rs`).
 
-use faults::{FaultPlan, MAX_CRASHES};
+use faults::{FaultPlan, PartitionKind, MAX_CRASHES, MAX_PARTITIONS};
 
 /// Virtual-time heartbeat period of the piggybacked lease protocol.
 pub const HEARTBEAT_PERIOD_NS: u64 = 50_000;
@@ -56,18 +84,63 @@ pub const REJOIN_REREG_NS: u64 = 25_000;
 /// before regular traffic resumes (one modeled probe round-trip).
 pub const REJOIN_PROBE_NS: u64 = 5_000;
 
+/// Delay between a split window ending (links physically restored) and
+/// the fenced views merging back together: one heartbeat round for the
+/// minority's leases to refresh on every majority PE. Ops across the
+/// old split keep failing inside this interval — the gap is the
+/// heal-convergence metric gdrprof reports.
+pub const HEAL_BOUND_NS: u64 = HEARTBEAT_PERIOD_NS;
+
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 enum EventKind {
     Evict,
     Rejoin,
+    /// Quorum fence applied: the masked minority leaves `alive`/`members`.
+    Fence,
+    /// Fenced views merged: the masked minority rejoins `alive`/`members`.
+    Heal,
 }
 
 /// One membership transition, at a deterministic virtual instant.
+/// `mask` is the minority-side bitmask for fence/heal transitions and
+/// 0 for crash transitions (which carry the single `pe`).
 #[derive(Clone, Copy, Debug)]
 struct Event {
     ts_ns: u64,
     pe: u32,
     kind: EventKind,
+    mask: u64,
+}
+
+/// The compiled schedule of one split partition: deterministic fence
+/// and heal instants with the epochs they stamp.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SplitSchedule {
+    /// Bitmask of the PEs on the non-quorum side.
+    pub minority: u64,
+    /// Instant the quorum fence lands (split start + detection bound).
+    pub fence_ns: u64,
+    /// Instant the views merge back (split end + [`HEAL_BOUND_NS`]).
+    pub heal_ns: u64,
+    /// View epoch in force right after the fence was applied — the
+    /// epoch a [`crate::TransferError::Partitioned`] carries.
+    pub fence_epoch: u64,
+    /// View epoch in force right after the heal merge.
+    pub heal_epoch: u64,
+}
+
+/// How a partition affects one op, decided at issue time (see
+/// [`Membership::partition_outcome`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PartitionOutcome {
+    /// The pair is severed by a split too short for any lease to
+    /// expire (a transparent blip): the op blocks until the window
+    /// ends, then proceeds normally.
+    BlockUntil(u64),
+    /// The op fails as `Partitioned { pe, epoch }` at `at_ns` (the
+    /// fence instant; already in the past once the fence is up — then
+    /// it fails immediately).
+    FailAt { at_ns: u64, pe: u32, epoch: u64 },
 }
 
 /// The epoch-numbered membership view at one virtual instant.
@@ -97,22 +170,26 @@ impl View {
     }
 }
 
-/// The membership schedule of one job: the crash plan compiled into a
-/// sorted list of evict/rejoin events. `Copy`, no heap — it lives
-/// inside [`crate::ShmemMachine`] for the whole run.
+/// The membership schedule of one job: the crash and split-partition
+/// plan compiled into a sorted list of evict/rejoin/fence/heal events.
+/// `Copy`, no heap — it lives inside [`crate::ShmemMachine`] for the
+/// whole run.
 #[derive(Clone, Copy, Debug)]
 pub struct Membership {
     n_pes: u32,
     plan: FaultPlan,
-    events: [Event; 2 * MAX_CRASHES],
+    events: [Event; 2 * MAX_CRASHES + 2 * MAX_PARTITIONS],
     n_events: usize,
+    splits: [SplitSchedule; MAX_PARTITIONS],
+    n_splits: usize,
 }
 
 impl Membership {
     pub fn new(plan: &FaultPlan, n_pes: usize) -> Membership {
-        let mut ev = [Event { ts_ns: 0, pe: 0, kind: EventKind::Evict }; 2 * MAX_CRASHES];
+        let none = Event { ts_ns: 0, pe: 0, kind: EventKind::Evict, mask: 0 };
+        let mut ev = [none; 2 * MAX_CRASHES + 2 * MAX_PARTITIONS];
         let mut n = 0;
-        if plan.n_crashes > 0 {
+        if plan.n_crashes > 0 || plan.n_partitions > 0 {
             assert!(n_pes <= 64, "membership views are 64-bit PE masks");
         }
         for c in plan.crashes() {
@@ -121,21 +198,155 @@ impl Membership {
                 // transparent blip: back before any lease expired
                 continue;
             }
-            ev[n] = Event { ts_ns: detect, pe: c.pe, kind: EventKind::Evict };
+            ev[n] = Event { ts_ns: detect, pe: c.pe, kind: EventKind::Evict, mask: 0 };
             n += 1;
             if c.rejoin_ns != 0 {
-                ev[n] = Event { ts_ns: c.rejoin_ns, pe: c.pe, kind: EventKind::Rejoin };
+                ev[n] = Event { ts_ns: c.rejoin_ns, pe: c.pe, kind: EventKind::Rejoin, mask: 0 };
                 n += 1;
             }
         }
+        let full = if n_pes == 64 { u64::MAX } else { (1u64 << n_pes) - 1 };
+        let mut raw_splits = [(0u64, 0u64, 0u64); MAX_PARTITIONS];
+        let mut n_splits = 0;
+        for p in plan.partitions() {
+            if p.kind != PartitionKind::Split {
+                continue; // cuts never reach the view layer
+            }
+            if p.end_ns - p.start_ns < DETECT_BOUND_NS {
+                // transparent blip: healed before any lease expired
+                continue;
+            }
+            let minority = Self::minority_of(p.mask & full, full);
+            if minority == 0 {
+                continue; // degenerate: everything on one side
+            }
+            let fence = p.start_ns + DETECT_BOUND_NS;
+            let heal = p.end_ns + HEAL_BOUND_NS;
+            let rep = minority.trailing_zeros();
+            ev[n] = Event { ts_ns: fence, pe: rep, kind: EventKind::Fence, mask: minority };
+            n += 1;
+            ev[n] = Event { ts_ns: heal, pe: rep, kind: EventKind::Heal, mask: minority };
+            n += 1;
+            raw_splits[n_splits] = (minority, fence, heal);
+            n_splits += 1;
+        }
         ev[..n].sort_by_key(|e| (e.ts_ns, e.pe));
-        Membership { n_pes: n_pes as u32, plan: *plan, events: ev, n_events: n }
+        let mut ms = Membership {
+            n_pes: n_pes as u32,
+            plan: *plan,
+            events: ev,
+            n_events: n,
+            splits: [SplitSchedule::default(); MAX_PARTITIONS],
+            n_splits,
+        };
+        // stamp each schedule with the epochs its transitions land at
+        for (i, &(minority, fence, heal)) in raw_splits[..n_splits].iter().enumerate() {
+            ms.splits[i] = SplitSchedule {
+                minority,
+                fence_ns: fence,
+                heal_ns: heal,
+                fence_epoch: ms.epoch_at(fence),
+                heal_epoch: ms.epoch_at(heal),
+            };
+        }
+        ms
     }
 
-    /// Cheap hot-path gate: false means no crash is scheduled and every
-    /// membership query short-circuits (unfaulted runs must not draw).
+    /// Which side of a two-sided split lacks quorum. Quorum is strictly
+    /// more than half of the static PE set; an exact tie goes to the
+    /// side containing PE 0 (deterministic, so every PE agrees without
+    /// messages). Returns the minority bitmask, or 0 when the split is
+    /// degenerate (one side empty).
+    fn minority_of(split_mask: u64, full: u64) -> u64 {
+        let a = split_mask & full;
+        let b = full & !a;
+        if a == 0 || b == 0 {
+            return 0;
+        }
+        match a.count_ones().cmp(&b.count_ones()) {
+            std::cmp::Ordering::Less => a,
+            std::cmp::Ordering::Greater => b,
+            std::cmp::Ordering::Equal => {
+                if a & 1 != 0 {
+                    b // PE 0 is on side a: a holds quorum
+                } else {
+                    a
+                }
+            }
+        }
+    }
+
+    /// Cheap hot-path gate: false means no crash and no partition is
+    /// scheduled and every membership query short-circuits (unfaulted
+    /// runs must not draw).
     pub fn armed(&self) -> bool {
-        self.plan.n_crashes > 0
+        self.plan.n_crashes > 0 || self.plan.n_partitions > 0
+    }
+
+    /// Compiled split-partition schedules (fence/heal instants and
+    /// epochs), in plan order.
+    pub fn split_schedules(&self) -> &[SplitSchedule] {
+        &self.splits[..self.n_splits]
+    }
+
+    /// How a point-to-point op from `me` to `peer`, issued at `now_ns`,
+    /// is affected by split partitions. `None` = unaffected: no split
+    /// severs the pair and neither end is inside a quorum fence.
+    ///
+    /// While a fence is up (`fence_ns <= now < heal_ns`), *every* op
+    /// issued by a minority PE fails (the side lacks quorum — this is
+    /// what prevents split-brain writes, even minority-internal ones),
+    /// and a majority op at a minority peer fails too (unreachable).
+    /// The reported `pe` is the fenced end: the caller itself when the
+    /// caller is minority, else the peer.
+    pub fn partition_outcome(&self, me: u32, peer: u32, now_ns: u64) -> Option<PartitionOutcome> {
+        if self.plan.n_partitions == 0 {
+            return None;
+        }
+        for s in self.split_schedules() {
+            if now_ns >= s.fence_ns && now_ns < s.heal_ns {
+                let fenced_pe = if s.minority & (1u64 << me) != 0 {
+                    me
+                } else if s.minority & (1u64 << peer) != 0 {
+                    peer
+                } else {
+                    continue;
+                };
+                return Some(PartitionOutcome::FailAt {
+                    at_ns: now_ns,
+                    pe: fenced_pe,
+                    epoch: s.fence_epoch,
+                });
+            }
+        }
+        // not fenced (yet): is the pair physically severed by a split
+        // window right now? The op cannot complete before detection —
+        // it blocks until the fence lands (or, for a blip, until the
+        // window ends) exactly like an op at an undetected-dead peer.
+        let p = self.plan.split_at(now_ns)?;
+        if (p.mask >> me) & 1 == (p.mask >> peer) & 1 {
+            return None; // same side: unaffected pre-fence
+        }
+        if p.end_ns - p.start_ns < DETECT_BOUND_NS {
+            return Some(PartitionOutcome::BlockUntil(p.end_ns));
+        }
+        let fence = p.start_ns + DETECT_BOUND_NS;
+        let full = if self.n_pes == 64 { u64::MAX } else { (1u64 << self.n_pes) - 1 };
+        let minority = Self::minority_of(p.mask & full, full);
+        if minority == 0 {
+            return None;
+        }
+        let fenced_pe = if minority & (1u64 << me) != 0 { me } else { peer };
+        Some(PartitionOutcome::FailAt { at_ns: fence, pe: fenced_pe, epoch: self.epoch_at(fence) })
+    }
+
+    /// The fence epoch a minority-side caller is stamped with at
+    /// `now_ns`, if a fence covering `pe` is up.
+    pub fn fenced_minority_epoch(&self, pe: u32, now_ns: u64) -> Option<u64> {
+        self.split_schedules()
+            .iter()
+            .find(|s| now_ns >= s.fence_ns && now_ns < s.heal_ns && s.minority & (1u64 << pe) != 0)
+            .map(|s| s.fence_epoch)
     }
 
     /// Is `pe` physically fail-stopped at `now_ns` (its hardware is
@@ -175,17 +386,40 @@ impl Membership {
         self.events().iter().take_while(|e| e.ts_ns <= now_ns).count() as u64
     }
 
-    /// The full view at `now_ns`.
+    /// The full (quorum-side) view at `now_ns`. While a fence is up
+    /// this is the majority's view — the authoritative one; minority
+    /// PEs don't consult views while fenced, they fail ops.
     pub fn view_at(&self, now_ns: u64) -> View {
         let full = if self.n_pes == 64 { u64::MAX } else { (1u64 << self.n_pes) - 1 };
         let mut v = View { epoch: 0, alive: full, members: full };
+        // crash bookkeeping so a heal never resurrects an evicted PE:
+        // `dead` tracks currently-crashed PEs, `evicted` every PE that
+        // ever left collectives through a crash (membership via crash
+        // is monotonic — rejoin and heal only restore `alive`).
+        let (mut dead, mut evicted) = (0u64, 0u64);
         for e in self.events().iter().take_while(|e| e.ts_ns <= now_ns) {
             match e.kind {
                 EventKind::Evict => {
+                    dead |= 1u64 << e.pe;
+                    evicted |= 1u64 << e.pe;
                     v.alive &= !(1u64 << e.pe);
                     v.members &= !(1u64 << e.pe);
                 }
-                EventKind::Rejoin => v.alive |= 1u64 << e.pe,
+                EventKind::Rejoin => {
+                    dead &= !(1u64 << e.pe);
+                    v.alive |= 1u64 << e.pe;
+                }
+                EventKind::Fence => {
+                    v.alive &= !e.mask;
+                    v.members &= !e.mask;
+                }
+                EventKind::Heal => {
+                    // a heal fully re-admits the minority — its PEs
+                    // wrote nothing while fenced, so unlike a crash
+                    // rejoin they return to collectives too
+                    v.alive |= e.mask & !dead;
+                    v.members |= e.mask & !evicted;
+                }
             }
             v.epoch += 1;
         }
@@ -256,5 +490,126 @@ mod tests {
         assert!(!ms.armed());
         assert_eq!(ms.epoch_at(u64::MAX), 0);
         assert_eq!(ms.view_at(12345).member_list(16).len(), 16);
+    }
+
+    #[test]
+    fn split_fences_the_minority_and_heals_at_a_higher_epoch() {
+        // PEs 1,2 severed from the other six over [100k, 400k)
+        let p = FaultPlan::default().with_partition_split(0b110, 100_000, 400_000);
+        let ms = Membership::new(&p, 8);
+        assert!(ms.armed(), "a partition alone arms membership");
+        let s = ms.split_schedules();
+        assert_eq!(s.len(), 1);
+        assert_eq!(
+            s[0],
+            SplitSchedule {
+                minority: 0b110,
+                fence_ns: 100_000 + DETECT_BOUND_NS,
+                heal_ns: 400_000 + HEAL_BOUND_NS,
+                fence_epoch: 1,
+                heal_epoch: 2,
+            }
+        );
+        // undetected: full view
+        assert_eq!(ms.view_at(s[0].fence_ns - 1), View { epoch: 0, alive: 0xff, members: 0xff });
+        // fenced: minority out of alive AND members, epoch bumped
+        let fenced = ms.view_at(s[0].fence_ns);
+        assert_eq!(fenced, View { epoch: 1, alive: 0b1111_1001, members: 0b1111_1001 });
+        assert_eq!(fenced.member_list(8), vec![0, 3, 4, 5, 6, 7]);
+        // healed: minority fully re-admitted (unlike crash rejoin) at a
+        // higher epoch
+        assert_eq!(ms.view_at(s[0].heal_ns - 1).epoch, 1);
+        assert_eq!(ms.view_at(s[0].heal_ns), View { epoch: 2, alive: 0xff, members: 0xff });
+    }
+
+    #[test]
+    fn partition_outcome_covers_every_op_phase() {
+        let p = FaultPlan::default().with_partition_split(0b110, 100_000, 400_000);
+        let ms = Membership::new(&p, 8);
+        let fence = 100_000 + DETECT_BOUND_NS;
+        // before the window: unaffected
+        assert_eq!(ms.partition_outcome(0, 1, 50_000), None);
+        // severed but undetected: fail scheduled for the fence instant,
+        // reporting the minority end of the pair
+        assert_eq!(
+            ms.partition_outcome(0, 1, 150_000),
+            Some(PartitionOutcome::FailAt { at_ns: fence, pe: 1, epoch: 1 })
+        );
+        assert_eq!(
+            ms.partition_outcome(1, 0, 150_000),
+            Some(PartitionOutcome::FailAt { at_ns: fence, pe: 1, epoch: 1 })
+        );
+        // same side pre-fence: unaffected
+        assert_eq!(ms.partition_outcome(1, 2, 150_000), None);
+        assert_eq!(ms.partition_outcome(0, 3, 150_000), None);
+        // fence up: majority→minority fails naming the peer...
+        assert_eq!(
+            ms.partition_outcome(0, 2, fence),
+            Some(PartitionOutcome::FailAt { at_ns: fence, pe: 2, epoch: 1 })
+        );
+        // ...and the minority fails everything it issues, naming itself
+        // (even minority-internal ops: the side lacks quorum)
+        assert_eq!(
+            ms.partition_outcome(1, 2, fence + 1),
+            Some(PartitionOutcome::FailAt { at_ns: fence + 1, pe: 1, epoch: 1 })
+        );
+        assert_eq!(ms.fenced_minority_epoch(1, fence), Some(1));
+        assert_eq!(ms.fenced_minority_epoch(0, fence), None);
+        // links restored but views not yet merged: still fenced
+        assert!(ms.partition_outcome(0, 1, 400_000 + HEAL_BOUND_NS - 1).is_some());
+        // healed: unaffected again
+        assert_eq!(ms.partition_outcome(0, 1, 400_000 + HEAL_BOUND_NS), None);
+        // majority-internal ops are never affected
+        assert_eq!(ms.partition_outcome(0, 3, fence), None);
+    }
+
+    #[test]
+    fn quorum_tie_goes_to_the_side_containing_pe_zero() {
+        // 4 PEs split 2|2 both ways round: PE 0's side always wins
+        let a = Membership::new(&FaultPlan::default().with_partition_split(0b1100, 0, 300_000), 4);
+        assert_eq!(a.split_schedules()[0].minority, 0b1100);
+        let b = Membership::new(&FaultPlan::default().with_partition_split(0b0011, 0, 300_000), 4);
+        assert_eq!(b.split_schedules()[0].minority, 0b1100);
+        // and a majority-sized mask fences its complement
+        let c = Membership::new(&FaultPlan::default().with_partition_split(0b0111, 0, 300_000), 4);
+        assert_eq!(c.split_schedules()[0].minority, 0b1000);
+    }
+
+    #[test]
+    fn short_split_is_a_transparent_blip() {
+        let p = FaultPlan::default().with_partition_split(0b10, 100_000, 100_000 + DETECT_BOUND_NS - 1);
+        let ms = Membership::new(&p, 4);
+        assert!(ms.split_schedules().is_empty());
+        assert_eq!(ms.epoch_at(u64::MAX), 0);
+        // a severed op inside the blip just blocks until the window ends
+        assert_eq!(
+            ms.partition_outcome(0, 1, 120_000),
+            Some(PartitionOutcome::BlockUntil(100_000 + DETECT_BOUND_NS - 1))
+        );
+        assert_eq!(ms.partition_outcome(0, 1, 100_000 + DETECT_BOUND_NS), None);
+    }
+
+    #[test]
+    fn cuts_never_reach_the_view_layer() {
+        let p = FaultPlan::default().with_partition_cut(0, 1, 100_000, 900_000);
+        let ms = Membership::new(&p, 4);
+        assert!(ms.armed(), "cuts still arm membership queries");
+        assert!(ms.split_schedules().is_empty());
+        assert_eq!(ms.epoch_at(u64::MAX), 0);
+        assert_eq!(ms.partition_outcome(0, 1, 200_000), None);
+        assert_eq!(ms.view_at(200_000).member_list(4), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn heal_never_resurrects_a_crashed_pe() {
+        // PE 1 is both inside the split minority and crashed for good:
+        // the heal re-admits the rest of the minority but not PE 1
+        let p = FaultPlan::default()
+            .with_crash(1, 0, 0)
+            .with_partition_split(0b110, 100_000, 400_000);
+        let ms = Membership::new(&p, 8);
+        let healed = ms.view_at(400_000 + HEAL_BOUND_NS);
+        assert!(!healed.is_alive(1) && !healed.is_member(1));
+        assert!(healed.is_alive(2) && healed.is_member(2));
     }
 }

@@ -671,10 +671,13 @@ impl ShmemMachine {
         if cfg.design != Design::EnhancedGdr || me == target {
             return false;
         }
-        // GDR capability fault: device-touching transfers cannot be a
+        // GDR capability fault (or the pair's direct/GDR fabric severed
+        // by an asymmetric cut): device-touching transfers cannot be a
         // single RDMA write; the blocking dispatch picks the fallback.
         if (src.is_device() || dst.is_device())
-            && (self.gdr_disabled_at(me) || self.gdr_disabled_at(target))
+            && (self.gdr_disabled_at(me)
+                || self.gdr_disabled_at(target)
+                || self.cut_now(me, target))
         {
             return false;
         }
@@ -709,9 +712,11 @@ impl ShmemMachine {
         if cfg.design != Design::EnhancedGdr || me == from {
             return false;
         }
-        // GDR capability fault: see put_rdma_serviced.
+        // GDR capability fault or pair cut: see put_rdma_serviced.
         if (src.is_device() || dst.is_device())
-            && (self.gdr_disabled_at(me) || self.gdr_disabled_at(from))
+            && (self.gdr_disabled_at(me)
+                || self.gdr_disabled_at(from)
+                || self.cut_now(me, from))
         {
             return false;
         }
@@ -765,10 +770,16 @@ impl ShmemMachine {
         let topo = self.cluster().topo();
         let same_node = topo.same_node(me, target);
         let cfg = *self.cfg();
-        // Capability fault: GDR administratively dead at either end of a
-        // device-touching transfer — every GDR protocol must re-route.
+        // Capability fault (GDR administratively dead at either end) or
+        // reachability fault (the pair's direct/GDR fabric severed by an
+        // asymmetric cut): every GDR protocol must re-route onto the
+        // still-reachable proxy/host-staged paths.
+        let cut = self.cut_now(me, target);
+        if cut && (src_dev || dst_dev) {
+            self.note_cut(me, target, ctx.now());
+        }
         let gdr_off = (src_dev || dst_dev)
-            && (self.gdr_disabled_at(me) || self.gdr_disabled_at(target));
+            && (self.gdr_disabled_at(me) || self.gdr_disabled_at(target) || cut);
 
         let routed = (|| -> Result<Protocol, TransferError> {
             Ok(if me == target {
@@ -1088,8 +1099,14 @@ impl ShmemMachine {
         let topo = self.cluster().topo();
         let same_node = topo.same_node(me, from);
         let cfg = *self.cfg();
+        // GDR dead at either end, or the direct fabric toward the
+        // source severed by a cut: reroute like a capability fault.
+        let cut = self.cut_now(me, from);
+        if cut && (src_dev || dst_dev) {
+            self.note_cut(me, from, ctx.now());
+        }
         let gdr_off = (src_dev || dst_dev)
-            && (self.gdr_disabled_at(me) || self.gdr_disabled_at(from));
+            && (self.gdr_disabled_at(me) || self.gdr_disabled_at(from) || cut);
 
         let routed = (|| -> Result<Protocol, TransferError> {
             Ok(if me == from {
@@ -1331,10 +1348,14 @@ impl ShmemMachine {
                 self.cfg().design.name()
             );
         }
-        if target_sym.is_gpu() && self.gdr_disabled_at(target) {
-            // Without GDR the HCA cannot issue atomics against GPU
+        if target_sym.is_gpu() && (self.gdr_disabled_at(target) || self.cut_now(me, target)) {
+            // Without GDR (disabled, or this pair's direct lane severed
+            // by a cut) the HCA cannot issue atomics against GPU
             // memory, and no software path preserves atomicity against
             // concurrent hardware atomics: a typed error, not a fallback.
+            if self.cut_now(me, target) {
+                self.note_cut(me, target, ctx.now());
+            }
             st.leave_library();
             return Err(TransferError::CapabilityDisabled {
                 what: "gdr-atomic",

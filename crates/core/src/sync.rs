@@ -12,6 +12,7 @@
 
 use crate::error::TransferError;
 use crate::machine::ShmemMachine;
+use crate::membership::PartitionOutcome;
 use crate::state::Protocol;
 use pcie_sim::mem::MemRef;
 use pcie_sim::ProcId;
@@ -199,6 +200,14 @@ impl ShmemMachine {
     /// budget. A waiter whose own detectable crash arrives mid-wait
     /// fail-stops the same way; a transparent blip of either side just
     /// keeps polling (the flag can still arrive after the rejoin).
+    ///
+    /// The wait is partition-aware too: once a quorum fence separates
+    /// the waiter from the expected writer (or fences the waiter itself
+    /// onto the minority side), the missing flag cannot arrive until
+    /// the heal, so the wait fails over with
+    /// [`TransferError::Partitioned`] at the fence instant. A split
+    /// too short to be detected is a blip here as well — the loop just
+    /// keeps polling across it.
     pub(crate) fn try_sync_wait(
         self: &Arc<Self>,
         ctx: &TaskCtx,
@@ -243,6 +252,15 @@ impl ShmemMachine {
                             .eviction_epoch(from.0)
                             .expect("detectable crash has an eviction epoch"),
                     });
+                }
+            }
+            if ms.armed() {
+                if let Some(PartitionOutcome::FailAt { at_ns, pe, epoch }) =
+                    ms.partition_outcome(me.0, from.0, now_ns)
+                {
+                    if now_ns >= at_ns {
+                        return Err(TransferError::Partitioned { pe, epoch });
+                    }
                 }
             }
             if timeout_ns > 0 && ctx.now().0 >= deadline {

@@ -21,7 +21,14 @@
 //! - fail-stop crash faults (`crash=pe:at_ns[:rejoin_ns]`): a PE's
 //!   HCA/proxy/GPU activity dies at a virtual instant and optionally
 //!   rejoins later — detection, eviction, and rejoin semantics live in
-//!   the core membership layer.
+//!   the core membership layer;
+//! - network-partition faults (`partition=split:mask:start:end` /
+//!   `partition=cut:a:b:start:end`): a per-pair reachability fault over
+//!   a virtual-time window. A *split* severs every link between the
+//!   masked PEs and the rest (quorum fencing and heal-merge semantics
+//!   live in the core membership layer); a *cut* severs only the
+//!   direct/GDR fabric from PE `a` toward PE `b`, leaving the
+//!   proxy/host-staged paths reachable (protocol selection reroutes).
 //!
 //! The plan is `Copy` (fixed-capacity window arrays, no heap) so it can
 //! live inside the runtime's `RuntimeConfig` without disturbing the
@@ -38,6 +45,8 @@ pub const MAX_PROXY_STALLS: usize = 4;
 pub const MAX_BURST_WINDOWS: usize = 4;
 /// Maximum fail-stop crash faults in one plan.
 pub const MAX_CRASHES: usize = 2;
+/// Maximum network-partition faults in one plan.
+pub const MAX_PARTITIONS: usize = 2;
 
 /// Stream salt for the dedicated sync-area flag-write CQE stream:
 /// `sync_flag_put` / `sync_data_put` posts draw from
@@ -109,6 +118,42 @@ pub struct CrashFault {
     pub rejoin_ns: u64,
 }
 
+/// Which reachability shape a [`PartitionFault`] imposes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum PartitionKind {
+    /// A clean two-sided split: every link between the PEs in `mask`
+    /// and the PEs outside it is severed for the window. The membership
+    /// layer fences the minority side (quorum rule) and heals the views
+    /// back together after the window ends.
+    #[default]
+    Split,
+    /// An asymmetric cut: only the direct/GDR fabric from PE `a`
+    /// toward PE `b` is severed; the proxy and host-staged paths stay
+    /// reachable, so protocol selection reroutes instead of erroring.
+    /// Sever both directions with two `cut` tokens.
+    Cut,
+}
+
+/// One network-partition fault over `[start_ns, end_ns)`.
+///
+/// For [`PartitionKind::Split`], `mask` is the bitmask of PEs on the
+/// severed side (`a`/`b` unused); for [`PartitionKind::Cut`], `a`/`b`
+/// name the ordered severed pair (`mask` unused). Detection, quorum
+/// fencing, and heal-merge semantics live in
+/// `crates/core/src/membership.rs` — the plan only carries the window.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PartitionFault {
+    pub kind: PartitionKind,
+    /// Split: bitmask of PEs on the severed (candidate-minority) side.
+    pub mask: u64,
+    /// Cut: source PE of the severed direct path.
+    pub a: u32,
+    /// Cut: destination PE of the severed direct path.
+    pub b: u32,
+    pub start_ns: u64,
+    pub end_ns: u64,
+}
+
 /// A complete, seeded fault plan. `FaultPlan::default()` injects
 /// nothing; [`FaultPlan::active`] is the cheap hot-path gate.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -142,6 +187,9 @@ pub struct FaultPlan {
     /// Fail-stop crash schedule (see [`CrashFault`]).
     pub crashes: [CrashFault; MAX_CRASHES],
     pub n_crashes: u8,
+    /// Network-partition schedule (see [`PartitionFault`]).
+    pub partitions: [PartitionFault; MAX_PARTITIONS],
+    pub n_partitions: u8,
     /// Sliding virtual-time window over which the health tracker counts
     /// failures per protocol (see `crates/core/src/health.rs`).
     pub health_window_ns: u64,
@@ -172,6 +220,8 @@ impl Default for FaultPlan {
             n_burst_windows: 0,
             crashes: [CrashFault::default(); MAX_CRASHES],
             n_crashes: 0,
+            partitions: [PartitionFault::default(); MAX_PARTITIONS],
+            n_partitions: 0,
             health_window_ns: 200_000,
             health_threshold: 3,
             health_cooldown_ns: 500_000,
@@ -204,6 +254,7 @@ impl FaultPlan {
             || self.op_timeout_ns > 0
             || self.n_burst_windows > 0
             || self.n_crashes > 0
+            || self.n_partitions > 0
     }
 
     /// True when CQE draws can ever fail (per-post permille or a burst
@@ -312,6 +363,71 @@ impl FaultPlan {
     pub fn crashed(&self, pe: u32, now_ns: u64) -> bool {
         self.crash_of(pe).is_some_and(|c| {
             now_ns >= c.at_ns && (c.rejoin_ns == 0 || now_ns < c.rejoin_ns)
+        })
+    }
+
+    /// Builder: append a two-sided split partition — every link between
+    /// the PEs in `mask` and the PEs outside it is severed for
+    /// `[start_ns, end_ns)`.
+    pub fn with_partition_split(mut self, mask: u64, start_ns: u64, end_ns: u64) -> Self {
+        assert!(mask != 0, "split partition mask must name at least one PE");
+        assert!(start_ns < end_ns, "partition window must be a non-empty interval");
+        let n = self.n_partitions as usize;
+        assert!(n < MAX_PARTITIONS, "too many partition faults (max {MAX_PARTITIONS})");
+        self.partitions[n] = PartitionFault {
+            kind: PartitionKind::Split,
+            mask,
+            a: 0,
+            b: 0,
+            start_ns,
+            end_ns,
+        };
+        self.n_partitions += 1;
+        self
+    }
+
+    /// Builder: append an asymmetric cut — only the direct/GDR fabric
+    /// from PE `a` toward PE `b` is severed for `[start_ns, end_ns)`.
+    pub fn with_partition_cut(mut self, a: u32, b: u32, start_ns: u64, end_ns: u64) -> Self {
+        assert!(a != b, "cut partition must name two distinct PEs");
+        assert!(start_ns < end_ns, "partition window must be a non-empty interval");
+        let n = self.n_partitions as usize;
+        assert!(n < MAX_PARTITIONS, "too many partition faults (max {MAX_PARTITIONS})");
+        self.partitions[n] = PartitionFault {
+            kind: PartitionKind::Cut,
+            mask: 0,
+            a,
+            b,
+            start_ns,
+            end_ns,
+        };
+        self.n_partitions += 1;
+        self
+    }
+
+    /// Configured network-partition faults.
+    pub fn partitions(&self) -> &[PartitionFault] {
+        &self.partitions[..self.n_partitions as usize]
+    }
+
+    /// The split partition whose window covers `now_ns`, if any (at
+    /// most one concurrent split is meaningful; the first wins).
+    pub fn split_at(&self, now_ns: u64) -> Option<PartitionFault> {
+        self.partitions().iter().copied().find(|p| {
+            p.kind == PartitionKind::Split && now_ns >= p.start_ns && now_ns < p.end_ns
+        })
+    }
+
+    /// Is the direct/GDR fabric from PE `a` toward PE `b` cut at
+    /// virtual time `now_ns`? Cuts are ordered — `cut=0:1:...` severs
+    /// only 0→1 posts.
+    pub fn cut_active(&self, a: u32, b: u32, now_ns: u64) -> bool {
+        self.partitions().iter().any(|p| {
+            p.kind == PartitionKind::Cut
+                && p.a == a
+                && p.b == b
+                && now_ns >= p.start_ns
+                && now_ns < p.end_ns
         })
     }
 
@@ -445,7 +561,11 @@ impl FaultPlan {
     /// `health` is `window_ns:threshold:cooldown_ns` (circuit-breaker
     /// shape for health-driven protocol demotion); `crash` is
     /// `pe:at_ns[:rejoin_ns]` (fail-stop crash of a PE, optionally
-    /// rejoining later; omitted or 0 rejoin = dead forever).
+    /// rejoining later; omitted or 0 rejoin = dead forever);
+    /// `partition` is `split:<mask>:<start_ns>:<end_ns>` (two-sided
+    /// split severing the masked PEs from the rest) or
+    /// `cut:<a>:<b>:<start_ns>:<end_ns>` (asymmetric cut of the direct
+    /// fabric from `a` toward `b` only).
     pub fn parse(s: &str) -> FaultPlan {
         let mut p = FaultPlan::default();
         for tok in s.split_whitespace() {
@@ -484,10 +604,11 @@ impl FaultPlan {
                     let (pe, at, rejoin) = parse_crash(v);
                     p = p.with_crash(pe, at, rejoin);
                 }
+                "partition" => p = parse_partition(p, v),
                 _ => panic!(
                     "unknown fault plan key {k:?} in {tok:?} (known keys: seed cqe \
                      cqe-detect retries backoff backoff-cap timeout gdr-off late \
-                     late-extra link stall burst health crash)"
+                     late-extra link stall burst health crash partition)"
                 ),
             }
         }
@@ -556,6 +677,16 @@ impl std::fmt::Display for FaultPlan {
             write!(f, " crash={}:{}", c.pe, c.at_ns)?;
             if c.rejoin_ns != 0 {
                 write!(f, ":{}", c.rejoin_ns)?;
+            }
+        }
+        for p in self.partitions() {
+            match p.kind {
+                PartitionKind::Split => {
+                    write!(f, " partition=split:{}:{}:{}", p.mask, p.start_ns, p.end_ns)?
+                }
+                PartitionKind::Cut => {
+                    write!(f, " partition=cut:{}:{}:{}:{}", p.a, p.b, p.start_ns, p.end_ns)?
+                }
             }
         }
         if (self.health_window_ns, self.health_threshold, self.health_cooldown_ns)
@@ -672,6 +803,35 @@ impl FaultPlan {
         }
         p
     }
+
+    /// [`FaultPlan::generate`] plus the network-partition dimension,
+    /// for campaigns that opt into reachability churn (`gdrchaos run
+    /// --partition`). Kept out of the base generator so pre-partition
+    /// campaign seeds keep their byte-identical trajectories; the
+    /// partition draws ride fresh salts (90+) so every other dimension
+    /// is exactly what `generate` would have produced. Roughly one
+    /// trial in three draws a partition — a two-sided split of PE 1
+    /// (exercising quorum fencing and heal-merge) or an asymmetric cut
+    /// between PEs 0 and 1 (exercising reachability-aware rerouting).
+    /// Windows are long enough for the fence to land inside them
+    /// (detection bound 150 µs) and end early enough that the heal
+    /// merge completes before [`GEN_HORIZON_NS`], so the quiesced
+    /// fabric every oracle inspects is fully healed.
+    pub fn generate_with_partitions(campaign_seed: u64, trial: u64) -> FaultPlan {
+        let d = |salt: u64| mix(campaign_seed, 0x4745_4E00 + salt, trial);
+        let mut p = Self::generate(campaign_seed, trial);
+        if d(90) % 3 == 0 {
+            let start = 100_000 + d(91) % 600_000;
+            let end = start + 200_000 + d(92) % 700_000;
+            if d(93) & 1 == 0 {
+                p = p.with_partition_split(0b10, start, end);
+            } else {
+                let a = (d(94) % 2) as u32;
+                p = p.with_partition_cut(a, 1 - a, start, end);
+            }
+        }
+        p
+    }
 }
 
 fn parse_link_window(v: &str) -> LinkWindow {
@@ -745,6 +905,43 @@ fn parse_crash(v: &str) -> (u32, u64, u64) {
         n(parts[1], "at_ns"),
         if parts.len() == 3 { n(parts[2], "rejoin_ns") } else { 0 },
     )
+}
+
+fn parse_partition(p: FaultPlan, v: &str) -> FaultPlan {
+    const FORM: &str =
+        "partition=split:<mask>:<start_ns>:<end_ns> | partition=cut:<a>:<b>:<start_ns>:<end_ns>";
+    let parts: Vec<&str> = v.split(':').collect();
+    let n = |s: &str, what: &str| -> u64 {
+        s.parse().unwrap_or_else(|_| {
+            panic!("fault plan key \"partition\": {what} must be a number (expected {FORM}), got {v:?}")
+        })
+    };
+    match parts.first().copied() {
+        Some("split") => {
+            assert!(
+                parts.len() == 4,
+                "fault plan key \"partition\": expected {FORM}, got {v:?}"
+            );
+            p.with_partition_split(
+                n(parts[1], "mask"),
+                n(parts[2], "start_ns"),
+                n(parts[3], "end_ns"),
+            )
+        }
+        Some("cut") => {
+            assert!(
+                parts.len() == 5,
+                "fault plan key \"partition\": expected {FORM}, got {v:?}"
+            );
+            p.with_partition_cut(
+                n(parts[1], "a") as u32,
+                n(parts[2], "b") as u32,
+                n(parts[3], "start_ns"),
+                n(parts[4], "end_ns"),
+            )
+        }
+        _ => panic!("fault plan key \"partition\": shape must be split|cut (expected {FORM}), got {v:?}"),
+    }
 }
 
 fn parse_proxy_stall(v: &str) -> ProxyStall {
@@ -853,7 +1050,9 @@ mod tests {
         assert_eq!(p.proxy_stall_window_ns(1, 1_700), Some((5_000, 900_000)));
         assert_eq!(
             p.proxy_stall_extra_ns(1, 1_700),
-            p.proxy_stall_window_ns(1, 1_700).unwrap().1
+            p.proxy_stall_window_ns(1, 1_700)
+                .expect("a stall window on node 1 must cover 1700ns")
+                .1
         );
         assert_eq!(p.proxy_stall_window_ns(0, 1_200), None, "wrong node");
         assert_eq!(p.proxy_stall_window_ns(1, 5_000), None);
@@ -982,8 +1181,16 @@ mod tests {
             })
             .with_proxy_stall(ProxyStall { node: 1, start_ns: 5, end_ns: 9, extra_ns: 4 })
             .with_burst_window(100, 200)
+            .with_partition_split(0b110, 1_000, 2_000)
+            .with_partition_cut(1, 0, 3_000, 4_000)
             .with_health(1, 1, 1);
         assert_eq!(FaultPlan::parse(&p.to_string()), p);
+        // the partition campaign generator's plan space round-trips too
+        for trial in 0..512 {
+            let p = FaultPlan::generate_with_partitions(0xC0FFEE, trial);
+            let s = p.to_string();
+            assert_eq!(FaultPlan::parse(&s), p, "lossy grammar for {s:?}");
+        }
     }
 
     #[test]
@@ -1074,6 +1281,84 @@ mod tests {
     }
 
     #[test]
+    fn partition_grammar_round_trips_and_predicates_cover_window() {
+        let p = FaultPlan::parse("partition=split:2:100000:600000 partition=cut:0:1:50000:200000");
+        assert_eq!(p.partitions().len(), 2);
+        assert!(p.active(), "a partition alone makes the plan active");
+        // the split covers exactly [start, end)
+        assert_eq!(p.split_at(99_999), None);
+        assert_eq!(
+            p.split_at(100_000)
+                .expect("split window must cover its start instant")
+                .mask,
+            0b10
+        );
+        assert!(p.split_at(599_999).is_some());
+        assert_eq!(p.split_at(600_000), None);
+        // the cut is ordered: 0→1 only, inside its window only
+        assert!(!p.cut_active(0, 1, 49_999));
+        assert!(p.cut_active(0, 1, 50_000));
+        assert!(p.cut_active(0, 1, 199_999));
+        assert!(!p.cut_active(0, 1, 200_000));
+        assert!(!p.cut_active(1, 0, 100_000), "cuts are ordered");
+        assert_eq!(FaultPlan::parse(&p.to_string()), p);
+        assert_eq!(
+            FaultPlan::default().with_partition_split(1, 5, 9).to_string(),
+            "seed=1 partition=split:1:5:9"
+        );
+        assert_eq!(
+            FaultPlan::default().with_partition_cut(1, 0, 5, 9).to_string(),
+            "seed=1 partition=cut:1:0:5:9"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "shape must be split|cut")]
+    fn malformed_partition_names_key_and_form() {
+        FaultPlan::parse("partition=half:1:2:3");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty interval")]
+    fn empty_partition_windows_are_rejected() {
+        let _ = FaultPlan::default().with_partition_split(1, 7, 7);
+    }
+
+    #[test]
+    fn generate_with_partitions_is_pure_and_leaves_base_dimensions_alone() {
+        let (mut saw_split, mut saw_cut) = (false, false);
+        for trial in 0..128 {
+            let base = FaultPlan::generate(7, trial);
+            let pp = FaultPlan::generate_with_partitions(7, trial);
+            assert_eq!(pp, FaultPlan::generate_with_partitions(7, trial), "pure");
+            // stripping the partition dimension recovers the base plan exactly
+            let mut stripped = pp;
+            stripped.partitions = [PartitionFault::default(); MAX_PARTITIONS];
+            stripped.n_partitions = 0;
+            assert_eq!(stripped, base, "partition draws must not reshuffle other dimensions");
+            assert_eq!(pp.n_crashes, 0, "partition campaigns do not layer crash churn");
+            for f in pp.partitions() {
+                match f.kind {
+                    PartitionKind::Split => {
+                        saw_split = true;
+                        assert_eq!(f.mask, 0b10, "generated splits isolate PE 1");
+                    }
+                    PartitionKind::Cut => {
+                        saw_cut = true;
+                        assert!(f.a < 2 && f.b < 2 && f.a != f.b);
+                    }
+                }
+                // room for the fence inside the window and the heal
+                // merge before the horizon (membership bounds)
+                assert!(f.end_ns > f.start_ns + 150_000);
+                assert!(f.end_ns + 50_000 <= GEN_HORIZON_NS);
+            }
+        }
+        assert!(saw_split, "128 trials must draw at least one split");
+        assert!(saw_cut, "128 trials must draw at least one cut");
+    }
+
+    #[test]
     fn draws_are_pure_under_any_call_order() {
         // satellite: identical (seed, stream, counter) triples must
         // yield identical draws regardless of evaluation order or
@@ -1082,7 +1367,9 @@ mod tests {
             .with_seed(1234)
             .with_cqe_errors(400)
             .with_late_completions(300, 10_000)
-            .with_retry(6, 1_000, 32_000);
+            .with_retry(6, 1_000, 32_000)
+            .with_partition_split(0b10, 400, 900)
+            .with_partition_cut(0, 1, 1_200, 2_400);
         let streams = [0u64, 1, 7, 3 | SYNC_STREAM];
         let mut forward = Vec::new();
         for &s in &streams {
@@ -1091,6 +1378,8 @@ mod tests {
                     p.cqe_fails(s, c),
                     p.completion_late(s, c),
                     p.backoff_ns(c, (c % 6) as u32),
+                    p.split_at(c * 100).is_some(),
+                    p.cut_active(0, 1, c * 100),
                 ));
             }
         }
@@ -1104,11 +1393,17 @@ mod tests {
                     p.cqe_fails(s, c),
                     p.completion_late(s, c),
                     p.backoff_ns(c, (c % 6) as u32),
+                    p.split_at(c * 100).is_some(),
+                    p.cut_active(0, 1, c * 100),
                 ));
                 let _ = p.completion_late(s.wrapping_add(9), c); // noise
+                let _ = p.cut_active(1, 0, c * 100); // noise probe
             }
         }
-        let backward: Vec<_> = backward.into_iter().map(|x| x.unwrap()).collect();
+        let backward: Vec<_> = backward
+            .into_iter()
+            .map(|x| x.expect("every (stream, counter) slot was probed in the reversed pass"))
+            .collect();
         assert_eq!(forward, backward, "draws must be order-independent");
     }
 }

@@ -32,6 +32,9 @@
 //!   7  diff found a membership regression (the candidate converged its
 //!      fail-stop view slower than the baseline or left more evictions
 //!      without a rejoin)
+//!   8  diff found a partition regression (the candidate healed its
+//!      quorum-fenced view slower than the baseline or left more fences
+//!      without a heal)
 
 use obs_analyze::{analyze, crossover, diff, timeline, whatif, Report, Trace};
 use std::process::ExitCode;
@@ -51,7 +54,8 @@ exit codes:
   4  diff found a latency/recovery regression over the threshold
   5  diff found a contention-only regression
   6  diff found an SLO-violation-count regression
-  7  diff found a membership (fail-stop view) regression";
+  7  diff found a membership (fail-stop view) regression
+  8  diff found a partition (quorum-fenced view) regression";
 
 fn fail(code: u8, msg: &str) -> ExitCode {
     eprintln!("gdrprof: {msg}");
@@ -157,6 +161,9 @@ fn cmd_diff(args: &[String]) -> ExitCode {
     }
     if d.membership_regressions() > 0 {
         return fail(7, "membership (fail-stop view) regression");
+    }
+    if d.partition_regressions() > 0 {
+        return fail(8, "partition (quorum-fenced view) regression");
     }
     ExitCode::SUCCESS
 }

@@ -103,6 +103,24 @@ pub struct MembershipRow {
     pub regressed: bool,
 }
 
+/// Network-partition comparison: heal-convergence time and unhealed
+/// fences. The candidate must not merge its view back slower than the
+/// baseline (beyond the threshold, relative) and must not leave more
+/// quorum fences without a matching heal. A partition regression trips
+/// exit code 8.
+#[derive(Clone, Debug)]
+pub struct PartitionRow {
+    /// Baseline worst heal-convergence time, microseconds.
+    pub a_heal_us: f64,
+    /// Candidate worst heal-convergence time.
+    pub b_heal_us: f64,
+    /// Baseline fences never followed by a heal.
+    pub a_unhealed: u64,
+    /// Candidate fences never followed by a heal.
+    pub b_unhealed: u64,
+    pub regressed: bool,
+}
+
 /// Link-contention comparison for one hardware link track: the fraction
 /// of the trace each run spent with the link's queue depth >= 2.
 #[derive(Clone, Debug)]
@@ -148,6 +166,10 @@ pub struct DiffReport {
     /// baseline nor leave more evictions unrecovered. A membership
     /// regression exits with code 7.
     pub membership: Option<MembershipRow>,
+    /// Present when either side observed a quorum fence: the candidate
+    /// must not heal slower than the baseline nor leave more fences
+    /// unhealed. A partition regression exits with code 8.
+    pub partition: Option<PartitionRow>,
 }
 
 impl DiffReport {
@@ -156,6 +178,7 @@ impl DiffReport {
             + self.contention_regressions()
             + self.slo_regressions()
             + self.membership_regressions()
+            + self.partition_regressions()
     }
 
     /// Regressed rows in the latency/recovery/partial/health sections —
@@ -183,6 +206,13 @@ impl DiffReport {
     /// more evictions unrecovered.
     pub fn membership_regressions(&self) -> usize {
         usize::from(self.membership.as_ref().is_some_and(|m| m.regressed))
+    }
+
+    /// Partition regressions (the exit-code-8 gate): 1 when the
+    /// candidate healed its quorum-fenced view slower than the baseline
+    /// or left more fences unhealed.
+    pub fn partition_regressions(&self) -> usize {
+        usize::from(self.partition.as_ref().is_some_and(|p| p.regressed))
     }
 
     pub fn text(&self) -> String {
@@ -289,6 +319,19 @@ impl DiffReport {
                 m.a_unrecovered,
                 m.b_convergence_us,
                 m.b_unrecovered,
+            );
+        }
+        if let Some(p) = &self.partition {
+            let mark = if p.regressed { "  REGRESSED" } else { "" };
+            let _ = writeln!(s, "partitions (quorum-fenced view):");
+            let _ = writeln!(
+                s,
+                "  {:<28} a {:.3}us / {} unhealed  b {:.3}us / {} unhealed{mark}",
+                "heal-convergence",
+                p.a_heal_us,
+                p.a_unhealed,
+                p.b_heal_us,
+                p.b_unhealed,
             );
         }
         let _ = writeln!(s, "regressions: {}", self.regressions());
@@ -415,10 +458,21 @@ impl DiffReport {
                 .bool_field("regressed", m.regressed);
             mj.finish();
         }
+        if let Some(p) = &self.partition {
+            let buf = o.raw_field("partition");
+            let mut pj = ObjWriter::new(buf);
+            pj.num_field("a_heal_us", p.a_heal_us)
+                .num_field("b_heal_us", p.b_heal_us)
+                .u64_field("a_unhealed", p.a_unhealed)
+                .u64_field("b_unhealed", p.b_unhealed)
+                .bool_field("regressed", p.regressed);
+            pj.finish();
+        }
         o.u64_field("latency_regressions", self.latency_regressions() as u64);
         o.u64_field("contention_regressions", self.contention_regressions() as u64);
         o.u64_field("slo_regressions", self.slo_regressions() as u64);
         o.u64_field("membership_regressions", self.membership_regressions() as u64);
+        o.u64_field("partition_regressions", self.partition_regressions() as u64);
         o.u64_field("regressions", self.regressions() as u64);
         o.finish();
         out
@@ -667,6 +721,26 @@ pub fn diff(a: &Report, b: &Report, threshold_pct: f64) -> DiffReport {
     } else {
         None
     };
+    // network partitions: heal-convergence time and unhealed fences; a
+    // pair with no fences on either side produces no section
+    let partition = if a.partitions.fences > 0 || b.partitions.fences > 0 {
+        let ap = &a.partitions;
+        let bp = &b.partitions;
+        let a_unhealed = ap.fences.saturating_sub(ap.heals);
+        let b_unhealed = bp.fences.saturating_sub(bp.heals);
+        let heal_regressed = ap.heal_convergence_us > 0.0
+            && (bp.heal_convergence_us - ap.heal_convergence_us) / ap.heal_convergence_us * 100.0
+                > threshold_pct;
+        Some(PartitionRow {
+            a_heal_us: ap.heal_convergence_us,
+            b_heal_us: bp.heal_convergence_us,
+            a_unhealed,
+            b_unhealed,
+            regressed: heal_regressed || b_unhealed > a_unhealed,
+        })
+    } else {
+        None
+    };
     DiffReport {
         threshold_pct,
         rows,
@@ -676,5 +750,6 @@ pub fn diff(a: &Report, b: &Report, threshold_pct: f64) -> DiffReport {
         contention,
         slo,
         membership,
+        partition,
     }
 }

@@ -29,12 +29,12 @@ pub mod whatif;
 pub use campaign::{CampaignSummary, CampaignViolation, CAMPAIGN_SCHEMA};
 pub use crossover::{crossover, CrossoverPoint, CrossoverReport, CurvePoint};
 pub use diff::{
-    diff, ContentionRow, DiffReport, DiffRow, HealthRow, MembershipRow, PartialRow, RecoveryRow,
-    SloRow, StageDelta,
+    diff, ContentionRow, DiffReport, DiffRow, HealthRow, MembershipRow, PartialRow, PartitionRow,
+    RecoveryRow, SloRow, StageDelta,
 };
 pub use report::{
-    analyze, FaultStat, HealthStat, LinkStat, MemberStat, OpPath, ProtoStat, QuantileStat, Report,
-    RMA_OPS,
+    analyze, FaultStat, HealthStat, LinkStat, MemberStat, OpPath, PartitionStat, ProtoStat,
+    QuantileStat, Report, RMA_OPS,
 };
 pub use timeline::{timeline, FaultBurst, Lifecycle, Timeline, TimelineRow, TIMELINE_SCHEMA};
 pub use trace::Trace;

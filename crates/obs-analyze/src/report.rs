@@ -170,6 +170,28 @@ pub struct MemberStat {
     pub convergence_us: f64,
 }
 
+/// Network-partition lifecycle summary (from the `partition`/`fence`/
+/// `heal` instants the membership layer records under a `partition=`
+/// fault plan). All-zero on partition-free traces.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct PartitionStat {
+    /// Partition onsets observed (`partition` instants: split window
+    /// starts and first-reroute cut detections).
+    pub partitions: u64,
+    /// Quorum fences applied to the view (`fence` instants).
+    pub fences: u64,
+    /// View merges after the split closed (`heal` instants).
+    pub heals: u64,
+    /// Highest view epoch seen on any partition instant.
+    pub last_epoch: u64,
+    /// Worst observed heal convergence: max over fenced splits of
+    /// (heal instant − fence instant), microseconds. The membership
+    /// layer bounds this by the split window length plus
+    /// `HEAL_BOUND_NS`; a growth here between runs means the merge
+    /// landed later than it used to.
+    pub heal_convergence_us: f64,
+}
+
 /// Everything `gdrprof` reports about one trace.
 #[derive(Clone, Debug, Default)]
 pub struct Report {
@@ -191,6 +213,9 @@ pub struct Report {
     /// Fail-stop membership lifecycle summary (all-zero on crash-free
     /// traces).
     pub membership: MemberStat,
+    /// Network-partition lifecycle summary (all-zero on partition-free
+    /// traces).
+    pub partitions: PartitionStat,
     /// link track name -> utilization stats.
     pub links: BTreeMap<String, LinkStat>,
     /// Windowed-metrics snapshots present in the trace (0 when the
@@ -427,6 +452,29 @@ pub fn analyze(tr: &Trace) -> Report {
         st.last_epoch = st.last_epoch.max(m.epoch);
     }
 
+    // partition lifecycle: event counts plus the observed heal
+    // convergence — per fenced minority, heal instant minus the fence
+    // instant; report the worst
+    let mut fence_ts: BTreeMap<u32, f64> = BTreeMap::new();
+    for m in &tr.partitions {
+        let st = &mut rep.partitions;
+        match m.event.as_str() {
+            "partition" => st.partitions += 1,
+            "fence" => {
+                st.fences += 1;
+                fence_ts.entry(m.pe).or_insert(m.ts_us);
+            }
+            "heal" => {
+                st.heals += 1;
+                if let Some(&t0) = fence_ts.get(&m.pe) {
+                    st.heal_convergence_us = st.heal_convergence_us.max(m.ts_us - t0);
+                }
+            }
+            _ => {}
+        }
+        st.last_epoch = st.last_epoch.max(m.epoch);
+    }
+
     for (name, pts) in &tr.links {
         let mut ls = LinkStat {
             samples: pts.len() as u64,
@@ -541,6 +589,20 @@ impl Report {
                 m.pe_dead, m.evicts, m.view_changes, m.rejoins, m.last_epoch
             );
             let _ = writeln!(s, "  view-convergence {:.3}us (worst observed)", m.convergence_us);
+        }
+        if self.partitions != PartitionStat::default() {
+            let p = &self.partitions;
+            let _ = writeln!(s, "\npartitions:");
+            let _ = writeln!(
+                s,
+                "  partitions {:<5} fences {:<5} heals {:<5} last-epoch {}",
+                p.partitions, p.fences, p.heals, p.last_epoch
+            );
+            let _ = writeln!(
+                s,
+                "  heal-convergence {:.3}us (worst observed)",
+                p.heal_convergence_us
+            );
         }
         if self.windows > 0 {
             let _ = writeln!(
@@ -681,6 +743,18 @@ impl Report {
                 .u64_field("last_epoch", self.membership.last_epoch)
                 .num_field("convergence_us", self.membership.convergence_us);
             mj.finish();
+        }
+        {
+            // additive: partition lifecycle (all zeros on partition-free
+            // traces), for the partition diff gate
+            let buf = o.raw_field("partitions");
+            let mut pj = ObjWriter::new(buf);
+            pj.u64_field("partitions", self.partitions.partitions)
+                .u64_field("fences", self.partitions.fences)
+                .u64_field("heals", self.partitions.heals)
+                .u64_field("last_epoch", self.partitions.last_epoch)
+                .num_field("heal_convergence_us", self.partitions.heal_convergence_us);
+            pj.finish();
         }
         {
             let buf = o.raw_field("links");
@@ -873,6 +947,17 @@ impl Report {
                 rejoins: u64_of(m, "rejoins", ctx).unwrap_or(0),
                 last_epoch: u64_of(m, "last_epoch", ctx).unwrap_or(0),
                 convergence_us: f64_of(m, "convergence_us", ctx).unwrap_or(0.0),
+            };
+        }
+        // additive: absent from pre-partition report files, all-zero
+        if let Some(p) = v.get("partitions") {
+            let ctx = "report.partitions";
+            rep.partitions = PartitionStat {
+                partitions: u64_of(p, "partitions", ctx).unwrap_or(0),
+                fences: u64_of(p, "fences", ctx).unwrap_or(0),
+                heals: u64_of(p, "heals", ctx).unwrap_or(0),
+                last_epoch: u64_of(p, "last_epoch", ctx).unwrap_or(0),
+                heal_convergence_us: f64_of(p, "heal_convergence_us", ctx).unwrap_or(0.0),
             };
         }
         // additive: absent from pre-windowing report files, defaults 0

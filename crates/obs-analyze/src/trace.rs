@@ -230,6 +230,11 @@ pub struct Trace {
     pub health: Vec<HealthEvent>,
     /// Membership transitions (fail-stop layer) in timestamp order.
     pub membership: Vec<MemberEvent>,
+    /// Partition lifecycle transitions (`partition` / `fence` / `heal`)
+    /// in timestamp order. Same record shape as `membership`: the
+    /// instant's name carries the transition, `epoch` the view epoch in
+    /// force right after it.
+    pub partitions: Vec<MemberEvent>,
     /// link track name -> samples in timestamp order.
     pub links: BTreeMap<String, Vec<LinkPoint>>,
     /// Windowed-metrics snapshots in window order (absent on traces
@@ -435,6 +440,24 @@ impl Trace {
                         .unwrap_or_default()
                         .to_string();
                     tr.membership.push(MemberEvent {
+                        event,
+                        pe: num(args, "pe").unwrap_or(0.0) as u32,
+                        epoch: num(args, "epoch").unwrap_or(0.0) as u64,
+                        ts_us: ts,
+                    });
+                }
+                "i" if matches!(
+                    e.get("name").and_then(Value::as_str),
+                    Some("partition" | "fence" | "heal")
+                ) =>
+                {
+                    let Some(args) = args else { continue };
+                    let event = e
+                        .get("name")
+                        .and_then(Value::as_str)
+                        .unwrap_or_default()
+                        .to_string();
+                    tr.partitions.push(MemberEvent {
                         event,
                         pe: num(args, "pe").unwrap_or(0.0) as u32,
                         epoch: num(args, "epoch").unwrap_or(0.0) as u64,

@@ -38,6 +38,14 @@
 //! node's breaker `probe`/`promote` pair, which CI greps for and which
 //! `gdrprof` folds into the membership report section.
 //!
+//! `--partition` runs the same cadence across a quorum-fenced network
+//! split of the peer PE (typed `Partitioned` failures between fence and
+//! heal), then pushes device-destination puts across an asymmetric cut
+//! that severs only the direct GDR path — the trace deterministically
+//! contains the `partition` / `fence` / `heal` lifecycle plus the cut's
+//! reroute `fallback`, which CI greps for and which `gdrprof` folds
+//! into the partitions report section.
+//!
 //! `--plan "<grammar>"` replays an **arbitrary** `GDR_SHMEM_FAULTS`
 //! plan — typically a minimal repro shrunk by `gdrchaos` — under a
 //! fixed mixed workload (pipelined D-D put plus a host-put/get tail).
@@ -56,12 +64,14 @@ const USAGE: &str = "usage:
   chaos_trace OUT_TRACE.json --pipeline   chunk-retry + partial-delivery trace
   chaos_trace OUT_TRACE.json --burst      breaker demote/probe/promote lifecycle
   chaos_trace OUT_TRACE.json --crash      fail-stop membership lifecycle + rejoin
+  chaos_trace OUT_TRACE.json --partition  quorum fence/heal lifecycle + cut reroute
   chaos_trace OUT_TRACE.json --plan \"<grammar>\"   replay a GDR_SHMEM_FAULTS plan
 
 environment:
   GDR_CHAOS_PIPE_SEED    fault seed of the --pipeline plan (default 1)
   GDR_CHAOS_BURST_SEED   fault seed of the --burst plan (default 5)
   GDR_CHAOS_CRASH_SEED   fault seed of the --crash plan (default 5)
+  GDR_CHAOS_PART_SEED    fault seed of the --partition plan (default 5)
 
 Traces are byte-identical across runs of the same mode and seed, so CI
 can cmp two runs and grep the instants each mode guarantees.
@@ -77,6 +87,7 @@ fn main() -> ExitCode {
     let mut pipeline = false;
     let mut burst = false;
     let mut crash = false;
+    let mut partition = false;
     let mut grammar: Option<String> = None;
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
@@ -94,6 +105,7 @@ fn main() -> ExitCode {
             "--pipeline" => pipeline = true,
             "--burst" => burst = true,
             "--crash" => crash = true,
+            "--partition" => partition = true,
             "--plan" => {
                 i += 1;
                 match args.get(i) {
@@ -128,6 +140,9 @@ fn main() -> ExitCode {
     }
     if crash {
         return crash_fault_trace(&out);
+    }
+    if partition {
+        return partition_fault_trace(&out);
     }
 
     let mut plan = FaultPlan::default()
@@ -196,6 +211,57 @@ fn crash_fault_trace(out: &str) -> ExitCode {
                 // typed PeerDead is expected across the dead window; the
                 // cadence itself must never panic or hang
                 let _ = pe.try_putmem(dst, src, 4096, 1);
+                pe.compute(SimDuration::from_us(20));
+            }
+        }
+    });
+    if let Err(e) = std::fs::write(out, m.obs().chrome_trace()) {
+        eprintln!("chaos_trace: cannot write {out}: {e}");
+        return ExitCode::from(2);
+    }
+    ExitCode::SUCCESS
+}
+
+/// The `--partition` plan: PE 1 is split off from 120 us to 500 us
+/// (quorum fence at 270 us once the detection bound elapses, heal at
+/// 550 us) while PE 0 keeps a steady 4 KiB host-put cadence at it —
+/// puts land until the fence, fail typed `Partitioned` across it, and
+/// land again after the heal. A generous asymmetric cut (0 -> 1) then
+/// covers the tail of the run: the closing device-destination puts find
+/// their direct GDR path severed and must reroute through the fallback
+/// matrix, stamping the cut's `partition` instant. One deterministic
+/// trace carries the whole `partition` / `fence` / `heal` lifecycle.
+fn partition_fault_trace(out: &str) -> ExitCode {
+    let seed = std::env::var("GDR_CHAOS_PART_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(5);
+    let plan = FaultPlan::default()
+        .with_seed(seed)
+        .with_partition_split(0b10, 120_000, 500_000)
+        .with_partition_cut(0, 1, 600_000, 2_000_000);
+    let cfg = RuntimeConfig::tuned(Design::EnhancedGdr)
+        .with_faults(plan)
+        .with_obs(ObsLevel::Spans);
+    let m = ShmemMachine::build(ClusterSpec::internode_pair(), cfg);
+    m.run(|pe| {
+        let dst = pe.shmalloc(4096, Domain::Host);
+        let ddst = pe.shmalloc(64 << 10, Domain::Gpu);
+        pe.barrier_all();
+        if pe.my_pe() == 0 {
+            let src = pe.malloc_host(4096);
+            let dsrc = pe.malloc_dev(16 << 10);
+            for _ in 0..40 {
+                // typed Partitioned is expected between fence and heal;
+                // the cadence itself must never panic or hang
+                let _ = pe.try_putmem(dst, src, 4096, 1);
+                pe.compute(SimDuration::from_us(20));
+            }
+            // by now the cut window is active: these D-D puts must ride
+            // a GDR-free path instead of the severed direct one
+            for i in 0..4u64 {
+                let _ = pe.try_putmem(ddst.add(i * (16 << 10)), dsrc, 16 << 10, 1);
+                pe.quiet();
                 pe.compute(SimDuration::from_us(20));
             }
         }

@@ -8,8 +8,9 @@
 //! asserted here are the same ones the CI gates `cmp`/grep for.
 
 use gdr_shmem::chaos::{
-    self, crash_fixture_plan, fixture_plan, render_repro, run_campaign, run_campaign_with,
-    run_crash_fixture, run_fixture, run_trial, TrialSpec, Workload,
+    self, crash_fixture_plan, fixture_plan, partition_fixture_plan, render_repro, run_campaign,
+    run_campaign_mode, run_campaign_with, run_crash_fixture, run_fixture, run_partition_fixture,
+    run_trial, CampaignMode, TrialSpec, Workload,
 };
 use gdr_shmem::faults::{FaultPlan, GEN_HORIZON_NS};
 
@@ -49,7 +50,9 @@ fn campaign_seeds_diverge() {
 
 /// Generated plans respect the generator horizon: every window the
 /// plan schedules ends by `GEN_HORIZON_NS`, so the breaker-recovery
-/// oracle's "faults are over" probe time is sound.
+/// oracle's "faults are over" probe time is sound. Partition windows
+/// leave room for the heal bound too, so the quorum-fence lifecycle
+/// completes inside the horizon.
 #[test]
 fn generated_plans_fit_the_horizon() {
     for trial in 0..64 {
@@ -62,6 +65,10 @@ fn generated_plans_fit_the_horizon() {
         }
         for b in p.burst_windows() {
             assert!(b.end_ns <= GEN_HORIZON_NS);
+        }
+        let pp = FaultPlan::generate_with_partitions(7, trial);
+        for f in pp.partitions() {
+            assert!(f.end_ns + gdr_shmem::shmem::HEAL_BOUND_NS <= GEN_HORIZON_NS);
         }
     }
 }
@@ -112,6 +119,7 @@ fn committed_repro_grammar_replays_byte_identically() {
         plan: FaultPlan::parse(grammar),
         strict_no_partial: true,
         strict_no_peer_dead: false,
+        strict_no_partitioned: false,
     };
     let a = run_trial(&spec);
     let b = run_trial(&spec);
@@ -161,6 +169,95 @@ fn crash_flag_off_matches_base_campaign() {
     assert_eq!(base.render(), off.render());
 }
 
+/// The explicit-mode entry point keeps both historic trajectories byte
+/// for byte: `Base` matches `run_campaign`, `Crash` matches the crash
+/// flag, and the partition draws (salted streams of their own) never
+/// perturb either.
+#[test]
+fn campaign_modes_preserve_historic_trajectories() {
+    let (base, _) = run_campaign(7, 24);
+    let (base_mode, _) = run_campaign_mode(7, 24, CampaignMode::Base);
+    assert_eq!(base.render(), base_mode.render());
+    let (crash, _) = run_campaign_with(11, 24, true);
+    let (crash_mode, _) = run_campaign_mode(11, 24, CampaignMode::Crash);
+    assert_eq!(crash.render(), crash_mode.render());
+}
+
+/// A partition-dimension campaign is violation-free (the split-brain,
+/// quorum-progress and heal-convergence oracles hold on every trial),
+/// byte-identical across reruns, and actually exercises the
+/// quorum-fence machinery: the summed lifecycle counters show fences
+/// that all heal inside the horizon.
+#[test]
+fn partition_campaign_is_clean_and_exercises_the_lifecycle() {
+    let (s1, f1) = run_campaign_mode(11, 200, CampaignMode::Partition);
+    let (s2, _) = run_campaign_mode(11, 200, CampaignMode::Partition);
+    assert_eq!(s1.render(), s2.render());
+    assert!(
+        f1.is_empty(),
+        "partition campaign seed 11 found violations:\n{}",
+        s1.render()
+    );
+    let c = |what: &str| -> u64 {
+        s1.fault_counters
+            .iter()
+            .filter(|((w, _), _)| w == what)
+            .map(|(_, n)| n)
+            .sum()
+    };
+    assert!(c("partition") > 0, "no partition was ever observed");
+    assert!(c("fence") > 0, "no split ever reached a quorum fence");
+    assert_eq!(c("fence"), c("heal"), "a fence never healed");
+    // partition campaigns draw no crashes: fail-stop stays quiet
+    assert_eq!(c("pe-dead"), 0);
+    assert_eq!(c("evict"), 0);
+}
+
+/// The split-PE fixture: an app tier that treats any typed
+/// `Partitioned` as fatal violates `no-partitioned`, and the shrinker
+/// strips every noise dimension down to the minimal `partition=` repro,
+/// which replays byte-identically through the grammar.
+#[test]
+fn partition_fixture_shrinks_to_minimal_partition_repro() {
+    let (failure, minimal, probes) =
+        run_partition_fixture().expect("partition fixture must violate");
+    assert_eq!(failure.oracle, "no-partitioned");
+    let original = partition_fixture_plan().to_string();
+    assert!(original.contains("link=") && original.contains("stall="));
+    assert_eq!(minimal.to_string(), "seed=1 partition=split:2:20000:1200000");
+    assert!(probes > 0);
+
+    // grammar round-trip + byte-identical violation replay
+    let replay = FaultPlan::parse(&minimal.to_string());
+    assert_eq!(replay, minimal);
+    let spec = TrialSpec {
+        campaign_seed: chaos::FIXTURE_SEED,
+        trial: 0,
+        workload: Workload::RmaRandom,
+        plan: replay,
+        strict_no_partial: false,
+        strict_no_peer_dead: false,
+        strict_no_partitioned: true,
+    };
+    let a = run_trial(&spec);
+    let b = run_trial(&spec);
+    assert_eq!(a.report, b.report);
+    // the shrunk plan's timing differs from the noisy original, so the
+    // first Partitioned op may differ — the oracle must reproduce, the
+    // specific op detail need not
+    assert!(a.violations.iter().any(|(o, _)| o == "no-partitioned"));
+    assert_eq!(a.violations, b.violations);
+
+    // the rendered repro document matches the committed golden file
+    let doc = render_repro(&failure, &minimal, probes);
+    let golden = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/golden/chaos_partition_minimal_repro.txt"
+    ))
+    .expect("committed golden partition repro");
+    assert_eq!(doc, golden, "shrunk repro drifted from the committed golden");
+}
+
 /// The crashed-PE fixture: an app tier that treats any typed `PeerDead`
 /// as fatal violates `no-peer-dead`, and the shrinker strips every
 /// noise dimension down to the minimal `crash=` repro, which replays
@@ -184,6 +281,7 @@ fn crash_fixture_shrinks_to_minimal_crash_repro() {
         plan: replay,
         strict_no_partial: false,
         strict_no_peer_dead: true,
+        strict_no_partitioned: false,
     };
     let a = run_trial(&spec);
     let b = run_trial(&spec);
